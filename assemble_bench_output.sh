@@ -1,0 +1,19 @@
+#!/bin/bash
+# Assemble bench_output.txt in `for b in build/bench/*` order from the
+# per-binary logs produced by run_benches.sh.
+out=/root/repo/bench_output.txt
+: > "$out"
+cd /root/repo/build
+for b in bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    name=$(basename "$b")
+    log=/root/repo/bench_logs/$name.txt
+    echo "\$ $b" >> "$out"
+    if [ -s "$log" ]; then
+        cat "$log" >> "$out"
+    else
+        echo "(no output captured)" >> "$out"
+    fi
+    echo >> "$out"
+done
+echo "assembled $(wc -l < "$out") lines into $out"

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation (paper §IV-D design choice) — EMCC with and without the
+ * adaptive offload of decryption back to the MC when the L2's AES pool
+ * queues up. Run with a deliberately small L2 AES share (20%) so the
+ * queueing pressure is visible.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace emcc;
+    using namespace emcc::experiments;
+    const auto scale = benchutil::announce(
+        "Ablation: EMCC adaptive offload on/off (20% AES at L2)");
+
+    Table t({"workload", "off: perf", "on: perf", "on: offloaded"});
+    std::vector<double> off_v, on_v;
+    for (const auto &name : benchutil::figureWorkloads()) {
+        const auto &workload = cachedWorkload(name, scale.workload);
+        const auto ns = runTiming(paperConfig(Scheme::NonSecure),
+                                  workload, scale);
+        auto off_cfg = paperConfig(Scheme::Emcc);
+        off_cfg.l2_aes_fraction = 0.2;
+        off_cfg.adaptive_offload = false;
+        auto on_cfg = off_cfg;
+        on_cfg.adaptive_offload = true;
+        const auto off = runTiming(off_cfg, workload, scale);
+        const auto on = runTiming(on_cfg, workload, scale);
+        const double f_off = safeRatio(off.total_ipc, ns.total_ipc);
+        const double f_on = safeRatio(on.total_ipc, ns.total_ipc);
+        const double offloaded = safeRatio(
+            static_cast<double>(on.sys.adaptive_offloads),
+            static_cast<double>(on.sys.llc_data_misses));
+        off_v.push_back(f_off);
+        on_v.push_back(f_on);
+        t.addRow({name, Table::pct(f_off), Table::pct(f_on),
+                  Table::pct(offloaded)});
+    }
+    t.addRow({"mean", Table::pct(mean(off_v)), Table::pct(mean(on_v)),
+              ""});
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\nexpected: adaptive offload recovers performance when "
+              "the L2 AES share is under-provisioned");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation (paper §III-B outlook) — "emerging multi-chiplet
+ * architectures, which move MC and subgroups of cores to different
+ * chiplets, will further increase the latency for MCs to access LLC."
+ *
+ * Sweeps the LLC<->MC and MC->L2 NoC latencies by 1x / 1.5x / 2x and
+ * measures EMCC's benefit over the Morphable baseline: the farther the
+ * MC, the more counter latency there is for EMCC to hide.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace emcc;
+    using namespace emcc::experiments;
+    const auto scale = benchutil::announce(
+        "Ablation: chiplet-style NoC scaling (EMCC benefit vs MC "
+        "distance)");
+
+    const double factors[] = {1.0, 1.5, 2.0};
+    Table t({"workload", "1.0x NoC", "1.5x NoC", "2.0x NoC"});
+    std::vector<std::vector<double>> gains(3);
+
+    for (const auto &name : benchutil::figureWorkloads()) {
+        const auto &workload = cachedWorkload(name, scale.workload);
+        std::vector<std::string> row{name};
+        for (int i = 0; i < 3; ++i) {
+            const double f = factors[i];
+            auto scaled = [&](SystemConfig cfg) {
+                cfg.noc_llc_mc = static_cast<Tick>(cfg.noc_llc_mc * f);
+                cfg.resp_mc_to_l2 =
+                    static_cast<Tick>(cfg.resp_mc_to_l2 * f);
+                cfg.llc_ctr_access =
+                    static_cast<Tick>(cfg.llc_ctr_access * f);
+                return cfg;
+            };
+            const auto base = runTiming(
+                scaled(paperConfig(Scheme::LlcBaseline)), workload,
+                scale);
+            const auto emcc = runTiming(scaled(paperConfig(Scheme::Emcc)),
+                                        workload, scale);
+            const double gain =
+                safeRatio(emcc.total_ipc, base.total_ipc) - 1.0;
+            gains[static_cast<size_t>(i)].push_back(gain);
+            row.push_back(Table::pct(gain));
+        }
+        t.addRow(row);
+    }
+    t.addRow({"mean", Table::pct(mean(gains[0])),
+              Table::pct(mean(gains[1])), Table::pct(mean(gains[2]))});
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\nexpected: EMCC's benefit grows as the MC moves farther "
+              "away — the paper's motivation for why this problem "
+              "worsens going forward");
+    return 0;
+}

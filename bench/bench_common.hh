@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared helpers for the figure benches that sweep the paper's
+ * workload list.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "system/experiment.hh"
+
+namespace emcc {
+namespace benchutil {
+
+/** The paper's 11 large/irregular workloads, in figure order. */
+inline const std::vector<std::string> &
+figureWorkloads()
+{
+    return irregularWorkloads();
+}
+
+/** Announce a bench + scale once at startup. */
+inline experiments::BenchScale
+announce(const char *title)
+{
+    auto scale = experiments::BenchScale::fromEnv();
+    std::printf("=== %s ===\n", title);
+    std::printf("(scale: %zu refs/core, graph 2^%u vertices, "
+                "warm %llu + measure %llu instr/core; "
+                "set EMCC_BENCH_FAST/EMCC_BENCH_FULL to change)\n\n",
+                scale.workload.trace_len,
+                floorLog2(scale.workload.graph_vertices),
+                static_cast<unsigned long long>(
+                    scale.warmup_instructions),
+                static_cast<unsigned long long>(
+                    scale.measure_instructions));
+    return scale;
+}
+
+} // namespace benchutil
+} // namespace emcc

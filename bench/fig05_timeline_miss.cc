@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Figure 5 — Secure Memory Access Latency timelines under counter miss
+ * in caches, with and without caching counters in the LLC. The paper's
+ * arrow: 19 ns overhead from the Direct-LLC-Latency on the counter
+ * path.
+ */
+
+#include "timeline_common.hh"
+
+int
+main()
+{
+    using namespace emcc;
+    const TimelineParams p;
+    printPair("Figure 5: counter miss in caches (paper overhead: 19 ns)",
+              timelines::ctrMissNoLlc(p), timelines::ctrMissWithLlc(p),
+              "overhead of caching counters in LLC");
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Figure 8 — Secure Memory Access Latency timelines under counter hit:
+ * in the MC's private cache vs in the LLC. The paper draws ~8 ns of
+ * overhead for the LLC hit case.
+ */
+
+#include "timeline_common.hh"
+
+int
+main()
+{
+    using namespace emcc;
+    const TimelineParams p;
+    printPair("Figure 8: counter hit (paper overhead: 8 ns)",
+              timelines::ctrHitMc(p), timelines::ctrHitLlc(p),
+              "overhead of counter hit in LLC vs MC");
+    return 0;
+}

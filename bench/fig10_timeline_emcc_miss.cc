@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Figure 10 — EMCC vs baseline timelines under counter miss in LLC and
+ * DRAM row-buffer miss. The paper: EMCC responds 16 ns earlier.
+ */
+
+#include "timeline_common.hh"
+
+int
+main()
+{
+    using namespace emcc;
+    const TimelineParams p;
+    printPair("Figure 10: counter miss in LLC (paper: EMCC 16 ns earlier)",
+              timelines::emccCtrMissLlc(p),
+              timelines::baselineCtrMissLlc(p),
+              "EMCC responds earlier by");
+    return 0;
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Figure 13 — EMCC vs baseline timelines under counter hit in LLC
+ * (data misses LLC, DRAM row hit): EMCC overlaps the AES with the long
+ * MC->L2 response flight.
+ */
+
+#include "timeline_common.hh"
+
+int
+main()
+{
+    using namespace emcc;
+    const TimelineParams p;
+    printPair("Figure 13: counter hit in LLC",
+              timelines::emccCtrHitLlc(p),
+              timelines::baselineCtrHitLlc(p),
+              "EMCC responds earlier by");
+    return 0;
+}

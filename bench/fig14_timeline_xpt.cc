@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Figure 14 — EMCC vs baseline with XPT-style LLC miss prediction,
+ * DRAM row-buffer miss, counter hit in LLC. The paper draws 22 ns of
+ * savings in this scenario.
+ */
+
+#include "timeline_common.hh"
+
+int
+main()
+{
+    using namespace emcc;
+    const TimelineParams p;
+    printPair("Figure 14: XPT miss prediction + row miss "
+              "(paper: EMCC 22 ns earlier)",
+              timelines::emccXpt(p), timelines::baselineXpt(p),
+              "EMCC responds earlier by");
+    return 0;
+}

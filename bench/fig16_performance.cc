@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 16 — THE HEADLINE: performance of SC-64, Morphable (the
+ * LLC-baseline), and EMCC, normalized to a non-secure memory system.
+ * Paper: EMCC improves on Morphable by 7% on average; canneal the most
+ * at 12.5%.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace emcc;
+    using namespace emcc::experiments;
+    const auto scale = benchutil::announce(
+        "Figure 16: performance normalized to non-secure");
+
+    Table t({"workload", "SC-64", "Morphable", "EMCC", "EMCC gain"});
+    std::vector<double> sc_n, morph_n, emcc_n, gains;
+    for (const auto &name : benchutil::figureWorkloads()) {
+        const auto &workload = cachedWorkload(name, scale.workload);
+
+        const auto ns = runTiming(paperConfig(Scheme::NonSecure),
+                                  workload, scale);
+        auto sc_cfg = paperConfig(Scheme::LlcBaseline);
+        sc_cfg.design = CounterDesignKind::Sc64;
+        const auto sc = runTiming(sc_cfg, workload, scale);
+        const auto morph = runTiming(paperConfig(Scheme::LlcBaseline),
+                                     workload, scale);
+        const auto emcc = runTiming(paperConfig(Scheme::Emcc),
+                                    workload, scale);
+
+        const double f_sc = safeRatio(sc.total_ipc, ns.total_ipc);
+        const double f_m = safeRatio(morph.total_ipc, ns.total_ipc);
+        const double f_e = safeRatio(emcc.total_ipc, ns.total_ipc);
+        const double gain = safeRatio(f_e, f_m) - 1.0;
+        sc_n.push_back(f_sc);
+        morph_n.push_back(f_m);
+        emcc_n.push_back(f_e);
+        gains.push_back(gain);
+        t.addRow({name, Table::pct(f_sc), Table::pct(f_m),
+                  Table::pct(f_e), Table::pct(gain)});
+    }
+    t.addRow({"mean", Table::pct(mean(sc_n)), Table::pct(mean(morph_n)),
+              Table::pct(mean(emcc_n)), Table::pct(mean(gains))});
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\npaper: EMCC +7% over Morphable on average "
+              "(max: canneal +12.5%); ordering EMCC > Morphable > SC-64");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 17 — average L2 data miss latency for SC-64, Morphable, EMCC,
+ * and the non-secure system. Paper: EMCC saves ~5 ns over Morphable on
+ * average.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace emcc;
+    using namespace emcc::experiments;
+    const auto scale = benchutil::announce(
+        "Figure 17: average L2 miss latency (ns)");
+
+    Table t({"workload", "SC-64", "Morphable", "EMCC", "Non-secure"});
+    std::vector<double> sc_v, m_v, e_v, n_v;
+    auto lat = [](const RunResults &r) {
+        return safeRatio(r.sys.l2_miss_latency_sum_ns,
+                         static_cast<double>(r.sys.l2_miss_latency_count));
+    };
+    for (const auto &name : benchutil::figureWorkloads()) {
+        const auto &workload = cachedWorkload(name, scale.workload);
+        auto sc_cfg = paperConfig(Scheme::LlcBaseline);
+        sc_cfg.design = CounterDesignKind::Sc64;
+        const double sc = lat(runTiming(sc_cfg, workload, scale));
+        const double m = lat(runTiming(paperConfig(Scheme::LlcBaseline),
+                                       workload, scale));
+        const double e = lat(runTiming(paperConfig(Scheme::Emcc),
+                                       workload, scale));
+        const double n = lat(runTiming(paperConfig(Scheme::NonSecure),
+                                       workload, scale));
+        sc_v.push_back(sc);
+        m_v.push_back(m);
+        e_v.push_back(e);
+        n_v.push_back(n);
+        t.addRow({name, Table::num(sc, 1), Table::num(m, 1),
+                  Table::num(e, 1), Table::num(n, 1)});
+    }
+    t.addRow({"mean", Table::num(mean(sc_v), 1), Table::num(mean(m_v), 1),
+              Table::num(mean(e_v), 1), Table::num(mean(n_v), 1)});
+    std::fputs(t.render().c_str(), stdout);
+    std::printf("\nEMCC saves %.1f ns over Morphable on average "
+                "(paper: ~5 ns)\n", mean(m_v) - mean(e_v));
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 21 — EMCC benefit over Morphable under one vs eight memory
+ * channels. Paper: the benefit grows with bandwidth because faster
+ * data access exposes more of the baseline's counter-latency overhead.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace emcc;
+    using namespace emcc::experiments;
+    const auto scale = benchutil::announce(
+        "Figure 21: EMCC benefit, 1 vs 8 memory channels");
+
+    Table t({"workload", "1 channel", "8 channels"});
+    std::vector<double> one, eight;
+    for (const auto &name : benchutil::figureWorkloads()) {
+        const auto &workload = cachedWorkload(name, scale.workload);
+        std::vector<std::string> row{name};
+        for (unsigned channels : {1u, 8u}) {
+            auto base_cfg = paperConfig(Scheme::LlcBaseline);
+            base_cfg.dram.channels = channels;
+            auto emcc_cfg = paperConfig(Scheme::Emcc);
+            emcc_cfg.dram.channels = channels;
+            const auto base = runTiming(base_cfg, workload, scale);
+            const auto emcc = runTiming(emcc_cfg, workload, scale);
+            const double gain =
+                safeRatio(emcc.total_ipc, base.total_ipc) - 1.0;
+            (channels == 1 ? one : eight).push_back(gain);
+            row.push_back(Table::pct(gain));
+        }
+        t.addRow(row);
+    }
+    t.addRow({"mean", Table::pct(mean(one)), Table::pct(mean(eight))});
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\npaper: benefit increases under eight channels");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 22 — DRAM queueing delay (geometric mean across workloads) of
+ * counter/data reads and writes under EMCC, with 1 vs 8 channels.
+ * Paper: delays drop with channels; writes queue far longer than
+ * reads.
+ */
+
+#include <cmath>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace emcc;
+    using namespace emcc::experiments;
+    const auto scale = benchutil::announce(
+        "Figure 22: DRAM queueing delay by access type (geomean, ns)");
+
+    Table t({"channels", "Counter Read", "Data Read", "Counter Write",
+             "Data Write"});
+    for (unsigned channels : {1u, 8u}) {
+        // Aggregate log-mean queueing delay across the workload set.
+        double log_cr = 0.0, log_dr = 0.0, log_cw = 0.0, log_dw = 0.0;
+        Count n_cr = 0, n_dr = 0, n_cw = 0, n_dw = 0;
+        for (const auto &name : benchutil::figureWorkloads()) {
+            const auto &workload = cachedWorkload(name, scale.workload);
+            auto cfg = paperConfig(Scheme::Emcc);
+            cfg.dram.channels = channels;
+            const auto r = runTiming(cfg, workload, scale);
+            const int d = static_cast<int>(MemClass::Data);
+            const int c = static_cast<int>(MemClass::Counter);
+            log_dr += r.dram.read_qdelay_log[d];
+            n_dr += r.dram.reads[d];
+            log_cr += r.dram.read_qdelay_log[c];
+            n_cr += r.dram.reads[c];
+            log_dw += r.dram.write_qdelay_log[d];
+            n_dw += r.dram.writes[d];
+            log_cw += r.dram.write_qdelay_log[c];
+            n_cw += r.dram.writes[c];
+        }
+        auto geo = [](double log_sum, Count n) {
+            return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
+        };
+        t.addRow({std::to_string(channels), Table::num(geo(log_cr, n_cr), 1),
+                  Table::num(geo(log_dr, n_dr), 1),
+                  Table::num(geo(log_cw, n_cw), 1),
+                  Table::num(geo(log_dw, n_dw), 1)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\npaper: queueing delay reduces with more channels; "
+              "writes queue longer than reads (deprioritized)");
+    return 0;
+}

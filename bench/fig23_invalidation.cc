@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 23 — counter-block invalidations in L2 under EMCC (the
+ * coherence cost of MC counter updates on writebacks), normalized to
+ * counter-block insertions into L2. Paper: only 1.7% on average.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace emcc;
+    using namespace emcc::experiments;
+    const auto scale = benchutil::announce(
+        "Figure 23: counter-block invalidations in L2 under EMCC");
+
+    Table t({"workload", "invalidated/inserted"});
+    std::vector<double> vals;
+    for (const auto &name : benchutil::figureWorkloads()) {
+        const auto &workload = cachedWorkload(name, scale.workload);
+        const auto r = runTiming(paperConfig(Scheme::Emcc), workload,
+                                 scale);
+        const double f = safeRatio(
+            static_cast<double>(r.sys.l2_ctr_invalidations),
+            static_cast<double>(r.sys.l2_ctr_inserts));
+        vals.push_back(f);
+        t.addRow({name, Table::pct(f)});
+    }
+    t.addRow({"mean", Table::pct(mean(vals))});
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\npaper: 1.7% of inserted counter blocks invalidated, "
+              "on average");
+    return 0;
+}

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Shared printing helper for the timeline figure benches (5/8/10/13/14).
+ */
+
+#pragma once
+
+#include <cstdio>
+
+#include "secmem/timeline.hh"
+
+namespace emcc {
+
+inline void
+printPair(const char *figure, const Timeline &a, const Timeline &b,
+          const char *arrow_label)
+{
+    std::printf("=== %s ===\n\n", figure);
+    std::fputs(renderTimeline(a).c_str(), stdout);
+    std::puts("");
+    std::fputs(renderTimeline(b).c_str(), stdout);
+    std::printf("\n%s: %.1f ns (complete %.1f vs %.1f)\n",
+                arrow_label, b.complete_ns - a.complete_ns,
+                a.complete_ns, b.complete_ns);
+}
+
+} // namespace emcc

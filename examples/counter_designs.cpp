@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Scenario: choosing a counter organization. Compares the three
+ * implemented designs — monolithic 56-bit counters, SC-64 split
+ * counters, and Morphable Counters — on the axes that matter:
+ *
+ *  - cacheability (how much data one 64-byte counter block covers),
+ *  - metadata footprint (counters + integrity tree),
+ *  - overflow behaviour under a write-hot block (how many writes until
+ *    a region re-encryption, and how expensive it is).
+ *
+ * This is exactly the trade-off the paper's §II background walks
+ * through when motivating Morphable as the state of the art.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "secmem/counter_design.hh"
+#include "secmem/metadata_map.hh"
+#include "secmem/secure_memory.hh"
+
+using namespace emcc;
+
+namespace {
+
+/** Writes to one hot block until the design overflows; returns the
+ *  write count (capped). @p dense pre-touches every covered block —
+ *  the hard case for Morphable's zero-compressed formats. */
+Count
+writesUntilOverflow(CounterDesignKind kind, bool dense)
+{
+    auto design = CounterDesign::create(kind);
+    if (dense) {
+        for (Addr a = 0; a < design->coverageBytes(); a += kBlockBytes)
+            design->bumpCounter(a);
+    }
+    for (Count w = 1; w <= 2'000'000; ++w) {
+        if (design->bumpCounter(0x0).overflow)
+            return w;
+    }
+    return 2'000'000;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::puts("== Counter-design comparison ==\n");
+
+    Table t({"design", "coverage", "decode", "tree levels (4GB)",
+             "metadata (4GB)", "overflow@sparse", "overflow@dense",
+             "re-encrypt cost"});
+    for (auto kind : {CounterDesignKind::Monolithic,
+                      CounterDesignKind::Sc64,
+                      CounterDesignKind::Morphable}) {
+        auto design = CounterDesign::create(kind);
+        MetadataMap meta(*design, 4_GiB);
+        auto fmt_writes = [](Count w) -> std::string {
+            return w >= 2'000'000 ? ">2M (never)" : std::to_string(w);
+        };
+        const Count sparse = writesUntilOverflow(kind, false);
+        const Count dense = writesUntilOverflow(kind, true);
+        char coverage[32], decode[32], metadata[32], cost[48];
+        std::snprintf(coverage, sizeof(coverage), "%llu B",
+                      static_cast<unsigned long long>(
+                          design->coverageBytes()));
+        std::snprintf(decode, sizeof(decode), "%.0f ns",
+                      ticksToNs(design->decodeLatency()));
+        std::snprintf(metadata, sizeof(metadata), "%.1f MB",
+                      meta.metadataBytes() / 1048576.0);
+        if (dense >= 2'000'000) {
+            std::snprintf(cost, sizeof(cost), "-");
+        } else {
+            std::snprintf(cost, sizeof(cost), "%u blocks re-encrypted",
+                          design->blocksPerCounterBlock());
+        }
+        t.addRow({design->name(), coverage, decode,
+                  std::to_string(meta.numLevels() - 1), metadata,
+                  fmt_writes(sparse), fmt_writes(dense), cost});
+    }
+    std::fputs(t.render().c_str(), stdout);
+
+    std::puts("\nThe trade-off: bigger coverage makes counters far more"
+              " cacheable (the\npaper's motivation) at the price of"
+              " minor-counter overflows that re-encrypt\nwhole regions."
+              " Morphable's adaptive formats push overflow far out while"
+              "\nkeeping 8 KB coverage - and EMCC then hides the latency"
+              " of fetching those\nhighly-shared counter blocks through"
+              " the LLC.");
+
+    // Show one overflow end-to-end with real crypto, proving data
+    // survives re-encryption.
+    std::puts("\n== Morphable overflow with real cryptography ==");
+    SecureMemory mem(CounterDesignKind::Morphable,
+                     SecureMemoryKeys::testKeys());
+    std::uint8_t data[64] = {0xAB}, out[64];
+    for (Addr a = 0; a < 8192; a += kBlockBytes)
+        mem.write(a, data);
+    Count writes = 0;
+    while (mem.design().overflows() == 0)
+        mem.write(0x0, data), ++writes;
+    bool all_verified = true;
+    for (Addr a = 0; a < 8192; a += kBlockBytes)
+        all_verified &= mem.read(a, out).verified;
+    std::printf("hot block overflowed after %llu rewrites; all 128 "
+                "covered blocks still verify: %s\n",
+                static_cast<unsigned long long>(writes),
+                all_verified ? "yes" : "NO (bug!)");
+    return all_verified ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Scenario: graph analytics on encrypted cloud memory — the workload
+ * class the paper's introduction motivates (huge footprints, irregular
+ * access, high counter miss rates).
+ *
+ * Runs two graph kernels under all four schemes and reports normalized
+ * performance plus where counters were found (MC cache / LLC / DRAM),
+ * showing why counter placement decides secure-memory performance.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "system/experiment.hh"
+
+int
+main()
+{
+    using namespace emcc;
+    using namespace emcc::experiments;
+
+    BenchScale scale;
+    scale.workload.trace_len = 250'000;
+    scale.workload.graph_vertices = 1ull << 16;
+    scale.warmup_instructions = 60'000;
+    scale.measure_instructions = 150'000;
+
+    std::puts("== Secure graph analytics: scheme comparison ==\n");
+    for (const auto *kernel : {"pageRank", "BFS"}) {
+        const auto &workload = cachedWorkload(kernel, scale.workload);
+        std::printf("--- %s (footprint %.1f MB, 4 threads) ---\n",
+                    kernel, workload.footprint / 1048576.0);
+
+        const auto ns = runTiming(paperConfig(Scheme::NonSecure),
+                                  workload, scale);
+        Table t({"scheme", "norm. perf", "MC ctr hit", "LLC ctr hit",
+                 "ctr from DRAM"});
+        for (Scheme s : {Scheme::McOnly, Scheme::LlcBaseline,
+                         Scheme::Emcc}) {
+            const auto r = runTiming(paperConfig(s), workload, scale);
+            const double total = static_cast<double>(
+                r.sys.mc_ctr_hits + r.sys.llc_ctr_hits +
+                r.sys.llc_ctr_misses);
+            t.addRow({schemeName(s),
+                      Table::pct(r.total_ipc / ns.total_ipc),
+                      Table::pct(safeRatio(r.sys.mc_ctr_hits, total)),
+                      Table::pct(safeRatio(r.sys.llc_ctr_hits, total)),
+                      Table::pct(safeRatio(r.sys.llc_ctr_misses,
+                                           total))});
+        }
+        std::fputs(t.render().c_str(), stdout);
+        std::puts("");
+    }
+    std::puts("Reading the table: the LLC catches counters the MC cache "
+              "misses, and EMCC\nhides the LLC's latency by fetching and "
+              "using those counters from L2.");
+    return 0;
+}

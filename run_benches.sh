@@ -1,0 +1,24 @@
+#!/bin/bash
+# Run every bench binary (figures first, then ablations), logging each
+# to bench_logs/<name>.txt.
+cd /root/repo/build
+mkdir -p /root/repo/bench_logs
+run_one() {
+    local b="$1"
+    local name
+    name=$(basename "$b")
+    [ -f "$b" ] && [ -x "$b" ] || return 0
+    echo "=== running $name at $(date +%T) ===" >> /root/repo/bench_logs/progress.txt
+    if [ "$name" = micro_crypto ]; then
+        timeout 600 "$b" --benchmark_min_time=0.1 > /root/repo/bench_logs/$name.txt 2>&1 \
+            || echo "FAILED: $name" >> /root/repo/bench_logs/progress.txt
+    else
+        timeout 3000 "$b" > /root/repo/bench_logs/$name.txt 2>&1 \
+            || echo "FAILED: $name" >> /root/repo/bench_logs/progress.txt
+    fi
+}
+run_one bench/table1_config
+for b in bench/fig*; do run_one "$b"; done
+run_one bench/micro_crypto
+for b in bench/ablation_*; do run_one "$b"; done
+echo ALL_BENCHES_DONE >> /root/repo/bench_logs/progress.txt

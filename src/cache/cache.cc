@@ -1,0 +1,282 @@
+#include "cache/cache.hh"
+
+#include "common/log.hh"
+
+namespace emcc {
+
+const char *
+lineClassName(LineClass cls)
+{
+    switch (cls) {
+      case LineClass::Data: return "data";
+      case LineClass::Counter: return "counter";
+      case LineClass::TreeNode: return "tree";
+      default: return "?";
+    }
+}
+
+Count
+CacheArrayStats::hitsAll() const
+{
+    Count n = 0;
+    for (auto h : hits)
+        n += h;
+    return n;
+}
+
+Count
+CacheArrayStats::missesAll() const
+{
+    Count n = 0;
+    for (auto m : misses)
+        n += m;
+    return n;
+}
+
+CacheArray::CacheArray(std::string name, const CacheArrayConfig &cfg)
+    : name_(std::move(name)), cfg_(cfg)
+{
+    fatal_if(cfg_.assoc == 0, "%s: zero associativity", name_.c_str());
+    fatal_if(cfg_.size_bytes % (static_cast<std::uint64_t>(cfg_.assoc) *
+                                kBlockBytes) != 0,
+             "%s: size not divisible by assoc * block size", name_.c_str());
+    num_sets_ = static_cast<unsigned>(
+        cfg_.size_bytes / (static_cast<std::uint64_t>(cfg_.assoc) *
+                           kBlockBytes));
+    fatal_if(num_sets_ == 0, "%s: zero sets", name_.c_str());
+    sets_pow2_ = isPowerOf2(num_sets_);
+    lines_.resize(static_cast<size_t>(num_sets_) * cfg_.assoc);
+}
+
+unsigned
+CacheArray::setIndex(Addr addr) const
+{
+    // Power-of-two set counts (the common case) index with a mask;
+    // odd sizes (e.g. the paper's 12 MB/core LLC sweep) use modulo.
+    if (sets_pow2_)
+        return static_cast<unsigned>(blockNumber(addr) & (num_sets_ - 1));
+    return static_cast<unsigned>(blockNumber(addr) % num_sets_);
+}
+
+CacheArray::Line *
+CacheArray::findLine(Addr addr)
+{
+    const Addr blk = blockNumber(addr);
+    const unsigned set = setIndex(addr);
+    Line *base = &lines_[static_cast<size_t>(set) * cfg_.assoc];
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == blk)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const CacheArray::Line *
+CacheArray::findLine(Addr addr) const
+{
+    return const_cast<CacheArray *>(this)->findLine(addr);
+}
+
+void
+CacheArray::touch(Line &line)
+{
+    line.last_use = ++use_clock_;
+    auto &lru = class_lru_[static_cast<int>(line.cls)];
+    lru.splice(lru.end(), lru, line.class_it);
+}
+
+void
+CacheArray::removeFromClassList(Line &line)
+{
+    auto &lru = class_lru_[static_cast<int>(line.cls)];
+    lru.erase(line.class_it);
+}
+
+bool
+CacheArray::access(Addr addr, LineClass cls, bool is_write)
+{
+    Line *line = findLine(addr);
+    if (line) {
+        ++stats_.hits[static_cast<int>(cls)];
+        touch(*line);
+        if (is_write)
+            line->dirty = true;
+        return true;
+    }
+    ++stats_.misses[static_cast<int>(cls)];
+    return false;
+}
+
+bool
+CacheArray::contains(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+std::optional<LineClass>
+CacheArray::residentClass(Addr addr) const
+{
+    const Line *line = findLine(addr);
+    if (!line)
+        return std::nullopt;
+    return line->cls;
+}
+
+CacheArray::Line &
+CacheArray::victimWay(unsigned set)
+{
+    Line *base = &lines_[static_cast<size_t>(set) * cfg_.assoc];
+    Line *victim = &base[0];
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        if (!base[w].valid)
+            return base[w];
+        if (base[w].last_use < victim->last_use)
+            victim = &base[w];
+    }
+    return *victim;
+}
+
+void
+CacheArray::evictLine(Line &line, std::optional<Victim> &victim_out)
+{
+    victim_out = Victim{line.tag << kBlockShift, line.cls, line.dirty};
+    ++stats_.evictions[static_cast<int>(line.cls)];
+    if (line.dirty)
+        ++stats_.dirty_evictions[static_cast<int>(line.cls)];
+    --class_count_[static_cast<int>(line.cls)];
+    removeFromClassList(line);
+    line.valid = false;
+    line.dirty = false;
+}
+
+std::optional<Victim>
+CacheArray::insert(Addr addr, LineClass cls, bool dirty)
+{
+    std::optional<Victim> victim;
+
+    if (Line *line = findLine(addr)) {
+        // Already resident: refresh. A class change (shouldn't normally
+        // happen) re-files the line under the new class — and must
+        // still honor the new class's footprint cap.
+        if (line->cls != cls) {
+            --class_count_[static_cast<int>(line->cls)];
+            removeFromClassList(*line);
+            line->cls = cls;
+            ++class_count_[static_cast<int>(cls)];
+            auto &lru = class_lru_[static_cast<int>(cls)];
+            line->class_it = lru.insert(lru.end(), line);
+            const auto cap = cfg_.class_cap_bytes[static_cast<int>(cls)];
+            if (cap != 0 &&
+                class_count_[static_cast<int>(cls)] > cap / kBlockBytes) {
+                // Evict the class LRU (never the just-refiled line,
+                // which sits at the MRU end).
+                std::optional<Victim> capped;
+                evictLine(*lru.front(), capped);
+                touch(*line);
+                line->dirty = line->dirty || dirty;
+                return capped;
+            }
+        }
+        touch(*line);
+        line->dirty = line->dirty || dirty;
+        return std::nullopt;
+    }
+
+    ++stats_.inserts[static_cast<int>(cls)];
+
+    // Enforce the per-class footprint cap by evicting the class-global
+    // LRU line before allocating.
+    const auto cap = cfg_.class_cap_bytes[static_cast<int>(cls)];
+    if (cap != 0) {
+        const Count cap_blocks = cap / kBlockBytes;
+        if (class_count_[static_cast<int>(cls)] >= cap_blocks &&
+            cap_blocks > 0) {
+            auto &lru = class_lru_[static_cast<int>(cls)];
+            if (!lru.empty()) {
+                Line *lru_line = lru.front();
+                std::optional<Victim> capped;
+                evictLine(*lru_line, capped);
+                // A cap eviction is a real eviction; report it if the
+                // new line lands in a different set (otherwise the way
+                // is reused below and victim stays as-is).
+                victim = capped;
+            }
+        }
+    }
+
+    const unsigned set = setIndex(addr);
+    Line &way = victimWay(set);
+    std::optional<Victim> set_victim;
+    if (way.valid)
+        evictLine(way, set_victim);
+    if (set_victim) {
+        // If both a cap eviction and a set eviction happened, the cap
+        // eviction was already recorded in `victim`; the caller gets the
+        // set victim (the cap victim was same-class and is folded into
+        // stats). To avoid losing a dirty writeback, prefer reporting a
+        // dirty victim.
+        if (!victim || (!victim->dirty && set_victim->dirty))
+            victim = set_victim;
+    }
+
+    way.valid = true;
+    way.dirty = dirty;
+    way.tag = blockNumber(addr);
+    way.cls = cls;
+    way.last_use = ++use_clock_;
+    auto &lru = class_lru_[static_cast<int>(cls)];
+    way.class_it = lru.insert(lru.end(), &way);
+    ++class_count_[static_cast<int>(cls)];
+    return victim;
+}
+
+std::optional<bool>
+CacheArray::invalidate(Addr addr)
+{
+    Line *line = findLine(addr);
+    if (!line)
+        return std::nullopt;
+    const bool was_dirty = line->dirty;
+    ++stats_.invalidations[static_cast<int>(line->cls)];
+    --class_count_[static_cast<int>(line->cls)];
+    removeFromClassList(*line);
+    line->valid = false;
+    line->dirty = false;
+    return was_dirty;
+}
+
+void
+CacheArray::markClean(Addr addr)
+{
+    if (Line *line = findLine(addr))
+        line->dirty = false;
+}
+
+void
+CacheArray::setFlag(Addr addr, bool value)
+{
+    if (Line *line = findLine(addr))
+        line->flag = value;
+}
+
+bool
+CacheArray::getFlag(Addr addr) const
+{
+    const Line *line = findLine(addr);
+    return line != nullptr && line->flag;
+}
+
+void
+CacheArray::flushAll()
+{
+    for (auto &line : lines_) {
+        if (line.valid) {
+            --class_count_[static_cast<int>(line.cls)];
+            removeFromClassList(line);
+            line.valid = false;
+            line.dirty = false;
+        }
+    }
+}
+
+} // namespace emcc

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Set-associative cache model.
+ *
+ * This is a functional array with LRU replacement, write-back /
+ * write-allocate semantics and per-"line class" accounting. Timing is
+ * composed by the hierarchy/scheme layers (latencies are additive per
+ * the paper's Table I), so the array itself is timing-free.
+ *
+ * Line classes distinguish normal data from secure-memory metadata
+ * (counter blocks, integrity-tree nodes). EMCC caps the footprint of
+ * counter blocks in L2 at 32 KB (paper §V); the cap is implemented here
+ * as a per-class global LRU list so that inserting a counter block past
+ * the cap evicts the least-recently-used *counter* block rather than
+ * data.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace emcc {
+
+/** What kind of content a cache line holds. */
+enum class LineClass : std::uint8_t
+{
+    Data = 0,     ///< normal program data
+    Counter,      ///< secure-memory counter block
+    TreeNode,     ///< integrity-tree node
+    NumClasses,
+};
+
+/** Printable name of a line class. */
+const char *lineClassName(LineClass cls);
+
+/** Result of an insert: the victim line, if a valid line was evicted. */
+struct Victim
+{
+    Addr addr;          ///< block-aligned address of the evicted line
+    LineClass cls;
+    bool dirty;
+};
+
+/** Configuration of one cache array. */
+struct CacheArrayConfig
+{
+    std::uint64_t size_bytes = 1_MiB;
+    unsigned assoc = 8;
+    /** Optional per-class footprint caps in bytes (0 = uncapped). */
+    std::uint64_t class_cap_bytes[static_cast<int>(LineClass::NumClasses)] =
+        {0, 0, 0};
+};
+
+/** Hit/miss/traffic statistics for one cache array, split by class. */
+struct CacheArrayStats
+{
+    Count hits[static_cast<int>(LineClass::NumClasses)] = {};
+    Count misses[static_cast<int>(LineClass::NumClasses)] = {};
+    Count inserts[static_cast<int>(LineClass::NumClasses)] = {};
+    Count evictions[static_cast<int>(LineClass::NumClasses)] = {};
+    Count dirty_evictions[static_cast<int>(LineClass::NumClasses)] = {};
+    Count invalidations[static_cast<int>(LineClass::NumClasses)] = {};
+
+    Count hitsAll() const;
+    Count missesAll() const;
+};
+
+/**
+ * The cache array. Addresses passed in may be unaligned; they are
+ * block-aligned internally.
+ */
+class CacheArray
+{
+  public:
+    CacheArray(std::string name, const CacheArrayConfig &cfg);
+
+    const std::string &name() const { return name_; }
+    unsigned numSets() const { return num_sets_; }
+    unsigned assoc() const { return cfg_.assoc; }
+    std::uint64_t sizeBytes() const { return cfg_.size_bytes; }
+
+    /**
+     * Look up a block. On hit, updates recency and optionally marks the
+     * line dirty.
+     * @return true on hit.
+     */
+    bool access(Addr addr, LineClass cls, bool is_write);
+
+    /** Probe without updating recency or stats. */
+    bool contains(Addr addr) const;
+
+    /** Line class of a resident block (only valid if contains()). */
+    std::optional<LineClass> residentClass(Addr addr) const;
+
+    /**
+     * Insert a block (allocating on miss). If the block is already
+     * resident, refreshes recency/dirty and returns nullopt.
+     * @return the evicted victim, if any valid line was displaced.
+     */
+    std::optional<Victim> insert(Addr addr, LineClass cls, bool dirty);
+
+    /**
+     * Invalidate a block if present.
+     * @return the line's dirty flag if it was present.
+     */
+    std::optional<bool> invalidate(Addr addr);
+
+    /** Mark a resident block clean (after writeback). */
+    void markClean(Addr addr);
+
+    /**
+     * Per-line auxiliary flag. The paper's inclusive-hierarchy
+     * extension (§IV-F) adds one bit per LLC line ("encrypted &
+     * unverified") and one per L2 line ("decrypted copy, writeback on
+     * clean evict"); this generic flag carries both.
+     * Setting/getting on a non-resident block is a no-op / false.
+     */
+    void setFlag(Addr addr, bool value);
+    bool getFlag(Addr addr) const;
+
+    /** Number of resident lines of a class. */
+    Count classCount(LineClass cls) const
+    {
+        return class_count_[static_cast<int>(cls)];
+    }
+
+    const CacheArrayStats &stats() const { return stats_; }
+    CacheArrayStats &stats() { return stats_; }
+
+    /** Zero the statistics (contents untouched). */
+    void resetStats() { stats_ = CacheArrayStats{}; }
+
+    /** Drop all contents (keeps statistics). */
+    void flushAll();
+
+  private:
+    struct Line
+    {
+        Addr tag = kAddrInvalid;       ///< block number, not raw address
+        bool valid = false;
+        bool dirty = false;
+        bool flag = false;             ///< see setFlag()
+        LineClass cls = LineClass::Data;
+        std::uint64_t last_use = 0;    ///< global LRU stamp
+        /// position in the per-class LRU list (valid lines only)
+        std::list<Line *>::iterator class_it;
+    };
+
+    unsigned setIndex(Addr addr) const;
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+    /** Pick the LRU way in a set (prefers invalid ways). */
+    Line &victimWay(unsigned set);
+    void touch(Line &line);
+    void removeFromClassList(Line &line);
+    void evictLine(Line &line, std::optional<Victim> &victim_out);
+
+    std::string name_;
+    CacheArrayConfig cfg_;
+    unsigned num_sets_;
+    bool sets_pow2_ = true;
+    std::vector<Line> lines_;   ///< num_sets_ * assoc, set-major
+    std::uint64_t use_clock_ = 0;
+    Count class_count_[static_cast<int>(LineClass::NumClasses)] = {};
+    /// per-class LRU order, front = LRU, back = MRU
+    std::list<Line *> class_lru_[static_cast<int>(LineClass::NumClasses)];
+    CacheArrayStats stats_;
+};
+
+} // namespace emcc

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Miss Status Holding Registers: outstanding-miss tracking with merging.
+ *
+ * Two requests to the same block while a miss is in flight coalesce into
+ * one memory-side request; all waiters complete when the fill arrives.
+ * The timing layers use completion callbacks; the functional layers use
+ * only the merge bookkeeping.
+ */
+
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace emcc {
+
+/** Outcome of trying to allocate an MSHR for a missing block. */
+enum class MshrOutcome
+{
+    NewMiss,   ///< no outstanding miss: a memory-side request must go out
+    Merged,    ///< merged into an outstanding miss for the same block
+    Full,      ///< all MSHRs busy; the request must stall/retry
+};
+
+/**
+ * MSHR file for one cache.
+ */
+class MshrFile
+{
+  public:
+    using Callback = std::function<void(Tick fill_tick)>;
+
+    explicit MshrFile(unsigned num_entries) : capacity_(num_entries) {}
+
+    unsigned capacity() const { return capacity_; }
+    unsigned inUse() const { return static_cast<unsigned>(entries_.size()); }
+
+    /** Is there an outstanding miss for this block? */
+    bool
+    outstanding(Addr addr) const
+    {
+        return entries_.count(blockAlign(addr)) != 0;
+    }
+
+    /**
+     * Allocate or merge. On NewMiss and Merged the callback is queued
+     * and will run when complete() is called for the block.
+     */
+    MshrOutcome
+    allocate(Addr addr, Callback cb)
+    {
+        const Addr blk = blockAlign(addr);
+        auto it = entries_.find(blk);
+        if (it != entries_.end()) {
+            it->second.push_back(std::move(cb));
+            ++merged_;
+            return MshrOutcome::Merged;
+        }
+        if (entries_.size() >= capacity_) {
+            ++full_stalls_;
+            return MshrOutcome::Full;
+        }
+        entries_[blk].push_back(std::move(cb));
+        ++allocated_;
+        return MshrOutcome::NewMiss;
+    }
+
+    /**
+     * The fill for @p addr arrived at @p fill_tick: run and release all
+     * waiters. @return the number of waiters served (0 if none).
+     */
+    unsigned
+    complete(Addr addr, Tick fill_tick)
+    {
+        const Addr blk = blockAlign(addr);
+        auto it = entries_.find(blk);
+        if (it == entries_.end())
+            return 0;
+        std::vector<Callback> waiters = std::move(it->second);
+        entries_.erase(it);
+        for (auto &cb : waiters) {
+            if (cb)
+                cb(fill_tick);
+        }
+        return static_cast<unsigned>(waiters.size());
+    }
+
+    Count allocated() const { return allocated_; }
+    Count merged() const { return merged_; }
+    Count fullStalls() const { return full_stalls_; }
+
+  private:
+    unsigned capacity_;
+    std::unordered_map<Addr, std::vector<Callback>> entries_;
+    Count allocated_ = 0;
+    Count merged_ = 0;
+    Count full_stalls_ = 0;
+};
+
+} // namespace emcc

@@ -1,0 +1,52 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace emcc {
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    const auto target = static_cast<std::uint64_t>(
+        p / 100.0 * static_cast<double>(count_));
+    std::uint64_t acc = underflow_;
+    if (acc >= target && underflow_ > 0)
+        return lo_;
+    for (size_t i = 0; i < bins_.size(); ++i) {
+        acc += bins_[i];
+        if (acc >= target)
+            return binLow(static_cast<unsigned>(i)) + width_ * 0.5;
+    }
+    return hi_;
+}
+
+std::string
+Histogram::render(const std::string &unit) const
+{
+    std::ostringstream os;
+    char line[160];
+    for (unsigned i = 0; i < numBins(); ++i) {
+        if (binCount(i) == 0)
+            continue;
+        const double frac = binFraction(i) * 100.0;
+        int stars = static_cast<int>(frac / 2.0 + 0.5);
+        std::snprintf(line, sizeof(line), "  [%6.1f, %6.1f) %s %8.2f%% %s\n",
+                      binLow(i), binHigh(i), unit.c_str(), frac,
+                      std::string(static_cast<size_t>(stars), '*').c_str());
+        os << line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "  n=%llu mean=%.2f min=%.2f max=%.2f under=%llu over=%llu\n",
+                  static_cast<unsigned long long>(count_), mean(), min(),
+                  max(), static_cast<unsigned long long>(underflow_),
+                  static_cast<unsigned long long>(overflow_));
+    os << line;
+    return os.str();
+}
+
+} // namespace emcc

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Fixed-bin histogram used for latency distributions (e.g. the paper's
+ * Figure 3 LLC-hit-latency distribution) and DRAM queueing-delay stats.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace emcc {
+
+/**
+ * Histogram over double-valued samples with uniform bin width.
+ *
+ * Samples below the low edge land in an underflow bucket; samples at or
+ * above the high edge land in an overflow bucket. Mean/min/max are exact
+ * (computed from the raw samples, not the bins).
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo       low edge of the first bin
+     * @param hi       high edge of the last bin (exclusive)
+     * @param num_bins number of uniform bins between lo and hi
+     */
+    Histogram(double lo, double hi, unsigned num_bins)
+        : lo_(lo), hi_(hi), bins_(num_bins, 0)
+    {
+        panic_if(num_bins == 0, "Histogram with zero bins");
+        panic_if(hi <= lo, "Histogram with hi <= lo");
+        width_ = (hi - lo) / num_bins;
+    }
+
+    /** Record one sample. */
+    void
+    add(double v, std::uint64_t weight = 1)
+    {
+        count_ += weight;
+        sum_ += v * static_cast<double>(weight);
+        if (count_ == weight || v < min_) min_ = v;
+        if (count_ == weight || v > max_) max_ = v;
+        if (v < lo_) {
+            underflow_ += weight;
+        } else if (v >= hi_) {
+            overflow_ += weight;
+        } else {
+            auto idx = static_cast<size_t>((v - lo_) / width_);
+            if (idx >= bins_.size()) idx = bins_.size() - 1;
+            bins_[idx] += weight;
+        }
+    }
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Exact mean of all samples (0 if empty). */
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    unsigned numBins() const { return static_cast<unsigned>(bins_.size()); }
+    double binLow(unsigned i) const { return lo_ + width_ * i; }
+    double binHigh(unsigned i) const { return lo_ + width_ * (i + 1); }
+    std::uint64_t binCount(unsigned i) const { return bins_.at(i); }
+
+    /** Fraction of samples in bin @p i (0 if empty histogram). */
+    double
+    binFraction(unsigned i) const
+    {
+        return count_ ? static_cast<double>(bins_.at(i)) /
+                        static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Percentile (0..100) estimated from the bins. */
+    double percentile(double p) const;
+
+    /** Multi-line textual rendering (one row per non-empty bin). */
+    std::string render(const std::string &unit = "") const;
+
+    /** Reset all state. */
+    void
+    reset()
+    {
+        bins_.assign(bins_.size(), 0);
+        count_ = underflow_ = overflow_ = 0;
+        sum_ = 0.0;
+        min_ = max_ = 0.0;
+    }
+
+  private:
+    double lo_, hi_, width_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t count_ = 0;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace emcc

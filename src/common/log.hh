@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: panic, fatal, warn, inform.
+ *
+ * panic()  — a simulator bug; aborts.
+ * fatal()  — a user/configuration error; exits with code 1.
+ * warn()   — something questionable happened but simulation continues.
+ * inform() — plain status output.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace emcc {
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+#define panic(...) \
+    ::emcc::detail::panicImpl(__FILE__, __LINE__, \
+                              ::emcc::detail::format(__VA_ARGS__))
+
+#define fatal(...) \
+    ::emcc::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::emcc::detail::format(__VA_ARGS__))
+
+#define warn(...) \
+    ::emcc::detail::warnImpl(::emcc::detail::format(__VA_ARGS__))
+
+#define inform(...) \
+    ::emcc::detail::informImpl(::emcc::detail::format(__VA_ARGS__))
+
+/** panic() unless the given condition holds. */
+#define panic_if(cond, ...) \
+    do { if (cond) panic(__VA_ARGS__); } while (0)
+
+/** fatal() unless the given condition holds. */
+#define fatal_if(cond, ...) \
+    do { if (cond) fatal(__VA_ARGS__); } while (0)
+
+} // namespace emcc

@@ -1,0 +1,21 @@
+#include "common/stats.hh"
+
+#include <cmath>
+
+namespace emcc {
+
+double
+geoMean(const std::vector<double> &vals)
+{
+    if (vals.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : vals) {
+        if (v <= 0.0)
+            return 0.0;
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(vals.size()));
+}
+
+} // namespace emcc

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Lightweight statistics primitives: counters, averages, and a named
+ * group that can dump itself. Deliberately simpler than gem5's stats
+ * package, but in the same spirit: every architectural component owns a
+ * stats struct and exposes it read-only.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace emcc {
+
+/** Running average with count (Welford not needed; sums suffice here). */
+class Average
+{
+  public:
+    void
+    add(double v, std::uint64_t weight = 1)
+    {
+        sum_ += v * static_cast<double>(weight);
+        count_ += weight;
+    }
+
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+
+    void reset() { sum_ = 0.0; count_ = 0; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * A named collection of scalar statistics, useful for uniform dumping
+ * from benches and tests. Components typically also keep strongly-typed
+ * stats structs; this map form is the export format.
+ */
+class StatSet
+{
+  public:
+    void
+    set(const std::string &name, double value)
+    {
+        values_[name] = value;
+    }
+
+    void
+    increment(const std::string &name, double by = 1.0)
+    {
+        values_[name] += by;
+    }
+
+    double
+    get(const std::string &name) const
+    {
+        auto it = values_.find(name);
+        return it == values_.end() ? 0.0 : it->second;
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        return values_.count(name) != 0;
+    }
+
+    const std::map<std::string, double> &all() const { return values_; }
+
+    /** Merge another set into this one, summing overlapping names. */
+    void
+    merge(const StatSet &other)
+    {
+        for (const auto &[k, v] : other.values_)
+            values_[k] += v;
+    }
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+/** Ratio helper that is 0 when the denominator is 0. */
+inline double
+safeRatio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+/** Geometric mean of a vector of positive values (0 if empty). */
+double geoMean(const std::vector<double> &vals);
+
+} // namespace emcc

@@ -1,0 +1,68 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace emcc {
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    panic_if(cells.size() != headers_.size(),
+             "Table row arity %zu != header arity %zu",
+             cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+Table::pct(double frac, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, frac * 100.0);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells, bool left_first) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            const auto pad = widths[c] - cells[c].size();
+            if (c == 0 && left_first) {
+                os << cells[c] << std::string(pad, ' ');
+            } else {
+                os << std::string(pad, ' ') << cells[c];
+            }
+            os << (c + 1 == cells.size() ? "\n" : "  ");
+        }
+    };
+    emit(headers_, true);
+    size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row, true);
+    return os.str();
+}
+
+} // namespace emcc

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Console table printer used by the bench harnesses to emit the same
+ * rows/series the paper's figures report.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace emcc {
+
+/**
+ * A simple right-aligned-numbers table. Columns are declared up front;
+ * rows are appended as string vectors; render() produces an aligned
+ * monospace table.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {}
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p digits decimals. */
+    static std::string num(double v, int digits = 2);
+
+    /** Format a fraction (0..1) as a percentage string. */
+    static std::string pct(double frac, int digits = 1);
+
+    /** Render the full table with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace emcc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fundamental types shared by every module of the EMCC simulator.
+ *
+ * Simulated time is kept in unsigned 64-bit picoseconds so that DDR4
+ * timings (e.g. tCL = 13.75 ns), a 3.2 GHz CPU clock (312.5 ps) and
+ * fractional AES service intervals are all exactly representable.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace emcc {
+
+/** Physical/virtual memory address, in bytes. */
+using Addr = std::uint64_t;
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of things (events, accesses, instructions, ...). */
+using Count = std::uint64_t;
+
+/** Sentinel for "no tick" / "not scheduled". */
+inline constexpr Tick kTickInvalid = ~Tick{0};
+
+/** Sentinel for "no address". */
+inline constexpr Addr kAddrInvalid = ~Addr{0};
+
+/** Cache-block (and DRAM burst) size in bytes; fixed at 64 like the paper. */
+inline constexpr unsigned kBlockBytes = 64;
+
+/** log2 of the block size. */
+inline constexpr unsigned kBlockShift = 6;
+
+/** Convert nanoseconds to ticks (picoseconds). */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * 1000.0 + 0.5);
+}
+
+/** Convert ticks (picoseconds) to (fractional) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / 1000.0;
+}
+
+/** Round an address down to its containing block's base address. */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~Addr{kBlockBytes - 1};
+}
+
+/** Block number (address divided by the block size). */
+constexpr Addr
+blockNumber(Addr a)
+{
+    return a >> kBlockShift;
+}
+
+/** Integer log2 for power-of-two inputs. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    unsigned r = 0;
+    while (x > 1) { x >>= 1; ++r; }
+    return r;
+}
+
+/** True iff @p x is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Kilobytes/megabytes/gigabytes to bytes. */
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+
+} // namespace emcc

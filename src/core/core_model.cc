@@ -1,0 +1,178 @@
+#include "core/core_model.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace emcc {
+
+CoreModel::CoreModel(Simulator &sim, std::string name,
+                     const CoreConfig &cfg, unsigned core_id,
+                     const std::vector<MemRef> *trace,
+                     MemorySystemPort *port)
+    : Component(sim, std::move(name)), cfg_(cfg), core_id_(core_id),
+      trace_(trace), port_(port)
+{
+    fatal_if(trace_ == nullptr || trace_->empty(),
+             "core %u started with an empty trace", core_id);
+    fatal_if(cfg_.width == 0 || cfg_.rob_entries == 0,
+             "degenerate core configuration");
+}
+
+void
+CoreModel::start(Count budget, std::function<void()> on_done)
+{
+    panic_if(!done_, "core restarted while running");
+    budget_ = budget;
+    on_done_ = std::move(on_done);
+    done_ = false;
+    dispatched_instr_ = 0;
+    stats_ = CoreStats{};
+    stats_.start_tick = curTick();
+    dispatch_free_ = std::max(dispatch_free_, curTick());
+    commit_free_ = std::max(commit_free_, curTick());
+    scheduleEngineAt(curTick());
+}
+
+void
+CoreModel::scheduleEngineAt(Tick when)
+{
+    when = std::max(when, curTick());
+    if (pending_engine_ != kEventInvalid) {
+        if (pending_engine_tick_ <= when)
+            return;   // an earlier (or equal) wake already pending
+        sim().deschedule(pending_engine_);
+    }
+    pending_engine_tick_ = when;
+    pending_engine_ = sim().schedule(when, [this] {
+        pending_engine_ = kEventInvalid;
+        pending_engine_tick_ = kTickInvalid;
+        engine();
+    });
+}
+
+void
+CoreModel::dispatchOne(const MemRef &ref, Tick dispatch_time)
+{
+    // The group = the gap's plain instructions + the memory op itself.
+    // Clamp huge gaps so one group can never exceed the ROB.
+    const std::uint32_t ninstr =
+        std::min<std::uint32_t>(ref.gap + 1, cfg_.rob_entries);
+    RobGroup group{ninstr, /*is_load=*/!ref.is_write, dispatch_time};
+
+    if (ref.is_write) {
+        ++stats_.stores;
+        ++outstanding_stores_;
+        port_->write(core_id_, ref.vaddr, [this](Tick done_tick) {
+            --outstanding_stores_;
+            scheduleEngineAt(done_tick);
+        });
+    } else {
+        ++stats_.loads;
+        group.complete = kTickInvalid;
+        ++outstanding_loads_;
+        rob_.push_back(group);
+        const std::size_t idx = rob_.size() - 1;
+        (void)idx;
+        // Identify the entry by a monotonically increasing sequence:
+        // groups are committed strictly in order, so the completion
+        // callback finds its entry by counting from the front.
+        const std::uint64_t seq = dispatch_seq_++;
+        port_->read(core_id_, ref.vaddr,
+                    [this, seq, dispatch_time](Tick done_tick) {
+            // Locate the (still uncommitted) group for `seq`.
+            const std::uint64_t committed = commit_seq_;
+            panic_if(seq < committed, "load completion after commit");
+            const std::size_t pos = static_cast<std::size_t>(
+                seq - committed);
+            panic_if(pos >= rob_.size(), "load completion out of range");
+            rob_[pos].complete = done_tick;
+            --outstanding_loads_;
+            stats_.load_latency_sum_ns +=
+                ticksToNs(done_tick - dispatch_time);
+            scheduleEngineAt(done_tick);
+        });
+        dispatched_instr_ += ninstr;
+        rob_occupancy_ += ninstr;
+        return;
+    }
+    rob_.push_back(group);
+    ++dispatch_seq_;
+    dispatched_instr_ += ninstr;
+    rob_occupancy_ += ninstr;
+}
+
+void
+CoreModel::engine()
+{
+    if (done_)
+        return;
+    const Tick now = curTick();
+    const Tick tpi = std::max<Tick>(1, cfg_.cyclePs() / cfg_.width);
+    Tick next_wake = kTickInvalid;
+
+    // ---- commit from the head, in order, width-limited
+    while (!rob_.empty()) {
+        RobGroup &head = rob_.front();
+        if (head.complete == kTickInvalid)
+            break;   // waiting for a load; its callback wakes us
+        const Tick commit_time = std::max(commit_free_, head.complete) +
+                                 static_cast<Tick>(head.ninstr) * tpi;
+        if (commit_time > now) {
+            next_wake = std::min(next_wake, commit_time);
+            break;
+        }
+        commit_free_ = commit_time;
+        stats_.committed_instructions += head.ninstr;
+        rob_occupancy_ -= head.ninstr;
+        rob_.pop_front();
+        ++commit_seq_;
+        if (stats_.committed_instructions >= budget_) {
+            finish();
+            return;
+        }
+    }
+
+    // ---- dispatch while resources allow
+    while (dispatched_instr_ < budget_ + cfg_.rob_entries) {
+        const MemRef &ref = (*trace_)[trace_pos_];
+        const std::uint32_t ninstr =
+            std::min<std::uint32_t>(ref.gap + 1, cfg_.rob_entries);
+        if (rob_occupancy_ + ninstr > cfg_.rob_entries)
+            break;   // ROB full; commit progress wakes us
+        if (!ref.is_write &&
+            outstanding_loads_ >= cfg_.max_outstanding_loads) {
+            break;   // MLP limit; load completion wakes us
+        }
+        if (ref.is_write &&
+            outstanding_stores_ >= cfg_.max_outstanding_stores) {
+            break;   // write buffer full; store completion wakes us
+        }
+        const Tick dispatch_time = std::max(now, dispatch_free_);
+        if (dispatch_time > now) {
+            next_wake = std::min(next_wake, dispatch_time);
+            break;
+        }
+        dispatch_free_ = dispatch_time +
+                         static_cast<Tick>(ninstr) * tpi;
+        dispatchOne(ref, dispatch_time);
+        trace_pos_ = (trace_pos_ + 1) % trace_->size();
+    }
+
+    if (next_wake != kTickInvalid)
+        scheduleEngineAt(next_wake);
+}
+
+void
+CoreModel::finish()
+{
+    done_ = true;
+    stats_.finish_tick = curTick();
+    // Loads still in flight keep their callbacks; the ROB entries stay
+    // until completion but nothing else commits. Clear bookkeeping so a
+    // later start() resumes cleanly once in-flight loads drain.
+    if (on_done_)
+        on_done_();
+}
+
+} // namespace emcc

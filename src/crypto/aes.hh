@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Functional AES (FIPS-197) used by the secure-memory data path.
+ *
+ * The simulator needs real cryptography in two places: (1) the functional
+ * secure-memory model, which actually encrypts, MACs, decrypts and
+ * verifies block contents so tests can demonstrate tamper detection, and
+ * (2) deterministic OTP/MAC values for property tests. Timing is modeled
+ * separately (crypto/aes_pool.hh); this class is purely functional.
+ *
+ * Implementation notes: byte-oriented, constant table S-box, no T-tables;
+ * this is a simulator, not a production cipher, so clarity wins over
+ * throughput (it still runs tens of MB/s, ample for tests and benches).
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace emcc {
+
+/** AES key sizes supported. */
+enum class AesKeySize { Aes128, Aes256 };
+
+/**
+ * AES block cipher, 128-bit block, 128- or 256-bit key.
+ */
+class Aes
+{
+  public:
+    static constexpr unsigned kBlockBytes = 16;
+
+    /** Construct with a key. @p key must have 16 (AES-128) or 32
+     *  (AES-256) bytes depending on @p size. */
+    Aes(const std::uint8_t *key, AesKeySize size);
+
+    /** Convenience: AES-128 from a 16-byte array. */
+    static Aes
+    aes128(const std::array<std::uint8_t, 16> &key)
+    {
+        return Aes(key.data(), AesKeySize::Aes128);
+    }
+
+    /** Convenience: AES-256 from a 32-byte array. */
+    static Aes
+    aes256(const std::array<std::uint8_t, 32> &key)
+    {
+        return Aes(key.data(), AesKeySize::Aes256);
+    }
+
+    /** Encrypt one 16-byte block (in and out may alias). */
+    void encryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+    /** Decrypt one 16-byte block (in and out may alias). */
+    void decryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+    unsigned rounds() const { return rounds_; }
+
+  private:
+    void expandKey(const std::uint8_t *key, unsigned key_words);
+
+    unsigned rounds_;
+    /// round keys: (rounds_+1) * 16 bytes
+    std::array<std::uint8_t, 16 * 15> round_keys_{};
+};
+
+} // namespace emcc

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Timing model of a pool of AES units.
+ *
+ * The paper (§V) provisions AES bandwidth as calculations/second: the
+ * whole CPU needs 2.6G AES/s at peak; EMCC moves half of the units to
+ * the four L2s, giving each L2 325M AES/s. We model a pool as a
+ * pipelined server with deterministic service interval
+ * 1/rate: operations are accepted one per interval and each completes
+ * `opLatency` after it enters the pipeline. That captures both the
+ * latency (14 ns for AES-128) and the queueing when L2-miss spikes
+ * exceed the provisioned bandwidth — the effect behind the paper's
+ * adaptive offload (§IV-D) and Figure 19.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace emcc {
+
+/** Configuration for one AES pool. */
+struct AesPoolConfig
+{
+    /** Aggregate throughput, AES ops per second. */
+    double ops_per_second = 2.6e9;
+    /** Latency of one AES calculation (pipeline depth), in ticks. */
+    Tick op_latency = nsToTicks(14.0);
+};
+
+/**
+ * Deterministic-service pipelined AES pool.
+ */
+class AesPool
+{
+  public:
+    explicit AesPool(AesPoolConfig cfg = {})
+        : cfg_(cfg),
+          interval_(static_cast<Tick>(1e12 / cfg.ops_per_second + 0.5))
+    {}
+
+    const AesPoolConfig &config() const { return cfg_; }
+
+    /** Ticks between successive operation starts at full throughput. */
+    Tick serviceInterval() const { return interval_; }
+
+    /**
+     * Projected queueing delay if one more operation were submitted now:
+     * how long it would wait before entering the pipeline.
+     */
+    Tick
+    queueDelay(Tick now) const
+    {
+        return next_free_ > now ? next_free_ - now : 0;
+    }
+
+    /**
+     * Submit @p n_ops back-to-back operations at time @p now.
+     * @return the tick at which the *last* of them completes.
+     */
+    Tick
+    submit(Tick now, unsigned n_ops = 1)
+    {
+        const Tick start = std::max(now, next_free_);
+        next_free_ = start + static_cast<Tick>(n_ops) * interval_;
+        ops_ += n_ops;
+        total_queue_delay_ += (start - now);
+        max_queue_delay_ = std::max(max_queue_delay_, start - now);
+        // Last op enters the pipeline at next_free_ - interval_.
+        return next_free_ - interval_ + cfg_.op_latency;
+    }
+
+    /** Total operations submitted. */
+    Count ops() const { return ops_; }
+
+    /** Mean queueing delay per submit batch, in ticks. */
+    Tick
+    totalQueueDelay() const
+    {
+        return total_queue_delay_;
+    }
+
+    Tick maxQueueDelay() const { return max_queue_delay_; }
+
+    void
+    reset()
+    {
+        ops_ = 0;
+        total_queue_delay_ = 0;
+        max_queue_delay_ = 0;
+    }
+
+  private:
+    AesPoolConfig cfg_;
+    Tick interval_;
+    Tick next_free_ = 0;
+    Count ops_ = 0;
+    Tick total_queue_delay_ = 0;
+    Tick max_queue_delay_ = 0;
+};
+
+} // namespace emcc

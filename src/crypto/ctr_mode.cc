@@ -1,0 +1,86 @@
+#include "crypto/ctr_mode.hh"
+
+#include <cstring>
+
+namespace emcc {
+
+std::uint64_t
+gf64Mul(std::uint64_t a, std::uint64_t b)
+{
+    // Carry-less multiply, reducing on the fly by the low part of the
+    // irreducible polynomial x^64 + x^4 + x^3 + x + 1 (0x1b).
+    std::uint64_t p = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (b & 1)
+            p ^= a;
+        b >>= 1;
+        const bool carry = (a >> 63) & 1;
+        a <<= 1;
+        if (carry)
+            a ^= 0x1bull;
+    }
+    return p;
+}
+
+void
+buildSeed(std::uint8_t tag, Addr addr, std::uint64_t counter, unsigned word,
+          std::uint8_t out[16])
+{
+    // Layout: [0] tag, [1..7] address (56b), [8] word index,
+    //         [9..15] counter (56b). Together with a per-system AES key
+    //         this makes every (tag, addr, counter, word) seed unique.
+    out[0] = tag;
+    for (int i = 0; i < 7; ++i)
+        out[1 + i] = static_cast<std::uint8_t>(addr >> (8 * i));
+    out[8] = static_cast<std::uint8_t>(word);
+    for (int i = 0; i < 7; ++i)
+        out[9 + i] = static_cast<std::uint8_t>(counter >> (8 * i));
+}
+
+void
+CounterModeCipher::otp(Addr addr, std::uint64_t counter, unsigned word,
+                       std::uint8_t out[16]) const
+{
+    std::uint8_t seed[16];
+    buildSeed(/*tag=*/0x01, addr, counter, word, seed);
+    aes_.encryptBlock(seed, out);
+}
+
+void
+CounterModeCipher::apply(Addr addr, std::uint64_t counter,
+                         const std::uint8_t in[64], std::uint8_t out[64]) const
+{
+    for (unsigned w = 0; w < 4; ++w) {
+        std::uint8_t pad[16];
+        otp(addr, counter, w, pad);
+        for (unsigned i = 0; i < 16; ++i)
+            out[16 * w + i] = static_cast<std::uint8_t>(in[16 * w + i] ^
+                                                        pad[i]);
+    }
+}
+
+std::uint64_t
+GfMac::dotProduct(const std::uint8_t block[64]) const
+{
+    std::uint64_t acc = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        std::uint64_t word;
+        std::memcpy(&word, block + 8 * i, 8);
+        acc ^= gf64Mul(word, gf_keys_[i]);
+    }
+    return acc;
+}
+
+std::uint64_t
+GfMac::aesPart(Addr addr, std::uint64_t counter) const
+{
+    std::uint8_t seed[16];
+    buildSeed(/*tag=*/0x02, addr, counter, /*word=*/0xff, seed);
+    std::uint8_t enc[16];
+    aes_.encryptBlock(seed, enc);
+    std::uint64_t v;
+    std::memcpy(&v, enc, 8);
+    return v;
+}
+
+} // namespace emcc

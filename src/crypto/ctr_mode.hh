@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Counter-mode memory encryption and the GF dot-product MAC of the
+ * paper's Figure 1.
+ *
+ * Encryption (Fig 1a): each 16-byte word i of a 64-byte block is XORed
+ * with OTP_i = AES_K(seed(addr, counter, i)); four OTPs per block.
+ * Decryption recomputes the same OTPs, so encrypt and decrypt are the
+ * same operation.
+ *
+ * MAC (Fig 1b): MAC = truncate56(AES_K(seed(addr, counter)) XOR
+ * dotProduct(words, gf_keys)), where the dot product is over GF(2^64).
+ * EMCC computes the dot product over *ciphertext* so that the MC can
+ * produce `MAC XOR dotProduct` without decrypting (paper §IV-D); both
+ * plaintext- and ciphertext-MAC modes are supported.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "crypto/aes.hh"
+
+namespace emcc {
+
+/** Carry-less multiplication in GF(2^64) mod x^64 + x^4 + x^3 + x + 1. */
+std::uint64_t gf64Mul(std::uint64_t a, std::uint64_t b);
+
+/** Mask selecting the low 56 bits (the paper's MAC/counter width). */
+inline constexpr std::uint64_t kMask56 = (1ull << 56) - 1;
+
+/**
+ * Counter-mode cipher for 64-byte memory blocks.
+ */
+class CounterModeCipher
+{
+  public:
+    explicit CounterModeCipher(const std::array<std::uint8_t, 16> &key)
+        : aes_(Aes::aes128(key))
+    {}
+
+    /** Compute OTP word @p word (0..3) for (addr, counter). */
+    void otp(Addr addr, std::uint64_t counter, unsigned word,
+             std::uint8_t out[16]) const;
+
+    /**
+     * Encrypt (or decrypt; the operation is an involution) a 64-byte
+     * block in place-or-copy: out[i] = in[i] XOR OTP bytes.
+     */
+    void apply(Addr addr, std::uint64_t counter, const std::uint8_t in[64],
+               std::uint8_t out[64]) const;
+
+  private:
+    Aes aes_;
+};
+
+/**
+ * 56-bit block MAC: AES over (addr, counter) XOR a GF(2^64) dot product
+ * of the block's eight 8-byte words with eight secret GF keys.
+ */
+class GfMac
+{
+  public:
+    GfMac(const std::array<std::uint8_t, 16> &aes_key,
+          const std::array<std::uint64_t, 8> &gf_keys)
+        : aes_(Aes::aes128(aes_key)), gf_keys_(gf_keys)
+    {}
+
+    /** GF(2^64) dot product of a 64-byte block with the key vector. */
+    std::uint64_t dotProduct(const std::uint8_t block[64]) const;
+
+    /** The counter-dependent AES half of the MAC, truncated to 64 bits. */
+    std::uint64_t aesPart(Addr addr, std::uint64_t counter) const;
+
+    /** Full 56-bit MAC over @p block (plaintext or ciphertext; the
+     *  caller picks which representation it MACs). */
+    std::uint64_t
+    compute(Addr addr, std::uint64_t counter,
+            const std::uint8_t block[64]) const
+    {
+        return (aesPart(addr, counter) ^ dotProduct(block)) & kMask56;
+    }
+
+  private:
+    Aes aes_;
+    std::array<std::uint64_t, 8> gf_keys_;
+};
+
+/**
+ * Build the 16-byte AES input seed from a domain tag, address, counter
+ * and word index (Fig 1's mu | address | word | counter layout).
+ */
+void buildSeed(std::uint8_t tag, Addr addr, std::uint64_t counter,
+               unsigned word, std::uint8_t out[16]);
+
+} // namespace emcc

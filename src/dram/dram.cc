@@ -1,0 +1,310 @@
+#include "dram/dram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace emcc {
+
+const char *
+memClassName(MemClass c)
+{
+    switch (c) {
+      case MemClass::Data: return "data";
+      case MemClass::Counter: return "counter";
+      case MemClass::OverflowL0: return "overflow-l0";
+      case MemClass::OverflowHi: return "overflow-hi";
+      default: return "?";
+    }
+}
+
+Count
+DramStats::readsAll() const
+{
+    Count n = 0;
+    for (auto r : reads)
+        n += r;
+    return n;
+}
+
+Count
+DramStats::writesAll() const
+{
+    Count n = 0;
+    for (auto w : writes)
+        n += w;
+    return n;
+}
+
+DramCoord
+DramAddressMapper::map(Addr addr) const
+{
+    const std::uint64_t blk = blockNumber(addr);
+    DramCoord c{};
+
+    if (cfg_.channels > 1) {
+        if (cfg_.paper_channel_bits && cfg_.channels == 8) {
+            // Paper §VI-D: bits 8..10 of the address select the channel.
+            c.channel = static_cast<unsigned>((addr >> 8) & 0x7);
+        } else {
+            c.channel = static_cast<unsigned>(blk % cfg_.channels);
+        }
+    } else {
+        c.channel = 0;
+    }
+
+    const std::uint64_t blocks_per_row = cfg_.row_bytes / kBlockBytes;
+    const std::uint64_t row_id = blk / blocks_per_row;
+    const unsigned total_banks = cfg_.ranks * cfg_.banks_per_rank;
+
+    // XOR-based bank hashing (Skylake-like, Table I): XOR low row bits
+    // into the bank index to spread strided streams across banks.
+    const std::uint64_t bank_hash = (row_id ^ (row_id >> 7)) % total_banks;
+    c.rank = static_cast<unsigned>(bank_hash / cfg_.banks_per_rank);
+    c.bank = static_cast<unsigned>(bank_hash % cfg_.banks_per_rank);
+    c.row = row_id / total_banks;
+    return c;
+}
+
+DramChannel::DramChannel(Simulator &sim, std::string name,
+                         const DramConfig &cfg, unsigned channel_id)
+    : Component(sim, std::move(name)), cfg_(cfg), channel_id_(channel_id)
+{
+    banks_.resize(static_cast<size_t>(cfg_.ranks) * cfg_.banks_per_rank);
+    rank_refresh_seen_.assign(cfg_.ranks, 0);
+}
+
+DramChannel::BankState &
+DramChannel::bank(const DramCoord &c)
+{
+    return banks_[static_cast<size_t>(c.rank) * cfg_.banks_per_rank + c.bank];
+}
+
+void
+DramChannel::applyRefresh(BankState &bk, const DramCoord &coord,
+                          Tick &cmd_start)
+{
+    if (cfg_.t_refi == 0)
+        return;
+    // Rank `r`'s n-th refresh window starts at n*tREFI + phase(r),
+    // n = 1, 2, ... (staggered phases spread ranks across the period).
+    const Tick phase = (cfg_.t_refi / cfg_.ranks) * coord.rank;
+    auto windows_before = [&](Tick t) -> Count {
+        return t > phase ? (t - phase) / cfg_.t_refi : 0;
+    };
+
+    // Account elapsed windows for this rank.
+    const Count seen = windows_before(cmd_start);
+    if (seen > rank_refresh_seen_[coord.rank]) {
+        stats_.refreshes += seen - rank_refresh_seen_[coord.rank];
+        rank_refresh_seen_[coord.rank] = seen;
+    }
+
+    // A refresh since the bank's last use closed its row.
+    if (bk.row_open && windows_before(cmd_start) >
+                           windows_before(bk.last_use)) {
+        bk.row_open = false;
+        bk.consecutive_hits = 0;
+    }
+
+    // If the command would land inside an in-progress window, stall it
+    // to the window's end.
+    const Count n = windows_before(cmd_start);
+    if (n > 0) {
+        const Tick window_start = n * cfg_.t_refi + phase;
+        if (cmd_start < window_start + cfg_.t_rfc)
+            cmd_start = window_start + cfg_.t_rfc;
+    }
+}
+
+bool
+DramChannel::enqueue(const DramRequest &req)
+{
+    auto &q = req.is_write ? write_q_ : read_q_;
+    if (q.size() >= cfg_.queue_entries) {
+        ++stats_.retries;
+        return false;
+    }
+    Pending p;
+    p.req = req;
+    p.coord = DramAddressMapper(cfg_).map(req.addr);
+    p.enqueue_tick = curTick();
+    q.push_back(std::move(p));
+    scheduleServiceCheck();
+    return true;
+}
+
+void
+DramChannel::scheduleServiceCheck()
+{
+    if (service_scheduled_)
+        return;
+    service_scheduled_ = true;
+    // Priority 1: run after same-tick enqueues so scheduling sees a
+    // complete queue picture.
+    sim().scheduleIn(0, [this] {
+        service_scheduled_ = false;
+        serviceLoop();
+    }, /*priority=*/1);
+}
+
+std::size_t
+DramChannel::pickNext(const std::deque<Pending> &q)
+{
+    if (q.empty())
+        return SIZE_MAX;
+    // FR-FCFS-Capped: oldest row-hit first, unless the target bank has
+    // already streamed frfcfs_cap consecutive hits; then oldest overall.
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        const auto &p = q[i];
+        auto &bk = bank(p.coord);
+        if (bk.row_open && bk.open_row == p.coord.row &&
+            bk.consecutive_hits < cfg_.frfcfs_cap) {
+            return i;
+        }
+    }
+    return 0; // oldest overall
+}
+
+Tick
+DramChannel::issue(Pending &p)
+{
+    auto &bk = bank(p.coord);
+    const Tick now = curTick();
+
+    Tick cmd_start = std::max(now, bk.ready_at);
+    applyRefresh(bk, p.coord, cmd_start);
+
+    // Close the row if it timed out while the bank sat idle.
+    if (bk.row_open && cmd_start > bk.last_use + cfg_.row_timeout) {
+        bk.row_open = false;
+        bk.consecutive_hits = 0;
+    }
+
+    Tick access_lat;
+    if (bk.row_open && bk.open_row == p.coord.row) {
+        ++stats_.row_hits;
+        access_lat = cfg_.t_cl;
+        ++bk.consecutive_hits;
+    } else if (!bk.row_open) {
+        ++stats_.row_misses;
+        access_lat = cfg_.t_rcd + cfg_.t_cl;
+        bk.consecutive_hits = 1;
+    } else {
+        ++stats_.row_conflicts;
+        access_lat = cfg_.t_rp + cfg_.t_rcd + cfg_.t_cl;
+        bk.consecutive_hits = 1;
+    }
+    bk.row_open = true;
+    bk.open_row = p.coord.row;
+
+    // The data burst must win the channel data bus.
+    const Tick burst = cfg_.burstTicks();
+    Tick data_start = std::max(cmd_start + access_lat, bus_free_at_);
+    const Tick data_end = data_start + burst;
+    bus_free_at_ = data_end;
+    stats_.bus_busy += burst;
+    bk.ready_at = data_end;
+    bk.last_use = data_end;
+
+    // Queueing delay: enqueue -> first DRAM command.
+    const double qdelay_ns = ticksToNs(cmd_start - p.enqueue_tick);
+    const double qdelay_clamped = std::max(qdelay_ns, 1.0);
+    const int cls = static_cast<int>(p.req.mclass);
+    if (p.req.is_write) {
+        ++stats_.writes[cls];
+        stats_.write_qdelay[cls] += qdelay_ns;
+        stats_.write_qdelay_log[cls] += std::log(qdelay_clamped);
+    } else {
+        ++stats_.reads[cls];
+        stats_.read_qdelay[cls] += qdelay_ns;
+        stats_.read_qdelay_log[cls] += std::log(qdelay_clamped);
+    }
+
+    if (p.req.on_complete) {
+        auto cb = p.req.on_complete;
+        sim().schedule(data_end, [cb, data_end] { cb(data_end); });
+    }
+    return data_end;
+}
+
+void
+DramChannel::serviceLoop()
+{
+    // Serve one request per data-bus slot. Issuing one request every
+    // burst time caps the channel at its physical bandwidth while
+    // letting ACT/PRE latencies of different banks overlap (issue()
+    // computes per-bank timing; the shared data bus serializes only the
+    // bursts). Read priority with write draining: writes are served
+    // while draining (queue above the high watermark) or when no reads
+    // are pending.
+    if (write_q_.size() >= cfg_.write_drain_hi)
+        draining_writes_ = true;
+    if (write_q_.size() <= cfg_.write_drain_lo)
+        draining_writes_ = false;
+
+    const bool serve_write =
+        !write_q_.empty() && (draining_writes_ || read_q_.empty());
+
+    std::deque<Pending> &q = serve_write ? write_q_ : read_q_;
+    if (q.empty())
+        return;
+
+    const std::size_t idx = pickNext(q);
+    Pending p = std::move(q[idx]);
+    q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+    issue(p);
+
+    if (!read_q_.empty() || !write_q_.empty()) {
+        service_scheduled_ = true;
+        sim().schedule(curTick() + cfg_.burstTicks(), [this] {
+            service_scheduled_ = false;
+            serviceLoop();
+        }, /*priority=*/1);
+    }
+}
+
+DramMemory::DramMemory(Simulator &sim, std::string name,
+                       const DramConfig &cfg)
+    : Component(sim, std::move(name)), cfg_(cfg), mapper_(cfg)
+{
+    fatal_if(cfg_.channels == 0, "DRAM with zero channels");
+    for (unsigned c = 0; c < cfg_.channels; ++c) {
+        channels_.push_back(std::make_unique<DramChannel>(
+            sim, this->name() + ".ch" + std::to_string(c), cfg_, c));
+    }
+}
+
+bool
+DramMemory::enqueue(const DramRequest &req)
+{
+    const DramCoord coord = mapper_.map(req.addr);
+    return channels_[coord.channel]->enqueue(req);
+}
+
+DramStats
+DramMemory::aggregateStats() const
+{
+    DramStats agg;
+    for (const auto &ch : channels_) {
+        const auto &s = ch->stats();
+        for (int i = 0; i < static_cast<int>(MemClass::NumClasses); ++i) {
+            agg.reads[i] += s.reads[i];
+            agg.writes[i] += s.writes[i];
+            agg.read_qdelay[i] += s.read_qdelay[i];
+            agg.write_qdelay[i] += s.write_qdelay[i];
+            agg.read_qdelay_log[i] += s.read_qdelay_log[i];
+            agg.write_qdelay_log[i] += s.write_qdelay_log[i];
+        }
+        agg.row_hits += s.row_hits;
+        agg.row_misses += s.row_misses;
+        agg.row_conflicts += s.row_conflicts;
+        agg.bus_busy += s.bus_busy;
+        agg.refreshes += s.refreshes;
+        agg.retries += s.retries;
+    }
+    return agg;
+}
+
+} // namespace emcc

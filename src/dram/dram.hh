@@ -1,0 +1,249 @@
+/**
+ * @file
+ * DDR4 memory model: channels, ranks, banks, a row buffer with the
+ * paper's 500 ns open-page timeout, FR-FCFS-Capped scheduling, read
+ * priority with write draining, and refresh.
+ *
+ * The model is request-granular: each 64-byte access issues the DRAM
+ * command sequence its bank state implies (row hit: CAS; closed row:
+ * ACT+CAS; conflict: PRE+ACT+CAS), occupies the channel data bus for one
+ * burst, and completes with a callback. Queueing delay — the Fig-22
+ * metric — is the time from entering the read/write queue to the first
+ * DRAM command being issued.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "sim/simulator.hh"
+
+namespace emcc {
+
+/** Traffic classes, for the paper's bandwidth/queueing breakdowns. */
+enum class MemClass : std::uint8_t
+{
+    Data = 0,       ///< normal program data
+    Counter,        ///< counter blocks and integrity-tree nodes
+    OverflowL0,     ///< level-0 (data page) re-encryption traffic
+    OverflowHi,     ///< level-1-and-up re-encryption traffic
+    NumClasses,
+};
+
+const char *memClassName(MemClass c);
+
+/** One memory request as the DRAM controller sees it. */
+struct DramRequest
+{
+    Addr addr = 0;
+    bool is_write = false;
+    MemClass mclass = MemClass::Data;
+    /** Called at data-available time (reads) / write completion. */
+    std::function<void(Tick)> on_complete;
+};
+
+/** Table-I DDR4 timing and organization parameters. */
+struct DramConfig
+{
+    unsigned channels = 1;
+    unsigned ranks = 8;
+    unsigned banks_per_rank = 16;
+    std::uint64_t capacity_bytes = 128_GiB;
+    std::uint64_t row_bytes = 8_KiB;
+
+    double data_rate_gtps = 3.2;    ///< giga-transfers per second
+    unsigned bus_bytes = 8;         ///< 64-bit data bus
+
+    Tick t_cl = nsToTicks(13.75);
+    Tick t_rcd = nsToTicks(13.75);
+    Tick t_rp = nsToTicks(13.75);
+    Tick t_rfc = nsToTicks(350.0);
+    Tick t_refi = nsToTicks(7800.0);
+    Tick row_timeout = nsToTicks(500.0);   ///< open-page close timeout
+
+    unsigned queue_entries = 256;   ///< read queue and write queue, each
+    unsigned frfcfs_cap = 4;        ///< max consecutive row hits per bank
+    unsigned write_drain_hi = 192;  ///< start draining writes above this
+    unsigned write_drain_lo = 64;   ///< stop draining below this
+
+    /** Use the paper's 8-channel mapping (addr bits 8..10) when
+     *  channels == 8; otherwise XOR-fold mapping. */
+    bool paper_channel_bits = true;
+
+    /** Time to transfer one 64-byte burst. */
+    Tick
+    burstTicks() const
+    {
+        const double beats = static_cast<double>(kBlockBytes) / bus_bytes;
+        return nsToTicks(beats / data_rate_gtps);
+    }
+
+    /** Peak bandwidth in bytes/second for all channels. */
+    double
+    peakBytesPerSec() const
+    {
+        return data_rate_gtps * 1e9 * bus_bytes * channels;
+    }
+};
+
+/** Address decomposition for one request. */
+struct DramCoord
+{
+    unsigned channel;
+    unsigned rank;
+    unsigned bank;
+    std::uint64_t row;
+};
+
+/**
+ * Address mapper: XOR-based (Skylake-like, per Table I) bank hashing;
+ * channel selection from bits 8..10 in the paper's 8-channel mode.
+ */
+class DramAddressMapper
+{
+  public:
+    explicit DramAddressMapper(const DramConfig &cfg) : cfg_(cfg) {}
+
+    DramCoord map(Addr addr) const;
+
+  private:
+    DramConfig cfg_;
+};
+
+/** Per-controller statistics. */
+struct DramStats
+{
+    Count reads[static_cast<int>(MemClass::NumClasses)] = {};
+    Count writes[static_cast<int>(MemClass::NumClasses)] = {};
+    /// queueing delay sums (ticks), split read/write x class
+    double read_qdelay[static_cast<int>(MemClass::NumClasses)] = {};
+    double write_qdelay[static_cast<int>(MemClass::NumClasses)] = {};
+    /// log-sums for geometric-mean queueing delay (Fig 22); delays are
+    /// clamped below at 1 ns so empty-queue accesses stay meaningful
+    double read_qdelay_log[static_cast<int>(MemClass::NumClasses)] = {};
+    double write_qdelay_log[static_cast<int>(MemClass::NumClasses)] = {};
+    Count row_hits = 0;
+    Count row_misses = 0;      ///< closed row
+    Count row_conflicts = 0;   ///< wrong row open
+    Tick bus_busy = 0;         ///< total data-bus occupancy
+    Count refreshes = 0;
+    Count retries = 0;         ///< enqueue rejections (queue full)
+
+    Count readsAll() const;
+    Count writesAll() const;
+};
+
+/**
+ * One DRAM channel: its own queues, banks and data bus.
+ */
+class DramChannel : public Component
+{
+  public:
+    DramChannel(Simulator &sim, std::string name, const DramConfig &cfg,
+                unsigned channel_id);
+
+    /** Try to enqueue; returns false when the relevant queue is full. */
+    bool enqueue(const DramRequest &req);
+
+    std::size_t readQueueDepth() const { return read_q_.size(); }
+    std::size_t writeQueueDepth() const { return write_q_.size(); }
+
+    const DramStats &stats() const { return stats_; }
+    DramStats &stats() { return stats_; }
+
+    /** Zero the statistics (bank/queue state untouched). */
+    void resetStats() { stats_ = DramStats{}; }
+
+  private:
+    struct Pending
+    {
+        DramRequest req;
+        DramCoord coord;
+        Tick enqueue_tick;
+    };
+
+    struct BankState
+    {
+        bool row_open = false;
+        std::uint64_t open_row = 0;
+        Tick ready_at = 0;          ///< earliest next command
+        Tick last_use = 0;
+        unsigned consecutive_hits = 0;
+    };
+
+    BankState &bank(const DramCoord &c);
+    void scheduleServiceCheck();
+    void serviceLoop();
+    /** Pick the next request index from @p q under FR-FCFS-Capped, or
+     *  SIZE_MAX if the queue is empty. */
+    std::size_t pickNext(const std::deque<Pending> &q);
+    /** Issue one request; returns the data-finished tick. */
+    Tick issue(Pending &p);
+    /**
+     * Lazily apply refresh: staggered per-rank tRFC windows every
+     * tREFI. Adjusts @p cmd_start past any in-progress window, closes
+     * the row if a refresh elapsed since the bank's last use, and
+     * accounts elapsed windows. Lazy evaluation (instead of a periodic
+     * event) keeps the event queue empty when the channel is idle.
+     */
+    void applyRefresh(BankState &bk, const DramCoord &coord,
+                      Tick &cmd_start);
+
+    DramConfig cfg_;
+    unsigned channel_id_;
+    std::deque<Pending> read_q_;
+    std::deque<Pending> write_q_;
+    bool draining_writes_ = false;
+    Tick bus_free_at_ = 0;
+    std::vector<BankState> banks_;
+    /// per-rank count of refresh windows already accounted in stats
+    std::vector<Count> rank_refresh_seen_;
+    bool service_scheduled_ = false;
+    DramStats stats_;
+};
+
+/**
+ * The memory device: routes requests to channels by the address mapper.
+ */
+class DramMemory : public Component
+{
+  public:
+    DramMemory(Simulator &sim, std::string name, const DramConfig &cfg);
+
+    const DramConfig &config() const { return cfg_; }
+
+    bool enqueue(const DramRequest &req);
+
+    /** Aggregated statistics across channels. */
+    DramStats aggregateStats() const;
+
+    /** Zero statistics on every channel. */
+    void
+    resetStats()
+    {
+        for (auto &ch : channels_)
+            ch->resetStats();
+    }
+
+    const DramChannel &channel(unsigned i) const { return *channels_.at(i); }
+    DramChannel &channel(unsigned i) { return *channels_.at(i); }
+    unsigned numChannels() const
+    {
+        return static_cast<unsigned>(channels_.size());
+    }
+
+  private:
+    DramConfig cfg_;
+    DramAddressMapper mapper_;
+    std::vector<std::unique_ptr<DramChannel>> channels_;
+};
+
+} // namespace emcc

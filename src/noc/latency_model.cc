@@ -1,0 +1,80 @@
+#include "noc/latency_model.hh"
+
+#include "common/log.hh"
+
+namespace emcc {
+
+NocLatencyModel::NocLatencyModel(const MeshTopology &mesh, NocConfig cfg)
+    : mesh_(mesh), cfg_(cfg)
+{
+    rebuildPairLatencies();
+}
+
+void
+NocLatencyModel::rebuildPairLatencies()
+{
+    pair_two_way_ns_.clear();
+    pair_two_way_ns_.reserve(
+        static_cast<size_t>(mesh_.numCores()) * mesh_.numSlices());
+    double sum = 0.0;
+    for (int c = 0; c < mesh_.numCores(); ++c) {
+        for (int s = 0; s < mesh_.numSlices(); ++s) {
+            const double two_way = 2.0 * coreToSliceNs(c, s);
+            pair_two_way_ns_.push_back(two_way);
+            sum += two_way;
+        }
+    }
+    mean_two_way_ns_ = sum / static_cast<double>(pair_two_way_ns_.size());
+}
+
+double
+NocLatencyModel::meanOneWayNs() const
+{
+    return mean_two_way_ns_ / 2.0;
+}
+
+double
+NocLatencyModel::meanLlcHitNs() const
+{
+    return cfg_.l2_miss_ns + mean_two_way_ns_ + cfg_.slice_sram_ns;
+}
+
+Histogram
+NocLatencyModel::llcHitDistribution(double bin_ns) const
+{
+    // Bin edges wide enough for any sane calibration.
+    Histogram h(0.0, 64.0, static_cast<unsigned>(64.0 / bin_ns));
+    for (int c = 0; c < mesh_.numCores(); ++c)
+        for (int s = 0; s < mesh_.numSlices(); ++s)
+            h.add(llcHitLatencyNs(c, s));
+    return h;
+}
+
+double
+NocLatencyModel::sampleTwoWayNs(Rng &rng) const
+{
+    const auto idx = rng.below(pair_two_way_ns_.size());
+    return pair_two_way_ns_[static_cast<size_t>(idx)];
+}
+
+void
+NocLatencyModel::calibrateMeanOneWay(double target_ns)
+{
+    // mean one-way = base + perHop * meanHops  =>  solve for perHop.
+    double hop_sum = 0.0;
+    Count n = 0;
+    for (int c = 0; c < mesh_.numCores(); ++c) {
+        for (int s = 0; s < mesh_.numSlices(); ++s) {
+            hop_sum += mesh_.hopsCoreToSlice(c, s);
+            ++n;
+        }
+    }
+    const double mean_hops = hop_sum / static_cast<double>(n);
+    fatal_if(mean_hops <= 0.0, "degenerate mesh: zero mean hops");
+    fatal_if(target_ns <= cfg_.base_ns,
+             "target one-way latency below base latency");
+    cfg_.per_hop_ns = (target_ns - cfg_.base_ns) / mean_hops;
+    rebuildPairLatencies();
+}
+
+} // namespace emcc

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * NoC latency model layered on the mesh geometry.
+ *
+ * The paper measures (Fig 3) LLC hit latency between 16 and 29 ns with a
+ * 23 ns mean on a 28-core Xeon, and derives (Appendix) a mean one-way
+ * NoC latency of 7.5 ns and a 4 ns LLC-slice SRAM latency. We reproduce
+ * those numbers from geometry: one-way latency = base + perHop * hops,
+ * with the defaults calibrated so that the mean over all (core, slice)
+ * pairs is 7.5 ns.
+ *
+ * The full-system timing model (Table I) uses fixed *additive* L3 and
+ * memory latencies plus a per-access non-uniform delta sampled from this
+ * distribution, exactly like the paper's modified gem5 classic model.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/histogram.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "noc/mesh.hh"
+
+namespace emcc {
+
+/** Tunables for the mesh latency model. */
+struct NocConfig
+{
+    double base_ns = 4.0;      ///< per-message ingress/egress + serialization
+    double per_hop_ns = 1.0;   ///< per-router-hop latency
+    double slice_sram_ns = 4.0; ///< LLC slice tag+data SRAM access
+    double l2_miss_ns = 4.0;   ///< L2 lookup component under L2 miss
+};
+
+/**
+ * Latency queries and the Fig-3 distribution. All results are in
+ * nanoseconds; callers convert to ticks at the boundary.
+ */
+class NocLatencyModel
+{
+  public:
+    NocLatencyModel(const MeshTopology &mesh, NocConfig cfg = {});
+
+    const MeshTopology &mesh() const { return mesh_; }
+    const NocConfig &config() const { return cfg_; }
+
+    /** One-way NoC latency for a message traversing @p hops hops. */
+    double
+    oneWayNs(int hops) const
+    {
+        return cfg_.base_ns + cfg_.per_hop_ns * hops;
+    }
+
+    double
+    coreToSliceNs(int core, int slice) const
+    {
+        return oneWayNs(mesh_.hopsCoreToSlice(core, slice));
+    }
+
+    double
+    sliceToMcNs(int slice, int mc) const
+    {
+        return oneWayNs(mesh_.hopsSliceToMc(slice, mc));
+    }
+
+    /**
+     * Total LLC hit latency as the pointer-chasing microbenchmark in the
+     * paper sees it: L2 miss lookup + two-way NoC + slice SRAM.
+     */
+    double
+    llcHitLatencyNs(int core, int slice) const
+    {
+        return cfg_.l2_miss_ns + 2.0 * coreToSliceNs(core, slice) +
+               cfg_.slice_sram_ns;
+    }
+
+    /** "Direct LLC Latency" (paper §III-B): LLC hit latency minus the
+     *  L2 lookup component. */
+    double
+    directLlcLatencyNs(int core, int slice) const
+    {
+        return llcHitLatencyNs(core, slice) - cfg_.l2_miss_ns;
+    }
+
+    /** Mean one-way NoC latency over all (core, slice) pairs. */
+    double meanOneWayNs() const;
+
+    /** Mean LLC hit latency over all (core, slice) pairs. */
+    double meanLlcHitNs() const;
+
+    /**
+     * The Fig-3 distribution: histogram of LLC hit latency with every
+     * (core, slice) pair weighted equally (a uniform address stream hits
+     * slices uniformly).
+     */
+    Histogram llcHitDistribution(double bin_ns = 1.0) const;
+
+    /**
+     * Sample a two-way NoC latency for a random (core, slice) pair.
+     * Used by the timing model's non-uniform delta.
+     */
+    double sampleTwoWayNs(Rng &rng) const;
+
+    /**
+     * Sample the non-uniform *delta* around the mean two-way latency
+     * (can be negative). Adding this to a fixed mean-latency parameter
+     * reproduces the paper's non-uniform NoC component.
+     */
+    double
+    sampleDeltaNs(Rng &rng) const
+    {
+        return sampleTwoWayNs(rng) - mean_two_way_ns_;
+    }
+
+    double meanTwoWayNs() const { return mean_two_way_ns_; }
+
+    /**
+     * Calibrate perHop so that the mean one-way latency over all
+     * (core, slice) pairs equals @p target_ns, holding base fixed.
+     */
+    void calibrateMeanOneWay(double target_ns);
+
+  private:
+    void rebuildPairLatencies();
+
+    const MeshTopology &mesh_;
+    NocConfig cfg_;
+    /// two-way NoC latency for every (core, slice) pair, for sampling
+    std::vector<double> pair_two_way_ns_;
+    double mean_two_way_ns_ = 0.0;
+};
+
+} // namespace emcc

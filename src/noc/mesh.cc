@@ -1,0 +1,127 @@
+#include "noc/mesh.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace emcc {
+
+MeshTopology::MeshTopology(int cols, int rows, int num_mcs)
+    : cols_(cols), rows_(rows)
+{
+    fatal_if(cols < 2 || rows < 1, "mesh must be at least 2x1");
+    fatal_if(num_mcs < 0 || num_mcs > rows,
+             "at most one MC per row is supported");
+
+    grid_.assign(static_cast<size_t>(cols_ * rows_), 0);
+
+    // Place MCs on alternating left/right edges of interior rows, like
+    // Figure 4 (MC1 at row 1 left edge, MC2 at row 3 right edge).
+    std::vector<std::pair<int,int>> mc_pos;
+    for (int m = 0; m < num_mcs; ++m) {
+        const int row = 1 + 2 * m < rows_ ? 1 + 2 * m : rows_ - 1 - m;
+        const int col = (m % 2 == 0) ? 0 : cols_ - 1;
+        mc_pos.emplace_back(col, row);
+    }
+
+    auto is_mc_pos = [&](int c, int r) {
+        for (size_t m = 0; m < mc_pos.size(); ++m)
+            if (mc_pos[m].first == c && mc_pos[m].second == r)
+                return static_cast<int>(m);
+        return -1;
+    };
+
+    for (int r = 0; r < rows_; ++r) {
+        for (int c = 0; c < cols_; ++c) {
+            const int mc = is_mc_pos(c, r);
+            if (mc >= 0) {
+                mc_tiles_.push_back(
+                    MeshTile{TileKind::MemCtrl, c, r, mc});
+                grid_[static_cast<size_t>(r * cols_ + c)] = -1 - mc;
+            } else {
+                const int idx = static_cast<int>(core_tiles_.size());
+                core_tiles_.push_back(
+                    MeshTile{TileKind::CoreSlice, c, r, idx});
+                grid_[static_cast<size_t>(r * cols_ + c)] = idx;
+            }
+        }
+    }
+}
+
+int
+MeshTopology::nearestMcToSlice(int slice) const
+{
+    int best = 0;
+    int best_hops = hopsSliceToMc(slice, 0);
+    for (int m = 1; m < numMcs(); ++m) {
+        const int h = hopsSliceToMc(slice, m);
+        if (h < best_hops) {
+            best_hops = h;
+            best = m;
+        }
+    }
+    return best;
+}
+
+int
+MeshTopology::sliceForAddr(Addr addr) const
+{
+    // XOR-fold the block number, then mod by slice count. The fold keeps
+    // the map well distributed even for strided streams.
+    std::uint64_t x = blockNumber(addr);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return static_cast<int>(x % static_cast<std::uint64_t>(numSlices()));
+}
+
+int
+MeshTopology::mcForAddr(Addr addr) const
+{
+    if (numMcs() <= 1)
+        return 0;
+    std::uint64_t x = blockNumber(addr);
+    x ^= x >> 17;
+    return static_cast<int>(x % static_cast<std::uint64_t>(numMcs()));
+}
+
+std::vector<std::pair<int,int>>
+MeshTopology::route(const MeshTile &from, const MeshTile &to) const
+{
+    std::vector<std::pair<int,int>> path;
+    int c = from.col, r = from.row;
+    path.emplace_back(c, r);
+    while (c != to.col) {
+        c += (to.col > c) ? 1 : -1;
+        path.emplace_back(c, r);
+    }
+    while (r != to.row) {
+        r += (to.row > r) ? 1 : -1;
+        path.emplace_back(c, r);
+    }
+    return path;
+}
+
+std::string
+MeshTopology::render() const
+{
+    std::ostringstream os;
+    char buf[32];
+    for (int r = 0; r < rows_; ++r) {
+        for (int c = 0; c < cols_; ++c) {
+            const int v = grid_[static_cast<size_t>(r * cols_ + c)];
+            if (v >= 0) {
+                std::snprintf(buf, sizeof(buf), "C%-2d-L2-LS ", v);
+            } else {
+                std::snprintf(buf, sizeof(buf), "[ MC%d ]   ", -v - 1 + 1);
+            }
+            os << buf;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace emcc

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Network-on-chip mesh geometry modeled after the paper's Figure 4:
+ * a 6x5 mesh holding 28 core tiles (each with a private L2 and an LLC
+ * slice) plus two memory-controller tiles (MC1 on the left edge of row 1,
+ * MC2 on the right edge of row 3), i.e. the Intel Xeon W-3175X layout the
+ * paper measured.
+ *
+ * Routing is dimension-ordered (XY); a message's hop count is the
+ * Manhattan distance between tiles. Latency modeling on top of this
+ * geometry lives in noc/latency_model.hh.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace emcc {
+
+/** What occupies a mesh tile. */
+enum class TileKind : std::uint8_t
+{
+    CoreSlice,   ///< core + private L2 + one LLC slice ("C n L2 LS")
+    MemCtrl,     ///< a memory controller
+};
+
+/** One tile of the mesh. */
+struct MeshTile
+{
+    TileKind kind;
+    int col;
+    int row;
+    /// Core/slice index for CoreSlice tiles, MC index for MemCtrl tiles.
+    int index;
+};
+
+/**
+ * The 6x5 mesh of Figure 4. Provides coordinate lookup, hop counts and
+ * route enumeration for core tiles and MC tiles.
+ */
+class MeshTopology
+{
+  public:
+    /**
+     * Build the default paper topology: @p cols x @p rows grid with
+     * @p num_mcs MC tiles placed on alternating left/right edges, the
+     * remaining tiles being core+slice tiles.
+     */
+    MeshTopology(int cols = 6, int rows = 5, int num_mcs = 2);
+
+    int cols() const { return cols_; }
+    int rows() const { return rows_; }
+    int numCores() const { return static_cast<int>(core_tiles_.size()); }
+    int numSlices() const { return numCores(); }
+    int numMcs() const { return static_cast<int>(mc_tiles_.size()); }
+
+    const MeshTile &coreTile(int core) const { return core_tiles_.at(core); }
+    const MeshTile &sliceTile(int s) const { return core_tiles_.at(s); }
+    const MeshTile &mcTile(int mc) const { return mc_tiles_.at(mc); }
+
+    /** Manhattan hop distance between two tiles. */
+    static int
+    hops(const MeshTile &a, const MeshTile &b)
+    {
+        return std::abs(a.col - b.col) + std::abs(a.row - b.row);
+    }
+
+    int
+    hopsCoreToSlice(int core, int slice) const
+    {
+        return hops(coreTile(core), sliceTile(slice));
+    }
+
+    int
+    hopsSliceToMc(int slice, int mc) const
+    {
+        return hops(sliceTile(slice), mcTile(mc));
+    }
+
+    int
+    hopsCoreToMc(int core, int mc) const
+    {
+        return hops(coreTile(core), mcTile(mc));
+    }
+
+    /** Nearest MC (by hops) to a given slice; ties go to the lower index. */
+    int nearestMcToSlice(int slice) const;
+
+    /**
+     * Static address-to-LLC-slice mapping: an XOR-fold hash of the block
+     * number, mirroring the fixed hash real CPUs use so that one address
+     * always maps to one slice.
+     */
+    int sliceForAddr(Addr addr) const;
+
+    /** MC owning an address: low-order block-number bit fold over MCs. */
+    int mcForAddr(Addr addr) const;
+
+    /**
+     * XY route between two tiles as a list of (col,row) waypoints,
+     * inclusive of both endpoints. Used by the Fig-4 route printer.
+     */
+    std::vector<std::pair<int,int>>
+    route(const MeshTile &from, const MeshTile &to) const;
+
+    /** ASCII rendering of the mesh (for the Fig-4 bench and debugging). */
+    std::string render() const;
+
+  private:
+    int cols_;
+    int rows_;
+    std::vector<MeshTile> core_tiles_;
+    std::vector<MeshTile> mc_tiles_;
+    /// tile index grid: >=0 core index, -1-mcIndex for MCs
+    std::vector<int> grid_;
+};
+
+} // namespace emcc

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Physical layout of secure-memory metadata and the integrity tree.
+ *
+ * Layout: data occupies [0, data_bytes); counter blocks follow at
+ * counterBase(); integrity-tree levels follow above that, one contiguous
+ * region per level, up to (but not including) the root, which lives
+ * on-chip in a register and is never fetched from DRAM.
+ *
+ * Tree geometry: level 0 is the counter blocks themselves. A level-k
+ * node (k >= 1) covers `arity` level-(k-1) nodes, where arity equals the
+ * counter design's blocks-per-counter-block (SC-64: 64, Morphable: 128),
+ * because a tree node is itself one counter block's worth of counters.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+#include "secmem/counter_design.hh"
+
+namespace emcc {
+
+/** Metadata address map for one protected-memory region. */
+class MetadataMap
+{
+  public:
+    /**
+     * @param design     the counter organization in use
+     * @param data_bytes size of the protected data region (from 0)
+     */
+    MetadataMap(const CounterDesign &design, std::uint64_t data_bytes)
+        : coverage_(design.coverageBytes()),
+          arity_(design.blocksPerCounterBlock()),
+          data_bytes_(data_bytes)
+    {
+        fatal_if(data_bytes_ == 0, "empty protected region");
+        // Number of counter blocks (level 0).
+        std::uint64_t n = (data_bytes_ + coverage_ - 1) / coverage_;
+        level_base_.push_back(data_bytes_);
+        level_count_.push_back(n);
+        // Build levels until a single (on-chip) root would cover all.
+        while (n > 1) {
+            n = (n + arity_ - 1) / arity_;
+            level_base_.push_back(level_base_.back() +
+                                  level_count_.back() * kBlockBytes);
+            level_count_.push_back(n);
+        }
+        // The last level (count 1..arity) is protected by the on-chip
+        // root register, so the walk stops there.
+    }
+
+    /** Is this physical address in the data region? */
+    bool isData(Addr a) const { return a < data_bytes_; }
+
+    /** Number of tree levels stored in DRAM (level 0 = counter blocks). */
+    unsigned
+    numLevels() const
+    {
+        return static_cast<unsigned>(level_base_.size());
+    }
+
+    /** Physical address of the counter block covering @p data_addr. */
+    Addr
+    counterBlockAddr(Addr data_addr) const
+    {
+        panic_if(!isData(data_addr), "counterBlockAddr of non-data address");
+        return level_base_[0] + (data_addr / coverage_) * kBlockBytes;
+    }
+
+    /**
+     * Physical address of the level-@p level tree node protecting the
+     * metadata for @p data_addr. level 1 protects the counter block.
+     */
+    Addr
+    treeNodeAddr(unsigned level, Addr data_addr) const
+    {
+        panic_if(level == 0 || level >= numLevels(),
+                 "treeNodeAddr level %u out of range", level);
+        std::uint64_t idx = data_addr / coverage_;   // counter block index
+        for (unsigned l = 1; l <= level; ++l)
+            idx /= arity_;
+        return level_base_[level] + idx * kBlockBytes;
+    }
+
+    /** Which metadata level a physical address belongs to, or -1 for
+     *  data. Level 0 = counter block, 1.. = tree. */
+    int
+    levelOf(Addr a) const
+    {
+        if (isData(a))
+            return -1;
+        for (unsigned l = 0; l < numLevels(); ++l) {
+            const Addr base = level_base_[l];
+            const Addr end = base + level_count_[l] * kBlockBytes;
+            if (a >= base && a < end)
+                return static_cast<int>(l);
+        }
+        return -2;   // out of every region (caller bug)
+    }
+
+    std::uint64_t levelCount(unsigned l) const { return level_count_.at(l); }
+    Addr levelBase(unsigned l) const { return level_base_.at(l); }
+
+    /** Total bytes of metadata (counters + all tree levels). */
+    std::uint64_t
+    metadataBytes() const
+    {
+        std::uint64_t total = 0;
+        for (auto c : level_count_)
+            total += c * kBlockBytes;
+        return total;
+    }
+
+    std::uint64_t dataBytes() const { return data_bytes_; }
+    unsigned arity() const { return arity_; }
+
+  private:
+    std::uint64_t coverage_;
+    unsigned arity_;
+    std::uint64_t data_bytes_;
+    std::vector<Addr> level_base_;
+    std::vector<std::uint64_t> level_count_;
+};
+
+} // namespace emcc

@@ -1,0 +1,178 @@
+#include "secmem/secure_memory.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace emcc {
+
+SecureMemoryKeys
+SecureMemoryKeys::testKeys(std::uint64_t seed)
+{
+    SecureMemoryKeys k{};
+    Rng rng(seed);
+    for (auto &b : k.encryption_key)
+        b = static_cast<std::uint8_t>(rng.next());
+    for (auto &b : k.mac_key)
+        b = static_cast<std::uint8_t>(rng.next());
+    for (auto &g : k.gf_keys)
+        g = rng.next() | 1;   // keep GF keys non-zero
+    return k;
+}
+
+SecureMemory::SecureMemory(CounterDesignKind design,
+                           const SecureMemoryKeys &keys,
+                           bool mac_over_ciphertext)
+    : design_(CounterDesign::create(design)),
+      cipher_(keys.encryption_key),
+      mac_(keys.mac_key, keys.gf_keys),
+      mac_over_ciphertext_(mac_over_ciphertext)
+{}
+
+std::uint64_t
+SecureMemory::computeMac(Addr addr, std::uint64_t counter,
+                         const std::uint8_t cipher[64],
+                         const std::uint8_t plain[64]) const
+{
+    return mac_.compute(addr, counter,
+                        mac_over_ciphertext_ ? cipher : plain);
+}
+
+void
+SecureMemory::write(Addr addr, const std::uint8_t data[64])
+{
+    addr = blockAlign(addr);
+    const auto result = design_->bumpCounter(addr);
+    if (result.overflow)
+        reencryptRegion(addr);
+
+    const std::uint64_t ctr = design_->counterValue(addr);
+    Entry e;
+    cipher_.apply(addr, ctr, data, e.cipher.data());
+    e.mac = computeMac(addr, ctr, e.cipher.data(), data);
+    e.counter = ctr;
+    store_[addr] = e;
+}
+
+void
+SecureMemory::reencryptRegion(Addr data_addr)
+{
+    // The overflow already reset the counter block's minors; every
+    // covered block that exists in the store must be re-encrypted under
+    // its new counter value (decrypting with the value recorded at its
+    // last encryption).
+    const std::uint64_t coverage = design_->coverageBytes();
+    const Addr region_base = (data_addr / coverage) * coverage;
+    for (Addr a = region_base; a < region_base + coverage; a += kBlockBytes) {
+        auto it = store_.find(a);
+        if (it == store_.end())
+            continue;
+        Entry &e = it->second;
+        std::uint8_t plain[64];
+        cipher_.apply(a, e.counter, e.cipher.data(), plain);
+        // Re-encryption reads each block through the normal verified
+        // path: a block that fails its MAC here is a detected integrity
+        // violation (hardware would interrupt) — mark it poisoned so it
+        // can never silently re-enter circulation with a fresh MAC.
+        const std::uint64_t old_mac =
+            computeMac(a, e.counter, e.cipher.data(), plain);
+        if (old_mac != e.mac)
+            e.poisoned = true;
+        const std::uint64_t new_ctr = design_->counterValue(a);
+        cipher_.apply(a, new_ctr, plain, e.cipher.data());
+        e.mac = computeMac(a, new_ctr, e.cipher.data(), plain);
+        e.counter = new_ctr;
+    }
+}
+
+SecureReadResult
+SecureMemory::read(Addr addr, std::uint8_t out[64]) const
+{
+    addr = blockAlign(addr);
+    auto it = store_.find(addr);
+    if (it == store_.end()) {
+        std::memset(out, 0, 64);
+        return {false, false};
+    }
+    const Entry &e = it->second;
+    // Hardware derives the counter from the counter block, not from the
+    // stored entry; the two must agree if the metadata path is correct.
+    const std::uint64_t ctr = design_->counterValue(addr);
+    cipher_.apply(addr, ctr, e.cipher.data(), out);
+    const std::uint64_t expect = computeMac(addr, ctr, e.cipher.data(), out);
+    return {true, expect == e.mac && !e.poisoned};
+}
+
+std::optional<std::uint64_t>
+SecureMemory::macXorDot(Addr addr) const
+{
+    addr = blockAlign(addr);
+    auto it = store_.find(addr);
+    if (it == store_.end() || !mac_over_ciphertext_)
+        return std::nullopt;
+    return it->second.mac ^ (mac_.dotProduct(it->second.cipher.data()) &
+                             kMask56);
+}
+
+std::uint64_t
+SecureMemory::macAesPart(Addr addr) const
+{
+    addr = blockAlign(addr);
+    return mac_.aesPart(addr, design_->counterValue(addr)) & kMask56;
+}
+
+const std::uint8_t *
+SecureMemory::ciphertext(Addr addr) const
+{
+    auto it = store_.find(blockAlign(addr));
+    return it == store_.end() ? nullptr : it->second.cipher.data();
+}
+
+void
+SecureMemory::tamperCiphertext(Addr addr, unsigned byte,
+                               std::uint8_t xor_mask)
+{
+    auto it = store_.find(blockAlign(addr));
+    panic_if(it == store_.end(), "tampering an unwritten block");
+    it->second.cipher[byte % 64] ^= xor_mask;
+}
+
+void
+SecureMemory::tamperMac(Addr addr, std::uint64_t xor_mask)
+{
+    auto it = store_.find(blockAlign(addr));
+    panic_if(it == store_.end(), "tampering an unwritten block");
+    it->second.mac ^= xor_mask & kMask56;
+}
+
+bool
+SecureMemory::snapshot(Addr addr)
+{
+    addr = blockAlign(addr);
+    auto it = store_.find(addr);
+    if (it == store_.end())
+        return false;
+    snapshots_[addr] = it->second;
+    return true;
+}
+
+bool
+SecureMemory::replay(Addr addr)
+{
+    addr = blockAlign(addr);
+    auto snap = snapshots_.find(addr);
+    if (snap == snapshots_.end())
+        return false;
+    // A physical attacker can restore old ciphertext and MAC, but has no
+    // access to the on-chip counter state — exactly the replay scenario
+    // counters defend against.
+    auto it = store_.find(addr);
+    if (it == store_.end())
+        return false;
+    it->second.cipher = snap->second.cipher;
+    it->second.mac = snap->second.mac;
+    return true;
+}
+
+} // namespace emcc

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Functional secure-memory model: a backing store whose contents are
+ * really encrypted and MAC-protected, with counters supplied by a
+ * CounterDesign.
+ *
+ * This is the correctness half of the reproduction: it demonstrates the
+ * full Figure-1 data path (counter-mode encryption, GF dot-product MAC,
+ * verification, tamper and replay detection) and that split-counter
+ * overflow re-encryption preserves data. The timing half lives in the
+ * system model; both share the same counter state logic.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "crypto/ctr_mode.hh"
+#include "secmem/counter_design.hh"
+
+namespace emcc {
+
+/** Key material for one secure-memory instance. */
+struct SecureMemoryKeys
+{
+    std::array<std::uint8_t, 16> encryption_key;
+    std::array<std::uint8_t, 16> mac_key;
+    std::array<std::uint64_t, 8> gf_keys;
+
+    /** Deterministic non-trivial keys for tests and examples. */
+    static SecureMemoryKeys testKeys(std::uint64_t seed = 1);
+};
+
+/** Outcome of a verified read. */
+struct SecureReadResult
+{
+    bool present = false;    ///< the block was ever written
+    bool verified = false;   ///< MAC check passed
+};
+
+/**
+ * Functional encrypted + authenticated memory.
+ *
+ * When `mac_over_ciphertext` is true (EMCC's mode, §IV-D), the MAC's dot
+ * product is computed over the ciphertext so the MC can emit
+ * `MAC XOR dotProduct` without decrypting; otherwise the dot product is
+ * over plaintext (the conventional Figure-1b form).
+ */
+class SecureMemory
+{
+  public:
+    SecureMemory(CounterDesignKind design, const SecureMemoryKeys &keys,
+                 bool mac_over_ciphertext = true);
+
+    /** Encrypt, MAC, and store a 64-byte block (counter is bumped). */
+    void write(Addr addr, const std::uint8_t data[64]);
+
+    /** Fetch, decrypt and verify a block. @p out receives the plaintext
+     *  (unconditionally — callers must honor `verified`). */
+    SecureReadResult read(Addr addr, std::uint8_t out[64]) const;
+
+    /** The `MAC XOR dotProduct(ciphertext)` value the MC embeds in a
+     *  data response under EMCC (only meaningful in ciphertext-MAC
+     *  mode). */
+    std::optional<std::uint64_t> macXorDot(Addr addr) const;
+
+    /** The AES half of the MAC an L2 computes locally to verify. */
+    std::uint64_t macAesPart(Addr addr) const;
+
+    /** Raw stored ciphertext (attacker's view of the DRAM bus). */
+    const std::uint8_t *ciphertext(Addr addr) const;
+
+    // -------------------------------------------------- attack surface
+
+    /** Flip bits of stored ciphertext (physical tampering). */
+    void tamperCiphertext(Addr addr, unsigned byte, std::uint8_t xor_mask);
+
+    /** Flip bits of the stored MAC. */
+    void tamperMac(Addr addr, std::uint64_t xor_mask);
+
+    /** Snapshot a block (ciphertext+MAC) for a later replay. */
+    bool snapshot(Addr addr);
+
+    /** Replay the snapshotted version of a block (replay attack). */
+    bool replay(Addr addr);
+
+    const CounterDesign &design() const { return *design_; }
+    CounterDesign &design() { return *design_; }
+
+    bool macOverCiphertext() const { return mac_over_ciphertext_; }
+
+  private:
+    struct Entry
+    {
+        std::array<std::uint8_t, 64> cipher{};
+        std::uint64_t mac = 0;
+        std::uint64_t counter = 0;   ///< counter used at encryption time
+        /** Set when an integrity violation was detected during overflow
+         *  re-encryption (real hardware would raise an interrupt);
+         *  reads of a poisoned block never verify. */
+        bool poisoned = false;
+    };
+
+    std::uint64_t computeMac(Addr addr, std::uint64_t counter,
+                             const std::uint8_t cipher[64],
+                             const std::uint8_t plain[64]) const;
+    void reencryptRegion(Addr data_addr);
+
+    std::unique_ptr<CounterDesign> design_;
+    CounterModeCipher cipher_;
+    GfMac mac_;
+    bool mac_over_ciphertext_;
+    std::unordered_map<Addr, Entry> store_;
+    std::unordered_map<Addr, Entry> snapshots_;
+};
+
+} // namespace emcc

@@ -1,0 +1,275 @@
+#include "secmem/timeline.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace emcc {
+
+std::string
+renderTimeline(const Timeline &t, double ns_per_char)
+{
+    std::ostringstream os;
+    os << t.title << "\n";
+    // Group segments by lane, preserving first-appearance order.
+    std::vector<std::string> lanes;
+    for (const auto &s : t.segments)
+        if (std::find(lanes.begin(), lanes.end(), s.lane) == lanes.end())
+            lanes.push_back(s.lane);
+
+    char buf[64];
+    for (const auto &lane : lanes) {
+        os << "  " << lane << ":\n";
+        for (const auto &s : t.segments) {
+            if (s.lane != lane)
+                continue;
+            const int indent = static_cast<int>(s.start_ns / ns_per_char);
+            const int width = std::max(
+                1, static_cast<int>((s.end_ns - s.start_ns) / ns_per_char));
+            std::snprintf(buf, sizeof(buf), " [%5.1f-%5.1f] ", s.start_ns,
+                          s.end_ns);
+            os << "    " << std::string(static_cast<size_t>(indent), ' ')
+               << std::string(static_cast<size_t>(width), '#') << buf
+               << s.label << "\n";
+        }
+    }
+    std::snprintf(buf, sizeof(buf), "  complete at %.1f ns\n", t.complete_ns);
+    os << buf;
+    return os.str();
+}
+
+namespace timelines {
+
+namespace {
+
+/** Data request path from an L2 miss to arrival at the MC. */
+double
+dataReqToMc(const TimelineParams &p, Timeline &t)
+{
+    double end = t.add("Data", "L2->LLC request", 0.0, p.req_l2_to_llc_ns);
+    end = t.add("Data", "LLC tag (miss)", end, p.llc_tag_ns);
+    end = t.add("Data", "LLC->MC request", end, p.noc_llc_mc_ns);
+    return end;
+}
+
+} // namespace
+
+Timeline
+ctrMissNoLlc(const TimelineParams &p)
+{
+    Timeline t;
+    t.title = "No counters in LLC, counter miss in MC cache "
+              "(measured at MC; DRAM row miss)";
+    const double data_done = t.add("Data", "DRAM (row miss)", 0.0,
+                                   p.dram_row_miss_ns);
+    double c = t.add("Counter", "MC counter cache (miss)", 0.0,
+                     p.mc_ctr_cache_ns);
+    c = t.add("Counter", "DRAM (row miss)", c, p.dram_row_miss_ns);
+    c = t.add("Counter", "decode", c, p.decode_ns);
+    c = t.add("Counter", "counter-mode AES", c, p.aes_ns);
+    t.complete_ns = std::max(data_done, c);
+    return t;
+}
+
+Timeline
+ctrMissWithLlc(const TimelineParams &p)
+{
+    Timeline t;
+    t.title = "Counters cached in LLC, counter miss in MC cache and LLC "
+              "(measured at MC; DRAM row miss)";
+    const double data_done = t.add("Data", "DRAM (row miss)", 0.0,
+                                   p.dram_row_miss_ns);
+    double c = t.add("Counter", "MC counter cache (miss)", 0.0,
+                     p.mc_ctr_cache_ns);
+    c = t.add("Counter", "LLC counter access (miss)", c, p.llc_ctr_access_ns);
+    c = t.add("Counter", "DRAM (row miss)", c, p.dram_row_miss_ns);
+    c = t.add("Counter", "decode", c, p.decode_ns);
+    c = t.add("Counter", "counter-mode AES", c, p.aes_ns);
+    t.complete_ns = std::max(data_done, c);
+    return t;
+}
+
+Timeline
+ctrHitMc(const TimelineParams &p)
+{
+    Timeline t;
+    t.title = "Counter hit in MC cache (measured at MC; DRAM row miss)";
+    const double data_done = t.add("Data", "DRAM (row miss)", 0.0,
+                                   p.dram_row_miss_ns);
+    double c = t.add("Counter", "MC counter cache (hit)", 0.0,
+                     p.mc_ctr_cache_ns);
+    c = t.add("Counter", "decode", c, p.decode_ns);
+    c = t.add("Counter", "counter-mode AES", c, p.aes_ns);
+    t.complete_ns = std::max(data_done, c);
+    return t;
+}
+
+Timeline
+ctrHitLlc(const TimelineParams &p)
+{
+    Timeline t;
+    t.title = "Counter hit in LLC (measured at MC; DRAM row miss)";
+    const double data_done = t.add("Data", "DRAM (row miss)", 0.0,
+                                   p.dram_row_miss_ns);
+    double c = t.add("Counter", "MC counter cache (miss)", 0.0,
+                     p.mc_ctr_cache_ns);
+    c = t.add("Counter", "LLC counter access (hit)", c, p.llc_ctr_access_ns);
+    c = t.add("Counter", "decode", c, p.decode_ns);
+    c = t.add("Counter", "counter-mode AES", c, p.aes_ns);
+    t.complete_ns = std::max(data_done, c);
+    return t;
+}
+
+Timeline
+emccCtrMissLlc(const TimelineParams &p)
+{
+    Timeline t;
+    t.title = "EMCC: counter miss in LLC (measured at L2; DRAM row miss)";
+    const double data_at_mc = dataReqToMc(p, t);
+    const double data_dram = t.add("Data", "DRAM (row miss)", data_at_mc,
+                                   p.dram_row_miss_ns);
+
+    // Serial counter lookup in L2 (delay J), then the parallel counter
+    // request to LLC, which misses and is forwarded to the MC.
+    double c = t.add("Counter", "L2 counter lookup (miss, delay J)",
+                     p.l2_serial_lookup_ns, p.l2_lookup_ns);
+    c = t.add("Counter", "L2->LLC request", c, p.req_l2_to_llc_ns);
+    c = t.add("Counter", "LLC tag (miss)", c, p.llc_tag_ns);
+    c = t.add("Counter", "LLC->MC request", c, p.noc_llc_mc_ns);
+    c = t.add("Counter", "DRAM (row miss)", c, p.dram_row_miss_ns);
+    c = t.add("Counter", "decode", c, p.decode_ns);
+    // The counter missed in LLC, so the MC decrypts/verifies (tagging the
+    // response as done); AES at the MC.
+    c = t.add("Counter", "counter-mode AES @MC", c, p.aes_ns);
+    const double mc_done = std::max(data_dram, c);
+    t.complete_ns = t.add("Data", "MC->L2 response (verified)", mc_done,
+                          p.resp_mc_to_l2_ns);
+    return t;
+}
+
+Timeline
+baselineCtrMissLlc(const TimelineParams &p)
+{
+    Timeline t;
+    t.title = "Baseline: counter miss in LLC (measured at L2; "
+              "DRAM row miss)";
+    const double data_at_mc = dataReqToMc(p, t);
+    const double data_dram = t.add("Data", "DRAM (row miss)", data_at_mc,
+                                   p.dram_row_miss_ns);
+    double c = t.add("Counter", "MC counter cache (miss, Y)", data_at_mc,
+                     p.mc_ctr_cache_ns);
+    c = t.add("Counter", "LLC counter access (miss)", c,
+              p.llc_ctr_access_ns);
+    c = t.add("Counter", "DRAM (row miss)", c, p.dram_row_miss_ns);
+    c = t.add("Counter", "decode", c, p.decode_ns);
+    c = t.add("Counter", "counter-mode AES @MC", c, p.aes_ns);
+    const double mc_done = std::max(data_dram, c);
+    t.complete_ns = t.add("Data", "MC->L2 response (verified)", mc_done,
+                          p.resp_mc_to_l2_ns);
+    return t;
+}
+
+Timeline
+emccCtrHitLlc(const TimelineParams &p)
+{
+    Timeline t;
+    t.title = "EMCC: counter hit in LLC (measured at L2; DRAM row hit)";
+    const double data_at_mc = dataReqToMc(p, t);
+    const double data_dram = t.add("Data", "DRAM (row hit)", data_at_mc,
+                                   p.dram_row_hit_ns);
+    const double data_at_l2 = t.add("Data",
+                                    "MC->L2 response (ciphertext+MAC^dot)",
+                                    data_dram, p.resp_mc_to_l2_ns);
+
+    double c = t.add("Counter", "L2 counter lookup (miss, delay J)",
+                     p.l2_serial_lookup_ns, p.l2_lookup_ns);
+    c = t.add("Counter", "L2->LLC request (K)", c, p.req_l2_to_llc_ns);
+    c = t.add("Counter", "LLC tag", c, p.llc_tag_ns);
+    c = t.add("Counter", "LLC data array (L)", c, p.llc_data_ns);
+    c = t.add("Counter", "LLC->L2 counter payload (M)", c,
+              p.req_l2_to_llc_ns + p.noc_extra_ctr_ns);
+    c = t.add("Counter", "decode @L2", c, p.decode_ns);
+    // AES start is additionally guarded by the LLC-hit-latency wait.
+    const double aes_start = std::max(c, p.llc_hit_wait_ns);
+    c = t.add("Counter", "counter-mode AES @L2", aes_start, p.aes_ns);
+    t.complete_ns = std::max(data_at_l2, c);
+    return t;
+}
+
+Timeline
+baselineCtrHitLlc(const TimelineParams &p)
+{
+    Timeline t;
+    t.title = "Baseline: counter hit in LLC (measured at L2; DRAM row hit)";
+    const double data_at_mc = dataReqToMc(p, t);
+    const double data_dram = t.add("Data", "DRAM (row hit)", data_at_mc,
+                                   p.dram_row_hit_ns);
+    double c = t.add("Counter", "MC counter cache (miss)", data_at_mc,
+                     p.mc_ctr_cache_ns);
+    c = t.add("Counter", "LLC counter access (hit)", c,
+              p.llc_ctr_access_ns);
+    c = t.add("Counter", "decode", c, p.decode_ns);
+    c = t.add("Counter", "counter-mode AES @MC", c, p.aes_ns);
+    const double mc_done = std::max(data_dram, c);
+    t.complete_ns = t.add("Data", "MC->L2 response (verified)", mc_done,
+                          p.resp_mc_to_l2_ns);
+    return t;
+}
+
+Timeline
+emccXpt(const TimelineParams &p)
+{
+    Timeline t;
+    t.title = "EMCC + XPT miss prediction: counter hit in LLC "
+              "(measured at L2; DRAM row miss)";
+    // XPT forwards the L2 miss straight to the MC, skipping the LLC tag
+    // serialization on the request path.
+    double d = t.add("Data", "L2->MC request (XPT)", 0.0,
+                     p.req_l2_to_llc_ns + p.noc_llc_mc_ns);
+    d = t.add("Data", "DRAM (row miss)", d, p.dram_row_miss_ns);
+    const double data_at_l2 = t.add("Data",
+                                    "MC->L2 response (ciphertext+MAC^dot)",
+                                    d, p.resp_mc_to_l2_ns);
+
+    double c = t.add("Counter", "L2 counter lookup (miss, delay J)",
+                     p.l2_serial_lookup_ns, p.l2_lookup_ns);
+    c = t.add("Counter", "L2->LLC request", c, p.req_l2_to_llc_ns);
+    c = t.add("Counter", "LLC tag", c, p.llc_tag_ns);
+    c = t.add("Counter", "LLC data array", c, p.llc_data_ns);
+    c = t.add("Counter", "LLC->L2 counter payload", c,
+              p.req_l2_to_llc_ns + p.noc_extra_ctr_ns);
+    c = t.add("Counter", "decode @L2", c, p.decode_ns);
+    const double aes_start = std::max(c, p.llc_hit_wait_ns);
+    c = t.add("Counter", "counter-mode AES @L2", aes_start, p.aes_ns);
+    t.complete_ns = std::max(data_at_l2, c);
+    return t;
+}
+
+Timeline
+baselineXpt(const TimelineParams &p)
+{
+    Timeline t;
+    t.title = "Baseline + XPT miss prediction: counter hit in LLC "
+              "(measured at L2; DRAM row miss)";
+    double d = t.add("Data", "L2->MC request (XPT)", 0.0,
+                     p.req_l2_to_llc_ns + p.noc_llc_mc_ns);
+    const double data_at_mc = d;
+    d = t.add("Data", "DRAM (row miss)", d, p.dram_row_miss_ns);
+
+    // The baseline's counter machinery lives at the MC; it can only
+    // start once the (predicted) miss request arrives there.
+    double c = t.add("Counter", "MC counter cache (miss)", data_at_mc,
+                     p.mc_ctr_cache_ns);
+    c = t.add("Counter", "LLC counter access (hit)", c,
+              p.llc_ctr_access_ns);
+    c = t.add("Counter", "decode", c, p.decode_ns);
+    c = t.add("Counter", "counter-mode AES @MC", c, p.aes_ns);
+    const double mc_done = std::max(d, c);
+    t.complete_ns = t.add("Data", "MC->L2 response (verified)", mc_done,
+                          p.resp_mc_to_l2_ns);
+    return t;
+}
+
+} // namespace timelines
+} // namespace emcc

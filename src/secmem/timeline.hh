@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Analytical Secure-Memory-Access-Latency timelines (paper Figs 5, 8,
+ * 10, 13, 14).
+ *
+ * Each scenario composes the same latency constants as the timing
+ * simulator (Table I plus the Fig-5 caption values) into per-lane
+ * segment lists, so the bench binaries can print the same pictures the
+ * paper draws and report the same overhead/savings arrows.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace emcc {
+
+/** Latency constants shared by all timeline scenarios (nanoseconds). */
+struct TimelineParams
+{
+    double mc_ctr_cache_ns = 3.0;    ///< MC's private counter-cache lookup
+    double aes_ns = 14.0;            ///< counter-mode AES (AES-128)
+    double decode_ns = 3.0;          ///< Morphable counter decode
+    double llc_ctr_access_ns = 19.0; ///< Direct LLC latency for counters
+    double dram_row_hit_ns = 16.0;
+    double dram_row_miss_ns = 30.0;
+    double req_l2_to_llc_ns = 6.5;   ///< one-way request, L2 -> LLC slice
+    double llc_tag_ns = 2.0;         ///< tag lookup (miss determination)
+    double llc_data_ns = 4.0;        ///< serial data array after tag hit
+    double noc_llc_mc_ns = 17.0;     ///< one-way, LLC slice <-> MC
+    double resp_mc_to_l2_ns = 34.0;  ///< response, MC -> (LLC) -> L2
+    double l2_serial_lookup_ns = 2.0;///< 'J': spare-cycle wait before the
+                                     ///  serial counter lookup in L2
+    double l2_lookup_ns = 4.0;       ///< the L2 lookup itself
+    double llc_hit_wait_ns = 23.0;   ///< EMCC AES-start guard (LLC hit lat)
+    double noc_extra_ctr_ns = 2.0;   ///< 'M': counter payload transfer extra
+};
+
+/** One bar on one lane of a timeline. */
+struct TimelineSegment
+{
+    std::string lane;    ///< "Data" or "Counter"
+    std::string label;   ///< e.g. "DRAM (row miss)"
+    double start_ns;
+    double end_ns;
+};
+
+/** A complete scenario timeline. */
+struct Timeline
+{
+    std::string title;
+    std::vector<TimelineSegment> segments;
+    /** When decrypted+verified data is ready at the consumer. */
+    double complete_ns = 0.0;
+
+    /** Add a segment and return its end time. */
+    double
+    add(const std::string &lane, const std::string &label, double start,
+        double dur)
+    {
+        segments.push_back({lane, label, start, start + dur});
+        return start + dur;
+    }
+};
+
+/** ASCII-art rendering of a timeline (proportional bars). */
+std::string renderTimeline(const Timeline &t, double ns_per_char = 1.0);
+
+/**
+ * Scenario builders. All measure Secure Memory Access Latency: from the
+ * request arriving at the relevant agent to decrypted+verified data
+ * being ready. Fig-5/8 scenarios start at the MC; Fig-10/13/14
+ * scenarios start at the L2 miss and end at data usable at L2.
+ */
+namespace timelines {
+
+/** Fig 5 top: counter misses everywhere, counters NOT cached in LLC. */
+Timeline ctrMissNoLlc(const TimelineParams &p);
+
+/** Fig 5 bottom: counter misses everywhere, counters cached in LLC. */
+Timeline ctrMissWithLlc(const TimelineParams &p);
+
+/** Fig 8 top: counter hits in MC's private cache. */
+Timeline ctrHitMc(const TimelineParams &p);
+
+/** Fig 8 bottom: counter hits in LLC (baseline serial access). */
+Timeline ctrHitLlc(const TimelineParams &p);
+
+/** Fig 10a: EMCC, counter miss in LLC, row-buffer miss. */
+Timeline emccCtrMissLlc(const TimelineParams &p);
+
+/** Fig 10b: baseline, counter miss in LLC, row-buffer miss. */
+Timeline baselineCtrMissLlc(const TimelineParams &p);
+
+/** Fig 13a: EMCC, counter hit in LLC (data misses LLC, row hit). */
+Timeline emccCtrHitLlc(const TimelineParams &p);
+
+/** Fig 13b: baseline, counter hit in LLC (data misses LLC, row hit). */
+Timeline baselineCtrHitLlc(const TimelineParams &p);
+
+/** Fig 14a: EMCC with XPT LLC-miss prediction, row miss, ctr hit LLC. */
+Timeline emccXpt(const TimelineParams &p);
+
+/** Fig 14b: baseline with XPT, row miss, counter hit in LLC. */
+Timeline baselineXpt(const TimelineParams &p);
+
+} // namespace timelines
+
+} // namespace emcc

@@ -1,0 +1,52 @@
+#include "sim/event_queue.hh"
+
+namespace emcc {
+
+void
+EventQueue::skipCancelled()
+{
+    while (!heap_.empty() && live_.count(heap_.top().id) == 0)
+        heap_.pop();
+}
+
+bool
+EventQueue::step()
+{
+    skipCancelled();
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because we pop immediately and never compare the moved-from fn.
+    Entry entry = std::move(const_cast<Entry &>(heap_.top()));
+    heap_.pop();
+    live_.erase(entry.id);
+    panic_if(entry.when < now_, "event queue went backwards");
+    now_ = entry.when;
+    entry.fn();
+    return true;
+}
+
+Count
+EventQueue::runUntil(Tick limit)
+{
+    Count executed = 0;
+    for (;;) {
+        skipCancelled();
+        if (heap_.empty())
+            break;
+        if (heap_.top().when > limit)
+            break;
+        step();
+        ++executed;
+    }
+    return executed;
+}
+
+Tick
+EventQueue::nextEventTick()
+{
+    skipCancelled();
+    return heap_.empty() ? kTickInvalid : heap_.top().when;
+}
+
+} // namespace emcc

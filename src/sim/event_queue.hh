@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The discrete-event simulation kernel: a picosecond-resolution event
+ * queue with stable ordering and O(log n) schedule/deschedule.
+ *
+ * Ordering guarantees, in priority order:
+ *   1. earlier tick first;
+ *   2. at equal tick, lower priority value first;
+ *   3. at equal tick and priority, FIFO insertion order.
+ * These rules make simulations fully deterministic.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace emcc {
+
+/** Opaque handle to a scheduled event, usable for cancellation. */
+using EventId = std::uint64_t;
+
+/** Sentinel meaning "no event". */
+inline constexpr EventId kEventInvalid = 0;
+
+/**
+ * Min-heap event queue. Callbacks are arbitrary std::function<void()>;
+ * components capture what they need. Descheduling is lazy (tombstoned),
+ * which keeps the common schedule/execute path allocation-light.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p fn at absolute time @p when (must be >= now()).
+     * @param priority tie-break at equal tick; lower runs first.
+     * @return a handle that can be passed to deschedule().
+     */
+    EventId
+    schedule(Tick when, std::function<void()> fn, int priority = 0)
+    {
+        panic_if(when < now_, "scheduling event in the past (%llu < %llu)",
+                 (unsigned long long)when, (unsigned long long)now_);
+        const EventId id = ++next_id_;
+        heap_.push(Entry{when, priority, id, std::move(fn)});
+        live_.insert(id);
+        return id;
+    }
+
+    /** Schedule @p fn @p delta ticks from now. */
+    EventId
+    scheduleIn(Tick delta, std::function<void()> fn, int priority = 0)
+    {
+        return schedule(now_ + delta, std::move(fn), priority);
+    }
+
+    /**
+     * Cancel a previously scheduled event. Cancelling an already-executed
+     * or already-cancelled event is a no-op (returns false).
+     */
+    bool
+    deschedule(EventId id)
+    {
+        if (id == kEventInvalid)
+            return false;
+        return live_.erase(id) > 0;
+    }
+
+    /** Number of live (non-cancelled, unexecuted) events. */
+    std::size_t pending() const { return live_.size(); }
+
+    bool empty() const { return live_.empty(); }
+
+    /**
+     * Execute the single next live event, advancing now().
+     * @return false if the queue was empty.
+     */
+    bool step();
+
+    /**
+     * Run events until the queue drains or simulated time would exceed
+     * @p limit. Events exactly at @p limit still execute.
+     * @return the number of events executed.
+     */
+    Count runUntil(Tick limit);
+
+    /** Run until the queue drains completely. */
+    Count
+    runAll()
+    {
+        return runUntil(kTickInvalid);
+    }
+
+    /** Tick of the next live event, or kTickInvalid if none. */
+    Tick nextEventTick();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        EventId id;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when) return a.when > b.when;
+            if (a.priority != b.priority) return a.priority > b.priority;
+            return a.id > b.id;
+        }
+    };
+
+    /** Pop cancelled (non-live) entries off the heap top. */
+    void skipCancelled();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /// ids scheduled but not yet executed or cancelled
+    std::unordered_set<EventId> live_;
+    EventId next_id_ = kEventInvalid;
+    Tick now_ = 0;
+};
+
+} // namespace emcc

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Simulator context: owns the event queue and a component registry, and
+ * provides the time base every component sees.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace emcc {
+
+class Simulator;
+
+/**
+ * Base class for simulated hardware components (caches, DRAM channels,
+ * crypto engines, cores). Provides the naming and time-base plumbing;
+ * subclasses schedule work through sim().
+ */
+class Component
+{
+  public:
+    Component(Simulator &sim, std::string name)
+        : sim_(sim), name_(std::move(name))
+    {}
+
+    virtual ~Component() = default;
+
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Current simulated time, in ticks. */
+    Tick curTick() const;
+
+  protected:
+    Simulator &sim() { return sim_; }
+    const Simulator &sim() const { return sim_; }
+
+  private:
+    Simulator &sim_;
+    std::string name_;
+};
+
+/**
+ * Top-level simulation context. The full-system builder creates one of
+ * these per experiment; tests create throwaway ones freely.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    EventQueue &events() { return queue_; }
+    Tick now() const { return queue_.now(); }
+
+    /** Schedule a callback at an absolute tick. */
+    EventId
+    schedule(Tick when, std::function<void()> fn, int priority = 0)
+    {
+        return queue_.schedule(when, std::move(fn), priority);
+    }
+
+    /** Schedule a callback @p delta ticks from now. */
+    EventId
+    scheduleIn(Tick delta, std::function<void()> fn, int priority = 0)
+    {
+        return queue_.scheduleIn(delta, std::move(fn), priority);
+    }
+
+    bool deschedule(EventId id) { return queue_.deschedule(id); }
+
+    /** Run to completion (or until @p limit). @return events executed. */
+    Count run(Tick limit = kTickInvalid) { return queue_.runUntil(limit); }
+
+  private:
+    EventQueue queue_;
+};
+
+inline Tick
+Component::curTick() const
+{
+    return sim_.now();
+}
+
+} // namespace emcc

@@ -1,0 +1,285 @@
+#include "system/characterizer.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace emcc {
+
+namespace {
+
+CacheArrayConfig
+l2ArrayConfig(const CharacterizerConfig &cfg)
+{
+    CacheArrayConfig c;
+    c.size_bytes = cfg.l2_bytes;
+    c.assoc = cfg.l2_assoc;
+    if (cfg.scheme == Scheme::Emcc) {
+        c.class_cap_bytes[static_cast<int>(LineClass::Counter)] =
+            cfg.l2_ctr_cap_bytes;
+    }
+    return c;
+}
+
+CacheArrayConfig
+llcArrayConfig(const CharacterizerConfig &cfg)
+{
+    CacheArrayConfig c;
+    c.size_bytes = cfg.llc_bytes_per_core * cfg.cores;
+    c.assoc = cfg.llc_assoc;
+    return c;
+}
+
+CacheArrayConfig
+mcCacheConfig(const CharacterizerConfig &cfg)
+{
+    CacheArrayConfig c;
+    c.size_bytes = cfg.mc_ctr_cache_bytes;
+    c.assoc = cfg.mc_ctr_cache_assoc;
+    return c;
+}
+
+} // namespace
+
+Characterizer::Characterizer(const CharacterizerConfig &cfg)
+    : cfg_(cfg),
+      design_(CounterDesign::create(cfg.design)),
+      meta_(*design_, cfg.data_region_bytes),
+      llc_("llc", llcArrayConfig(cfg)),
+      mc_cache_("mc_ctr_cache", mcCacheConfig(cfg)),
+      mapper_(cfg.page_bytes, cfg.data_region_bytes, cfg.seed)
+{
+    for (unsigned c = 0; c < cfg_.cores; ++c)
+        l2_.emplace_back("l2." + std::to_string(c), l2ArrayConfig(cfg));
+    l2_ctr_state_.resize(cfg_.cores);
+}
+
+Addr
+Characterizer::translate(unsigned core, Addr vaddr, bool shared)
+{
+    // Multi-programmed instances get disjoint virtual namespaces so one
+    // shared mapper hands out disjoint physical frames.
+    const Addr space_span = 1ull << 40;
+    const Addr v = shared ? vaddr : vaddr + space_span * core;
+    return mapper_.translate(v) % meta_.dataBytes();
+}
+
+void
+Characterizer::run(const WorkloadSet &workload)
+{
+    // Round-robin interleave the per-core traces, like concurrent cores.
+    std::vector<std::size_t> pos(workload.per_core.size(), 0);
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (unsigned c = 0; c < workload.per_core.size(); ++c) {
+            const auto &trace = workload.per_core[c];
+            if (pos[c] >= trace.size())
+                continue;
+            const MemRef &ref = trace[pos[c]++];
+            progress = true;
+            const Addr pa = translate(c, ref.vaddr,
+                                      workload.shared_address_space);
+            handleRef(c, pa, ref.is_write);
+        }
+    }
+}
+
+void
+Characterizer::insertCounterIntoL2(unsigned core, Addr ctr_addr)
+{
+    auto &state = l2_ctr_state_[core];
+    if (state.count(ctr_addr)) {
+        // Already resident (e.g. refreshed); keep its used flag.
+        l2_[core].insert(ctr_addr, LineClass::Counter, false);
+        return;
+    }
+    ++res_.l2_ctr_inserts;
+    state.emplace(ctr_addr, false);
+    auto victim = l2_[core].insert(ctr_addr, LineClass::Counter, false);
+    if (victim)
+        handleL2Victim(core, *victim);
+}
+
+void
+Characterizer::noteL2CounterGone(unsigned core, Addr ctr_addr,
+                                 bool invalidated)
+{
+    auto &state = l2_ctr_state_[core];
+    auto it = state.find(ctr_addr);
+    if (it == state.end())
+        return;
+    if (!it->second)
+        ++res_.useless_ctr_accesses;
+    if (invalidated)
+        ++res_.l2_ctr_invalidations;
+    state.erase(it);
+}
+
+void
+Characterizer::handleL2Victim(unsigned core, const Victim &v)
+{
+    if (v.cls == LineClass::Counter) {
+        // Counter copies in L2 are clean; they just die.
+        noteL2CounterGone(core, v.addr, /*invalidated=*/false);
+        return;
+    }
+    // Non-inclusive hierarchy: L2 evictions (clean or dirty) fill the
+    // LLC as victims.
+    auto llc_victim = llc_.insert(v.addr, v.cls, v.dirty);
+    if (llc_victim && llc_victim->dirty &&
+        llc_victim->cls == LineClass::Data) {
+        mcWriteback(llc_victim->addr);
+    } else if (llc_victim && llc_victim->dirty) {
+        // Dirty metadata evicted from LLC goes back to DRAM.
+        ++res_.dram_ctr_writes;
+    }
+}
+
+void
+Characterizer::mcCounterAccess(Addr pa, bool count_buckets)
+{
+    const Addr ctr = meta_.counterBlockAddr(pa);
+    if (mc_cache_.access(ctr, LineClass::Counter, false)) {
+        if (count_buckets)
+            ++res_.mc_ctr_hits;
+        return;
+    }
+    const bool in_llc = cfg_.countersInLlc() &&
+                        llc_.access(ctr, LineClass::Counter, false);
+    if (in_llc) {
+        if (count_buckets)
+            ++res_.llc_ctr_hits;
+        if (cfg_.scheme == Scheme::LlcBaseline)
+            ++res_.baseline_ctr_accesses_to_llc;
+    } else {
+        if (count_buckets)
+            ++res_.llc_ctr_misses;
+        if (cfg_.scheme == Scheme::LlcBaseline && cfg_.countersInLlc())
+            ++res_.baseline_ctr_accesses_to_llc;
+        // Fetch the counter block from DRAM and verify it via the tree:
+        // walk up until a cached (already verified) ancestor.
+        ++res_.dram_ctr_reads;
+        for (unsigned lvl = 1; lvl < meta_.numLevels(); ++lvl) {
+            const Addr node = meta_.treeNodeAddr(lvl, pa);
+            if (mc_cache_.access(node, LineClass::TreeNode, false))
+                break;
+            if (cfg_.countersInLlc() &&
+                llc_.access(node, LineClass::TreeNode, false)) {
+                auto v = mc_cache_.insert(node, LineClass::TreeNode, false);
+                if (v && v->dirty)
+                    ++res_.dram_ctr_writes;
+                break;
+            }
+            ++res_.dram_ctr_reads;
+            auto v = mc_cache_.insert(node, LineClass::TreeNode, false);
+            if (v && v->dirty)
+                ++res_.dram_ctr_writes;
+            if (cfg_.countersInLlc())
+                llc_.insert(node, LineClass::TreeNode, false);
+        }
+        if (cfg_.countersInLlc()) {
+            auto v = llc_.insert(ctr, LineClass::Counter, false);
+            if (v && v->dirty && v->cls == LineClass::Data)
+                mcWriteback(v->addr);
+            else if (v && v->dirty)
+                ++res_.dram_ctr_writes;
+        }
+    }
+    auto victim = mc_cache_.insert(ctr, LineClass::Counter, false);
+    if (victim && victim->dirty)
+        ++res_.dram_ctr_writes;
+}
+
+void
+Characterizer::mcWriteback(Addr pa)
+{
+    ++res_.dram_data_writes;
+    if (cfg_.scheme == Scheme::NonSecure)
+        return;
+
+    // The MC needs the counter block resident to bump the counter.
+    const Addr ctr = meta_.counterBlockAddr(pa);
+    if (!mc_cache_.access(ctr, LineClass::Counter, true)) {
+        mcCounterAccess(pa, /*count_buckets=*/false);
+        mc_cache_.access(ctr, LineClass::Counter, true);   // mark dirty
+    }
+
+    const auto wr = design_->bumpCounter(pa);
+    if (wr.overflow) {
+        ++res_.overflows;
+        res_.dram_ovf_reads += wr.reencrypt_blocks;
+        res_.dram_ovf_writes += wr.reencrypt_blocks;
+    }
+
+    // Coherence: the updated counter invalidates stale cached copies.
+    if (cfg_.scheme == Scheme::Emcc) {
+        for (unsigned c = 0; c < cfg_.cores; ++c) {
+            if (l2_[c].invalidate(ctr))
+                noteL2CounterGone(c, ctr, /*invalidated=*/true);
+        }
+    }
+    if (cfg_.countersInLlc())
+        llc_.invalidate(ctr);
+}
+
+void
+Characterizer::handleRef(unsigned core, Addr pa, bool is_write)
+{
+    ++res_.data_refs;
+    auto &l2 = l2_[core];
+
+    if (l2.access(pa, LineClass::Data, is_write))
+        return;
+    ++res_.l2_data_misses;
+
+    // ------------------------------------------------ EMCC counter path
+    const Addr ctr = meta_.counterBlockAddr(pa);
+    bool emcc_ctr_in_l2 = false;
+    if (cfg_.scheme == Scheme::Emcc) {
+        if (l2.access(ctr, LineClass::Counter, false)) {
+            ++res_.l2_ctr_hits;
+            emcc_ctr_in_l2 = true;
+        } else {
+            ++res_.l2_ctr_misses;
+            ++res_.emcc_ctr_accesses_to_llc;
+            if (!llc_.access(ctr, LineClass::Counter, false)) {
+                // Miss in LLC too: the MC fetches and verifies it (and
+                // will decrypt the data itself).
+                mcCounterAccess(pa, /*count_buckets=*/true);
+                llc_.insert(ctr, LineClass::Counter, false);
+            }
+            insertCounterIntoL2(core, ctr);
+            emcc_ctr_in_l2 = true;
+        }
+    }
+
+    // ------------------------------------------------ data in LLC
+    if (llc_.access(pa, LineClass::Data, false)) {
+        auto victim = l2.insert(pa, LineClass::Data, is_write);
+        if (victim)
+            handleL2Victim(core, *victim);
+        return;
+    }
+
+    // LLC miss: a normal memory read reaches the MC.
+    ++res_.data_reads_at_mc;
+    ++res_.dram_data_reads;
+
+    if (cfg_.scheme == Scheme::Emcc) {
+        // The counter (now) in L2 was genuinely used for an LLC miss.
+        if (emcc_ctr_in_l2) {
+            auto it = l2_ctr_state_[core].find(ctr);
+            if (it != l2_ctr_state_[core].end())
+                it->second = true;
+        }
+    } else if (cfg_.scheme != Scheme::NonSecure) {
+        mcCounterAccess(pa, /*count_buckets=*/true);
+    }
+
+    auto victim = l2.insert(pa, LineClass::Data, is_write);
+    if (victim)
+        handleL2Victim(core, *victim);
+}
+
+} // namespace emcc

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Functional cache-hierarchy characterizer — the repo's "Pintool mode".
+ *
+ * Replays workload traces through the L2 / LLC / MC-counter-cache arrays
+ * with no timing, counting exactly what the paper's Pintool experiments
+ * count: DRAM traffic overhead (Fig 2), counter hit/miss breakdowns
+ * (Figs 6 and 7), EMCC's counter accesses to LLC and how many were
+ * useless (Figs 11, 12, 24), and counter-block invalidations in L2
+ * (Fig 23).
+ */
+
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "secmem/counter_design.hh"
+#include "secmem/metadata_map.hh"
+#include "system/config.hh"
+#include "system/page_mapper.hh"
+#include "workloads/workload.hh"
+
+namespace emcc {
+
+/** Configuration for one characterization run. */
+struct CharacterizerConfig
+{
+    unsigned cores = 4;
+    std::uint64_t l2_bytes = 1_MiB;
+    unsigned l2_assoc = 8;
+    /** LLC per core (the paper sweeps 2 MB and 12 MB per core). */
+    std::uint64_t llc_bytes_per_core = 2_MiB;
+    unsigned llc_assoc = 16;
+    std::uint64_t mc_ctr_cache_bytes = 128_KiB;
+    unsigned mc_ctr_cache_assoc = 32;
+    std::uint64_t l2_ctr_cap_bytes = 32_KiB;
+    CounterDesignKind design = CounterDesignKind::Morphable;
+    Scheme scheme = Scheme::LlcBaseline;
+    std::uint64_t page_bytes = 2_MiB;
+    std::uint64_t data_region_bytes = 8_GiB;
+    std::uint64_t seed = 1;
+
+    /** True if this scheme caches counters in the LLC. */
+    bool
+    countersInLlc() const
+    {
+        return scheme == Scheme::LlcBaseline || scheme == Scheme::Emcc;
+    }
+};
+
+/** Everything the characterization figures need. */
+struct CharacterizerResults
+{
+    // denominators
+    Count data_refs = 0;            ///< total L1-less references replayed
+    Count data_reads_at_mc = 0;     ///< normal memory reads (LLC misses)
+    Count l2_data_misses = 0;
+    Count dram_data_reads = 0;
+    Count dram_data_writes = 0;
+
+    // counter location breakdown for reads (Fig 6/7)
+    Count mc_ctr_hits = 0;
+    Count llc_ctr_hits = 0;
+    Count llc_ctr_misses = 0;
+
+    // DRAM metadata traffic (Fig 2)
+    Count dram_ctr_reads = 0;
+    Count dram_ctr_writes = 0;
+    Count dram_ovf_reads = 0;
+    Count dram_ovf_writes = 0;
+    Count overflows = 0;
+
+    // EMCC-only (Figs 11, 12, 23, 24)
+    Count emcc_ctr_accesses_to_llc = 0;
+    Count baseline_ctr_accesses_to_llc = 0;
+    Count useless_ctr_accesses = 0;
+    Count l2_ctr_inserts = 0;
+    Count l2_ctr_invalidations = 0;
+    Count l2_ctr_hits = 0;
+    Count l2_ctr_misses = 0;
+};
+
+/**
+ * The characterizer itself. One instance per (workload, config) run.
+ */
+class Characterizer
+{
+  public:
+    explicit Characterizer(const CharacterizerConfig &cfg);
+
+    /** Replay the workload (interleaving cores round-robin). */
+    void run(const WorkloadSet &workload);
+
+    const CharacterizerResults &results() const { return res_; }
+
+  private:
+    Addr translate(unsigned core, Addr vaddr, bool shared);
+    void handleRef(unsigned core, Addr pa, bool is_write);
+    /** Counter handling at the MC for a data access; counts Fig-6
+     *  buckets when @p count_buckets. */
+    void mcCounterAccess(Addr pa, bool count_buckets);
+    void mcWriteback(Addr pa);
+    void insertCounterIntoL2(unsigned core, Addr ctr_addr);
+    void noteL2CounterGone(unsigned core, Addr ctr_addr, bool invalidated);
+    void handleL2Victim(unsigned core, const Victim &v);
+
+    CharacterizerConfig cfg_;
+    std::unique_ptr<CounterDesign> design_;
+    MetadataMap meta_;
+    std::vector<CacheArray> l2_;
+    CacheArray llc_;
+    CacheArray mc_cache_;
+    PageMapper mapper_;
+    /// EMCC: per-core map of resident L2 counter blocks -> used flag
+    std::vector<std::unordered_map<Addr, bool>> l2_ctr_state_;
+    CharacterizerResults res_;
+};
+
+} // namespace emcc

@@ -1,0 +1,83 @@
+#include "system/config.hh"
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace emcc {
+
+const char *
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::NonSecure: return "non-secure";
+      case Scheme::McOnly: return "MC-only";
+      case Scheme::LlcBaseline: return "LLC-baseline";
+      case Scheme::Emcc: return "EMCC";
+      default: return "?";
+    }
+}
+
+std::string
+SystemConfig::renderTable() const
+{
+    Table t({"Parameter", "Value"});
+    auto row = [&](const std::string &k, const std::string &v) {
+        t.addRow({k, v});
+    };
+    char buf[128];
+
+    std::snprintf(buf, sizeof(buf),
+                  "X86-like, %u cores, %.1f GHz, %u-wide OoO, %u-entry ROB",
+                  cores, core.freq_ghz, core.width, core.rob_entries);
+    row("CPU", buf);
+    std::snprintf(buf, sizeof(buf), "%llu KB, %u-way, %.0f ns",
+                  static_cast<unsigned long long>(l1_bytes >> 10), l1_assoc,
+                  ticksToNs(l1_latency));
+    row("L1 DCache", buf);
+    std::snprintf(buf, sizeof(buf), "%llu MB, %u-way, %.0f ns (additive)",
+                  static_cast<unsigned long long>(l2_bytes >> 20), l2_assoc,
+                  ticksToNs(l2_latency));
+    row("L2 Cache", buf);
+    std::snprintf(buf, sizeof(buf), "%llu MB, %u-way, %.0f ns (additive)",
+                  static_cast<unsigned long long>(llc_bytes >> 20),
+                  llc_assoc, ticksToNs(llc_latency));
+    row("L3 Cache", buf);
+    std::snprintf(buf, sizeof(buf), "%llu KB, %u-way, %.0f ns",
+                  static_cast<unsigned long long>(mc_ctr_cache_bytes >> 10),
+                  mc_ctr_cache_assoc, ticksToNs(mc_ctr_cache_latency));
+    row("Counter Cache in MC", buf);
+    row("Counter design", counterDesignName(design));
+    std::snprintf(buf, sizeof(buf), "%.0f ns", ticksToNs(aes_latency));
+    row("AES-128 latency", buf);
+    std::snprintf(buf, sizeof(buf), "%.0f ns", ticksToNs(noc_llc_mc));
+    row("NoC Lat LLC<->MC", buf);
+    std::snprintf(buf, sizeof(buf), "%.0f ns", ticksToNs(resp_mc_to_l2));
+    row("NoC Lat L2<->MC", buf);
+    std::snprintf(buf, sizeof(buf), "%llu GB DDR4",
+                  static_cast<unsigned long long>(
+                      dram.capacity_bytes >> 30));
+    row("Memory", buf);
+    std::snprintf(buf, sizeof(buf), "%.1f GT/s", dram.data_rate_gtps);
+    row("Memory Data Rate", buf);
+    std::snprintf(buf, sizeof(buf), "%.2f ns", ticksToNs(dram.t_cl));
+    row("tCL, tRCD, tRP", buf);
+    std::snprintf(buf, sizeof(buf), "%.0f ns", ticksToNs(dram.t_rfc));
+    row("tRFC", buf);
+    std::snprintf(buf, sizeof(buf), "%.0f ns timeout",
+                  ticksToNs(dram.row_timeout));
+    row("Row buffer policy", buf);
+    std::snprintf(buf, sizeof(buf), "%u entries", dram.queue_entries);
+    row("Read/Write queue", buf);
+    std::snprintf(buf, sizeof(buf), "%u, %u", dram.channels, dram.ranks);
+    row("Channels, Ranks", buf);
+    row("Mapping Function", "XOR-based (Skylake-like)");
+    row("Bank scheduling", "FR-FCFS-Capped");
+    std::snprintf(buf, sizeof(buf), "%llu MB pages",
+                  static_cast<unsigned long long>(page_bytes >> 20));
+    row("Page size", buf);
+    row("Scheme", schemeName(scheme));
+    return t.render();
+}
+
+} // namespace emcc

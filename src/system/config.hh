@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Full-system configuration: the paper's Table I plus the scheme knobs
+ * every experiment varies.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "common/types.hh"
+#include "core/core_model.hh"
+#include "dram/dram.hh"
+#include "noc/latency_model.hh"
+#include "secmem/counter_design.hh"
+
+namespace emcc {
+
+/** Which secure-memory organization the system runs. */
+enum class Scheme
+{
+    NonSecure,     ///< no encryption/verification (the Fig-16 baseline)
+    McOnly,        ///< counters cached only in the MC's private cache
+    LlcBaseline,   ///< + counters cached in LLC, serial access (prior work)
+    Emcc,          ///< + counters cached and used in L2 (this paper)
+};
+
+const char *schemeName(Scheme s);
+
+/** Table-I microarchitecture parameters + scheme/crypto knobs. */
+struct SystemConfig
+{
+    unsigned cores = 4;
+    CoreConfig core;
+
+    // ---- cache hierarchy (latencies additive, like Table I)
+    std::uint64_t l1_bytes = 64_KiB;
+    unsigned l1_assoc = 8;
+    Tick l1_latency = nsToTicks(2.0);
+
+    std::uint64_t l2_bytes = 1_MiB;
+    unsigned l2_assoc = 8;
+    Tick l2_latency = nsToTicks(4.0);
+
+    std::uint64_t llc_bytes = 8_MiB;
+    unsigned llc_assoc = 16;
+    Tick llc_latency = nsToTicks(17.0);     ///< additive L3 hit component
+
+    // ---- NoC path constants (see DESIGN.md; consistent with Table I)
+    Tick req_l2_to_llc = nsToTicks(6.5);    ///< one-way request
+    Tick llc_tag = nsToTicks(2.0);          ///< miss determination
+    Tick noc_llc_mc = nsToTicks(17.0);      ///< one-way LLC <-> MC
+    Tick resp_mc_to_l2 = nsToTicks(34.0);   ///< response MC -> L2
+    Tick llc_ctr_access = nsToTicks(19.0);  ///< direct LLC counter access
+    Tick emcc_ctr_payload_extra = nsToTicks(2.0); ///< 'M' payload extra
+
+    // ---- secure-memory metadata
+    CounterDesignKind design = CounterDesignKind::Morphable;
+    std::uint64_t mc_ctr_cache_bytes = 128_KiB;
+    unsigned mc_ctr_cache_assoc = 32;
+    Tick mc_ctr_cache_latency = nsToTicks(3.0);
+    std::uint64_t l2_ctr_cap_bytes = 32_KiB;  ///< EMCC's L2 counter cap
+
+    // ---- crypto
+    Tick aes_latency = nsToTicks(14.0);
+    double total_aes_ops_per_sec = 2.6e9;
+    /** Fraction of AES units moved from the MC to the L2s (EMCC). */
+    double l2_aes_fraction = 0.5;
+    bool adaptive_offload = true;
+    /** Under EMCC, delay AES start by LLC hit latency (waste guard). */
+    bool llc_hit_wait = true;
+    /** XPT-style LLC miss prediction (Fig 14). */
+    bool xpt = false;
+
+    // ---- paper §IV-F extensions
+    /** Inclusive LLC: DRAM fills also allocate in the LLC, marked
+     *  "encrypted & unverified" until an L2 verifies them; LLC
+     *  evictions back-invalidate L2 copies. */
+    bool inclusive_llc = false;
+    /** Dynamically disable EMCC for non-memory-intensive phases by
+     *  sampling DRAM fills per 1000 L2 accesses. */
+    bool dynamic_emcc_off = false;
+    /** EMCC stays on while DRAM fills per 1000 L2 accesses >= this. */
+    double memory_intensity_threshold = 1.0;
+    /** L2 accesses per intensity sampling window. */
+    Count intensity_window = 4096;
+
+    // ---- EMCC serial-lookup delay ('J' components)
+    Tick l2_spare_cycle_wait = nsToTicks(2.0);
+
+    // ---- memory & paging
+    DramConfig dram;
+    std::uint64_t page_bytes = 2_MiB;
+    /** Size of the protected data region backing the address spaces. */
+    std::uint64_t data_region_bytes = 4_GiB;
+
+    // ---- NoC distribution for the non-uniform latency component
+    NocConfig noc;
+    bool nonuniform_noc = true;
+
+    Scheme scheme = Scheme::Emcc;
+    std::uint64_t seed = 1;
+
+    /** True if this scheme caches counters in the LLC. */
+    bool
+    countersInLlc() const
+    {
+        return scheme == Scheme::LlcBaseline || scheme == Scheme::Emcc;
+    }
+
+    /** AES throughput provisioned per L2 (ops/sec). */
+    double
+    l2AesRate() const
+    {
+        return total_aes_ops_per_sec * l2_aes_fraction / cores;
+    }
+
+    /** AES throughput remaining at the MC (ops/sec). */
+    double
+    mcAesRate() const
+    {
+        const double f = (scheme == Scheme::Emcc) ? l2_aes_fraction : 0.0;
+        return total_aes_ops_per_sec * (1.0 - f);
+    }
+
+    /** Render the instantiated parameters as a Table-I-style listing. */
+    std::string renderTable() const;
+};
+
+} // namespace emcc

@@ -1,0 +1,114 @@
+#include "system/experiment.hh"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "common/log.hh"
+
+namespace emcc {
+namespace experiments {
+
+BenchScale
+BenchScale::fromEnv()
+{
+    // The default scale keeps the paper's point intact: footprints far
+    // exceed the LLC and the counter working set far exceeds the MC's
+    // 128 KB counter cache, so counters really live in the LLC.
+    BenchScale s;
+    s.workload.cores = 4;
+    s.workload.trace_len = 400'000;
+    s.workload.graph_vertices = 1ull << 21;
+    s.workload.graph_degree = 8;
+    s.workload.footprint_scale = 1.0;
+    s.warmup_instructions = 100'000;
+    s.measure_instructions = 200'000;
+
+    if (std::getenv("EMCC_BENCH_FAST")) {
+        s.workload.trace_len = 150'000;
+        s.workload.graph_vertices = 1ull << 18;
+        s.workload.footprint_scale = 0.25;
+        s.warmup_instructions = 50'000;
+        s.measure_instructions = 100'000;
+    } else if (std::getenv("EMCC_BENCH_FULL")) {
+        s.workload.trace_len = 2'000'000;
+        s.workload.graph_vertices = 1ull << 22;
+        s.workload.footprint_scale = 1.0;
+        s.warmup_instructions = 500'000;
+        s.measure_instructions = 1'200'000;
+    }
+    return s;
+}
+
+const WorkloadSet &
+cachedWorkload(const std::string &name, const WorkloadParams &params)
+{
+    // Keyed by name + the parameters that affect trace content.
+    static std::map<std::string, std::unique_ptr<WorkloadSet>> cache;
+    char key[256];
+    std::snprintf(key, sizeof(key), "%s/%u/%zu/%llu/%u/%llu/%.6f",
+                  name.c_str(), params.cores, params.trace_len,
+                  static_cast<unsigned long long>(params.graph_vertices),
+                  params.graph_degree,
+                  static_cast<unsigned long long>(params.seed),
+                  params.footprint_scale);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        it = cache.emplace(key, std::make_unique<WorkloadSet>(
+                                    buildWorkload(name, params))).first;
+    }
+    return *it->second;
+}
+
+SystemConfig
+paperConfig(Scheme scheme)
+{
+    SystemConfig cfg;   // defaults are Table I already
+    cfg.scheme = scheme;
+    return cfg;
+}
+
+CharacterizerConfig
+pintoolConfig(Scheme scheme, std::uint64_t llc_mb_per_core)
+{
+    CharacterizerConfig cfg;
+    cfg.cores = 4;
+    cfg.l2_bytes = 1_MiB;
+    cfg.llc_bytes_per_core = llc_mb_per_core * 1_MiB;
+    cfg.mc_ctr_cache_bytes = 128_KiB;   // 32 KB/core shared
+    cfg.l2_ctr_cap_bytes = 32_KiB;
+    cfg.scheme = scheme;
+    return cfg;
+}
+
+RunResults
+runTiming(const SystemConfig &cfg, const WorkloadSet &workload,
+          const BenchScale &scale)
+{
+    Simulator sim;
+    SecureSystem sys(sim, cfg, &workload);
+    sys.run(scale.warmup_instructions, scale.measure_instructions);
+    return sys.results();
+}
+
+CharacterizerResults
+runFunctional(const CharacterizerConfig &cfg, const WorkloadSet &workload)
+{
+    Characterizer c(cfg);
+    c.run(workload);
+    return c.results();
+}
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : v)
+        sum += x;
+    return sum / static_cast<double>(v.size());
+}
+
+} // namespace experiments
+} // namespace emcc

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared experiment-runner helpers for the bench harnesses: canonical
+ * paper configurations, cached workload construction, and one-call
+ * timing / functional runs.
+ *
+ * Scale: bench binaries default to a reduced-but-faithful scale (the
+ * full Table-I cache sizes with somewhat smaller traces) so the whole
+ * figure suite regenerates in minutes. Set EMCC_BENCH_FAST=1 to shrink
+ * further (smoke mode), or EMCC_BENCH_FULL=1 for the big runs.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "system/characterizer.hh"
+#include "system/config.hh"
+#include "system/secure_system.hh"
+#include "workloads/workload.hh"
+
+namespace emcc {
+namespace experiments {
+
+/** How much simulation the bench run should do. */
+struct BenchScale
+{
+    WorkloadParams workload;
+    Count warmup_instructions = 150'000;
+    Count measure_instructions = 300'000;
+
+    /** Resolve from the environment (EMCC_BENCH_FAST / EMCC_BENCH_FULL). */
+    static BenchScale fromEnv();
+};
+
+/** Build (and memoize per-process) the traces for a benchmark. */
+const WorkloadSet &cachedWorkload(const std::string &name,
+                                  const WorkloadParams &params);
+
+/** The paper's Table-I configuration for a given scheme. */
+SystemConfig paperConfig(Scheme scheme);
+
+/** The paper's Pintool configuration (Figs 2/6/7/11/12): L2 1 MB per
+ *  thread, LLC @p llc_mb_per_core MB per core, 32 KB/core counter
+ *  cache. */
+CharacterizerConfig pintoolConfig(Scheme scheme,
+                                  std::uint64_t llc_mb_per_core = 2);
+
+/** Run the timing system once and return its results. */
+RunResults runTiming(const SystemConfig &cfg, const WorkloadSet &workload,
+                     const BenchScale &scale);
+
+/** Run the functional characterizer once. */
+CharacterizerResults runFunctional(const CharacterizerConfig &cfg,
+                                   const WorkloadSet &workload);
+
+/** Mean of a vector (0 when empty) — for the papers' `mean` columns. */
+double mean(const std::vector<double> &v);
+
+} // namespace experiments
+} // namespace emcc

@@ -1,0 +1,929 @@
+#include "system/secure_system.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/log.hh"
+
+namespace emcc {
+
+namespace {
+
+CacheArrayConfig
+arrayCfg(std::uint64_t bytes, unsigned assoc)
+{
+    CacheArrayConfig c;
+    c.size_bytes = bytes;
+    c.assoc = assoc;
+    return c;
+}
+
+constexpr unsigned kMshrEntries = 4096;   ///< effectively unbounded
+constexpr Tick kDramRetry = nsToTicks(20.0);
+
+} // namespace
+
+SecureSystem::SecureSystem(Simulator &sim, const SystemConfig &cfg,
+                           const WorkloadSet *workload)
+    : Component(sim, "system"),
+      cfg_(cfg),
+      workload_(workload),
+      mesh_(),
+      noc_(mesh_, cfg.noc),
+      rng_(cfg.seed * 16777619 + 7),
+      design_(CounterDesign::create(cfg.design)),
+      meta_(*design_, cfg.data_region_bytes),
+      llc_("llc", arrayCfg(cfg.llc_bytes, cfg.llc_assoc)),
+      mc_cache_("mc_ctr", arrayCfg(cfg.mc_ctr_cache_bytes,
+                                   cfg.mc_ctr_cache_assoc)),
+      mc_ctr_mshr_(kMshrEntries),
+      dram_(sim, "dram", cfg.dram),
+      mc_aes_(AesPoolConfig{cfg.mcAesRate(), cfg.aes_latency}),
+      mapper_(cfg.page_bytes, cfg.data_region_bytes, cfg.seed)
+{
+    fatal_if(workload_ == nullptr || workload_->per_core.empty(),
+             "system needs a workload");
+    fatal_if(workload_->per_core.size() < cfg_.cores,
+             "workload has %zu traces for %u cores",
+             workload_->per_core.size(), cfg_.cores);
+
+    noc_.calibrateMeanOneWay(7.5);
+
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        l1_.emplace_back("l1." + std::to_string(c),
+                         arrayCfg(cfg.l1_bytes, cfg.l1_assoc));
+        CacheArrayConfig l2c = arrayCfg(cfg.l2_bytes, cfg.l2_assoc);
+        if (cfg_.scheme == Scheme::Emcc) {
+            l2c.class_cap_bytes[static_cast<int>(LineClass::Counter)] =
+                cfg_.l2_ctr_cap_bytes;
+        }
+        l2_.emplace_back("l2." + std::to_string(c), l2c);
+        l1_mshr_.push_back(std::make_unique<MshrFile>(kMshrEntries));
+        l2_mshr_.push_back(std::make_unique<MshrFile>(kMshrEntries));
+        l2_aes_.push_back(std::make_unique<AesPool>(
+            AesPoolConfig{cfg.l2AesRate(), cfg.aes_latency}));
+        cores_.push_back(std::make_unique<CoreModel>(
+            sim, "core." + std::to_string(c), cfg.core, c,
+            &workload_->per_core[c], this));
+    }
+    pending_store_fill_.resize(cfg_.cores);
+    l2_ctr_inflight_.resize(cfg_.cores);
+    l2_ctr_state_.resize(cfg_.cores);
+    intensity_.resize(cfg_.cores);
+}
+
+void
+SecureSystem::sampleIntensity(unsigned core)
+{
+    // §IV-F: periodically compare how many L2 misses were satisfied by
+    // DRAM to how many requests the L2 received; toggle EMCC off when
+    // the phase is not memory-intensive.
+    auto &st = intensity_[core];
+    ++st.l2_accesses;
+    if (st.l2_accesses < cfg_.intensity_window)
+        return;
+    const double per_thousand = 1000.0 *
+        static_cast<double>(st.dram_fills) /
+        static_cast<double>(st.l2_accesses);
+    st.emcc_on = per_thousand >= cfg_.memory_intensity_threshold;
+    ++stats_.dynamic_windows;
+    if (!st.emcc_on)
+        ++stats_.dynamic_off_windows;
+    st.l2_accesses = 0;
+    st.dram_fills = 0;
+}
+
+Addr
+SecureSystem::translate(unsigned core, Addr vaddr)
+{
+    const Addr space_span = 1ull << 40;
+    const Addr v = workload_->shared_address_space
+                       ? vaddr : vaddr + space_span * core;
+    return mapper_.translate(v) % meta_.dataBytes();
+}
+
+std::int64_t
+SecureSystem::nocDeltaTicks()
+{
+    if (!cfg_.nonuniform_noc)
+        return 0;
+    return static_cast<std::int64_t>(noc_.sampleDeltaNs(rng_) * 1000.0);
+}
+
+Tick
+SecureSystem::addDelta(Tick base, std::int64_t delta)
+{
+    if (delta >= 0)
+        return base + static_cast<Tick>(delta);
+    const Tick d = static_cast<Tick>(-delta);
+    return base > d ? base - d : base;
+}
+
+// --------------------------------------------------------------- core port
+
+void
+SecureSystem::read(unsigned core, Addr vaddr, std::function<void(Tick)> done)
+{
+    const Addr pa = translate(core, vaddr);
+    const Tick t0 = curTick();
+    ++stats_.data_reads;
+
+    if (l1_[core].access(pa, LineClass::Data, false)) {
+        ++stats_.l1_hits;
+        const Tick fill = t0 + cfg_.l1_latency;
+        sim().schedule(fill, [done, fill] { done(fill); });
+        return;
+    }
+    const Tick t1 = t0 + cfg_.l1_latency;
+    const auto outcome = l1_mshr_[core]->allocate(blockAlign(pa),
+        [done](Tick fill) { done(fill); });
+    if (outcome == MshrOutcome::Merged)
+        return;
+    panic_if(outcome == MshrOutcome::Full, "L1 MSHR overflow");
+    handleL1Miss(core, pa, /*is_store=*/false, t1);
+}
+
+void
+SecureSystem::write(unsigned core, Addr vaddr,
+                    std::function<void(Tick)> done)
+{
+    const Addr pa = translate(core, vaddr);
+    const Tick t0 = curTick();
+    ++stats_.data_writes;
+
+    if (l1_[core].access(pa, LineClass::Data, true)) {
+        const Tick fill = t0 + cfg_.l1_latency;
+        if (done)
+            sim().schedule(fill, [done, fill] { done(fill); });
+        return;
+    }
+    const Tick t1 = t0 + cfg_.l1_latency;
+    const Addr blk = blockAlign(pa);
+    if (l1_mshr_[core]->outstanding(blk)) {
+        // Merge the store into the outstanding fill; it will land dirty.
+        pending_store_fill_[core][blk] = true;
+        l1_mshr_[core]->allocate(blk, std::move(done));
+        return;
+    }
+    l1_mshr_[core]->allocate(blk, std::move(done));
+    pending_store_fill_[core][blk] = true;
+    handleL1Miss(core, pa, /*is_store=*/true, t1);
+}
+
+void
+SecureSystem::handleL1Miss(unsigned core, Addr pa, bool is_store, Tick t1)
+{
+    l2Access(core, pa, is_store, t1, [this, core, pa](Tick fill) {
+        const Addr blk = blockAlign(pa);
+        bool dirty = false;
+        auto it = pending_store_fill_[core].find(blk);
+        if (it != pending_store_fill_[core].end()) {
+            dirty = it->second;
+            pending_store_fill_[core].erase(it);
+        }
+        insertL1(core, pa, dirty);
+        l1_mshr_[core]->complete(blk, fill);
+    });
+}
+
+void
+SecureSystem::insertL1(unsigned core, Addr pa, bool dirty)
+{
+    auto victim = l1_[core].insert(pa, LineClass::Data, dirty);
+    if (victim && victim->dirty) {
+        // L1 dirty eviction lands in L2 (write-back, timing-free).
+        auto v2 = l2_[core].insert(victim->addr, LineClass::Data, true);
+        if (v2)
+            handleL2Victim(core, *v2, curTick());
+    }
+}
+
+// ------------------------------------------------------------------- L2
+
+void
+SecureSystem::l2Access(unsigned core, Addr pa, bool is_store, Tick t,
+                       FinishCb fill_cb)
+{
+    const Tick t_l2 = t + cfg_.l2_latency;
+    if (cfg_.dynamic_emcc_off)
+        sampleIntensity(core);
+    if (l2_[core].access(pa, LineClass::Data, is_store)) {
+        ++stats_.l2_data_hits;
+        sim().schedule(t_l2, [fill_cb, t_l2] { fill_cb(t_l2); });
+        return;
+    }
+    ++stats_.l2_data_misses;
+    const Addr blk = blockAlign(pa);
+    const Tick t_miss = t_l2;
+
+    const auto outcome = l2_mshr_[core]->allocate(blk, fill_cb);
+    if (outcome == MshrOutcome::Merged)
+        return;
+    panic_if(outcome == MshrOutcome::Full, "L2 MSHR overflow");
+
+    CtrPath ctr;
+    if (cfg_.scheme == Scheme::Emcc)
+        ctr = emccCounterPath(core, pa, t_miss);
+
+    llcDataAccess(core, pa, t_miss, ctr,
+                  [this, core, pa, blk, t_miss](Tick fill) {
+        stats_.l2_miss_latency_sum_ns += ticksToNs(fill - t_miss);
+        ++stats_.l2_miss_latency_count;
+        insertL2Data(core, pa, /*dirty=*/false, fill);
+        sim().schedule(fill, [this, core, blk, fill] {
+            l2_mshr_[core]->complete(blk, fill);
+        });
+    });
+}
+
+SecureSystem::CtrPath
+SecureSystem::emccCounterPath(unsigned core, Addr pa, Tick t_miss)
+{
+    CtrPath out;
+    // §IV-F: EMCC dynamically offloads everything to the MC during
+    // non-memory-intensive phases.
+    if (cfg_.dynamic_emcc_off && !intensity_[core].emcc_on) {
+        out.mc_decrypts = true;
+        return out;
+    }
+    const Addr ctr = meta_.counterBlockAddr(pa);
+    // Serial lookup during spare L2 cycles ('J').
+    const Tick t_lookup = t_miss + cfg_.l2_spare_cycle_wait +
+                          cfg_.l2_latency;
+    const Tick decode = design_->decodeLatency();
+
+    if (l2_[core].access(ctr, LineClass::Counter, false)) {
+        ++stats_.emcc_l2_ctr_hits;
+        out.ctr_ready_at_l2 = t_lookup + decode;
+        return out;
+    }
+    ++stats_.emcc_l2_ctr_misses;
+
+    // A fetch for this counter block may already be in flight.
+    auto &inflight = l2_ctr_inflight_[core];
+    auto inflight_it = inflight.find(ctr);
+    if (inflight_it != inflight.end()) {
+        if (inflight_it->second == kTickInvalid) {
+            // In flight via the MC (LLC miss): the MC will decrypt.
+            out.mc_decrypts = true;
+        } else {
+            out.ctr_ready_at_l2 = inflight_it->second + decode;
+        }
+        return out;
+    }
+
+    // Parallel (speculative) counter request to the LLC. The
+    // useless-access tracking entry is created at fetch initiation so
+    // the triggering miss itself can mark it used (the array insertion
+    // happens later, at the arrival tick).
+    ++stats_.emcc_ctr_accesses_to_llc;
+    if (llc_.access(ctr, LineClass::Counter, false)) {
+        auto &state = l2_ctr_state_[core];
+        if (!state.count(ctr)) {
+            ++stats_.l2_ctr_inserts;
+            state.emplace(ctr, false);
+        }
+        const std::int64_t delta = nocDeltaTicks();
+        const Tick arrival = addDelta(
+            t_lookup + cfg_.llc_ctr_access + cfg_.emcc_ctr_payload_extra,
+            delta);
+        inflight.emplace(ctr, arrival);
+        insertL2Counter(core, ctr, arrival);
+        out.ctr_ready_at_l2 = arrival + decode;
+        return out;
+    }
+
+    // Counter misses in LLC: the request is forwarded to the MC, which
+    // fetches + verifies it and decrypts the data itself (§IV-D).
+    out.mc_decrypts = true;
+    inflight.emplace(ctr, kTickInvalid);
+    const Tick t_mc = t_lookup + cfg_.req_l2_to_llc + cfg_.llc_tag +
+                      cfg_.noc_llc_mc;
+    mcFetchCounter(pa, t_mc, /*count_buckets=*/true,
+                   [this, core, ctr](Tick verified) {
+        // Verified counter returns to the LLC and the requesting L2.
+        // It already served this miss (the MC used it to decrypt the
+        // data), so it starts life in L2 marked used.
+        auto &state = l2_ctr_state_[core];
+        if (!state.count(ctr)) {
+            ++stats_.l2_ctr_inserts;
+            state.emplace(ctr, true);
+        }
+        insertLlc(ctr, LineClass::Counter, false, verified);
+        const Tick at_l2 = verified + cfg_.resp_mc_to_l2;
+        insertL2Counter(core, ctr, at_l2);
+        sim().schedule(at_l2, [this, core, ctr] {
+            auto &inf = l2_ctr_inflight_[core];
+            auto it = inf.find(ctr);
+            if (it != inf.end() && it->second == kTickInvalid)
+                inf.erase(it);
+        });
+    });
+    return out;
+}
+
+void
+SecureSystem::llcDataAccess(unsigned core, Addr pa, Tick t_miss,
+                            const CtrPath &ctr, FinishCb fill_cb)
+{
+    if (llc_.access(pa, LineClass::Data, false)) {
+        ++stats_.llc_data_hits;
+        const Tick fill = addDelta(t_miss + cfg_.llc_latency,
+                                   nocDeltaTicks());
+        if (cfg_.inclusive_llc && llc_.getFlag(pa)) {
+            // §IV-F inclusive mode: the LLC copy is still encrypted &
+            // unverified; the L2 decrypts and verifies it on arrival.
+            ++stats_.llc_unverified_hits;
+            llc_.setFlag(pa, false);   // the L2 copy will be verified
+            if (cfg_.scheme == Scheme::Emcc && !ctr.mc_decrypts &&
+                ctr.ctr_ready_at_l2 != kTickInvalid) {
+                ++stats_.decrypted_at_l2;
+                const Tick slot = l2_aes_[core]->submit(t_miss, 5);
+                const Tick done = std::max(
+                    {fill, slot, ctr.ctr_ready_at_l2 + cfg_.aes_latency});
+                sim().schedule(done, [fill_cb, done] { fill_cb(done); });
+            } else {
+                // No counter at the L2: the MC's machinery verifies,
+                // costing a counter fetch + AES + the response trip.
+                ++stats_.decrypted_at_mc;
+                const Tick t_mc = t_miss + cfg_.req_l2_to_llc +
+                                  cfg_.llc_tag + cfg_.noc_llc_mc;
+                mcFetchCounter(pa, t_mc, /*count_buckets=*/false,
+                               [this, fill, fill_cb](Tick ctr_tick) {
+                    const Tick aes_done = mc_aes_.submit(
+                        ctr_tick + design_->decodeLatency(), 5);
+                    const Tick done = std::max(
+                        fill, aes_done + cfg_.resp_mc_to_l2);
+                    sim().schedule(done,
+                                   [fill_cb, done] { fill_cb(done); });
+                });
+            }
+            return;
+        }
+        // Data in the LLC is plaintext (it got there as an L2 victim or
+        // was verified before insertion); no cryptography needed, and
+        // any speculative counter access stays unused unless a later
+        // LLC miss uses it.
+        sim().schedule(fill, [fill_cb, fill] { fill_cb(fill); });
+        return;
+    }
+    ++stats_.llc_data_misses;
+    if (cfg_.dynamic_emcc_off)
+        ++intensity_[core].dram_fills;
+
+    CtrPath ctr_final = ctr;
+    if (cfg_.scheme == Scheme::Emcc && !ctr.mc_decrypts) {
+        // The counter in L2 is genuinely used for this LLC miss.
+        const Addr ctr_addr = meta_.counterBlockAddr(pa);
+        auto it = l2_ctr_state_[core].find(ctr_addr);
+        if (it != l2_ctr_state_[core].end())
+            it->second = true;
+        // Adaptive offload: if the L2 AES pool is too backed up, embed
+        // the offload bit in the miss request and let the MC decrypt.
+        if (cfg_.adaptive_offload &&
+            l2_aes_[core]->queueDelay(t_miss) > cfg_.resp_mc_to_l2) {
+            ctr_final.mc_decrypts = true;
+            ++stats_.adaptive_offloads;
+        }
+    }
+
+    const Tick tag = cfg_.xpt ? 0 : cfg_.llc_tag;
+    const Tick t_mc = t_miss + cfg_.req_l2_to_llc + tag + cfg_.noc_llc_mc;
+    mcDataRead(core, pa, t_mc, ctr_final, t_miss, std::move(fill_cb));
+}
+
+// ------------------------------------------------------------------- MC
+
+void
+SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
+                         const CtrPath &ctr, Tick t_miss,
+                         FinishCb fill_at_l2_cb)
+{
+    // Join state between the DRAM data fetch and the crypto path.
+    struct Join
+    {
+        Tick data_done = kTickInvalid;
+        Tick crypto_done = kTickInvalid;
+        bool crypto_needed = true;
+        bool crypto_at_l2 = false;
+        FinishCb cb;
+    };
+    auto join = std::make_shared<Join>();
+    join->cb = std::move(fill_at_l2_cb);
+
+    const std::int64_t resp_delta = nocDeltaTicks();
+    auto try_finish = [this, join, resp_delta, pa] {
+        if (join->data_done == kTickInvalid)
+            return;
+        if (join->crypto_needed && join->crypto_done == kTickInvalid)
+            return;
+        Tick leave_mc = join->data_done;
+        if (join->crypto_needed && !join->crypto_at_l2)
+            leave_mc = std::max(leave_mc, join->crypto_done);
+        Tick fill = addDelta(leave_mc + cfg_.resp_mc_to_l2, resp_delta);
+        if (join->crypto_at_l2)
+            fill = std::max(fill, join->crypto_done);
+        // §IV-F inclusive mode: the response also allocates in the LLC
+        // on its way up, marked unverified if the L2 does the crypto.
+        if (cfg_.inclusive_llc) {
+            insertLlc(pa, LineClass::Data, false,
+                      leave_mc + cfg_.noc_llc_mc,
+                      /*unverified=*/join->crypto_at_l2);
+        }
+        join->cb(fill);
+    };
+
+    // ---- crypto path
+    switch (cfg_.scheme) {
+      case Scheme::NonSecure:
+        join->crypto_needed = false;
+        break;
+      case Scheme::McOnly:
+      case Scheme::LlcBaseline:
+        mcFetchCounter(pa, t_mc, /*count_buckets=*/true,
+                       [this, join, try_finish](Tick ctr_tick) {
+            const Tick start = ctr_tick + design_->decodeLatency();
+            join->crypto_done = mc_aes_.submit(start, 5);
+            try_finish();
+        });
+        break;
+      case Scheme::Emcc:
+        if (ctr.mc_decrypts) {
+            ++stats_.decrypted_at_mc;
+            // Merge with the counter fetch already in flight (or a hit).
+            mcFetchCounter(pa, t_mc, /*count_buckets=*/false,
+                           [this, join, try_finish](Tick ctr_tick) {
+                const Tick start = ctr_tick + design_->decodeLatency();
+                join->crypto_done = mc_aes_.submit(start, 5);
+                try_finish();
+            });
+        } else {
+            ++stats_.decrypted_at_l2;
+            join->crypto_at_l2 = true;
+            panic_if(ctr.ctr_ready_at_l2 == kTickInvalid,
+                     "EMCC L2 crypto without a counter");
+            // The pool's *throughput* is consumed in submission order;
+            // the *start* of this block's AES is additionally gated on
+            // the decoded counter and (optionally) the LLC-hit-latency
+            // waste guard. Modeling them separately keeps one delayed
+            // start from idling the whole pool.
+            const Tick slot_done = l2_aes_[core]->submit(t_miss, 5);
+            Tick gate = ctr.ctr_ready_at_l2;
+            if (cfg_.llc_hit_wait)
+                gate = std::max(gate, t_miss + cfg_.llc_latency);
+            join->crypto_done = std::max(slot_done,
+                                         gate + cfg_.aes_latency);
+        }
+        break;
+    }
+
+    // ---- data path
+    dramRequest(pa, MemClass::Data, /*is_write=*/false, t_mc,
+                [join, try_finish](Tick done) {
+        join->data_done = done;
+        try_finish();
+    });
+}
+
+void
+SecureSystem::mcFetchCounter(Addr pa, Tick t, bool count_buckets,
+                             FinishCb cb)
+{
+    const Addr ctr = meta_.counterBlockAddr(pa);
+    if (mc_cache_.access(ctr, LineClass::Counter, false)) {
+        if (count_buckets)
+            ++stats_.mc_ctr_hits;
+        const Tick ready = t + cfg_.mc_ctr_cache_latency;
+        cb(ready);
+        return;
+    }
+    const Tick t1 = t + cfg_.mc_ctr_cache_latency;
+
+    if (cfg_.countersInLlc() &&
+        llc_.access(ctr, LineClass::Counter, false)) {
+        if (count_buckets)
+            ++stats_.llc_ctr_hits;
+        if (cfg_.scheme == Scheme::LlcBaseline)
+            ++stats_.baseline_ctr_accesses_to_llc;
+        const Tick ready = addDelta(t1 + cfg_.llc_ctr_access,
+                                    nocDeltaTicks());
+        insertMcCache(ctr, LineClass::Counter, false, ready);
+        cb(ready);
+        return;
+    }
+
+    if (count_buckets)
+        ++stats_.llc_ctr_misses;
+    if (cfg_.scheme == Scheme::LlcBaseline && cfg_.countersInLlc())
+        ++stats_.baseline_ctr_accesses_to_llc;
+
+    // Miss determination round-trips the LLC for schemes that cache
+    // counters there; MC-only goes straight to DRAM.
+    const Tick t2 = cfg_.countersInLlc() ? t1 + cfg_.llc_ctr_access : t1;
+
+    const auto outcome = mc_ctr_mshr_.allocate(ctr, cb);
+    if (outcome == MshrOutcome::Merged)
+        return;
+    panic_if(outcome == MshrOutcome::Full, "MC counter MSHR overflow");
+
+    // Determine which tree levels must also be fetched (functional
+    // walk); fetches issue in parallel, verification serializes on AES.
+    struct Walk
+    {
+        unsigned outstanding = 0;
+        Tick max_arrival = 0;
+        unsigned fetched_levels = 0;
+    };
+    auto walk = std::make_shared<Walk>();
+
+    auto arrive = [this, walk, ctr](Tick when) {
+        walk->max_arrival = std::max(walk->max_arrival, when);
+        panic_if(walk->outstanding == 0, "tree walk underflow");
+        if (--walk->outstanding > 0)
+            return;
+        // All blocks arrived; verify bottom-up: one AES per level plus
+        // one for the counter block itself.
+        const Tick verified = mc_aes_.submit(walk->max_arrival,
+                                             walk->fetched_levels + 1);
+        insertMcCache(ctr, LineClass::Counter, false, verified);
+        if (cfg_.countersInLlc())
+            insertLlc(ctr, LineClass::Counter, false, verified);
+        mc_ctr_mshr_.complete(ctr, verified);
+    };
+
+    walk->outstanding = 1;   // the counter block itself
+    std::vector<std::pair<Addr, bool>> node_fetches; // (addr, from_llc)
+    for (unsigned lvl = 1; lvl < meta_.numLevels(); ++lvl) {
+        const Addr node = meta_.treeNodeAddr(lvl, pa);
+        if (mc_cache_.access(node, LineClass::TreeNode, false))
+            break;
+        if (cfg_.countersInLlc() &&
+            llc_.access(node, LineClass::TreeNode, false)) {
+            node_fetches.emplace_back(node, true);
+            break;
+        }
+        node_fetches.emplace_back(node, false);
+    }
+    walk->outstanding += static_cast<unsigned>(node_fetches.size());
+    walk->fetched_levels = static_cast<unsigned>(node_fetches.size());
+
+    dramRequest(ctr, MemClass::Counter, false, t2, arrive);
+    for (const auto &[node, from_llc] : node_fetches) {
+        if (from_llc) {
+            const Tick ready = addDelta(t2 + cfg_.llc_ctr_access,
+                                        nocDeltaTicks());
+            insertMcCache(node, LineClass::TreeNode, false, ready);
+            sim().schedule(ready, [arrive, ready] { arrive(ready); });
+        } else {
+            dramRequest(node, MemClass::Counter, false, t2,
+                        [this, node, arrive](Tick when) {
+                insertMcCache(node, LineClass::TreeNode, false, when);
+                if (cfg_.countersInLlc())
+                    insertLlc(node, LineClass::TreeNode, false, when);
+                arrive(when);
+            });
+        }
+    }
+}
+
+void
+SecureSystem::mcHandleWriteback(Addr pa, Tick t)
+{
+    if (cfg_.scheme == Scheme::NonSecure) {
+        // No metadata, no encryption: the writeback goes straight out.
+        dramRequest(pa, MemClass::Data, /*is_write=*/true, t, nullptr);
+        return;
+    }
+    mcFetchCounter(pa, t, /*count_buckets=*/false,
+                   [this, pa](Tick ctr_tick) {
+        const Addr ctr = meta_.counterBlockAddr(pa);
+        const auto wr = design_->bumpCounter(pa);
+        if (wr.overflow) {
+            ++stats_.overflows;
+            const std::uint64_t coverage = design_->coverageBytes();
+            scheduleOverflowJob((pa / coverage) * coverage,
+                                wr.reencrypt_blocks, ctr_tick);
+        }
+        // The updated counter lives dirty in the MC cache; stale copies
+        // elsewhere are invalidated (Fig 23 counts the L2 ones).
+        insertMcCache(ctr, LineClass::Counter, true, ctr_tick);
+        if (cfg_.scheme == Scheme::Emcc) {
+            for (unsigned c = 0; c < cfg_.cores; ++c) {
+                if (l2_[c].invalidate(ctr))
+                    noteL2CounterGone(c, ctr, /*invalidated=*/true);
+            }
+        }
+        if (cfg_.countersInLlc())
+            llc_.invalidate(ctr);
+
+        // Encrypt + MAC update: 8 AES ops (4 encrypt + 4 MAC words).
+        const Tick aes_done = mc_aes_.submit(
+            ctr_tick + design_->decodeLatency(), 8);
+        dramRequest(pa, MemClass::Data, /*is_write=*/true, aes_done,
+                    nullptr);
+    });
+}
+
+void
+SecureSystem::scheduleOverflowJob(Addr region_base, Count blocks, Tick t)
+{
+    auto job = std::make_shared<OverflowJob>();
+    job->base = region_base;
+    job->total = blocks;
+    if (overflow_active_.size() < 2)
+        overflow_active_.push_back(job);
+    else
+        overflow_queued_.push_back(job);
+    pumpOverflowJobs(t);
+}
+
+void
+SecureSystem::pumpOverflowJobs(Tick t)
+{
+    // Keep at most 8 overflow requests in flight per job (paper §V).
+    for (const auto &job : overflow_active_) {
+        while (job->issued < job->total &&
+               job->issued - job->completed < 8) {
+            const Addr addr = job->base + job->issued * kBlockBytes;
+            ++job->issued;
+            dramRequest(addr, MemClass::OverflowL0, false, t,
+                        [this, addr, job](Tick when) {
+                // Re-encrypted block is written back.
+                dramRequest(addr, MemClass::OverflowL0, true, when,
+                            nullptr);
+                ++job->completed;
+                pumpOverflowJobs(when);
+            });
+        }
+    }
+    // Retire finished jobs and promote queued ones.
+    for (auto it = overflow_active_.begin();
+         it != overflow_active_.end();) {
+        if ((*it)->completed >= (*it)->total) {
+            it = overflow_active_.erase(it);
+            if (!overflow_queued_.empty()) {
+                overflow_active_.push_back(overflow_queued_.front());
+                overflow_queued_.erase(overflow_queued_.begin());
+            }
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+SecureSystem::dramRequest(Addr addr, MemClass cls, bool is_write, Tick t,
+                          FinishCb done)
+{
+    sim().schedule(std::max(t, curTick()),
+                   [this, addr, cls, is_write, done] {
+        tryEnqueueDram(addr, cls, is_write, done);
+    });
+}
+
+void
+SecureSystem::tryEnqueueDram(Addr addr, MemClass cls, bool is_write,
+                             FinishCb done)
+{
+    DramRequest req;
+    req.addr = addr;
+    req.is_write = is_write;
+    req.mclass = cls;
+    if (done)
+        req.on_complete = done;
+    if (!dram_.enqueue(req)) {
+        sim().scheduleIn(kDramRetry, [this, addr, cls, is_write, done] {
+            tryEnqueueDram(addr, cls, is_write, done);
+        });
+    }
+}
+
+// --------------------------------------------------------------- fills
+
+void
+SecureSystem::insertL2Data(unsigned core, Addr pa, bool dirty, Tick t)
+{
+    sim().schedule(std::max(t, curTick()), [this, core, pa, dirty] {
+        auto victim = l2_[core].insert(pa, LineClass::Data, dirty);
+        if (victim)
+            handleL2Victim(core, *victim, curTick());
+    });
+}
+
+void
+SecureSystem::insertL2Counter(unsigned core, Addr ctr_addr, Tick t)
+{
+    sim().schedule(std::max(t, curTick()), [this, core, ctr_addr] {
+        auto &inflight = l2_ctr_inflight_[core];
+        inflight.erase(ctr_addr);
+        // The useless-tracking entry normally exists already (created
+        // at fetch initiation); create a fallback one if not.
+        auto &state = l2_ctr_state_[core];
+        if (!state.count(ctr_addr)) {
+            ++stats_.l2_ctr_inserts;
+            state.emplace(ctr_addr, false);
+        }
+        auto victim = l2_[core].insert(ctr_addr, LineClass::Counter,
+                                       false);
+        if (victim)
+            handleL2Victim(core, *victim, curTick());
+    });
+}
+
+void
+SecureSystem::noteL2CounterGone(unsigned core, Addr ctr_addr,
+                                bool invalidated)
+{
+    auto &state = l2_ctr_state_[core];
+    auto it = state.find(ctr_addr);
+    if (it == state.end())
+        return;
+    if (!it->second)
+        ++stats_.useless_ctr_accesses;
+    if (invalidated)
+        ++stats_.l2_ctr_invalidations;
+    state.erase(it);
+}
+
+void
+SecureSystem::handleL2Victim(unsigned core, const Victim &v, Tick t)
+{
+    if (v.cls == LineClass::Counter) {
+        noteL2CounterGone(core, v.addr, /*invalidated=*/false);
+        return;
+    }
+    // Non-inclusive hierarchy: L2 evictions fill the LLC as victims.
+    insertLlc(v.addr, v.cls, v.dirty, t);
+}
+
+void
+SecureSystem::insertLlc(Addr pa, LineClass cls, bool dirty, Tick t,
+                        bool unverified)
+{
+    sim().schedule(std::max(t, curTick()),
+                   [this, pa, cls, dirty, unverified] {
+        auto victim = llc_.insert(pa, cls, dirty);
+        // The flag reflects the newest copy: set for unverified DRAM
+        // fills (inclusive mode), cleared when a verified/plaintext
+        // copy arrives (e.g. an L2 victim).
+        llc_.setFlag(pa, unverified);
+        if (!victim)
+            return;
+        // Inclusive mode: evicting a data line from the LLC must also
+        // invalidate any L2 copies.
+        if (cfg_.inclusive_llc && victim->cls == LineClass::Data) {
+            for (unsigned c = 0; c < cfg_.cores; ++c) {
+                auto was_dirty = l2_[c].invalidate(victim->addr);
+                if (was_dirty) {
+                    ++stats_.inclusive_back_invalidations;
+                    if (*was_dirty) {
+                        mcHandleWriteback(victim->addr,
+                                          curTick() + cfg_.noc_llc_mc);
+                    }
+                }
+                l1_[c].invalidate(victim->addr);
+            }
+        }
+        if (!victim->dirty)
+            return;
+        if (victim->cls == LineClass::Data) {
+            mcHandleWriteback(victim->addr,
+                              curTick() + cfg_.noc_llc_mc);
+        } else {
+            dramRequest(victim->addr, MemClass::Counter, true,
+                        curTick() + cfg_.noc_llc_mc, nullptr);
+        }
+    });
+}
+
+void
+SecureSystem::insertMcCache(Addr addr, LineClass cls, bool dirty, Tick t)
+{
+    sim().schedule(std::max(t, curTick()), [this, addr, cls, dirty] {
+        auto victim = mc_cache_.insert(addr, cls, dirty);
+        if (victim && victim->dirty) {
+            dramRequest(victim->addr, MemClass::Counter, true, curTick(),
+                        nullptr);
+        }
+    });
+}
+
+StatSet
+RunResults::toStatSet() const
+{
+    StatSet s;
+    s.set("ipc_total", total_ipc);
+    s.set("duration_ns", duration_ns);
+    s.set("instructions", static_cast<double>(instructions));
+
+    s.set("data_reads", static_cast<double>(sys.data_reads));
+    s.set("data_writes", static_cast<double>(sys.data_writes));
+    s.set("l1_hits", static_cast<double>(sys.l1_hits));
+    s.set("l2_data_hits", static_cast<double>(sys.l2_data_hits));
+    s.set("l2_data_misses", static_cast<double>(sys.l2_data_misses));
+    s.set("llc_data_hits", static_cast<double>(sys.llc_data_hits));
+    s.set("llc_data_misses", static_cast<double>(sys.llc_data_misses));
+    s.set("l2_miss_latency_avg_ns",
+          safeRatio(sys.l2_miss_latency_sum_ns,
+                    static_cast<double>(sys.l2_miss_latency_count)));
+    s.set("mc_ctr_hits", static_cast<double>(sys.mc_ctr_hits));
+    s.set("llc_ctr_hits", static_cast<double>(sys.llc_ctr_hits));
+    s.set("llc_ctr_misses", static_cast<double>(sys.llc_ctr_misses));
+    s.set("emcc_l2_ctr_hits", static_cast<double>(sys.emcc_l2_ctr_hits));
+    s.set("emcc_l2_ctr_misses",
+          static_cast<double>(sys.emcc_l2_ctr_misses));
+    s.set("emcc_ctr_accesses_to_llc",
+          static_cast<double>(sys.emcc_ctr_accesses_to_llc));
+    s.set("baseline_ctr_accesses_to_llc",
+          static_cast<double>(sys.baseline_ctr_accesses_to_llc));
+    s.set("useless_ctr_accesses",
+          static_cast<double>(sys.useless_ctr_accesses));
+    s.set("l2_ctr_inserts", static_cast<double>(sys.l2_ctr_inserts));
+    s.set("l2_ctr_invalidations",
+          static_cast<double>(sys.l2_ctr_invalidations));
+    s.set("decrypted_at_l2", static_cast<double>(sys.decrypted_at_l2));
+    s.set("decrypted_at_mc", static_cast<double>(sys.decrypted_at_mc));
+    s.set("adaptive_offloads",
+          static_cast<double>(sys.adaptive_offloads));
+    s.set("overflows", static_cast<double>(sys.overflows));
+    s.set("llc_unverified_hits",
+          static_cast<double>(sys.llc_unverified_hits));
+    s.set("dynamic_off_windows",
+          static_cast<double>(sys.dynamic_off_windows));
+
+    for (int c = 0; c < static_cast<int>(MemClass::NumClasses); ++c) {
+        const std::string base = std::string("dram_") +
+                                 memClassName(static_cast<MemClass>(c));
+        s.set(base + "_reads", static_cast<double>(dram.reads[c]));
+        s.set(base + "_writes", static_cast<double>(dram.writes[c]));
+    }
+    s.set("dram_row_hits", static_cast<double>(dram.row_hits));
+    s.set("dram_row_misses", static_cast<double>(dram.row_misses));
+    s.set("dram_row_conflicts",
+          static_cast<double>(dram.row_conflicts));
+    s.set("dram_bus_busy_ns", ticksToNs(dram.bus_busy));
+    return s;
+}
+
+// --------------------------------------------------------------- driving
+
+void
+SecureSystem::resetStats()
+{
+    stats_ = SystemStats{};
+    dram_.resetStats();
+    mc_aes_.reset();
+    for (auto &p : l2_aes_)
+        p->reset();
+    llc_.resetStats();
+    mc_cache_.resetStats();
+    for (auto &c : l1_)
+        c.resetStats();
+    for (auto &c : l2_)
+        c.resetStats();
+    measure_start_ = curTick();
+}
+
+void
+SecureSystem::collectResults(Count instructions)
+{
+    results_ = RunResults{};
+    results_.instructions = instructions;
+    results_.sys = stats_;
+    results_.dram = dram_.aggregateStats();
+    results_.duration_ns = ticksToNs(curTick() - measure_start_);
+    for (const auto &core : cores_)
+        results_.total_ipc += core->stats().ipc(cfg_.core.cyclePs());
+}
+
+void
+SecureSystem::run(Count warmup, Count measure)
+{
+    // ---- warmup phase
+    if (warmup > 0) {
+        cores_running_ = cfg_.cores;
+        for (auto &core : cores_) {
+            core->start(warmup, [this] {
+                panic_if(cores_running_ == 0, "core finish underflow");
+                --cores_running_;
+            });
+        }
+        while (cores_running_ > 0 && sim().events().step()) {
+        }
+    }
+
+    // ---- measurement phase
+    resetStats();
+    cores_running_ = cfg_.cores;
+    for (auto &core : cores_) {
+        core->start(measure, [this] {
+            panic_if(cores_running_ == 0, "core finish underflow");
+            --cores_running_;
+        });
+    }
+    while (cores_running_ > 0 && sim().events().step()) {
+    }
+    collectResults(measure * cfg_.cores);
+}
+
+} // namespace emcc

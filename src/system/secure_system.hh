@@ -1,0 +1,232 @@
+/**
+ * @file
+ * The full-system timing model: 4 OoO-approximated cores, L1/L2 private
+ * caches, a shared non-inclusive (victim) LLC, a DDR4 memory controller
+ * with secure-memory metadata machinery, and the four schemes —
+ * non-secure, MC-only counter cache, LLC-baseline (prior work), and
+ * EMCC (this paper).
+ *
+ * Methodology mirrors the paper's modified gem5 classic model: cache
+ * latencies are additive (Table I), a non-uniform NoC component sampled
+ * from the Fig-3 mesh distribution is added to L3 hit and L3-miss
+ * response latencies, DRAM is the event-driven DDR4 model, and AES
+ * bandwidth is a pool of units at the MC — half of which EMCC moves to
+ * the L2s.
+ */
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/mshr.hh"
+#include "common/stats.hh"
+#include "core/core_model.hh"
+#include "crypto/aes_pool.hh"
+#include "dram/dram.hh"
+#include "noc/latency_model.hh"
+#include "noc/mesh.hh"
+#include "secmem/counter_design.hh"
+#include "secmem/metadata_map.hh"
+#include "system/config.hh"
+#include "system/page_mapper.hh"
+#include "workloads/workload.hh"
+
+namespace emcc {
+
+/** System-level counters the figures consume. */
+struct SystemStats
+{
+    // core-visible
+    Count data_reads = 0;
+    Count data_writes = 0;
+    Count l1_hits = 0;
+    Count l2_data_hits = 0;
+    Count l2_data_misses = 0;
+    Count llc_data_hits = 0;
+    Count llc_data_misses = 0;    ///< normal memory reads reaching the MC
+
+    // L2 miss latency (Fig 17): L2-miss request to data usable at L2
+    double l2_miss_latency_sum_ns = 0.0;
+    Count l2_miss_latency_count = 0;
+
+    // counter location breakdown for reads (Figs 6/7 shape)
+    Count mc_ctr_hits = 0;
+    Count llc_ctr_hits = 0;
+    Count llc_ctr_misses = 0;
+
+    // EMCC-specific (Figs 11/12/19/23)
+    Count emcc_l2_ctr_hits = 0;
+    Count emcc_l2_ctr_misses = 0;
+    Count emcc_ctr_accesses_to_llc = 0;
+    Count baseline_ctr_accesses_to_llc = 0;
+    Count useless_ctr_accesses = 0;
+    Count l2_ctr_inserts = 0;
+    Count l2_ctr_invalidations = 0;
+    Count decrypted_at_l2 = 0;
+    Count decrypted_at_mc = 0;
+    Count adaptive_offloads = 0;
+
+    Count overflows = 0;
+
+    // §IV-F extensions
+    Count llc_unverified_hits = 0;   ///< inclusive mode: hits on
+                                     ///  encrypted&unverified LLC lines
+    Count inclusive_back_invalidations = 0;
+    Count dynamic_off_windows = 0;   ///< windows with EMCC toggled off
+    Count dynamic_windows = 0;       ///< total sampling windows
+};
+
+/** Aggregated results of a measured window. */
+struct RunResults
+{
+    double total_ipc = 0.0;          ///< sum of per-core IPC
+    double duration_ns = 0.0;        ///< measured wall (simulated) time
+    SystemStats sys;
+    DramStats dram;
+    Count instructions = 0;
+
+    /** Flatten everything into a named StatSet (for CSV/JSON export
+     *  and tooling). */
+    StatSet toStatSet() const;
+};
+
+/**
+ * The system. Construct with a config and a workload, call run(), read
+ * results().
+ */
+class SecureSystem : public Component, public MemorySystemPort
+{
+  public:
+    SecureSystem(Simulator &sim, const SystemConfig &cfg,
+                 const WorkloadSet *workload);
+
+    /** Warm caches/counters for @p warmup committed instructions per
+     *  core, reset stats, then measure for @p measure instructions. */
+    void run(Count warmup, Count measure);
+
+    const RunResults &results() const { return results_; }
+    const SystemStats &stats() const { return stats_; }
+    const SystemConfig &config() const { return cfg_; }
+
+    /** AES pool at L2 @p i (for tests / ablations). */
+    const AesPool &l2AesPool(unsigned i) const { return *l2_aes_.at(i); }
+    const AesPool &mcAesPool() const { return mc_aes_; }
+
+    // ---- MemorySystemPort
+    void read(unsigned core, Addr vaddr,
+              std::function<void(Tick)> done) override;
+    void write(unsigned core, Addr vaddr,
+               std::function<void(Tick)> done) override;
+
+  private:
+    using FinishCb = std::function<void(Tick)>;
+
+    /** Per-L2-miss EMCC counter-path outcome. */
+    struct CtrPath
+    {
+        bool mc_decrypts = false;   ///< MC verifies (ctr missed LLC or
+                                    ///  adaptive offload)
+        Tick ctr_ready_at_l2 = kTickInvalid; ///< post-decode, if at L2
+    };
+
+    Addr translate(unsigned core, Addr vaddr);
+    /** Sampled non-uniform NoC delta in ticks (can be negative ns;
+     *  clamped so latencies stay positive). */
+    std::int64_t nocDeltaTicks();
+    static Tick addDelta(Tick base, std::int64_t delta);
+
+    void handleL1Miss(unsigned core, Addr pa, bool is_store, Tick t1);
+    void l2Access(unsigned core, Addr pa, bool is_store, Tick t,
+                  FinishCb fill_cb);
+    CtrPath emccCounterPath(unsigned core, Addr pa, Tick t_miss);
+    void llcDataAccess(unsigned core, Addr pa, Tick t_miss,
+                       const CtrPath &ctr, FinishCb fill_cb);
+    void mcDataRead(unsigned core, Addr pa, Tick t_mc, const CtrPath &ctr,
+                    Tick t_miss, FinishCb fill_at_l2_cb);
+    /** Fetch+verify a counter at the MC; cb gets the verified tick. */
+    void mcFetchCounter(Addr pa, Tick t, bool count_buckets, FinishCb cb);
+    void mcHandleWriteback(Addr pa, Tick t);
+    void scheduleOverflowJob(Addr region_base, Count blocks, Tick t);
+    void pumpOverflowJobs(Tick t);
+    /** Enqueue a DRAM request, retrying while the queue is full. */
+    void dramRequest(Addr addr, MemClass cls, bool is_write, Tick t,
+                     FinishCb done);
+    void tryEnqueueDram(Addr addr, MemClass cls, bool is_write,
+                        FinishCb done);
+
+    void insertL1(unsigned core, Addr pa, bool dirty);
+    void insertL2Data(unsigned core, Addr pa, bool dirty, Tick t);
+    void insertL2Counter(unsigned core, Addr ctr_addr, Tick t);
+    void noteL2CounterGone(unsigned core, Addr ctr_addr, bool invalidated);
+    void handleL2Victim(unsigned core, const Victim &v, Tick t);
+    void insertLlc(Addr pa, LineClass cls, bool dirty, Tick t,
+                   bool unverified = false);
+    void insertMcCache(Addr addr, LineClass cls, bool dirty, Tick t);
+
+    void resetStats();
+    void collectResults(Count instructions);
+
+    SystemConfig cfg_;
+    const WorkloadSet *workload_;
+
+    MeshTopology mesh_;
+    NocLatencyModel noc_;
+    Rng rng_;
+
+    std::unique_ptr<CounterDesign> design_;
+    MetadataMap meta_;
+
+    std::vector<std::unique_ptr<CoreModel>> cores_;
+    std::vector<CacheArray> l1_;
+    std::vector<CacheArray> l2_;
+    CacheArray llc_;
+    CacheArray mc_cache_;
+    std::vector<std::unique_ptr<MshrFile>> l1_mshr_;
+    std::vector<std::unique_ptr<MshrFile>> l2_mshr_;
+    /// per-core pending stores merged into outstanding L1 misses
+    std::vector<std::unordered_map<Addr, bool>> pending_store_fill_;
+    MshrFile mc_ctr_mshr_;
+    /// per-core in-flight EMCC counter fetches -> arrival tick at L2
+    std::vector<std::unordered_map<Addr, Tick>> l2_ctr_inflight_;
+
+    DramMemory dram_;
+    AesPool mc_aes_;
+    std::vector<std::unique_ptr<AesPool>> l2_aes_;
+
+    PageMapper mapper_;
+
+    /// EMCC: per-core resident-counter used flags
+    std::vector<std::unordered_map<Addr, bool>> l2_ctr_state_;
+
+    /// §IV-F dynamic EMCC off: per-core sampling state
+    struct IntensityState
+    {
+        Count l2_accesses = 0;
+        Count dram_fills = 0;
+        bool emcc_on = true;
+    };
+    std::vector<IntensityState> intensity_;
+    void sampleIntensity(unsigned core);
+
+    struct OverflowJob
+    {
+        Addr base = 0;
+        Count issued = 0;
+        Count completed = 0;
+        Count total = 0;
+    };
+    std::vector<std::shared_ptr<OverflowJob>> overflow_active_;
+    std::vector<std::shared_ptr<OverflowJob>> overflow_queued_;
+
+    SystemStats stats_;
+    RunResults results_;
+    Tick measure_start_ = 0;
+    unsigned cores_running_ = 0;
+};
+
+} // namespace emcc

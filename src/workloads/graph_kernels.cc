@@ -1,0 +1,305 @@
+#include "workloads/graph_kernels.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace emcc {
+namespace kernels {
+
+namespace {
+
+/** Iterate this thread's contiguous chunk of vertices. */
+struct VertexRange
+{
+    std::uint64_t begin;
+    std::uint64_t end;
+};
+
+VertexRange
+slice(const CsrGraph &g, ThreadSlice t)
+{
+    const std::uint64_t n = g.numVertices();
+    const std::uint64_t chunk = n / t.nthreads;
+    const std::uint64_t begin = chunk * t.thread;
+    const std::uint64_t end =
+        (t.thread + 1 == t.nthreads) ? n : begin + chunk;
+    return {begin, end};
+}
+
+/** Record the offsets[v], offsets[v+1] pair read (degree lookup). */
+void
+readOffsets(const CsrGraph &g, std::uint64_t v, TraceRecorder &r,
+            std::uint32_t gap)
+{
+    r.load(g.offsetsAddr(v), gap, 16);  // offsets[v] and offsets[v+1]
+}
+
+} // namespace
+
+void
+pageRank(const CsrGraph &g, ThreadSlice t, Rng &rng, TraceRecorder &r)
+{
+    (void)rng;
+    const auto range = slice(g, t);
+    // Pull-style PR: rank in prop0, next-rank in prop1. The per-edge
+    // random reads are rank[u] and deg(u) = offsets[u..u+1].
+    while (!r.full()) {
+        for (std::uint64_t v = range.begin; v < range.end && !r.full();
+             ++v) {
+            readOffsets(g, v, r, 3);
+            for (std::uint64_t e = g.edgeBegin(v);
+                 e < g.edgeEnd(v) && !r.full(); ++e) {
+                r.load(g.edgeAddr(e), 1, 4);
+                const std::uint64_t u = g.edgeTarget(e);
+                r.load(g.propAddr(0, u), 2);        // rank[u] (random)
+                r.load(g.offsetsAddr(u), 1);        // deg(u) (random)
+            }
+            r.store(g.propAddr(1, v), 4);           // next_rank[v]
+        }
+    }
+}
+
+void
+graphColoring(const CsrGraph &g, ThreadSlice t, Rng &rng, TraceRecorder &r)
+{
+    (void)rng;
+    const auto range = slice(g, t);
+    // Greedy coloring sweeps: color in prop0; a second pass refines
+    // conflicts, so the sweep repeats until the trace is full.
+    std::vector<std::uint32_t> color(g.numVertices(), 0);
+    while (!r.full()) {
+        for (std::uint64_t v = range.begin; v < range.end && !r.full();
+             ++v) {
+            readOffsets(g, v, r, 2);
+            std::uint64_t used_mask = 0;
+            for (std::uint64_t e = g.edgeBegin(v);
+                 e < g.edgeEnd(v) && !r.full(); ++e) {
+                r.load(g.edgeAddr(e), 1, 4);
+                const std::uint64_t u = g.edgeTarget(e);
+                r.load(g.propAddr(0, u), 2);        // color[u] (random)
+                if (color[u] < 64)
+                    used_mask |= 1ull << color[u];
+            }
+            std::uint32_t c = 0;
+            while (c < 64 && (used_mask >> c) & 1)
+                ++c;
+            color[v] = c;
+            r.store(g.propAddr(0, v), 3);           // color[v]
+        }
+    }
+}
+
+void
+connectedComp(const CsrGraph &g, ThreadSlice t, Rng &rng, TraceRecorder &r)
+{
+    (void)rng;
+    const auto range = slice(g, t);
+    // Label propagation: labels in prop0, initialized v. The init pass
+    // happens functionally but is NOT recorded: like the paper's
+    // fast-forward into the region of interest, the trace captures the
+    // propagation sweeps, not the setup.
+    std::vector<std::uint32_t> label(g.numVertices());
+    for (std::uint64_t v = 0; v < g.numVertices(); ++v)
+        label[v] = static_cast<std::uint32_t>(v);
+
+    while (!r.full()) {
+        for (std::uint64_t v = range.begin; v < range.end && !r.full();
+             ++v) {
+            readOffsets(g, v, r, 2);
+            r.load(g.propAddr(0, v), 1);            // label[v]
+            std::uint32_t best = label[v];
+            for (std::uint64_t e = g.edgeBegin(v);
+                 e < g.edgeEnd(v) && !r.full(); ++e) {
+                r.load(g.edgeAddr(e), 1, 4);
+                const std::uint64_t u = g.edgeTarget(e);
+                r.load(g.propAddr(0, u), 1);        // label[u] (random)
+                best = std::min(best, label[u]);
+            }
+            if (best != label[v]) {
+                label[v] = best;
+                r.store(g.propAddr(0, v), 2);
+            }
+        }
+    }
+}
+
+void
+degreeCentr(const CsrGraph &g, ThreadSlice t, Rng &rng, TraceRecorder &r)
+{
+    (void)rng;
+    const auto range = slice(g, t);
+    // Degree centrality: a streaming pass over offsets, writing prop0.
+    while (!r.full()) {
+        for (std::uint64_t v = range.begin; v < range.end && !r.full();
+             ++v) {
+            readOffsets(g, v, r, 4);
+            r.store(g.propAddr(0, v), 3);
+        }
+    }
+}
+
+void
+dfs(const CsrGraph &g, ThreadSlice t, Rng &rng, TraceRecorder &r)
+{
+    // Depth-first traversal from random roots; visited bytes in prop0.
+    // Each thread explores from its own roots.
+    std::vector<bool> visited(g.numVertices(), false);
+    std::vector<std::uint64_t> stack;
+    while (!r.full()) {
+        // Pick an unvisited root (bounded probe count keeps this cheap).
+        std::uint64_t root = rng.below(g.numVertices());
+        for (int probe = 0; probe < 64 && visited[root]; ++probe)
+            root = rng.below(g.numVertices());
+        if (visited[root]) {
+            std::fill(visited.begin(), visited.end(), false);
+            continue;
+        }
+        (void)t;
+        visited[root] = true;
+        stack.push_back(root);
+        r.store(g.propAddr(0, root), 2);
+        while (!stack.empty() && !r.full()) {
+            const std::uint64_t v = stack.back();
+            stack.pop_back();
+            readOffsets(g, v, r, 2);
+            for (std::uint64_t e = g.edgeBegin(v);
+                 e < g.edgeEnd(v) && !r.full(); ++e) {
+                r.load(g.edgeAddr(e), 1, 4);
+                const std::uint64_t u = g.edgeTarget(e);
+                r.load(g.propAddr(0, u), 1);        // visited[u] (random)
+                if (!visited[u]) {
+                    visited[u] = true;
+                    r.store(g.propAddr(0, u), 1);
+                    stack.push_back(u);
+                }
+            }
+        }
+    }
+}
+
+void
+bfs(const CsrGraph &g, ThreadSlice t, Rng &rng, TraceRecorder &r)
+{
+    std::vector<bool> visited(g.numVertices(), false);
+    std::vector<std::uint64_t> frontier, next;
+    while (!r.full()) {
+        std::uint64_t root = rng.below(g.numVertices());
+        for (int probe = 0; probe < 64 && visited[root]; ++probe)
+            root = rng.below(g.numVertices());
+        if (visited[root]) {
+            std::fill(visited.begin(), visited.end(), false);
+            continue;
+        }
+        (void)t;
+        visited[root] = true;
+        frontier.assign(1, root);
+        r.store(g.propAddr(0, root), 2);
+        while (!frontier.empty() && !r.full()) {
+            next.clear();
+            for (std::uint64_t v : frontier) {
+                if (r.full())
+                    break;
+                readOffsets(g, v, r, 2);
+                for (std::uint64_t e = g.edgeBegin(v);
+                     e < g.edgeEnd(v) && !r.full(); ++e) {
+                    r.load(g.edgeAddr(e), 1, 4);
+                    const std::uint64_t u = g.edgeTarget(e);
+                    r.load(g.propAddr(0, u), 1);    // visited[u] (random)
+                    if (!visited[u]) {
+                        visited[u] = true;
+                        r.store(g.propAddr(0, u), 1);
+                        next.push_back(u);
+                    }
+                }
+            }
+            frontier.swap(next);
+        }
+    }
+}
+
+void
+triangleCount(const CsrGraph &g, ThreadSlice t, Rng &rng, TraceRecorder &r)
+{
+    (void)rng;
+    const auto range = slice(g, t);
+    // Adjacency-intersection triangle counting; per-vertex work capped
+    // so RMAT hubs don't blow the runtime quadratically.
+    constexpr std::uint64_t kCap = 64;
+    while (!r.full()) {
+        for (std::uint64_t v = range.begin; v < range.end && !r.full();
+             ++v) {
+            readOffsets(g, v, r, 2);
+            const std::uint64_t v_end =
+                std::min(g.edgeEnd(v), g.edgeBegin(v) + kCap);
+            for (std::uint64_t e = g.edgeBegin(v); e < v_end && !r.full();
+                 ++e) {
+                r.load(g.edgeAddr(e), 1, 4);
+                const std::uint64_t u = g.edgeTarget(e);
+                if (u <= v)
+                    continue;
+                readOffsets(g, u, r, 1);            // (random)
+                // Merge-intersect the two (capped) adjacency runs.
+                std::uint64_t i = g.edgeBegin(v);
+                std::uint64_t j = g.edgeBegin(u);
+                const std::uint64_t i_end = v_end;
+                const std::uint64_t j_end =
+                    std::min(g.edgeEnd(u), g.edgeBegin(u) + kCap);
+                while (i < i_end && j < j_end && !r.full()) {
+                    r.load(g.edgeAddr(i), 1, 4);
+                    r.load(g.edgeAddr(j), 1, 4);
+                    const auto a = g.edgeTarget(i);
+                    const auto b = g.edgeTarget(j);
+                    if (a < b) ++i;
+                    else if (b < a) ++j;
+                    else { ++i; ++j; }
+                }
+            }
+        }
+    }
+}
+
+void
+shortestPath(const CsrGraph &g, ThreadSlice t, Rng &rng, TraceRecorder &r)
+{
+    const auto range = slice(g, t);
+    // Bellman-Ford sweeps (push style): dist in prop0; an update writes
+    // the neighbour's distance (random write). Many sources are seeded
+    // so the sweeps do real relaxation work from the first iteration
+    // (a single source leaves most of the sweep skipping vertices).
+    std::vector<std::uint32_t> dist(g.numVertices(), 0xffffffff);
+    const std::uint64_t num_sources =
+        std::max<std::uint64_t>(1, g.numVertices() / 256);
+    for (std::uint64_t s = 0; s < num_sources; ++s)
+        dist[rng.below(g.numVertices())] = 0;
+    while (!r.full()) {
+        bool changed = false;
+        for (std::uint64_t v = range.begin; v < range.end && !r.full();
+             ++v) {
+            r.load(g.propAddr(0, v), 2);            // dist[v]
+            if (dist[v] == 0xffffffff)
+                continue;
+            readOffsets(g, v, r, 1);
+            for (std::uint64_t e = g.edgeBegin(v);
+                 e < g.edgeEnd(v) && !r.full(); ++e) {
+                r.load(g.edgeAddr(e), 1, 4);
+                const std::uint64_t u = g.edgeTarget(e);
+                r.load(g.propAddr(0, u), 1);        // dist[u] (random)
+                const std::uint32_t cand = dist[v] + 1;
+                if (cand < dist[u]) {
+                    dist[u] = cand;
+                    r.store(g.propAddr(0, u), 1);   // random write
+                    changed = true;
+                }
+            }
+        }
+        if (!changed) {
+            // Converged: reseed sources to keep the trace flowing.
+            std::fill(dist.begin(), dist.end(), 0xffffffff);
+            for (std::uint64_t s = 0; s < num_sources; ++s)
+                dist[rng.below(g.numVertices())] = 0;
+        }
+    }
+}
+
+} // namespace kernels
+} // namespace emcc

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * graphBIG-like kernels, executed for real over a CsrGraph while a
+ * TraceRecorder captures every data-structure access.
+ *
+ * Each kernel records the loads/stores of the pull/push loops it
+ * actually performs: offset reads, edge-array scans, and the random
+ * property-array accesses that give graph analytics their
+ * counter-hostile locality. Threads partition vertices (or roots) so
+ * four cores replay four distinct but correlated streams over the same
+ * shared graph, like the paper's multi-threaded graphBIG runs.
+ *
+ * Property-array allocation (see CsrGraph::propAddr):
+ *   prop 0, prop 1 — kernel-specific 8-byte per-vertex state.
+ */
+
+#pragma once
+
+#include "common/rng.hh"
+#include "workloads/graph.hh"
+#include "workloads/memref.hh"
+
+namespace emcc {
+namespace kernels {
+
+/** thread/nthreads select this trace's share of vertices or roots. */
+struct ThreadSlice
+{
+    unsigned thread = 0;
+    unsigned nthreads = 1;
+};
+
+void pageRank(const CsrGraph &g, ThreadSlice t, Rng &rng, TraceRecorder &r);
+void graphColoring(const CsrGraph &g, ThreadSlice t, Rng &rng,
+                   TraceRecorder &r);
+void connectedComp(const CsrGraph &g, ThreadSlice t, Rng &rng,
+                   TraceRecorder &r);
+void degreeCentr(const CsrGraph &g, ThreadSlice t, Rng &rng,
+                 TraceRecorder &r);
+void dfs(const CsrGraph &g, ThreadSlice t, Rng &rng, TraceRecorder &r);
+void bfs(const CsrGraph &g, ThreadSlice t, Rng &rng, TraceRecorder &r);
+void triangleCount(const CsrGraph &g, ThreadSlice t, Rng &rng,
+                   TraceRecorder &r);
+void shortestPath(const CsrGraph &g, ThreadSlice t, Rng &rng,
+                  TraceRecorder &r);
+
+} // namespace kernels
+} // namespace emcc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Memory-reference traces: the interface between workloads and cores.
+ *
+ * Workloads in this repo are *algorithm-driven trace generators*: the
+ * graph kernels really run (BFS really traverses an RMAT graph) with a
+ * recorder capturing every load/store to the simulated data structures,
+ * Pintool-style. The core model then replays the per-thread traces.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace emcc {
+
+/** One memory reference plus the non-memory work preceding it. */
+struct MemRef
+{
+    Addr vaddr = 0;
+    /** Non-memory instructions dispatched before this reference. */
+    std::uint32_t gap = 0;
+    bool is_write = false;
+};
+
+/**
+ * Recorder the workload kernels write their address streams into.
+ * Recording stops silently once the limit is reached; kernels poll
+ * full() to exit early.
+ */
+class TraceRecorder
+{
+  public:
+    explicit TraceRecorder(std::size_t limit) : limit_(limit)
+    {
+        trace_.reserve(limit > (1u << 20) ? (1u << 20) : limit);
+    }
+
+    bool full() const { return trace_.size() >= limit_; }
+
+    /** Record a load of @p bytes at @p addr after @p gap plain
+     *  instructions. Multi-block accesses record one ref per block. */
+    void
+    load(Addr addr, std::uint32_t gap, unsigned bytes = 8)
+    {
+        record(addr, gap, bytes, false);
+    }
+
+    void
+    store(Addr addr, std::uint32_t gap, unsigned bytes = 8)
+    {
+        record(addr, gap, bytes, true);
+    }
+
+    std::vector<MemRef> take() { return std::move(trace_); }
+    const std::vector<MemRef> &trace() const { return trace_; }
+    std::size_t size() const { return trace_.size(); }
+
+  private:
+    void
+    record(Addr addr, std::uint32_t gap, unsigned bytes, bool is_write)
+    {
+        if (full())
+            return;
+        const Addr first = blockAlign(addr);
+        const Addr last = blockAlign(addr + (bytes ? bytes - 1 : 0));
+        for (Addr a = first; a <= last && !full(); a += kBlockBytes) {
+            trace_.push_back(MemRef{a, gap, is_write});
+            gap = 0;   // the gap precedes only the first block
+        }
+    }
+
+    std::size_t limit_;
+    std::vector<MemRef> trace_;
+};
+
+} // namespace emcc

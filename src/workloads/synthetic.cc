@@ -1,0 +1,220 @@
+#include "workloads/synthetic.hh"
+
+#include "common/log.hh"
+
+namespace emcc {
+namespace synth {
+
+void
+canneal(std::uint64_t footprint_bytes, Rng &rng, TraceRecorder &r)
+{
+    // Elements are 16-byte net records; a swap evaluation reads the two
+    // candidates and their neighbour pointers, then commits roughly half
+    // of the swaps. The routing-cost computation gives a sizeable gap.
+    const std::uint64_t elems = footprint_bytes / 16;
+    while (!r.full()) {
+        const std::uint64_t a = rng.below(elems);
+        const std::uint64_t b = rng.below(elems);
+        r.load(a * 16, 18, 16);
+        r.load(b * 16, 6, 16);
+        // Each element references a few neighbour elements (fanout).
+        for (int k = 0; k < 2; ++k)
+            r.load(rng.below(elems) * 16, 4, 16);
+        if (rng.chance(0.5)) {
+            r.store(a * 16, 8, 16);
+            r.store(b * 16, 2, 16);
+        }
+    }
+}
+
+void
+omnetpp(std::uint64_t footprint_bytes, Rng &rng, TraceRecorder &r)
+{
+    // Event-heap simulation: each event pops the heap root, walks a
+    // sift-down path (upper levels cache-resident, lower levels not),
+    // touches a random module's state, and pushes a follow-up event.
+    const std::uint64_t heap_bytes = footprint_bytes / 4;
+    const std::uint64_t module_bytes = footprint_bytes - heap_bytes;
+    const std::uint64_t heap_slots = heap_bytes / 32;   // 32 B events
+    const unsigned depth = floorLog2(heap_slots);
+    while (!r.full()) {
+        // Sift-down from the root; child choice is data dependent.
+        std::uint64_t idx = 1;
+        for (unsigned level = 0; level < depth && !r.full(); ++level) {
+            r.load(idx * 32, 3, 32);
+            idx = idx * 2 + (rng.next() & 1);
+            if (idx >= heap_slots)
+                break;
+        }
+        r.store(idx * 32 % heap_bytes, 2, 32);
+        // Event handler: scattered module state.
+        for (int k = 0; k < 3 && !r.full(); ++k) {
+            const Addr m = heap_bytes + rng.below(module_bytes / 64) * 64;
+            r.load(m, 12, 32);
+            if (rng.chance(0.3))
+                r.store(m + 32, 3, 16);
+        }
+    }
+}
+
+void
+mcf(std::uint64_t footprint_bytes, Rng &rng, TraceRecorder &r)
+{
+    // Network-simplex-like traversal: dependent chase over node records,
+    // reading an arc record per step; occasional flow updates. The
+    // chase follows a shuffled single-cycle ring so it provably covers
+    // the whole node array (a hash walk can collapse into tiny cycles).
+    const std::uint64_t nodes = footprint_bytes / 2 / 64;  // 64 B nodes
+    const Addr arcs_base = nodes * 64;
+    const std::uint64_t arcs = footprint_bytes / 2 / 32;   // 32 B arcs
+
+    std::vector<std::uint64_t> order(nodes);
+    for (std::uint64_t i = 0; i < nodes; ++i)
+        order[i] = i;
+    for (std::uint64_t i = nodes - 1; i > 0; --i)
+        std::swap(order[i], order[rng.below(i + 1)]);
+
+    std::uint64_t pos = rng.below(nodes);
+    while (!r.full()) {
+        const std::uint64_t cur = order[pos];
+        r.load(cur * 64, 4, 64);                  // node record
+        const std::uint64_t arc = (cur * 2654435761u + 12345) % arcs;
+        r.load(arcs_base + arc * 32, 3, 32);      // arc record
+        if (rng.chance(0.15))
+            r.store(arcs_base + arc * 32, 2, 16); // flow update
+        pos = (pos + 1) % nodes;                  // next ring element
+    }
+}
+
+void
+pattern(const PatternMix &mix, Rng &rng, TraceRecorder &r)
+{
+    const double total = mix.stream + mix.stride + mix.random +
+                         mix.stencil + mix.chase;
+    fatal_if(total <= 0.0, "pattern mix with zero weight");
+    const std::uint64_t blocks = mix.footprint_bytes / kBlockBytes;
+    fatal_if(blocks == 0, "pattern footprint below one block");
+
+    Addr seq_cursor = 0;
+    Addr stride_cursor = 0;
+    std::uint64_t chase_cursor = rng.below(blocks);
+
+    while (!r.full()) {
+        double pick = rng.uniform() * total;
+        const bool is_write = rng.chance(mix.write_fraction);
+        const auto gap = static_cast<std::uint32_t>(
+            mix.gap ? rng.range(mix.gap / 2 + 1, mix.gap * 3 / 2 + 1) : 0);
+        Addr addr;
+        if (pick < mix.stream) {
+            addr = seq_cursor;
+            seq_cursor = (seq_cursor + kBlockBytes) % mix.footprint_bytes;
+        } else if ((pick -= mix.stream) < mix.stride) {
+            addr = stride_cursor;
+            stride_cursor = (stride_cursor + mix.stride_bytes) %
+                            mix.footprint_bytes;
+        } else if ((pick -= mix.stride) < mix.random) {
+            if (mix.hot_bytes && rng.chance(0.5)) {
+                addr = rng.below(mix.hot_bytes / kBlockBytes) * kBlockBytes;
+            } else {
+                addr = rng.below(blocks) * kBlockBytes;
+            }
+        } else if ((pick -= mix.random) < mix.stencil) {
+            // Stencil around the streaming cursor: +/- one plane and
+            // +/- one row of the conceptual 3D grid.
+            const Addr center = seq_cursor;
+            static const std::int64_t kOff[5] = {0, -1, 1, 0, 0};
+            const int which = static_cast<int>(rng.below(5));
+            std::int64_t delta = 0;
+            if (which == 1 || which == 2)
+                delta = kOff[which] *
+                        static_cast<std::int64_t>(mix.stencil_plane);
+            else if (which == 3)
+                delta = -static_cast<std::int64_t>(kBlockBytes) * 16;
+            else if (which == 4)
+                delta = static_cast<std::int64_t>(kBlockBytes) * 16;
+            const auto fp = static_cast<std::int64_t>(mix.footprint_bytes);
+            std::int64_t a = (static_cast<std::int64_t>(center) + delta) %
+                             fp;
+            if (a < 0)
+                a += fp;
+            addr = static_cast<Addr>(a);
+            seq_cursor = (seq_cursor + kBlockBytes) % mix.footprint_bytes;
+        } else {
+            addr = chase_cursor * kBlockBytes;
+            chase_cursor = (chase_cursor * 2654435761u + 1) % blocks;
+        }
+        if (is_write)
+            r.store(addr, gap, 8);
+        else
+            r.load(addr, gap, 8);
+    }
+}
+
+PatternMix
+regularMix(const std::string &b)
+{
+    PatternMix m;
+    if (b == "blackscholes") {
+        m = {.footprint_bytes = 24_MiB, .stream = 1.0, .stride = 0, .random = 0.02,
+             .stencil = 0, .chase = 0, .write_fraction = 0.25, .gap = 22};
+    } else if (b == "bodytrack") {
+        m = {.footprint_bytes = 32_MiB, .stream = 0.7, .stride = 0.1,
+             .random = 0.2, .stencil = 0, .chase = 0,
+             .write_fraction = 0.2, .gap = 15, .hot_bytes = 4_MiB};
+    } else if (b == "ferret") {
+        m = {.footprint_bytes = 48_MiB, .stream = 0.45, .stride = 0,
+             .random = 0.5, .stencil = 0, .chase = 0.05,
+             .write_fraction = 0.1, .gap = 12};
+    } else if (b == "freqmine") {
+        m = {.footprint_bytes = 64_MiB, .stream = 0.4, .stride = 0,
+             .random = 0.15, .stencil = 0, .chase = 0.45,
+             .write_fraction = 0.15, .gap = 14, .hot_bytes = 8_MiB};
+    } else if (b == "streamcluster") {
+        m = {.footprint_bytes = 128_MiB, .stream = 0.9, .stride = 0,
+             .random = 0.1, .stencil = 0, .chase = 0,
+             .write_fraction = 0.05, .gap = 8, .hot_bytes = 1_MiB};
+    } else if (b == "x264" || b == "x264_s") {
+        m = {.footprint_bytes = 64_MiB, .stream = 0.5, .stride = 0.3,
+             .random = 0.2, .stencil = 0, .chase = 0,
+             .write_fraction = 0.3, .gap = 10, .stride_bytes = 1920,
+             .hot_bytes = 2_MiB};
+    } else if (b == "facesim") {
+        m = {.footprint_bytes = 96_MiB, .stream = 0.5, .stride = 0,
+             .random = 0.05, .stencil = 0.45, .chase = 0,
+             .write_fraction = 0.3, .gap = 12, .stencil_plane = 2_MiB};
+    } else if (b == "fluidanimate") {
+        m = {.footprint_bytes = 64_MiB, .stream = 0.45, .stride = 0,
+             .random = 0.2, .stencil = 0.35, .chase = 0,
+             .write_fraction = 0.3, .gap = 11, .stencil_plane = 1_MiB};
+    } else if (b == "bwaves_s") {
+        m = {.footprint_bytes = 256_MiB, .stream = 0.6, .stride = 0.1,
+             .random = 0, .stencil = 0.3, .chase = 0,
+             .write_fraction = 0.25, .gap = 9, .stencil_plane = 4_MiB};
+    } else if (b == "exchange2_s") {
+        m = {.footprint_bytes = 1_MiB, .stream = 0.5, .stride = 0,
+             .random = 0.5, .stencil = 0, .chase = 0,
+             .write_fraction = 0.3, .gap = 30};
+    } else if (b == "perlbench_s") {
+        m = {.footprint_bytes = 8_MiB, .stream = 0.4, .stride = 0,
+             .random = 0.5, .stencil = 0, .chase = 0.1,
+             .write_fraction = 0.3, .gap = 24, .hot_bytes = 1_MiB};
+    } else if (b == "cactuBSSN_s") {
+        m = {.footprint_bytes = 192_MiB, .stream = 0.45, .stride = 0.05,
+             .random = 0, .stencil = 0.5, .chase = 0,
+             .write_fraction = 0.3, .gap = 10, .stencil_plane = 4_MiB};
+    } else if (b == "deepsjeng_s") {
+        m = {.footprint_bytes = 48_MiB, .stream = 0.2, .stride = 0,
+             .random = 0.75, .stencil = 0, .chase = 0.05,
+             .write_fraction = 0.25, .gap = 18};
+    } else if (b == "leela_s") {
+        m = {.footprint_bytes = 4_MiB, .stream = 0.3, .stride = 0,
+             .random = 0.6, .stencil = 0, .chase = 0.1,
+             .write_fraction = 0.25, .gap = 26};
+    } else {
+        fatal("unknown regular benchmark '%s'", b.c_str());
+    }
+    return m;
+}
+
+} // namespace synth
+} // namespace emcc

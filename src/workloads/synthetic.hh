@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Synthetic trace generators for the non-graph workloads.
+ *
+ * canneal / omnetpp / mcf are modeled by their dominant access patterns
+ * (simulated-annealing swaps, event-heap simulation, pointer-chasing
+ * over a network), sized to miss in an 8 MB LLC like the paper's
+ * irregular set. The SPEC CPU2017 / PARSEC "regular" set of Figure 24 is
+ * modeled with a parameterized pattern mixer (stream / stride / stencil
+ * / bounded-random / pointer-chase), per-benchmark tuned; these codes'
+ * memory behaviour is dominated by those patterns, which is what the
+ * useless-counter-access metric cares about.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "workloads/memref.hh"
+
+namespace emcc {
+namespace synth {
+
+/** canneal-like: random element-pair swap evaluation over a big array. */
+void canneal(std::uint64_t footprint_bytes, Rng &rng, TraceRecorder &r);
+
+/** omnetpp-like: event-heap pops/pushes plus random module state. */
+void omnetpp(std::uint64_t footprint_bytes, Rng &rng, TraceRecorder &r);
+
+/** mcf-like: dependent pointer chasing over arcs/nodes arrays. */
+void mcf(std::uint64_t footprint_bytes, Rng &rng, TraceRecorder &r);
+
+/** Mixture weights for the regular-workload pattern generator. */
+struct PatternMix
+{
+    std::uint64_t footprint_bytes = 64_MiB;
+    /// weights (need not sum to 1; normalized internally)
+    double stream = 1.0;       ///< sequential
+    double stride = 0.0;       ///< fixed large stride
+    double random = 0.0;       ///< uniform random within footprint
+    double stencil = 0.0;      ///< 3D-stencil neighbour pattern
+    double chase = 0.0;        ///< dependent pointer chase
+    double write_fraction = 0.2;
+    std::uint32_t gap = 10;    ///< mean non-memory instructions per ref
+    std::uint64_t stride_bytes = 4096;
+    std::uint64_t stencil_plane = 1_MiB; ///< plane size for stencil +/-
+    std::uint64_t hot_bytes = 0; ///< optional hot region getting 50% refs
+};
+
+/** Generate a trace from a pattern mixture. */
+void pattern(const PatternMix &mix, Rng &rng, TraceRecorder &r);
+
+/** Per-benchmark tuned mixes for the Fig-24 regular set. Fatal on an
+ *  unknown name. */
+PatternMix regularMix(const std::string &benchmark);
+
+} // namespace synth
+} // namespace emcc

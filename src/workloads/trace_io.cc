@@ -1,0 +1,140 @@
+#include "workloads/trace_io.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/log.hh"
+
+namespace emcc {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'M', 'C', 'C', 'T', 'R', 'C', '1'};
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool
+writeScalar(std::FILE *f, const T &v)
+{
+    return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool
+readScalar(std::FILE *f, T &v)
+{
+    return std::fread(&v, sizeof(T), 1, f) == 1;
+}
+
+} // namespace
+
+bool
+saveWorkload(const WorkloadSet &set, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+
+    if (std::fwrite(kMagic, sizeof(kMagic), 1, f.get()) != 1)
+        return false;
+    const auto name_len = static_cast<std::uint32_t>(set.name.size());
+    if (!writeScalar(f.get(), name_len))
+        return false;
+    if (name_len &&
+        std::fwrite(set.name.data(), 1, name_len, f.get()) != name_len)
+        return false;
+    if (!writeScalar(f.get(), set.footprint))
+        return false;
+    const std::uint8_t shared = set.shared_address_space ? 1 : 0;
+    if (!writeScalar(f.get(), shared))
+        return false;
+    const auto cores = static_cast<std::uint32_t>(set.per_core.size());
+    if (!writeScalar(f.get(), cores))
+        return false;
+
+    for (const auto &trace : set.per_core) {
+        const auto n = static_cast<std::uint64_t>(trace.size());
+        if (!writeScalar(f.get(), n))
+            return false;
+        for (const auto &ref : trace) {
+            if (!writeScalar(f.get(), ref.vaddr) ||
+                !writeScalar(f.get(), ref.gap) ||
+                !writeScalar(f.get(),
+                             static_cast<std::uint8_t>(ref.is_write))) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+WorkloadSet
+loadWorkload(const std::string &path)
+{
+    WorkloadSet set;
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return set;
+
+    char magic[8];
+    if (std::fread(magic, sizeof(magic), 1, f.get()) != 1 ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        warn("trace file %s: bad magic", path.c_str());
+        return set;
+    }
+    std::uint32_t name_len = 0;
+    if (!readScalar(f.get(), name_len) || name_len > 4096)
+        return set;
+    set.name.resize(name_len);
+    if (name_len &&
+        std::fread(set.name.data(), 1, name_len, f.get()) != name_len)
+        return set;
+    if (!readScalar(f.get(), set.footprint))
+        return set;
+    std::uint8_t shared = 0;
+    if (!readScalar(f.get(), shared))
+        return set;
+    set.shared_address_space = shared != 0;
+    std::uint32_t cores = 0;
+    if (!readScalar(f.get(), cores) || cores > 1024) {
+        set = WorkloadSet{};
+        return set;
+    }
+
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        std::uint64_t n = 0;
+        if (!readScalar(f.get(), n)) {
+            set.per_core.clear();
+            return set;
+        }
+        std::vector<MemRef> trace;
+        trace.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            MemRef ref;
+            std::uint8_t w = 0;
+            if (!readScalar(f.get(), ref.vaddr) ||
+                !readScalar(f.get(), ref.gap) || !readScalar(f.get(), w)) {
+                set.per_core.clear();
+                return set;
+            }
+            ref.is_write = w != 0;
+            trace.push_back(ref);
+        }
+        set.per_core.push_back(std::move(trace));
+    }
+    return set;
+}
+
+} // namespace emcc

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Binary trace file I/O.
+ *
+ * Workload construction (graph generation + kernel execution) dominates
+ * bench startup; saving the built WorkloadSet lets repeated experiments
+ * (and external tools) replay identical traces without regeneration.
+ *
+ * Format (little-endian):
+ *   header:  magic "EMCCTRC1", name length + bytes, footprint,
+ *            shared_address_space, core count
+ *   per core: reference count, then packed refs
+ *             {u64 vaddr, u32 gap, u8 is_write}
+ */
+
+#pragma once
+
+#include <string>
+
+#include "workloads/workload.hh"
+
+namespace emcc {
+
+/** Write a workload set to @p path. @return false on I/O failure. */
+bool saveWorkload(const WorkloadSet &set, const std::string &path);
+
+/**
+ * Read a workload set from @p path.
+ * @return the set, or an empty-per_core set on failure (check
+ *         loaded.per_core.empty()).
+ */
+WorkloadSet loadWorkload(const std::string &path);
+
+} // namespace emcc

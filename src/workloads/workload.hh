@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Workload registry and factory: builds the per-core trace sets for
+ * every benchmark named in the paper.
+ *
+ * Graph workloads are multi-threaded (four threads share one graph's
+ * address space, like the paper's graphBIG runs); all others are
+ * multi-programmed (each core runs its own instance in its own address
+ * space, like the paper's SPEC/PARSEC 4x rate runs).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "workloads/memref.hh"
+
+namespace emcc {
+
+/** Knobs for workload construction. */
+struct WorkloadParams
+{
+    unsigned cores = 4;
+    /** References recorded per core. */
+    std::size_t trace_len = 1'000'000;
+    std::uint64_t graph_vertices = 1ull << 19;
+    unsigned graph_degree = 16;
+    std::uint64_t seed = 42;
+    /** Scales the synthetic workloads' footprints (tests use < 1). */
+    double footprint_scale = 1.0;
+};
+
+/** The built traces for one benchmark. */
+struct WorkloadSet
+{
+    std::string name;
+    std::vector<std::vector<MemRef>> per_core;
+    /** Virtual footprint of one address space. */
+    Addr footprint = 0;
+    /** True if all cores share one address space (multi-threaded). */
+    bool shared_address_space = false;
+
+    /** Total references across cores. */
+    std::size_t
+    totalRefs() const
+    {
+        std::size_t n = 0;
+        for (const auto &t : per_core)
+            n += t.size();
+        return n;
+    }
+};
+
+/** The paper's 11 large/irregular workloads (Figs 2, 6-23). */
+const std::vector<std::string> &irregularWorkloads();
+
+/** The paper's 15 SPEC/PARSEC regular workloads (Fig 24). */
+const std::vector<std::string> &regularWorkloads();
+
+/** True if @p name is one of the eight graph kernels. */
+bool isGraphWorkload(const std::string &name);
+
+/** Build the traces for a benchmark; fatal on an unknown name. */
+WorkloadSet buildWorkload(const std::string &name, const WorkloadParams &p);
+
+} // namespace emcc

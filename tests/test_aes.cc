@@ -1,0 +1,134 @@
+/**
+ * @file
+ * AES correctness against the FIPS-197 reference vectors, plus
+ * round-trip property tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "common/rng.hh"
+#include "crypto/aes.hh"
+
+namespace emcc {
+namespace {
+
+std::array<std::uint8_t, 16>
+hex16(const char *hex)
+{
+    std::array<std::uint8_t, 16> out{};
+    for (int i = 0; i < 16; ++i)
+        std::sscanf(hex + 2 * i, "%2hhx", &out[i]);
+    return out;
+}
+
+std::array<std::uint8_t, 32>
+hex32(const char *hex)
+{
+    std::array<std::uint8_t, 32> out{};
+    for (int i = 0; i < 32; ++i)
+        std::sscanf(hex + 2 * i, "%2hhx", &out[i]);
+    return out;
+}
+
+TEST(Aes, Fips197Appendix_B_Aes128)
+{
+    // FIPS-197 Appendix B worked example.
+    const auto key = hex16("2b7e151628aed2a6abf7158809cf4f3c");
+    const auto pt = hex16("3243f6a8885a308d313198a2e0370734");
+    const auto expect = hex16("3925841d02dc09fbdc118597196a0b32");
+    std::uint8_t ct[16];
+    Aes::aes128(key).encryptBlock(pt.data(), ct);
+    EXPECT_EQ(0, std::memcmp(ct, expect.data(), 16));
+}
+
+TEST(Aes, Fips197Appendix_C1_Aes128)
+{
+    const auto key = hex16("000102030405060708090a0b0c0d0e0f");
+    const auto pt = hex16("00112233445566778899aabbccddeeff");
+    const auto expect = hex16("69c4e0d86a7b0430d8cdb78070b4c55a");
+    std::uint8_t ct[16];
+    const Aes aes = Aes::aes128(key);
+    aes.encryptBlock(pt.data(), ct);
+    EXPECT_EQ(0, std::memcmp(ct, expect.data(), 16));
+
+    std::uint8_t back[16];
+    aes.decryptBlock(ct, back);
+    EXPECT_EQ(0, std::memcmp(back, pt.data(), 16));
+}
+
+TEST(Aes, Fips197Appendix_C3_Aes256)
+{
+    const auto key = hex32(
+        "000102030405060708090a0b0c0d0e0f"
+        "101112131415161718191a1b1c1d1e1f");
+    const auto pt = hex16("00112233445566778899aabbccddeeff");
+    const auto expect = hex16("8ea2b7ca516745bfeafc49904b496089");
+    std::uint8_t ct[16];
+    const Aes aes = Aes::aes256(key);
+    aes.encryptBlock(pt.data(), ct);
+    EXPECT_EQ(0, std::memcmp(ct, expect.data(), 16));
+
+    std::uint8_t back[16];
+    aes.decryptBlock(ct, back);
+    EXPECT_EQ(0, std::memcmp(back, pt.data(), 16));
+}
+
+TEST(Aes, RoundCounts)
+{
+    const auto k128 = hex16("00000000000000000000000000000000");
+    EXPECT_EQ(Aes::aes128(k128).rounds(), 10u);
+    const auto k256 = hex32(
+        "00000000000000000000000000000000"
+        "00000000000000000000000000000000");
+    EXPECT_EQ(Aes::aes256(k256).rounds(), 14u);
+}
+
+TEST(Aes, EncryptDecryptRoundTripRandom)
+{
+    Rng rng(99);
+    std::array<std::uint8_t, 16> key;
+    for (auto &b : key)
+        b = static_cast<std::uint8_t>(rng.next());
+    const Aes aes = Aes::aes128(key);
+    for (int trial = 0; trial < 64; ++trial) {
+        std::uint8_t pt[16], ct[16], back[16];
+        for (auto &b : pt)
+            b = static_cast<std::uint8_t>(rng.next());
+        aes.encryptBlock(pt, ct);
+        aes.decryptBlock(ct, back);
+        ASSERT_EQ(0, std::memcmp(pt, back, 16));
+        // Ciphertext must differ from plaintext (overwhelmingly likely).
+        ASSERT_NE(0, std::memcmp(pt, ct, 16));
+    }
+}
+
+TEST(Aes, InPlaceAliasing)
+{
+    const auto key = hex16("000102030405060708090a0b0c0d0e0f");
+    const auto pt = hex16("00112233445566778899aabbccddeeff");
+    const auto expect = hex16("69c4e0d86a7b0430d8cdb78070b4c55a");
+    std::uint8_t buf[16];
+    std::memcpy(buf, pt.data(), 16);
+    const Aes aes = Aes::aes128(key);
+    aes.encryptBlock(buf, buf);
+    EXPECT_EQ(0, std::memcmp(buf, expect.data(), 16));
+    aes.decryptBlock(buf, buf);
+    EXPECT_EQ(0, std::memcmp(buf, pt.data(), 16));
+}
+
+TEST(Aes, KeySensitivity)
+{
+    auto key = hex16("000102030405060708090a0b0c0d0e0f");
+    const auto pt = hex16("00112233445566778899aabbccddeeff");
+    std::uint8_t ct1[16], ct2[16];
+    Aes::aes128(key).encryptBlock(pt.data(), ct1);
+    key[15] ^= 1;
+    Aes::aes128(key).encryptBlock(pt.data(), ct2);
+    EXPECT_NE(0, std::memcmp(ct1, ct2, 16));
+}
+
+} // namespace
+} // namespace emcc

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the AES pool timing model: latency, throughput-limited
+ * queueing, and the paper's §V bandwidth arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/aes_pool.hh"
+
+namespace emcc {
+namespace {
+
+TEST(AesPool, SingleOpLatency)
+{
+    AesPool pool(AesPoolConfig{1e9, nsToTicks(14.0)});
+    // Idle pool: op completes after exactly the AES latency.
+    EXPECT_EQ(pool.submit(1000, 1), 1000u + nsToTicks(14.0));
+    EXPECT_EQ(pool.ops(), 1u);
+}
+
+TEST(AesPool, ServiceIntervalFromRate)
+{
+    AesPool pool(AesPoolConfig{325e6, nsToTicks(14.0)});
+    // 325M ops/s -> ~3.077 ns between starts.
+    EXPECT_NEAR(ticksToNs(pool.serviceInterval()), 3.077, 0.01);
+}
+
+TEST(AesPool, BackToBackOpsQueue)
+{
+    AesPool pool(AesPoolConfig{1e9, nsToTicks(14.0)});   // 1 ns interval
+    const Tick first = pool.submit(0, 1);
+    const Tick second = pool.submit(0, 1);
+    EXPECT_EQ(first, nsToTicks(14.0));
+    EXPECT_EQ(second, nsToTicks(1.0) + nsToTicks(14.0));
+    EXPECT_EQ(pool.queueDelay(0), nsToTicks(2.0));
+}
+
+TEST(AesPool, BatchCompletesAtLastOp)
+{
+    AesPool pool(AesPoolConfig{1e9, nsToTicks(14.0)});
+    // 5 ops (a block decrypt+verify): last op starts at +4 ns.
+    EXPECT_EQ(pool.submit(0, 5), nsToTicks(4.0) + nsToTicks(14.0));
+}
+
+TEST(AesPool, IdleGapResetsQueue)
+{
+    AesPool pool(AesPoolConfig{1e9, nsToTicks(14.0)});
+    pool.submit(0, 8);
+    const Tick later = nsToTicks(1000.0);
+    EXPECT_EQ(pool.queueDelay(later), 0u);
+    EXPECT_EQ(pool.submit(later, 1), later + nsToTicks(14.0));
+}
+
+TEST(AesPool, QueueDelayStatsAccumulate)
+{
+    AesPool pool(AesPoolConfig{1e9, nsToTicks(14.0)});
+    pool.submit(0, 4);
+    pool.submit(0, 1);   // waits 4 ns
+    EXPECT_EQ(pool.totalQueueDelay(), nsToTicks(4.0));
+    EXPECT_EQ(pool.maxQueueDelay(), nsToTicks(4.0));
+    pool.reset();
+    EXPECT_EQ(pool.ops(), 0u);
+    EXPECT_EQ(pool.totalQueueDelay(), 0u);
+}
+
+TEST(AesPool, PaperBandwidthArithmetic)
+{
+    // §V: peak 2.6G AES/s; half moved to 4 L2s -> 325M each.
+    const double total = 2.6e9;
+    const double per_l2 = (total / 2.0) / 4.0;
+    EXPECT_DOUBLE_EQ(per_l2, 325e6);
+    AesPool pool(AesPoolConfig{per_l2, nsToTicks(14.0)});
+    // A burst of 20 block-decrypts (100 ops) at full rate takes
+    // ~100 * 3.077ns ~ 308ns of service; queueing becomes visible.
+    const Tick done = pool.submit(0, 100);
+    EXPECT_GT(done, nsToTicks(300.0));
+}
+
+} // namespace
+} // namespace emcc

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache array: hits/misses, LRU
+ * eviction, dirty writebacks, invalidation, line classes, and the
+ * per-class footprint cap EMCC uses for counters in L2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+namespace emcc {
+namespace {
+
+CacheArray
+smallCache(unsigned sets = 4, unsigned assoc = 2)
+{
+    CacheArrayConfig cfg;
+    cfg.assoc = assoc;
+    cfg.size_bytes = static_cast<std::uint64_t>(sets) * assoc * kBlockBytes;
+    return CacheArray("test", cfg);
+}
+
+/** Address landing in @p set with tag index @p tag (4-set cache). */
+Addr
+addrFor(unsigned set, unsigned tag, unsigned sets = 4)
+{
+    return (static_cast<Addr>(tag) * sets + set) * kBlockBytes;
+}
+
+TEST(CacheArray, Geometry)
+{
+    auto c = smallCache();
+    EXPECT_EQ(c.numSets(), 4u);
+    EXPECT_EQ(c.assoc(), 2u);
+    EXPECT_EQ(c.sizeBytes(), 4u * 2 * kBlockBytes);
+}
+
+TEST(CacheArray, MissThenHit)
+{
+    auto c = smallCache();
+    EXPECT_FALSE(c.access(0x100, LineClass::Data, false));
+    c.insert(0x100, LineClass::Data, false);
+    EXPECT_TRUE(c.access(0x100, LineClass::Data, false));
+    EXPECT_EQ(c.stats().misses[0], 1u);
+    EXPECT_EQ(c.stats().hits[0], 1u);
+}
+
+TEST(CacheArray, SubBlockAddressesAlias)
+{
+    auto c = smallCache();
+    c.insert(0x100, LineClass::Data, false);
+    EXPECT_TRUE(c.access(0x13f, LineClass::Data, false));
+    EXPECT_TRUE(c.contains(0x101));
+}
+
+TEST(CacheArray, LruEviction)
+{
+    auto c = smallCache();
+    const Addr a = addrFor(0, 1), b = addrFor(0, 2), d = addrFor(0, 3);
+    c.insert(a, LineClass::Data, false);
+    c.insert(b, LineClass::Data, false);
+    // Touch a so b becomes LRU.
+    EXPECT_TRUE(c.access(a, LineClass::Data, false));
+    auto victim = c.insert(d, LineClass::Data, false);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->addr, b);
+    EXPECT_TRUE(c.contains(a));
+    EXPECT_FALSE(c.contains(b));
+}
+
+TEST(CacheArray, DirtyVictimReported)
+{
+    auto c = smallCache();
+    c.insert(addrFor(0, 1), LineClass::Data, true);
+    c.insert(addrFor(0, 2), LineClass::Data, false);
+    auto victim = c.insert(addrFor(0, 3), LineClass::Data, false);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->addr, addrFor(0, 1));
+    EXPECT_TRUE(victim->dirty);
+    EXPECT_EQ(c.stats().dirty_evictions[0], 1u);
+}
+
+TEST(CacheArray, WriteMarksDirty)
+{
+    auto c = smallCache();
+    c.insert(0x40, LineClass::Data, false);
+    EXPECT_TRUE(c.access(0x40, LineClass::Data, true));
+    auto inv = c.invalidate(0x40);
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_TRUE(*inv);
+}
+
+TEST(CacheArray, MarkCleanClearsDirty)
+{
+    auto c = smallCache();
+    c.insert(0x40, LineClass::Data, true);
+    c.markClean(0x40);
+    auto inv = c.invalidate(0x40);
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_FALSE(*inv);
+}
+
+TEST(CacheArray, InvalidateMissingReturnsNullopt)
+{
+    auto c = smallCache();
+    EXPECT_FALSE(c.invalidate(0x999).has_value());
+}
+
+TEST(CacheArray, ReinsertRefreshesNotEvicts)
+{
+    auto c = smallCache();
+    c.insert(addrFor(0, 1), LineClass::Data, false);
+    auto victim = c.insert(addrFor(0, 1), LineClass::Data, true);
+    EXPECT_FALSE(victim.has_value());
+    // Dirty flag sticky-ORed.
+    auto inv = c.invalidate(addrFor(0, 1));
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_TRUE(*inv);
+}
+
+TEST(CacheArray, ClassAccounting)
+{
+    auto c = smallCache();
+    c.insert(addrFor(0, 1), LineClass::Data, false);
+    c.insert(addrFor(1, 1), LineClass::Counter, false);
+    c.insert(addrFor(2, 1), LineClass::TreeNode, false);
+    EXPECT_EQ(c.classCount(LineClass::Data), 1u);
+    EXPECT_EQ(c.classCount(LineClass::Counter), 1u);
+    EXPECT_EQ(c.classCount(LineClass::TreeNode), 1u);
+    EXPECT_EQ(*c.residentClass(addrFor(1, 1)), LineClass::Counter);
+}
+
+TEST(CacheArray, CounterCapEvictsCounterLru)
+{
+    // 8 sets x 4 ways, counters capped at 2 blocks.
+    CacheArrayConfig cfg;
+    cfg.assoc = 4;
+    cfg.size_bytes = 8u * 4 * kBlockBytes;
+    cfg.class_cap_bytes[static_cast<int>(LineClass::Counter)] =
+        2 * kBlockBytes;
+    CacheArray c("capped", cfg);
+
+    // Counters in different sets, so set pressure is not the cause.
+    const Addr c1 = addrFor(0, 1, 8), c2 = addrFor(1, 1, 8),
+               c3 = addrFor(2, 1, 8);
+    c.insert(c1, LineClass::Counter, false);
+    c.insert(c2, LineClass::Counter, false);
+    EXPECT_EQ(c.classCount(LineClass::Counter), 2u);
+    c.insert(c3, LineClass::Counter, false);
+    EXPECT_EQ(c.classCount(LineClass::Counter), 2u);
+    EXPECT_FALSE(c.contains(c1));   // class-LRU evicted
+    EXPECT_TRUE(c.contains(c2));
+    EXPECT_TRUE(c.contains(c3));
+}
+
+TEST(CacheArray, CapDoesNotEvictData)
+{
+    CacheArrayConfig cfg;
+    cfg.assoc = 4;
+    cfg.size_bytes = 8u * 4 * kBlockBytes;
+    cfg.class_cap_bytes[static_cast<int>(LineClass::Counter)] =
+        kBlockBytes;
+    CacheArray c("capped", cfg);
+    c.insert(addrFor(0, 1, 8), LineClass::Data, false);
+    c.insert(addrFor(1, 1, 8), LineClass::Counter, false);
+    c.insert(addrFor(2, 1, 8), LineClass::Counter, false);
+    EXPECT_TRUE(c.contains(addrFor(0, 1, 8)));
+    EXPECT_EQ(c.classCount(LineClass::Counter), 1u);
+    EXPECT_EQ(c.classCount(LineClass::Data), 1u);
+}
+
+TEST(CacheArray, TouchUpdatesClassLru)
+{
+    CacheArrayConfig cfg;
+    cfg.assoc = 4;
+    cfg.size_bytes = 8u * 4 * kBlockBytes;
+    cfg.class_cap_bytes[static_cast<int>(LineClass::Counter)] =
+        2 * kBlockBytes;
+    CacheArray c("capped", cfg);
+    const Addr c1 = addrFor(0, 1, 8), c2 = addrFor(1, 1, 8),
+               c3 = addrFor(2, 1, 8);
+    c.insert(c1, LineClass::Counter, false);
+    c.insert(c2, LineClass::Counter, false);
+    // Touch c1 so c2 is the class LRU.
+    c.access(c1, LineClass::Counter, false);
+    c.insert(c3, LineClass::Counter, false);
+    EXPECT_TRUE(c.contains(c1));
+    EXPECT_FALSE(c.contains(c2));
+}
+
+TEST(CacheArray, FlushAllEmpties)
+{
+    auto c = smallCache();
+    c.insert(0x40, LineClass::Data, true);
+    c.insert(0x80, LineClass::Counter, false);
+    c.flushAll();
+    EXPECT_FALSE(c.contains(0x40));
+    EXPECT_FALSE(c.contains(0x80));
+    EXPECT_EQ(c.classCount(LineClass::Data), 0u);
+    EXPECT_EQ(c.classCount(LineClass::Counter), 0u);
+}
+
+TEST(CacheArray, NonPowerOfTwoSetCount)
+{
+    // 12 MB/core LLC sweeps produce non-power-of-two set counts; the
+    // array must index correctly with modulo in that case.
+    CacheArrayConfig cfg;
+    cfg.assoc = 4;
+    cfg.size_bytes = 12 * 4 * kBlockBytes;   // 12 sets
+    CacheArray c("odd", cfg);
+    EXPECT_EQ(c.numSets(), 12u);
+    for (unsigned i = 0; i < 48; ++i)
+        c.insert(static_cast<Addr>(i) * kBlockBytes, LineClass::Data,
+                 false);
+    // Full occupancy reachable (every set usable).
+    EXPECT_EQ(c.classCount(LineClass::Data), 48u);
+    EXPECT_TRUE(c.access(47 * kBlockBytes, LineClass::Data, false));
+}
+
+TEST(CacheArray, StatsAggregates)
+{
+    auto c = smallCache();
+    c.access(0x40, LineClass::Data, false);      // miss
+    c.insert(0x40, LineClass::Data, false);
+    c.access(0x40, LineClass::Counter, false);   // hit (counted as ctr)
+    EXPECT_EQ(c.stats().hitsAll(), 1u);
+    EXPECT_EQ(c.stats().missesAll(), 1u);
+    c.resetStats();
+    EXPECT_EQ(c.stats().hitsAll(), 0u);
+}
+
+} // namespace
+} // namespace emcc

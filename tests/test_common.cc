@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for the common infrastructure: types/units, RNG,
+ * histograms, statistics helpers, and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/histogram.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+
+namespace emcc {
+namespace {
+
+TEST(Types, TickConversionsRoundTrip)
+{
+    EXPECT_EQ(nsToTicks(13.75), 13750u);
+    EXPECT_EQ(nsToTicks(0.3125), 313u);   // rounds
+    EXPECT_DOUBLE_EQ(ticksToNs(23000), 23.0);
+}
+
+TEST(Types, BlockAlignment)
+{
+    EXPECT_EQ(blockAlign(0), 0u);
+    EXPECT_EQ(blockAlign(63), 0u);
+    EXPECT_EQ(blockAlign(64), 64u);
+    EXPECT_EQ(blockAlign(130), 128u);
+    EXPECT_EQ(blockNumber(128), 2u);
+}
+
+TEST(Types, UnitsAndLog2)
+{
+    EXPECT_EQ(1_KiB, 1024u);
+    EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+    EXPECT_EQ(1_GiB, 1024ull * 1024 * 1024);
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(4097));
+    EXPECT_FALSE(isPowerOf2(0));
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowIsInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(13);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.range(3, 5);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 5u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Histogram, BinningAndMean)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.7);
+    h.add(9.9);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 2u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_NEAR(h.mean(), (0.5 + 1.5 + 1.7 + 9.9) / 4.0, 1e-9);
+    EXPECT_DOUBLE_EQ(h.min(), 0.5);
+    EXPECT_DOUBLE_EQ(h.max(), 9.9);
+}
+
+TEST(Histogram, UnderOverflow)
+{
+    Histogram h(10.0, 20.0, 5);
+    h.add(5.0);
+    h.add(25.0);
+    h.add(15.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.binCount(2), 1u);
+}
+
+TEST(Histogram, Weights)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(1.5, 3);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.binCount(1), 3u);
+    EXPECT_DOUBLE_EQ(h.binFraction(1), 1.0);
+}
+
+TEST(Histogram, PercentileMonotonic)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_LE(h.percentile(10), h.percentile(50));
+    EXPECT_LE(h.percentile(50), h.percentile(90));
+    EXPECT_NEAR(h.percentile(50), 50.0, 2.0);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(5.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Stats, AverageBasics)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.add(2.0);
+    a.add(4.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.count(), 2u);
+    a.add(10.0, 2);
+    EXPECT_DOUBLE_EQ(a.mean(), (2.0 + 4.0 + 20.0) / 4.0);
+}
+
+TEST(Stats, SafeRatio)
+{
+    EXPECT_DOUBLE_EQ(safeRatio(1.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(safeRatio(3.0, 2.0), 1.5);
+}
+
+TEST(Stats, GeoMean)
+{
+    EXPECT_DOUBLE_EQ(geoMean({}), 0.0);
+    EXPECT_NEAR(geoMean({2.0, 8.0}), 4.0, 1e-9);
+    EXPECT_DOUBLE_EQ(geoMean({1.0, 0.0}), 0.0);
+}
+
+TEST(Stats, StatSetMerge)
+{
+    StatSet a, b;
+    a.set("x", 1.0);
+    b.set("x", 2.0);
+    b.set("y", 5.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 3.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 5.0);
+    EXPECT_DOUBLE_EQ(a.get("missing"), 0.0);
+    EXPECT_TRUE(a.has("y"));
+    EXPECT_FALSE(a.has("z"));
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1.00"});
+    t.addRow({"longer", "2.50"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("2.50"), std::string::npos);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(Table::num(1.234, 2), "1.23");
+    EXPECT_EQ(Table::pct(0.072, 1), "7.2%");
+}
+
+} // namespace
+} // namespace emcc

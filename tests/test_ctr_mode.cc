@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for counter-mode encryption and the GF dot-product MAC (the
+ * paper's Figure 1 data path).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "common/rng.hh"
+#include "crypto/ctr_mode.hh"
+#include "secmem/secure_memory.hh"
+
+namespace emcc {
+namespace {
+
+SecureMemoryKeys
+keys()
+{
+    return SecureMemoryKeys::testKeys(5);
+}
+
+TEST(Gf64, MultiplicationBasics)
+{
+    EXPECT_EQ(gf64Mul(0, 12345u), 0u);
+    EXPECT_EQ(gf64Mul(12345u, 0), 0u);
+    EXPECT_EQ(gf64Mul(1, 12345u), 12345u);
+    EXPECT_EQ(gf64Mul(12345u, 1), 12345u);
+}
+
+TEST(Gf64, Commutative)
+{
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t a = rng.next(), b = rng.next();
+        EXPECT_EQ(gf64Mul(a, b), gf64Mul(b, a));
+    }
+}
+
+TEST(Gf64, DistributesOverXor)
+{
+    Rng rng(4);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t a = rng.next(), b = rng.next(),
+                            c = rng.next();
+        EXPECT_EQ(gf64Mul(a ^ b, c), gf64Mul(a, c) ^ gf64Mul(b, c));
+    }
+}
+
+TEST(Gf64, Associative)
+{
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i) {
+        const std::uint64_t a = rng.next(), b = rng.next(),
+                            c = rng.next();
+        EXPECT_EQ(gf64Mul(gf64Mul(a, b), c), gf64Mul(a, gf64Mul(b, c)));
+    }
+}
+
+TEST(Gf64, KnownDoubling)
+{
+    // x^63 * x = x^64 = x^4 + x^3 + x + 1 = 0x1b in this field.
+    EXPECT_EQ(gf64Mul(1ull << 63, 2), 0x1bull);
+}
+
+TEST(Seed, UniquePerInput)
+{
+    std::uint8_t a[16], b[16];
+    buildSeed(1, 0x1000, 7, 0, a);
+    buildSeed(1, 0x1000, 7, 1, b);
+    EXPECT_NE(0, std::memcmp(a, b, 16));
+    buildSeed(1, 0x1040, 7, 0, b);
+    EXPECT_NE(0, std::memcmp(a, b, 16));
+    buildSeed(1, 0x1000, 8, 0, b);
+    EXPECT_NE(0, std::memcmp(a, b, 16));
+    buildSeed(2, 0x1000, 7, 0, b);
+    EXPECT_NE(0, std::memcmp(a, b, 16));
+}
+
+TEST(CounterMode, EncryptDecryptInvolution)
+{
+    CounterModeCipher cipher(keys().encryption_key);
+    Rng rng(6);
+    std::uint8_t pt[64], ct[64], back[64];
+    for (auto &x : pt)
+        x = static_cast<std::uint8_t>(rng.next());
+    cipher.apply(0x4000, 42, pt, ct);
+    EXPECT_NE(0, std::memcmp(pt, ct, 64));
+    cipher.apply(0x4000, 42, ct, back);
+    EXPECT_EQ(0, std::memcmp(pt, back, 64));
+}
+
+TEST(CounterMode, DifferentCountersGiveDifferentCiphertext)
+{
+    CounterModeCipher cipher(keys().encryption_key);
+    std::uint8_t pt[64] = {};
+    std::uint8_t ct1[64], ct2[64];
+    cipher.apply(0x4000, 1, pt, ct1);
+    cipher.apply(0x4000, 2, pt, ct2);
+    EXPECT_NE(0, std::memcmp(ct1, ct2, 64));
+}
+
+TEST(CounterMode, DifferentAddressesGiveDifferentCiphertext)
+{
+    CounterModeCipher cipher(keys().encryption_key);
+    std::uint8_t pt[64] = {};
+    std::uint8_t ct1[64], ct2[64];
+    cipher.apply(0x4000, 1, pt, ct1);
+    cipher.apply(0x4040, 1, pt, ct2);
+    EXPECT_NE(0, std::memcmp(ct1, ct2, 64));
+}
+
+TEST(CounterMode, OtpWordsAreDistinct)
+{
+    CounterModeCipher cipher(keys().encryption_key);
+    std::set<std::string> otps;
+    for (unsigned w = 0; w < 4; ++w) {
+        std::uint8_t pad[16];
+        cipher.otp(0x8000, 9, w, pad);
+        otps.insert(std::string(reinterpret_cast<char *>(pad), 16));
+    }
+    EXPECT_EQ(otps.size(), 4u);
+}
+
+TEST(GfMac, MacDependsOnEveryInput)
+{
+    const auto k = keys();
+    GfMac mac(k.mac_key, k.gf_keys);
+    std::uint8_t block[64] = {};
+    const std::uint64_t base = mac.compute(0x4000, 5, block);
+    EXPECT_EQ(base & ~kMask56, 0u);   // 56-bit truncation
+
+    block[17] ^= 0x01;
+    EXPECT_NE(mac.compute(0x4000, 5, block), base);
+    block[17] ^= 0x01;
+    EXPECT_NE(mac.compute(0x4040, 5, block), base);
+    EXPECT_NE(mac.compute(0x4000, 6, block), base);
+    EXPECT_EQ(mac.compute(0x4000, 5, block), base);   // deterministic
+}
+
+TEST(GfMac, MacIsXorOfAesAndDotProduct)
+{
+    // The EMCC trick (§IV-D): the MC can send MAC ^ dotProduct and the
+    // L2 compares against its locally computed AES part.
+    const auto k = keys();
+    GfMac mac(k.mac_key, k.gf_keys);
+    std::uint8_t block[64];
+    Rng rng(7);
+    for (auto &x : block)
+        x = static_cast<std::uint8_t>(rng.next());
+    const std::uint64_t full = mac.compute(0x9000, 77, block);
+    const std::uint64_t aes_part = mac.aesPart(0x9000, 77);
+    const std::uint64_t dot = mac.dotProduct(block);
+    EXPECT_EQ(full, (aes_part ^ dot) & kMask56);
+}
+
+TEST(GfMac, SingleBitFlipsDetected)
+{
+    const auto k = keys();
+    GfMac mac(k.mac_key, k.gf_keys);
+    std::uint8_t block[64] = {};
+    const std::uint64_t base = mac.compute(0, 0, block);
+    // Every single-bit corruption must change the MAC (GF keys are
+    // non-zero, so each bit contributes).
+    for (int byte = 0; byte < 64; byte += 7) {
+        for (int bit = 0; bit < 8; bit += 3) {
+            block[byte] ^= (1u << bit);
+            EXPECT_NE(mac.compute(0, 0, block), base)
+                << "undetected flip at byte " << byte << " bit " << bit;
+            block[byte] ^= (1u << bit);
+        }
+    }
+}
+
+} // namespace
+} // namespace emcc

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the NoC mesh geometry (paper Fig 4): tile placement,
+ * hop counts, routes, and the address-to-slice mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "noc/mesh.hh"
+
+namespace emcc {
+namespace {
+
+TEST(Mesh, DefaultTopologyMatchesFig4)
+{
+    MeshTopology m;
+    EXPECT_EQ(m.cols(), 6);
+    EXPECT_EQ(m.rows(), 5);
+    EXPECT_EQ(m.numCores(), 28);
+    EXPECT_EQ(m.numSlices(), 28);
+    EXPECT_EQ(m.numMcs(), 2);
+    // MC1 on the left edge of row 1, MC2 on the right edge of row 3.
+    EXPECT_EQ(m.mcTile(0).col, 0);
+    EXPECT_EQ(m.mcTile(0).row, 1);
+    EXPECT_EQ(m.mcTile(1).col, 5);
+    EXPECT_EQ(m.mcTile(1).row, 3);
+}
+
+TEST(Mesh, CoreZeroIsTopLeft)
+{
+    MeshTopology m;
+    EXPECT_EQ(m.coreTile(0).col, 0);
+    EXPECT_EQ(m.coreTile(0).row, 0);
+    // Row 0 holds cores 0..5 like Fig 4.
+    EXPECT_EQ(m.coreTile(5).col, 5);
+    EXPECT_EQ(m.coreTile(5).row, 0);
+}
+
+TEST(Mesh, HopsAreManhattan)
+{
+    MeshTopology m;
+    EXPECT_EQ(m.hopsCoreToSlice(0, 0), 0);
+    // Core 0 (0,0) to core 5's slice (5,0): 5 hops.
+    EXPECT_EQ(m.hopsCoreToSlice(0, 5), 5);
+    // Symmetry.
+    for (int s = 0; s < m.numSlices(); s += 5)
+        EXPECT_EQ(m.hopsCoreToSlice(0, s), m.hopsCoreToSlice(s, 0));
+}
+
+TEST(Mesh, RouteEndsAtEndpoints)
+{
+    MeshTopology m;
+    const auto path = m.route(m.coreTile(0), m.mcTile(1));
+    ASSERT_GE(path.size(), 2u);
+    EXPECT_EQ(path.front(), std::make_pair(0, 0));
+    EXPECT_EQ(path.back(), std::make_pair(5, 3));
+    // Route length = hops + 1 (XY routing).
+    EXPECT_EQ(static_cast<int>(path.size()) - 1,
+              MeshTopology::hops(m.coreTile(0), m.mcTile(1)));
+    // Adjacent waypoints differ by exactly one hop.
+    for (size_t i = 1; i < path.size(); ++i) {
+        const int d = std::abs(path[i].first - path[i - 1].first) +
+                      std::abs(path[i].second - path[i - 1].second);
+        EXPECT_EQ(d, 1);
+    }
+}
+
+TEST(Mesh, SliceMappingIsStable)
+{
+    MeshTopology m;
+    const Addr a = 0x123456780;
+    EXPECT_EQ(m.sliceForAddr(a), m.sliceForAddr(a));
+    EXPECT_EQ(m.sliceForAddr(a), m.sliceForAddr(a + 1));   // same block
+}
+
+TEST(Mesh, SliceMappingSpreadsBlocks)
+{
+    MeshTopology m;
+    std::set<int> slices;
+    for (Addr a = 0; a < 512 * kBlockBytes; a += kBlockBytes)
+        slices.insert(m.sliceForAddr(a));
+    // 512 blocks over 28 slices should touch nearly all of them.
+    EXPECT_GE(slices.size(), 24u);
+    for (int s : slices) {
+        EXPECT_GE(s, 0);
+        EXPECT_LT(s, m.numSlices());
+    }
+}
+
+TEST(Mesh, McMappingInRange)
+{
+    MeshTopology m;
+    for (Addr a = 0; a < 64 * kBlockBytes; a += kBlockBytes) {
+        const int mc = m.mcForAddr(a);
+        EXPECT_GE(mc, 0);
+        EXPECT_LT(mc, m.numMcs());
+    }
+}
+
+TEST(Mesh, NearestMcSane)
+{
+    MeshTopology m;
+    for (int s = 0; s < m.numSlices(); ++s) {
+        const int best = m.nearestMcToSlice(s);
+        for (int other = 0; other < m.numMcs(); ++other)
+            EXPECT_LE(m.hopsSliceToMc(s, best), m.hopsSliceToMc(s, other));
+    }
+}
+
+TEST(Mesh, RenderShowsTiles)
+{
+    MeshTopology m;
+    const std::string art = m.render();
+    EXPECT_NE(art.find("C0"), std::string::npos);
+    EXPECT_NE(art.find("MC1"), std::string::npos);
+    EXPECT_NE(art.find("MC2"), std::string::npos);
+}
+
+TEST(Mesh, CustomGeometry)
+{
+    MeshTopology m(4, 3, 1);
+    EXPECT_EQ(m.numCores(), 11);
+    EXPECT_EQ(m.numMcs(), 1);
+}
+
+} // namespace
+} // namespace emcc

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the metadata address map / integrity-tree geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "secmem/metadata_map.hh"
+
+namespace emcc {
+namespace {
+
+TEST(MetadataMap, LevelZeroCountersFollowData)
+{
+    auto d = CounterDesign::create(CounterDesignKind::Morphable);
+    MetadataMap m(*d, 16_MiB);
+    EXPECT_TRUE(m.isData(0));
+    EXPECT_TRUE(m.isData(16_MiB - 1));
+    EXPECT_FALSE(m.isData(16_MiB));
+    // 16 MiB / 8 KiB coverage = 2048 counter blocks.
+    EXPECT_EQ(m.levelCount(0), 2048u);
+    EXPECT_EQ(m.levelBase(0), 16_MiB);
+}
+
+TEST(MetadataMap, CounterBlockAddrContiguous)
+{
+    auto d = CounterDesign::create(CounterDesignKind::Morphable);
+    MetadataMap m(*d, 16_MiB);
+    EXPECT_EQ(m.counterBlockAddr(0), 16_MiB);
+    EXPECT_EQ(m.counterBlockAddr(8191), 16_MiB);
+    EXPECT_EQ(m.counterBlockAddr(8192), 16_MiB + 64);
+}
+
+TEST(MetadataMap, TreeGeometryMorphable)
+{
+    auto d = CounterDesign::create(CounterDesignKind::Morphable);
+    MetadataMap m(*d, 16_MiB);
+    // 2048 counter blocks, arity 128: level 1 has 16 nodes, level 2 has
+    // 1 node -> walk stops at level 1 (level 2 would be the root).
+    ASSERT_GE(m.numLevels(), 2u);
+    EXPECT_EQ(m.levelCount(1), 16u);
+    EXPECT_EQ(m.arity(), 128u);
+}
+
+TEST(MetadataMap, TreeGeometrySc64)
+{
+    auto d = CounterDesign::create(CounterDesignKind::Sc64);
+    MetadataMap m(*d, 16_MiB);
+    // 4096 counter blocks, arity 64 -> level1: 64, level2: 1.
+    EXPECT_EQ(m.levelCount(0), 4096u);
+    EXPECT_EQ(m.levelCount(1), 64u);
+}
+
+TEST(MetadataMap, TreeNodeSharing)
+{
+    auto d = CounterDesign::create(CounterDesignKind::Morphable);
+    MetadataMap m(*d, 1_GiB);
+    // Two data addresses under the same level-1 node (within
+    // 128 * 8 KiB = 1 MiB) share it; beyond that they don't.
+    EXPECT_EQ(m.treeNodeAddr(1, 0), m.treeNodeAddr(1, 1_MiB - 1));
+    EXPECT_NE(m.treeNodeAddr(1, 0), m.treeNodeAddr(1, 1_MiB));
+}
+
+TEST(MetadataMap, LevelOfClassifiesAddresses)
+{
+    auto d = CounterDesign::create(CounterDesignKind::Morphable);
+    MetadataMap m(*d, 16_MiB);
+    EXPECT_EQ(m.levelOf(123), -1);
+    EXPECT_EQ(m.levelOf(m.counterBlockAddr(0)), 0);
+    EXPECT_EQ(m.levelOf(m.treeNodeAddr(1, 0)), 1);
+}
+
+TEST(MetadataMap, MetadataOverheadSmall)
+{
+    auto d = CounterDesign::create(CounterDesignKind::Morphable);
+    MetadataMap m(*d, 1_GiB);
+    // Morphable metadata: 64B per 8KiB data ~ 0.8%, plus a tiny tree.
+    const double overhead = static_cast<double>(m.metadataBytes()) /
+                            static_cast<double>(m.dataBytes());
+    EXPECT_LT(overhead, 0.01);
+    EXPECT_GT(overhead, 0.007);
+}
+
+TEST(MetadataMap, LevelsShrinkByArity)
+{
+    auto d = CounterDesign::create(CounterDesignKind::Sc64);
+    MetadataMap m(*d, 4_GiB);
+    for (unsigned l = 1; l < m.numLevels(); ++l) {
+        // Each level is ceil(previous / arity).
+        const auto expect = (m.levelCount(l - 1) + m.arity() - 1) /
+                            m.arity();
+        EXPECT_EQ(m.levelCount(l), expect);
+    }
+    // Top stored level small enough for the on-chip root to cover.
+    EXPECT_LE(m.levelCount(m.numLevels() - 1), 1u);
+}
+
+TEST(MetadataMap, RegionsDoNotOverlap)
+{
+    auto d = CounterDesign::create(CounterDesignKind::Morphable);
+    MetadataMap m(*d, 64_MiB);
+    for (unsigned l = 1; l < m.numLevels(); ++l) {
+        EXPECT_EQ(m.levelBase(l),
+                  m.levelBase(l - 1) + m.levelCount(l - 1) * kBlockBytes);
+    }
+}
+
+} // namespace
+} // namespace emcc

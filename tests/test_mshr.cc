@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for the MSHR file: allocation, merging, capacity, and
+ * completion fan-out.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/mshr.hh"
+
+namespace emcc {
+namespace {
+
+TEST(Mshr, NewMissThenMerge)
+{
+    MshrFile m(4);
+    std::vector<Tick> fills;
+    EXPECT_EQ(m.allocate(0x100, [&](Tick t) { fills.push_back(t); }),
+              MshrOutcome::NewMiss);
+    EXPECT_EQ(m.allocate(0x110, [&](Tick t) { fills.push_back(t); }),
+              MshrOutcome::Merged);   // same block
+    EXPECT_TRUE(m.outstanding(0x13f));
+    EXPECT_EQ(m.inUse(), 1u);
+    EXPECT_EQ(m.complete(0x100, 42), 2u);
+    EXPECT_EQ(fills, (std::vector<Tick>{42, 42}));
+    EXPECT_FALSE(m.outstanding(0x100));
+}
+
+TEST(Mshr, DistinctBlocksGetDistinctEntries)
+{
+    MshrFile m(4);
+    EXPECT_EQ(m.allocate(0x000, [](Tick) {}), MshrOutcome::NewMiss);
+    EXPECT_EQ(m.allocate(0x040, [](Tick) {}), MshrOutcome::NewMiss);
+    EXPECT_EQ(m.inUse(), 2u);
+}
+
+TEST(Mshr, FullWhenCapacityReached)
+{
+    MshrFile m(2);
+    EXPECT_EQ(m.allocate(0x000, [](Tick) {}), MshrOutcome::NewMiss);
+    EXPECT_EQ(m.allocate(0x040, [](Tick) {}), MshrOutcome::NewMiss);
+    EXPECT_EQ(m.allocate(0x080, [](Tick) {}), MshrOutcome::Full);
+    // Merging into an existing entry still works when full.
+    EXPECT_EQ(m.allocate(0x040, [](Tick) {}), MshrOutcome::Merged);
+    EXPECT_EQ(m.fullStalls(), 1u);
+}
+
+TEST(Mshr, CompleteUnknownBlockIsNoop)
+{
+    MshrFile m(2);
+    EXPECT_EQ(m.complete(0x500, 1), 0u);
+}
+
+TEST(Mshr, CountersTrack)
+{
+    MshrFile m(4);
+    m.allocate(0x000, [](Tick) {});
+    m.allocate(0x000, [](Tick) {});
+    m.allocate(0x040, [](Tick) {});
+    EXPECT_EQ(m.allocated(), 2u);
+    EXPECT_EQ(m.merged(), 1u);
+}
+
+TEST(Mshr, ReallocAfterComplete)
+{
+    MshrFile m(1);
+    EXPECT_EQ(m.allocate(0x000, [](Tick) {}), MshrOutcome::NewMiss);
+    m.complete(0x000, 5);
+    EXPECT_EQ(m.allocate(0x000, [](Tick) {}), MshrOutcome::NewMiss);
+}
+
+} // namespace
+} // namespace emcc

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the NoC latency model: calibration to the paper's measured
+ * means (7.5 ns one-way, 23 ns LLC hit) and the Fig-3 distribution
+ * shape (16-29 ns spread).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "noc/latency_model.hh"
+
+namespace emcc {
+namespace {
+
+TEST(NocLatency, OneWayFormula)
+{
+    MeshTopology mesh;
+    NocLatencyModel noc(mesh, NocConfig{4.0, 1.0, 4.0, 4.0});
+    EXPECT_DOUBLE_EQ(noc.oneWayNs(0), 4.0);
+    EXPECT_DOUBLE_EQ(noc.oneWayNs(5), 9.0);
+}
+
+TEST(NocLatency, CalibrationHitsTarget)
+{
+    MeshTopology mesh;
+    NocLatencyModel noc(mesh);
+    noc.calibrateMeanOneWay(7.5);
+    EXPECT_NEAR(noc.meanOneWayNs(), 7.5, 1e-9);
+    // The paper's mean LLC hit latency: 4 (L2 miss) + 15 (two-way NoC)
+    // + 4 (slice SRAM) = 23 ns.
+    EXPECT_NEAR(noc.meanLlcHitNs(), 23.0, 1e-9);
+}
+
+TEST(NocLatency, Fig3DistributionShape)
+{
+    MeshTopology mesh;
+    NocLatencyModel noc(mesh);
+    noc.calibrateMeanOneWay(7.5);
+    const Histogram h = noc.llcHitDistribution();
+    EXPECT_NEAR(h.mean(), 23.0, 0.1);
+    // Spread like Fig 3: minimum around 16 ns; the farthest corner
+    // pairs give a slightly longer tail than the paper's 29 ns bin.
+    EXPECT_GE(h.min(), 14.0);
+    EXPECT_LE(h.min(), 17.5);
+    EXPECT_GE(h.max(), 26.0);
+    EXPECT_LE(h.max(), 35.0);
+}
+
+TEST(NocLatency, DirectLlcLatencyExcludesL2)
+{
+    MeshTopology mesh;
+    NocLatencyModel noc(mesh);
+    noc.calibrateMeanOneWay(7.5);
+    // Direct LLC latency = LLC hit - 4ns L2 component (paper footnote 1).
+    EXPECT_NEAR(noc.directLlcLatencyNs(0, 5) + 4.0,
+                noc.llcHitLatencyNs(0, 5), 1e-9);
+}
+
+TEST(NocLatency, SamplesComeFromPairPopulation)
+{
+    MeshTopology mesh;
+    NocLatencyModel noc(mesh);
+    noc.calibrateMeanOneWay(7.5);
+    Rng rng(1);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double s = noc.sampleTwoWayNs(rng);
+        ASSERT_GE(s, 2.0 * 4.0);   // at least 2x base
+        sum += s;
+    }
+    EXPECT_NEAR(sum / n, noc.meanTwoWayNs(), 0.15);
+}
+
+TEST(NocLatency, DeltaIsZeroMean)
+{
+    MeshTopology mesh;
+    NocLatencyModel noc(mesh);
+    noc.calibrateMeanOneWay(7.5);
+    Rng rng(2);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += noc.sampleDeltaNs(rng);
+    EXPECT_NEAR(sum / n, 0.0, 0.15);
+}
+
+TEST(NocLatency, CalibrationRejectsImpossibleTarget)
+{
+    MeshTopology mesh;
+    NocLatencyModel noc(mesh, NocConfig{4.0, 1.0, 4.0, 4.0});
+    EXPECT_EXIT(noc.calibrateMeanOneWay(3.0),
+                ::testing::ExitedWithCode(1), "base");
+}
+
+} // namespace
+} // namespace emcc

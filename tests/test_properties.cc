@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Randomized property / differential tests:
+ *
+ *  - the cache array against a straightforward reference LRU model;
+ *  - the event queue against a sorted reference under random
+ *    schedule/cancel interleavings;
+ *  - DRAM conservation laws (every request completes exactly once, bus
+ *    occupancy equals bursts served);
+ *  - secure-memory random-operation fuzzing (random writes/reads/
+ *    tampering must never mis-verify).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/rng.hh"
+#include "dram/dram.hh"
+#include "secmem/secure_memory.hh"
+#include "sim/simulator.hh"
+
+namespace emcc {
+namespace {
+
+// ------------------------------------------------------------ cache
+
+/** Dead-simple reference model: per-set list, front = LRU. */
+class RefCache
+{
+  public:
+    RefCache(unsigned sets, unsigned assoc) : sets_(sets), assoc_(assoc)
+    {
+        lists_.resize(sets);
+    }
+
+    bool
+    access(Addr addr)
+    {
+        auto &l = lists_[set(addr)];
+        const Addr blk = blockNumber(addr);
+        auto it = std::find(l.begin(), l.end(), blk);
+        if (it == l.end())
+            return false;
+        l.erase(it);
+        l.push_back(blk);
+        return true;
+    }
+
+    void
+    insert(Addr addr)
+    {
+        auto &l = lists_[set(addr)];
+        const Addr blk = blockNumber(addr);
+        auto it = std::find(l.begin(), l.end(), blk);
+        if (it != l.end()) {
+            l.erase(it);
+        } else if (l.size() >= assoc_) {
+            l.pop_front();
+        }
+        l.push_back(blk);
+    }
+
+    bool
+    contains(Addr addr) const
+    {
+        const auto &l = lists_[set(addr)];
+        return std::find(l.begin(), l.end(), blockNumber(addr)) != l.end();
+    }
+
+  private:
+    std::size_t set(Addr a) const { return blockNumber(a) % sets_; }
+
+    unsigned sets_;
+    unsigned assoc_;
+    std::vector<std::list<Addr>> lists_;
+};
+
+TEST(PropertyCache, MatchesReferenceLruModel)
+{
+    constexpr unsigned kSets = 8, kAssoc = 4;
+    CacheArrayConfig cfg;
+    cfg.assoc = kAssoc;
+    cfg.size_bytes = kSets * kAssoc * kBlockBytes;
+    CacheArray dut("dut", cfg);
+    RefCache ref(kSets, kAssoc);
+
+    Rng rng(2024);
+    for (int op = 0; op < 50'000; ++op) {
+        // Addresses from a pool ~3x the capacity for healthy conflict.
+        const Addr addr = rng.below(3 * kSets * kAssoc) * kBlockBytes;
+        if (rng.chance(0.5)) {
+            ASSERT_EQ(dut.access(addr, LineClass::Data, false),
+                      ref.access(addr))
+                << "op " << op << " addr " << addr;
+        } else {
+            dut.insert(addr, LineClass::Data, false);
+            ref.insert(addr);
+        }
+        if (op % 97 == 0) {
+            ASSERT_EQ(dut.contains(addr), ref.contains(addr))
+                << "op " << op;
+        }
+    }
+}
+
+TEST(PropertyCache, OccupancyNeverExceedsCapacity)
+{
+    CacheArrayConfig cfg;
+    cfg.assoc = 4;
+    cfg.size_bytes = 16 * 4 * kBlockBytes;
+    cfg.class_cap_bytes[static_cast<int>(LineClass::Counter)] =
+        8 * kBlockBytes;
+    CacheArray c("c", cfg);
+    Rng rng(7);
+    for (int op = 0; op < 20'000; ++op) {
+        const Addr addr = rng.below(512) * kBlockBytes;
+        const auto cls = rng.chance(0.3) ? LineClass::Counter
+                                         : LineClass::Data;
+        c.insert(addr, cls, rng.chance(0.2));
+        ASSERT_LE(c.classCount(LineClass::Counter), 8u);
+        ASSERT_LE(c.classCount(LineClass::Counter) +
+                      c.classCount(LineClass::Data) +
+                      c.classCount(LineClass::TreeNode),
+                  16u * 4);
+        if (rng.chance(0.05))
+            c.invalidate(rng.below(512) * kBlockBytes);
+    }
+}
+
+// ------------------------------------------------------------ events
+
+TEST(PropertyEvents, RandomScheduleCancelMatchesReference)
+{
+    EventQueue q;
+    Rng rng(99);
+    std::vector<std::pair<Tick, int>> expected;   // (when, id)
+    std::vector<int> fired;
+    std::vector<EventId> handles;
+    std::vector<std::pair<Tick, int>> meta;       // parallel to handles
+
+    int next_tag = 0;
+    for (int round = 0; round < 2'000; ++round) {
+        const Tick when = q.now() + rng.below(1000);
+        const int tag = next_tag++;
+        handles.push_back(
+            q.schedule(when, [tag, &fired] { fired.push_back(tag); }));
+        meta.emplace_back(when, tag);
+        // Randomly cancel a previous (possibly executed) event.
+        if (rng.chance(0.3) && !handles.empty()) {
+            const auto idx = rng.below(handles.size());
+            if (q.deschedule(handles[idx]))
+                meta[idx].second = -1;   // mark cancelled
+        }
+        // Occasionally run forward a little.
+        if (rng.chance(0.2))
+            q.runUntil(q.now() + rng.below(500));
+    }
+    q.runAll();
+
+    // Expected: all non-cancelled tags, sorted by (when, tag) — tag
+    // order is the FIFO tiebreak at equal ticks.
+    for (const auto &[when, tag] : meta)
+        if (tag >= 0)
+            expected.emplace_back(when, tag);
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(fired.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i)
+        ASSERT_EQ(fired[i], expected[i].second) << "position " << i;
+}
+
+// ------------------------------------------------------------ DRAM
+
+TEST(PropertyDram, EveryRequestCompletesExactlyOnce)
+{
+    DramConfig cfg;
+    cfg.queue_entries = 10'000;
+    Simulator sim;
+    DramMemory mem(sim, "m", cfg);
+    Rng rng(5);
+    Count completions = 0;
+    constexpr int kRequests = 3'000;
+    int enqueued = 0;
+    for (int i = 0; i < kRequests; ++i) {
+        DramRequest r;
+        r.addr = rng.below(1 << 20) * kBlockBytes;
+        r.is_write = rng.chance(0.3);
+        r.mclass = rng.chance(0.2) ? MemClass::Counter : MemClass::Data;
+        r.on_complete = [&completions](Tick) { ++completions; };
+        if (mem.enqueue(r))
+            ++enqueued;
+    }
+    sim.run();
+    EXPECT_EQ(completions, static_cast<Count>(enqueued));
+    const auto s = mem.aggregateStats();
+    EXPECT_EQ(s.readsAll() + s.writesAll(),
+              static_cast<Count>(enqueued));
+    // Bus occupancy = one burst per served request.
+    EXPECT_EQ(s.bus_busy, static_cast<Tick>(enqueued) * cfg.burstTicks());
+    // Row outcome classification is exhaustive.
+    EXPECT_EQ(s.row_hits + s.row_misses + s.row_conflicts,
+              static_cast<Count>(enqueued));
+}
+
+TEST(PropertyDram, CompletionTimesRespectMinimumLatency)
+{
+    DramConfig cfg;
+    cfg.queue_entries = 1'000;
+    Simulator sim;
+    DramMemory mem(sim, "m", cfg);
+    Rng rng(6);
+    const Tick min_lat = cfg.t_cl + cfg.burstTicks();
+    bool ok = true;
+    for (int i = 0; i < 500; ++i) {
+        DramRequest r;
+        r.addr = rng.below(1 << 16) * kBlockBytes;
+        const Tick issued = sim.now();
+        r.on_complete = [issued, min_lat, &ok](Tick done) {
+            ok &= (done >= issued + min_lat);
+        };
+        mem.enqueue(r);
+    }
+    sim.run();
+    EXPECT_TRUE(ok);
+}
+
+// ------------------------------------------------------------ secmem
+
+TEST(PropertySecureMemory, RandomOpFuzzNeverMisverifies)
+{
+    SecureMemory mem(CounterDesignKind::Morphable,
+                     SecureMemoryKeys::testKeys(3));
+    Rng rng(31337);
+    constexpr Addr kBlocks = 64;
+    // Shadow copy of the plaintext the application wrote.
+    std::map<Addr, std::array<std::uint8_t, 64>> shadow;
+    // Blocks currently tampered (must fail verification).
+    std::map<Addr, std::uint8_t> tampered;
+
+    for (int op = 0; op < 4'000; ++op) {
+        const Addr addr = rng.below(kBlocks) * kBlockBytes;
+        const int what = static_cast<int>(rng.below(10));
+        if (what < 5) {
+            // write
+            std::array<std::uint8_t, 64> data;
+            for (auto &b : data)
+                b = static_cast<std::uint8_t>(rng.next());
+            mem.write(addr, data.data());
+            shadow[addr] = data;
+            tampered.erase(addr);   // fresh ciphertext
+        } else if (what < 8) {
+            // read + verify against shadow
+            std::uint8_t out[64];
+            const auto r = mem.read(addr, out);
+            if (!shadow.count(addr)) {
+                ASSERT_FALSE(r.present);
+            } else if (tampered.count(addr)) {
+                ASSERT_TRUE(r.present);
+                ASSERT_FALSE(r.verified) << "op " << op;
+            } else {
+                ASSERT_TRUE(r.present);
+                ASSERT_TRUE(r.verified) << "op " << op;
+                ASSERT_EQ(0, std::memcmp(out, shadow[addr].data(), 64));
+            }
+        } else if (shadow.count(addr)) {
+            // tamper (xor at least one bit)
+            const auto byte = static_cast<unsigned>(rng.below(64));
+            const auto mask = static_cast<std::uint8_t>(
+                rng.range(1, 255));
+            mem.tamperCiphertext(addr, byte, mask);
+            // Tampering twice with the same mask cancels; track parity
+            // by re-tampering only untampered blocks.
+            if (tampered.count(addr)) {
+                mem.tamperCiphertext(addr, byte, mask);   // undo
+            } else {
+                tampered[addr] = mask;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace emcc

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Integration tests for the full timing system: the four schemes run
+ * end-to-end on real workload traces and their results obey the
+ * paper's qualitative relationships (non-secure fastest, EMCC ahead of
+ * the LLC baseline, sane latency/stat accounting).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "system/secure_system.hh"
+
+namespace emcc {
+namespace {
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams p;
+    p.cores = 2;
+    p.trace_len = 60'000;
+    p.graph_vertices = 1 << 15;
+    p.graph_degree = 8;
+    p.footprint_scale = 1.0 / 32.0;
+    return p;
+}
+
+SystemConfig
+tinyConfig(Scheme scheme)
+{
+    SystemConfig cfg;
+    cfg.cores = 2;
+    cfg.l1_bytes = 16_KiB;
+    cfg.l2_bytes = 64_KiB;
+    cfg.llc_bytes = 256_KiB;
+    cfg.mc_ctr_cache_bytes = 8_KiB;
+    cfg.l2_ctr_cap_bytes = 4_KiB;
+    cfg.data_region_bytes = 1_GiB;
+    cfg.scheme = scheme;
+    return cfg;
+}
+
+const WorkloadSet &
+bfsWorkload()
+{
+    static const WorkloadSet w = buildWorkload("BFS", tinyParams());
+    return w;
+}
+
+RunResults
+runScheme(Scheme scheme, Count warm = 50'000, Count measure = 100'000,
+          SystemConfig *override_cfg = nullptr)
+{
+    Simulator sim;
+    SystemConfig cfg = override_cfg ? *override_cfg : tinyConfig(scheme);
+    SecureSystem sys(sim, cfg, &bfsWorkload());
+    sys.run(warm, measure);
+    return sys.results();
+}
+
+TEST(SecureSystem, RunsToCompletion)
+{
+    const auto r = runScheme(Scheme::Emcc);
+    EXPECT_GT(r.total_ipc, 0.0);
+    EXPECT_GT(r.duration_ns, 0.0);
+    EXPECT_GT(r.sys.data_reads, 0u);
+    EXPECT_GT(r.dram.readsAll(), 0u);
+}
+
+TEST(SecureSystem, NonSecureIsFastest)
+{
+    const auto ns = runScheme(Scheme::NonSecure);
+    const auto base = runScheme(Scheme::LlcBaseline);
+    const auto emcc = runScheme(Scheme::Emcc);
+    EXPECT_GE(ns.total_ipc, base.total_ipc * 0.999);
+    EXPECT_GE(ns.total_ipc, emcc.total_ipc * 0.999);
+}
+
+TEST(SecureSystem, EmccBeatsBaseline)
+{
+    // The headline relationship on an irregular workload with high
+    // counter miss rates.
+    const auto base = runScheme(Scheme::LlcBaseline);
+    const auto emcc = runScheme(Scheme::Emcc);
+    EXPECT_GT(emcc.total_ipc, base.total_ipc * 0.995);
+}
+
+TEST(SecureSystem, EmccReducesL2MissLatency)
+{
+    const auto base = runScheme(Scheme::LlcBaseline);
+    const auto emcc = runScheme(Scheme::Emcc);
+    const double base_lat = base.sys.l2_miss_latency_sum_ns /
+                            base.sys.l2_miss_latency_count;
+    const double emcc_lat = emcc.sys.l2_miss_latency_sum_ns /
+                            emcc.sys.l2_miss_latency_count;
+    EXPECT_LT(emcc_lat, base_lat);
+}
+
+TEST(SecureSystem, NonSecureHasNoMetadata)
+{
+    const auto r = runScheme(Scheme::NonSecure);
+    EXPECT_EQ(r.dram.reads[static_cast<int>(MemClass::Counter)], 0u);
+    EXPECT_EQ(r.sys.mc_ctr_hits + r.sys.llc_ctr_hits +
+                  r.sys.llc_ctr_misses, 0u);
+    EXPECT_EQ(r.sys.decrypted_at_l2 + r.sys.decrypted_at_mc, 0u);
+}
+
+TEST(SecureSystem, SecureSchemesFetchCounters)
+{
+    const auto r = runScheme(Scheme::LlcBaseline);
+    EXPECT_GT(r.sys.mc_ctr_hits + r.sys.llc_ctr_hits +
+                  r.sys.llc_ctr_misses, 0u);
+    EXPECT_GT(r.dram.reads[static_cast<int>(MemClass::Counter)], 0u);
+}
+
+TEST(SecureSystem, CounterBucketsMatchMcReads)
+{
+    const auto r = runScheme(Scheme::LlcBaseline);
+    EXPECT_EQ(r.sys.mc_ctr_hits + r.sys.llc_ctr_hits +
+                  r.sys.llc_ctr_misses,
+              r.sys.llc_data_misses);
+}
+
+TEST(SecureSystem, EmccSplitsDecryptionBetweenL2AndMc)
+{
+    const auto r = runScheme(Scheme::Emcc);
+    EXPECT_GT(r.sys.decrypted_at_l2, 0u);
+    // All LLC data misses get decrypted somewhere.
+    EXPECT_EQ(r.sys.decrypted_at_l2 + r.sys.decrypted_at_mc,
+              r.sys.llc_data_misses);
+    // With counters mostly resident, L2 should take a healthy share.
+    EXPECT_GT(static_cast<double>(r.sys.decrypted_at_l2),
+              0.2 * static_cast<double>(r.sys.llc_data_misses));
+}
+
+TEST(SecureSystem, EmccAccountsCounterActivity)
+{
+    const auto r = runScheme(Scheme::Emcc);
+    EXPECT_EQ(r.sys.emcc_l2_ctr_hits + r.sys.emcc_l2_ctr_misses,
+              r.sys.l2_data_misses);
+    EXPECT_LE(r.sys.useless_ctr_accesses, r.sys.l2_ctr_inserts);
+    EXPECT_LE(r.sys.l2_ctr_invalidations, r.sys.l2_ctr_inserts);
+}
+
+TEST(SecureSystem, BaselineCountsLlcCounterAccesses)
+{
+    const auto r = runScheme(Scheme::LlcBaseline);
+    EXPECT_GT(r.sys.baseline_ctr_accesses_to_llc, 0u);
+    const auto emcc = runScheme(Scheme::Emcc);
+    EXPECT_GT(emcc.sys.emcc_ctr_accesses_to_llc, 0u);
+}
+
+TEST(SecureSystem, L2MissLatencyInPlausibleRange)
+{
+    const auto r = runScheme(Scheme::Emcc);
+    ASSERT_GT(r.sys.l2_miss_latency_count, 0u);
+    const double avg = r.sys.l2_miss_latency_sum_ns /
+                       r.sys.l2_miss_latency_count;
+    // Between an LLC hit (~17 ns after the L2 miss) and a heavily
+    // queued DRAM access.
+    EXPECT_GT(avg, 10.0);
+    EXPECT_LT(avg, 2000.0);
+}
+
+TEST(SecureSystem, DramTrafficBalances)
+{
+    const auto r = runScheme(Scheme::LlcBaseline);
+    // Data reads at DRAM = LLC data misses (modulo in-flight tail).
+    const auto dram_reads =
+        r.dram.reads[static_cast<int>(MemClass::Data)];
+    EXPECT_NEAR(static_cast<double>(dram_reads),
+                static_cast<double>(r.sys.llc_data_misses),
+                0.15 * static_cast<double>(r.sys.llc_data_misses) + 20);
+}
+
+TEST(SecureSystem, AesPoolsUsedPerScheme)
+{
+    Simulator sim_b;
+    SystemConfig cfg_b = tinyConfig(Scheme::LlcBaseline);
+    SecureSystem base(sim_b, cfg_b, &bfsWorkload());
+    base.run(20'000, 50'000);
+    EXPECT_GT(base.mcAesPool().ops(), 0u);
+    EXPECT_EQ(base.l2AesPool(0).ops(), 0u);
+
+    Simulator sim_e;
+    SystemConfig cfg_e = tinyConfig(Scheme::Emcc);
+    SecureSystem emcc(sim_e, cfg_e, &bfsWorkload());
+    emcc.run(20'000, 50'000);
+    EXPECT_GT(emcc.l2AesPool(0).ops() + emcc.l2AesPool(1).ops(), 0u);
+}
+
+TEST(SecureSystem, XptShortensMissPath)
+{
+    SystemConfig with = tinyConfig(Scheme::Emcc);
+    with.xpt = true;
+    const auto r_with = runScheme(Scheme::Emcc, 50'000, 100'000, &with);
+    const auto r_without = runScheme(Scheme::Emcc);
+    EXPECT_GE(r_with.total_ipc, r_without.total_ipc * 0.98);
+}
+
+TEST(SecureSystem, ConfigTableRenders)
+{
+    const SystemConfig cfg;
+    const std::string table = cfg.renderTable();
+    EXPECT_NE(table.find("L2 Cache"), std::string::npos);
+    EXPECT_NE(table.find("FR-FCFS"), std::string::npos);
+    EXPECT_NE(table.find("Morphable"), std::string::npos);
+}
+
+} // namespace
+} // namespace emcc

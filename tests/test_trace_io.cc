@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the binary trace file format: round-trip fidelity and
+ * graceful failure on corrupt/missing files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "workloads/trace_io.hh"
+
+namespace emcc {
+namespace {
+
+std::string
+tempPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/emcc_trace_" + tag +
+           ".bin";
+}
+
+WorkloadSet
+sampleSet()
+{
+    WorkloadParams p;
+    p.cores = 2;
+    p.trace_len = 5'000;
+    p.graph_vertices = 1 << 10;
+    p.graph_degree = 4;
+    return buildWorkload("BFS", p);
+}
+
+TEST(TraceIo, RoundTripPreservesEverything)
+{
+    const auto set = sampleSet();
+    const auto path = tempPath("roundtrip");
+    ASSERT_TRUE(saveWorkload(set, path));
+    const auto loaded = loadWorkload(path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(loaded.name, set.name);
+    EXPECT_EQ(loaded.footprint, set.footprint);
+    EXPECT_EQ(loaded.shared_address_space, set.shared_address_space);
+    ASSERT_EQ(loaded.per_core.size(), set.per_core.size());
+    for (size_t c = 0; c < set.per_core.size(); ++c) {
+        ASSERT_EQ(loaded.per_core[c].size(), set.per_core[c].size());
+        for (size_t i = 0; i < set.per_core[c].size(); ++i) {
+            ASSERT_EQ(loaded.per_core[c][i].vaddr,
+                      set.per_core[c][i].vaddr);
+            ASSERT_EQ(loaded.per_core[c][i].gap, set.per_core[c][i].gap);
+            ASSERT_EQ(loaded.per_core[c][i].is_write,
+                      set.per_core[c][i].is_write);
+        }
+    }
+}
+
+TEST(TraceIo, MissingFileFailsGracefully)
+{
+    const auto loaded = loadWorkload("/nonexistent/path/trace.bin");
+    EXPECT_TRUE(loaded.per_core.empty());
+}
+
+TEST(TraceIo, CorruptMagicRejected)
+{
+    const auto path = tempPath("badmagic");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NOTATRACE-FILE", f);
+    std::fclose(f);
+    const auto loaded = loadWorkload(path);
+    std::remove(path.c_str());
+    EXPECT_TRUE(loaded.per_core.empty());
+}
+
+TEST(TraceIo, TruncatedFileRejected)
+{
+    const auto set = sampleSet();
+    const auto path = tempPath("trunc");
+    ASSERT_TRUE(saveWorkload(set, path));
+    // Truncate halfway through.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(0, truncate(path.c_str(), size / 2));
+    const auto loaded = loadWorkload(path);
+    std::remove(path.c_str());
+    EXPECT_TRUE(loaded.per_core.empty());
+}
+
+TEST(TraceIo, UnwritablePathFails)
+{
+    const auto set = sampleSet();
+    EXPECT_FALSE(saveWorkload(set, "/nonexistent/dir/out.bin"));
+}
+
+} // namespace
+} // namespace emcc

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the workload substrate: graph generation, kernel trace
+ * properties (determinism, footprint, irregularity), synthetic
+ * generators, and the registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "workloads/graph.hh"
+#include "workloads/synthetic.hh"
+#include "workloads/workload.hh"
+
+namespace emcc {
+namespace {
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams p;
+    p.cores = 2;
+    p.trace_len = 20'000;
+    p.graph_vertices = 1 << 12;
+    p.graph_degree = 8;
+    p.footprint_scale = 1.0 / 64.0;
+    return p;
+}
+
+TEST(Registry, NamesMatchPaper)
+{
+    EXPECT_EQ(irregularWorkloads().size(), 11u);
+    EXPECT_EQ(regularWorkloads().size(), 15u);
+    EXPECT_TRUE(isGraphWorkload("pageRank"));
+    EXPECT_TRUE(isGraphWorkload("BFS"));
+    EXPECT_FALSE(isGraphWorkload("canneal"));
+    EXPECT_FALSE(isGraphWorkload("mcf"));
+    EXPECT_FALSE(isGraphWorkload("blackscholes"));
+}
+
+TEST(Graph, RmatGeometry)
+{
+    Rng rng(1);
+    CsrGraph g(1000, 8, rng);
+    EXPECT_EQ(g.numVertices(), 1024u);   // rounded to power of two
+    EXPECT_EQ(g.numEdges(), 1024u * 8);
+    // Offsets consistent.
+    std::uint64_t total = 0;
+    for (std::uint64_t v = 0; v < g.numVertices(); ++v) {
+        EXPECT_EQ(g.degree(v), g.edgeEnd(v) - g.edgeBegin(v));
+        total += g.degree(v);
+    }
+    EXPECT_EQ(total, g.numEdges());
+}
+
+TEST(Graph, RmatIsSkewed)
+{
+    Rng rng(2);
+    CsrGraph g(1 << 12, 8, rng);
+    std::uint64_t max_deg = 0;
+    for (std::uint64_t v = 0; v < g.numVertices(); ++v)
+        max_deg = std::max(max_deg, g.degree(v));
+    // Power-law-ish: hubs far above the average degree of 8.
+    EXPECT_GT(max_deg, 64u);
+}
+
+TEST(Graph, AddressLayoutDisjoint)
+{
+    Rng rng(3);
+    CsrGraph g(1 << 10, 4, rng);
+    const Addr off_end = g.offsetsAddr(g.numVertices()) + 8;
+    EXPECT_GE(g.edgeAddr(0), off_end);
+    const Addr edges_end = g.edgeAddr(g.numEdges() - 1) + 4;
+    EXPECT_GE(g.propAddr(0, 0), edges_end);
+    EXPECT_GT(g.propAddr(1, 0), g.propAddr(0, g.numVertices() - 1));
+    EXPECT_GE(g.footprint(2), g.propAddr(1, g.numVertices() - 1) + 8);
+}
+
+TEST(Workloads, DeterministicAcrossBuilds)
+{
+    const auto p = tinyParams();
+    const auto a = buildWorkload("BFS", p);
+    const auto b = buildWorkload("BFS", p);
+    ASSERT_EQ(a.per_core.size(), b.per_core.size());
+    for (size_t c = 0; c < a.per_core.size(); ++c) {
+        ASSERT_EQ(a.per_core[c].size(), b.per_core[c].size());
+        for (size_t i = 0; i < a.per_core[c].size(); i += 997) {
+            EXPECT_EQ(a.per_core[c][i].vaddr, b.per_core[c][i].vaddr);
+            EXPECT_EQ(a.per_core[c][i].is_write, b.per_core[c][i].is_write);
+        }
+    }
+}
+
+TEST(Workloads, TracesFillToLength)
+{
+    const auto p = tinyParams();
+    for (const auto &name : {"pageRank", "canneal", "blackscholes"}) {
+        const auto w = buildWorkload(name, p);
+        ASSERT_EQ(w.per_core.size(), p.cores);
+        for (const auto &t : w.per_core)
+            EXPECT_EQ(t.size(), p.trace_len) << name;
+    }
+}
+
+TEST(Workloads, AddressesWithinFootprint)
+{
+    const auto p = tinyParams();
+    for (const auto &name : {"BFS", "mcf", "ferret"}) {
+        const auto w = buildWorkload(name, p);
+        for (const auto &t : w.per_core)
+            for (size_t i = 0; i < t.size(); i += 101)
+                ASSERT_LT(t[i].vaddr, w.footprint) << name;
+    }
+}
+
+TEST(Workloads, GraphWorkloadsShareAddressSpace)
+{
+    const auto p = tinyParams();
+    EXPECT_TRUE(buildWorkload("pageRank", p).shared_address_space);
+    EXPECT_FALSE(buildWorkload("canneal", p).shared_address_space);
+    EXPECT_FALSE(buildWorkload("leela_s", p).shared_address_space);
+}
+
+TEST(Workloads, GraphThreadsDiffer)
+{
+    const auto p = tinyParams();
+    const auto w = buildWorkload("pageRank", p);
+    ASSERT_EQ(w.per_core.size(), 2u);
+    // Different vertex partitions -> different streams.
+    int diff = 0;
+    const size_t n = std::min(w.per_core[0].size(), w.per_core[1].size());
+    for (size_t i = 0; i < n; i += 37)
+        diff += (w.per_core[0][i].vaddr != w.per_core[1][i].vaddr);
+    EXPECT_GT(diff, 10);
+}
+
+TEST(Workloads, IrregularWorkloadsTouchManyBlocks)
+{
+    const auto p = tinyParams();
+    for (const auto &name : {"pageRank", "mcf", "canneal"}) {
+        const auto w = buildWorkload(name, p);
+        std::set<Addr> blocks;
+        for (const auto &r : w.per_core[0])
+            blocks.insert(blockNumber(r.vaddr));
+        // Irregular: the trace touches a large block population.
+        EXPECT_GT(blocks.size(), w.per_core[0].size() / 40) << name;
+    }
+}
+
+TEST(Workloads, RegularMoreLocalThanIrregular)
+{
+    const auto p = tinyParams();
+    auto distinct = [&](const std::string &name) {
+        const auto w = buildWorkload(name, p);
+        std::set<Addr> blocks;
+        for (const auto &r : w.per_core[0])
+            blocks.insert(blockNumber(r.vaddr));
+        return static_cast<double>(blocks.size()) /
+               static_cast<double>(w.per_core[0].size());
+    };
+    // exchange2_s (1 MiB footprint) is far more cache-friendly than mcf.
+    EXPECT_LT(distinct("exchange2_s"), distinct("mcf"));
+}
+
+TEST(Workloads, WritesPresent)
+{
+    const auto p = tinyParams();
+    for (const auto &name : {"pageRank", "canneal", "facesim"}) {
+        const auto w = buildWorkload(name, p);
+        const auto writes = std::count_if(
+            w.per_core[0].begin(), w.per_core[0].end(),
+            [](const MemRef &r) { return r.is_write; });
+        EXPECT_GT(writes, 0) << name;
+    }
+}
+
+TEST(Workloads, AllRegisteredNamesBuild)
+{
+    auto p = tinyParams();
+    p.trace_len = 2'000;
+    for (const auto &name : irregularWorkloads())
+        EXPECT_GT(buildWorkload(name, p).totalRefs(), 0u) << name;
+    for (const auto &name : regularWorkloads())
+        EXPECT_GT(buildWorkload(name, p).totalRefs(), 0u) << name;
+}
+
+TEST(Workloads, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(buildWorkload("notABenchmark", tinyParams()),
+                ::testing::ExitedWithCode(1), "unknown");
+}
+
+TEST(TraceRecorder, SplitsMultiBlockAccesses)
+{
+    TraceRecorder r(100);
+    r.load(60, 5, 16);   // crosses a block boundary
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r.trace()[0].vaddr, 0u);
+    EXPECT_EQ(r.trace()[1].vaddr, 64u);
+    EXPECT_EQ(r.trace()[0].gap, 5u);
+    EXPECT_EQ(r.trace()[1].gap, 0u);   // gap only precedes the first
+}
+
+TEST(TraceRecorder, StopsAtLimit)
+{
+    TraceRecorder r(3);
+    for (int i = 0; i < 10; ++i)
+        r.store(static_cast<Addr>(i) * 64, 1);
+    EXPECT_TRUE(r.full());
+    EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(PatternMix, HotRegionConcentratesAccesses)
+{
+    synth::PatternMix mix;
+    mix.footprint_bytes = 16_MiB;
+    mix.stream = 0.0;
+    mix.random = 1.0;
+    mix.hot_bytes = 1_MiB;
+    Rng rng(5);
+    TraceRecorder r(20'000);
+    synth::pattern(mix, rng, r);
+    Count hot = 0;
+    for (const auto &ref : r.trace())
+        hot += (ref.vaddr < 1_MiB);
+    // 50% hot + 1/16 of the cold random ~ 53%.
+    EXPECT_GT(hot, r.size() / 3);
+}
+
+} // namespace
+} // namespace emcc

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * emcc_sim — command-line driver for the EMCC simulator.
+ *
+ * Runs one timing experiment from command-line knobs and prints a full
+ * statistics report. This is the entry point a downstream user reaches
+ * for before writing code against the library API.
+ *
+ * Usage examples:
+ *   emcc_sim --workload pageRank --scheme emcc
+ *   emcc_sim --workload mcf --scheme baseline --design sc64 --channels 8
+ *   emcc_sim --workload BFS --scheme emcc --aes-ns 25 --l2-aes 0.8 \
+ *            --measure 500000 --inclusive
+ *   emcc_sim --list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/table.hh"
+#include "system/experiment.hh"
+#include "workloads/trace_io.hh"
+
+namespace {
+
+using namespace emcc;
+
+void
+usage()
+{
+    std::puts(
+        "emcc_sim — EMCC secure-memory simulator driver\n"
+        "\n"
+        "  --workload NAME    benchmark to run (see --list); default BFS\n"
+        "  --scheme S         nonsecure | mconly | baseline | emcc\n"
+        "  --design D         monolithic | sc64 | morphable\n"
+        "  --cores N          number of cores (default 4)\n"
+        "  --channels N       DRAM channels (default 1)\n"
+        "  --aes-ns X         AES latency in ns (default 14)\n"
+        "  --l2-aes F         fraction of AES units at L2s (default 0.5)\n"
+        "  --ctr-cache KB     MC counter cache size (default 128)\n"
+        "  --l2-ctr-cap KB    EMCC L2 counter cap (default 32)\n"
+        "  --page KB          page size in KB (default 2048)\n"
+        "  --warmup N         warmup instructions/core (default 150000)\n"
+        "  --measure N        measured instructions/core (default 300000)\n"
+        "  --trace N          trace references/core (default 600000)\n"
+        "  --inclusive        inclusive LLC (paper section IV-F)\n"
+        "  --dynamic-off      dynamic EMCC off (paper section IV-F)\n"
+        "  --xpt              XPT-style LLC miss prediction\n"
+        "  --no-offload       disable adaptive AES offload\n"
+        "  --seed N           workload/NoC seed (default 42)\n"
+        "  --csv FILE         append results as CSV (header + one row)\n"
+        "  --save-trace FILE  save the built traces and exit\n"
+        "  --load-trace FILE  replay traces from FILE instead of\n"
+        "                     building the workload\n"
+        "  --list             print known workloads and exit\n");
+}
+
+Scheme
+parseScheme(const std::string &s)
+{
+    if (s == "nonsecure") return Scheme::NonSecure;
+    if (s == "mconly") return Scheme::McOnly;
+    if (s == "baseline") return Scheme::LlcBaseline;
+    if (s == "emcc") return Scheme::Emcc;
+    fatal("unknown scheme '%s'", s.c_str());
+}
+
+CounterDesignKind
+parseDesign(const std::string &s)
+{
+    if (s == "monolithic") return CounterDesignKind::Monolithic;
+    if (s == "sc64") return CounterDesignKind::Sc64;
+    if (s == "morphable") return CounterDesignKind::Morphable;
+    fatal("unknown counter design '%s'", s.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace emcc::experiments;
+
+    std::string workload = "BFS";
+    std::string save_trace, load_trace, csv_path;
+    SystemConfig cfg = paperConfig(Scheme::Emcc);
+    BenchScale scale = BenchScale::fromEnv();
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--list") {
+            std::puts("irregular (paper Figs 2-23):");
+            for (const auto &n : irregularWorkloads())
+                std::printf("  %s\n", n.c_str());
+            std::puts("regular (paper Fig 24):");
+            for (const auto &n : regularWorkloads())
+                std::printf("  %s\n", n.c_str());
+            return 0;
+        } else if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--scheme") {
+            cfg.scheme = parseScheme(next());
+        } else if (arg == "--design") {
+            cfg.design = parseDesign(next());
+        } else if (arg == "--cores") {
+            cfg.cores = static_cast<unsigned>(std::atoi(next()));
+            scale.workload.cores = cfg.cores;
+        } else if (arg == "--channels") {
+            cfg.dram.channels = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--aes-ns") {
+            cfg.aes_latency = nsToTicks(std::atof(next()));
+        } else if (arg == "--l2-aes") {
+            cfg.l2_aes_fraction = std::atof(next());
+        } else if (arg == "--ctr-cache") {
+            cfg.mc_ctr_cache_bytes =
+                static_cast<std::uint64_t>(std::atoi(next())) * 1024;
+        } else if (arg == "--l2-ctr-cap") {
+            cfg.l2_ctr_cap_bytes =
+                static_cast<std::uint64_t>(std::atoi(next())) * 1024;
+        } else if (arg == "--page") {
+            cfg.page_bytes =
+                static_cast<std::uint64_t>(std::atoi(next())) * 1024;
+        } else if (arg == "--warmup") {
+            scale.warmup_instructions =
+                static_cast<Count>(std::atoll(next()));
+        } else if (arg == "--measure") {
+            scale.measure_instructions =
+                static_cast<Count>(std::atoll(next()));
+        } else if (arg == "--trace") {
+            scale.workload.trace_len =
+                static_cast<std::size_t>(std::atoll(next()));
+        } else if (arg == "--seed") {
+            cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+            scale.workload.seed = cfg.seed;
+        } else if (arg == "--csv") {
+            csv_path = next();
+        } else if (arg == "--save-trace") {
+            save_trace = next();
+        } else if (arg == "--load-trace") {
+            load_trace = next();
+        } else if (arg == "--inclusive") {
+            cfg.inclusive_llc = true;
+        } else if (arg == "--dynamic-off") {
+            cfg.dynamic_emcc_off = true;
+        } else if (arg == "--xpt") {
+            cfg.xpt = true;
+        } else if (arg == "--no-offload") {
+            cfg.adaptive_offload = false;
+        } else {
+            usage();
+            fatal("unknown argument '%s'", arg.c_str());
+        }
+    }
+
+    std::printf("workload: %s | scheme: %s | design: %s\n\n",
+                workload.c_str(), schemeName(cfg.scheme),
+                counterDesignName(cfg.design));
+    std::fputs(cfg.renderTable().c_str(), stdout);
+
+    WorkloadSet loaded;
+    if (!load_trace.empty()) {
+        loaded = loadWorkload(load_trace);
+        fatal_if(loaded.per_core.empty(), "could not load trace '%s'",
+                 load_trace.c_str());
+        std::printf("\nloaded trace '%s' (%s)\n", load_trace.c_str(),
+                    loaded.name.c_str());
+    }
+    const WorkloadSet &set = !load_trace.empty()
+        ? loaded : cachedWorkload(workload, scale.workload);
+
+    if (!save_trace.empty()) {
+        fatal_if(!saveWorkload(set, save_trace),
+                 "could not write trace '%s'", save_trace.c_str());
+        std::printf("saved %zu traces to %s\n", set.per_core.size(),
+                    save_trace.c_str());
+        return 0;
+    }
+
+    std::printf("\nfootprint: %.1f MB, %zu refs/core, %s address space\n",
+                set.footprint / 1048576.0, set.per_core[0].size(),
+                set.shared_address_space ? "shared" : "per-core");
+
+    const auto r = runTiming(cfg, set, scale);
+
+    std::puts("\n=== results ===");
+    Table t({"metric", "value"});
+    auto row = [&](const char *k, double v, int digits = 2) {
+        t.addRow({k, Table::num(v, digits)});
+    };
+    row("total IPC (sum over cores)", r.total_ipc, 3);
+    row("simulated time (us)", r.duration_ns / 1000.0, 1);
+    row("L2 data misses", static_cast<double>(r.sys.l2_data_misses), 0);
+    row("LLC data misses", static_cast<double>(r.sys.llc_data_misses), 0);
+    row("avg L2 miss latency (ns)",
+        safeRatio(r.sys.l2_miss_latency_sum_ns,
+                  static_cast<double>(r.sys.l2_miss_latency_count)), 1);
+    row("DRAM data reads",
+        static_cast<double>(r.dram.reads[0]), 0);
+    row("DRAM counter reads",
+        static_cast<double>(r.dram.reads[1]), 0);
+    row("MC counter hits", static_cast<double>(r.sys.mc_ctr_hits), 0);
+    row("LLC counter hits", static_cast<double>(r.sys.llc_ctr_hits), 0);
+    row("LLC counter misses",
+        static_cast<double>(r.sys.llc_ctr_misses), 0);
+    if (cfg.scheme == Scheme::Emcc) {
+        row("decrypted at L2",
+            static_cast<double>(r.sys.decrypted_at_l2), 0);
+        row("decrypted at MC",
+            static_cast<double>(r.sys.decrypted_at_mc), 0);
+        row("adaptive offloads",
+            static_cast<double>(r.sys.adaptive_offloads), 0);
+        row("L2 counter inserts",
+            static_cast<double>(r.sys.l2_ctr_inserts), 0);
+        row("L2 counter invalidations",
+            static_cast<double>(r.sys.l2_ctr_invalidations), 0);
+        row("useless counter fetches",
+            static_cast<double>(r.sys.useless_ctr_accesses), 0);
+    }
+    if (cfg.inclusive_llc) {
+        row("unverified LLC hits",
+            static_cast<double>(r.sys.llc_unverified_hits), 0);
+    }
+    if (cfg.dynamic_emcc_off) {
+        row("dynamic-off windows",
+            static_cast<double>(r.sys.dynamic_off_windows), 0);
+        row("total sampling windows",
+            static_cast<double>(r.sys.dynamic_windows), 0);
+    }
+    row("counter overflows", static_cast<double>(r.sys.overflows), 0);
+    std::fputs(t.render().c_str(), stdout);
+
+    if (!csv_path.empty()) {
+        std::FILE *f = std::fopen(csv_path.c_str(), "a");
+        fatal_if(f == nullptr, "cannot open %s", csv_path.c_str());
+        const auto stats = r.toStatSet();
+        // Header only for a fresh file.
+        std::fseek(f, 0, SEEK_END);
+        if (std::ftell(f) == 0) {
+            std::fputs("workload,scheme", f);
+            for (const auto &[k, v] : stats.all()) {
+                (void)v;
+                std::fprintf(f, ",%s", k.c_str());
+            }
+            std::fputc('\n', f);
+        }
+        std::fprintf(f, "%s,%s", workload.c_str(),
+                     schemeName(cfg.scheme));
+        for (const auto &[k, v] : stats.all()) {
+            (void)k;
+            std::fprintf(f, ",%.6g", v);
+        }
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("\nappended CSV row to %s\n", csv_path.c_str());
+    }
+    return 0;
+}
