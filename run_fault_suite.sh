@@ -1,0 +1,108 @@
+#!/bin/bash
+# Fault-injection resilience suite: build with ASan+UBSan, run the
+# fault/resilience tests and a battery of emcc_sim fault campaigns
+# (every fault kind, strict mode, watchdog, CLI error paths), then the
+# fault_resilience bench. Logs land in fault_logs/.
+#
+# Usage: ./run_fault_suite.sh [--no-sanitize]
+set -u
+cd "$(dirname "$0")"
+
+BUILD=build-asan
+CMAKE_ARGS=(-DEMCC_SANITIZE=ON)
+if [ "${1:-}" = "--no-sanitize" ]; then
+    BUILD=build
+    CMAKE_ARGS=()
+fi
+LOGS=fault_logs
+mkdir -p "$LOGS"
+: > "$LOGS/progress.txt"
+FAILED=0
+
+note() { echo "$*" | tee -a "$LOGS/progress.txt"; }
+
+note "=== configure+build ($BUILD) at $(date +%T) ==="
+cmake -B "$BUILD" -S . "${CMAKE_ARGS[@]}" > "$LOGS/cmake.txt" 2>&1 \
+    || { note "FAILED: cmake configure"; exit 1; }
+cmake --build "$BUILD" -j "$(nproc)" > "$LOGS/build.txt" 2>&1 \
+    || { note "FAILED: build"; exit 1; }
+
+export ASAN_OPTIONS=detect_leaks=1
+export UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1
+
+run_one() {
+    local name="$1"; shift
+    note "--- $name"
+    if ! timeout 1200 "$@" > "$LOGS/$name.txt" 2>&1; then
+        note "FAILED: $name (exit $?)"
+        FAILED=1
+    fi
+}
+
+expect_exit() {
+    local name="$1" want="$2"; shift 2
+    note "--- $name (expect exit $want)"
+    timeout 300 "$@" > "$LOGS/$name.txt" 2>&1
+    local got=$?
+    if [ "$got" != "$want" ]; then
+        note "FAILED: $name (exit $got, wanted $want)"
+        FAILED=1
+    fi
+}
+
+# 1. unit/integration tests for the fault layer under sanitizers
+run_one test_fault "$BUILD/tests/test_fault"
+run_one test_secure_memory "$BUILD/tests/test_secure_memory"
+run_one test_secure_system "$BUILD/tests/test_secure_system"
+
+SIM="$BUILD/tools/emcc_sim"
+COMMON=(--workload BFS --warmup 20000 --measure 50000 --trace 100000)
+
+# 2. one campaign per fault kind, both secure schemes
+for scheme in baseline emcc; do
+    for kind in data mac ctr bus ctrcache; do
+        run_one "campaign_${scheme}_${kind}" \
+            "$SIM" "${COMMON[@]}" --scheme "$scheme" \
+            --inject-faults "${kind}:count=3:period=100" --fault-seed 7
+    done
+    run_one "campaign_${scheme}_timing" \
+        "$SIM" "${COMMON[@]}" --scheme "$scheme" \
+        --inject-faults "nocdelay:prob=0.01;nocdrop:prob=0.002;aesstall:prob=0.01" \
+        --fault-seed 7
+done
+
+# 3. replay + strict mode is terminal (exit 3), watchdog run completes
+expect_exit strict_replay 3 "$SIM" "${COMMON[@]}" --scheme emcc \
+    --inject-faults "replay:count=1:period=50" --fault-strict
+run_one watchdog_run "$SIM" "${COMMON[@]}" --scheme emcc \
+    --inject-faults "bus:count=5:period=100" --watchdog-us 1000
+
+# 4. CLI error paths report and exit 2 (never abort)
+expect_exit cli_bad_scheme 2 "$SIM" --scheme bogus
+expect_exit cli_bad_spec 2 "$SIM" --inject-faults "gremlin:count=1"
+expect_exit cli_bad_int 2 "$SIM" --cores banana
+expect_exit cli_bad_config 2 "$SIM" --cores 99
+
+# 5. determinism: identical (spec, seed) => identical stats
+note "--- determinism"
+rm -f "$LOGS"/det_*.csv
+for i in 1 2; do
+    timeout 600 "$SIM" "${COMMON[@]}" --scheme emcc \
+        --inject-faults "bus:count=10:period=100;replay:count=1" \
+        --fault-seed 13 --csv "$LOGS/det_$i.csv" \
+        > "$LOGS/det_run_$i.txt" 2>&1
+done
+if ! cmp -s "$LOGS/det_1.csv" "$LOGS/det_2.csv"; then
+    note "FAILED: determinism (CSVs differ)"
+    FAILED=1
+fi
+
+# 6. the resilience bench (fast scale)
+EMCC_BENCH_FAST=1 run_one bench_fault_resilience "$BUILD/bench/fault_resilience"
+
+if [ "$FAILED" = 0 ]; then
+    note "FAULT_SUITE_PASSED"
+else
+    note "FAULT_SUITE_FAILED (see $LOGS/)"
+fi
+exit "$FAILED"

@@ -93,6 +93,19 @@ class MshrFile
     Count merged() const { return merged_; }
     Count fullStalls() const { return full_stalls_; }
 
+    /**
+     * Visit every outstanding miss with its waiter count. Used by the
+     * watchdog diagnostics and end-of-run leak checks: an entry that
+     * survives a full drain is a lost fill callback.
+     */
+    template <typename Fn>
+    void
+    forEachOutstanding(Fn fn) const
+    {
+        for (const auto &[addr, waiters] : entries_)
+            fn(addr, static_cast<unsigned>(waiters.size()));
+    }
+
   private:
     unsigned capacity_;
     std::unordered_map<Addr, std::vector<Callback>> entries_;

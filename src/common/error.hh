@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Structured simulator errors.
+ *
+ * The library reports failures by throwing subclasses of SimError so
+ * that drivers (tools/emcc_sim, tests, long fault campaigns) can catch
+ * and report them cleanly instead of the process dying inside a leaf
+ * module. `panic()` (a simulator *bug*) still aborts; everything a user
+ * can provoke — bad configuration, bad CLI arguments, an integrity
+ * violation that exhausted its recovery budget, a wedged simulation —
+ * arrives here.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hh"
+
+namespace emcc {
+
+/** Base class for all recoverable simulator errors. */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** A user/configuration error (bad knob value, bad CLI argument). */
+class ConfigError : public SimError
+{
+  public:
+    explicit ConfigError(const std::string &msg) : SimError(msg) {}
+};
+
+/** What fatal() throws: an unrecoverable condition detected by a
+ *  library module, carrying its origin for diagnosis. */
+class FatalError : public SimError
+{
+  public:
+    FatalError(const std::string &msg, const char *file, int line)
+        : SimError(msg + " (" + file + ":" + std::to_string(line) + ")"),
+          file_(file), line_(line)
+    {}
+
+    const char *file() const { return file_; }
+    int line() const { return line_; }
+
+  private:
+    const char *file_;
+    int line_;
+};
+
+/**
+ * A MAC verification failure that survived every recovery attempt.
+ * Real hardware raises a machine-check here; the timing model throws
+ * this in strict mode (SystemConfig::fault_strict) or records it as a
+ * fatal fault event otherwise.
+ */
+class IntegrityViolation : public SimError
+{
+  public:
+    IntegrityViolation(const std::string &msg, Addr addr, unsigned attempts)
+        : SimError(msg), addr_(addr), attempts_(attempts)
+    {}
+
+    Addr addr() const { return addr_; }
+    unsigned attempts() const { return attempts_; }
+
+  private:
+    Addr addr_;
+    unsigned attempts_;
+};
+
+/** The forward-progress watchdog fired; carries the diagnostic dump. */
+class WatchdogTimeout : public SimError
+{
+  public:
+    WatchdogTimeout(const std::string &msg, std::string diagnostics)
+        : SimError(msg), diagnostics_(std::move(diagnostics))
+    {}
+
+    const std::string &diagnostics() const { return diagnostics_; }
+
+  private:
+    std::string diagnostics_;
+};
+
+} // namespace emcc

@@ -3,6 +3,8 @@
 #include <cstdarg>
 #include <vector>
 
+#include "common/error.hh"
+
 namespace emcc {
 namespace detail {
 
@@ -35,8 +37,7 @@ panicImpl(const char *file, int line, const std::string &msg)
 [[noreturn]] void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::exit(1);
+    throw FatalError(msg, file, line);
 }
 
 void

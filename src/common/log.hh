@@ -3,7 +3,10 @@
  * Minimal gem5-style status/error reporting: panic, fatal, warn, inform.
  *
  * panic()  — a simulator bug; aborts.
- * fatal()  — a user/configuration error; exits with code 1.
+ * fatal()  — an unrecoverable user/configuration error; throws
+ *            emcc::FatalError (a SimError) so drivers can catch it,
+ *            report, and exit nonzero instead of the library calling
+ *            std::exit from a leaf module.
  * warn()   — something questionable happened but simulation continues.
  * inform() — plain status output.
  */

@@ -235,6 +235,17 @@ class DramMemory : public Component
 
     const DramChannel &channel(unsigned i) const { return *channels_.at(i); }
     DramChannel &channel(unsigned i) { return *channels_.at(i); }
+
+    /** Total read+write queue occupancy across all channels (watchdog
+     *  diagnostics and end-of-run leak checks). */
+    std::size_t
+    queuedRequests() const
+    {
+        std::size_t n = 0;
+        for (const auto &ch : channels_)
+            n += ch->readQueueDepth() + ch->writeQueueDepth();
+        return n;
+    }
     unsigned numChannels() const
     {
         return static_cast<unsigned>(channels_.size());

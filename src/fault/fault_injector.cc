@@ -1,0 +1,356 @@
+#include "fault/fault_injector.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/table.hh"
+
+namespace emcc {
+
+const char *
+faultOutcomeName(FaultEvent::Outcome o)
+{
+    switch (o) {
+      case FaultEvent::Outcome::Pending: return "pending";
+      case FaultEvent::Outcome::Recovered: return "recovered";
+      case FaultEvent::Outcome::Fatal: return "fatal";
+      case FaultEvent::Outcome::Healed: return "healed";
+      default: return "?";
+    }
+}
+
+Count
+FaultReport::injectedAll() const
+{
+    Count n = 0;
+    for (const auto &k : per_kind)
+        n += k.injected;
+    return n;
+}
+
+Count
+FaultReport::detectedAll() const
+{
+    Count n = 0;
+    for (const auto &k : per_kind)
+        n += k.detected;
+    return n;
+}
+
+Count
+FaultReport::recoveredAll() const
+{
+    Count n = 0;
+    for (const auto &k : per_kind)
+        n += k.recovered;
+    return n;
+}
+
+Count
+FaultReport::fatalAll() const
+{
+    Count n = 0;
+    for (const auto &k : per_kind)
+        n += k.fatal;
+    return n;
+}
+
+std::string
+FaultReport::render() const
+{
+    Table t({"fault kind", "injected", "detected", "recovered", "fatal"});
+    for (int k = 0; k < static_cast<int>(FaultKind::NumKinds); ++k) {
+        const auto &c = per_kind[k];
+        if (c.injected == 0)
+            continue;
+        t.addRow({faultKindName(static_cast<FaultKind>(k)),
+                  Table::num(static_cast<double>(c.injected), 0),
+                  Table::num(static_cast<double>(c.detected), 0),
+                  Table::num(static_cast<double>(c.recovered), 0),
+                  Table::num(static_cast<double>(c.fatal), 0)});
+    }
+    std::string out = t.render();
+    char buf[160];
+    if (noc_delays + noc_drops + aes_stalls > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "timing faults: %llu NoC delays, %llu NoC drops "
+                      "(+%.0f ns total), %llu AES stalls (+%.0f ns)\n",
+                      static_cast<unsigned long long>(noc_delays),
+                      static_cast<unsigned long long>(noc_drops),
+                      extra_noc_ns,
+                      static_cast<unsigned long long>(aes_stalls),
+                      extra_aes_ns);
+        out += buf;
+    }
+    if (detection_latency_ns.count() > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "detection latency: mean %.1f ns, min %.1f, "
+                      "max %.1f (%llu detections)\n",
+                      detection_latency_ns.mean(),
+                      detection_latency_ns.min(),
+                      detection_latency_ns.max(),
+                      static_cast<unsigned long long>(
+                          detection_latency_ns.count()));
+        out += buf;
+    }
+    return out;
+}
+
+FaultInjector::FaultInjector(const FaultSpec &spec, std::uint64_t seed)
+    : rng_(seed * 0x9e3779b97f4a7c15ull + 0x5bf03635ull)
+{
+    for (const auto &c : spec.campaigns) {
+        Campaign cam;
+        cam.cfg = c;
+        campaigns_.push_back(cam);
+        scheduleNext(campaigns_.back());
+    }
+}
+
+void
+FaultInjector::scheduleNext(Campaign &c)
+{
+    // Deterministic trigger points: roughly every `period` eligible
+    // events, jittered within the period so campaigns with identical
+    // periods do not always hit the same access pattern phase.
+    const Count period = std::max<Count>(c.cfg.period, 1);
+    const Count jitter = period > 1 ? rng_.below(period) : 0;
+    c.next_trigger = c.seen + std::max<Count>(1, period / 2 + jitter);
+}
+
+bool
+FaultInjector::advance(FaultKind kind, Addr addr, Tick now,
+                       std::unordered_map<Addr, Taint> &taints)
+{
+    bool fired = false;
+    for (auto &c : campaigns_) {
+        if (c.cfg.kind != kind)
+            continue;
+        ++c.seen;
+        if (c.fired >= c.cfg.count || c.seen < c.next_trigger)
+            continue;
+        scheduleNext(c);
+        // One live taint per block: re-tainting an already-tainted
+        // block would double-book the event log.
+        if (taints.count(addr))
+            continue;
+        ++c.fired;
+        auto &pk = report_.per_kind[static_cast<int>(kind)];
+        ++pk.injected;
+        FaultEvent ev;
+        ev.kind = kind;
+        ev.addr = addr;
+        ev.injected_at = now;
+        report_.events.push_back(ev);
+        taints.emplace(addr, Taint{kind, now, report_.events.size() - 1});
+        fired = true;
+    }
+    return fired;
+}
+
+bool
+FaultInjector::advanceKinds(std::initializer_list<FaultKind> kinds,
+                            Addr addr, Tick now,
+                            std::unordered_map<Addr, Taint> &taints)
+{
+    bool fired = false;
+    for (FaultKind k : kinds)
+        fired = advance(k, addr, now, taints) || fired;
+    return fired;
+}
+
+void
+FaultInjector::onDataFetched(Addr blk, Tick now)
+{
+    if (campaigns_.empty())
+        return;
+    advanceKinds({FaultKind::DataFlip, FaultKind::MacFlip,
+                  FaultKind::Replay, FaultKind::BusFlip},
+                 blk, now, data_taints_);
+}
+
+void
+FaultInjector::onCounterFetched(Addr ctr_blk, Tick now)
+{
+    if (campaigns_.empty())
+        return;
+    advance(FaultKind::CtrFlip, ctr_blk, now, ctr_taints_);
+}
+
+void
+FaultInjector::onCounterHit(Addr ctr_blk, Tick now)
+{
+    if (campaigns_.empty())
+        return;
+    advance(FaultKind::CtrCacheFlip, ctr_blk, now, ctr_taints_);
+}
+
+void
+FaultInjector::heal(std::unordered_map<Addr, Taint> &taints, Addr blk)
+{
+    auto it = taints.find(blk);
+    if (it == taints.end())
+        return;
+    FaultEvent &ev = report_.events[it->second.event];
+    if (ev.outcome == FaultEvent::Outcome::Pending)
+        ev.outcome = FaultEvent::Outcome::Healed;
+    taints.erase(it);
+}
+
+void
+FaultInjector::onDramWrite(Addr blk, bool counter_class, Tick now)
+{
+    (void)now;
+    if (campaigns_.empty())
+        return;
+    // A rewrite deposits fresh ciphertext+MAC (or a fresh counter):
+    // whatever corruption the block carried is gone.
+    heal(counter_class ? ctr_taints_ : data_taints_, blk);
+}
+
+Tick
+FaultInjector::timingPerturb(std::initializer_list<FaultKind> kinds,
+                             Tick now, bool &dropped)
+{
+    (void)now;
+    Tick extra = 0;
+    dropped = false;
+    for (auto &c : campaigns_) {
+        bool match = false;
+        for (FaultKind k : kinds)
+            match = match || c.cfg.kind == k;
+        if (!match)
+            continue;
+        ++c.seen;
+        bool fire;
+        if (c.cfg.prob > 0.0) {
+            fire = c.fired < c.cfg.count && rng_.chance(c.cfg.prob);
+        } else {
+            fire = c.fired < c.cfg.count && c.seen >= c.next_trigger;
+            if (fire)
+                scheduleNext(c);
+        }
+        if (!fire)
+            continue;
+        ++c.fired;
+        ++report_.per_kind[static_cast<int>(c.cfg.kind)].injected;
+        if (c.cfg.kind == FaultKind::NocDrop) {
+            // A dropped packet costs a retransmit timeout: 10x the
+            // configured delay.
+            extra += c.cfg.delay * 10;
+            dropped = true;
+        } else {
+            extra += c.cfg.delay;
+        }
+    }
+    return extra;
+}
+
+Tick
+FaultInjector::responseDelayTicks(Tick now)
+{
+    if (campaigns_.empty())
+        return 0;
+    bool dropped = false;
+    const Tick extra = timingPerturb({FaultKind::NocDelay,
+                                      FaultKind::NocDrop}, now, dropped);
+    if (extra > 0) {
+        if (dropped)
+            ++report_.noc_drops;
+        else
+            ++report_.noc_delays;
+        report_.extra_noc_ns += ticksToNs(extra);
+    }
+    return extra;
+}
+
+Tick
+FaultInjector::aesStallTicks(Tick now)
+{
+    if (campaigns_.empty())
+        return 0;
+    bool dropped = false;
+    const Tick extra = timingPerturb({FaultKind::AesStall}, now, dropped);
+    if (extra > 0) {
+        ++report_.aes_stalls;
+        report_.extra_aes_ns += ticksToNs(extra);
+    }
+    return extra;
+}
+
+std::optional<FaultInjector::Detection>
+FaultInjector::checkVerify(Addr blk, Addr ctr_blk, Tick now)
+{
+    if (campaigns_.empty())
+        return std::nullopt;
+    const Taint *taint = nullptr;
+    auto dit = data_taints_.find(blk);
+    if (dit != data_taints_.end())
+        taint = &dit->second;
+    auto cit = ctr_taints_.find(ctr_blk);
+    if (cit != ctr_taints_.end() &&
+        (!taint || cit->second.injected_at < taint->injected_at))
+        taint = &cit->second;
+    if (!taint)
+        return std::nullopt;
+
+    FaultEvent &ev = report_.events[taint->event];
+    if (ev.detected_at == kTickInvalid) {
+        ev.detected_at = now;
+        ++report_.per_kind[static_cast<int>(taint->kind)].detected;
+        report_.detection_latency_ns.add(
+            ticksToNs(now - taint->injected_at));
+    }
+    return Detection{taint->kind, ev.addr, taint->injected_at,
+                     taint->event};
+}
+
+void
+FaultInjector::recoveryRefetch(Addr blk, Addr ctr_blk, Tick now)
+{
+    (void)now;
+    if (campaigns_.empty())
+        return;
+    // Re-fetching from DRAM (bypassing every cache) clears corruption
+    // that lived in flight or in a cached copy; DRAM-resident
+    // corruption and replays survive.
+    auto clearTransient = [this](std::unordered_map<Addr, Taint> &taints,
+                                 Addr a) {
+        auto it = taints.find(a);
+        if (it != taints.end() && faultIsTransient(it->second.kind))
+            taints.erase(it);
+    };
+    clearTransient(data_taints_, blk);
+    clearTransient(ctr_taints_, ctr_blk);
+}
+
+void
+FaultInjector::noteRecovered(const Detection &d, Tick now, unsigned attempts)
+{
+    (void)now;
+    FaultEvent &ev = report_.events[d.event];
+    ev.retries = std::max(ev.retries, attempts);
+    if (ev.outcome == FaultEvent::Outcome::Pending) {
+        ev.outcome = FaultEvent::Outcome::Recovered;
+        ++report_.per_kind[static_cast<int>(d.kind)].recovered;
+    }
+}
+
+void
+FaultInjector::noteFatal(const Detection &d, Tick now, unsigned attempts)
+{
+    (void)now;
+    FaultEvent &ev = report_.events[d.event];
+    ev.retries = std::max(ev.retries, attempts);
+    if (ev.outcome == FaultEvent::Outcome::Pending ||
+        ev.outcome == FaultEvent::Outcome::Recovered) {
+        if (ev.outcome == FaultEvent::Outcome::Recovered)
+            --report_.per_kind[static_cast<int>(d.kind)].recovered;
+        ev.outcome = FaultEvent::Outcome::Fatal;
+        ++report_.per_kind[static_cast<int>(d.kind)].fatal;
+    }
+    // The taint stays: a fatal fault remains visible to later accesses
+    // (real hardware would have machine-checked the whole machine).
+}
+
+} // namespace emcc

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Deterministic, seeded fault injector for the timing stack.
+ *
+ * The injector sits beside the secure-memory system model and is driven
+ * entirely by the simulation's own (deterministic) event stream:
+ *
+ *  - *activation hooks* fire as the system touches memory — a DRAM data
+ *    read completing, a counter block arriving, a counter-cache hit, a
+ *    DRAM write retiring. Each eligible event advances the matching
+ *    campaign; when a campaign's trigger point is reached, the address
+ *    involved becomes *tainted* (as if an attacker had corrupted it);
+ *  - *verification* — the modeled MAC check at the end of every
+ *    decrypted fill — consults the taint state: any taint on the data
+ *    block or its counter block makes the check fail, which the system
+ *    turns into the recovery protocol (bounded retries, then a terminal
+ *    IntegrityViolation);
+ *  - *timing perturbations* (NoC delay/drop, AES stalls) return extra
+ *    latency without touching integrity state.
+ *
+ * Taints are persistent (DRAM bit-flips, replays — survive a cache-
+ * bypassing re-fetch, heal only when the block is rewritten) or
+ * transient (in-flight bus corruption, corrupted cached counter lines —
+ * cleared by the recovery re-fetch). Everything is keyed off one Rng
+ * seeded from the campaign seed, so identical (spec, seed) pairs
+ * reproduce identical fault streams and statistics.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "fault/fault_spec.hh"
+
+namespace emcc {
+
+/** Lifetime record of one injected fault. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::BusFlip;
+    Addr addr = 0;                    ///< tainted block address
+    Tick injected_at = 0;
+    Tick detected_at = kTickInvalid;  ///< first failing MAC verify
+    unsigned retries = 0;             ///< recovery attempts consumed
+    enum class Outcome : std::uint8_t
+    {
+        Pending,    ///< injected, not yet detected/resolved
+        Recovered,  ///< detected and recovered within the retry budget
+        Fatal,      ///< escalated to a terminal IntegrityViolation
+        Healed,     ///< overwritten before (or after) detection
+    } outcome = Outcome::Pending;
+};
+
+const char *faultOutcomeName(FaultEvent::Outcome o);
+
+/** Per-kind campaign counters. */
+struct FaultKindCounts
+{
+    Count injected = 0;
+    Count detected = 0;
+    Count recovered = 0;
+    Count fatal = 0;
+};
+
+/** Everything a run's fault campaign produced. */
+struct FaultReport
+{
+    FaultKindCounts per_kind[static_cast<int>(FaultKind::NumKinds)];
+    std::vector<FaultEvent> events;
+
+    // timing-perturbation accounting
+    Count noc_delays = 0;
+    Count noc_drops = 0;
+    Count aes_stalls = 0;
+    double extra_noc_ns = 0.0;
+    double extra_aes_ns = 0.0;
+
+    /** First-detection latency (MAC-fail tick - injection tick), ns. */
+    Histogram detection_latency_ns{0.0, 1000.0, 50};
+
+    Count injectedAll() const;
+    Count detectedAll() const;
+    Count recoveredAll() const;
+    Count fatalAll() const;
+
+    /** Multi-line table of the campaign outcome. */
+    std::string render() const;
+};
+
+/**
+ * The injector. One per SecureSystem run; all methods are cheap no-ops
+ * when the spec has no matching campaign.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultSpec &spec, std::uint64_t seed);
+
+    bool enabled() const { return !campaigns_.empty(); }
+
+    // ---------------------------------------------- activation hooks
+    /** A DRAM read of a data block completed (data available on the
+     *  bus). May activate data/mac/replay/bus faults on @p blk. */
+    void onDataFetched(Addr blk, Tick now);
+
+    /** A DRAM read of a counter block completed. May activate ctr
+     *  (persistent counter-storage) faults. */
+    void onCounterFetched(Addr ctr_blk, Tick now);
+
+    /** A counter was served from a cache (MC counter cache, LLC or an
+     *  L2). May activate transient cached-line corruption. */
+    void onCounterHit(Addr ctr_blk, Tick now);
+
+    /** A DRAM write retired: a data-class write heals data-side taints
+     *  for the block, a counter-class write heals counter taints. */
+    void onDramWrite(Addr blk, bool counter_class, Tick now);
+
+    // ------------------------------------------ timing perturbations
+    /** Extra ticks to add to a response's NoC flight (delay/drop). */
+    Tick responseDelayTicks(Tick now);
+
+    /** Extra ticks before an AES operation may start. */
+    Tick aesStallTicks(Tick now);
+
+    // ----------------------------------------- verification/recovery
+    /** Result of a failed MAC verification, as a recovery-loop token. */
+    struct Detection
+    {
+        FaultKind kind;
+        Addr addr;          ///< tainted address (data or counter block)
+        Tick injected_at;
+        std::size_t event;  ///< index into the report's event log
+    };
+
+    /**
+     * The modeled MAC check for a fill of @p blk decrypted under
+     * @p ctr_blk at @p now. Returns nullopt when verification passes;
+     * otherwise records the detection (first time) and returns the
+     * token the recovery loop threads through its retries.
+     */
+    std::optional<Detection> checkVerify(Addr blk, Addr ctr_blk, Tick now);
+
+    /** A recovery attempt re-fetched @p blk and @p ctr_blk from DRAM
+     *  bypassing all caches: transient taints clear. */
+    void recoveryRefetch(Addr blk, Addr ctr_blk, Tick now);
+
+    /** The recovery loop re-verified successfully. */
+    void noteRecovered(const Detection &d, Tick now, unsigned attempts);
+
+    /** The recovery loop exhausted its retry budget. */
+    void noteFatal(const Detection &d, Tick now, unsigned attempts);
+
+    const FaultReport &report() const { return report_; }
+
+  private:
+    struct Campaign
+    {
+        FaultCampaign cfg;
+        Count seen = 0;          ///< eligible events so far
+        Count fired = 0;         ///< injections so far
+        Count next_trigger = 0;  ///< `seen` value of the next injection
+    };
+
+    struct Taint
+    {
+        FaultKind kind;
+        Tick injected_at;
+        std::size_t event;   ///< index into report_.events
+    };
+
+    /** Advance campaigns of @p kind by one eligible event; true if one
+     *  fired. */
+    bool advance(FaultKind kind, Addr addr, Tick now,
+                 std::unordered_map<Addr, Taint> &taints);
+    bool advanceKinds(std::initializer_list<FaultKind> kinds, Addr addr,
+                      Tick now, std::unordered_map<Addr, Taint> &taints);
+    Tick timingPerturb(std::initializer_list<FaultKind> kinds, Tick now,
+                       bool &dropped);
+    void heal(std::unordered_map<Addr, Taint> &taints, Addr blk);
+    void scheduleNext(Campaign &c);
+
+    std::vector<Campaign> campaigns_;
+    Rng rng_;
+    /// taints keyed by data block (data/mac/replay/bus kinds)
+    std::unordered_map<Addr, Taint> data_taints_;
+    /// taints keyed by counter block (ctr/ctrcache kinds)
+    std::unordered_map<Addr, Taint> ctr_taints_;
+    FaultReport report_;
+};
+
+} // namespace emcc

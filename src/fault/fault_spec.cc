@@ -1,0 +1,163 @@
+#include "fault/fault_spec.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace emcc {
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::DataFlip: return "data";
+      case FaultKind::MacFlip: return "mac";
+      case FaultKind::CtrFlip: return "ctr";
+      case FaultKind::Replay: return "replay";
+      case FaultKind::BusFlip: return "bus";
+      case FaultKind::CtrCacheFlip: return "ctrcache";
+      case FaultKind::NocDelay: return "nocdelay";
+      case FaultKind::NocDrop: return "nocdrop";
+      case FaultKind::AesStall: return "aesstall";
+      default: return "?";
+    }
+}
+
+bool
+faultIsTransient(FaultKind k)
+{
+    return k == FaultKind::BusFlip || k == FaultKind::CtrCacheFlip;
+}
+
+bool
+faultIsIntegrity(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::NocDelay:
+      case FaultKind::NocDrop:
+      case FaultKind::AesStall:
+        return false;
+      default:
+        return true;
+    }
+}
+
+namespace {
+
+FaultKind
+parseKind(const std::string &word, const std::string &spec)
+{
+    for (int k = 0; k < static_cast<int>(FaultKind::NumKinds); ++k) {
+        if (word == faultKindName(static_cast<FaultKind>(k)))
+            return static_cast<FaultKind>(k);
+    }
+    throw ConfigError("unknown fault kind '" + word + "' in spec '" +
+                      spec + "'");
+}
+
+std::uint64_t
+parseCount(const std::string &val, const std::string &key)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(val.c_str(), &end, 10);
+    if (end == val.c_str() || *end != '\0')
+        throw ConfigError("bad integer '" + val + "' for fault key '" +
+                          key + "'");
+    return v;
+}
+
+double
+parseReal(const std::string &val, const std::string &key)
+{
+    char *end = nullptr;
+    const double v = std::strtod(val.c_str(), &end);
+    if (end == val.c_str() || *end != '\0')
+        throw ConfigError("bad number '" + val + "' for fault key '" +
+                          key + "'");
+    return v;
+}
+
+} // namespace
+
+FaultSpec
+FaultSpec::parse(const std::string &spec)
+{
+    FaultSpec out;
+    std::stringstream campaigns(spec);
+    std::string entry;
+    while (std::getline(campaigns, entry, ';')) {
+        if (entry.empty())
+            throw ConfigError("empty fault entry in spec '" + spec + "'");
+        std::stringstream fields(entry);
+        std::string word;
+        if (!std::getline(fields, word, ':') || word.empty())
+            throw ConfigError("empty fault entry in spec '" + spec + "'");
+        FaultCampaign c;
+        c.kind = parseKind(word, spec);
+        while (std::getline(fields, word, ':')) {
+            const auto eq = word.find('=');
+            if (eq == std::string::npos)
+                throw ConfigError("fault option '" + word +
+                                  "' is not key=value");
+            const std::string key = word.substr(0, eq);
+            const std::string val = word.substr(eq + 1);
+            if (key == "count") {
+                c.count = parseCount(val, key);
+            } else if (key == "period") {
+                c.period = parseCount(val, key);
+                if (c.period == 0)
+                    throw ConfigError("fault period must be >= 1");
+            } else if (key == "prob") {
+                c.prob = parseReal(val, key);
+                if (c.prob < 0.0 || c.prob > 1.0)
+                    throw ConfigError("fault prob must be in [0,1], got '" +
+                                      val + "'");
+            } else if (key == "delay") {
+                const double ns = parseReal(val, key);
+                if (ns < 0.0)
+                    throw ConfigError("fault delay must be >= 0 ns");
+                c.delay = nsToTicks(ns);
+            } else {
+                throw ConfigError("unknown fault option '" + key +
+                                  "' (expected count/period/prob/delay)");
+            }
+        }
+        if (c.prob > 0.0 && faultIsIntegrity(c.kind))
+            throw ConfigError(std::string("fault kind '") +
+                              faultKindName(c.kind) +
+                              "' is count/period driven; prob= applies "
+                              "to nocdelay/nocdrop/aesstall");
+        out.campaigns.push_back(c);
+    }
+    return out;
+}
+
+std::string
+FaultSpec::render() const
+{
+    std::string out;
+    char buf[96];
+    for (const auto &c : campaigns) {
+        if (!out.empty())
+            out += ';';
+        out += faultKindName(c.kind);
+        std::snprintf(buf, sizeof(buf), ":count=%llu:period=%llu",
+                      static_cast<unsigned long long>(c.count),
+                      static_cast<unsigned long long>(c.period));
+        out += buf;
+        if (c.prob > 0.0) {
+            std::snprintf(buf, sizeof(buf), ":prob=%g", c.prob);
+            out += buf;
+        }
+        if (!faultIsIntegrity(c.kind)) {
+            std::snprintf(buf, sizeof(buf), ":delay=%g",
+                          ticksToNs(c.delay));
+            out += buf;
+        }
+    }
+    return out;
+}
+
+} // namespace emcc

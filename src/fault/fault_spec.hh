@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fault-campaign specification: which faults to inject against the
+ * timing stack, how many, and how often.
+ *
+ * A campaign is described by a compact spec string (the emcc_sim
+ * `--inject-faults` argument):
+ *
+ *     kind[:key=value]...[;kind[:key=value]...]...
+ *
+ * e.g.  "bus:count=50:period=100;replay:count=2;nocdelay:prob=0.01"
+ *
+ * Kinds (see FaultKind):
+ *   data      persistent bit-flip in DRAM data storage
+ *   mac       persistent bit-flip in the stored MAC
+ *   ctr       persistent bit-flip in DRAM counter storage
+ *   replay    stale ciphertext+MAC written back into DRAM (replay attack)
+ *   bus       transient corruption of a data response in flight
+ *   ctrcache  transient corruption of a cached counter-cache line
+ *   nocdelay  a response packet is delayed by `delay` ns
+ *   nocdrop   a response packet is dropped (retransmit after 10x delay)
+ *   aesstall  an AES unit stalls for `delay` ns before starting
+ *
+ * Keys:
+ *   count=N    number of injections for this campaign (default 1)
+ *   period=N   trigger every ~N eligible events (default 1000)
+ *   prob=P     per-event probability in [0,1] (timing faults; overrides
+ *              period-based triggering when > 0)
+ *   delay=X    extra latency in ns for nocdelay/nocdrop/aesstall
+ *              (default 100)
+ *
+ * Parsing is strict: anything unrecognized throws ConfigError so fuzzed
+ * or mistyped campaigns fail fast with a helpful message.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace emcc {
+
+/** The fault classes the injector can produce. */
+enum class FaultKind : std::uint8_t
+{
+    DataFlip = 0,   ///< persistent DRAM data corruption
+    MacFlip,        ///< persistent stored-MAC corruption
+    CtrFlip,        ///< persistent DRAM counter corruption
+    Replay,         ///< stale data+MAC replayed into DRAM
+    BusFlip,        ///< transient in-flight data corruption
+    CtrCacheFlip,   ///< transient cached-counter-line corruption
+    NocDelay,       ///< response packet delayed
+    NocDrop,        ///< response packet dropped (retransmit timeout)
+    AesStall,       ///< AES unit stall
+    NumKinds,
+};
+
+/** Printable name of a fault kind (also the spec-string keyword). */
+const char *faultKindName(FaultKind k);
+
+/** True for faults a recovery re-fetch from DRAM clears. */
+bool faultIsTransient(FaultKind k);
+
+/** True for faults that corrupt state checked by MAC verification
+ *  (as opposed to pure timing perturbations). */
+bool faultIsIntegrity(FaultKind k);
+
+/** One line of a campaign: inject `count` faults of `kind`. */
+struct FaultCampaign
+{
+    FaultKind kind = FaultKind::BusFlip;
+    Count count = 1;        ///< injection budget (integrity faults)
+    Count period = 1000;    ///< trigger every ~period eligible events
+    double prob = 0.0;      ///< per-event probability (timing faults)
+    Tick delay = nsToTicks(100.0);  ///< extra latency for timing faults
+};
+
+/** A full fault-injection campaign specification. */
+struct FaultSpec
+{
+    std::vector<FaultCampaign> campaigns;
+
+    bool enabled() const { return !campaigns.empty(); }
+
+    /** Parse a spec string; throws ConfigError on malformed input. */
+    static FaultSpec parse(const std::string &spec);
+
+    /** Render back to (normalized) spec-string form. */
+    std::string render() const;
+};
+
+} // namespace emcc

@@ -129,21 +129,25 @@ SecureMemory::ciphertext(Addr addr) const
     return it == store_.end() ? nullptr : it->second.cipher.data();
 }
 
-void
+bool
 SecureMemory::tamperCiphertext(Addr addr, unsigned byte,
                                std::uint8_t xor_mask)
 {
     auto it = store_.find(blockAlign(addr));
-    panic_if(it == store_.end(), "tampering an unwritten block");
+    if (it == store_.end())
+        return false;
     it->second.cipher[byte % 64] ^= xor_mask;
+    return true;
 }
 
-void
+bool
 SecureMemory::tamperMac(Addr addr, std::uint64_t xor_mask)
 {
     auto it = store_.find(blockAlign(addr));
-    panic_if(it == store_.end(), "tampering an unwritten block");
+    if (it == store_.end())
+        return false;
     it->second.mac ^= xor_mask & kMask56;
+    return true;
 }
 
 bool

@@ -77,11 +77,13 @@ class SecureMemory
 
     // -------------------------------------------------- attack surface
 
-    /** Flip bits of stored ciphertext (physical tampering). */
-    void tamperCiphertext(Addr addr, unsigned byte, std::uint8_t xor_mask);
+    /** Flip bits of stored ciphertext (physical tampering).
+     *  @return false if the block was never written (fuzz-style
+     *  campaigns probe unmapped addresses; that is not an error). */
+    bool tamperCiphertext(Addr addr, unsigned byte, std::uint8_t xor_mask);
 
-    /** Flip bits of the stored MAC. */
-    void tamperMac(Addr addr, std::uint64_t xor_mask);
+    /** Flip bits of the stored MAC. @return false on unwritten block. */
+    bool tamperMac(Addr addr, std::uint64_t xor_mask);
 
     /** Snapshot a block (ciphertext+MAC) for a later replay. */
     bool snapshot(Addr addr);

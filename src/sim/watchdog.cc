@@ -1,0 +1,98 @@
+#include "sim/watchdog.hh"
+
+#include <cstdio>
+
+#include "common/error.hh"
+#include "common/log.hh"
+
+namespace emcc {
+
+namespace {
+/// Run watchdog checks after all same-tick simulation work.
+constexpr int kWatchdogPriority = 1'000'000;
+} // namespace
+
+Watchdog::Watchdog(Simulator &sim, std::string name, Tick window,
+                   std::function<Count()> progress)
+    : Component(sim, std::move(name)),
+      window_(window),
+      progress_(std::move(progress))
+{
+    panic_if(window_ == 0, "watchdog with a zero window");
+    panic_if(!progress_, "watchdog without a progress source");
+}
+
+Watchdog::~Watchdog()
+{
+    stop();
+}
+
+void
+Watchdog::addDiagnostic(std::string label, std::function<std::string()> fn)
+{
+    diags_.emplace_back(std::move(label), std::move(fn));
+}
+
+void
+Watchdog::start()
+{
+    if (armed_)
+        return;
+    armed_ = true;
+    last_progress_ = progress_();
+    pending_ = sim().scheduleIn(window_, [this] { check(); },
+                                kWatchdogPriority);
+}
+
+void
+Watchdog::stop()
+{
+    if (!armed_)
+        return;
+    armed_ = false;
+    sim().deschedule(pending_);
+    pending_ = kEventInvalid;
+}
+
+std::string
+Watchdog::diagnostics() const
+{
+    std::string out;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "[%s] diagnostics at tick %llu:\n",
+                  name().c_str(),
+                  static_cast<unsigned long long>(curTick()));
+    out += buf;
+    for (const auto &[label, fn] : diags_) {
+        out += "  " + label + ": " + fn() + "\n";
+    }
+    return out;
+}
+
+void
+Watchdog::check()
+{
+    if (!armed_)
+        return;
+    const Count cur = progress_();
+    if (cur == last_progress_) {
+        armed_ = false;
+        pending_ = kEventInvalid;
+        const std::string diag = diagnostics();
+        std::fprintf(stderr,
+                     "watchdog: no forward progress in %.0f ns "
+                     "(stuck at %llu)\n%s",
+                     ticksToNs(window_),
+                     static_cast<unsigned long long>(cur), diag.c_str());
+        throw WatchdogTimeout(
+            detail::format("no forward progress within %.0f ns window",
+                           ticksToNs(window_)),
+            diag);
+    }
+    last_progress_ = cur;
+    ++checks_;
+    pending_ = sim().scheduleIn(window_, [this] { check(); },
+                                kWatchdogPriority);
+}
+
+} // namespace emcc

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Forward-progress watchdog for long simulations.
+ *
+ * A wedged simulation (a lost callback, a stalled component, a fault
+ * campaign that deadlocked a retry loop) used to spin silently until
+ * the user killed it. The watchdog samples a progress counter (for the
+ * full system: total committed instructions) every `window` simulated
+ * ticks; if a whole window elapses with no progress it collects the
+ * registered diagnostics — event-queue head, outstanding MSHRs, DRAM
+ * queue depths — dumps them to stderr and throws WatchdogTimeout so the
+ * driver exits with a useful report instead of hanging.
+ */
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace emcc {
+
+class Watchdog : public Component
+{
+  public:
+    /**
+     * @param window   ticks of simulated time per progress check
+     * @param progress returns a monotonically increasing count; a
+     *                 window with no increase trips the watchdog
+     */
+    Watchdog(Simulator &sim, std::string name, Tick window,
+             std::function<Count()> progress);
+
+    ~Watchdog() override;
+
+    /** Register a named diagnostic provider, dumped when firing. */
+    void addDiagnostic(std::string label, std::function<std::string()> fn);
+
+    /** Arm the watchdog (idempotent). */
+    void start();
+
+    /** Disarm and cancel the pending check event. */
+    void stop();
+
+    bool armed() const { return armed_; }
+
+    /** Number of completed (non-firing) window checks. */
+    Count checks() const { return checks_; }
+
+    /** Render all diagnostics now (also used by the firing path). */
+    std::string diagnostics() const;
+
+  private:
+    void check();
+
+    Tick window_;
+    std::function<Count()> progress_;
+    std::vector<std::pair<std::string, std::function<std::string()>>>
+        diags_;
+    Count last_progress_ = 0;
+    Count checks_ = 0;
+    bool armed_ = false;
+    EventId pending_ = kEventInvalid;
+};
+
+} // namespace emcc

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/error.hh"
 #include "common/table.hh"
 
 namespace emcc {
@@ -16,6 +17,58 @@ schemeName(Scheme s)
       case Scheme::Emcc: return "EMCC";
       default: return "?";
     }
+}
+
+Scheme
+parseScheme(const std::string &s)
+{
+    if (s == "nonsecure") return Scheme::NonSecure;
+    if (s == "mconly") return Scheme::McOnly;
+    if (s == "baseline") return Scheme::LlcBaseline;
+    if (s == "emcc") return Scheme::Emcc;
+    throw ConfigError("unknown scheme '" + s +
+                      "' (expected nonsecure|mconly|baseline|emcc)");
+}
+
+CounterDesignKind
+parseCounterDesign(const std::string &s)
+{
+    if (s == "monolithic") return CounterDesignKind::Monolithic;
+    if (s == "sc64") return CounterDesignKind::Sc64;
+    if (s == "morphable") return CounterDesignKind::Morphable;
+    throw ConfigError("unknown counter design '" + s +
+                      "' (expected monolithic|sc64|morphable)");
+}
+
+void
+SystemConfig::validate() const
+{
+    auto require = [](bool ok, const std::string &msg) {
+        if (!ok)
+            throw ConfigError(msg);
+    };
+    require(cores >= 1 && cores <= 28,
+            "cores must be in [1, 28] (mesh has 28 core tiles), got " +
+                std::to_string(cores));
+    require(l1_bytes > 0 && l2_bytes > 0 && llc_bytes > 0,
+            "cache sizes must be non-zero");
+    require(mc_ctr_cache_bytes > 0, "MC counter cache must be non-zero");
+    require(l2_aes_fraction >= 0.0 && l2_aes_fraction <= 1.0,
+            "l2 AES fraction must be in [0, 1]");
+    require(total_aes_ops_per_sec > 0.0, "AES throughput must be > 0");
+    require(isPowerOf2(page_bytes) && page_bytes >= 4_KiB,
+            "page size must be a power-of-two >= 4 KiB");
+    require(data_region_bytes >= page_bytes,
+            "data region smaller than one page");
+    require(dram.channels >= 1 && dram.channels <= 8 &&
+                isPowerOf2(dram.channels),
+            "DRAM channels must be a power-of-two in [1, 8], got " +
+                std::to_string(dram.channels));
+    require(memory_intensity_threshold >= 0.0,
+            "memory intensity threshold must be >= 0");
+    require(intensity_window > 0, "intensity window must be >= 1");
+    require(max_verify_retries <= 64,
+            "more than 64 verify retries is not a recovery protocol");
 }
 
 std::string

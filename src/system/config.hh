@@ -11,6 +11,7 @@
 #include "common/types.hh"
 #include "core/core_model.hh"
 #include "dram/dram.hh"
+#include "fault/fault_spec.hh"
 #include "noc/latency_model.hh"
 #include "secmem/counter_design.hh"
 
@@ -26,6 +27,14 @@ enum class Scheme
 };
 
 const char *schemeName(Scheme s);
+
+/** Parse a scheme keyword (nonsecure|mconly|baseline|emcc); throws
+ *  ConfigError on anything else. */
+Scheme parseScheme(const std::string &s);
+
+/** Parse a counter-design keyword (monolithic|sc64|morphable); throws
+ *  ConfigError on anything else. */
+CounterDesignKind parseCounterDesign(const std::string &s);
 
 /** Table-I microarchitecture parameters + scheme/crypto knobs. */
 struct SystemConfig
@@ -98,6 +107,24 @@ struct SystemConfig
     NocConfig noc;
     bool nonuniform_noc = true;
 
+    // ---- fault injection & resilience (src/fault)
+    /** Fault campaign to run against the timing stack (empty = off). */
+    FaultSpec faults;
+    /** Seed for the injector's trigger/jitter decisions. */
+    std::uint64_t fault_seed = 1;
+    /** Recovery attempts (cache-bypassing re-fetch + re-verify) before
+     *  a MAC failure escalates to a terminal IntegrityViolation. */
+    unsigned max_verify_retries = 3;
+    /** Throw IntegrityViolation on escalation instead of recording a
+     *  fatal fault event and fail-stopping the access. */
+    bool fault_strict = false;
+    /** Forward-progress watchdog window in ticks (0 = disabled): fires
+     *  when no core commits an instruction for a whole window. */
+    Tick watchdog_window = 0;
+    /** Drain the event queue after a run and warn about leaks
+     *  (undrained events, stuck MSHRs, populated DRAM queues). */
+    bool leak_check = true;
+
     Scheme scheme = Scheme::Emcc;
     std::uint64_t seed = 1;
 
@@ -125,6 +152,10 @@ struct SystemConfig
 
     /** Render the instantiated parameters as a Table-I-style listing. */
     std::string renderTable() const;
+
+    /** Sanity-check the configuration; throws ConfigError with a
+     *  helpful message on the first violated constraint. */
+    void validate() const;
 };
 
 } // namespace emcc

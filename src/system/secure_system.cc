@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace emcc {
@@ -21,12 +22,21 @@ arrayCfg(std::uint64_t bytes, unsigned assoc)
 constexpr unsigned kMshrEntries = 4096;   ///< effectively unbounded
 constexpr Tick kDramRetry = nsToTicks(20.0);
 
+/** Reject invalid configs before any member construction touches them
+ *  (zero-size caches, bad channel counts, ...). Throws ConfigError. */
+const SystemConfig &
+validated(const SystemConfig &cfg)
+{
+    cfg.validate();
+    return cfg;
+}
+
 } // namespace
 
 SecureSystem::SecureSystem(Simulator &sim, const SystemConfig &cfg,
                            const WorkloadSet *workload)
     : Component(sim, "system"),
-      cfg_(cfg),
+      cfg_(validated(cfg)),
       workload_(workload),
       mesh_(),
       noc_(mesh_, cfg.noc),
@@ -70,6 +80,42 @@ SecureSystem::SecureSystem(Simulator &sim, const SystemConfig &cfg,
     l2_ctr_inflight_.resize(cfg_.cores);
     l2_ctr_state_.resize(cfg_.cores);
     intensity_.resize(cfg_.cores);
+
+    if (cfg_.faults.enabled()) {
+        fault_ = std::make_unique<FaultInjector>(cfg_.faults,
+                                                 cfg_.fault_seed);
+    }
+    if (cfg_.watchdog_window > 0) {
+        watchdog_ = std::make_unique<Watchdog>(
+            sim, "watchdog", cfg_.watchdog_window, [this] {
+                Count committed = 0;
+                for (const auto &core : cores_)
+                    committed += core->stats().committed_instructions;
+                return committed;
+            });
+        watchdog_->addDiagnostic("event queue", [this] {
+            const Tick next = this->sim().events().nextEventTick();
+            return detail::format(
+                "%zu live events, next at %.1f ns",
+                this->sim().events().pending(),
+                next == kTickInvalid ? -1.0 : ticksToNs(next));
+        });
+        watchdog_->addDiagnostic("mshrs", [this] {
+            unsigned l1 = 0, l2 = 0;
+            for (const auto &m : l1_mshr_)
+                l1 += m->inUse();
+            for (const auto &m : l2_mshr_)
+                l2 += m->inUse();
+            return detail::format(
+                "L1 %u outstanding, L2 %u, MC counter %u", l1, l2,
+                mc_ctr_mshr_.inUse());
+        });
+        watchdog_->addDiagnostic("dram", [this] {
+            return detail::format("%zu queued requests across %u channels",
+                                  dram_.queuedRequests(),
+                                  dram_.numChannels());
+        });
+    }
 }
 
 void
@@ -254,6 +300,8 @@ SecureSystem::emccCounterPath(unsigned core, Addr pa, Tick t_miss)
 
     if (l2_[core].access(ctr, LineClass::Counter, false)) {
         ++stats_.emcc_l2_ctr_hits;
+        if (fault_)
+            fault_->onCounterHit(ctr, curTick());
         out.ctr_ready_at_l2 = t_lookup + decode;
         return out;
     }
@@ -278,6 +326,8 @@ SecureSystem::emccCounterPath(unsigned core, Addr pa, Tick t_miss)
     // happens later, at the arrival tick).
     ++stats_.emcc_ctr_accesses_to_llc;
     if (llc_.access(ctr, LineClass::Counter, false)) {
+        if (fault_)
+            fault_->onCounterHit(ctr, curTick());
         auto &state = l2_ctr_state_[core];
         if (!state.count(ctr)) {
             ++stats_.l2_ctr_inserts;
@@ -411,8 +461,12 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
     auto join = std::make_shared<Join>();
     join->cb = std::move(fill_at_l2_cb);
 
-    const std::int64_t resp_delta = nocDeltaTicks();
-    auto try_finish = [this, join, resp_delta, pa] {
+    std::int64_t resp_delta = nocDeltaTicks();
+    if (fault_) {
+        resp_delta += static_cast<std::int64_t>(
+            fault_->responseDelayTicks(curTick()));
+    }
+    auto try_finish = [this, join, resp_delta, core, pa] {
         if (join->data_done == kTickInvalid)
             return;
         if (join->crypto_needed && join->crypto_done == kTickInvalid)
@@ -430,7 +484,12 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
                       leave_mc + cfg_.noc_llc_mc,
                       /*unverified=*/join->crypto_at_l2);
         }
-        join->cb(fill);
+        // Every decrypted fill passes the modeled MAC check before the
+        // L2 may consume it; failures enter the recovery protocol.
+        if (fault_ && join->crypto_needed)
+            finishWithVerify(core, pa, fill, join->cb);
+        else
+            join->cb(fill);
     };
 
     // ---- crypto path
@@ -442,7 +501,8 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
       case Scheme::LlcBaseline:
         mcFetchCounter(pa, t_mc, /*count_buckets=*/true,
                        [this, join, try_finish](Tick ctr_tick) {
-            const Tick start = ctr_tick + design_->decodeLatency();
+            const Tick start = ctr_tick + design_->decodeLatency() +
+                               aesStall();
             join->crypto_done = mc_aes_.submit(start, 5);
             try_finish();
         });
@@ -453,7 +513,8 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
             // Merge with the counter fetch already in flight (or a hit).
             mcFetchCounter(pa, t_mc, /*count_buckets=*/false,
                            [this, join, try_finish](Tick ctr_tick) {
-                const Tick start = ctr_tick + design_->decodeLatency();
+                const Tick start = ctr_tick + design_->decodeLatency() +
+                                   aesStall();
                 join->crypto_done = mc_aes_.submit(start, 5);
                 try_finish();
             });
@@ -468,7 +529,7 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
             // waste guard. Modeling them separately keeps one delayed
             // start from idling the whole pool.
             const Tick slot_done = l2_aes_[core]->submit(t_miss, 5);
-            Tick gate = ctr.ctr_ready_at_l2;
+            Tick gate = ctr.ctr_ready_at_l2 + aesStall();
             if (cfg_.llc_hit_wait)
                 gate = std::max(gate, t_miss + cfg_.llc_latency);
             join->crypto_done = std::max(slot_done,
@@ -479,7 +540,9 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
 
     // ---- data path
     dramRequest(pa, MemClass::Data, /*is_write=*/false, t_mc,
-                [join, try_finish](Tick done) {
+                [this, pa, join, try_finish](Tick done) {
+        if (fault_)
+            fault_->onDataFetched(blockAlign(pa), done);
         join->data_done = done;
         try_finish();
     });
@@ -493,6 +556,8 @@ SecureSystem::mcFetchCounter(Addr pa, Tick t, bool count_buckets,
     if (mc_cache_.access(ctr, LineClass::Counter, false)) {
         if (count_buckets)
             ++stats_.mc_ctr_hits;
+        if (fault_)
+            fault_->onCounterHit(ctr, curTick());
         const Tick ready = t + cfg_.mc_ctr_cache_latency;
         cb(ready);
         return;
@@ -503,6 +568,8 @@ SecureSystem::mcFetchCounter(Addr pa, Tick t, bool count_buckets,
         llc_.access(ctr, LineClass::Counter, false)) {
         if (count_buckets)
             ++stats_.llc_ctr_hits;
+        if (fault_)
+            fault_->onCounterHit(ctr, curTick());
         if (cfg_.scheme == Scheme::LlcBaseline)
             ++stats_.baseline_ctr_accesses_to_llc;
         const Tick ready = addDelta(t1 + cfg_.llc_ctr_access,
@@ -567,7 +634,12 @@ SecureSystem::mcFetchCounter(Addr pa, Tick t, bool count_buckets,
     walk->outstanding += static_cast<unsigned>(node_fetches.size());
     walk->fetched_levels = static_cast<unsigned>(node_fetches.size());
 
-    dramRequest(ctr, MemClass::Counter, false, t2, arrive);
+    dramRequest(ctr, MemClass::Counter, false, t2,
+                [this, ctr, arrive](Tick when) {
+        if (fault_)
+            fault_->onCounterFetched(ctr, when);
+        arrive(when);
+    });
     for (const auto &[node, from_llc] : node_fetches) {
         if (from_llc) {
             const Tick ready = addDelta(t2 + cfg_.llc_ctr_access,
@@ -677,7 +749,119 @@ SecureSystem::dramRequest(Addr addr, MemClass cls, bool is_write, Tick t,
 {
     sim().schedule(std::max(t, curTick()),
                    [this, addr, cls, is_write, done] {
+        // A write retiring to DRAM replaces the stored block, healing
+        // any persistent taint an attacker left on the old contents.
+        if (fault_ && is_write) {
+            fault_->onDramWrite(blockAlign(addr),
+                                cls == MemClass::Counter ||
+                                    cls == MemClass::OverflowHi,
+                                curTick());
+        }
         tryEnqueueDram(addr, cls, is_write, done);
+    });
+}
+
+// ------------------------------------------------- verify & recovery
+
+Tick
+SecureSystem::aesStall()
+{
+    return fault_ ? fault_->aesStallTicks(curTick()) : 0;
+}
+
+void
+SecureSystem::finishWithVerify(unsigned core, Addr pa, Tick fill,
+                               FinishCb cb)
+{
+    const Addr blk = blockAlign(pa);
+    const Addr ctr = meta_.counterBlockAddr(pa);
+    auto det = fault_->checkVerify(blk, ctr, fill);
+    if (!det) {
+        cb(fill);
+        return;
+    }
+    ++stats_.integrity_detected;
+    recoverFill(core, pa, fill, *det, /*attempt=*/1, std::move(cb));
+}
+
+void
+SecureSystem::recoverFill(unsigned core, Addr pa, Tick t,
+                          FaultInjector::Detection det, unsigned attempt,
+                          FinishCb cb)
+{
+    const Addr blk = blockAlign(pa);
+    const Addr ctr = meta_.counterBlockAddr(pa);
+
+    if (attempt > cfg_.max_verify_retries) {
+        ++stats_.integrity_fatal;
+        fault_->noteFatal(det, t, attempt - 1);
+        if (cfg_.fault_strict) {
+            throw IntegrityViolation(
+                detail::format("MAC verification failed for block %#llx "
+                               "(%s injected at %.1f ns)",
+                               static_cast<unsigned long long>(blk),
+                               faultKindName(det.kind),
+                               ticksToNs(det.injected_at)),
+                blk, attempt - 1);
+        }
+        // Fail-stop model: a real machine raises a machine check and
+        // poisons the line; the simulator records the fatality and lets
+        // the access complete so the rest of the run stays measurable.
+        cb(t);
+        return;
+    }
+    ++stats_.integrity_retried;
+
+    // Poisoned metadata may be cached anywhere: drop every cached copy
+    // of the counter (and the LLC data copy), then re-fetch counter and
+    // data straight from DRAM, bypassing all caches.
+    mc_cache_.invalidate(ctr);
+    llc_.invalidate(ctr);
+    llc_.invalidate(blk);
+    if (cfg_.scheme == Scheme::Emcc) {
+        for (unsigned c = 0; c < cfg_.cores; ++c) {
+            if (l2_[c].invalidate(ctr))
+                noteL2CounterGone(c, ctr, /*invalidated=*/true);
+        }
+    }
+    fault_->recoveryRefetch(blk, ctr, t);
+
+    struct Refetch
+    {
+        Tick ctr_done = kTickInvalid;
+        Tick data_done = kTickInvalid;
+    };
+    auto re = std::make_shared<Refetch>();
+    auto rejoin = [this, core, pa, blk, ctr, det, attempt, re, cb] {
+        if (re->ctr_done == kTickInvalid || re->data_done == kTickInvalid)
+            return;
+        // Decode the fresh counter, re-decrypt and re-verify: one AES
+        // for the OTP regeneration plus the MAC recomputation.
+        const Tick start = std::max(
+            re->ctr_done + design_->decodeLatency(), re->data_done);
+        const Tick redone = mc_aes_.submit(start + aesStall(), 6) +
+                            cfg_.resp_mc_to_l2;
+        auto again = fault_->checkVerify(blk, ctr, redone);
+        if (!again) {
+            ++stats_.integrity_recovered;
+            fault_->noteRecovered(det, redone, attempt);
+            cb(redone);
+            return;
+        }
+        recoverFill(core, pa, redone, *again, attempt + 1, cb);
+    };
+    // Deliberately raw DRAM fetches: recovery traffic must not trip the
+    // activation hooks, or a campaign could re-inject into its own
+    // recovery and starve it.
+    dramRequest(ctr, MemClass::Counter, /*is_write=*/false, t,
+                [re, rejoin](Tick when) {
+        re->ctr_done = when;
+        rejoin();
+    });
+    dramRequest(blk, MemClass::Data, /*is_write=*/false, t,
+                [re, rejoin](Tick when) {
+        re->data_done = when;
+        rejoin();
     });
 }
 
@@ -851,6 +1035,21 @@ RunResults::toStatSet() const
     s.set("dynamic_off_windows",
           static_cast<double>(sys.dynamic_off_windows));
 
+    s.set("integrity_detected",
+          static_cast<double>(sys.integrity_detected));
+    s.set("integrity_retried", static_cast<double>(sys.integrity_retried));
+    s.set("integrity_recovered",
+          static_cast<double>(sys.integrity_recovered));
+    s.set("integrity_fatal", static_cast<double>(sys.integrity_fatal));
+    s.set("faults_injected", static_cast<double>(faults.injectedAll()));
+    s.set("faults_detected", static_cast<double>(faults.detectedAll()));
+    s.set("faults_recovered", static_cast<double>(faults.recoveredAll()));
+    s.set("faults_fatal", static_cast<double>(faults.fatalAll()));
+    s.set("leak_undrained_events",
+          static_cast<double>(leaks.undrained_events));
+    s.set("leak_stuck_mshrs",
+          static_cast<double>(leaks.stuck_mshr_entries));
+
     for (int c = 0; c < static_cast<int>(MemClass::NumClasses); ++c) {
         const std::string base = std::string("dram_") +
                                  memClassName(static_cast<MemClass>(c));
@@ -865,12 +1064,36 @@ RunResults::toStatSet() const
     return s;
 }
 
+std::string
+LeakReport::render() const
+{
+    if (clean()) {
+        return detail::format("clean (%llu straggler events drained)",
+                              static_cast<unsigned long long>(
+                                  drained_events));
+    }
+    return detail::format(
+        "%llu undrained events, %llu stuck MSHR entries, "
+        "%llu queued DRAM requests (after draining %llu events)",
+        static_cast<unsigned long long>(undrained_events),
+        static_cast<unsigned long long>(stuck_mshr_entries),
+        static_cast<unsigned long long>(queued_dram_requests),
+        static_cast<unsigned long long>(drained_events));
+}
+
 // --------------------------------------------------------------- driving
 
 void
 SecureSystem::resetStats()
 {
+    // Integrity/recovery counters track the whole run (they pair with
+    // the injector's report, which a stats reset must not lose).
+    const SystemStats prev = stats_;
     stats_ = SystemStats{};
+    stats_.integrity_detected = prev.integrity_detected;
+    stats_.integrity_retried = prev.integrity_retried;
+    stats_.integrity_recovered = prev.integrity_recovered;
+    stats_.integrity_fatal = prev.integrity_fatal;
     dram_.resetStats();
     mc_aes_.reset();
     for (auto &p : l2_aes_)
@@ -891,14 +1114,56 @@ SecureSystem::collectResults(Count instructions)
     results_.instructions = instructions;
     results_.sys = stats_;
     results_.dram = dram_.aggregateStats();
+    if (fault_)
+        results_.faults = fault_->report();
     results_.duration_ns = ticksToNs(curTick() - measure_start_);
     for (const auto &core : cores_)
         results_.total_ipc += core->stats().ipc(cfg_.core.cyclePs());
 }
 
 void
+SecureSystem::drainAndCheckLeaks()
+{
+    // Straggler events (in-flight fills the cores no longer wait for)
+    // are normal; a queue that will not drain is not. The cap bounds a
+    // pathological self-rescheduling leak.
+    constexpr Count kDrainCap = 2'000'000;
+    Count executed = 0;
+    while (executed < kDrainCap && sim().events().step())
+        ++executed;
+
+    LeakReport &lk = results_.leaks;
+    lk.drained_events = executed;
+    lk.undrained_events = static_cast<Count>(sim().events().pending());
+    auto count_mshrs = [&lk](const MshrFile &m) {
+        m.forEachOutstanding(
+            [&lk](Addr, unsigned) { ++lk.stuck_mshr_entries; });
+    };
+    for (const auto &m : l1_mshr_)
+        count_mshrs(*m);
+    for (const auto &m : l2_mshr_)
+        count_mshrs(*m);
+    count_mshrs(mc_ctr_mshr_);
+    lk.queued_dram_requests = static_cast<Count>(dram_.queuedRequests());
+    if (!lk.clean())
+        warn("post-run leak check: %s", lk.render().c_str());
+
+    // Recoveries that completed during the drain still belong to the
+    // run: refresh the fault-facing counters in the snapshot.
+    results_.sys.integrity_detected = stats_.integrity_detected;
+    results_.sys.integrity_retried = stats_.integrity_retried;
+    results_.sys.integrity_recovered = stats_.integrity_recovered;
+    results_.sys.integrity_fatal = stats_.integrity_fatal;
+    if (fault_)
+        results_.faults = fault_->report();
+}
+
+void
 SecureSystem::run(Count warmup, Count measure)
 {
+    if (watchdog_)
+        watchdog_->start();
+
     // ---- warmup phase
     if (warmup > 0) {
         cores_running_ = cfg_.cores;
@@ -924,6 +1189,13 @@ SecureSystem::run(Count warmup, Count measure)
     while (cores_running_ > 0 && sim().events().step()) {
     }
     collectResults(measure * cfg_.cores);
+
+    // ---- post-run hardening: stop the watchdog (it must not keep the
+    // drain alive), then drain stragglers and look for leaked state.
+    if (watchdog_)
+        watchdog_->stop();
+    if (cfg_.leak_check)
+        drainAndCheckLeaks();
 }
 
 } // namespace emcc

@@ -28,10 +28,12 @@
 #include "core/core_model.hh"
 #include "crypto/aes_pool.hh"
 #include "dram/dram.hh"
+#include "fault/fault_injector.hh"
 #include "noc/latency_model.hh"
 #include "noc/mesh.hh"
 #include "secmem/counter_design.hh"
 #include "secmem/metadata_map.hh"
+#include "sim/watchdog.hh"
 #include "system/config.hh"
 #include "system/page_mapper.hh"
 #include "workloads/workload.hh"
@@ -79,6 +81,35 @@ struct SystemStats
     Count inclusive_back_invalidations = 0;
     Count dynamic_off_windows = 0;   ///< windows with EMCC toggled off
     Count dynamic_windows = 0;       ///< total sampling windows
+
+    // fault-injection resilience (src/fault)
+    Count integrity_detected = 0;    ///< failing MAC verifications
+    Count integrity_retried = 0;     ///< recovery attempts issued
+    Count integrity_recovered = 0;   ///< fills recovered within budget
+    Count integrity_fatal = 0;       ///< escalations past the budget
+};
+
+/**
+ * End-of-run leak check: once the cores stop and the event queue is
+ * drained, nothing should remain in flight. Anything left is a lost
+ * callback or a stuck component.
+ */
+struct LeakReport
+{
+    Count drained_events = 0;        ///< straggler events executed
+    Count undrained_events = 0;      ///< still live after the drain cap
+    Count stuck_mshr_entries = 0;    ///< outstanding misses (lost fills)
+    Count queued_dram_requests = 0;  ///< requests parked in DRAM queues
+
+    bool
+    clean() const
+    {
+        return undrained_events == 0 && stuck_mshr_entries == 0 &&
+               queued_dram_requests == 0;
+    }
+
+    /** One-line summary of what leaked (or "clean"). */
+    std::string render() const;
 };
 
 /** Aggregated results of a measured window. */
@@ -88,6 +119,8 @@ struct RunResults
     double duration_ns = 0.0;        ///< measured wall (simulated) time
     SystemStats sys;
     DramStats dram;
+    FaultReport faults;              ///< fault-campaign outcome (if any)
+    LeakReport leaks;                ///< post-run leak check
     Count instructions = 0;
 
     /** Flatten everything into a named StatSet (for CSV/JSON export
@@ -112,6 +145,11 @@ class SecureSystem : public Component, public MemorySystemPort
     const RunResults &results() const { return results_; }
     const SystemStats &stats() const { return stats_; }
     const SystemConfig &config() const { return cfg_; }
+
+    /** The fault injector, if a campaign is configured (else null). */
+    const FaultInjector *faultInjector() const { return fault_.get(); }
+    /** The forward-progress watchdog, if enabled (else null). */
+    const Watchdog *watchdog() const { return watchdog_.get(); }
 
     /** AES pool at L2 @p i (for tests / ablations). */
     const AesPool &l2AesPool(unsigned i) const { return *l2_aes_.at(i); }
@@ -159,6 +197,21 @@ class SecureSystem : public Component, public MemorySystemPort
     void tryEnqueueDram(Addr addr, MemClass cls, bool is_write,
                         FinishCb done);
 
+    // ---- fault-injection resilience
+    /** Extra AES start latency from an injected stall (0 when off). */
+    Tick aesStall();
+    /** Run the modeled MAC check on a decrypted fill; on failure enter
+     *  the recovery protocol, else complete normally at @p fill. */
+    void finishWithVerify(unsigned core, Addr pa, Tick fill, FinishCb cb);
+    /** One bounded recovery attempt: invalidate poisoned metadata,
+     *  re-fetch counter+data from DRAM bypassing all caches, re-decrypt
+     *  and re-verify; escalate past cfg_.max_verify_retries. */
+    void recoverFill(unsigned core, Addr pa, Tick t,
+                     FaultInjector::Detection det, unsigned attempt,
+                     FinishCb cb);
+    /** Drain straggler events and populate results_.leaks. */
+    void drainAndCheckLeaks();
+
     void insertL1(unsigned core, Addr pa, bool dirty);
     void insertL2Data(unsigned core, Addr pa, bool dirty, Tick t);
     void insertL2Counter(unsigned core, Addr ctr_addr, Tick t);
@@ -197,6 +250,9 @@ class SecureSystem : public Component, public MemorySystemPort
     DramMemory dram_;
     AesPool mc_aes_;
     std::vector<std::unique_ptr<AesPool>> l2_aes_;
+
+    std::unique_ptr<FaultInjector> fault_;   ///< null when no campaign
+    std::unique_ptr<Watchdog> watchdog_;     ///< null when disabled
 
     PageMapper mapper_;
 

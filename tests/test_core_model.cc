@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/error.hh"
 #include "core/core_model.hh"
 #include "sim/simulator.hh"
 
@@ -228,8 +229,8 @@ TEST(CoreModel, EmptyTraceIsFatal)
     Simulator sim;
     FixedLatencyPort port(sim, 0);
     std::vector<MemRef> empty;
-    EXPECT_EXIT(CoreModel(sim, "core", CoreConfig{}, 0, &empty, &port),
-                ::testing::ExitedWithCode(1), "empty trace");
+    EXPECT_THROW(CoreModel(sim, "core", CoreConfig{}, 0, &empty, &port),
+                 FatalError);
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
 #include "common/rng.hh"
 #include "noc/latency_model.hh"
 
@@ -90,8 +91,7 @@ TEST(NocLatency, CalibrationRejectsImpossibleTarget)
 {
     MeshTopology mesh;
     NocLatencyModel noc(mesh, NocConfig{4.0, 1.0, 4.0, 4.0});
-    EXPECT_EXIT(noc.calibrateMeanOneWay(3.0),
-                ::testing::ExitedWithCode(1), "base");
+    EXPECT_THROW(noc.calibrateMeanOneWay(3.0), FatalError);
 }
 
 } // namespace

@@ -91,7 +91,7 @@ TEST_P(SecureMemoryTest, TamperedCiphertextDetected)
     std::uint8_t data[64], out[64];
     fill(data, 4);
     mem.write(0x4000, data);
-    mem.tamperCiphertext(0x4000, 13, 0x80);
+    EXPECT_TRUE(mem.tamperCiphertext(0x4000, 13, 0x80));
     const auto r = mem.read(0x4000, out);
     EXPECT_TRUE(r.present);
     EXPECT_FALSE(r.verified);
@@ -103,8 +103,21 @@ TEST_P(SecureMemoryTest, TamperedMacDetected)
     std::uint8_t data[64], out[64];
     fill(data, 5);
     mem.write(0x4000, data);
-    mem.tamperMac(0x4000, 0x1);
+    EXPECT_TRUE(mem.tamperMac(0x4000, 0x1));
     EXPECT_FALSE(mem.read(0x4000, out).verified);
+}
+
+TEST_P(SecureMemoryTest, TamperOnUnwrittenBlockReportsFailure)
+{
+    // Fault campaigns aim at arbitrary addresses; targeting a block that
+    // was never written must report failure, not kill the process.
+    auto mem = make();
+    EXPECT_FALSE(mem.tamperCiphertext(0x7000, 0, 0x01));
+    EXPECT_FALSE(mem.tamperMac(0x7000, 0x1));
+    std::uint8_t data[64];
+    fill(data, 8);
+    mem.write(0x7000, data);
+    EXPECT_TRUE(mem.tamperCiphertext(0x7000, 0, 0x01));
 }
 
 TEST_P(SecureMemoryTest, ReplayAttackDetected)

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/error.hh"
 #include "workloads/graph.hh"
 #include "workloads/synthetic.hh"
 #include "workloads/workload.hh"
@@ -188,8 +189,8 @@ TEST(Workloads, AllRegisteredNamesBuild)
 
 TEST(Workloads, UnknownNameIsFatal)
 {
-    EXPECT_EXIT(buildWorkload("notABenchmark", tinyParams()),
-                ::testing::ExitedWithCode(1), "unknown");
+    EXPECT_THROW(buildWorkload("notABenchmark", tinyParams()),
+                 FatalError);
 }
 
 TEST(TraceRecorder, SplitsMultiBlockAccesses)

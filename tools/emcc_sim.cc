@@ -11,7 +11,12 @@
  *   emcc_sim --workload mcf --scheme baseline --design sc64 --channels 8
  *   emcc_sim --workload BFS --scheme emcc --aes-ns 25 --l2-aes 0.8 \
  *            --measure 500000 --inclusive
+ *   emcc_sim --workload BFS --inject-faults "bus:count=20;replay:count=1" \
+ *            --fault-seed 7 --watchdog-us 50
  *   emcc_sim --list
+ *
+ * Exit codes: 0 success, 1 simulation error, 2 bad command line /
+ * configuration, 3 unrecovered integrity violation (--fault-strict).
  */
 
 #include <cstdio>
@@ -19,6 +24,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/error.hh"
 #include "common/table.hh"
 #include "system/experiment.hh"
 #include "workloads/trace_io.hh"
@@ -55,32 +61,50 @@ usage()
         "  --save-trace FILE  save the built traces and exit\n"
         "  --load-trace FILE  replay traces from FILE instead of\n"
         "                     building the workload\n"
-        "  --list             print known workloads and exit\n");
+        "  --list             print known workloads and exit\n"
+        "\n"
+        "fault injection & resilience:\n"
+        "  --inject-faults SPEC  fault campaign, e.g.\n"
+        "                        \"bus:count=20:period=500;replay:count=1\"\n"
+        "                        kinds: data mac ctr replay bus ctrcache\n"
+        "                               nocdelay nocdrop aesstall\n"
+        "                        keys: count period prob delay_ns\n"
+        "  --fault-seed N        injector seed (default 1)\n"
+        "  --fault-retries N     recovery attempts before an integrity\n"
+        "                        failure is terminal (default 3)\n"
+        "  --fault-strict        abort the run (exit 3) on a terminal\n"
+        "                        integrity violation\n"
+        "  --watchdog-us X       forward-progress watchdog window in\n"
+        "                        simulated us (default 0 = off)\n"
+        "  --no-leak-check       skip the post-run event/MSHR leak check\n");
 }
 
-Scheme
-parseScheme(const std::string &s)
+/** Parse a mandatory integer/float option value; throws ConfigError on
+ *  garbage so the CLI reports it instead of silently reading 0. */
+long long
+parseInt(const std::string &opt, const char *text)
 {
-    if (s == "nonsecure") return Scheme::NonSecure;
-    if (s == "mconly") return Scheme::McOnly;
-    if (s == "baseline") return Scheme::LlcBaseline;
-    if (s == "emcc") return Scheme::Emcc;
-    fatal("unknown scheme '%s'", s.c_str());
+    char *end = nullptr;
+    const long long v = std::strtoll(text, &end, 0);
+    if (end == text || *end != '\0')
+        throw ConfigError("bad integer '" + std::string(text) + "' for " +
+                          opt);
+    return v;
 }
 
-CounterDesignKind
-parseDesign(const std::string &s)
+double
+parseFloat(const std::string &opt, const char *text)
 {
-    if (s == "monolithic") return CounterDesignKind::Monolithic;
-    if (s == "sc64") return CounterDesignKind::Sc64;
-    if (s == "morphable") return CounterDesignKind::Morphable;
-    fatal("unknown counter design '%s'", s.c_str());
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0')
+        throw ConfigError("bad number '" + std::string(text) + "' for " +
+                          opt);
+    return v;
 }
-
-} // namespace
 
 int
-main(int argc, char **argv)
+runMain(int argc, char **argv)
 {
     using namespace emcc::experiments;
 
@@ -93,9 +117,11 @@ main(int argc, char **argv)
         const std::string arg = argv[i];
         auto next = [&]() -> const char * {
             if (i + 1 >= argc)
-                fatal("missing value for %s", arg.c_str());
+                throw ConfigError("missing value for " + arg);
             return argv[++i];
         };
+        auto nextInt = [&] { return parseInt(arg, next()); };
+        auto nextFloat = [&] { return parseFloat(arg, next()); };
         if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -112,36 +138,32 @@ main(int argc, char **argv)
         } else if (arg == "--scheme") {
             cfg.scheme = parseScheme(next());
         } else if (arg == "--design") {
-            cfg.design = parseDesign(next());
+            cfg.design = parseCounterDesign(next());
         } else if (arg == "--cores") {
-            cfg.cores = static_cast<unsigned>(std::atoi(next()));
+            cfg.cores = static_cast<unsigned>(nextInt());
             scale.workload.cores = cfg.cores;
         } else if (arg == "--channels") {
-            cfg.dram.channels = static_cast<unsigned>(std::atoi(next()));
+            cfg.dram.channels = static_cast<unsigned>(nextInt());
         } else if (arg == "--aes-ns") {
-            cfg.aes_latency = nsToTicks(std::atof(next()));
+            cfg.aes_latency = nsToTicks(nextFloat());
         } else if (arg == "--l2-aes") {
-            cfg.l2_aes_fraction = std::atof(next());
+            cfg.l2_aes_fraction = nextFloat();
         } else if (arg == "--ctr-cache") {
             cfg.mc_ctr_cache_bytes =
-                static_cast<std::uint64_t>(std::atoi(next())) * 1024;
+                static_cast<std::uint64_t>(nextInt()) * 1024;
         } else if (arg == "--l2-ctr-cap") {
             cfg.l2_ctr_cap_bytes =
-                static_cast<std::uint64_t>(std::atoi(next())) * 1024;
+                static_cast<std::uint64_t>(nextInt()) * 1024;
         } else if (arg == "--page") {
-            cfg.page_bytes =
-                static_cast<std::uint64_t>(std::atoi(next())) * 1024;
+            cfg.page_bytes = static_cast<std::uint64_t>(nextInt()) * 1024;
         } else if (arg == "--warmup") {
-            scale.warmup_instructions =
-                static_cast<Count>(std::atoll(next()));
+            scale.warmup_instructions = static_cast<Count>(nextInt());
         } else if (arg == "--measure") {
-            scale.measure_instructions =
-                static_cast<Count>(std::atoll(next()));
+            scale.measure_instructions = static_cast<Count>(nextInt());
         } else if (arg == "--trace") {
-            scale.workload.trace_len =
-                static_cast<std::size_t>(std::atoll(next()));
+            scale.workload.trace_len = static_cast<std::size_t>(nextInt());
         } else if (arg == "--seed") {
-            cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+            cfg.seed = static_cast<std::uint64_t>(nextInt());
             scale.workload.seed = cfg.seed;
         } else if (arg == "--csv") {
             csv_path = next();
@@ -157,22 +179,41 @@ main(int argc, char **argv)
             cfg.xpt = true;
         } else if (arg == "--no-offload") {
             cfg.adaptive_offload = false;
+        } else if (arg == "--inject-faults") {
+            cfg.faults = FaultSpec::parse(next());
+        } else if (arg == "--fault-seed") {
+            cfg.fault_seed = static_cast<std::uint64_t>(nextInt());
+        } else if (arg == "--fault-retries") {
+            cfg.max_verify_retries = static_cast<unsigned>(nextInt());
+        } else if (arg == "--fault-strict") {
+            cfg.fault_strict = true;
+        } else if (arg == "--watchdog-us") {
+            cfg.watchdog_window = nsToTicks(nextFloat() * 1000.0);
+        } else if (arg == "--no-leak-check") {
+            cfg.leak_check = false;
         } else {
-            usage();
-            fatal("unknown argument '%s'", arg.c_str());
+            throw ConfigError("unknown argument '" + arg + "'");
         }
     }
+    cfg.validate();
 
     std::printf("workload: %s | scheme: %s | design: %s\n\n",
                 workload.c_str(), schemeName(cfg.scheme),
                 counterDesignName(cfg.design));
     std::fputs(cfg.renderTable().c_str(), stdout);
+    if (cfg.faults.enabled()) {
+        std::printf("fault campaign: %s (seed %llu, %u retries%s)\n",
+                    cfg.faults.render().c_str(),
+                    static_cast<unsigned long long>(cfg.fault_seed),
+                    cfg.max_verify_retries,
+                    cfg.fault_strict ? ", strict" : "");
+    }
 
     WorkloadSet loaded;
     if (!load_trace.empty()) {
         loaded = loadWorkload(load_trace);
-        fatal_if(loaded.per_core.empty(), "could not load trace '%s'",
-                 load_trace.c_str());
+        if (loaded.per_core.empty())
+            throw ConfigError("could not load trace '" + load_trace + "'");
         std::printf("\nloaded trace '%s' (%s)\n", load_trace.c_str(),
                     loaded.name.c_str());
     }
@@ -180,8 +221,8 @@ main(int argc, char **argv)
         ? loaded : cachedWorkload(workload, scale.workload);
 
     if (!save_trace.empty()) {
-        fatal_if(!saveWorkload(set, save_trace),
-                 "could not write trace '%s'", save_trace.c_str());
+        if (!saveWorkload(set, save_trace))
+            throw SimError("could not write trace '" + save_trace + "'");
         std::printf("saved %zu traces to %s\n", set.per_core.size(),
                     save_trace.c_str());
         return 0;
@@ -240,9 +281,27 @@ main(int argc, char **argv)
     row("counter overflows", static_cast<double>(r.sys.overflows), 0);
     std::fputs(t.render().c_str(), stdout);
 
+    if (cfg.faults.enabled()) {
+        std::puts("\n=== fault campaign ===");
+        std::fputs(r.faults.render().c_str(), stdout);
+        std::printf("recovery: %llu MAC failures, %llu retries, "
+                    "%llu recovered, %llu fatal\n",
+                    static_cast<unsigned long long>(
+                        r.sys.integrity_detected),
+                    static_cast<unsigned long long>(
+                        r.sys.integrity_retried),
+                    static_cast<unsigned long long>(
+                        r.sys.integrity_recovered),
+                    static_cast<unsigned long long>(
+                        r.sys.integrity_fatal));
+    }
+    if (cfg.leak_check)
+        std::printf("\nleak check: %s\n", r.leaks.render().c_str());
+
     if (!csv_path.empty()) {
         std::FILE *f = std::fopen(csv_path.c_str(), "a");
-        fatal_if(f == nullptr, "cannot open %s", csv_path.c_str());
+        if (f == nullptr)
+            throw SimError("cannot open '" + csv_path + "'");
         const auto stats = r.toStatSet();
         // Header only for a fresh file.
         std::fseek(f, 0, SEEK_END);
@@ -265,4 +324,27 @@ main(int argc, char **argv)
         std::printf("\nappended CSV row to %s\n", csv_path.c_str());
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // All error paths are recoverable exceptions (never a raw abort):
+    // bad input gets a message and a distinct exit code.
+    try {
+        return runMain(argc, argv);
+    } catch (const ConfigError &e) {
+        std::fprintf(stderr, "emcc_sim: %s\n", e.what());
+        std::fprintf(stderr, "run 'emcc_sim --help' for usage\n");
+        return 2;
+    } catch (const IntegrityViolation &e) {
+        std::fprintf(stderr, "emcc_sim: integrity violation: %s\n",
+                     e.what());
+        return 3;
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "emcc_sim: %s\n", e.what());
+        return 1;
+    }
 }
