@@ -30,11 +30,11 @@ main()
         for (int i = 0; i < 3; ++i) {
             const double f = factors[i];
             auto scaled = [&](SystemConfig cfg) {
-                cfg.noc_llc_mc = static_cast<Tick>(cfg.noc_llc_mc * f);
+                cfg.noc_llc_mc = Tick{static_cast<std::uint64_t>(static_cast<double>(cfg.noc_llc_mc.value()) * f)};
                 cfg.resp_mc_to_l2 =
-                    static_cast<Tick>(cfg.resp_mc_to_l2 * f);
+                    Tick{static_cast<std::uint64_t>(static_cast<double>(cfg.resp_mc_to_l2.value()) * f)};
                 cfg.llc_ctr_access =
-                    static_cast<Tick>(cfg.llc_ctr_access * f);
+                    Tick{static_cast<std::uint64_t>(static_cast<double>(cfg.llc_ctr_access.value()) * f)};
                 return cfg;
             };
             const auto base = runTiming(

@@ -58,7 +58,7 @@ BM_OtpGeneration(benchmark::State &state)
     std::uint8_t pad[16];
     std::uint64_t ctr = 0;
     for (auto _ : state) {
-        cipher.otp(0x4000, ++ctr, 0, pad);
+        cipher.otp(Addr{0x4000}, ++ctr, 0, pad);
         benchmark::DoNotOptimize(pad);
     }
 }
@@ -72,7 +72,7 @@ BM_Block64Encrypt(benchmark::State &state)
     std::uint8_t in[64] = {}, out[64];
     std::uint64_t ctr = 0;
     for (auto _ : state) {
-        cipher.apply(0x4000, ++ctr, in, out);
+        cipher.apply(Addr{0x4000}, ++ctr, in, out);
         benchmark::DoNotOptimize(out);
     }
     state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 64);
@@ -98,7 +98,7 @@ BM_MacCompute(benchmark::State &state)
     std::uint8_t block[64] = {42};
     std::uint64_t ctr = 0;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(mac.compute(0x8000, ++ctr, block));
+        benchmark::DoNotOptimize(mac.compute(Addr{0x8000}, ++ctr, block));
     }
     state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 64);
 }
@@ -110,11 +110,11 @@ BM_SecureMemoryWriteRead(benchmark::State &state)
     SecureMemory mem(CounterDesignKind::Morphable,
                      SecureMemoryKeys::testKeys());
     std::uint8_t data[64] = {7}, out[64];
-    Addr a = 0;
+    Addr a{};
     for (auto _ : state) {
         mem.write(a, data);
         benchmark::DoNotOptimize(mem.read(a, out));
-        a = (a + kBlockBytes) % 8192;
+        a = Addr{(a + kBlockBytes) % 8192};
     }
 }
 BENCHMARK(BM_SecureMemoryWriteRead);
@@ -123,10 +123,10 @@ void
 BM_MorphableBump(benchmark::State &state)
 {
     auto design = CounterDesign::create(CounterDesignKind::Morphable);
-    Addr a = 0;
+    Addr a{};
     for (auto _ : state) {
         benchmark::DoNotOptimize(design->bumpCounter(a));
-        a = (a + kBlockBytes) % (1_MiB);
+        a = Addr{(a + kBlockBytes) % (1_MiB)};
     }
 }
 BENCHMARK(BM_MorphableBump);

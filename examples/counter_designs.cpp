@@ -32,11 +32,11 @@ writesUntilOverflow(CounterDesignKind kind, bool dense)
 {
     auto design = CounterDesign::create(kind);
     if (dense) {
-        for (Addr a = 0; a < design->coverageBytes(); a += kBlockBytes)
+        for (Addr a{}; a < Addr{design->coverageBytes()}; a += kBlockBytes)
             design->bumpCounter(a);
     }
     for (Count w = 1; w <= 2'000'000; ++w) {
-        if (design->bumpCounter(0x0).overflow)
+        if (design->bumpCounter(Addr{0x0}).overflow)
             return w;
     }
     return 2'000'000;
@@ -69,7 +69,7 @@ main()
         std::snprintf(decode, sizeof(decode), "%.0f ns",
                       ticksToNs(design->decodeLatency()));
         std::snprintf(metadata, sizeof(metadata), "%.1f MB",
-                      meta.metadataBytes() / 1048576.0);
+                      static_cast<double>(meta.metadataBytes()) / 1048576.0);
         if (dense >= 2'000'000) {
             std::snprintf(cost, sizeof(cost), "-");
         } else {
@@ -96,13 +96,13 @@ main()
     SecureMemory mem(CounterDesignKind::Morphable,
                      SecureMemoryKeys::testKeys());
     std::uint8_t data[64] = {0xAB}, out[64];
-    for (Addr a = 0; a < 8192; a += kBlockBytes)
+    for (Addr a{}; a < Addr{8192}; a += kBlockBytes)
         mem.write(a, data);
     Count writes = 0;
     while (mem.design().overflows() == 0)
-        mem.write(0x0, data), ++writes;
+        mem.write(Addr{0x0}, data), ++writes;
     bool all_verified = true;
-    for (Addr a = 0; a < 8192; a += kBlockBytes)
+    for (Addr a{}; a < Addr{8192}; a += kBlockBytes)
         all_verified &= mem.read(a, out).verified;
     std::printf("hot block overflowed after %llu rewrites; all 128 "
                 "covered blocks still verify: %s\n",

@@ -30,18 +30,18 @@ main()
     std::memset(secret, 0, sizeof(secret));
     std::strcpy(reinterpret_cast<char *>(secret), "attack at dawn");
 
-    mem.write(0x1000, secret);
+    mem.write(Addr{0x1000}, secret);
     std::printf("stored plaintext:  \"%s\"\n", secret);
     std::printf("DRAM sees:         \"%.14s...\" (ciphertext)\n",
-                mem.ciphertext(0x1000));
+                mem.ciphertext(Addr{0x1000}));
 
     std::uint8_t out[64];
-    auto r = mem.read(0x1000, out);
+    auto r = mem.read(Addr{0x1000}, out);
     std::printf("verified read:     \"%s\" (verified=%s)\n", out,
                 r.verified ? "yes" : "no");
 
-    mem.tamperCiphertext(0x1000, 3, 0xff);   // physical attack
-    r = mem.read(0x1000, out);
+    mem.tamperCiphertext(Addr{0x1000}, 3, 0xff);   // physical attack
+    r = mem.read(Addr{0x1000}, out);
     std::printf("after tampering:   verified=%s (attack detected)\n",
                 r.verified ? "yes" : "no");
 
@@ -66,11 +66,11 @@ main()
     std::printf("Morphable baseline: IPC %.3f, avg L2 miss %.1f ns\n",
                 base.total_ipc,
                 base.sys.l2_miss_latency_sum_ns /
-                    base.sys.l2_miss_latency_count);
+                    static_cast<double>(base.sys.l2_miss_latency_count));
     std::printf("EMCC:               IPC %.3f, avg L2 miss %.1f ns\n",
                 emcc.total_ipc,
                 emcc.sys.l2_miss_latency_sum_ns /
-                    emcc.sys.l2_miss_latency_count);
+                    static_cast<double>(emcc.sys.l2_miss_latency_count));
     std::printf("EMCC speedup:       %+.1f%%\n",
                 (emcc.total_ipc / base.total_ipc - 1.0) * 100.0);
     return 0;

@@ -30,7 +30,7 @@ main()
     for (const auto *kernel : {"pageRank", "BFS"}) {
         const auto &workload = cachedWorkload(kernel, scale.workload);
         std::printf("--- %s (footprint %.1f MB, 4 threads) ---\n",
-                    kernel, workload.footprint / 1048576.0);
+                    kernel, static_cast<double>(workload.footprint.value()) / 1048576.0);
 
         const auto ns = runTiming(paperConfig(Scheme::NonSecure),
                                   workload, scale);
@@ -44,9 +44,10 @@ main()
                 r.sys.llc_ctr_misses);
             t.addRow({schemeName(s),
                       Table::pct(r.total_ipc / ns.total_ipc),
-                      Table::pct(safeRatio(r.sys.mc_ctr_hits, total)),
-                      Table::pct(safeRatio(r.sys.llc_ctr_hits, total)),
-                      Table::pct(safeRatio(r.sys.llc_ctr_misses,
+                      Table::pct(safeRatio(static_cast<double>(r.sys.mc_ctr_hits), total)),
+                      Table::pct(safeRatio(static_cast<double>(r.sys.llc_ctr_hits), total)),
+                      Table::pct(safeRatio(static_cast<double>(
+                                               r.sys.llc_ctr_misses),
                                            total))});
         }
         std::fputs(t.render().c_str(), stdout);

@@ -44,41 +44,41 @@ main()
 
     // 1. Snooping: ciphertext only.
     std::puts("1. Snooping the bus");
-    mem.write(0x2000, secret);
-    check(std::memcmp(mem.ciphertext(0x2000), secret, 64) != 0,
+    mem.write(Addr{0x2000}, secret);
+    check(std::memcmp(mem.ciphertext(Addr{0x2000}), secret, 64) != 0,
           "bus carries ciphertext, not the secret");
 
     // 2. Tampering with data.
     std::puts("2. Tampering with ciphertext");
-    mem.tamperCiphertext(0x2000, 7, 0x01);
-    check(!mem.read(0x2000, out).verified,
+    mem.tamperCiphertext(Addr{0x2000}, 7, 0x01);
+    check(!mem.read(Addr{0x2000}, out).verified,
           "single flipped bit fails MAC verification");
-    mem.tamperCiphertext(0x2000, 7, 0x01);   // undo
-    check(mem.read(0x2000, out).verified, "undo restores verification");
+    mem.tamperCiphertext(Addr{0x2000}, 7, 0x01);   // undo
+    check(mem.read(Addr{0x2000}, out).verified, "undo restores verification");
 
     // 3. Tampering with the MAC itself.
     std::puts("3. Tampering with the MAC");
-    mem.tamperMac(0x2000, 0x4);
-    check(!mem.read(0x2000, out).verified, "forged MAC detected");
-    mem.tamperMac(0x2000, 0x4);
+    mem.tamperMac(Addr{0x2000}, 0x4);
+    check(!mem.read(Addr{0x2000}, out).verified, "forged MAC detected");
+    mem.tamperMac(Addr{0x2000}, 0x4);
 
     // 4. Replay attack.
     std::puts("4. Replay attack");
-    mem.snapshot(0x2000);                     // attacker records old bus
+    mem.snapshot(Addr{0x2000});                     // attacker records old bus
     std::uint8_t newval[64] = {};
     std::strcpy(reinterpret_cast<char *>(newval), "payment cancelled");
-    mem.write(0x2000, newval);                // victim updates
-    mem.replay(0x2000);                       // attacker replays old
-    check(!mem.read(0x2000, out).verified,
+    mem.write(Addr{0x2000}, newval);                // victim updates
+    mem.replay(Addr{0x2000});                       // attacker replays old
+    check(!mem.read(Addr{0x2000}, out).verified,
           "stale (ciphertext, MAC) rejected: counter advanced");
 
     // 5. OTP freshness.
     std::puts("5. OTP freshness across rewrites");
     std::uint8_t ct1[64], same[64] = {1, 2, 3};
-    mem.write(0x3000, same);
-    std::memcpy(ct1, mem.ciphertext(0x3000), 64);
-    mem.write(0x3000, same);
-    check(std::memcmp(ct1, mem.ciphertext(0x3000), 64) != 0,
+    mem.write(Addr{0x3000}, same);
+    std::memcpy(ct1, mem.ciphertext(Addr{0x3000}), 64);
+    mem.write(Addr{0x3000}, same);
+    check(std::memcmp(ct1, mem.ciphertext(Addr{0x3000}), 64) != 0,
           "same plaintext, different ciphertext (no OTP reuse)");
 
     // 6. Morphable overflow re-encryption.
@@ -86,16 +86,16 @@ main()
     std::uint8_t blocks[16][64];
     for (int i = 0; i < 16; ++i) {
         std::memset(blocks[i], 0x30 + i, 64);
-        mem.write(0x4000 + static_cast<Addr>(i) * 64, blocks[i]);
+        mem.write(Addr{0x4000 + static_cast<std::uint64_t>(i) * 64}, blocks[i]);
     }
     int writes = 0;
     while (mem.design().overflows() == 0 && writes++ < 100000)
-        mem.write(0x4000, blocks[0]);   // hammer one block
+        mem.write(Addr{0x4000}, blocks[0]);   // hammer one block
     check(mem.design().overflows() > 0,
           "write-hot block overflowed its minor counter");
     bool all_ok = true;
     for (int i = 0; i < 16; ++i) {
-        const auto r = mem.read(0x4000 + static_cast<Addr>(i) * 64, out);
+        const auto r = mem.read(Addr{0x4000 + static_cast<std::uint64_t>(i) * 64}, out);
         all_ok &= r.verified && std::memcmp(out, blocks[i], 64) == 0;
     }
     check(all_ok, "all sibling blocks survive page re-encryption");

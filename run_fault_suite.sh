@@ -4,24 +4,50 @@
 # (every fault kind, strict mode, watchdog, CLI error paths), then the
 # fault_resilience bench. Logs land in fault_logs/.
 #
-# Usage: ./run_fault_suite.sh [--no-sanitize]
+# Usage: ./run_fault_suite.sh [--no-sanitize] [-j N]
+#
+#   -j N   run up to N campaigns concurrently (default 1). Each campaign
+#          keeps its own log file in fault_logs/ regardless of overlap;
+#          only the progress notes may interleave.
 set -u
 cd "$(dirname "$0")"
 
 BUILD=build-asan
 CMAKE_ARGS=(-DEMCC_SANITIZE=ON)
-if [ "${1:-}" = "--no-sanitize" ]; then
-    BUILD=build
-    CMAKE_ARGS=()
-fi
+JOBS=1
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --no-sanitize)
+        BUILD=build
+        CMAKE_ARGS=()
+        ;;
+      -j)
+        shift
+        JOBS="${1:?missing argument to -j}"
+        ;;
+      -j*)
+        JOBS="${1#-j}"
+        ;;
+      *)
+        echo "unknown flag: $1" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
+case "$JOBS" in
+  ''|*[!0-9]*|0) echo "-j needs a positive integer" >&2; exit 2 ;;
+esac
+
 LOGS=fault_logs
 mkdir -p "$LOGS"
 : > "$LOGS/progress.txt"
-FAILED=0
+: > "$LOGS/failures.txt"
 
 note() { echo "$*" | tee -a "$LOGS/progress.txt"; }
+fail() { echo "$*" >> "$LOGS/failures.txt"; note "FAILED: $*"; }
 
-note "=== configure+build ($BUILD) at $(date +%T) ==="
+note "=== configure+build ($BUILD, -j$JOBS campaigns) at $(date +%T) ==="
 cmake -B "$BUILD" -S . "${CMAKE_ARGS[@]}" > "$LOGS/cmake.txt" 2>&1 \
     || { note "FAILED: cmake configure"; exit 1; }
 cmake --build "$BUILD" -j "$(nproc)" > "$LOGS/build.txt" 2>&1 \
@@ -30,24 +56,38 @@ cmake --build "$BUILD" -j "$(nproc)" > "$LOGS/build.txt" 2>&1 \
 export ASAN_OPTIONS=detect_leaks=1
 export UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1
 
+# Throttle background campaigns to $JOBS. Failures are recorded in
+# failures.txt (a subshell can't set the parent's variables).
+throttle() {
+    while [ "$(jobs -rp | wc -l)" -ge "$JOBS" ]; do
+        wait -n || true
+    done
+}
+
 run_one() {
     local name="$1"; shift
     note "--- $name"
-    if ! timeout 1200 "$@" > "$LOGS/$name.txt" 2>&1; then
-        note "FAILED: $name (exit $?)"
-        FAILED=1
-    fi
+    throttle
+    (
+        timeout 1200 "$@" > "$LOGS/$name.txt" 2>&1
+        got=$?
+        if [ "$got" != 0 ]; then
+            fail "$name (exit $got)"
+        fi
+    ) &
 }
 
 expect_exit() {
     local name="$1" want="$2"; shift 2
     note "--- $name (expect exit $want)"
-    timeout 300 "$@" > "$LOGS/$name.txt" 2>&1
-    local got=$?
-    if [ "$got" != "$want" ]; then
-        note "FAILED: $name (exit $got, wanted $want)"
-        FAILED=1
-    fi
+    throttle
+    (
+        timeout 300 "$@" > "$LOGS/$name.txt" 2>&1
+        got=$?
+        if [ "$got" != "$want" ]; then
+            fail "$name (exit $got, wanted $want)"
+        fi
+    ) &
 }
 
 # 1. unit/integration tests for the fault layer under sanitizers
@@ -76,6 +116,8 @@ expect_exit strict_replay 3 "$SIM" "${COMMON[@]}" --scheme emcc \
     --inject-faults "replay:count=1:period=50" --fault-strict
 run_one watchdog_run "$SIM" "${COMMON[@]}" --scheme emcc \
     --inject-faults "bus:count=5:period=100" --watchdog-us 1000
+run_one leak_strict "$SIM" "${COMMON[@]}" --scheme emcc \
+    --inject-faults "bus:count=5:period=100" --leak-strict
 
 # 4. CLI error paths report and exit 2 (never abort)
 expect_exit cli_bad_scheme 2 "$SIM" --scheme bogus
@@ -83,26 +125,33 @@ expect_exit cli_bad_spec 2 "$SIM" --inject-faults "gremlin:count=1"
 expect_exit cli_bad_int 2 "$SIM" --cores banana
 expect_exit cli_bad_config 2 "$SIM" --cores 99
 
-# 5. determinism: identical (spec, seed) => identical stats
+# 5. determinism: identical (spec, seed) => identical stats. Both runs
+# may go in parallel with each other; cmp waits for everything.
 note "--- determinism"
 rm -f "$LOGS"/det_*.csv
 for i in 1 2; do
-    timeout 600 "$SIM" "${COMMON[@]}" --scheme emcc \
-        --inject-faults "bus:count=10:period=100;replay:count=1" \
-        --fault-seed 13 --csv "$LOGS/det_$i.csv" \
-        > "$LOGS/det_run_$i.txt" 2>&1
+    throttle
+    (
+        timeout 600 "$SIM" "${COMMON[@]}" --scheme emcc \
+            --inject-faults "bus:count=10:period=100;replay:count=1" \
+            --fault-seed 13 --csv "$LOGS/det_$i.csv" \
+            > "$LOGS/det_run_$i.txt" 2>&1
+    ) &
 done
-if ! cmp -s "$LOGS/det_1.csv" "$LOGS/det_2.csv"; then
-    note "FAILED: determinism (CSVs differ)"
-    FAILED=1
-fi
 
 # 6. the resilience bench (fast scale)
 EMCC_BENCH_FAST=1 run_one bench_fault_resilience "$BUILD/bench/fault_resilience"
 
-if [ "$FAILED" = 0 ]; then
+wait
+
+if ! cmp -s "$LOGS/det_1.csv" "$LOGS/det_2.csv"; then
+    fail "determinism (CSVs differ)"
+fi
+
+if [ ! -s "$LOGS/failures.txt" ]; then
     note "FAULT_SUITE_PASSED"
+    exit 0
 else
     note "FAULT_SUITE_FAILED (see $LOGS/)"
+    exit 1
 fi
-exit "$FAILED"

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Static-analysis driver: the full lint gate a PR must pass.
+#
+#   1. emcc-lint        determinism/invariant rules + linter self-test
+#   2. -Werror build    -Wall -Wextra -Wconversion -Wshadow, all targets
+#   3. clang-tidy       the curated .clang-tidy profile (skipped with a
+#                       notice when clang-tidy isn't installed — CI
+#                       images have it, minimal dev containers may not)
+#
+# Usage: ./run_lint.sh [--skip-build] [--skip-tidy]
+set -euo pipefail
+
+cd "$(dirname "$0")"
+
+SKIP_BUILD=0
+SKIP_TIDY=0
+for arg in "$@"; do
+    case "$arg" in
+      --skip-build) SKIP_BUILD=1 ;;
+      --skip-tidy)  SKIP_TIDY=1 ;;
+      *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+FAILED=0
+
+echo "== [1/3] emcc-lint =="
+python3 tools/emcc_lint.py --self-test || FAILED=1
+python3 tools/emcc_lint.py || FAILED=1
+
+if [ "$SKIP_BUILD" -eq 0 ]; then
+    echo "== [2/3] -Werror build (-Wconversion -Wshadow) =="
+    cmake -B build-lint -S . -DEMCC_WERROR=ON \
+          -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+    cmake --build build-lint -j "$JOBS" || FAILED=1
+else
+    echo "== [2/3] -Werror build skipped (--skip-build) =="
+fi
+
+if [ "$SKIP_TIDY" -eq 0 ] && command -v clang-tidy > /dev/null 2>&1; then
+    echo "== [3/3] clang-tidy =="
+    # Needs the compile database from step 2.
+    if [ ! -f build-lint/compile_commands.json ]; then
+        cmake -B build-lint -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+            > /dev/null
+    fi
+    if command -v run-clang-tidy > /dev/null 2>&1; then
+        run-clang-tidy -p build-lint -quiet -j "$JOBS" \
+            "$(pwd)/(src|tools)/.*" || FAILED=1
+    else
+        find src tools -name '*.cc' -print0 |
+            xargs -0 -n 4 -P "$JOBS" clang-tidy -p build-lint --quiet \
+                || FAILED=1
+    fi
+else
+    echo "== [3/3] clang-tidy skipped" \
+         "($([ "$SKIP_TIDY" -eq 1 ] && echo '--skip-tidy' ||
+             echo 'not installed')) =="
+fi
+
+if [ "$FAILED" -ne 0 ]; then
+    echo "run_lint: FAILED"
+    exit 1
+fi
+echo "run_lint: all gates passed"

@@ -61,7 +61,7 @@ CacheArray::setIndex(Addr addr) const
 CacheArray::Line *
 CacheArray::findLine(Addr addr)
 {
-    const Addr blk = blockNumber(addr);
+    const BlockNum blk = blockNumber(addr);
     const unsigned set = setIndex(addr);
     Line *base = &lines_[static_cast<size_t>(set) * cfg_.assoc];
     for (unsigned w = 0; w < cfg_.assoc; ++w) {
@@ -139,7 +139,7 @@ CacheArray::victimWay(unsigned set)
 void
 CacheArray::evictLine(Line &line, std::optional<Victim> &victim_out)
 {
-    victim_out = Victim{line.tag << kBlockShift, line.cls, line.dirty};
+    victim_out = Victim{blockBase(line.tag), line.cls, line.dirty};
     ++stats_.evictions[static_cast<int>(line.cls)];
     if (line.dirty)
         ++stats_.dirty_evictions[static_cast<int>(line.cls)];

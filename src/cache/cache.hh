@@ -143,7 +143,7 @@ class CacheArray
   private:
     struct Line
     {
-        Addr tag = kAddrInvalid;       ///< block number, not raw address
+        BlockNum tag = kBlockInvalid;  ///< block number, not raw address
         bool valid = false;
         bool dirty = false;
         bool flag = false;             ///< see setFlag()

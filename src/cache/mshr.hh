@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <unordered_map>
 #include <vector>
@@ -102,8 +103,16 @@ class MshrFile
     void
     forEachOutstanding(Fn fn) const
     {
-        for (const auto &[addr, waiters] : entries_)
-            fn(addr, static_cast<unsigned>(waiters.size()));
+        // Visit in address order: the hash map's iteration order is not
+        // deterministic, and this feeds rendered diagnostics.
+        std::vector<Addr> addrs;
+        addrs.reserve(entries_.size());
+        // emcc-lint: allow(unordered-iter) — keys are sorted below
+        for (const auto &kv : entries_)
+            addrs.push_back(kv.first);
+        std::sort(addrs.begin(), addrs.end());
+        for (const Addr addr : addrs)
+            fn(addr, static_cast<unsigned>(entries_.at(addr).size()));
     }
 
   private:

@@ -5,29 +5,390 @@
  * Simulated time is kept in unsigned 64-bit picoseconds so that DDR4
  * timings (e.g. tCL = 13.75 ns), a 3.2 GHz CPU clock (312.5 ps) and
  * fractional AES service intervals are all exactly representable.
+ *
+ * Time, cycle counts, byte addresses and block numbers are *strong*
+ * wrapper types rather than bare uint64_t aliases: a Tick (picoseconds)
+ * cannot be silently added to a Cycles (clock edges), and an Addr
+ * (byte address) cannot be confused with a BlockNum (address / 64).
+ * Every cross-domain conversion is spelled out — nsToTicks(),
+ * cyclesToTicks(), blockNumber(), blockBase() — so the compiler rejects
+ * the unit-mixing bugs that silently corrupt timing results.
+ *
+ * Each wrapper is a single uint64_t with no padding; the types are as
+ * cheap as the aliases they replace. `value()` (or an explicit cast)
+ * extracts the raw representation for printing and stats export.
  */
 
 #pragma once
 
-#include <cstdint>
+#include <concepts>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <type_traits>
 
 namespace emcc {
 
-/** Physical/virtual memory address, in bytes. */
-using Addr = std::uint64_t;
+namespace detail {
 
-/** Simulated time in picoseconds. */
-using Tick = std::uint64_t;
+/**
+ * Tagged uint64 wrapper base (CRTP). Provides storage, explicit
+ * construction, `value()`, explicit conversion back to the raw
+ * representation (so `static_cast<double>(t)` and printf-cast idioms
+ * keep working), and totally-ordered comparison. Arithmetic is left to
+ * each derived type so only dimensionally meaningful operations exist.
+ */
+template <class Derived>
+class StrongU64
+{
+  public:
+    using rep = std::uint64_t;
+
+    constexpr StrongU64() = default;
+    explicit constexpr StrongU64(rep v) : v_(v) {}
+
+    /** Raw representation, for printing / stats export. */
+    constexpr rep value() const { return v_; }
+
+    /** Explicit-only escape hatch: static_cast / C-style casts to any
+     *  arithmetic type work (printing, stats export), implicit
+     *  conversions remain compile errors. */
+    template <class T>
+        requires std::is_arithmetic_v<T>
+    explicit constexpr operator T() const
+    {
+        return static_cast<T>(v_);
+    }
+
+    friend constexpr bool
+    operator==(Derived a, Derived b)
+    {
+        return a.v_ == b.v_;
+    }
+
+    friend constexpr auto
+    operator<=>(Derived a, Derived b)
+    {
+        return a.v_ <=> b.v_;
+    }
+
+    /** Comparison against raw integrals is unit-safe (no value of a
+     *  different dimension can be produced), so allow it for literal
+     *  bounds checks and test assertions. */
+    template <class I>
+        requires std::integral<I>
+    friend constexpr bool
+    operator==(Derived a, I b)
+    {
+        return a.v_ == static_cast<rep>(b);
+    }
+
+    template <class I>
+        requires std::integral<I>
+    friend constexpr auto
+    operator<=>(Derived a, I b)
+    {
+        return a.v_ <=> static_cast<rep>(b);
+    }
+
+    /** Stream as the raw value (test assertions, debug dumps). */
+    friend std::ostream &
+    operator<<(std::ostream &os, Derived d)
+    {
+        return os << d.v_;
+    }
+
+  protected:
+    rep v_ = 0;
+};
+
+} // namespace detail
+
+/**
+ * Simulated time in picoseconds. Supports duration arithmetic with
+ * itself and scaling by dimensionless integers; Tick / Tick yields a
+ * raw ratio (how many periods fit), Tick % Tick a remainder.
+ */
+class Tick : public detail::StrongU64<Tick>
+{
+  public:
+    using StrongU64::StrongU64;
+
+    friend constexpr Tick
+    operator+(Tick a, Tick b)
+    {
+        return Tick{a.v_ + b.v_};
+    }
+
+    friend constexpr Tick
+    operator-(Tick a, Tick b)
+    {
+        return Tick{a.v_ - b.v_};
+    }
+
+    constexpr Tick &
+    operator+=(Tick o)
+    {
+        v_ += o.v_;
+        return *this;
+    }
+
+    constexpr Tick &
+    operator-=(Tick o)
+    {
+        v_ -= o.v_;
+        return *this;
+    }
+
+    template <std::integral I>
+    friend constexpr Tick
+    operator*(Tick a, I k)
+    {
+        return Tick{a.v_ * static_cast<rep>(k)};
+    }
+
+    template <std::integral I>
+    friend constexpr Tick
+    operator*(I k, Tick a)
+    {
+        return Tick{static_cast<rep>(k) * a.v_};
+    }
+
+    template <std::integral I>
+    friend constexpr Tick
+    operator/(Tick a, I k)
+    {
+        return Tick{a.v_ / static_cast<rep>(k)};
+    }
+
+    /** How many whole @p b periods fit in @p a (dimensionless). */
+    friend constexpr rep
+    operator/(Tick a, Tick b)
+    {
+        return a.v_ / b.v_;
+    }
+
+    friend constexpr Tick
+    operator%(Tick a, Tick b)
+    {
+        return Tick{a.v_ % b.v_};
+    }
+};
+
+/**
+ * A count of clock cycles (of whatever clock the context defines).
+ * Distinct from Tick so cycle counts and picosecond timestamps cannot
+ * be mixed without an explicit cyclesToTicks()/ticksToCycles().
+ */
+class Cycles : public detail::StrongU64<Cycles>
+{
+  public:
+    using StrongU64::StrongU64;
+
+    friend constexpr Cycles
+    operator+(Cycles a, Cycles b)
+    {
+        return Cycles{a.v_ + b.v_};
+    }
+
+    friend constexpr Cycles
+    operator-(Cycles a, Cycles b)
+    {
+        return Cycles{a.v_ - b.v_};
+    }
+
+    constexpr Cycles &
+    operator+=(Cycles o)
+    {
+        v_ += o.v_;
+        return *this;
+    }
+
+    constexpr Cycles &
+    operator-=(Cycles o)
+    {
+        v_ -= o.v_;
+        return *this;
+    }
+
+    template <std::integral I>
+    friend constexpr Cycles
+    operator*(Cycles a, I k)
+    {
+        return Cycles{a.v_ * static_cast<rep>(k)};
+    }
+
+    template <std::integral I>
+    friend constexpr Cycles
+    operator*(I k, Cycles a)
+    {
+        return Cycles{static_cast<rep>(k) * a.v_};
+    }
+
+    template <std::integral I>
+    friend constexpr Cycles
+    operator/(Cycles a, I k)
+    {
+        return Cycles{a.v_ / static_cast<rep>(k)};
+    }
+
+    friend constexpr rep
+    operator/(Cycles a, Cycles b)
+    {
+        return a.v_ / b.v_;
+    }
+};
+
+/**
+ * Physical/virtual memory address, in bytes. Supports byte-offset
+ * arithmetic with raw integers, address differences (yielding a raw
+ * byte distance), masking, and bit extraction via >> (which yields a
+ * raw field — an index or tag — not an address).
+ */
+class Addr : public detail::StrongU64<Addr>
+{
+  public:
+    using StrongU64::StrongU64;
+
+    template <std::integral I>
+    friend constexpr Addr
+    operator+(Addr a, I off)
+    {
+        return Addr{a.v_ + static_cast<rep>(off)};
+    }
+
+    template <std::integral I>
+    friend constexpr Addr
+    operator-(Addr a, I off)
+    {
+        return Addr{a.v_ - static_cast<rep>(off)};
+    }
+
+    /** Byte distance between two addresses. */
+    friend constexpr rep
+    operator-(Addr a, Addr b)
+    {
+        return a.v_ - b.v_;
+    }
+
+    template <std::integral I>
+    constexpr Addr &
+    operator+=(I off)
+    {
+        v_ += static_cast<rep>(off);
+        return *this;
+    }
+
+    template <std::integral I>
+    constexpr Addr &
+    operator-=(I off)
+    {
+        v_ -= static_cast<rep>(off);
+        return *this;
+    }
+
+    /** Mask address bits (e.g. alignment): stays an address. */
+    template <std::integral I>
+    friend constexpr Addr
+    operator&(Addr a, I mask)
+    {
+        return Addr{a.v_ & static_cast<rep>(mask)};
+    }
+
+    template <std::integral I>
+    friend constexpr Addr
+    operator|(Addr a, I bits)
+    {
+        return Addr{a.v_ | static_cast<rep>(bits)};
+    }
+
+    /** Extract high bits: the result is a raw field (bank index, row,
+     *  tag, ...), not an address. */
+    template <std::integral I>
+    friend constexpr rep
+    operator>>(Addr a, I shift)
+    {
+        return a.v_ >> shift;
+    }
+
+    /** Modulo for interleaving across non-power-of-two resources. */
+    template <std::integral I>
+    friend constexpr rep
+    operator%(Addr a, I n)
+    {
+        return a.v_ % static_cast<rep>(n);
+    }
+
+    /** Dividing an address by a granule size yields a raw index. */
+    template <std::integral I>
+    friend constexpr rep
+    operator/(Addr a, I n)
+    {
+        return a.v_ / static_cast<rep>(n);
+    }
+};
+
+/**
+ * Cache-block number: an address with the block-offset bits shifted
+ * away. Distinct from Addr so a block number is never handed to a
+ * byte-addressed interface (or vice versa) without blockBase()/
+ * blockNumber().
+ */
+class BlockNum : public detail::StrongU64<BlockNum>
+{
+  public:
+    using StrongU64::StrongU64;
+
+    template <std::integral I>
+    friend constexpr BlockNum
+    operator+(BlockNum a, I off)
+    {
+        return BlockNum{a.v_ + static_cast<rep>(off)};
+    }
+
+    /** Distance in blocks. */
+    friend constexpr rep
+    operator-(BlockNum a, BlockNum b)
+    {
+        return a.v_ - b.v_;
+    }
+
+    /** Set-index extraction: a raw index, not a block number. */
+    template <std::integral I>
+    friend constexpr rep
+    operator&(BlockNum a, I mask)
+    {
+        return a.v_ & static_cast<rep>(mask);
+    }
+
+    template <std::integral I>
+    friend constexpr rep
+    operator%(BlockNum a, I n)
+    {
+        return a.v_ % static_cast<rep>(n);
+    }
+
+    /** Tag extraction (high bits beyond the set index). */
+    template <std::integral I>
+    friend constexpr rep
+    operator>>(BlockNum a, I shift)
+    {
+        return a.v_ >> shift;
+    }
+};
 
 /** A count of things (events, accesses, instructions, ...). */
 using Count = std::uint64_t;
 
 /** Sentinel for "no tick" / "not scheduled". */
-inline constexpr Tick kTickInvalid = ~Tick{0};
+inline constexpr Tick kTickInvalid{~std::uint64_t{0}};
 
 /** Sentinel for "no address". */
-inline constexpr Addr kAddrInvalid = ~Addr{0};
+inline constexpr Addr kAddrInvalid{~std::uint64_t{0}};
+
+/** Sentinel for "no block". */
+inline constexpr BlockNum kBlockInvalid{~std::uint64_t{0}};
 
 /** Cache-block (and DRAM burst) size in bytes; fixed at 64 like the paper. */
 inline constexpr unsigned kBlockBytes = 64;
@@ -39,28 +400,49 @@ inline constexpr unsigned kBlockShift = 6;
 constexpr Tick
 nsToTicks(double ns)
 {
-    return static_cast<Tick>(ns * 1000.0 + 0.5);
+    return Tick{static_cast<std::uint64_t>(ns * 1000.0 + 0.5)};
 }
 
 /** Convert ticks (picoseconds) to (fractional) nanoseconds. */
 constexpr double
 ticksToNs(Tick t)
 {
-    return static_cast<double>(t) / 1000.0;
+    return static_cast<double>(t.value()) / 1000.0;
+}
+
+/** Duration of @p n cycles of a clock with period @p period. */
+constexpr Tick
+cyclesToTicks(Cycles n, Tick period)
+{
+    return Tick{n.value() * period.value()};
+}
+
+/** Whole cycles of a clock with period @p period elapsed in @p t. */
+constexpr Cycles
+ticksToCycles(Tick t, Tick period)
+{
+    return Cycles{t.value() / period.value()};
 }
 
 /** Round an address down to its containing block's base address. */
 constexpr Addr
 blockAlign(Addr a)
 {
-    return a & ~Addr{kBlockBytes - 1};
+    return Addr{a.value() & ~std::uint64_t{kBlockBytes - 1}};
 }
 
 /** Block number (address divided by the block size). */
-constexpr Addr
+constexpr BlockNum
 blockNumber(Addr a)
 {
-    return a >> kBlockShift;
+    return BlockNum{a.value() >> kBlockShift};
+}
+
+/** Base byte address of a block. */
+constexpr Addr
+blockBase(BlockNum b)
+{
+    return Addr{b.value() << kBlockShift};
 }
 
 /** Integer log2 for power-of-two inputs. */
@@ -85,3 +467,46 @@ constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
 constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
 
 } // namespace emcc
+
+// Hash support so the strong types drop into unordered containers
+// (keyed lookups only; *iteration* order of unordered containers must
+// never reach stats or the event queue — emcc-lint enforces that).
+template <>
+struct std::hash<emcc::Tick>
+{
+    std::size_t
+    operator()(emcc::Tick t) const noexcept
+    {
+        return std::hash<std::uint64_t>{}(t.value());
+    }
+};
+
+template <>
+struct std::hash<emcc::Cycles>
+{
+    std::size_t
+    operator()(emcc::Cycles c) const noexcept
+    {
+        return std::hash<std::uint64_t>{}(c.value());
+    }
+};
+
+template <>
+struct std::hash<emcc::Addr>
+{
+    std::size_t
+    operator()(emcc::Addr a) const noexcept
+    {
+        return std::hash<std::uint64_t>{}(a.value());
+    }
+};
+
+template <>
+struct std::hash<emcc::BlockNum>
+{
+    std::size_t
+    operator()(emcc::BlockNum b) const noexcept
+    {
+        return std::hash<std::uint64_t>{}(b.value());
+    }
+};

@@ -108,7 +108,7 @@ CoreModel::engine()
     if (done_)
         return;
     const Tick now = curTick();
-    const Tick tpi = std::max<Tick>(1, cfg_.cyclePs() / cfg_.width);
+    const Tick tpi = std::max(Tick{1}, cfg_.cyclePs() / cfg_.width);
     Tick next_wake = kTickInvalid;
 
     // ---- commit from the head, in order, width-limited
@@ -117,7 +117,7 @@ CoreModel::engine()
         if (head.complete == kTickInvalid)
             break;   // waiting for a load; its callback wakes us
         const Tick commit_time = std::max(commit_free_, head.complete) +
-                                 static_cast<Tick>(head.ninstr) * tpi;
+                                 head.ninstr * tpi;
         if (commit_time > now) {
             next_wake = std::min(next_wake, commit_time);
             break;
@@ -153,8 +153,7 @@ CoreModel::engine()
             next_wake = std::min(next_wake, dispatch_time);
             break;
         }
-        dispatch_free_ = dispatch_time +
-                         static_cast<Tick>(ninstr) * tpi;
+        dispatch_free_ = dispatch_time + ninstr * tpi;
         dispatchOne(ref, dispatch_time);
         trace_pos_ = (trace_pos_ + 1) % trace_->size();
     }

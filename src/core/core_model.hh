@@ -46,7 +46,7 @@ struct CoreConfig
     Tick
     cyclePs() const
     {
-        return static_cast<Tick>(1000.0 / freq_ghz + 0.5);
+        return Tick{static_cast<std::uint64_t>(1000.0 / freq_ghz + 0.5)};
     }
 };
 
@@ -77,19 +77,20 @@ struct CoreStats
     Count committed_instructions = 0;
     Count loads = 0;
     Count stores = 0;
-    Tick start_tick = 0;
-    Tick finish_tick = 0;
+    Tick start_tick{};
+    Tick finish_tick{};
     double load_latency_sum_ns = 0.0;
 
     double
     ipc(Tick cycle_ps) const
     {
         const Tick dur = finish_tick > start_tick
-                             ? finish_tick - start_tick : 0;
-        if (dur == 0)
+                             ? finish_tick - start_tick : Tick{};
+        if (dur == Tick{})
             return 0.0;
-        return static_cast<double>(committed_instructions) /
-               (static_cast<double>(dur) / cycle_ps);
+        const auto cycles = static_cast<double>(dur.value()) /
+                            static_cast<double>(cycle_ps.value());
+        return static_cast<double>(committed_instructions) / cycles;
     }
 };
 
@@ -137,8 +138,8 @@ class CoreModel : public Component
     std::uint64_t rob_occupancy_ = 0;   ///< instructions in the ROB
     unsigned outstanding_loads_ = 0;
     unsigned outstanding_stores_ = 0;
-    Tick dispatch_free_ = 0;
-    Tick commit_free_ = 0;
+    Tick dispatch_free_{};
+    Tick commit_free_{};
     std::size_t trace_pos_ = 0;
     /// sequence numbers matching load callbacks to ROB groups
     std::uint64_t dispatch_seq_ = 0;

@@ -39,7 +39,7 @@ class AesPool
   public:
     explicit AesPool(AesPoolConfig cfg = {})
         : cfg_(cfg),
-          interval_(static_cast<Tick>(1e12 / cfg.ops_per_second + 0.5))
+          interval_{static_cast<std::uint64_t>(1e12 / cfg.ops_per_second + 0.5)}
     {}
 
     const AesPoolConfig &config() const { return cfg_; }
@@ -54,7 +54,7 @@ class AesPool
     Tick
     queueDelay(Tick now) const
     {
-        return next_free_ > now ? next_free_ - now : 0;
+        return next_free_ > now ? next_free_ - now : Tick{};
     }
 
     /**
@@ -65,7 +65,7 @@ class AesPool
     submit(Tick now, unsigned n_ops = 1)
     {
         const Tick start = std::max(now, next_free_);
-        next_free_ = start + static_cast<Tick>(n_ops) * interval_;
+        next_free_ = start + n_ops * interval_;
         ops_ += n_ops;
         total_queue_delay_ += (start - now);
         max_queue_delay_ = std::max(max_queue_delay_, start - now);
@@ -89,17 +89,17 @@ class AesPool
     reset()
     {
         ops_ = 0;
-        total_queue_delay_ = 0;
-        max_queue_delay_ = 0;
+        total_queue_delay_ = Tick{};
+        max_queue_delay_ = Tick{};
     }
 
   private:
     AesPoolConfig cfg_;
     Tick interval_;
-    Tick next_free_ = 0;
+    Tick next_free_{};
     Count ops_ = 0;
-    Tick total_queue_delay_ = 0;
-    Tick max_queue_delay_ = 0;
+    Tick total_queue_delay_{};
+    Tick max_queue_delay_{};
 };
 
 } // namespace emcc

@@ -40,7 +40,7 @@ DramStats::writesAll() const
 DramCoord
 DramAddressMapper::map(Addr addr) const
 {
-    const std::uint64_t blk = blockNumber(addr);
+    const std::uint64_t blk = blockNumber(addr).value();
     DramCoord c{};
 
     if (cfg_.channels > 1) {
@@ -85,7 +85,7 @@ void
 DramChannel::applyRefresh(BankState &bk, const DramCoord &coord,
                           Tick &cmd_start)
 {
-    if (cfg_.t_refi == 0)
+    if (cfg_.t_refi == Tick{})
         return;
     // Rank `r`'s n-th refresh window starts at n*tREFI + phase(r),
     // n = 1, 2, ... (staggered phases spread ranks across the period).
@@ -143,7 +143,7 @@ DramChannel::scheduleServiceCheck()
     service_scheduled_ = true;
     // Priority 1: run after same-tick enqueues so scheduling sees a
     // complete queue picture.
-    sim().scheduleIn(0, [this] {
+    sim().scheduleIn(Tick{}, [this] {
         service_scheduled_ = false;
         serviceLoop();
     }, /*priority=*/1);

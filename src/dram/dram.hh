@@ -43,7 +43,7 @@ const char *memClassName(MemClass c);
 /** One memory request as the DRAM controller sees it. */
 struct DramRequest
 {
-    Addr addr = 0;
+    Addr addr{};
     bool is_write = false;
     MemClass mclass = MemClass::Data;
     /** Called at data-available time (reads) / write completion. */
@@ -133,7 +133,7 @@ struct DramStats
     Count row_hits = 0;
     Count row_misses = 0;      ///< closed row
     Count row_conflicts = 0;   ///< wrong row open
-    Tick bus_busy = 0;         ///< total data-bus occupancy
+    Tick bus_busy{};         ///< total data-bus occupancy
     Count refreshes = 0;
     Count retries = 0;         ///< enqueue rejections (queue full)
 
@@ -174,8 +174,8 @@ class DramChannel : public Component
     {
         bool row_open = false;
         std::uint64_t open_row = 0;
-        Tick ready_at = 0;          ///< earliest next command
-        Tick last_use = 0;
+        Tick ready_at{};          ///< earliest next command
+        Tick last_use{};
         unsigned consecutive_hits = 0;
     };
 
@@ -202,7 +202,7 @@ class DramChannel : public Component
     std::deque<Pending> read_q_;
     std::deque<Pending> write_q_;
     bool draining_writes_ = false;
-    Tick bus_free_at_ = 0;
+    Tick bus_free_at_{};
     std::vector<BankState> banks_;
     /// per-rank count of refresh windows already accounted in stats
     std::vector<Count> rank_refresh_seen_;

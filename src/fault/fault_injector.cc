@@ -213,7 +213,7 @@ FaultInjector::timingPerturb(std::initializer_list<FaultKind> kinds,
                              Tick now, bool &dropped)
 {
     (void)now;
-    Tick extra = 0;
+    Tick extra{};
     dropped = false;
     for (auto &c : campaigns_) {
         bool match = false;
@@ -250,11 +250,11 @@ Tick
 FaultInjector::responseDelayTicks(Tick now)
 {
     if (campaigns_.empty())
-        return 0;
+        return Tick{};
     bool dropped = false;
     const Tick extra = timingPerturb({FaultKind::NocDelay,
                                       FaultKind::NocDrop}, now, dropped);
-    if (extra > 0) {
+    if (extra > Tick{}) {
         if (dropped)
             ++report_.noc_drops;
         else
@@ -268,10 +268,10 @@ Tick
 FaultInjector::aesStallTicks(Tick now)
 {
     if (campaigns_.empty())
-        return 0;
+        return Tick{};
     bool dropped = false;
     const Tick extra = timingPerturb({FaultKind::AesStall}, now, dropped);
-    if (extra > 0) {
+    if (extra > Tick{}) {
         ++report_.aes_stalls;
         report_.extra_aes_ns += ticksToNs(extra);
     }

@@ -45,8 +45,8 @@ namespace emcc {
 struct FaultEvent
 {
     FaultKind kind = FaultKind::BusFlip;
-    Addr addr = 0;                    ///< tainted block address
-    Tick injected_at = 0;
+    Addr addr{};                    ///< tainted block address
+    Tick injected_at{};
     Tick detected_at = kTickInvalid;  ///< first failing MAC verify
     unsigned retries = 0;             ///< recovery attempts consumed
     enum class Outcome : std::uint8_t

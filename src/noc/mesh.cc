@@ -70,7 +70,7 @@ MeshTopology::sliceForAddr(Addr addr) const
 {
     // XOR-fold the block number, then mod by slice count. The fold keeps
     // the map well distributed even for strided streams.
-    std::uint64_t x = blockNumber(addr);
+    std::uint64_t x = blockNumber(addr).value();
     x ^= x >> 33;
     x *= 0xff51afd7ed558ccdull;
     x ^= x >> 33;
@@ -82,7 +82,7 @@ MeshTopology::mcForAddr(Addr addr) const
 {
     if (numMcs() <= 1)
         return 0;
-    std::uint64_t x = blockNumber(addr);
+    std::uint64_t x = blockNumber(addr).value();
     x ^= x >> 17;
     return static_cast<int>(x % static_cast<std::uint64_t>(numMcs()));
 }

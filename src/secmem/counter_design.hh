@@ -124,7 +124,7 @@ class MonolithicCounters : public CounterDesign
     }
 
     unsigned blocksPerCounterBlock() const override { return 8; }
-    Tick decodeLatency() const override { return 0; }
+    Tick decodeLatency() const override { return Tick{}; }
 
     CounterWriteResult bumpCounter(Addr data_addr) override;
     std::uint64_t counterValue(Addr data_addr) const override;
@@ -143,7 +143,7 @@ class Sc64Counters : public CounterDesign
     }
 
     unsigned blocksPerCounterBlock() const override { return 64; }
-    Tick decodeLatency() const override { return 0; }
+    Tick decodeLatency() const override { return Tick{}; }
 
     CounterWriteResult bumpCounter(Addr data_addr) override;
     std::uint64_t counterValue(Addr data_addr) const override;

@@ -39,7 +39,7 @@ class MetadataMap
         fatal_if(data_bytes_ == 0, "empty protected region");
         // Number of counter blocks (level 0).
         std::uint64_t n = (data_bytes_ + coverage_ - 1) / coverage_;
-        level_base_.push_back(data_bytes_);
+        level_base_.push_back(Addr{data_bytes_});
         level_count_.push_back(n);
         // Build levels until a single (on-chip) root would cover all.
         while (n > 1) {
@@ -53,7 +53,7 @@ class MetadataMap
     }
 
     /** Is this physical address in the data region? */
-    bool isData(Addr a) const { return a < data_bytes_; }
+    bool isData(Addr a) const { return a < Addr{data_bytes_}; }
 
     /** Number of tree levels stored in DRAM (level 0 = counter blocks). */
     unsigned

@@ -63,7 +63,7 @@ SecureMemory::reencryptRegion(Addr data_addr)
     // its new counter value (decrypting with the value recorded at its
     // last encryption).
     const std::uint64_t coverage = design_->coverageBytes();
-    const Addr region_base = (data_addr / coverage) * coverage;
+    const Addr region_base{(data_addr / coverage) * coverage};
     for (Addr a = region_base; a < region_base + coverage; a += kBlockBytes) {
         auto it = store_.find(a);
         if (it == store_.end())

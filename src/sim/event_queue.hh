@@ -132,7 +132,7 @@ class EventQueue
     /// ids scheduled but not yet executed or cancelled
     std::unordered_set<EventId> live_;
     EventId next_id_ = kEventInvalid;
-    Tick now_ = 0;
+    Tick now_{};
 };
 
 } // namespace emcc

@@ -18,7 +18,7 @@ Watchdog::Watchdog(Simulator &sim, std::string name, Tick window,
       window_(window),
       progress_(std::move(progress))
 {
-    panic_if(window_ == 0, "watchdog with a zero window");
+    panic_if(window_ == Tick{}, "watchdog with a zero window");
     panic_if(!progress_, "watchdog without a progress source");
 }
 

@@ -59,9 +59,9 @@ Characterizer::translate(unsigned core, Addr vaddr, bool shared)
 {
     // Multi-programmed instances get disjoint virtual namespaces so one
     // shared mapper hands out disjoint physical frames.
-    const Addr space_span = 1ull << 40;
+    const std::uint64_t space_span = 1ull << 40;
     const Addr v = shared ? vaddr : vaddr + space_span * core;
-    return mapper_.translate(v) % meta_.dataBytes();
+    return Addr{mapper_.translate(v) % meta_.dataBytes()};
 }
 
 void

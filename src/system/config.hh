@@ -120,7 +120,7 @@ struct SystemConfig
     bool fault_strict = false;
     /** Forward-progress watchdog window in ticks (0 = disabled): fires
      *  when no core commits an instruction for a whole window. */
-    Tick watchdog_window = 0;
+    Tick watchdog_window{};
     /** Drain the event queue after a run and warn about leaks
      *  (undrained events, stuck MSHRs, populated DRAM queues). */
     bool leak_check = true;

@@ -43,13 +43,14 @@ class PageMapper
     Addr
     translate(Addr vaddr)
     {
-        const Addr vpage = vaddr / page_bytes_;
+        const std::uint64_t vpage = vaddr / page_bytes_;
         auto it = table_.find(vpage);
         if (it == table_.end()) {
             const std::uint64_t frame = allocFrame();
             it = table_.emplace(vpage, frame).first;
         }
-        return it->second * page_bytes_ + (vaddr & (page_bytes_ - 1));
+        return Addr{it->second * page_bytes_ +
+                    (vaddr.value() & (page_bytes_ - 1))};
     }
 
     std::size_t mappedPages() const { return table_.size(); }
@@ -73,7 +74,7 @@ class PageMapper
     std::uint64_t page_bytes_;
     std::uint64_t num_frames_;
     Rng rng_;
-    std::unordered_map<Addr, std::uint64_t> table_;
+    std::unordered_map<std::uint64_t, std::uint64_t> table_;
     std::unordered_set<std::uint64_t> used_;
 };
 

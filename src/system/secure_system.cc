@@ -85,7 +85,7 @@ SecureSystem::SecureSystem(Simulator &sim, const SystemConfig &cfg,
         fault_ = std::make_unique<FaultInjector>(cfg_.faults,
                                                  cfg_.fault_seed);
     }
-    if (cfg_.watchdog_window > 0) {
+    if (cfg_.watchdog_window > Tick{}) {
         watchdog_ = std::make_unique<Watchdog>(
             sim, "watchdog", cfg_.watchdog_window, [this] {
                 Count committed = 0;
@@ -142,10 +142,10 @@ SecureSystem::sampleIntensity(unsigned core)
 Addr
 SecureSystem::translate(unsigned core, Addr vaddr)
 {
-    const Addr space_span = 1ull << 40;
+    const std::uint64_t space_span = 1ull << 40;
     const Addr v = workload_->shared_address_space
                        ? vaddr : vaddr + space_span * core;
-    return mapper_.translate(v) % meta_.dataBytes();
+    return Addr{mapper_.translate(v) % meta_.dataBytes()};
 }
 
 std::int64_t
@@ -437,7 +437,7 @@ SecureSystem::llcDataAccess(unsigned core, Addr pa, Tick t_miss,
         }
     }
 
-    const Tick tag = cfg_.xpt ? 0 : cfg_.llc_tag;
+    const Tick tag = cfg_.xpt ? Tick{} : cfg_.llc_tag;
     const Tick t_mc = t_miss + cfg_.req_l2_to_llc + tag + cfg_.noc_llc_mc;
     mcDataRead(core, pa, t_mc, ctr_final, t_miss, std::move(fill_cb));
 }
@@ -598,7 +598,7 @@ SecureSystem::mcFetchCounter(Addr pa, Tick t, bool count_buckets,
     struct Walk
     {
         unsigned outstanding = 0;
-        Tick max_arrival = 0;
+        Tick max_arrival{};
         unsigned fetched_levels = 0;
     };
     auto walk = std::make_shared<Walk>();
@@ -673,7 +673,7 @@ SecureSystem::mcHandleWriteback(Addr pa, Tick t)
         if (wr.overflow) {
             ++stats_.overflows;
             const std::uint64_t coverage = design_->coverageBytes();
-            scheduleOverflowJob((pa / coverage) * coverage,
+            scheduleOverflowJob(Addr{(pa / coverage) * coverage},
                                 wr.reencrypt_blocks, ctr_tick);
         }
         // The updated counter lives dirty in the MC cache; stale copies
@@ -766,7 +766,7 @@ SecureSystem::dramRequest(Addr addr, MemClass cls, bool is_write, Tick t,
 Tick
 SecureSystem::aesStall()
 {
-    return fault_ ? fault_->aesStallTicks(curTick()) : 0;
+    return fault_ ? fault_->aesStallTicks(curTick()) : Tick{};
 }
 
 void

@@ -271,7 +271,7 @@ class SecureSystem : public Component, public MemorySystemPort
 
     struct OverflowJob
     {
-        Addr base = 0;
+        Addr base{};
         Count issued = 0;
         Count completed = 0;
         Count total = 0;
@@ -281,7 +281,7 @@ class SecureSystem : public Component, public MemorySystemPort
 
     SystemStats stats_;
     RunResults results_;
-    Tick measure_start_ = 0;
+    Tick measure_start_{};
     unsigned cores_running_ = 0;
 };
 

@@ -54,7 +54,7 @@ CsrGraph::CsrGraph(std::uint64_t num_vertices, unsigned avg_degree, Rng &rng)
     for (const auto &e : edge_list)
         edges_[cursor[e.first]++] = e.second;
 
-    edges_base_ = (n_ + 1) * 8;
+    edges_base_ = Addr{(n_ + 1) * 8};
     // Align property arrays to a block boundary.
     props_base_ = blockAlign(edges_base_ + edges_.size() * 4 +
                              kBlockBytes - 1);

@@ -53,7 +53,7 @@ class CsrGraph
     Addr
     offsetsAddr(std::uint64_t v) const
     {
-        return v * 8;
+        return Addr{v * 8};
     }
 
     Addr
@@ -66,14 +66,14 @@ class CsrGraph
     Addr
     propAddr(unsigned idx, std::uint64_t v) const
     {
-        return props_base_ + (static_cast<Addr>(idx) * n_ + v) * 8;
+        return props_base_ + (std::uint64_t{idx} * n_ + v) * 8;
     }
 
     /** Total footprint assuming @p num_props property arrays. */
     Addr
     footprint(unsigned num_props) const
     {
-        return props_base_ + static_cast<Addr>(num_props) * n_ * 8;
+        return props_base_ + std::uint64_t{num_props} * n_ * 8;
     }
 
   private:

@@ -20,7 +20,7 @@ namespace emcc {
 /** One memory reference plus the non-memory work preceding it. */
 struct MemRef
 {
-    Addr vaddr = 0;
+    Addr vaddr{};
     /** Non-memory instructions dispatched before this reference. */
     std::uint32_t gap = 0;
     bool is_write = false;

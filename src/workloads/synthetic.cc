@@ -15,14 +15,14 @@ canneal(std::uint64_t footprint_bytes, Rng &rng, TraceRecorder &r)
     while (!r.full()) {
         const std::uint64_t a = rng.below(elems);
         const std::uint64_t b = rng.below(elems);
-        r.load(a * 16, 18, 16);
-        r.load(b * 16, 6, 16);
+        r.load(Addr{a * 16}, 18, 16);
+        r.load(Addr{b * 16}, 6, 16);
         // Each element references a few neighbour elements (fanout).
         for (int k = 0; k < 2; ++k)
-            r.load(rng.below(elems) * 16, 4, 16);
+            r.load(Addr{rng.below(elems) * 16}, 4, 16);
         if (rng.chance(0.5)) {
-            r.store(a * 16, 8, 16);
-            r.store(b * 16, 2, 16);
+            r.store(Addr{a * 16}, 8, 16);
+            r.store(Addr{b * 16}, 2, 16);
         }
     }
 }
@@ -41,15 +41,15 @@ omnetpp(std::uint64_t footprint_bytes, Rng &rng, TraceRecorder &r)
         // Sift-down from the root; child choice is data dependent.
         std::uint64_t idx = 1;
         for (unsigned level = 0; level < depth && !r.full(); ++level) {
-            r.load(idx * 32, 3, 32);
+            r.load(Addr{idx * 32}, 3, 32);
             idx = idx * 2 + (rng.next() & 1);
             if (idx >= heap_slots)
                 break;
         }
-        r.store(idx * 32 % heap_bytes, 2, 32);
+        r.store(Addr{idx * 32 % heap_bytes}, 2, 32);
         // Event handler: scattered module state.
         for (int k = 0; k < 3 && !r.full(); ++k) {
-            const Addr m = heap_bytes + rng.below(module_bytes / 64) * 64;
+            const Addr m{heap_bytes + rng.below(module_bytes / 64) * 64};
             r.load(m, 12, 32);
             if (rng.chance(0.3))
                 r.store(m + 32, 3, 16);
@@ -65,7 +65,7 @@ mcf(std::uint64_t footprint_bytes, Rng &rng, TraceRecorder &r)
     // chase follows a shuffled single-cycle ring so it provably covers
     // the whole node array (a hash walk can collapse into tiny cycles).
     const std::uint64_t nodes = footprint_bytes / 2 / 64;  // 64 B nodes
-    const Addr arcs_base = nodes * 64;
+    const Addr arcs_base{nodes * 64};
     const std::uint64_t arcs = footprint_bytes / 2 / 32;   // 32 B arcs
 
     std::vector<std::uint64_t> order(nodes);
@@ -77,7 +77,7 @@ mcf(std::uint64_t footprint_bytes, Rng &rng, TraceRecorder &r)
     std::uint64_t pos = rng.below(nodes);
     while (!r.full()) {
         const std::uint64_t cur = order[pos];
-        r.load(cur * 64, 4, 64);                  // node record
+        r.load(Addr{cur * 64}, 4, 64);                  // node record
         const std::uint64_t arc = (cur * 2654435761u + 12345) % arcs;
         r.load(arcs_base + arc * 32, 3, 32);      // arc record
         if (rng.chance(0.15))
@@ -95,8 +95,8 @@ pattern(const PatternMix &mix, Rng &rng, TraceRecorder &r)
     const std::uint64_t blocks = mix.footprint_bytes / kBlockBytes;
     fatal_if(blocks == 0, "pattern footprint below one block");
 
-    Addr seq_cursor = 0;
-    Addr stride_cursor = 0;
+    std::uint64_t seq_cursor = 0;
+    std::uint64_t stride_cursor = 0;
     std::uint64_t chase_cursor = rng.below(blocks);
 
     while (!r.full()) {
@@ -104,7 +104,7 @@ pattern(const PatternMix &mix, Rng &rng, TraceRecorder &r)
         const bool is_write = rng.chance(mix.write_fraction);
         const auto gap = static_cast<std::uint32_t>(
             mix.gap ? rng.range(mix.gap / 2 + 1, mix.gap * 3 / 2 + 1) : 0);
-        Addr addr;
+        std::uint64_t addr = 0;
         if (pick < mix.stream) {
             addr = seq_cursor;
             seq_cursor = (seq_cursor + kBlockBytes) % mix.footprint_bytes;
@@ -121,7 +121,7 @@ pattern(const PatternMix &mix, Rng &rng, TraceRecorder &r)
         } else if ((pick -= mix.random) < mix.stencil) {
             // Stencil around the streaming cursor: +/- one plane and
             // +/- one row of the conceptual 3D grid.
-            const Addr center = seq_cursor;
+            const std::uint64_t center = seq_cursor;
             static const std::int64_t kOff[5] = {0, -1, 1, 0, 0};
             const int which = static_cast<int>(rng.below(5));
             std::int64_t delta = 0;
@@ -137,16 +137,16 @@ pattern(const PatternMix &mix, Rng &rng, TraceRecorder &r)
                              fp;
             if (a < 0)
                 a += fp;
-            addr = static_cast<Addr>(a);
+            addr = static_cast<std::uint64_t>(a);
             seq_cursor = (seq_cursor + kBlockBytes) % mix.footprint_bytes;
         } else {
             addr = chase_cursor * kBlockBytes;
             chase_cursor = (chase_cursor * 2654435761u + 1) % blocks;
         }
         if (is_write)
-            r.store(addr, gap, 8);
+            r.store(Addr{addr}, gap, 8);
         else
-            r.load(addr, gap, 8);
+            r.load(Addr{addr}, gap, 8);
     }
 }
 

@@ -93,8 +93,8 @@ buildSynthetic(const std::string &name, const WorkloadParams &p)
     set.shared_address_space = false;
 
     auto scaled = [&](std::uint64_t bytes) {
-        const auto s = static_cast<std::uint64_t>(bytes *
-                                                  p.footprint_scale);
+        const auto s = static_cast<std::uint64_t>(
+            static_cast<double>(bytes) * p.footprint_scale);
         return std::max<std::uint64_t>(s, 64 * kBlockBytes);
     };
 
@@ -103,20 +103,20 @@ buildSynthetic(const std::string &name, const WorkloadParams &p)
         TraceRecorder rec(p.trace_len);
         if (name == "canneal") {
             synth::canneal(scaled(96_MiB), rng, rec);
-            set.footprint = scaled(96_MiB);
+            set.footprint = Addr{scaled(96_MiB)};
         } else if (name == "omnetpp") {
             synth::omnetpp(scaled(64_MiB), rng, rec);
-            set.footprint = scaled(64_MiB);
+            set.footprint = Addr{scaled(64_MiB)};
         } else if (name == "mcf") {
             synth::mcf(scaled(128_MiB), rng, rec);
-            set.footprint = scaled(128_MiB);
+            set.footprint = Addr{scaled(128_MiB)};
         } else {
             auto mix = synth::regularMix(name);
             mix.footprint_bytes = scaled(mix.footprint_bytes);
-            mix.hot_bytes = static_cast<std::uint64_t>(mix.hot_bytes *
-                                                       p.footprint_scale);
+            mix.hot_bytes = static_cast<std::uint64_t>(
+                static_cast<double>(mix.hot_bytes) * p.footprint_scale);
             synth::pattern(mix, rng, rec);
-            set.footprint = mix.footprint_bytes;
+            set.footprint = Addr{mix.footprint_bytes};
         }
         set.per_core.push_back(rec.take());
     }

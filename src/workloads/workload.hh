@@ -38,7 +38,7 @@ struct WorkloadSet
     std::string name;
     std::vector<std::vector<MemRef>> per_core;
     /** Virtual footprint of one address space. */
-    Addr footprint = 0;
+    Addr footprint{};
     /** True if all cores share one address space (multi-threaded). */
     bool shared_address_space = false;
 

@@ -1,0 +1,75 @@
+#!/bin/bash
+# CLI contract tests for the emcc_sim binary, run from ctest.
+#
+#   cli_smoke.sh <path-to-emcc_sim> <case>
+#
+# Cases:
+#   bad_flag           unknown argument reports and exits 2
+#   bad_int            garbage integer value reports and exits 2
+#   bad_config         out-of-range knob fails validation with exit 2
+#   strict_integrity   --fault-strict turns a terminal MAC failure
+#                      into exit 3
+#   leak_strict_clean  --leak-strict exits 0 on a clean run
+#   determinism        identical (workload, seed) runs emit
+#                      byte-identical CSV stats
+set -u
+
+SIM="${1:?usage: cli_smoke.sh <emcc_sim> <case>}"
+CASE="${2:?usage: cli_smoke.sh <emcc_sim> <case>}"
+
+# Small but non-trivial run: big enough that faults land inside the
+# measured window, small enough for a quick ctest entry.
+SMALL=(--workload BFS --warmup 5000 --measure 20000 --trace 40000)
+
+expect_exit() {
+    local want="$1"; shift
+    "$@" > /dev/null 2> stderr.txt
+    local got=$?
+    if [ "$got" != "$want" ]; then
+        echo "FAIL: exit $got, wanted $want: $*" >&2
+        cat stderr.txt >&2
+        return 1
+    fi
+}
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+cd "$TMP"
+
+case "$CASE" in
+  bad_flag)
+    expect_exit 2 "$SIM" --definitely-not-a-flag
+    grep -q "unknown argument" stderr.txt || {
+        echo "FAIL: no diagnostic for unknown argument" >&2; exit 1; }
+    ;;
+  bad_int)
+    expect_exit 2 "$SIM" --cores banana
+    ;;
+  bad_config)
+    expect_exit 2 "$SIM" --cores 99
+    ;;
+  strict_integrity)
+    expect_exit 3 "$SIM" "${SMALL[@]}" --scheme emcc \
+        --inject-faults "replay:count=1:period=50" --fault-strict
+    grep -q "integrity violation" stderr.txt || {
+        echo "FAIL: no integrity diagnostic" >&2; exit 1; }
+    ;;
+  leak_strict_clean)
+    expect_exit 0 "$SIM" "${SMALL[@]}" --scheme emcc --leak-strict
+    ;;
+  determinism)
+    for i in 1 2; do
+        expect_exit 0 "$SIM" "${SMALL[@]}" --scheme emcc --seed 42 \
+            --inject-faults "bus:count=5:period=200" --fault-seed 9 \
+            --csv "run_$i.csv" || exit 1
+    done
+    cmp run_1.csv run_2.csv || {
+        echo "FAIL: identical seeded runs produced different stats" >&2
+        exit 1; }
+    ;;
+  *)
+    echo "unknown case: $CASE" >&2
+    exit 2
+    ;;
+esac
+echo "PASS: $CASE"

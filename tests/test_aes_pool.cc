@@ -15,7 +15,7 @@ TEST(AesPool, SingleOpLatency)
 {
     AesPool pool(AesPoolConfig{1e9, nsToTicks(14.0)});
     // Idle pool: op completes after exactly the AES latency.
-    EXPECT_EQ(pool.submit(1000, 1), 1000u + nsToTicks(14.0));
+    EXPECT_EQ(pool.submit(Tick{1000}, 1), Tick{1000} + nsToTicks(14.0));
     EXPECT_EQ(pool.ops(), 1u);
 }
 
@@ -29,39 +29,39 @@ TEST(AesPool, ServiceIntervalFromRate)
 TEST(AesPool, BackToBackOpsQueue)
 {
     AesPool pool(AesPoolConfig{1e9, nsToTicks(14.0)});   // 1 ns interval
-    const Tick first = pool.submit(0, 1);
-    const Tick second = pool.submit(0, 1);
+    const Tick first = pool.submit(Tick{}, 1);
+    const Tick second = pool.submit(Tick{}, 1);
     EXPECT_EQ(first, nsToTicks(14.0));
     EXPECT_EQ(second, nsToTicks(1.0) + nsToTicks(14.0));
-    EXPECT_EQ(pool.queueDelay(0), nsToTicks(2.0));
+    EXPECT_EQ(pool.queueDelay(Tick{}), nsToTicks(2.0));
 }
 
 TEST(AesPool, BatchCompletesAtLastOp)
 {
     AesPool pool(AesPoolConfig{1e9, nsToTicks(14.0)});
     // 5 ops (a block decrypt+verify): last op starts at +4 ns.
-    EXPECT_EQ(pool.submit(0, 5), nsToTicks(4.0) + nsToTicks(14.0));
+    EXPECT_EQ(pool.submit(Tick{}, 5), nsToTicks(4.0) + nsToTicks(14.0));
 }
 
 TEST(AesPool, IdleGapResetsQueue)
 {
     AesPool pool(AesPoolConfig{1e9, nsToTicks(14.0)});
-    pool.submit(0, 8);
+    pool.submit(Tick{}, 8);
     const Tick later = nsToTicks(1000.0);
-    EXPECT_EQ(pool.queueDelay(later), 0u);
+    EXPECT_EQ(pool.queueDelay(later), Tick{});
     EXPECT_EQ(pool.submit(later, 1), later + nsToTicks(14.0));
 }
 
 TEST(AesPool, QueueDelayStatsAccumulate)
 {
     AesPool pool(AesPoolConfig{1e9, nsToTicks(14.0)});
-    pool.submit(0, 4);
-    pool.submit(0, 1);   // waits 4 ns
+    pool.submit(Tick{}, 4);
+    pool.submit(Tick{}, 1);   // waits 4 ns
     EXPECT_EQ(pool.totalQueueDelay(), nsToTicks(4.0));
     EXPECT_EQ(pool.maxQueueDelay(), nsToTicks(4.0));
     pool.reset();
     EXPECT_EQ(pool.ops(), 0u);
-    EXPECT_EQ(pool.totalQueueDelay(), 0u);
+    EXPECT_EQ(pool.totalQueueDelay(), Tick{});
 }
 
 TEST(AesPool, PaperBandwidthArithmetic)
@@ -73,7 +73,7 @@ TEST(AesPool, PaperBandwidthArithmetic)
     AesPool pool(AesPoolConfig{per_l2, nsToTicks(14.0)});
     // A burst of 20 block-decrypts (100 ops) at full rate takes
     // ~100 * 3.077ns ~ 308ns of service; queueing becomes visible.
-    const Tick done = pool.submit(0, 100);
+    const Tick done = pool.submit(Tick{}, 100);
     EXPECT_GT(done, nsToTicks(300.0));
 }
 

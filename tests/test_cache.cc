@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "cache/cache.hh"
 
 namespace emcc {
@@ -25,7 +27,7 @@ smallCache(unsigned sets = 4, unsigned assoc = 2)
 Addr
 addrFor(unsigned set, unsigned tag, unsigned sets = 4)
 {
-    return (static_cast<Addr>(tag) * sets + set) * kBlockBytes;
+    return Addr{(std::uint64_t{tag} * sets + set) * kBlockBytes};
 }
 
 TEST(CacheArray, Geometry)
@@ -39,9 +41,9 @@ TEST(CacheArray, Geometry)
 TEST(CacheArray, MissThenHit)
 {
     auto c = smallCache();
-    EXPECT_FALSE(c.access(0x100, LineClass::Data, false));
-    c.insert(0x100, LineClass::Data, false);
-    EXPECT_TRUE(c.access(0x100, LineClass::Data, false));
+    EXPECT_FALSE(c.access(Addr{0x100}, LineClass::Data, false));
+    c.insert(Addr{0x100}, LineClass::Data, false);
+    EXPECT_TRUE(c.access(Addr{0x100}, LineClass::Data, false));
     EXPECT_EQ(c.stats().misses[0], 1u);
     EXPECT_EQ(c.stats().hits[0], 1u);
 }
@@ -49,9 +51,9 @@ TEST(CacheArray, MissThenHit)
 TEST(CacheArray, SubBlockAddressesAlias)
 {
     auto c = smallCache();
-    c.insert(0x100, LineClass::Data, false);
-    EXPECT_TRUE(c.access(0x13f, LineClass::Data, false));
-    EXPECT_TRUE(c.contains(0x101));
+    c.insert(Addr{0x100}, LineClass::Data, false);
+    EXPECT_TRUE(c.access(Addr{0x13f}, LineClass::Data, false));
+    EXPECT_TRUE(c.contains(Addr{0x101}));
 }
 
 TEST(CacheArray, LruEviction)
@@ -84,9 +86,9 @@ TEST(CacheArray, DirtyVictimReported)
 TEST(CacheArray, WriteMarksDirty)
 {
     auto c = smallCache();
-    c.insert(0x40, LineClass::Data, false);
-    EXPECT_TRUE(c.access(0x40, LineClass::Data, true));
-    auto inv = c.invalidate(0x40);
+    c.insert(Addr{0x40}, LineClass::Data, false);
+    EXPECT_TRUE(c.access(Addr{0x40}, LineClass::Data, true));
+    auto inv = c.invalidate(Addr{0x40});
     ASSERT_TRUE(inv.has_value());
     EXPECT_TRUE(*inv);
 }
@@ -94,9 +96,9 @@ TEST(CacheArray, WriteMarksDirty)
 TEST(CacheArray, MarkCleanClearsDirty)
 {
     auto c = smallCache();
-    c.insert(0x40, LineClass::Data, true);
-    c.markClean(0x40);
-    auto inv = c.invalidate(0x40);
+    c.insert(Addr{0x40}, LineClass::Data, true);
+    c.markClean(Addr{0x40});
+    auto inv = c.invalidate(Addr{0x40});
     ASSERT_TRUE(inv.has_value());
     EXPECT_FALSE(*inv);
 }
@@ -104,7 +106,7 @@ TEST(CacheArray, MarkCleanClearsDirty)
 TEST(CacheArray, InvalidateMissingReturnsNullopt)
 {
     auto c = smallCache();
-    EXPECT_FALSE(c.invalidate(0x999).has_value());
+    EXPECT_FALSE(c.invalidate(Addr{0x999}).has_value());
 }
 
 TEST(CacheArray, ReinsertRefreshesNotEvicts)
@@ -192,11 +194,11 @@ TEST(CacheArray, TouchUpdatesClassLru)
 TEST(CacheArray, FlushAllEmpties)
 {
     auto c = smallCache();
-    c.insert(0x40, LineClass::Data, true);
-    c.insert(0x80, LineClass::Counter, false);
+    c.insert(Addr{0x40}, LineClass::Data, true);
+    c.insert(Addr{0x80}, LineClass::Counter, false);
     c.flushAll();
-    EXPECT_FALSE(c.contains(0x40));
-    EXPECT_FALSE(c.contains(0x80));
+    EXPECT_FALSE(c.contains(Addr{0x40}));
+    EXPECT_FALSE(c.contains(Addr{0x80}));
     EXPECT_EQ(c.classCount(LineClass::Data), 0u);
     EXPECT_EQ(c.classCount(LineClass::Counter), 0u);
 }
@@ -211,19 +213,19 @@ TEST(CacheArray, NonPowerOfTwoSetCount)
     CacheArray c("odd", cfg);
     EXPECT_EQ(c.numSets(), 12u);
     for (unsigned i = 0; i < 48; ++i)
-        c.insert(static_cast<Addr>(i) * kBlockBytes, LineClass::Data,
+        c.insert(Addr{std::uint64_t{i} * kBlockBytes}, LineClass::Data,
                  false);
     // Full occupancy reachable (every set usable).
     EXPECT_EQ(c.classCount(LineClass::Data), 48u);
-    EXPECT_TRUE(c.access(47 * kBlockBytes, LineClass::Data, false));
+    EXPECT_TRUE(c.access(Addr{47 * kBlockBytes}, LineClass::Data, false));
 }
 
 TEST(CacheArray, StatsAggregates)
 {
     auto c = smallCache();
-    c.access(0x40, LineClass::Data, false);      // miss
-    c.insert(0x40, LineClass::Data, false);
-    c.access(0x40, LineClass::Counter, false);   // hit (counted as ctr)
+    c.access(Addr{0x40}, LineClass::Data, false);      // miss
+    c.insert(Addr{0x40}, LineClass::Data, false);
+    c.access(Addr{0x40}, LineClass::Counter, false);   // hit (counted as ctr)
     EXPECT_EQ(c.stats().hitsAll(), 1u);
     EXPECT_EQ(c.stats().missesAll(), 1u);
     c.resetStats();

@@ -19,18 +19,19 @@ namespace {
 
 TEST(Types, TickConversionsRoundTrip)
 {
-    EXPECT_EQ(nsToTicks(13.75), 13750u);
-    EXPECT_EQ(nsToTicks(0.3125), 313u);   // rounds
-    EXPECT_DOUBLE_EQ(ticksToNs(23000), 23.0);
+    EXPECT_EQ(nsToTicks(13.75), Tick{13750});
+    EXPECT_EQ(nsToTicks(0.3125), Tick{313});   // rounds
+    EXPECT_DOUBLE_EQ(ticksToNs(Tick{23000}), 23.0);
 }
 
 TEST(Types, BlockAlignment)
 {
-    EXPECT_EQ(blockAlign(0), 0u);
-    EXPECT_EQ(blockAlign(63), 0u);
-    EXPECT_EQ(blockAlign(64), 64u);
-    EXPECT_EQ(blockAlign(130), 128u);
-    EXPECT_EQ(blockNumber(128), 2u);
+    EXPECT_EQ(blockAlign(Addr{0}), Addr{0});
+    EXPECT_EQ(blockAlign(Addr{63}), Addr{0});
+    EXPECT_EQ(blockAlign(Addr{64}), Addr{64});
+    EXPECT_EQ(blockAlign(Addr{130}), Addr{128});
+    EXPECT_EQ(blockNumber(Addr{128}), BlockNum{2});
+    EXPECT_EQ(blockBase(BlockNum{2}), Addr{128});
 }
 
 TEST(Types, UnitsAndLog2)

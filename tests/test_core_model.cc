@@ -61,11 +61,11 @@ class FixedLatencyPort : public MemorySystemPort
 
 std::vector<MemRef>
 uniformTrace(std::size_t n, std::uint32_t gap, bool writes = false,
-             Addr stride = 4096)
+             std::uint64_t stride = 4096)
 {
     std::vector<MemRef> t;
     for (std::size_t i = 0; i < n; ++i)
-        t.push_back(MemRef{i * stride, gap, writes});
+        t.push_back(MemRef{Addr{i * stride}, gap, writes});
     return t;
 }
 
@@ -87,7 +87,7 @@ TEST(CoreModel, ComputeBoundReachesPeakWidth)
 {
     // Huge gaps + instant memory: IPC should approach the 4-wide limit.
     const auto trace = uniformTrace(64, 1000);
-    const double ipc = runIpc(trace, 0, 200'000);
+    const double ipc = runIpc(trace, Tick{}, 200'000);
     EXPECT_GT(ipc, 3.6);
     // Integer tick rounding (313 ps cycle, 78 ps/instr) can nudge the
     // computed IPC a hair past 4.0.
@@ -180,7 +180,7 @@ TEST(CoreModel, TraceWrapsAround)
 {
     const auto trace = uniformTrace(4, 1);
     Simulator sim;
-    FixedLatencyPort port(sim, 0);
+    FixedLatencyPort port(sim, Tick{});
     CoreModel core(sim, "core", CoreConfig{}, 0, &trace, &port);
     bool done = false;
     core.start(1000, [&] { done = true; });
@@ -193,7 +193,7 @@ TEST(CoreModel, RestartContinuesFromTracePosition)
 {
     const auto trace = uniformTrace(1000, 9);
     Simulator sim;
-    FixedLatencyPort port(sim, 0);
+    FixedLatencyPort port(sim, Tick{});
     CoreModel core(sim, "core", CoreConfig{}, 0, &trace, &port);
     bool done = false;
     core.start(500, [&] { done = true; });
@@ -227,7 +227,7 @@ TEST(CoreModel, LoadLatencyStatTracked)
 TEST(CoreModel, EmptyTraceIsFatal)
 {
     Simulator sim;
-    FixedLatencyPort port(sim, 0);
+    FixedLatencyPort port(sim, Tick{});
     std::vector<MemRef> empty;
     EXPECT_THROW(CoreModel(sim, "core", CoreConfig{}, 0, &empty, &port),
                  FatalError);

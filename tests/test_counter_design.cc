@@ -41,25 +41,25 @@ TEST(CounterDesign, DecodeLatency)
     EXPECT_EQ(CounterDesign::create(CounterDesignKind::Morphable)
                   ->decodeLatency(), nsToTicks(3.0));
     EXPECT_EQ(CounterDesign::create(CounterDesignKind::Sc64)
-                  ->decodeLatency(), 0u);
+                  ->decodeLatency(), Tick{});
 }
 
 TEST(CounterDesign, CounterBlockIndexing)
 {
     auto morph = CounterDesign::create(CounterDesignKind::Morphable);
-    EXPECT_EQ(morph->counterBlockIndex(0), 0u);
-    EXPECT_EQ(morph->counterBlockIndex(8191), 0u);
-    EXPECT_EQ(morph->counterBlockIndex(8192), 1u);
+    EXPECT_EQ(morph->counterBlockIndex(Addr{0}), 0u);
+    EXPECT_EQ(morph->counterBlockIndex(Addr{8191}), 0u);
+    EXPECT_EQ(morph->counterBlockIndex(Addr{8192}), 1u);
 }
 
 TEST(Monolithic, CountsWrites)
 {
     auto d = CounterDesign::create(CounterDesignKind::Monolithic);
-    EXPECT_EQ(d->counterValue(0x40), 0u);
+    EXPECT_EQ(d->counterValue(Addr{0x40}), 0u);
     for (int i = 0; i < 5; ++i)
-        EXPECT_FALSE(d->bumpCounter(0x40).overflow);
-    EXPECT_EQ(d->counterValue(0x40), 5u);
-    EXPECT_EQ(d->counterValue(0x80), 0u);   // other blocks unaffected
+        EXPECT_FALSE(d->bumpCounter(Addr{0x40}).overflow);
+    EXPECT_EQ(d->counterValue(Addr{0x40}), 5u);
+    EXPECT_EQ(d->counterValue(Addr{0x80}), 0u);   // other blocks unaffected
     EXPECT_EQ(d->writes(), 5u);
     EXPECT_EQ(d->overflows(), 0u);
 }
@@ -69,8 +69,8 @@ TEST(Sc64, MinorOverflowAt128Writes)
     auto d = CounterDesign::create(CounterDesignKind::Sc64);
     // 7-bit minor: 127 increments fit, the 128th overflows.
     for (int i = 0; i < 127; ++i)
-        ASSERT_FALSE(d->bumpCounter(0x1000).overflow) << i;
-    const auto r = d->bumpCounter(0x1000);
+        ASSERT_FALSE(d->bumpCounter(Addr{0x1000}).overflow) << i;
+    const auto r = d->bumpCounter(Addr{0x1000});
     EXPECT_TRUE(r.overflow);
     EXPECT_EQ(r.reencrypt_blocks, 64u);
     EXPECT_EQ(d->overflows(), 1u);
@@ -79,14 +79,14 @@ TEST(Sc64, MinorOverflowAt128Writes)
 TEST(Sc64, OverflowResetsSiblings)
 {
     auto d = CounterDesign::create(CounterDesignKind::Sc64);
-    d->bumpCounter(0x1040);   // sibling in the same 4 KiB region
-    const std::uint64_t sibling_before = d->counterValue(0x1040);
+    d->bumpCounter(Addr{0x1040});   // sibling in the same 4 KiB region
+    const std::uint64_t sibling_before = d->counterValue(Addr{0x1040});
     EXPECT_GT(sibling_before, 0u);
     for (int i = 0; i < 128; ++i)
-        d->bumpCounter(0x1000);
+        d->bumpCounter(Addr{0x1000});
     // After the overflow the sibling's minor reset but its value moved
     // forward (new major) — values never repeat.
-    const std::uint64_t sibling_after = d->counterValue(0x1040);
+    const std::uint64_t sibling_after = d->counterValue(Addr{0x1040});
     EXPECT_NE(sibling_after, sibling_before);
     EXPECT_GT(sibling_after, sibling_before);
 }
@@ -96,8 +96,8 @@ TEST(Sc64, ValuesNeverRepeatAcrossOverflow)
     auto d = CounterDesign::create(CounterDesignKind::Sc64);
     std::set<std::uint64_t> seen;
     for (int i = 0; i < 400; ++i) {
-        d->bumpCounter(0x2000);
-        const auto v = d->counterValue(0x2000);
+        d->bumpCounter(Addr{0x2000});
+        const auto v = d->counterValue(Addr{0x2000});
         EXPECT_TRUE(seen.insert(v).second) << "value repeated: " << v;
     }
     EXPECT_GE(d->overflows(), 3u);
@@ -107,9 +107,9 @@ TEST(Sc64, BlocksInDifferentRegionsIndependent)
 {
     auto d = CounterDesign::create(CounterDesignKind::Sc64);
     for (int i = 0; i < 128; ++i)
-        d->bumpCounter(0x0);
+        d->bumpCounter(Addr{0x0});
     // The overflow in region 0 must not touch region 1.
-    EXPECT_EQ(d->counterValue(0x1000), 0u);
+    EXPECT_EQ(d->counterValue(Addr{0x1000}), 0u);
 }
 
 TEST(Morphable, EncodableRules)
@@ -131,7 +131,7 @@ TEST(Morphable, UniformSmallWritesDontOverflow)
     auto d = CounterDesign::create(CounterDesignKind::Morphable);
     // Write each covered block 7 times: uniform 3-bit format fits.
     for (int round = 0; round < 7; ++round)
-        for (Addr a = 0; a < 8192; a += 64)
+        for (Addr a{}; a < Addr{8192}; a += 64)
             ASSERT_FALSE(d->bumpCounter(a).overflow);
     EXPECT_EQ(d->overflows(), 0u);
 }
@@ -141,11 +141,11 @@ TEST(Morphable, HotBlockEventuallyOverflows)
     auto d = CounterDesign::create(CounterDesignKind::Morphable);
     // Touch all blocks once (dense), then hammer one block: the large
     // minor forces wider formats until nothing fits.
-    for (Addr a = 0; a < 8192; a += 64)
+    for (Addr a{}; a < Addr{8192}; a += 64)
         d->bumpCounter(a);
     bool overflowed = false;
     for (int i = 0; i < 100000 && !overflowed; ++i)
-        overflowed = d->bumpCounter(0x0).overflow;
+        overflowed = d->bumpCounter(Addr{0x0}).overflow;
     EXPECT_TRUE(overflowed);
     EXPECT_EQ(d->overflows(), 1u);
 }
@@ -156,16 +156,16 @@ TEST(Morphable, SparseHotBlockSurvivesLonger)
     // minors; count how many writes fit before overflow and check it
     // beats the dense case substantially.
     auto dense = CounterDesign::create(CounterDesignKind::Morphable);
-    for (Addr a = 0; a < 8192; a += 64)
+    for (Addr a{}; a < Addr{8192}; a += 64)
         dense->bumpCounter(a);
     int dense_writes = 0;
-    while (!dense->bumpCounter(0x0).overflow)
+    while (!dense->bumpCounter(Addr{0x0}).overflow)
         ++dense_writes;
 
     auto sparse = CounterDesign::create(CounterDesignKind::Morphable);
     int sparse_writes = 0;
     for (int i = 0; i < 10 * dense_writes + 1000; ++i) {
-        if (sparse->bumpCounter(0x0).overflow)
+        if (sparse->bumpCounter(Addr{0x0}).overflow)
             break;
         ++sparse_writes;
     }
@@ -175,11 +175,11 @@ TEST(Morphable, SparseHotBlockSurvivesLonger)
 TEST(Morphable, OverflowReencrypts128Blocks)
 {
     auto d = CounterDesign::create(CounterDesignKind::Morphable);
-    for (Addr a = 0; a < 8192; a += 64)
+    for (Addr a{}; a < Addr{8192}; a += 64)
         d->bumpCounter(a);
     CounterWriteResult r;
     for (int i = 0; i < 100000; ++i) {
-        r = d->bumpCounter(0x0);
+        r = d->bumpCounter(Addr{0x0});
         if (r.overflow)
             break;
     }
@@ -190,13 +190,13 @@ TEST(Morphable, OverflowReencrypts128Blocks)
 TEST(Morphable, ValuesNeverRepeatAcrossOverflow)
 {
     auto d = CounterDesign::create(CounterDesignKind::Morphable);
-    for (Addr a = 0; a < 8192; a += 64)
+    for (Addr a{}; a < Addr{8192}; a += 64)
         d->bumpCounter(a);
     std::set<std::uint64_t> seen;
-    seen.insert(d->counterValue(0x0));
+    seen.insert(d->counterValue(Addr{0x0}));
     for (int i = 0; i < 5000; ++i) {
-        d->bumpCounter(0x0);
-        const auto v = d->counterValue(0x0);
+        d->bumpCounter(Addr{0x0});
+        const auto v = d->counterValue(Addr{0x0});
         EXPECT_TRUE(seen.insert(v).second) << "value repeated: " << v;
     }
 }

@@ -68,14 +68,14 @@ TEST(Gf64, KnownDoubling)
 TEST(Seed, UniquePerInput)
 {
     std::uint8_t a[16], b[16];
-    buildSeed(1, 0x1000, 7, 0, a);
-    buildSeed(1, 0x1000, 7, 1, b);
+    buildSeed(1, Addr{0x1000}, 7, 0, a);
+    buildSeed(1, Addr{0x1000}, 7, 1, b);
     EXPECT_NE(0, std::memcmp(a, b, 16));
-    buildSeed(1, 0x1040, 7, 0, b);
+    buildSeed(1, Addr{0x1040}, 7, 0, b);
     EXPECT_NE(0, std::memcmp(a, b, 16));
-    buildSeed(1, 0x1000, 8, 0, b);
+    buildSeed(1, Addr{0x1000}, 8, 0, b);
     EXPECT_NE(0, std::memcmp(a, b, 16));
-    buildSeed(2, 0x1000, 7, 0, b);
+    buildSeed(2, Addr{0x1000}, 7, 0, b);
     EXPECT_NE(0, std::memcmp(a, b, 16));
 }
 
@@ -86,9 +86,9 @@ TEST(CounterMode, EncryptDecryptInvolution)
     std::uint8_t pt[64], ct[64], back[64];
     for (auto &x : pt)
         x = static_cast<std::uint8_t>(rng.next());
-    cipher.apply(0x4000, 42, pt, ct);
+    cipher.apply(Addr{0x4000}, 42, pt, ct);
     EXPECT_NE(0, std::memcmp(pt, ct, 64));
-    cipher.apply(0x4000, 42, ct, back);
+    cipher.apply(Addr{0x4000}, 42, ct, back);
     EXPECT_EQ(0, std::memcmp(pt, back, 64));
 }
 
@@ -97,8 +97,8 @@ TEST(CounterMode, DifferentCountersGiveDifferentCiphertext)
     CounterModeCipher cipher(keys().encryption_key);
     std::uint8_t pt[64] = {};
     std::uint8_t ct1[64], ct2[64];
-    cipher.apply(0x4000, 1, pt, ct1);
-    cipher.apply(0x4000, 2, pt, ct2);
+    cipher.apply(Addr{0x4000}, 1, pt, ct1);
+    cipher.apply(Addr{0x4000}, 2, pt, ct2);
     EXPECT_NE(0, std::memcmp(ct1, ct2, 64));
 }
 
@@ -107,8 +107,8 @@ TEST(CounterMode, DifferentAddressesGiveDifferentCiphertext)
     CounterModeCipher cipher(keys().encryption_key);
     std::uint8_t pt[64] = {};
     std::uint8_t ct1[64], ct2[64];
-    cipher.apply(0x4000, 1, pt, ct1);
-    cipher.apply(0x4040, 1, pt, ct2);
+    cipher.apply(Addr{0x4000}, 1, pt, ct1);
+    cipher.apply(Addr{0x4040}, 1, pt, ct2);
     EXPECT_NE(0, std::memcmp(ct1, ct2, 64));
 }
 
@@ -118,7 +118,7 @@ TEST(CounterMode, OtpWordsAreDistinct)
     std::set<std::string> otps;
     for (unsigned w = 0; w < 4; ++w) {
         std::uint8_t pad[16];
-        cipher.otp(0x8000, 9, w, pad);
+        cipher.otp(Addr{0x8000}, 9, w, pad);
         otps.insert(std::string(reinterpret_cast<char *>(pad), 16));
     }
     EXPECT_EQ(otps.size(), 4u);
@@ -129,15 +129,15 @@ TEST(GfMac, MacDependsOnEveryInput)
     const auto k = keys();
     GfMac mac(k.mac_key, k.gf_keys);
     std::uint8_t block[64] = {};
-    const std::uint64_t base = mac.compute(0x4000, 5, block);
+    const std::uint64_t base = mac.compute(Addr{0x4000}, 5, block);
     EXPECT_EQ(base & ~kMask56, 0u);   // 56-bit truncation
 
     block[17] ^= 0x01;
-    EXPECT_NE(mac.compute(0x4000, 5, block), base);
+    EXPECT_NE(mac.compute(Addr{0x4000}, 5, block), base);
     block[17] ^= 0x01;
-    EXPECT_NE(mac.compute(0x4040, 5, block), base);
-    EXPECT_NE(mac.compute(0x4000, 6, block), base);
-    EXPECT_EQ(mac.compute(0x4000, 5, block), base);   // deterministic
+    EXPECT_NE(mac.compute(Addr{0x4040}, 5, block), base);
+    EXPECT_NE(mac.compute(Addr{0x4000}, 6, block), base);
+    EXPECT_EQ(mac.compute(Addr{0x4000}, 5, block), base);   // deterministic
 }
 
 TEST(GfMac, MacIsXorOfAesAndDotProduct)
@@ -150,8 +150,8 @@ TEST(GfMac, MacIsXorOfAesAndDotProduct)
     Rng rng(7);
     for (auto &x : block)
         x = static_cast<std::uint8_t>(rng.next());
-    const std::uint64_t full = mac.compute(0x9000, 77, block);
-    const std::uint64_t aes_part = mac.aesPart(0x9000, 77);
+    const std::uint64_t full = mac.compute(Addr{0x9000}, 77, block);
+    const std::uint64_t aes_part = mac.aesPart(Addr{0x9000}, 77);
     const std::uint64_t dot = mac.dotProduct(block);
     EXPECT_EQ(full, (aes_part ^ dot) & kMask56);
 }
@@ -161,13 +161,13 @@ TEST(GfMac, SingleBitFlipsDetected)
     const auto k = keys();
     GfMac mac(k.mac_key, k.gf_keys);
     std::uint8_t block[64] = {};
-    const std::uint64_t base = mac.compute(0, 0, block);
+    const std::uint64_t base = mac.compute(Addr{0}, 0, block);
     // Every single-bit corruption must change the MAC (GF keys are
     // non-zero, so each bit contributes).
     for (int byte = 0; byte < 64; byte += 7) {
         for (int bit = 0; bit < 8; bit += 3) {
             block[byte] ^= (1u << bit);
-            EXPECT_NE(mac.compute(0, 0, block), base)
+            EXPECT_NE(mac.compute(Addr{0}, 0, block), base)
                 << "undetected flip at byte " << byte << " bit " << bit;
             block[byte] ^= (1u << bit);
         }

@@ -47,8 +47,8 @@ Addr
 conflictingAddr(const DramConfig &cfg)
 {
     DramAddressMapper mapper(cfg);
-    const auto c0 = mapper.map(0x0);
-    for (Addr a = cfg.row_bytes; a < 4096 * cfg.row_bytes;
+    const auto c0 = mapper.map(Addr{0x0});
+    for (Addr a{cfg.row_bytes}; a < Addr{4096 * cfg.row_bytes};
          a += cfg.row_bytes) {
         const auto c = mapper.map(a);
         if (c.channel == c0.channel && c.rank == c0.rank &&
@@ -56,7 +56,7 @@ conflictingAddr(const DramConfig &cfg)
             return a;
         }
     }
-    return 0;
+    return Addr{};
 }
 
 TEST(DramConfig, BurstAndPeakBandwidth)
@@ -75,17 +75,17 @@ TEST(DramMapper, PaperChannelBits)
     cfg.channels = 8;
     DramAddressMapper m(cfg);
     // Bits 8..10 select the channel (paper §VI-D).
-    EXPECT_EQ(m.map(0x000).channel, 0u);
-    EXPECT_EQ(m.map(0x100).channel, 1u);
-    EXPECT_EQ(m.map(0x700).channel, 7u);
-    EXPECT_EQ(m.map(0x800).channel, 0u);
+    EXPECT_EQ(m.map(Addr{0x000}).channel, 0u);
+    EXPECT_EQ(m.map(Addr{0x100}).channel, 1u);
+    EXPECT_EQ(m.map(Addr{0x700}).channel, 7u);
+    EXPECT_EQ(m.map(Addr{0x800}).channel, 0u);
 }
 
 TEST(DramMapper, CoordsInRange)
 {
     DramConfig cfg;
     DramAddressMapper m(cfg);
-    for (Addr a = 0; a < 4096 * kBlockBytes; a += 257 * kBlockBytes) {
+    for (Addr a{}; a < Addr{4096 * kBlockBytes}; a += 257 * kBlockBytes) {
         const auto c = m.map(a);
         EXPECT_LT(c.rank, cfg.ranks);
         EXPECT_LT(c.bank, cfg.banks_per_rank);
@@ -98,13 +98,13 @@ TEST(DramChannel, RowMissThenRowHitLatency)
     Simulator sim;
     DramMemory mem(sim, "m", quietConfig());
     Completion first, second;
-    mem.enqueue(readReq(0x0, &first));
+    mem.enqueue(readReq(Addr{0x0}, &first));
     sim.run();
     // Closed bank: ACT + CAS + burst.
     EXPECT_EQ(first.when, nsToTicks(13.75 + 13.75 + 2.5));
 
     const Tick t1 = sim.now();
-    mem.enqueue(readReq(0x40, &second));   // same row
+    mem.enqueue(readReq(Addr{0x40}, &second));   // same row
     sim.run();
     EXPECT_EQ(second.when - t1, nsToTicks(13.75 + 2.5));
     EXPECT_EQ(mem.aggregateStats().row_hits, 1u);
@@ -118,10 +118,10 @@ TEST(DramChannel, RowConflictPaysPrecharge)
     Simulator sim;
     DramMemory mem(sim, "m", cfg);
     const Addr conflict = conflictingAddr(cfg);
-    ASSERT_NE(conflict, 0u);
+    ASSERT_NE(conflict, Addr{});
 
     Completion first, second;
-    mem.enqueue(readReq(0x0, &first));
+    mem.enqueue(readReq(Addr{0x0}, &first));
     sim.run();
     const Tick t1 = sim.now();
     mem.enqueue(readReq(conflict, &second));
@@ -135,14 +135,14 @@ TEST(DramChannel, RowTimeoutClosesRow)
     Simulator sim;
     DramMemory mem(sim, "m", quietConfig());   // 500 ns timeout default
     Completion first, second;
-    mem.enqueue(readReq(0x0, &first));
+    mem.enqueue(readReq(Addr{0x0}, &first));
     sim.run();
     // Wait past the 500 ns timeout, then access the same row: the row
     // timed out, so it pays ACT again (row miss, not hit).
     sim.schedule(sim.now() + nsToTicks(600.0), [] {});
     sim.run();
     const Tick t1 = sim.now();
-    mem.enqueue(readReq(0x40, &second));
+    mem.enqueue(readReq(Addr{0x40}, &second));
     sim.run();
     EXPECT_EQ(second.when - t1, nsToTicks(13.75 + 13.75 + 2.5));
     EXPECT_EQ(mem.aggregateStats().row_misses, 2u);
@@ -155,11 +155,11 @@ TEST(DramChannel, ReadsPrioritizedOverWrites)
     Completion read_done;
     Tick write_done = kTickInvalid;
     DramRequest w;
-    w.addr = 0x10000;
+    w.addr = Addr{0x10000};
     w.is_write = true;
     w.on_complete = [&](Tick t) { write_done = t; };
     mem.enqueue(w);
-    mem.enqueue(readReq(0x0, &read_done));
+    mem.enqueue(readReq(Addr{0x0}, &read_done));
     sim.run();
     ASSERT_TRUE(read_done.done());
     ASSERT_NE(write_done, kTickInvalid);
@@ -173,13 +173,13 @@ TEST(DramChannel, FrFcfsPrefersRowHits)
     Simulator sim;
     DramMemory mem(sim, "m", cfg);
     const Addr conflict = conflictingAddr(cfg);
-    ASSERT_NE(conflict, 0u);
+    ASSERT_NE(conflict, Addr{});
 
     Completion a1, b, a2;
-    mem.enqueue(readReq(0x0, &a1));   // opens row 0
+    mem.enqueue(readReq(Addr{0x0}, &a1));   // opens row 0
     sim.run();
     mem.enqueue(readReq(conflict, &b));
-    mem.enqueue(readReq(0x80, &a2));   // row hit on the open row
+    mem.enqueue(readReq(Addr{0x80}, &a2));   // row hit on the open row
     sim.run();
     EXPECT_LT(a2.when, b.when);        // hit served before older conflict
 }
@@ -192,10 +192,10 @@ TEST(DramChannel, FrFcfsCapBoundsStreak)
     Simulator sim;
     DramMemory mem(sim, "m", cfg);
     const Addr conflict = conflictingAddr(cfg);
-    ASSERT_NE(conflict, 0u);
+    ASSERT_NE(conflict, Addr{});
 
     Completion open_row;
-    mem.enqueue(readReq(0x0, &open_row));
+    mem.enqueue(readReq(Addr{0x0}, &open_row));
     sim.run();
 
     // Old conflicting request + a stream of row hits: with cap=2 the
@@ -205,7 +205,7 @@ TEST(DramChannel, FrFcfsCapBoundsStreak)
     mem.enqueue(readReq(conflict, &b));
     for (int i = 1; i <= 4; ++i) {
         hits.push_back(std::make_unique<Completion>());
-        mem.enqueue(readReq(0x40ull * i, hits.back().get()));
+        mem.enqueue(readReq(Addr{0x40ull * i}, hits.back().get()));
     }
     sim.run();
     EXPECT_LT(b.when, hits.back()->when);
@@ -218,9 +218,9 @@ TEST(DramChannel, QueueCapacityRejects)
     Simulator sim;
     DramMemory mem(sim, "m", cfg);
     Completion c1, c2, c3;
-    EXPECT_TRUE(mem.enqueue(readReq(0x0, &c1)));
-    EXPECT_TRUE(mem.enqueue(readReq(0x40, &c2)));
-    EXPECT_FALSE(mem.enqueue(readReq(0x80, &c3)));
+    EXPECT_TRUE(mem.enqueue(readReq(Addr{0x0}, &c1)));
+    EXPECT_TRUE(mem.enqueue(readReq(Addr{0x40}, &c2)));
+    EXPECT_FALSE(mem.enqueue(readReq(Addr{0x80}, &c3)));
     EXPECT_EQ(mem.aggregateStats().retries, 1u);
 }
 
@@ -230,13 +230,13 @@ TEST(DramChannel, RefreshAccountedLazily)
     Simulator sim;
     DramMemory mem(sim, "m", cfg);
     Completion c1, c2;
-    mem.enqueue(readReq(0x0, &c1));
+    mem.enqueue(readReq(Addr{0x0}, &c1));
     sim.run();
     // Jump past several refresh periods, then access again: the lazy
     // model accounts the elapsed windows at the next command.
     sim.schedule(sim.now() + 5 * cfg.t_refi, [] {});
     sim.run();
-    mem.enqueue(readReq(0x40, &c2));
+    mem.enqueue(readReq(Addr{0x40}, &c2));
     sim.run();
     EXPECT_GE(mem.aggregateStats().refreshes, 4u);
 }
@@ -248,11 +248,11 @@ TEST(DramChannel, RefreshClosesRow)
     Simulator sim;
     DramMemory mem(sim, "m", cfg);
     Completion c1, c2;
-    mem.enqueue(readReq(0x0, &c1));
+    mem.enqueue(readReq(Addr{0x0}, &c1));
     sim.run();
     sim.schedule(sim.now() + 3 * cfg.t_refi, [] {});
     sim.run();
-    mem.enqueue(readReq(0x40, &c2));   // same row, but refresh closed it
+    mem.enqueue(readReq(Addr{0x40}, &c2));   // same row, but refresh closed it
     sim.run();
     EXPECT_EQ(mem.aggregateStats().row_hits, 0u);
     EXPECT_EQ(mem.aggregateStats().row_misses, 2u);
@@ -263,8 +263,8 @@ TEST(DramChannel, QueueingDelayAccounted)
     Simulator sim;
     DramMemory mem(sim, "m", quietConfig());
     Completion c1, c2;
-    mem.enqueue(readReq(0x0, &c1, MemClass::Data));
-    mem.enqueue(readReq(0x40, &c2, MemClass::Counter));
+    mem.enqueue(readReq(Addr{0x0}, &c1, MemClass::Data));
+    mem.enqueue(readReq(Addr{0x40}, &c2, MemClass::Counter));
     sim.run();
     const auto s = mem.aggregateStats();
     EXPECT_EQ(s.reads[static_cast<int>(MemClass::Data)], 1u);
@@ -278,8 +278,8 @@ TEST(DramChannel, BusBusyTracksBursts)
     Simulator sim;
     DramMemory mem(sim, "m", quietConfig());
     Completion c1, c2;
-    mem.enqueue(readReq(0x0, &c1));
-    mem.enqueue(readReq(0x40, &c2));
+    mem.enqueue(readReq(Addr{0x0}, &c1));
+    mem.enqueue(readReq(Addr{0x40}, &c2));
     sim.run();
     EXPECT_EQ(mem.aggregateStats().bus_busy, 2 * nsToTicks(2.5));
 }
@@ -294,7 +294,7 @@ TEST(DramMemory, EightChannelsParallelism)
     std::vector<std::unique_ptr<Completion>> cs;
     for (unsigned ch = 0; ch < 8; ++ch) {
         cs.push_back(std::make_unique<Completion>());
-        mem.enqueue(readReq(0x100ull * ch, cs.back().get()));
+        mem.enqueue(readReq(Addr{0x100ull * ch}, cs.back().get()));
     }
     sim.run();
     // All eight served in parallel at single-access latency.
@@ -307,7 +307,7 @@ TEST(DramMemory, ResetStatsZeroes)
     Simulator sim;
     DramMemory mem(sim, "m", quietConfig());
     Completion c1;
-    mem.enqueue(readReq(0x0, &c1));
+    mem.enqueue(readReq(Addr{0x0}, &c1));
     sim.run();
     EXPECT_GT(mem.aggregateStats().readsAll(), 0u);
     mem.resetStats();

@@ -17,9 +17,9 @@ TEST(EventQueue, ExecutesInTimeOrder)
 {
     EventQueue q;
     std::vector<int> order;
-    q.schedule(30, [&] { order.push_back(3); });
-    q.schedule(10, [&] { order.push_back(1); });
-    q.schedule(20, [&] { order.push_back(2); });
+    q.schedule(Tick{30}, [&] { order.push_back(3); });
+    q.schedule(Tick{10}, [&] { order.push_back(1); });
+    q.schedule(Tick{20}, [&] { order.push_back(2); });
     q.runAll();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
     EXPECT_EQ(q.now(), 30u);
@@ -30,7 +30,7 @@ TEST(EventQueue, FifoAtSameTick)
     EventQueue q;
     std::vector<int> order;
     for (int i = 0; i < 5; ++i)
-        q.schedule(10, [&, i] { order.push_back(i); });
+        q.schedule(Tick{10}, [&, i] { order.push_back(i); });
     q.runAll();
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
@@ -39,8 +39,8 @@ TEST(EventQueue, PriorityBreaksTies)
 {
     EventQueue q;
     std::vector<int> order;
-    q.schedule(10, [&] { order.push_back(1); }, /*priority=*/1);
-    q.schedule(10, [&] { order.push_back(0); }, /*priority=*/0);
+    q.schedule(Tick{10}, [&] { order.push_back(1); }, /*priority=*/1);
+    q.schedule(Tick{10}, [&] { order.push_back(0); }, /*priority=*/0);
     q.runAll();
     EXPECT_EQ(order, (std::vector<int>{0, 1}));
 }
@@ -49,7 +49,7 @@ TEST(EventQueue, DescheduleCancels)
 {
     EventQueue q;
     bool ran = false;
-    const EventId id = q.schedule(10, [&] { ran = true; });
+    const EventId id = q.schedule(Tick{10}, [&] { ran = true; });
     EXPECT_TRUE(q.deschedule(id));
     EXPECT_FALSE(q.deschedule(id));   // double-cancel is a no-op
     q.runAll();
@@ -61,10 +61,10 @@ TEST(EventQueue, RunUntilStopsAtLimit)
 {
     EventQueue q;
     int count = 0;
-    q.schedule(10, [&] { ++count; });
-    q.schedule(20, [&] { ++count; });
-    q.schedule(30, [&] { ++count; });
-    EXPECT_EQ(q.runUntil(20), 2u);
+    q.schedule(Tick{10}, [&] { ++count; });
+    q.schedule(Tick{20}, [&] { ++count; });
+    q.schedule(Tick{30}, [&] { ++count; });
+    EXPECT_EQ(q.runUntil(Tick{20}), 2u);
     EXPECT_EQ(count, 2);
     EXPECT_EQ(q.pending(), 1u);
     EXPECT_EQ(q.nextEventTick(), 30u);
@@ -76,9 +76,9 @@ TEST(EventQueue, EventsCanScheduleEvents)
     int depth = 0;
     std::function<void()> recurse = [&] {
         if (++depth < 5)
-            q.scheduleIn(10, recurse);
+            q.scheduleIn(Tick{10}, recurse);
     };
-    q.schedule(0, recurse);
+    q.schedule(Tick{0}, recurse);
     q.runAll();
     EXPECT_EQ(depth, 5);
     EXPECT_EQ(q.now(), 40u);
@@ -87,16 +87,16 @@ TEST(EventQueue, EventsCanScheduleEvents)
 TEST(EventQueue, SchedulingInThePastPanics)
 {
     EventQueue q;
-    q.schedule(100, [] {});
+    q.schedule(Tick{100}, [] {});
     q.runAll();
-    EXPECT_DEATH(q.schedule(50, [] {}), "past");
+    EXPECT_DEATH(q.schedule(Tick{50}, [] {}), "past");
 }
 
 TEST(EventQueue, StepReturnsFalseWhenEmpty)
 {
     EventQueue q;
     EXPECT_FALSE(q.step());
-    q.schedule(5, [] {});
+    q.schedule(Tick{5}, [] {});
     EXPECT_TRUE(q.step());
     EXPECT_FALSE(q.step());
 }
@@ -104,8 +104,8 @@ TEST(EventQueue, StepReturnsFalseWhenEmpty)
 TEST(EventQueue, PendingCountsLiveEvents)
 {
     EventQueue q;
-    const EventId a = q.schedule(10, [] {});
-    q.schedule(20, [] {});
+    const EventId a = q.schedule(Tick{10}, [] {});
+    q.schedule(Tick{20}, [] {});
     EXPECT_EQ(q.pending(), 2u);
     q.deschedule(a);
     EXPECT_EQ(q.pending(), 1u);
@@ -118,10 +118,10 @@ TEST(Simulator, ComponentSeesTime)
     struct Probe : Component
     {
         using Component::Component;
-        Tick seen = 0;
+        Tick seen{};
     } probe(sim, "probe");
 
-    sim.schedule(123, [&] { probe.seen = probe.curTick(); });
+    sim.schedule(Tick{123}, [&] { probe.seen = probe.curTick(); });
     sim.run();
     EXPECT_EQ(probe.seen, 123u);
     EXPECT_EQ(probe.name(), "probe");
@@ -131,9 +131,9 @@ TEST(Simulator, RunWithLimit)
 {
     Simulator sim;
     int count = 0;
-    sim.schedule(10, [&] { ++count; });
-    sim.schedule(1000, [&] { ++count; });
-    sim.run(500);
+    sim.schedule(Tick{10}, [&] { ++count; });
+    sim.schedule(Tick{1000}, [&] { ++count; });
+    sim.run(Tick{500});
     EXPECT_EQ(count, 1);
 }
 

@@ -127,7 +127,7 @@ TEST_P(IrregularSweep, EmccInvariantsHold)
 
 INSTANTIATE_TEST_SUITE_P(AllIrregular, IrregularSweep,
                          ::testing::ValuesIn(irregularWorkloads()),
-                         [](const auto &info) { return info.param; });
+                         [](const auto &pinfo) { return pinfo.param; });
 
 /** The regular set must build and stay cache-friendlier than mcf. */
 class RegularSweep : public ::testing::TestWithParam<std::string>
@@ -156,7 +156,7 @@ TEST_P(RegularSweep, BuildsAndReplays)
 
 INSTANTIATE_TEST_SUITE_P(AllRegular, RegularSweep,
                          ::testing::ValuesIn(regularWorkloads()),
-                         [](const auto &info) { return info.param; });
+                         [](const auto &pinfo) { return pinfo.param; });
 
 } // namespace
 } // namespace emcc

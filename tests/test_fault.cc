@@ -82,9 +82,9 @@ TEST(FaultInjector, IdenticalSeedsProduceIdenticalStreams)
     const auto spec = FaultSpec::parse("bus:count=8:period=10");
     FaultInjector a(spec, 42), b(spec, 42);
     for (unsigned i = 0; i < 400; ++i) {
-        const Addr blk = (i % 13) * kBlockBytes;
-        a.onDataFetched(blk, i * 1000);
-        b.onDataFetched(blk, i * 1000);
+        const Addr blk{(i % 13) * kBlockBytes};
+        a.onDataFetched(blk, Tick{i * 1000});
+        b.onDataFetched(blk, Tick{i * 1000});
     }
     ASSERT_EQ(a.report().events.size(), b.report().events.size());
     EXPECT_EQ(a.report().injectedAll(), 8u);
@@ -99,16 +99,16 @@ TEST(FaultInjector, TaintFailsVerifyUntilTransientRefetch)
 {
     // period=1 with count=1: the first eligible fetch is tainted.
     FaultInjector inj(FaultSpec::parse("bus:count=1:period=1"), 1);
-    const Addr blk = 0x1000, ctr = 0x9000;
-    inj.onDataFetched(blk, 100);
-    auto det = inj.checkVerify(blk, ctr, 200);
+    const Addr blk{0x1000}, ctr{0x9000};
+    inj.onDataFetched(blk, Tick{100});
+    auto det = inj.checkVerify(blk, ctr, Tick{200});
     ASSERT_TRUE(det.has_value());
     EXPECT_EQ(det->kind, FaultKind::BusFlip);
     EXPECT_EQ(det->addr, blk);
     // A cache-bypassing re-fetch clears in-flight corruption.
-    inj.recoveryRefetch(blk, ctr, 300);
-    EXPECT_FALSE(inj.checkVerify(blk, ctr, 400).has_value());
-    inj.noteRecovered(*det, 400, 1);
+    inj.recoveryRefetch(blk, ctr, Tick{300});
+    EXPECT_FALSE(inj.checkVerify(blk, ctr, Tick{400}).has_value());
+    inj.noteRecovered(*det, Tick{400}, 1);
     EXPECT_EQ(inj.report().recoveredAll(), 1u);
     EXPECT_EQ(inj.report().fatalAll(), 0u);
 }
@@ -116,23 +116,23 @@ TEST(FaultInjector, TaintFailsVerifyUntilTransientRefetch)
 TEST(FaultInjector, PersistentTaintSurvivesRefetchAndHealsOnWrite)
 {
     FaultInjector inj(FaultSpec::parse("data:count=1:period=1"), 1);
-    const Addr blk = 0x2000, ctr = 0xa000;
-    inj.onDataFetched(blk, 100);
-    ASSERT_TRUE(inj.checkVerify(blk, ctr, 200).has_value());
+    const Addr blk{0x2000}, ctr{0xa000};
+    inj.onDataFetched(blk, Tick{100});
+    ASSERT_TRUE(inj.checkVerify(blk, ctr, Tick{200}).has_value());
     // DRAM-resident corruption survives any number of re-fetches ...
-    inj.recoveryRefetch(blk, ctr, 300);
-    EXPECT_TRUE(inj.checkVerify(blk, ctr, 400).has_value());
+    inj.recoveryRefetch(blk, ctr, Tick{300});
+    EXPECT_TRUE(inj.checkVerify(blk, ctr, Tick{400}).has_value());
     // ... and heals only when the block is rewritten in DRAM.
-    inj.onDramWrite(blk, /*counter_class=*/false, 500);
-    EXPECT_FALSE(inj.checkVerify(blk, ctr, 600).has_value());
+    inj.onDramWrite(blk, /*counter_class=*/false, Tick{500});
+    EXPECT_FALSE(inj.checkVerify(blk, ctr, Tick{600}).has_value());
 }
 
 TEST(FaultInjector, UnverifiedBlocksPassVerify)
 {
     FaultInjector inj(FaultSpec::parse("bus:count=1:period=1"), 1);
-    inj.onDataFetched(0x1000, 100);
+    inj.onDataFetched(Addr{0x1000}, Tick{100});
     // A different (untainted) block verifies fine.
-    EXPECT_FALSE(inj.checkVerify(0x5000, 0x9000, 200).has_value());
+    EXPECT_FALSE(inj.checkVerify(Addr{0x5000}, Addr{0x9000}, Tick{200}).has_value());
 }
 
 // -------------------------------------------------- end-to-end through sim

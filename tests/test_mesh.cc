@@ -70,7 +70,7 @@ TEST(Mesh, RouteEndsAtEndpoints)
 TEST(Mesh, SliceMappingIsStable)
 {
     MeshTopology m;
-    const Addr a = 0x123456780;
+    const Addr a{0x123456780};
     EXPECT_EQ(m.sliceForAddr(a), m.sliceForAddr(a));
     EXPECT_EQ(m.sliceForAddr(a), m.sliceForAddr(a + 1));   // same block
 }
@@ -79,7 +79,7 @@ TEST(Mesh, SliceMappingSpreadsBlocks)
 {
     MeshTopology m;
     std::set<int> slices;
-    for (Addr a = 0; a < 512 * kBlockBytes; a += kBlockBytes)
+    for (Addr a{}; a < Addr{512 * kBlockBytes}; a += kBlockBytes)
         slices.insert(m.sliceForAddr(a));
     // 512 blocks over 28 slices should touch nearly all of them.
     EXPECT_GE(slices.size(), 24u);
@@ -92,7 +92,7 @@ TEST(Mesh, SliceMappingSpreadsBlocks)
 TEST(Mesh, McMappingInRange)
 {
     MeshTopology m;
-    for (Addr a = 0; a < 64 * kBlockBytes; a += kBlockBytes) {
+    for (Addr a{}; a < Addr{64 * kBlockBytes}; a += kBlockBytes) {
         const int mc = m.mcForAddr(a);
         EXPECT_GE(mc, 0);
         EXPECT_LT(mc, m.numMcs());

@@ -14,9 +14,9 @@ TEST(MetadataMap, LevelZeroCountersFollowData)
 {
     auto d = CounterDesign::create(CounterDesignKind::Morphable);
     MetadataMap m(*d, 16_MiB);
-    EXPECT_TRUE(m.isData(0));
-    EXPECT_TRUE(m.isData(16_MiB - 1));
-    EXPECT_FALSE(m.isData(16_MiB));
+    EXPECT_TRUE(m.isData(Addr{}));
+    EXPECT_TRUE(m.isData(Addr{16_MiB - 1}));
+    EXPECT_FALSE(m.isData(Addr{16_MiB}));
     // 16 MiB / 8 KiB coverage = 2048 counter blocks.
     EXPECT_EQ(m.levelCount(0), 2048u);
     EXPECT_EQ(m.levelBase(0), 16_MiB);
@@ -26,9 +26,9 @@ TEST(MetadataMap, CounterBlockAddrContiguous)
 {
     auto d = CounterDesign::create(CounterDesignKind::Morphable);
     MetadataMap m(*d, 16_MiB);
-    EXPECT_EQ(m.counterBlockAddr(0), 16_MiB);
-    EXPECT_EQ(m.counterBlockAddr(8191), 16_MiB);
-    EXPECT_EQ(m.counterBlockAddr(8192), 16_MiB + 64);
+    EXPECT_EQ(m.counterBlockAddr(Addr{0}), 16_MiB);
+    EXPECT_EQ(m.counterBlockAddr(Addr{8191}), 16_MiB);
+    EXPECT_EQ(m.counterBlockAddr(Addr{8192}), 16_MiB + 64);
 }
 
 TEST(MetadataMap, TreeGeometryMorphable)
@@ -57,17 +57,17 @@ TEST(MetadataMap, TreeNodeSharing)
     MetadataMap m(*d, 1_GiB);
     // Two data addresses under the same level-1 node (within
     // 128 * 8 KiB = 1 MiB) share it; beyond that they don't.
-    EXPECT_EQ(m.treeNodeAddr(1, 0), m.treeNodeAddr(1, 1_MiB - 1));
-    EXPECT_NE(m.treeNodeAddr(1, 0), m.treeNodeAddr(1, 1_MiB));
+    EXPECT_EQ(m.treeNodeAddr(1, Addr{0}), m.treeNodeAddr(1, Addr{1_MiB - 1}));
+    EXPECT_NE(m.treeNodeAddr(1, Addr{0}), m.treeNodeAddr(1, Addr{1_MiB}));
 }
 
 TEST(MetadataMap, LevelOfClassifiesAddresses)
 {
     auto d = CounterDesign::create(CounterDesignKind::Morphable);
     MetadataMap m(*d, 16_MiB);
-    EXPECT_EQ(m.levelOf(123), -1);
-    EXPECT_EQ(m.levelOf(m.counterBlockAddr(0)), 0);
-    EXPECT_EQ(m.levelOf(m.treeNodeAddr(1, 0)), 1);
+    EXPECT_EQ(m.levelOf(Addr{123}), -1);
+    EXPECT_EQ(m.levelOf(m.counterBlockAddr(Addr{0})), 0);
+    EXPECT_EQ(m.levelOf(m.treeNodeAddr(1, Addr{0})), 1);
 }
 
 TEST(MetadataMap, MetadataOverheadSmall)

@@ -17,48 +17,48 @@ TEST(Mshr, NewMissThenMerge)
 {
     MshrFile m(4);
     std::vector<Tick> fills;
-    EXPECT_EQ(m.allocate(0x100, [&](Tick t) { fills.push_back(t); }),
+    EXPECT_EQ(m.allocate(Addr{0x100}, [&](Tick t) { fills.push_back(t); }),
               MshrOutcome::NewMiss);
-    EXPECT_EQ(m.allocate(0x110, [&](Tick t) { fills.push_back(t); }),
+    EXPECT_EQ(m.allocate(Addr{0x110}, [&](Tick t) { fills.push_back(t); }),
               MshrOutcome::Merged);   // same block
-    EXPECT_TRUE(m.outstanding(0x13f));
+    EXPECT_TRUE(m.outstanding(Addr{0x13f}));
     EXPECT_EQ(m.inUse(), 1u);
-    EXPECT_EQ(m.complete(0x100, 42), 2u);
-    EXPECT_EQ(fills, (std::vector<Tick>{42, 42}));
-    EXPECT_FALSE(m.outstanding(0x100));
+    EXPECT_EQ(m.complete(Addr{0x100}, Tick{42}), 2u);
+    EXPECT_EQ(fills, (std::vector<Tick>{Tick{42}, Tick{42}}));
+    EXPECT_FALSE(m.outstanding(Addr{0x100}));
 }
 
 TEST(Mshr, DistinctBlocksGetDistinctEntries)
 {
     MshrFile m(4);
-    EXPECT_EQ(m.allocate(0x000, [](Tick) {}), MshrOutcome::NewMiss);
-    EXPECT_EQ(m.allocate(0x040, [](Tick) {}), MshrOutcome::NewMiss);
+    EXPECT_EQ(m.allocate(Addr{0x000}, [](Tick) {}), MshrOutcome::NewMiss);
+    EXPECT_EQ(m.allocate(Addr{0x040}, [](Tick) {}), MshrOutcome::NewMiss);
     EXPECT_EQ(m.inUse(), 2u);
 }
 
 TEST(Mshr, FullWhenCapacityReached)
 {
     MshrFile m(2);
-    EXPECT_EQ(m.allocate(0x000, [](Tick) {}), MshrOutcome::NewMiss);
-    EXPECT_EQ(m.allocate(0x040, [](Tick) {}), MshrOutcome::NewMiss);
-    EXPECT_EQ(m.allocate(0x080, [](Tick) {}), MshrOutcome::Full);
+    EXPECT_EQ(m.allocate(Addr{0x000}, [](Tick) {}), MshrOutcome::NewMiss);
+    EXPECT_EQ(m.allocate(Addr{0x040}, [](Tick) {}), MshrOutcome::NewMiss);
+    EXPECT_EQ(m.allocate(Addr{0x080}, [](Tick) {}), MshrOutcome::Full);
     // Merging into an existing entry still works when full.
-    EXPECT_EQ(m.allocate(0x040, [](Tick) {}), MshrOutcome::Merged);
+    EXPECT_EQ(m.allocate(Addr{0x040}, [](Tick) {}), MshrOutcome::Merged);
     EXPECT_EQ(m.fullStalls(), 1u);
 }
 
 TEST(Mshr, CompleteUnknownBlockIsNoop)
 {
     MshrFile m(2);
-    EXPECT_EQ(m.complete(0x500, 1), 0u);
+    EXPECT_EQ(m.complete(Addr{0x500}, Tick{1}), 0u);
 }
 
 TEST(Mshr, CountersTrack)
 {
     MshrFile m(4);
-    m.allocate(0x000, [](Tick) {});
-    m.allocate(0x000, [](Tick) {});
-    m.allocate(0x040, [](Tick) {});
+    m.allocate(Addr{0x000}, [](Tick) {});
+    m.allocate(Addr{0x000}, [](Tick) {});
+    m.allocate(Addr{0x040}, [](Tick) {});
     EXPECT_EQ(m.allocated(), 2u);
     EXPECT_EQ(m.merged(), 1u);
 }
@@ -66,9 +66,30 @@ TEST(Mshr, CountersTrack)
 TEST(Mshr, ReallocAfterComplete)
 {
     MshrFile m(1);
-    EXPECT_EQ(m.allocate(0x000, [](Tick) {}), MshrOutcome::NewMiss);
-    m.complete(0x000, 5);
-    EXPECT_EQ(m.allocate(0x000, [](Tick) {}), MshrOutcome::NewMiss);
+    EXPECT_EQ(m.allocate(Addr{0x000}, [](Tick) {}), MshrOutcome::NewMiss);
+    m.complete(Addr{0x000}, Tick{5});
+    EXPECT_EQ(m.allocate(Addr{0x000}, [](Tick) {}), MshrOutcome::NewMiss);
+}
+
+TEST(Mshr, ForEachOutstandingVisitsInAddressOrder)
+{
+    // Regression: this used to iterate the underlying unordered_map
+    // directly, so the watchdog's diagnostic dump came out in hash
+    // order — nondeterministic across libstdc++ versions and runs.
+    MshrFile m(8);
+    for (Addr a : {Addr{0x1c0}, Addr{0x040}, Addr{0x100}, Addr{0x080}})
+        m.allocate(a, [](Tick) {});
+    m.allocate(Addr{0x100}, [](Tick) {});  // merged: 2 waiters
+
+    std::vector<Addr> order;
+    std::vector<unsigned> waiters;
+    m.forEachOutstanding([&](Addr a, unsigned n) {
+        order.push_back(a);
+        waiters.push_back(n);
+    });
+    EXPECT_EQ(order, (std::vector<Addr>{Addr{0x040}, Addr{0x080},
+                                        Addr{0x100}, Addr{0x1c0}}));
+    EXPECT_EQ(waiters, (std::vector<unsigned>{1, 1, 2, 1}));
 }
 
 } // namespace

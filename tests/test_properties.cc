@@ -43,7 +43,7 @@ class RefCache
     access(Addr addr)
     {
         auto &l = lists_[set(addr)];
-        const Addr blk = blockNumber(addr);
+        const BlockNum blk = blockNumber(addr);
         auto it = std::find(l.begin(), l.end(), blk);
         if (it == l.end())
             return false;
@@ -56,7 +56,7 @@ class RefCache
     insert(Addr addr)
     {
         auto &l = lists_[set(addr)];
-        const Addr blk = blockNumber(addr);
+        const BlockNum blk = blockNumber(addr);
         auto it = std::find(l.begin(), l.end(), blk);
         if (it != l.end()) {
             l.erase(it);
@@ -78,7 +78,7 @@ class RefCache
 
     unsigned sets_;
     unsigned assoc_;
-    std::vector<std::list<Addr>> lists_;
+    std::vector<std::list<BlockNum>> lists_;
 };
 
 TEST(PropertyCache, MatchesReferenceLruModel)
@@ -93,7 +93,7 @@ TEST(PropertyCache, MatchesReferenceLruModel)
     Rng rng(2024);
     for (int op = 0; op < 50'000; ++op) {
         // Addresses from a pool ~3x the capacity for healthy conflict.
-        const Addr addr = rng.below(3 * kSets * kAssoc) * kBlockBytes;
+        const Addr addr{rng.below(3 * kSets * kAssoc) * kBlockBytes};
         if (rng.chance(0.5)) {
             ASSERT_EQ(dut.access(addr, LineClass::Data, false),
                       ref.access(addr))
@@ -119,7 +119,7 @@ TEST(PropertyCache, OccupancyNeverExceedsCapacity)
     CacheArray c("c", cfg);
     Rng rng(7);
     for (int op = 0; op < 20'000; ++op) {
-        const Addr addr = rng.below(512) * kBlockBytes;
+        const Addr addr{rng.below(512) * kBlockBytes};
         const auto cls = rng.chance(0.3) ? LineClass::Counter
                                          : LineClass::Data;
         c.insert(addr, cls, rng.chance(0.2));
@@ -129,7 +129,7 @@ TEST(PropertyCache, OccupancyNeverExceedsCapacity)
                       c.classCount(LineClass::TreeNode),
                   16u * 4);
         if (rng.chance(0.05))
-            c.invalidate(rng.below(512) * kBlockBytes);
+            c.invalidate(Addr{rng.below(512) * kBlockBytes});
     }
 }
 
@@ -146,7 +146,7 @@ TEST(PropertyEvents, RandomScheduleCancelMatchesReference)
 
     int next_tag = 0;
     for (int round = 0; round < 2'000; ++round) {
-        const Tick when = q.now() + rng.below(1000);
+        const Tick when = q.now() + Tick{rng.below(1000)};
         const int tag = next_tag++;
         handles.push_back(
             q.schedule(when, [tag, &fired] { fired.push_back(tag); }));
@@ -159,7 +159,7 @@ TEST(PropertyEvents, RandomScheduleCancelMatchesReference)
         }
         // Occasionally run forward a little.
         if (rng.chance(0.2))
-            q.runUntil(q.now() + rng.below(500));
+            q.runUntil(q.now() + Tick{rng.below(500)});
     }
     q.runAll();
 
@@ -188,7 +188,7 @@ TEST(PropertyDram, EveryRequestCompletesExactlyOnce)
     int enqueued = 0;
     for (int i = 0; i < kRequests; ++i) {
         DramRequest r;
-        r.addr = rng.below(1 << 20) * kBlockBytes;
+        r.addr = Addr{rng.below(1 << 20) * kBlockBytes};
         r.is_write = rng.chance(0.3);
         r.mclass = rng.chance(0.2) ? MemClass::Counter : MemClass::Data;
         r.on_complete = [&completions](Tick) { ++completions; };
@@ -201,7 +201,7 @@ TEST(PropertyDram, EveryRequestCompletesExactlyOnce)
     EXPECT_EQ(s.readsAll() + s.writesAll(),
               static_cast<Count>(enqueued));
     // Bus occupancy = one burst per served request.
-    EXPECT_EQ(s.bus_busy, static_cast<Tick>(enqueued) * cfg.burstTicks());
+    EXPECT_EQ(s.bus_busy, static_cast<std::uint64_t>(enqueued) * cfg.burstTicks());
     // Row outcome classification is exhaustive.
     EXPECT_EQ(s.row_hits + s.row_misses + s.row_conflicts,
               static_cast<Count>(enqueued));
@@ -218,7 +218,7 @@ TEST(PropertyDram, CompletionTimesRespectMinimumLatency)
     bool ok = true;
     for (int i = 0; i < 500; ++i) {
         DramRequest r;
-        r.addr = rng.below(1 << 16) * kBlockBytes;
+        r.addr = Addr{rng.below(1 << 16) * kBlockBytes};
         const Tick issued = sim.now();
         r.on_complete = [issued, min_lat, &ok](Tick done) {
             ok &= (done >= issued + min_lat);
@@ -236,14 +236,14 @@ TEST(PropertySecureMemory, RandomOpFuzzNeverMisverifies)
     SecureMemory mem(CounterDesignKind::Morphable,
                      SecureMemoryKeys::testKeys(3));
     Rng rng(31337);
-    constexpr Addr kBlocks = 64;
+    constexpr std::uint64_t kBlocks = 64;
     // Shadow copy of the plaintext the application wrote.
     std::map<Addr, std::array<std::uint8_t, 64>> shadow;
     // Blocks currently tampered (must fail verification).
     std::map<Addr, std::uint8_t> tampered;
 
     for (int op = 0; op < 4'000; ++op) {
-        const Addr addr = rng.below(kBlocks) * kBlockBytes;
+        const Addr addr{rng.below(kBlocks) * kBlockBytes};
         const int what = static_cast<int>(rng.below(10));
         if (what < 5) {
             // write

@@ -39,8 +39,8 @@ TEST_P(SecureMemoryTest, WriteReadRoundTrip)
     auto mem = make();
     std::uint8_t data[64], out[64];
     fill(data, 1);
-    mem.write(0x4000, data);
-    const auto r = mem.read(0x4000, out);
+    mem.write(Addr{0x4000}, data);
+    const auto r = mem.read(Addr{0x4000}, out);
     EXPECT_TRUE(r.present);
     EXPECT_TRUE(r.verified);
     EXPECT_EQ(0, std::memcmp(data, out, 64));
@@ -50,7 +50,7 @@ TEST_P(SecureMemoryTest, UnwrittenBlockAbsent)
 {
     auto mem = make();
     std::uint8_t out[64];
-    const auto r = mem.read(0x9000, out);
+    const auto r = mem.read(Addr{0x9000}, out);
     EXPECT_FALSE(r.present);
     EXPECT_FALSE(r.verified);
 }
@@ -60,8 +60,8 @@ TEST_P(SecureMemoryTest, CiphertextDiffersFromPlaintext)
     auto mem = make();
     std::uint8_t data[64];
     fill(data, 2);
-    mem.write(0x4000, data);
-    const std::uint8_t *ct = mem.ciphertext(0x4000);
+    mem.write(Addr{0x4000}, data);
+    const std::uint8_t *ct = mem.ciphertext(Addr{0x4000});
     ASSERT_NE(ct, nullptr);
     EXPECT_NE(0, std::memcmp(data, ct, 64));
 }
@@ -74,14 +74,14 @@ TEST_P(SecureMemoryTest, RewritesUseFreshOtp)
     auto mem = make();
     std::uint8_t data[64];
     fill(data, 3);
-    mem.write(0x4000, data);
+    mem.write(Addr{0x4000}, data);
     std::uint8_t first[64];
-    std::memcpy(first, mem.ciphertext(0x4000), 64);
-    mem.write(0x4000, data);
-    EXPECT_NE(0, std::memcmp(first, mem.ciphertext(0x4000), 64));
+    std::memcpy(first, mem.ciphertext(Addr{0x4000}), 64);
+    mem.write(Addr{0x4000}, data);
+    EXPECT_NE(0, std::memcmp(first, mem.ciphertext(Addr{0x4000}), 64));
     // And it still reads back fine.
     std::uint8_t out[64];
-    EXPECT_TRUE(mem.read(0x4000, out).verified);
+    EXPECT_TRUE(mem.read(Addr{0x4000}, out).verified);
     EXPECT_EQ(0, std::memcmp(data, out, 64));
 }
 
@@ -90,9 +90,9 @@ TEST_P(SecureMemoryTest, TamperedCiphertextDetected)
     auto mem = make();
     std::uint8_t data[64], out[64];
     fill(data, 4);
-    mem.write(0x4000, data);
-    EXPECT_TRUE(mem.tamperCiphertext(0x4000, 13, 0x80));
-    const auto r = mem.read(0x4000, out);
+    mem.write(Addr{0x4000}, data);
+    EXPECT_TRUE(mem.tamperCiphertext(Addr{0x4000}, 13, 0x80));
+    const auto r = mem.read(Addr{0x4000}, out);
     EXPECT_TRUE(r.present);
     EXPECT_FALSE(r.verified);
 }
@@ -102,9 +102,9 @@ TEST_P(SecureMemoryTest, TamperedMacDetected)
     auto mem = make();
     std::uint8_t data[64], out[64];
     fill(data, 5);
-    mem.write(0x4000, data);
-    EXPECT_TRUE(mem.tamperMac(0x4000, 0x1));
-    EXPECT_FALSE(mem.read(0x4000, out).verified);
+    mem.write(Addr{0x4000}, data);
+    EXPECT_TRUE(mem.tamperMac(Addr{0x4000}, 0x1));
+    EXPECT_FALSE(mem.read(Addr{0x4000}, out).verified);
 }
 
 TEST_P(SecureMemoryTest, TamperOnUnwrittenBlockReportsFailure)
@@ -112,12 +112,12 @@ TEST_P(SecureMemoryTest, TamperOnUnwrittenBlockReportsFailure)
     // Fault campaigns aim at arbitrary addresses; targeting a block that
     // was never written must report failure, not kill the process.
     auto mem = make();
-    EXPECT_FALSE(mem.tamperCiphertext(0x7000, 0, 0x01));
-    EXPECT_FALSE(mem.tamperMac(0x7000, 0x1));
+    EXPECT_FALSE(mem.tamperCiphertext(Addr{0x7000}, 0, 0x01));
+    EXPECT_FALSE(mem.tamperMac(Addr{0x7000}, 0x1));
     std::uint8_t data[64];
     fill(data, 8);
-    mem.write(0x7000, data);
-    EXPECT_TRUE(mem.tamperCiphertext(0x7000, 0, 0x01));
+    mem.write(Addr{0x7000}, data);
+    EXPECT_TRUE(mem.tamperCiphertext(Addr{0x7000}, 0, 0x01));
 }
 
 TEST_P(SecureMemoryTest, ReplayAttackDetected)
@@ -126,11 +126,11 @@ TEST_P(SecureMemoryTest, ReplayAttackDetected)
     std::uint8_t v1[64], v2[64], out[64];
     fill(v1, 6);
     fill(v2, 7);
-    mem.write(0x4000, v1);
-    ASSERT_TRUE(mem.snapshot(0x4000));
-    mem.write(0x4000, v2);   // counter advances
-    ASSERT_TRUE(mem.replay(0x4000));   // attacker restores old bytes
-    const auto r = mem.read(0x4000, out);
+    mem.write(Addr{0x4000}, v1);
+    ASSERT_TRUE(mem.snapshot(Addr{0x4000}));
+    mem.write(Addr{0x4000}, v2);   // counter advances
+    ASSERT_TRUE(mem.replay(Addr{0x4000}));   // attacker restores old bytes
+    const auto r = mem.read(Addr{0x4000}, out);
     EXPECT_TRUE(r.present);
     EXPECT_FALSE(r.verified) << "replay must not verify";
 }
@@ -139,12 +139,12 @@ TEST_P(SecureMemoryTest, ManyBlocksIndependent)
 {
     auto mem = make();
     std::uint8_t data[64], out[64];
-    for (Addr a = 0; a < 64 * kBlockBytes; a += kBlockBytes) {
-        fill(data, 100 + a);
+    for (Addr a{}; a < Addr{64 * kBlockBytes}; a += kBlockBytes) {
+        fill(data, 100 + a.value());
         mem.write(a, data);
     }
-    for (Addr a = 0; a < 64 * kBlockBytes; a += kBlockBytes) {
-        fill(data, 100 + a);
+    for (Addr a{}; a < Addr{64 * kBlockBytes}; a += kBlockBytes) {
+        fill(data, 100 + a.value());
         ASSERT_TRUE(mem.read(a, out).verified) << a;
         ASSERT_EQ(0, std::memcmp(data, out, 64)) << a;
     }
@@ -154,8 +154,8 @@ INSTANTIATE_TEST_SUITE_P(AllDesigns, SecureMemoryTest,
                          ::testing::Values(CounterDesignKind::Monolithic,
                                            CounterDesignKind::Sc64,
                                            CounterDesignKind::Morphable),
-                         [](const auto &info) {
-                             switch (info.param) {
+                         [](const auto &pinfo) {
+                             switch (pinfo.param) {
                                case CounterDesignKind::Monolithic:
                                  return std::string("Monolithic");
                                case CounterDesignKind::Sc64:
@@ -174,10 +174,10 @@ TEST(SecureMemoryEmcc, MacXorDotMatchesAesPart)
                      /*mac_over_ciphertext=*/true);
     std::uint8_t data[64];
     fill(data, 8);
-    mem.write(0x8000, data);
-    const auto xord = mem.macXorDot(0x8000);
+    mem.write(Addr{0x8000}, data);
+    const auto xord = mem.macXorDot(Addr{0x8000});
     ASSERT_TRUE(xord.has_value());
-    EXPECT_EQ(*xord, mem.macAesPart(0x8000));
+    EXPECT_EQ(*xord, mem.macAesPart(Addr{0x8000}));
 }
 
 TEST(SecureMemoryEmcc, MacXorDotCatchesTampering)
@@ -186,11 +186,11 @@ TEST(SecureMemoryEmcc, MacXorDotCatchesTampering)
                      SecureMemoryKeys::testKeys(), true);
     std::uint8_t data[64];
     fill(data, 9);
-    mem.write(0x8000, data);
-    mem.tamperCiphertext(0x8000, 5, 0x40);
-    const auto xord = mem.macXorDot(0x8000);
+    mem.write(Addr{0x8000}, data);
+    mem.tamperCiphertext(Addr{0x8000}, 5, 0x40);
+    const auto xord = mem.macXorDot(Addr{0x8000});
     ASSERT_TRUE(xord.has_value());
-    EXPECT_NE(*xord, mem.macAesPart(0x8000));
+    EXPECT_NE(*xord, mem.macAesPart(Addr{0x8000}));
 }
 
 TEST(SecureMemoryEmcc, PlaintextMacModeHasNoXorDot)
@@ -200,11 +200,11 @@ TEST(SecureMemoryEmcc, PlaintextMacModeHasNoXorDot)
                      /*mac_over_ciphertext=*/false);
     std::uint8_t data[64];
     fill(data, 10);
-    mem.write(0x8000, data);
-    EXPECT_FALSE(mem.macXorDot(0x8000).has_value());
+    mem.write(Addr{0x8000}, data);
+    EXPECT_FALSE(mem.macXorDot(Addr{0x8000}).has_value());
     // But normal verification still works.
     std::uint8_t out[64];
-    EXPECT_TRUE(mem.read(0x8000, out).verified);
+    EXPECT_TRUE(mem.read(Addr{0x8000}, out).verified);
 }
 
 TEST(SecureMemoryOverflow, Sc64OverflowPreservesData)
@@ -214,17 +214,17 @@ TEST(SecureMemoryOverflow, Sc64OverflowPreservesData)
     // Populate the whole 4 KiB region, then hammer one block through an
     // overflow; every block must still decrypt and verify.
     std::uint8_t data[64], out[64];
-    for (Addr a = 0; a < 4096; a += kBlockBytes) {
-        fill(data, 200 + a);
+    for (Addr a{}; a < Addr{4096}; a += kBlockBytes) {
+        fill(data, 200 + a.value());
         mem.write(a, data);
     }
     for (int i = 0; i < 200; ++i) {
         fill(data, 999);
-        mem.write(0x0, data);
+        mem.write(Addr{0x0}, data);
     }
     EXPECT_GT(mem.design().overflows(), 0u);
-    for (Addr a = kBlockBytes; a < 4096; a += kBlockBytes) {
-        fill(data, 200 + a);
+    for (Addr a{kBlockBytes}; a < Addr{4096}; a += kBlockBytes) {
+        fill(data, 200 + a.value());
         ASSERT_TRUE(mem.read(a, out).verified) << "block " << a;
         ASSERT_EQ(0, std::memcmp(data, out, 64)) << "block " << a;
     }
@@ -235,20 +235,20 @@ TEST(SecureMemoryOverflow, MorphableOverflowPreservesData)
     SecureMemory mem(CounterDesignKind::Morphable,
                      SecureMemoryKeys::testKeys());
     std::uint8_t data[64], out[64];
-    for (Addr a = 0; a < 8192; a += kBlockBytes) {
-        fill(data, 300 + a);
+    for (Addr a{}; a < Addr{8192}; a += kBlockBytes) {
+        fill(data, 300 + a.value());
         mem.write(a, data);
     }
     // Hammer one block until the format overflows.
     int writes = 0;
     while (mem.design().overflows() == 0 && writes < 100000) {
         fill(data, 777);
-        mem.write(0x40, data);
+        mem.write(Addr{0x40}, data);
         ++writes;
     }
     ASSERT_GT(mem.design().overflows(), 0u);
-    for (Addr a = 2 * kBlockBytes; a < 8192; a += kBlockBytes) {
-        fill(data, 300 + a);
+    for (Addr a{2 * kBlockBytes}; a < Addr{8192}; a += kBlockBytes) {
+        fill(data, 300 + a.value());
         ASSERT_TRUE(mem.read(a, out).verified) << "block " << a;
         ASSERT_EQ(0, std::memcmp(data, out, 64)) << "block " << a;
     }

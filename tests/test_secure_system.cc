@@ -92,9 +92,9 @@ TEST(SecureSystem, EmccReducesL2MissLatency)
     const auto base = runScheme(Scheme::LlcBaseline);
     const auto emcc = runScheme(Scheme::Emcc);
     const double base_lat = base.sys.l2_miss_latency_sum_ns /
-                            base.sys.l2_miss_latency_count;
+        static_cast<double>(base.sys.l2_miss_latency_count);
     const double emcc_lat = emcc.sys.l2_miss_latency_sum_ns /
-                            emcc.sys.l2_miss_latency_count;
+        static_cast<double>(emcc.sys.l2_miss_latency_count);
     EXPECT_LT(emcc_lat, base_lat);
 }
 
@@ -157,7 +157,7 @@ TEST(SecureSystem, L2MissLatencyInPlausibleRange)
     const auto r = runScheme(Scheme::Emcc);
     ASSERT_GT(r.sys.l2_miss_latency_count, 0u);
     const double avg = r.sys.l2_miss_latency_sum_ns /
-                       r.sys.l2_miss_latency_count;
+        static_cast<double>(r.sys.l2_miss_latency_count);
     // Between an LLC hit (~17 ns after the L2 miss) and a heavily
     // queued DRAM access.
     EXPECT_GT(avg, 10.0);
@@ -207,6 +207,33 @@ TEST(SecureSystem, ConfigTableRenders)
     EXPECT_NE(table.find("L2 Cache"), std::string::npos);
     EXPECT_NE(table.find("FR-FCFS"), std::string::npos);
     EXPECT_NE(table.find("Morphable"), std::string::npos);
+}
+
+TEST(SecureSystem, LeakReportCleanPredicate)
+{
+    // The CLI's --leak-strict exit code hinges on clean(): drained
+    // stragglers are fine, anything still in flight is a leak.
+    LeakReport lk;
+    lk.drained_events = 12;
+    EXPECT_TRUE(lk.clean());
+    EXPECT_NE(lk.render().find("clean"), std::string::npos);
+
+    for (Count LeakReport::*field :
+         {&LeakReport::undrained_events, &LeakReport::stuck_mshr_entries,
+          &LeakReport::queued_dram_requests}) {
+        LeakReport bad;
+        bad.*field = 1;
+        EXPECT_FALSE(bad.clean());
+        EXPECT_EQ(bad.render().find("clean"), std::string::npos);
+    }
+}
+
+TEST(SecureSystem, RunLeavesNothingInFlight)
+{
+    // Any completed run must pass its own leak check — the property
+    // --leak-strict enforces from the CLI.
+    const auto r = runScheme(Scheme::Emcc);
+    EXPECT_TRUE(r.leaks.clean()) << r.leaks.render();
 }
 
 } // namespace

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Compile-time contract of the strong Tick/Cycles/Addr/BlockNum types.
+ *
+ * The point of the strong types is what does NOT compile: mixing
+ * dimensions (a Tick plus an Addr), implicit narrowing from raw
+ * integers, and implicit decay back to integers. Those properties are
+ * asserted here with detection concepts, so a regression that loosens
+ * the types fails this TU at compile time — the test body then only
+ * has to check the arithmetic that IS allowed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <concepts>
+#include <cstdint>
+#include <type_traits>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace emcc {
+namespace {
+
+// ----------------------------------------------------- detection helpers
+
+template <class A, class B>
+concept CanAdd = requires(A a, B b) { a + b; };
+
+template <class A, class B>
+concept CanSub = requires(A a, B b) { a - b; };
+
+template <class A, class B>
+concept CanMul = requires(A a, B b) { a *b; };
+
+template <class A, class B>
+concept CanEq = requires(A a, B b) { a == b; };
+
+template <class A, class B>
+concept CanLess = requires(A a, B b) { a < b; };
+
+// --------------------------------------------- cross-type mixing is banned
+
+// Time plus an address (or a block number) is dimensionally meaningless.
+static_assert(!CanAdd<Tick, Addr>);
+static_assert(!CanAdd<Addr, Tick>);
+static_assert(!CanAdd<Tick, BlockNum>);
+static_assert(!CanAdd<Cycles, Addr>);
+static_assert(!CanSub<Tick, Addr>);
+static_assert(!CanSub<Addr, Tick>);
+
+// Cycle counts and picosecond timestamps don't mix without an explicit
+// cyclesToTicks()/ticksToCycles() conversion through a clock period.
+static_assert(!CanAdd<Tick, Cycles>);
+static_assert(!CanAdd<Cycles, Tick>);
+static_assert(!CanEq<Tick, Cycles>);
+static_assert(!CanLess<Cycles, Tick>);
+
+// Addresses and block numbers convert only via blockNumber()/blockBase().
+static_assert(!CanAdd<Addr, BlockNum>);
+static_assert(!CanEq<Addr, BlockNum>);
+static_assert(!std::is_convertible_v<Addr, BlockNum>);
+static_assert(!std::is_convertible_v<BlockNum, Addr>);
+
+// Products of two quantities of the same dimension are meaningless here
+// (there is no Tick² type); scaling needs a dimensionless integer.
+static_assert(!CanMul<Tick, Tick>);
+static_assert(!CanMul<Addr, Addr>);
+
+// ----------------------------------- no implicit conversions either way
+
+static_assert(!std::is_convertible_v<std::uint64_t, Tick>);
+static_assert(!std::is_convertible_v<std::uint64_t, Addr>);
+static_assert(!std::is_convertible_v<int, Tick>);
+static_assert(!std::is_convertible_v<Tick, std::uint64_t>);
+static_assert(!std::is_convertible_v<Addr, std::uint64_t>);
+static_assert(!std::is_convertible_v<Addr, double>);
+
+// Explicit construction and explicit casts stay available (printing,
+// stats export, printf varargs).
+static_assert(std::is_constructible_v<Tick, std::uint64_t>);
+static_assert(std::is_constructible_v<Addr, std::uint64_t>);
+static_assert(requires(Tick t) { static_cast<double>(t); });
+static_assert(requires(Addr a) { static_cast<std::uint64_t>(a); });
+
+// ------------------------------------- the allowed algebra, spot-checked
+
+static_assert(std::same_as<decltype(Tick{} + Tick{}), Tick>);
+static_assert(std::same_as<decltype(Tick{} - Tick{}), Tick>);
+static_assert(std::same_as<decltype(Tick{} * 3), Tick>);
+static_assert(std::same_as<decltype(3 * Tick{}), Tick>);
+// A ratio of durations is dimensionless.
+static_assert(std::same_as<decltype(Tick{8} / Tick{2}), std::uint64_t>);
+
+static_assert(std::same_as<decltype(Addr{} + 8), Addr>);
+static_assert(std::same_as<decltype(Addr{} & 0x3f), Addr>);
+// Address differences, shifts, and modulo yield raw fields, not addresses.
+static_assert(std::same_as<decltype(Addr{} - Addr{}), std::uint64_t>);
+static_assert(std::same_as<decltype(Addr{} >> 6), std::uint64_t>);
+static_assert(std::same_as<decltype(Addr{} % 7), std::uint64_t>);
+static_assert(std::same_as<decltype(Addr{} / 4096), std::uint64_t>);
+
+static_assert(std::same_as<decltype(blockNumber(Addr{})), BlockNum>);
+static_assert(std::same_as<decltype(blockBase(BlockNum{})), Addr>);
+static_assert(std::same_as<decltype(cyclesToTicks(Cycles{}, Tick{})), Tick>);
+static_assert(std::same_as<decltype(ticksToCycles(Tick{}, Tick{})), Cycles>);
+
+// ------------------------------------------------------- runtime checks
+
+TEST(StrongTypes, DefaultConstructionIsZero)
+{
+    EXPECT_EQ(Tick{}, Tick{0});
+    EXPECT_EQ(Addr{}.value(), 0u);
+    EXPECT_EQ(Cycles{}.value(), 0u);
+    EXPECT_EQ(BlockNum{}.value(), 0u);
+}
+
+TEST(StrongTypes, TickArithmetic)
+{
+    Tick t{100};
+    t += Tick{50};
+    EXPECT_EQ(t, Tick{150});
+    t -= Tick{30};
+    EXPECT_EQ(t, Tick{120});
+    EXPECT_EQ(t * 2, Tick{240});
+    EXPECT_EQ(t / 2, Tick{60});
+    EXPECT_EQ(t / Tick{50}, 2u);        // whole periods
+    EXPECT_EQ(t % Tick{50}, Tick{20});  // remainder stays a duration
+}
+
+TEST(StrongTypes, CycleConversionsRoundTrip)
+{
+    const Tick period{250};   // 4 GHz clock in ps
+    const Cycles n{12};
+    const Tick span = cyclesToTicks(n, period);
+    EXPECT_EQ(span, Tick{3000});
+    EXPECT_EQ(ticksToCycles(span, period), n);
+    // Truncation, not rounding: 2999 ps is 11 whole cycles.
+    EXPECT_EQ(ticksToCycles(span - Tick{1}, period), Cycles{11});
+}
+
+TEST(StrongTypes, AddrBlockRoundTrip)
+{
+    const Addr a{0x12345};
+    EXPECT_EQ(blockAlign(a), Addr{0x12340});
+    EXPECT_EQ(blockNumber(a).value(), 0x12345u >> kBlockShift);
+    EXPECT_EQ(blockBase(blockNumber(a)), blockAlign(a));
+    EXPECT_EQ(a - blockAlign(a), 0x5u);   // byte offset within the block
+}
+
+TEST(StrongTypes, SentinelsCompareDistinct)
+{
+    EXPECT_NE(kTickInvalid, Tick{});
+    EXPECT_NE(kAddrInvalid, Addr{});
+    EXPECT_NE(kBlockInvalid, BlockNum{});
+    EXPECT_EQ(kTickInvalid.value(), ~std::uint64_t{0});
+}
+
+TEST(StrongTypes, HashSupportsUnorderedContainers)
+{
+    std::unordered_map<Addr, int> m;
+    m[Addr{0x40}] = 1;
+    m[Addr{0x80}] = 2;
+    EXPECT_EQ(m.at(Addr{0x40}), 1);
+    EXPECT_EQ(m.at(Addr{0x80}), 2);
+    EXPECT_EQ(m.count(Addr{0xc0}), 0u);
+
+    std::unordered_map<BlockNum, int> bm;
+    bm[blockNumber(Addr{0x40})] = 3;
+    EXPECT_EQ(bm.at(BlockNum{1}), 3);
+}
+
+TEST(StrongTypes, StreamInsertionPrintsRawValue)
+{
+    std::ostringstream os;
+    os << Tick{123} << " " << Addr{0x40};
+    EXPECT_EQ(os.str(), "123 64");
+}
+
+} // namespace
+} // namespace emcc

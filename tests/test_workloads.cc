@@ -142,7 +142,7 @@ TEST(Workloads, IrregularWorkloadsTouchManyBlocks)
     const auto p = tinyParams();
     for (const auto &name : {"pageRank", "mcf", "canneal"}) {
         const auto w = buildWorkload(name, p);
-        std::set<Addr> blocks;
+        std::set<BlockNum> blocks;
         for (const auto &r : w.per_core[0])
             blocks.insert(blockNumber(r.vaddr));
         // Irregular: the trace touches a large block population.
@@ -155,7 +155,7 @@ TEST(Workloads, RegularMoreLocalThanIrregular)
     const auto p = tinyParams();
     auto distinct = [&](const std::string &name) {
         const auto w = buildWorkload(name, p);
-        std::set<Addr> blocks;
+        std::set<BlockNum> blocks;
         for (const auto &r : w.per_core[0])
             blocks.insert(blockNumber(r.vaddr));
         return static_cast<double>(blocks.size()) /
@@ -196,7 +196,7 @@ TEST(Workloads, UnknownNameIsFatal)
 TEST(TraceRecorder, SplitsMultiBlockAccesses)
 {
     TraceRecorder r(100);
-    r.load(60, 5, 16);   // crosses a block boundary
+    r.load(Addr{60}, 5, 16);   // crosses a block boundary
     ASSERT_EQ(r.size(), 2u);
     EXPECT_EQ(r.trace()[0].vaddr, 0u);
     EXPECT_EQ(r.trace()[1].vaddr, 64u);
@@ -208,7 +208,7 @@ TEST(TraceRecorder, StopsAtLimit)
 {
     TraceRecorder r(3);
     for (int i = 0; i < 10; ++i)
-        r.store(static_cast<Addr>(i) * 64, 1);
+        r.store(Addr{static_cast<std::uint64_t>(i) * 64}, 1);
     EXPECT_TRUE(r.full());
     EXPECT_EQ(r.size(), 3u);
 }
@@ -225,7 +225,7 @@ TEST(PatternMix, HotRegionConcentratesAccesses)
     synth::pattern(mix, rng, r);
     Count hot = 0;
     for (const auto &ref : r.trace())
-        hot += (ref.vaddr < 1_MiB);
+        hot += (ref.vaddr < Addr{1_MiB});
     // 50% hot + 1/16 of the cold random ~ 53%.
     EXPECT_GT(hot, r.size() / 3);
 }

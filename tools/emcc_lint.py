@@ -1,0 +1,356 @@
+#!/usr/bin/env python3
+"""emcc-lint: determinism & invariant checks for the EMCC simulator tree.
+
+The simulator's contract is bit-identical results for identical seeds
+(PropertyFault.IdenticalSeedsGiveIdenticalRuns and the determinism
+smoke test both depend on it). Most violations of that contract come
+from a handful of well-known C++ constructs, all of which are cheap to
+catch with a line-level scan:
+
+  rand            std::rand / srand / drand48: unseeded or global-state
+                  RNGs. Use common/rng.hh (seeded xoshiro256**).
+  random-device   std::random_device: draws hardware entropy, different
+                  every run.
+  wall-clock      system_clock / time() / gettimeofday / clock():
+                  wall-clock time in simulation logic breaks replay.
+                  (steady_clock for pure host-side profiling is fine.)
+  unordered-iter  Range-for over a std::unordered_map/unordered_set
+                  declared in the same file: iteration order depends on
+                  the allocator and hash seed, so anything it feeds
+                  (stats, rendered diagnostics, event scheduling) can
+                  differ between runs. Sort the keys first, or annotate
+                  the loop with `emcc-lint: allow(unordered-iter)` when
+                  the body is genuinely order-independent.
+  raw-new         Raw new/delete: ownership should go through
+                  std::unique_ptr / containers (leak-check layer relies
+                  on it).
+  exit            std::exit in library code: leaf modules must throw
+                  (common/error.hh) so embedders and tests can recover;
+                  only the CLI drivers under tools/ may exit.
+  pragma-once     Every header must start its preprocessing life with
+                  #pragma once (or a classic include guard).
+  naked-u64       Public header declares a function parameter of raw
+                  uint64_t whose name says it is a time or an address
+                  (addr/tick/when/...). Use the strong Tick/Addr types
+                  from common/types.hh.
+
+Any rule can be suppressed for one line with a trailing or preceding
+comment `emcc-lint: allow(<rule>)`.
+
+Usage:
+  emcc_lint.py [--root DIR]     lint DIR (default: repo root); exit 1
+                                on findings
+  emcc_lint.py --self-test      plant one violation of each rule in a
+                                temp tree and check each is caught;
+                                exit 1 on any miss
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+RULES = [
+    "rand",
+    "random-device",
+    "wall-clock",
+    "unordered-iter",
+    "raw-new",
+    "exit",
+    "pragma-once",
+    "naked-u64",
+]
+
+# Directories scanned relative to the root. tools/ is deliberately held
+# to the same standard except for the `exit` rule (a CLI may exit).
+SCAN_DIRS = ["src", "tests", "bench", "tools", "examples"]
+EXIT_EXEMPT_DIRS = ["tools", "examples"]
+
+SOURCE_EXTS = (".cc", ".cpp", ".hh", ".hpp", ".h")
+HEADER_EXTS = (".hh", ".hpp", ".h")
+
+ALLOW_RE = re.compile(r"emcc-lint:\s*allow\(([a-z0-9-]+)\)")
+
+RAND_RE = re.compile(r"\b(?:std::)?(?:s?rand|drand48|lrand48|random)\s*\(")
+RANDOM_DEVICE_RE = re.compile(r"\bstd::random_device\b")
+WALL_CLOCK_RE = re.compile(
+    r"\bsystem_clock\b|\bgettimeofday\s*\(|\bstd::time\s*\(|"
+    r"(?<![_\w])time\s*\(\s*(?:NULL|nullptr|0)\s*\)|(?<![_\w:])clock\s*\(\s*\)")
+NEW_RE = re.compile(r"(?<![_\w:.])new\s+[A-Za-z_(]")
+DELETE_RE = re.compile(r"(?<![_\w:.])delete(?:\[\])?\s+[A-Za-z_*(]|"
+                       r"(?<![_\w:.])delete\[\]")
+EXIT_RE = re.compile(r"\bstd::exit\s*\(|(?<![_\w:.])exit\s*\(")
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;:)]*:\s*(?:\w+\.|\w+->)?(\w+)\s*\)")
+# uint64_t parameter whose NAME marks it as a time or an address.
+NAKED_U64_RE = re.compile(
+    r"\b(?:std::)?uint64_t\s+(\w*(?:addr|Addr|vaddr|paddr|tick|Tick|"
+    r"time|Time|when|When|deadline|Deadline)\w*)\s*[,)=]")
+
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+CHAR_RE = re.compile(r"'(?:[^'\\]|\\.)*'")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+
+class Finding:
+    def __init__(self, path, line_no, rule, message):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def strip_code(line):
+    """Remove string/char literals and // comments so patterns only
+    match real code. Block comments are handled by the caller."""
+    line = STRING_RE.sub('""', line)
+    line = CHAR_RE.sub("''", line)
+    line = LINE_COMMENT_RE.sub("", line)
+    return line
+
+
+def allowed(rule, raw_lines, idx):
+    """A finding is suppressed by an allow() annotation on the same
+    line or the immediately preceding line."""
+    for j in (idx, idx - 1):
+        if 0 <= j < len(raw_lines):
+            m = ALLOW_RE.search(raw_lines[j])
+            if m and m.group(1) == rule:
+                return True
+    return False
+
+
+def decomment(raw_lines):
+    """Yield (line_no, code) with block comments blanked out."""
+    in_block = False
+    out = []
+    for line in raw_lines:
+        code = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = len(line)
+                else:
+                    in_block = False
+                    i = end + 2
+            else:
+                start = line.find("/*", i)
+                if start < 0:
+                    code.append(line[i:])
+                    i = len(line)
+                else:
+                    code.append(line[i:start])
+                    in_block = True
+                    i = start + 2
+        out.append(strip_code("".join(code)))
+    return out
+
+
+def lint_file(root, rel_path, findings):
+    path = os.path.join(root, rel_path)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw = f.read().splitlines()
+    except OSError as e:
+        findings.append(Finding(rel_path, 0, "io", str(e)))
+        return
+
+    code = decomment(raw)
+    top_dir = rel_path.split(os.sep, 1)[0]
+    is_header = rel_path.endswith(HEADER_EXTS)
+    in_src = top_dir == "src"
+
+    # ---- pragma-once: headers must be include-guarded. The guard may
+    # sit below a long doc comment, so scan the whole file.
+    if is_header:
+        head = "\n".join(raw)
+        if "#pragma once" not in head and "#ifndef" not in head:
+            if not allowed("pragma-once", raw, 0):
+                findings.append(Finding(
+                    rel_path, 1, "pragma-once",
+                    "header lacks #pragma once / include guard"))
+
+    # Names declared as unordered containers anywhere in this file.
+    unordered_names = set()
+    for line in code:
+        for m in UNORDERED_DECL_RE.finditer(line):
+            unordered_names.add(m.group(1))
+
+    for idx, line in enumerate(code):
+        n = idx + 1
+
+        def report(rule, message):
+            if not allowed(rule, raw, idx):
+                findings.append(Finding(rel_path, n, rule, message))
+
+        if RAND_RE.search(line):
+            report("rand",
+                   "global-state RNG; use common/rng.hh (seeded) instead")
+        if RANDOM_DEVICE_RE.search(line):
+            report("random-device",
+                   "std::random_device is nondeterministic; seed an Rng")
+        if WALL_CLOCK_RE.search(line):
+            report("wall-clock",
+                   "wall-clock time breaks run-to-run determinism")
+        if NEW_RE.search(line) or DELETE_RE.search(line):
+            report("raw-new",
+                   "raw new/delete; use std::unique_ptr or a container")
+        if in_src and top_dir not in EXIT_EXEMPT_DIRS \
+                and EXIT_RE.search(line):
+            report("exit",
+                   "library code must throw (common/error.hh), not exit")
+        m = RANGE_FOR_RE.search(line)
+        if m and m.group(1) in unordered_names:
+            report("unordered-iter",
+                   f"iterating unordered container '{m.group(1)}': "
+                   "order is not deterministic; sort keys first")
+        if is_header and in_src and NAKED_U64_RE.search(line):
+            pname = NAKED_U64_RE.search(line).group(1)
+            report("naked-u64",
+                   f"parameter '{pname}' is a raw uint64_t; "
+                   "use Tick/Addr from common/types.hh")
+
+    return findings
+
+
+def iter_sources(root):
+    for d in SCAN_DIRS:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, names in sorted(os.walk(base)):
+            for name in sorted(names):
+                if name.endswith(SOURCE_EXTS):
+                    yield os.path.relpath(os.path.join(dirpath, name), root)
+
+
+def run_lint(root):
+    findings = []
+    nfiles = 0
+    for rel in iter_sources(root):
+        nfiles += 1
+        lint_file(root, rel, findings)
+    return nfiles, findings
+
+
+# --------------------------------------------------------------- self-test
+
+SELF_TEST_FILES = {
+    # rule -> (relative path, content) planting exactly that violation
+    "rand": ("src/bad_rand.cc",
+             "int noise() { return std::rand(); }\n"),
+    "random-device": ("src/bad_rd.cc",
+                      "#include <random>\n"
+                      "unsigned seed() { return std::random_device{}(); }\n"),
+    "wall-clock": ("src/bad_clock.cc",
+                   "#include <chrono>\n"
+                   "auto now() { return "
+                   "std::chrono::system_clock::now(); }\n"),
+    "unordered-iter": ("src/bad_iter.cc",
+                       "#include <unordered_map>\n"
+                       "std::unordered_map<int, int> stats_;\n"
+                       "int sum() { int s = 0;\n"
+                       "for (const auto &kv : stats_) s += kv.second;\n"
+                       "return s; }\n"),
+    "raw-new": ("src/bad_new.cc",
+                "struct T {}; T *make() { return new T; }\n"),
+    "exit": ("src/bad_exit.cc",
+             "#include <cstdlib>\n"
+             "void die() { std::exit(1); }\n"),
+    "pragma-once": ("src/bad_guard.hh",
+                    "struct Unguarded {};\n"),
+    "naked-u64": ("src/bad_param.hh",
+                  "#pragma once\n"
+                  "#include <cstdint>\n"
+                  "void access(std::uint64_t addr, bool write);\n"),
+}
+
+CLEAN_FILE = ("src/clean.hh", """\
+#pragma once
+#include <cstdint>
+#include <unordered_map>
+// This file is deliberately lint-clean: strong types, annotated
+// iteration, no banned constructs.
+namespace t {
+using Addr = std::uint64_t;   // stand-in; real tree uses common/types.hh
+struct S {
+    std::unordered_map<int, int> m_;
+    int
+    total() const
+    {
+        int s = 0;
+        // emcc-lint: allow(unordered-iter) — sum is order-independent
+        for (const auto &kv : m_)
+            s += kv.second;
+        return s;
+    }
+};
+} // namespace t
+""")
+
+
+def self_test():
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="emcc_lint_st_") as tmp:
+        os.makedirs(os.path.join(tmp, "src"), exist_ok=True)
+        for rule, (rel, content) in SELF_TEST_FILES.items():
+            with open(os.path.join(tmp, rel), "w", encoding="utf-8") as f:
+                f.write(content)
+        rel, content = CLEAN_FILE
+        with open(os.path.join(tmp, rel), "w", encoding="utf-8") as f:
+            f.write(content)
+
+        _, findings = run_lint(tmp)
+        by_file = {}
+        for f in findings:
+            by_file.setdefault(f.path, []).append(f.rule)
+
+        for rule, (rel, _) in SELF_TEST_FILES.items():
+            got = by_file.get(rel, [])
+            if rule not in got:
+                failures.append(
+                    f"planted {rule} violation in {rel} NOT caught "
+                    f"(got: {got or 'nothing'})")
+        clean_hits = by_file.get(CLEAN_FILE[0], [])
+        if clean_hits:
+            failures.append(
+                f"clean file produced false positives: {clean_hits}")
+
+    for f in failures:
+        print(f"self-test FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print(f"self-test OK: all {len(SELF_TEST_FILES)} planted "
+              "violations caught, clean file clean")
+    return 1 if failures else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="tree to lint (default: repo root above tools/)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the linter catches planted violations")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    nfiles, findings = run_lint(root)
+    for f in findings:
+        print(f)
+    status = "clean" if not findings else f"{len(findings)} finding(s)"
+    print(f"emcc-lint: {nfiles} files scanned, {status}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

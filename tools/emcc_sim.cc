@@ -76,7 +76,9 @@ usage()
         "                        integrity violation\n"
         "  --watchdog-us X       forward-progress watchdog window in\n"
         "                        simulated us (default 0 = off)\n"
-        "  --no-leak-check       skip the post-run event/MSHR leak check\n");
+        "  --no-leak-check       skip the post-run event/MSHR leak check\n"
+        "  --leak-strict         fail (exit 4) if the post-run leak\n"
+        "                        check finds anything in flight\n");
 }
 
 /** Parse a mandatory integer/float option value; throws ConfigError on
@@ -110,6 +112,7 @@ runMain(int argc, char **argv)
 
     std::string workload = "BFS";
     std::string save_trace, load_trace, csv_path;
+    bool leak_strict = false;
     SystemConfig cfg = paperConfig(Scheme::Emcc);
     BenchScale scale = BenchScale::fromEnv();
 
@@ -191,6 +194,11 @@ runMain(int argc, char **argv)
             cfg.watchdog_window = nsToTicks(nextFloat() * 1000.0);
         } else if (arg == "--no-leak-check") {
             cfg.leak_check = false;
+        } else if (arg == "--leak-strict") {
+            // Strict mode implies the check itself even if an earlier
+            // --no-leak-check turned it off.
+            leak_strict = true;
+            cfg.leak_check = true;
         } else {
             throw ConfigError("unknown argument '" + arg + "'");
         }
@@ -229,7 +237,7 @@ runMain(int argc, char **argv)
     }
 
     std::printf("\nfootprint: %.1f MB, %zu refs/core, %s address space\n",
-                set.footprint / 1048576.0, set.per_core[0].size(),
+                static_cast<double>(set.footprint.value()) / 1048576.0, set.per_core[0].size(),
                 set.shared_address_space ? "shared" : "per-core");
 
     const auto r = runTiming(cfg, set, scale);
@@ -297,6 +305,11 @@ runMain(int argc, char **argv)
     }
     if (cfg.leak_check)
         std::printf("\nleak check: %s\n", r.leaks.render().c_str());
+    if (leak_strict && !r.leaks.clean()) {
+        std::fprintf(stderr, "emcc_sim: leak check failed: %s\n",
+                     r.leaks.render().c_str());
+        return 4;
+    }
 
     if (!csv_path.empty()) {
         std::FILE *f = std::fopen(csv_path.c_str(), "a");
