@@ -41,7 +41,7 @@ main()
     }
     t.addRow({"mean", Table::pct(mean(off_v)), Table::pct(mean(on_v)),
               ""});
-    std::fputs(t.render().c_str(), stdout);
+    benchutil::report("ablation_adaptive_offload", t);
     std::puts("\nexpected: adaptive offload recovers performance when "
               "the L2 AES share is under-provisioned");
     return 0;

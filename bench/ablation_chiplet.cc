@@ -51,7 +51,7 @@ main()
     }
     t.addRow({"mean", Table::pct(mean(gains[0])),
               Table::pct(mean(gains[1])), Table::pct(mean(gains[2]))});
-    std::fputs(t.render().c_str(), stdout);
+    benchutil::report("ablation_chiplet", t);
     std::puts("\nexpected: EMCC's benefit grows as the MC moves farther "
               "away — the paper's motivation for why this problem "
               "worsens going forward");

@@ -53,7 +53,7 @@ main()
     }
     t.addRow({"mean", Table::pct(mean(base_v)), Table::pct(mean(incl_v)),
               "", Table::pct(mean(dyn_v)), ""});
-    std::fputs(t.render().c_str(), stdout);
+    benchutil::report("ablation_extensions", t);
     std::puts("\nexpected: inclusive costs LLC capacity (slightly lower "
               "perf) but keeps inclusivity;\ndynamic-off stays on for "
               "these memory-intensive workloads (off windows ~0%)");

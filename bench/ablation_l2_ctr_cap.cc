@@ -39,7 +39,7 @@ main()
                       Table::pct(to_llc)});
         }
     }
-    std::fputs(t.render().c_str(), stdout);
+    benchutil::report("ablation_l2_ctr_cap", t);
     std::puts("\nexpected: larger caps raise the L2 counter hit rate "
               "with diminishing returns; 32KB is the paper's balance");
     return 0;

@@ -36,7 +36,7 @@ main()
         t.addRow(row);
     }
     t.addRow({"mean", Table::pct(mean(huge_v)), Table::pct(mean(small_v))});
-    std::fputs(t.render().c_str(), stdout);
+    benchutil::report("ablation_page_size", t);
     std::puts("\nexpected: 4KB paging increases counter misses "
               "(the reason the paper evaluates under huge pages)");
     return 0;

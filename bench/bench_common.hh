@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,78 @@ inline const std::vector<std::string> &
 figureWorkloads()
 {
     return irregularWorkloads();
+}
+
+/** JSON-escape a table cell (quotes, backslashes, control chars). */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/**
+ * Print the bench's result table and, when EMCC_BENCH_JSON names a
+ * directory, also dump the same rows as `<dir>/<bench>.json` so figure
+ * results are machine-checkable next to the human-readable table:
+ *
+ *   {"bench":"fig16_performance","columns":[...],"rows":[[...],...]}
+ */
+inline void
+report(const char *bench, const Table &t)
+{
+    std::fputs(t.render().c_str(), stdout);
+
+    const char *dir = std::getenv("EMCC_BENCH_JSON");
+    if (dir == nullptr || *dir == '\0')
+        return;
+    const std::string path = std::string(dir) + "/" + bench + ".json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+        return;
+    }
+    std::string json = "{\"bench\":\"";
+    json += jsonEscape(bench);
+    json += "\",\"columns\":[";
+    const char *sep = "";
+    for (const auto &h : t.headers()) {
+        json += sep;
+        json += '"' + jsonEscape(h) + '"';
+        sep = ",";
+    }
+    json += "],\"rows\":[";
+    sep = "";
+    for (const auto &row : t.rows()) {
+        json += sep;
+        json += '[';
+        const char *cell_sep = "";
+        for (const auto &cell : row) {
+            json += cell_sep;
+            json += '"' + jsonEscape(cell) + '"';
+            cell_sep = ",";
+        }
+        json += ']';
+        sep = ",";
+    }
+    json += "]}\n";
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("[json: %s]\n", path.c_str());
 }
 
 /** Announce a bench + scale once at startup. */

@@ -66,7 +66,7 @@ main()
     t.addRow({"mean", schemeName(Scheme::Emcc), "", "", "", "",
               Table::num(mean(emcc_lat), 1), "", "",
               Table::pct(mean(emcc_ovh))});
-    std::fputs(t.render().c_str(), stdout);
+    benchutil::report("fault_resilience", t);
 
     // Terminal path: a replay attack survives the cache-bypassing
     // re-fetch, so the bounded retry protocol must escalate.

@@ -49,7 +49,7 @@ main()
     }
     t.addRow({"mean", "", "", Table::pct(mean(wo_total)), "", "",
               Table::pct(mean(w_total))});
-    std::fputs(t.render().c_str(), stdout);
+    benchutil::report("fig02_traffic", t);
     std::printf("\npaper: mean total overhead 105%% (W/o) -> 59%% (W/)\n");
     return 0;
 }

@@ -35,7 +35,7 @@ main()
     }
     t.addRow({"mean", Table::pct(mean(mc)), Table::pct(mean(llc)),
               Table::pct(mean(miss))});
-    std::fputs(t.render().c_str(), stdout);
+    benchutil::report("fig06_ctr_hits_2mb", t);
     std::puts("\npaper means: MC hit 65%, LLC hit 15%, LLC miss 19%");
     return 0;
 }

@@ -34,7 +34,7 @@ main()
     }
     t.addRow({"mean", Table::pct(mean(mc)), Table::pct(mean(llc)),
               Table::pct(mean(miss))});
-    std::fputs(t.render().c_str(), stdout);
+    benchutil::report("fig07_ctr_hits_12mb", t);
     std::puts("\npaper means: MC hit 67%, LLC hit 18%, LLC miss 14%");
     return 0;
 }

@@ -29,7 +29,7 @@ main()
         t.addRow({name, Table::pct(f)});
     }
     t.addRow({"mean", Table::pct(mean(vals))});
-    std::fputs(t.render().c_str(), stdout);
+    benchutil::report("fig11_useless_ctr", t);
     std::puts("\npaper: 3.2% on average (thanks to caching counters "
               "in L2)");
     return 0;

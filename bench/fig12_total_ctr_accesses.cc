@@ -35,7 +35,7 @@ main()
     }
     t.addRow({"mean", Table::pct(mean(base_vals)),
               Table::pct(mean(emcc_vals))});
-    std::fputs(t.render().c_str(), stdout);
+    benchutil::report("fig12_total_ctr_accesses", t);
     std::printf("\npaper: EMCC 35.6%% vs baseline 31.4%% of L2 data "
                 "misses (EMCC only +4.2%%)\n");
     return 0;

@@ -41,7 +41,7 @@ main()
                   Table::pct(oh), Table::pct(d + c + o0 + oh)});
     }
     t.addRow({"mean", "", "", "", "", Table::pct(mean(totals))});
-    std::fputs(t.render().c_str(), stdout);
+    benchutil::report("fig15_bandwidth", t);
     std::puts("\npaper: utilization 10-65% depending on workload; "
               "counters a visible slice, overflow small");
     return 0;

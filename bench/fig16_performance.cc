@@ -44,7 +44,7 @@ main()
     }
     t.addRow({"mean", Table::pct(mean(sc_n)), Table::pct(mean(morph_n)),
               Table::pct(mean(emcc_n)), Table::pct(mean(gains))});
-    std::fputs(t.render().c_str(), stdout);
+    benchutil::report("fig16_performance", t);
     std::puts("\npaper: EMCC +7% over Morphable on average "
               "(max: canneal +12.5%); ordering EMCC > Morphable > SC-64");
     return 0;

@@ -41,7 +41,7 @@ main()
     }
     t.addRow({"mean", Table::num(mean(sc_v), 1), Table::num(mean(m_v), 1),
               Table::num(mean(e_v), 1), Table::num(mean(n_v), 1)});
-    std::fputs(t.render().c_str(), stdout);
+    benchutil::report("fig17_l2_miss_latency", t);
     std::printf("\nEMCC saves %.1f ns over Morphable on average "
                 "(paper: ~5 ns)\n", mean(m_v) - mean(e_v));
     return 0;

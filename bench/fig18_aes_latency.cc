@@ -38,7 +38,7 @@ main()
     }
     t.addRow({"mean", Table::pct(mean(gains[0])),
               Table::pct(mean(gains[1])), Table::pct(mean(gains[2]))});
-    std::fputs(t.render().c_str(), stdout);
+    benchutil::report("fig18_aes_latency", t);
     std::puts("\npaper: average benefit 7% @14ns rising to 9% @25ns");
     return 0;
 }

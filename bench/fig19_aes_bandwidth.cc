@@ -39,7 +39,7 @@ main()
     t.addRow({"mean", Table::pct(mean(shares[0])),
               Table::pct(mean(shares[1])), Table::pct(mean(shares[2])),
               Table::pct(mean(shares[3]))});
-    std::fputs(t.render().c_str(), stdout);
+    benchutil::report("fig19_aes_bandwidth", t);
     std::puts("\npaper: 76.3% on average at the 50% split; more AES at "
               "L2 -> higher share");
     return 0;

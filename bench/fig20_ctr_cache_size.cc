@@ -46,7 +46,7 @@ main()
     }
     t.addRow({"mean", Table::pct(mean(gains[0])),
               Table::pct(mean(gains[1])), Table::pct(mean(gains[2]))});
-    std::fputs(t.render().c_str(), stdout);
+    benchutil::report("fig20_ctr_cache_size", t);
     std::printf("\nMC counter-cache miss rate (baseline): "
                 "%.0f%% @128KB -> %.0f%% @256KB -> %.0f%% @512KB "
                 "(paper: 35%% -> 31%%)\n",

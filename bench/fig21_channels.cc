@@ -35,7 +35,7 @@ main()
         t.addRow(row);
     }
     t.addRow({"mean", Table::pct(mean(one)), Table::pct(mean(eight))});
-    std::fputs(t.render().c_str(), stdout);
+    benchutil::report("fig21_channels", t);
     std::puts("\npaper: benefit increases under eight channels");
     return 0;
 }

@@ -48,7 +48,7 @@ main()
                   Table::num(geo(log_cw, n_cw), 1),
                   Table::num(geo(log_dw, n_dw), 1)});
     }
-    std::fputs(t.render().c_str(), stdout);
+    benchutil::report("fig22_queuing_delay", t);
     std::puts("\npaper: queueing delay reduces with more channels; "
               "writes queue longer than reads (deprioritized)");
     return 0;

@@ -28,7 +28,7 @@ main()
         t.addRow({name, Table::pct(f)});
     }
     t.addRow({"mean", Table::pct(mean(vals))});
-    std::fputs(t.render().c_str(), stdout);
+    benchutil::report("fig23_invalidation", t);
     std::puts("\npaper: 1.7% of inserted counter blocks invalidated, "
               "on average");
     return 0;

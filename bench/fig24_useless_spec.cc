@@ -28,7 +28,7 @@ main()
         t.addRow({name, Table::pct(f)});
     }
     t.addRow({"mean", Table::pct(mean(vals))});
-    std::fputs(t.render().c_str(), stdout);
+    benchutil::report("fig24_useless_spec", t);
     std::puts("\npaper: ~1% on average across SPEC/PARSEC");
     return 0;
 }

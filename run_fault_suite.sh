@@ -96,7 +96,7 @@ run_one test_secure_memory "$BUILD/tests/test_secure_memory"
 run_one test_secure_system "$BUILD/tests/test_secure_system"
 
 SIM="$BUILD/tools/emcc_sim"
-COMMON=(--workload BFS --warmup 20000 --measure 50000 --trace 100000)
+COMMON=(--workload BFS --warmup 20000 --measure 50000 --trace-len 100000)
 
 # 2. one campaign per fault kind, both secure schemes
 for scheme in baseline emcc; do

@@ -1,6 +1,8 @@
 #include "cache/cache.hh"
 
 #include "common/log.hh"
+#include "common/stats.hh"
+#include "obs/metrics.hh"
 
 namespace emcc {
 
@@ -264,6 +266,34 @@ CacheArray::getFlag(Addr addr) const
 {
     const Line *line = findLine(addr);
     return line != nullptr && line->flag;
+}
+
+void
+CacheArray::registerMetrics(obs::MetricsRegistry &reg,
+                            const std::string &prefix) const
+{
+    // Short per-class metric stems: "data", "ctr", "tree" — matching
+    // the paper's counter-cache vocabulary (and the ISSUE's
+    // "l2.0.ctr_hits" naming example).
+    static const char *const stems[] = {"data", "ctr", "tree"};
+    static_assert(static_cast<int>(LineClass::NumClasses) == 3);
+    for (int c = 0; c < static_cast<int>(LineClass::NumClasses); ++c) {
+        const std::string base = prefix + '.' + stems[c] + '_';
+        reg.addCounter(base + "hits", &stats_.hits[c]);
+        reg.addCounter(base + "misses", &stats_.misses[c]);
+        reg.addCounter(base + "inserts", &stats_.inserts[c]);
+        reg.addCounter(base + "evictions", &stats_.evictions[c]);
+        reg.addCounter(base + "dirty_evictions", &stats_.dirty_evictions[c]);
+        reg.addCounter(base + "invalidations", &stats_.invalidations[c]);
+        reg.addGauge(base + "resident", [this, c] {
+            return static_cast<double>(class_count_[c]);
+        });
+    }
+    reg.addFormula(prefix + ".miss_rate", [this] {
+        return safeRatio(static_cast<double>(stats_.missesAll()),
+                         static_cast<double>(stats_.hitsAll() +
+                                             stats_.missesAll()));
+    });
 }
 
 void

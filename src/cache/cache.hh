@@ -28,6 +28,8 @@
 
 namespace emcc {
 
+namespace obs { class MetricsRegistry; }
+
 /** What kind of content a cache line holds. */
 enum class LineClass : std::uint8_t
 {
@@ -136,6 +138,15 @@ class CacheArray
 
     /** Zero the statistics (contents untouched). */
     void resetStats() { stats_ = CacheArrayStats{}; }
+
+    /**
+     * Register this array's statistics under "<prefix>." dotted names:
+     * per-class counters ("<prefix>.ctr_hits", "<prefix>.data_misses",
+     * ...), residency gauges and a miss-rate formula. The array must
+     * outlive the registry's last snapshot.
+     */
+    void registerMetrics(obs::MetricsRegistry &reg,
+                         const std::string &prefix) const;
 
     /** Drop all contents (keeps statistics). */
     void flushAll();

@@ -1,6 +1,7 @@
 #include "common/histogram.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -12,8 +13,14 @@ Histogram::percentile(double p) const
     if (count_ == 0)
         return 0.0;
     p = std::clamp(p, 0.0, 100.0);
-    const auto target = static_cast<std::uint64_t>(
-        p / 100.0 * static_cast<double>(count_));
+    // Rank of the percentile sample, 1-based: ceil(p% of count), at
+    // least 1 so low percentiles of small populations still land on a
+    // real sample instead of rank 0 (which would match the first bin
+    // unconditionally).
+    auto target = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    if (target == 0)
+        target = 1;
     std::uint64_t acc = underflow_;
     if (acc >= target && underflow_ > 0)
         return lo_;

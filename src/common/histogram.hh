@@ -86,6 +86,36 @@ class Histogram
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
 
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    double binWidth() const { return width_; }
+
+    /**
+     * Fold @p other into this histogram. Both must have identical
+     * binning (lo, hi, bin count); bin/underflow/overflow counts add,
+     * and mean/min/max stay exact because sum and extrema merge too.
+     */
+    void
+    merge(const Histogram &other)
+    {
+        panic_if(lo_ != other.lo_ || hi_ != other.hi_ ||
+                 bins_.size() != other.bins_.size(),
+                 "Histogram::merge with mismatched binning "
+                 "([%g,%g)x%zu vs [%g,%g)x%zu)",
+                 lo_, hi_, bins_.size(),
+                 other.lo_, other.hi_, other.bins_.size());
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+        if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+        count_ += other.count_;
+        sum_ += other.sum_;
+        underflow_ += other.underflow_;
+        overflow_ += other.overflow_;
+        for (size_t i = 0; i < bins_.size(); ++i)
+            bins_[i] += other.bins_[i];
+    }
+
     /** Percentile (0..100) estimated from the bins. */
     double percentile(double p) const;
 

@@ -35,6 +35,15 @@ class Table
     /** Render the full table with aligned columns. */
     std::string render() const;
 
+    /** Column headers, as declared at construction. */
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /** All appended rows, in insertion order. */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/metrics.hh"
 
 namespace emcc {
 
@@ -48,7 +49,7 @@ CoreModel::scheduleEngineAt(Tick when)
         pending_engine_ = kEventInvalid;
         pending_engine_tick_ = kTickInvalid;
         engine();
-    });
+    }, /*priority=*/0, EventTag::Core);
 }
 
 void
@@ -172,6 +173,27 @@ CoreModel::finish()
     // later start() resumes cleanly once in-flight loads drain.
     if (on_done_)
         on_done_();
+}
+
+void
+CoreModel::registerMetrics(obs::MetricsRegistry &reg,
+                           const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".committed",
+                   &stats_.committed_instructions);
+    reg.addCounter(prefix + ".loads", &stats_.loads);
+    reg.addCounter(prefix + ".stores", &stats_.stores);
+    reg.addFormula(prefix + ".ipc",
+                   [this] { return stats_.ipc(cfg_.cyclePs()); });
+    reg.addGauge(prefix + ".rob_occupancy", [this] {
+        return static_cast<double>(rob_occupancy_);
+    });
+    reg.addGauge(prefix + ".outstanding_loads", [this] {
+        return static_cast<double>(outstanding_loads_);
+    });
+    reg.addGauge(prefix + ".outstanding_stores", [this] {
+        return static_cast<double>(outstanding_stores_);
+    });
 }
 
 } // namespace emcc

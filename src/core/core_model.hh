@@ -32,6 +32,8 @@
 
 namespace emcc {
 
+namespace obs { class MetricsRegistry; }
+
 /** Table-I core parameters. */
 struct CoreConfig
 {
@@ -115,6 +117,22 @@ class CoreModel : public Component
     /** Where in the trace the core currently is (survives re-start, so
      *  a measurement phase continues from the warmed-up position). */
     std::size_t tracePos() const { return trace_pos_; }
+
+    const CoreConfig &config() const { return cfg_; }
+
+    /** Instructions currently occupying the ROB (watchdog snapshot). */
+    std::uint64_t robOccupancy() const { return rob_occupancy_; }
+
+    /** Loads in flight to the memory system. */
+    unsigned outstandingLoads() const { return outstanding_loads_; }
+
+    /** Stores occupying the write buffer. */
+    unsigned outstandingStores() const { return outstanding_stores_; }
+
+    /** Register commit/traffic counters + occupancy gauges under
+     *  "<prefix>.". */
+    void registerMetrics(obs::MetricsRegistry &reg,
+                         const std::string &prefix) const;
 
   private:
     struct RobGroup

@@ -17,8 +17,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 
 #include "common/types.hh"
+#include "obs/metrics.hh"
 
 namespace emcc {
 
@@ -91,6 +93,23 @@ class AesPool
         ops_ = 0;
         total_queue_delay_ = Tick{};
         max_queue_delay_ = Tick{};
+    }
+
+    /** Register throughput/queueing stats under "<prefix>.". */
+    void
+    registerMetrics(obs::MetricsRegistry &reg,
+                    const std::string &prefix) const
+    {
+        reg.addCounter(prefix + ".ops", &ops_);
+        reg.addGauge(prefix + ".total_queue_delay_ns",
+                     [this] { return ticksToNs(total_queue_delay_); });
+        reg.addGauge(prefix + ".max_queue_delay_ns",
+                     [this] { return ticksToNs(max_queue_delay_); });
+        reg.addFormula(prefix + ".mean_queue_delay_ns", [this] {
+            return ops_ ? ticksToNs(total_queue_delay_) /
+                          static_cast<double>(ops_)
+                        : 0.0;
+        });
     }
 
   private:

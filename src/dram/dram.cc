@@ -4,8 +4,17 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "obs/metrics.hh"
 
 namespace emcc {
+
+namespace {
+
+/** Metric-name stems per traffic class ([a-z0-9._] only). */
+const char *const kMemClassStem[] = {"data", "ctr", "ovf_l0", "ovf_hi"};
+static_assert(static_cast<int>(MemClass::NumClasses) == 4);
+
+} // namespace
 
 const char *
 memClassName(MemClass c)
@@ -73,6 +82,14 @@ DramChannel::DramChannel(Simulator &sim, std::string name,
 {
     banks_.resize(static_cast<size_t>(cfg_.ranks) * cfg_.banks_per_rank);
     rank_refresh_seen_.assign(cfg_.ranks, 0);
+    // Bind the trace track once; a null tracer_ is the (cheap) common
+    // case. The tracer must be attached to the Simulator before
+    // components are constructed.
+    if (obs::Tracer *t = sim.tracer();
+        t && t->enabled(obs::TraceCat::Dram)) {
+        tracer_ = t;
+        trace_track_ = t->track(this->name());
+    }
 }
 
 DramChannel::BankState &
@@ -146,7 +163,7 @@ DramChannel::scheduleServiceCheck()
     sim().scheduleIn(Tick{}, [this] {
         service_scheduled_ = false;
         serviceLoop();
-    }, /*priority=*/1);
+    }, /*priority=*/1, EventTag::Dram);
 }
 
 std::size_t
@@ -220,11 +237,19 @@ DramChannel::issue(Pending &p)
         ++stats_.reads[cls];
         stats_.read_qdelay[cls] += qdelay_ns;
         stats_.read_qdelay_log[cls] += std::log(qdelay_clamped);
+        stats_.read_qdelay_hist.add(qdelay_ns);
+    }
+
+    if (tracer_) {
+        tracer_->span(obs::TraceCat::Dram, trace_track_,
+                      p.req.is_write ? "dram_wr" : "dram_rd",
+                      p.enqueue_tick, data_end);
     }
 
     if (p.req.on_complete) {
         auto cb = p.req.on_complete;
-        sim().schedule(data_end, [cb, data_end] { cb(data_end); });
+        sim().schedule(data_end, [cb, data_end] { cb(data_end); },
+                       /*priority=*/0, EventTag::Dram);
     }
     return data_end;
 }
@@ -261,7 +286,7 @@ DramChannel::serviceLoop()
         sim().schedule(curTick() + cfg_.burstTicks(), [this] {
             service_scheduled_ = false;
             serviceLoop();
-        }, /*priority=*/1);
+        }, /*priority=*/1, EventTag::Dram);
     }
 }
 
@@ -303,8 +328,47 @@ DramMemory::aggregateStats() const
         agg.bus_busy += s.bus_busy;
         agg.refreshes += s.refreshes;
         agg.retries += s.retries;
+        agg.read_qdelay_hist.merge(s.read_qdelay_hist);
     }
     return agg;
+}
+
+void
+DramChannel::registerMetrics(obs::MetricsRegistry &reg,
+                             const std::string &prefix) const
+{
+    for (int c = 0; c < static_cast<int>(MemClass::NumClasses); ++c) {
+        reg.addCounter(prefix + ".rd_" + kMemClassStem[c],
+                       &stats_.reads[c]);
+        reg.addCounter(prefix + ".wr_" + kMemClassStem[c],
+                       &stats_.writes[c]);
+    }
+    reg.addCounter(prefix + ".row_hits", &stats_.row_hits);
+    reg.addCounter(prefix + ".row_misses", &stats_.row_misses);
+    reg.addCounter(prefix + ".row_conflicts", &stats_.row_conflicts);
+    reg.addCounter(prefix + ".refreshes", &stats_.refreshes);
+    reg.addCounter(prefix + ".retries", &stats_.retries);
+    reg.addGauge(prefix + ".bus_busy_ns",
+                 [this] { return ticksToNs(stats_.bus_busy); });
+    reg.addGauge(prefix + ".read_q_depth", [this] {
+        return static_cast<double>(read_q_.size());
+    });
+    reg.addGauge(prefix + ".write_q_depth", [this] {
+        return static_cast<double>(write_q_.size());
+    });
+    reg.addHistogram(prefix + ".read_qdelay_ns", &stats_.read_qdelay_hist);
+}
+
+void
+DramMemory::registerMetrics(obs::MetricsRegistry &reg,
+                            const std::string &prefix) const
+{
+    for (unsigned c = 0; c < numChannels(); ++c)
+        channels_[c]->registerMetrics(reg,
+                                      prefix + ".ch" + std::to_string(c));
+    reg.addGauge(prefix + ".queued", [this] {
+        return static_cast<double>(queuedRequests());
+    });
 }
 
 } // namespace emcc

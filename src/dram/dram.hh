@@ -24,9 +24,12 @@
 #include "common/histogram.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/trace.hh"
 #include "sim/simulator.hh"
 
 namespace emcc {
+
+namespace obs { class MetricsRegistry; }
 
 /** Traffic classes, for the paper's bandwidth/queueing breakdowns. */
 enum class MemClass : std::uint8_t
@@ -136,6 +139,8 @@ struct DramStats
     Tick bus_busy{};         ///< total data-bus occupancy
     Count refreshes = 0;
     Count retries = 0;         ///< enqueue rejections (queue full)
+    /// read queueing-delay distribution (ns), all classes combined
+    Histogram read_qdelay_hist{0.0, 2000.0, 50};
 
     Count readsAll() const;
     Count writesAll() const;
@@ -161,6 +166,10 @@ class DramChannel : public Component
 
     /** Zero the statistics (bank/queue state untouched). */
     void resetStats() { stats_ = DramStats{}; }
+
+    /** Register per-channel counters/queues under "<prefix>.". */
+    void registerMetrics(obs::MetricsRegistry &reg,
+                         const std::string &prefix) const;
 
   private:
     struct Pending
@@ -208,6 +217,9 @@ class DramChannel : public Component
     std::vector<Count> rank_refresh_seen_;
     bool service_scheduled_ = false;
     DramStats stats_;
+    /// non-null only when tracing with the dram category enabled
+    obs::Tracer *tracer_ = nullptr;
+    obs::TrackId trace_track_ = 0;
 };
 
 /**
@@ -250,6 +262,11 @@ class DramMemory : public Component
     {
         return static_cast<unsigned>(channels_.size());
     }
+
+    /** Register every channel under "<prefix>.chN." plus device-level
+     *  occupancy gauges. */
+    void registerMetrics(obs::MetricsRegistry &reg,
+                         const std::string &prefix) const;
 
   private:
     DramConfig cfg_;

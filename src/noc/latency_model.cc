@@ -1,6 +1,7 @@
 #include "noc/latency_model.hh"
 
 #include "common/log.hh"
+#include "obs/metrics.hh"
 
 namespace emcc {
 
@@ -16,11 +17,15 @@ NocLatencyModel::rebuildPairLatencies()
     pair_two_way_ns_.clear();
     pair_two_way_ns_.reserve(
         static_cast<size_t>(mesh_.numCores()) * mesh_.numSlices());
+    pair_hops_.clear();
+    pair_hops_.reserve(pair_two_way_ns_.capacity());
     double sum = 0.0;
     for (int c = 0; c < mesh_.numCores(); ++c) {
         for (int s = 0; s < mesh_.numSlices(); ++s) {
             const double two_way = 2.0 * coreToSliceNs(c, s);
             pair_two_way_ns_.push_back(two_way);
+            pair_hops_.push_back(
+                2 * static_cast<Count>(mesh_.hopsCoreToSlice(c, s)));
             sum += two_way;
         }
     }
@@ -54,7 +59,26 @@ double
 NocLatencyModel::sampleTwoWayNs(Rng &rng) const
 {
     const auto idx = rng.below(pair_two_way_ns_.size());
+    ++samples_;
+    hops_ += pair_hops_[static_cast<size_t>(idx)];
     return pair_two_way_ns_[static_cast<size_t>(idx)];
+}
+
+void
+NocLatencyModel::registerMetrics(obs::MetricsRegistry &reg,
+                                 const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".samples", &samples_);
+    reg.addCounter(prefix + ".hops", &hops_);
+    reg.addFormula(prefix + ".mean_hops", [this] {
+        return samples_ ? static_cast<double>(hops_) /
+                          static_cast<double>(samples_)
+                        : 0.0;
+    });
+    reg.addGauge(prefix + ".mean_one_way_ns",
+                 [this] { return meanOneWayNs(); });
+    reg.addGauge(prefix + ".mean_llc_hit_ns",
+                 [this] { return meanLlcHitNs(); });
 }
 
 void

@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "common/histogram.hh"
@@ -24,6 +25,8 @@
 #include "noc/mesh.hh"
 
 namespace emcc {
+
+namespace obs { class MetricsRegistry; }
 
 /** Tunables for the mesh latency model. */
 struct NocConfig
@@ -122,6 +125,24 @@ class NocLatencyModel
      */
     void calibrateMeanOneWay(double target_ns);
 
+    /** Traversals sampled through sampleTwoWayNs/sampleDeltaNs. */
+    Count samples() const { return samples_; }
+
+    /** Total router hops (two-way) across all sampled traversals. */
+    Count hops() const { return hops_; }
+
+    /** Zero the traffic accounting (latency tables untouched). */
+    void
+    resetStats()
+    {
+        samples_ = 0;
+        hops_ = 0;
+    }
+
+    /** Register traffic counters + latency gauges under "<prefix>.". */
+    void registerMetrics(obs::MetricsRegistry &reg,
+                         const std::string &prefix) const;
+
   private:
     void rebuildPairLatencies();
 
@@ -129,7 +150,12 @@ class NocLatencyModel
     NocConfig cfg_;
     /// two-way NoC latency for every (core, slice) pair, for sampling
     std::vector<double> pair_two_way_ns_;
+    /// two-way hop count for every (core, slice) pair (same indexing)
+    std::vector<Count> pair_hops_;
     double mean_two_way_ns_ = 0.0;
+    /// traffic accounting; mutable because sampling is logically const
+    mutable Count samples_ = 0;
+    mutable Count hops_ = 0;
 };
 
 } // namespace emcc

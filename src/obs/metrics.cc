@@ -1,0 +1,255 @@
+#include "obs/metrics.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hh"
+#include "common/log.hh"
+
+namespace emcc {
+namespace obs {
+
+std::string
+jsonNumber(double v)
+{
+    // JSON has no Infinity/NaN; clamp to null-like sentinel 0 rather
+    // than emit an unparsable token. Registered formulas use safeRatio
+    // so this is a belt-and-braces guard, not an expected path.
+    if (!std::isfinite(v))
+        return "0";
+    // Integer-valued doubles render without a fraction so that golden
+    // files are stable across libc printf vs to_chars styles.
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    // Shortest round-trip representation: deterministic for a given
+    // double bit pattern, independent of locale.
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+HistogramSnapshot
+HistogramSnapshot::of(const Histogram &h)
+{
+    HistogramSnapshot s;
+    s.count = h.count();
+    s.mean = h.mean();
+    s.min = h.count() ? h.min() : 0.0;
+    s.max = h.count() ? h.max() : 0.0;
+    s.underflow = h.underflow();
+    s.overflow = h.overflow();
+    s.lo = h.lo();
+    s.hi = h.hi();
+    s.num_bins = static_cast<unsigned>(h.numBins());
+    for (unsigned i = 0; i < s.num_bins; ++i) {
+        Count n = h.binCount(i);
+        if (n)
+            s.bins.emplace_back(i, n);
+    }
+    return s;
+}
+
+std::map<std::string, double>
+MetricsSnapshot::withPrefix(const std::string &prefix) const
+{
+    std::map<std::string, double> out;
+    auto scan = [&](const auto &m) {
+        for (const auto &[name, v] : m) {
+            if (name.rfind(prefix, 0) == 0)
+                out[name] = static_cast<double>(v);
+        }
+    };
+    scan(counters);
+    scan(gauges);
+    scan(formulas);
+    return out;
+}
+
+namespace {
+
+template <typename Map, typename Fmt>
+void
+appendObject(std::string &out, const char *key, const Map &m, Fmt fmt)
+{
+    out += '"';
+    out += key;
+    out += "\":{";
+    bool first = true;
+    for (const auto &[name, v] : m) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += jsonEscape(name);
+        out += "\":";
+        out += fmt(v);
+    }
+    out += '}';
+}
+
+std::string
+histogramJson(const HistogramSnapshot &h)
+{
+    std::string out = "{";
+    out += "\"count\":" + std::to_string(h.count);
+    out += ",\"mean\":" + jsonNumber(h.mean);
+    out += ",\"min\":" + jsonNumber(h.min);
+    out += ",\"max\":" + jsonNumber(h.max);
+    out += ",\"underflow\":" + std::to_string(h.underflow);
+    out += ",\"overflow\":" + std::to_string(h.overflow);
+    out += ",\"lo\":" + jsonNumber(h.lo);
+    out += ",\"hi\":" + jsonNumber(h.hi);
+    out += ",\"num_bins\":" + std::to_string(h.num_bins);
+    out += ",\"bins\":{";
+    bool first = true;
+    for (const auto &[idx, n] : h.bins) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"' + std::to_string(idx) + "\":" + std::to_string(n);
+    }
+    out += "}}";
+    return out;
+}
+
+} // namespace
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::string out = "{\"schema\":\"emcc-stats-v1\",";
+    appendObject(out, "counters", counters,
+                 [](Count v) { return std::to_string(v); });
+    out += ',';
+    appendObject(out, "gauges", gauges,
+                 [](double v) { return jsonNumber(v); });
+    out += ',';
+    appendObject(out, "formulas", formulas,
+                 [](double v) { return jsonNumber(v); });
+    out += ',';
+    appendObject(out, "histograms", histograms,
+                 [](const HistogramSnapshot &h) { return histogramJson(h); });
+    out += "}\n";
+    return out;
+}
+
+void
+MetricsRegistry::claim(const std::string &name, char kind)
+{
+    if (name.empty())
+        throw ConfigError("metric name must not be empty");
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '.' || c == '_';
+        if (!ok) {
+            throw ConfigError(detail::format(
+                "metric name '%s' has invalid character '%c' "
+                "(want [a-z0-9._])", name.c_str(), c));
+        }
+    }
+    if (name.front() == '.' || name.back() == '.') {
+        throw ConfigError(detail::format(
+            "metric name '%s' must not start or end with '.'",
+            name.c_str()));
+    }
+    auto [it, inserted] = kinds_.emplace(name, kind);
+    if (!inserted) {
+        throw ConfigError(detail::format(
+            "duplicate metric name '%s'", name.c_str()));
+    }
+}
+
+void
+MetricsRegistry::addCounter(const std::string &name, const Count *value)
+{
+    claim(name, 'c');
+    counters_.emplace(name, [value] { return *value; });
+}
+
+void
+MetricsRegistry::addCounterFn(const std::string &name,
+                              std::function<Count()> fn)
+{
+    claim(name, 'c');
+    counters_.emplace(name, std::move(fn));
+}
+
+void
+MetricsRegistry::addGauge(const std::string &name, std::function<double()> fn)
+{
+    claim(name, 'g');
+    gauges_.emplace(name, std::move(fn));
+}
+
+void
+MetricsRegistry::addFormula(const std::string &name,
+                            std::function<double()> fn)
+{
+    claim(name, 'f');
+    formulas_.emplace(name, std::move(fn));
+}
+
+void
+MetricsRegistry::addHistogram(const std::string &name, const Histogram *h)
+{
+    claim(name, 'h');
+    histograms_.emplace(name, h);
+}
+
+std::vector<std::string>
+MetricsRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(kinds_.size());
+    for (const auto &[name, kind] : kinds_)
+        out.push_back(name);
+    return out;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot s;
+    for (const auto &[name, fn] : counters_)
+        s.counters.emplace(name, fn());
+    for (const auto &[name, fn] : gauges_)
+        s.gauges.emplace(name, fn());
+    for (const auto &[name, fn] : formulas_)
+        s.formulas.emplace(name, fn());
+    for (const auto &[name, h] : histograms_)
+        s.histograms.emplace(name, HistogramSnapshot::of(*h));
+    return s;
+}
+
+} // namespace obs
+} // namespace emcc

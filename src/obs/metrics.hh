@@ -1,0 +1,155 @@
+/**
+ * @file
+ * MetricsRegistry: the observability layer's structured-statistics core.
+ *
+ * Components register their statistics under stable dotted names
+ * ("l2.0.ctr_hits", "dram.ch0.row_conflicts", "noc.hops") instead of
+ * hand-formatting tables. Four metric kinds, in the spirit of gem5's
+ * stats framework:
+ *
+ *   counter    a monotonically increasing event count, bound by pointer
+ *              to the component's own Count field (zero overhead on the
+ *              simulation hot path — the registry only reads at
+ *              snapshot time);
+ *   gauge      an instantaneous value sampled through a callback
+ *              (queue depth, occupancy);
+ *   formula    a derived value computed from other statistics at
+ *              snapshot time (miss rate, IPC);
+ *   histogram  a bound common/histogram.hh distribution.
+ *
+ * Determinism contract: snapshot() and MetricsSnapshot::toJson() are
+ * deterministic functions of the registered values. Names are kept in
+ * std::map (sorted iteration), doubles are rendered with shortest
+ * round-trip formatting (std::to_chars), and no host state (time,
+ * locale, pointer values) ever reaches the output. Two identical seeded
+ * runs therefore serialize byte-identical JSON — the golden-stat
+ * regression tests rely on this.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "common/types.hh"
+
+namespace emcc {
+namespace obs {
+
+/** Render a double as shortest-round-trip JSON number (deterministic). */
+std::string jsonNumber(double v);
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** Point-in-time copy of one histogram, for serialization. */
+struct HistogramSnapshot
+{
+    Count count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    Count underflow = 0;
+    Count overflow = 0;
+    double lo = 0.0;
+    double hi = 0.0;
+    unsigned num_bins = 0;
+    /** Non-empty bins only: (bin index, sample count). */
+    std::vector<std::pair<unsigned, Count>> bins;
+
+    static HistogramSnapshot of(const Histogram &h);
+};
+
+/**
+ * Point-in-time copy of every registered metric. Plain data: copyable,
+ * storable in RunResults, serializable without the live components.
+ */
+struct MetricsSnapshot
+{
+    std::map<std::string, Count> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, double> formulas;
+    std::map<std::string, HistogramSnapshot> histograms;
+
+    bool
+    empty() const
+    {
+        return counters.empty() && gauges.empty() && formulas.empty() &&
+               histograms.empty();
+    }
+
+    std::size_t
+    size() const
+    {
+        return counters.size() + gauges.size() + formulas.size() +
+               histograms.size();
+    }
+
+    /** All counters/gauges/formulas whose name starts with @p prefix. */
+    std::map<std::string, double> withPrefix(const std::string &prefix) const;
+
+    /**
+     * Deterministic JSON rendering:
+     * {"schema":"emcc-stats-v1","counters":{...},"gauges":{...},
+     *  "formulas":{...},"histograms":{...}}
+     * Keys sorted, doubles shortest-round-trip, no whitespace variance.
+     */
+    std::string toJson() const;
+};
+
+/**
+ * The registry. One per simulated system; components register into it
+ * at construction time and never touch it again — reads happen only at
+ * snapshot time, so registration has zero steady-state cost.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Bind a counter by pointer; the target must outlive the registry
+     *  user (it is read at snapshot time). */
+    void addCounter(const std::string &name, const Count *value);
+
+    /** Bind a counter computed through a callback. */
+    void addCounterFn(const std::string &name, std::function<Count()> fn);
+
+    /** Bind an instantaneous sampled value. */
+    void addGauge(const std::string &name, std::function<double()> fn);
+
+    /** Bind a derived value (ratio, normalized metric, ...). */
+    void addFormula(const std::string &name, std::function<double()> fn);
+
+    /** Bind a histogram by pointer. */
+    void addHistogram(const std::string &name, const Histogram *h);
+
+    std::size_t size() const { return kinds_.size(); }
+    bool has(const std::string &name) const { return kinds_.count(name); }
+
+    /** Sorted list of every registered name (tests, tooling). */
+    std::vector<std::string> names() const;
+
+    /** Read every metric now. Deterministic given deterministic values. */
+    MetricsSnapshot snapshot() const;
+
+  private:
+    /** Validate name syntax + uniqueness; throws ConfigError. */
+    void claim(const std::string &name, char kind);
+
+    std::map<std::string, std::function<Count()>> counters_;
+    std::map<std::string, std::function<double()>> gauges_;
+    std::map<std::string, std::function<double()>> formulas_;
+    std::map<std::string, const Histogram *> histograms_;
+    std::map<std::string, char> kinds_;
+};
+
+} // namespace obs
+} // namespace emcc

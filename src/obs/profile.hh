@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Host-side profiling helpers for the run summary: wall time per
+ * simulated second, simulation rate.
+ *
+ * This is the ONE file in the tree allowed to read a host clock.
+ * Host-time results must never feed back into simulated behaviour or
+ * the --stats-json output (which is covered by a byte-identity ctest);
+ * they are printed in the human-readable run summary only. steady_clock
+ * is used (not system_clock) so the measurement is immune to NTP
+ * adjustments.
+ */
+// emcc-lint: allow-file(wall-clock)
+
+#pragma once
+
+#include <chrono>
+
+namespace emcc {
+namespace obs {
+
+/** Monotonic stopwatch. Started on construction. */
+class HostTimer
+{
+  public:
+    HostTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    void restart() { start_ = std::chrono::steady_clock::now(); }
+
+    /** Elapsed host seconds since construction / restart(). */
+    double
+    seconds() const
+    {
+        auto d = std::chrono::steady_clock::now() - start_;
+        return std::chrono::duration<double>(d).count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace obs
+} // namespace emcc

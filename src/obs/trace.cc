@@ -1,0 +1,246 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/error.hh"
+#include "common/log.hh"
+#include "obs/metrics.hh"
+
+namespace emcc {
+namespace obs {
+
+const char *
+traceCatName(TraceCat c)
+{
+    switch (c) {
+      case TraceCat::Sim: return "sim";
+      case TraceCat::Cache: return "cache";
+      case TraceCat::Noc: return "noc";
+      case TraceCat::Dram: return "dram";
+      case TraceCat::Crypto: return "crypto";
+      case TraceCat::Secmem: return "secmem";
+      case TraceCat::NumCats: break;
+    }
+    return "?";
+}
+
+std::uint32_t
+parseTraceCats(const std::string &csv)
+{
+    std::uint32_t mask = 0;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        std::string tok = csv.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (tok.empty())
+            continue;
+        if (tok == "all") {
+            mask |= kAllTraceCats;
+            continue;
+        }
+        bool found = false;
+        for (unsigned i = 0; i < kNumTraceCats; ++i) {
+            if (tok == traceCatName(static_cast<TraceCat>(i))) {
+                mask |= 1u << i;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            throw ConfigError(detail::format(
+                "unknown trace category '%s' "
+                "(want sim,cache,noc,dram,crypto,secmem or all)",
+                tok.c_str()));
+        }
+    }
+    if (mask == 0)
+        throw ConfigError("empty trace category list");
+    return mask;
+}
+
+TrackId
+Tracer::track(const std::string &name)
+{
+    auto it = track_ids_.find(name);
+    if (it != track_ids_.end())
+        return it->second;
+    auto id = static_cast<TrackId>(track_names_.size());
+    track_names_.push_back(name);
+    track_ids_.emplace(name, id);
+    return id;
+}
+
+void
+Tracer::record(TraceCat cat, TrackId track, const char *name,
+               Tick begin, Tick end, bool instant)
+{
+    panic_if(track >= track_names_.size(),
+             "trace event on unregistered track %u", track);
+    panic_if(end < begin, "trace span '%s' ends (%llu) before it begins "
+             "(%llu)", name,
+             static_cast<unsigned long long>(end.value()),
+             static_cast<unsigned long long>(begin.value()));
+    if (events_.size() >= kMaxEvents) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(Event{begin, end, name, track, cat, instant});
+}
+
+namespace {
+
+/** Picoseconds to Chrome microseconds with exact integer math. */
+std::string
+tsMicros(Tick t)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%06" PRIu64,
+                  t.value() / 1'000'000, t.value() % 1'000'000);
+    return buf;
+}
+
+void
+appendEvent(std::string &out, const char *ph, const std::string &ts,
+            unsigned tid, const char *cat, const std::string &name,
+            const char *extra = nullptr)
+{
+    out += "{\"ph\":\"";
+    out += ph;
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"ts\":";
+    out += ts;
+    if (cat) {
+        out += ",\"cat\":\"";
+        out += cat;
+        out += '"';
+    }
+    out += ",\"name\":\"";
+    out += jsonEscape(name);
+    out += '"';
+    if (extra)
+        out += extra;
+    out += "},\n";
+}
+
+} // namespace
+
+std::string
+Tracer::renderJson() const
+{
+    // Partition events by track, preserving record order (stable).
+    std::vector<std::vector<std::size_t>> by_track(track_names_.size());
+    for (std::size_t i = 0; i < events_.size(); ++i)
+        by_track[events_[i].track].push_back(i);
+
+    std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+
+    unsigned next_tid = 1;
+    for (std::size_t t = 0; t < track_names_.size(); ++t) {
+        auto idx = by_track[t];
+        if (idx.empty())
+            continue;
+
+        // Sort spans (and instants) by begin time; ties keep record
+        // order so the layout is deterministic.
+        std::stable_sort(idx.begin(), idx.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return events_[a].begin < events_[b].begin;
+                         });
+
+        // Greedy first-fit lane assignment: a span goes into the first
+        // lane whose previous span has already ended. Each lane becomes
+        // one Chrome tid with perfectly nested (here: sequential) B/E
+        // pairs and non-decreasing timestamps. Instants get a lane of
+        // their own so they never interleave a span's B/E pair.
+        std::vector<std::vector<std::size_t>> lanes;
+        std::vector<Tick> lane_end;
+        std::vector<std::size_t> instants;
+        for (std::size_t i : idx) {
+            const Event &ev = events_[i];
+            if (ev.instant) {
+                instants.push_back(i);
+                continue;
+            }
+            std::size_t lane = lanes.size();
+            for (std::size_t l = 0; l < lanes.size(); ++l) {
+                if (lane_end[l] <= ev.begin) {
+                    lane = l;
+                    break;
+                }
+            }
+            if (lane == lanes.size()) {
+                lanes.emplace_back();
+                lane_end.push_back(Tick{0});
+            }
+            lanes[lane].push_back(i);
+            lane_end[lane] = ev.end;
+        }
+
+        auto nameLane = [&](std::size_t l, std::size_t n_lanes) {
+            std::string name = track_names_[t];
+            if (n_lanes > 1 && l > 0)
+                name += " #" + std::to_string(l + 1);
+            return name;
+        };
+
+        std::size_t total = lanes.size() + (instants.empty() ? 0 : 1);
+        for (std::size_t l = 0; l < lanes.size(); ++l) {
+            unsigned tid = next_tid++;
+            std::string meta = ",\"args\":{\"name\":\"" +
+                jsonEscape(nameLane(l, total)) + "\"}";
+            appendEvent(out, "M", "0", tid, nullptr, "thread_name",
+                        meta.c_str());
+            for (std::size_t i : lanes[l]) {
+                const Event &ev = events_[i];
+                appendEvent(out, "B", tsMicros(ev.begin), tid,
+                            traceCatName(ev.cat), ev.name);
+                appendEvent(out, "E", tsMicros(ev.end), tid,
+                            traceCatName(ev.cat), ev.name);
+            }
+        }
+        if (!instants.empty()) {
+            unsigned tid = next_tid++;
+            std::string meta = ",\"args\":{\"name\":\"" +
+                jsonEscape(track_names_[t] +
+                           (lanes.empty() ? "" : " (events)")) + "\"}";
+            appendEvent(out, "M", "0", tid, nullptr, "thread_name",
+                        meta.c_str());
+            for (std::size_t i : instants) {
+                const Event &ev = events_[i];
+                appendEvent(out, "i", tsMicros(ev.begin), tid,
+                            traceCatName(ev.cat), ev.name, ",\"s\":\"t\"");
+            }
+        }
+    }
+
+    // Strip the trailing ",\n" so the array is valid JSON.
+    if (out.size() >= 2 && out[out.size() - 2] == ',')
+        out.erase(out.size() - 2, 1);
+    out += "]}\n";
+    return out;
+}
+
+void
+Tracer::writeJson(const std::string &path) const
+{
+    if (dropped_)
+        warn("tracer dropped %llu events (buffer cap %zu)",
+             static_cast<unsigned long long>(dropped_), kMaxEvents);
+    std::string json = renderJson();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        throw SimError("cannot open trace output file: " + path);
+    std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+    int rc = std::fclose(f);
+    if (n != json.size() || rc != 0)
+        throw SimError("short write to trace output file: " + path);
+}
+
+} // namespace obs
+} // namespace emcc

@@ -15,10 +15,12 @@
 
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "common/log.hh"
 #include "common/types.hh"
+#include "obs/metrics.hh"
 #include "secmem/counter_design.hh"
 
 namespace emcc {
@@ -116,6 +118,23 @@ class MetadataMap
 
     std::uint64_t dataBytes() const { return data_bytes_; }
     unsigned arity() const { return arity_; }
+
+    /** Register layout geometry gauges under "<prefix>." — static over
+     *  a run, but part of the stats record so a JSON dump is
+     *  self-describing. */
+    void
+    registerMetrics(obs::MetricsRegistry &reg,
+                    const std::string &prefix) const
+    {
+        reg.addGauge(prefix + ".tree_levels",
+                     [this] { return static_cast<double>(numLevels()); });
+        reg.addGauge(prefix + ".data_bytes",
+                     [this] { return static_cast<double>(data_bytes_); });
+        reg.addGauge(prefix + ".metadata_bytes",
+                     [this] { return static_cast<double>(metadataBytes()); });
+        reg.addGauge(prefix + ".arity",
+                     [this] { return static_cast<double>(arity_); });
+    }
 
   private:
     std::uint64_t coverage_;

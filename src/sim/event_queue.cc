@@ -1,6 +1,26 @@
 #include "sim/event_queue.hh"
 
+#include "obs/metrics.hh"
+
 namespace emcc {
+
+const char *
+eventTagName(EventTag t)
+{
+    switch (t) {
+      case EventTag::Generic: return "generic";
+      case EventTag::Sim: return "sim";
+      case EventTag::Core: return "core";
+      case EventTag::Cache: return "cache";
+      case EventTag::Noc: return "noc";
+      case EventTag::Dram: return "dram";
+      case EventTag::Crypto: return "crypto";
+      case EventTag::Secmem: return "secmem";
+      case EventTag::System: return "system";
+      case EventTag::NumTags: break;
+    }
+    return "?";
+}
 
 void
 EventQueue::skipCancelled()
@@ -22,6 +42,8 @@ EventQueue::step()
     live_.erase(entry.id);
     panic_if(entry.when < now_, "event queue went backwards");
     now_ = entry.when;
+    ++stats_.executed;
+    ++stats_.executed_by_tag[static_cast<unsigned>(entry.tag)];
     entry.fn();
     return true;
 }
@@ -47,6 +69,21 @@ EventQueue::nextEventTick()
 {
     skipCancelled();
     return heap_.empty() ? kTickInvalid : heap_.top().when;
+}
+
+void
+EventQueue::registerMetrics(obs::MetricsRegistry &reg,
+                            const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".scheduled", &stats_.scheduled);
+    reg.addCounter(prefix + ".executed", &stats_.executed);
+    reg.addCounter(prefix + ".cancelled", &stats_.cancelled);
+    reg.addCounter(prefix + ".max_pending", &stats_.max_pending);
+    for (unsigned i = 0; i < kNumEventTags; ++i) {
+        reg.addCounter(prefix + ".by_tag." +
+                       eventTagName(static_cast<EventTag>(i)),
+                       &stats_.executed_by_tag[i]);
+    }
 }
 
 } // namespace emcc

@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -23,11 +24,48 @@
 
 namespace emcc {
 
+namespace obs { class MetricsRegistry; }
+
 /** Opaque handle to a scheduled event, usable for cancellation. */
 using EventId = std::uint64_t;
 
 /** Sentinel meaning "no event". */
 inline constexpr EventId kEventInvalid = 0;
+
+/**
+ * Coarse component tag attached to every scheduled event, so the
+ * profiling stats can attribute dispatch counts per subsystem
+ * ("sim.events.dram", ...) without any per-event allocation.
+ */
+enum class EventTag : unsigned
+{
+    Generic = 0,
+    Sim,        ///< kernel bookkeeping (watchdog, phase boundaries)
+    Core,       ///< core retire/issue events
+    Cache,      ///< cache fills and responses
+    Noc,        ///< NoC arrival events
+    Dram,       ///< DRAM channel completions
+    Crypto,     ///< AES engine completions
+    Secmem,     ///< counter/tree metadata events
+    System,     ///< request joins and system-level callbacks
+    NumTags,
+};
+
+constexpr unsigned kNumEventTags = static_cast<unsigned>(EventTag::NumTags);
+
+/** Short lower-case tag name ("core", "dram", ...). */
+const char *eventTagName(EventTag t);
+
+/** Dispatch/occupancy profile of one EventQueue. */
+struct EventQueueStats
+{
+    Count scheduled = 0;
+    Count executed = 0;
+    Count cancelled = 0;
+    /** High-water mark of live (pending) events. */
+    Count max_pending = 0;
+    std::array<Count, kNumEventTags> executed_by_tag{};
+};
 
 /**
  * Min-heap event queue. Callbacks are arbitrary std::function<void()>;
@@ -45,24 +83,30 @@ class EventQueue
     /**
      * Schedule @p fn at absolute time @p when (must be >= now()).
      * @param priority tie-break at equal tick; lower runs first.
+     * @param tag coarse component attribution for the dispatch profile.
      * @return a handle that can be passed to deschedule().
      */
     EventId
-    schedule(Tick when, std::function<void()> fn, int priority = 0)
+    schedule(Tick when, std::function<void()> fn, int priority = 0,
+             EventTag tag = EventTag::Generic)
     {
         panic_if(when < now_, "scheduling event in the past (%llu < %llu)",
                  (unsigned long long)when, (unsigned long long)now_);
         const EventId id = ++next_id_;
-        heap_.push(Entry{when, priority, id, std::move(fn)});
+        heap_.push(Entry{when, priority, id, tag, std::move(fn)});
         live_.insert(id);
+        ++stats_.scheduled;
+        if (live_.size() > stats_.max_pending)
+            stats_.max_pending = live_.size();
         return id;
     }
 
     /** Schedule @p fn @p delta ticks from now. */
     EventId
-    scheduleIn(Tick delta, std::function<void()> fn, int priority = 0)
+    scheduleIn(Tick delta, std::function<void()> fn, int priority = 0,
+               EventTag tag = EventTag::Generic)
     {
-        return schedule(now_ + delta, std::move(fn), priority);
+        return schedule(now_ + delta, std::move(fn), priority, tag);
     }
 
     /**
@@ -74,7 +118,10 @@ class EventQueue
     {
         if (id == kEventInvalid)
             return false;
-        return live_.erase(id) > 0;
+        bool was_live = live_.erase(id) > 0;
+        if (was_live)
+            ++stats_.cancelled;
+        return was_live;
     }
 
     /** Number of live (non-cancelled, unexecuted) events. */
@@ -105,12 +152,20 @@ class EventQueue
     /** Tick of the next live event, or kTickInvalid if none. */
     Tick nextEventTick();
 
+    /** Cumulative dispatch/occupancy profile. */
+    const EventQueueStats &stats() const { return stats_; }
+
+    /** Register the profile under "<prefix>." dotted names. */
+    void registerMetrics(obs::MetricsRegistry &reg,
+                         const std::string &prefix) const;
+
   private:
     struct Entry
     {
         Tick when;
         int priority;
         EventId id;
+        EventTag tag;
         std::function<void()> fn;
     };
 
@@ -133,6 +188,7 @@ class EventQueue
     std::unordered_set<EventId> live_;
     EventId next_id_ = kEventInvalid;
     Tick now_{};
+    EventQueueStats stats_;
 };
 
 } // namespace emcc

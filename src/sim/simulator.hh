@@ -14,6 +14,8 @@
 
 namespace emcc {
 
+namespace obs { class Tracer; }
+
 class Simulator;
 
 /**
@@ -61,16 +63,18 @@ class Simulator
 
     /** Schedule a callback at an absolute tick. */
     EventId
-    schedule(Tick when, std::function<void()> fn, int priority = 0)
+    schedule(Tick when, std::function<void()> fn, int priority = 0,
+             EventTag tag = EventTag::Generic)
     {
-        return queue_.schedule(when, std::move(fn), priority);
+        return queue_.schedule(when, std::move(fn), priority, tag);
     }
 
     /** Schedule a callback @p delta ticks from now. */
     EventId
-    scheduleIn(Tick delta, std::function<void()> fn, int priority = 0)
+    scheduleIn(Tick delta, std::function<void()> fn, int priority = 0,
+               EventTag tag = EventTag::Generic)
     {
-        return queue_.scheduleIn(delta, std::move(fn), priority);
+        return queue_.scheduleIn(delta, std::move(fn), priority, tag);
     }
 
     bool deschedule(EventId id) { return queue_.deschedule(id); }
@@ -78,8 +82,17 @@ class Simulator
     /** Run to completion (or until @p limit). @return events executed. */
     Count run(Tick limit = kTickInvalid) { return queue_.runUntil(limit); }
 
+    /**
+     * Attach an event tracer (not owned; must outlive the simulation).
+     * nullptr — the default — disables tracing; components check the
+     * pointer before recording, so the off path is a single load.
+     */
+    void setTracer(obs::Tracer *t) { tracer_ = t; }
+    obs::Tracer *tracer() const { return tracer_; }
+
   private:
     EventQueue queue_;
+    obs::Tracer *tracer_ = nullptr;
 };
 
 inline Tick

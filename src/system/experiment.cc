@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/log.hh"
+#include "obs/profile.hh"
 
 namespace emcc {
 namespace experiments {
@@ -85,10 +86,22 @@ RunResults
 runTiming(const SystemConfig &cfg, const WorkloadSet &workload,
           const BenchScale &scale)
 {
+    return runTiming(cfg, workload, scale, RunOptions{});
+}
+
+RunResults
+runTiming(const SystemConfig &cfg, const WorkloadSet &workload,
+          const BenchScale &scale, const RunOptions &opts)
+{
     Simulator sim;
+    if (opts.tracer)
+        sim.setTracer(opts.tracer);
+    obs::HostTimer timer;
     SecureSystem sys(sim, cfg, &workload);
     sys.run(scale.warmup_instructions, scale.measure_instructions);
-    return sys.results();
+    RunResults results = sys.results();
+    results.host_seconds = timer.seconds();
+    return results;
 }
 
 CharacterizerResults

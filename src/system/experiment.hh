@@ -51,6 +51,22 @@ CharacterizerConfig pintoolConfig(Scheme scheme,
 RunResults runTiming(const SystemConfig &cfg, const WorkloadSet &workload,
                      const BenchScale &scale);
 
+/** Observability hooks for a timing run. */
+struct RunOptions
+{
+    /** Event tracer to attach, or null for no tracing. Must be attached
+     *  before the system is constructed (components bind their tracks
+     *  in their constructors), which is why this rides through the
+     *  runner instead of being set afterwards. */
+    obs::Tracer *tracer = nullptr;
+};
+
+/** Run the timing system once with observability hooks attached.
+ *  results.metrics holds the full registry snapshot and
+ *  results.host_seconds the host wall-clock cost of the run. */
+RunResults runTiming(const SystemConfig &cfg, const WorkloadSet &workload,
+                     const BenchScale &scale, const RunOptions &opts);
+
 /** Run the functional characterizer once. */
 CharacterizerResults runFunctional(const CharacterizerConfig &cfg,
                                    const WorkloadSet &workload);

@@ -115,7 +115,111 @@ SecureSystem::SecureSystem(Simulator &sim, const SystemConfig &cfg,
                                   dram_.queuedRequests(),
                                   dram_.numChannels());
         });
+        watchdog_->addDiagnostic("cores", [this] {
+            std::string out;
+            for (unsigned c = 0; c < cfg_.cores; ++c) {
+                const auto &core = *cores_[c];
+                if (c)
+                    out += "; ";
+                out += detail::format(
+                    "core %u ROB %llu/%u, WB %u/%u, %u loads in flight",
+                    c,
+                    static_cast<unsigned long long>(core.robOccupancy()),
+                    cfg_.core.rob_entries,
+                    core.outstandingStores(),
+                    cfg_.core.max_outstanding_stores,
+                    core.outstandingLoads());
+            }
+            return out;
+        });
     }
+
+    setupTracing(sim);
+    registerAllMetrics();
+}
+
+void
+SecureSystem::setupTracing(Simulator &sim)
+{
+    tracer_ = sim.tracer();
+    if (!tracer_)
+        return;
+    trace_cache_ = tracer_->enabled(obs::TraceCat::Cache);
+    trace_crypto_ = tracer_->enabled(obs::TraceCat::Crypto);
+    trace_secmem_ = tracer_->enabled(obs::TraceCat::Secmem);
+    trace_noc_ = tracer_->enabled(obs::TraceCat::Noc);
+    trace_sim_ = tracer_->enabled(obs::TraceCat::Sim);
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        l2_tracks_.push_back(tracer_->track("l2." + std::to_string(c)));
+        l2_aes_tracks_.push_back(
+            tracer_->track("aes.l2." + std::to_string(c)));
+    }
+    mc_aes_track_ = tracer_->track("aes.mc");
+    secmem_track_ = tracer_->track("secmem.mc");
+    noc_track_ = tracer_->track("noc.resp");
+    sim_track_ = tracer_->track("sim.phases");
+}
+
+void
+SecureSystem::registerAllMetrics()
+{
+    auto &s = stats_;
+    metrics_.addCounter("sys.data_reads", &s.data_reads);
+    metrics_.addCounter("sys.data_writes", &s.data_writes);
+    metrics_.addCounter("sys.l1_hits", &s.l1_hits);
+    metrics_.addCounter("sys.l2_data_hits", &s.l2_data_hits);
+    metrics_.addCounter("sys.l2_data_misses", &s.l2_data_misses);
+    metrics_.addCounter("sys.llc_data_hits", &s.llc_data_hits);
+    metrics_.addCounter("sys.llc_data_misses", &s.llc_data_misses);
+    metrics_.addCounter("sys.mc_ctr_hits", &s.mc_ctr_hits);
+    metrics_.addCounter("sys.llc_ctr_hits", &s.llc_ctr_hits);
+    metrics_.addCounter("sys.llc_ctr_misses", &s.llc_ctr_misses);
+    metrics_.addCounter("sys.emcc_l2_ctr_hits", &s.emcc_l2_ctr_hits);
+    metrics_.addCounter("sys.emcc_l2_ctr_misses", &s.emcc_l2_ctr_misses);
+    metrics_.addCounter("sys.emcc_ctr_accesses_to_llc",
+                        &s.emcc_ctr_accesses_to_llc);
+    metrics_.addCounter("sys.baseline_ctr_accesses_to_llc",
+                        &s.baseline_ctr_accesses_to_llc);
+    metrics_.addCounter("sys.useless_ctr_accesses",
+                        &s.useless_ctr_accesses);
+    metrics_.addCounter("sys.l2_ctr_inserts", &s.l2_ctr_inserts);
+    metrics_.addCounter("sys.l2_ctr_invalidations",
+                        &s.l2_ctr_invalidations);
+    metrics_.addCounter("sys.decrypted_at_l2", &s.decrypted_at_l2);
+    metrics_.addCounter("sys.decrypted_at_mc", &s.decrypted_at_mc);
+    metrics_.addCounter("sys.adaptive_offloads", &s.adaptive_offloads);
+    metrics_.addCounter("sys.overflows", &s.overflows);
+    metrics_.addCounter("sys.llc_unverified_hits",
+                        &s.llc_unverified_hits);
+    metrics_.addCounter("sys.inclusive_back_invalidations",
+                        &s.inclusive_back_invalidations);
+    metrics_.addCounter("sys.dynamic_off_windows", &s.dynamic_off_windows);
+    metrics_.addCounter("sys.dynamic_windows", &s.dynamic_windows);
+    metrics_.addCounter("sys.integrity_detected", &s.integrity_detected);
+    metrics_.addCounter("sys.integrity_retried", &s.integrity_retried);
+    metrics_.addCounter("sys.integrity_recovered",
+                        &s.integrity_recovered);
+    metrics_.addCounter("sys.integrity_fatal", &s.integrity_fatal);
+    metrics_.addFormula("sys.l2_miss_latency_avg_ns", [this] {
+        return safeRatio(stats_.l2_miss_latency_sum_ns,
+                         static_cast<double>(
+                             stats_.l2_miss_latency_count));
+    });
+
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        const std::string n = std::to_string(c);
+        cores_[c]->registerMetrics(metrics_, "cores." + n);
+        l1_[c].registerMetrics(metrics_, "l1." + n);
+        l2_[c].registerMetrics(metrics_, "l2." + n);
+        l2_aes_[c]->registerMetrics(metrics_, "crypto.l2." + n);
+    }
+    llc_.registerMetrics(metrics_, "llc");
+    mc_cache_.registerMetrics(metrics_, "mc_ctr");
+    dram_.registerMetrics(metrics_, "dram");
+    noc_.registerMetrics(metrics_, "noc");
+    mc_aes_.registerMetrics(metrics_, "crypto.mc");
+    meta_.registerMetrics(metrics_, "secmem");
+    sim().events().registerMetrics(metrics_, "sim.events");
 }
 
 void
@@ -177,7 +281,8 @@ SecureSystem::read(unsigned core, Addr vaddr, std::function<void(Tick)> done)
     if (l1_[core].access(pa, LineClass::Data, false)) {
         ++stats_.l1_hits;
         const Tick fill = t0 + cfg_.l1_latency;
-        sim().schedule(fill, [done, fill] { done(fill); });
+        sim().schedule(fill, [done, fill] { done(fill); },
+                       /*priority=*/0, EventTag::Core);
         return;
     }
     const Tick t1 = t0 + cfg_.l1_latency;
@@ -199,8 +304,10 @@ SecureSystem::write(unsigned core, Addr vaddr,
 
     if (l1_[core].access(pa, LineClass::Data, true)) {
         const Tick fill = t0 + cfg_.l1_latency;
-        if (done)
-            sim().schedule(fill, [done, fill] { done(fill); });
+        if (done) {
+            sim().schedule(fill, [done, fill] { done(fill); },
+                           /*priority=*/0, EventTag::Core);
+        }
         return;
     }
     const Tick t1 = t0 + cfg_.l1_latency;
@@ -255,7 +362,8 @@ SecureSystem::l2Access(unsigned core, Addr pa, bool is_store, Tick t,
         sampleIntensity(core);
     if (l2_[core].access(pa, LineClass::Data, is_store)) {
         ++stats_.l2_data_hits;
-        sim().schedule(t_l2, [fill_cb, t_l2] { fill_cb(t_l2); });
+        sim().schedule(t_l2, [fill_cb, t_l2] { fill_cb(t_l2); },
+                       /*priority=*/0, EventTag::Cache);
         return;
     }
     ++stats_.l2_data_misses;
@@ -275,10 +383,14 @@ SecureSystem::l2Access(unsigned core, Addr pa, bool is_store, Tick t,
                   [this, core, pa, blk, t_miss](Tick fill) {
         stats_.l2_miss_latency_sum_ns += ticksToNs(fill - t_miss);
         ++stats_.l2_miss_latency_count;
+        if (trace_cache_) {
+            tracer_->span(obs::TraceCat::Cache, l2_tracks_[core],
+                          "l2_miss", t_miss, fill);
+        }
         insertL2Data(core, pa, /*dirty=*/false, fill);
         sim().schedule(fill, [this, core, blk, fill] {
             l2_mshr_[core]->complete(blk, fill);
-        });
+        }, /*priority=*/0, EventTag::Cache);
     });
 }
 
@@ -338,6 +450,10 @@ SecureSystem::emccCounterPath(unsigned core, Addr pa, Tick t_miss)
             t_lookup + cfg_.llc_ctr_access + cfg_.emcc_ctr_payload_extra,
             delta);
         inflight.emplace(ctr, arrival);
+        if (trace_secmem_) {
+            tracer_->span(obs::TraceCat::Secmem, l2_tracks_[core],
+                          "ctr_fetch_llc", t_lookup, arrival);
+        }
         insertL2Counter(core, ctr, arrival);
         out.ctr_ready_at_l2 = arrival + decode;
         return out;
@@ -367,7 +483,7 @@ SecureSystem::emccCounterPath(unsigned core, Addr pa, Tick t_miss)
             auto it = inf.find(ctr);
             if (it != inf.end() && it->second == kTickInvalid)
                 inf.erase(it);
-        });
+        }, /*priority=*/0, EventTag::Secmem);
     });
     return out;
 }
@@ -477,6 +593,10 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
         Tick fill = addDelta(leave_mc + cfg_.resp_mc_to_l2, resp_delta);
         if (join->crypto_at_l2)
             fill = std::max(fill, join->crypto_done);
+        if (trace_noc_) {
+            tracer_->span(obs::TraceCat::Noc, noc_track_, "noc_resp",
+                          leave_mc, std::max(fill, leave_mc));
+        }
         // §IV-F inclusive mode: the response also allocates in the LLC
         // on its way up, marked unverified if the L2 does the crypto.
         if (cfg_.inclusive_llc) {
@@ -504,6 +624,10 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
             const Tick start = ctr_tick + design_->decodeLatency() +
                                aesStall();
             join->crypto_done = mc_aes_.submit(start, 5);
+            if (trace_crypto_) {
+                tracer_->span(obs::TraceCat::Crypto, mc_aes_track_,
+                              "aes_decrypt", start, join->crypto_done);
+            }
             try_finish();
         });
         break;
@@ -516,6 +640,11 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
                 const Tick start = ctr_tick + design_->decodeLatency() +
                                    aesStall();
                 join->crypto_done = mc_aes_.submit(start, 5);
+                if (trace_crypto_) {
+                    tracer_->span(obs::TraceCat::Crypto, mc_aes_track_,
+                                  "aes_decrypt", start,
+                                  join->crypto_done);
+                }
                 try_finish();
             });
         } else {
@@ -534,6 +663,11 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
                 gate = std::max(gate, t_miss + cfg_.llc_latency);
             join->crypto_done = std::max(slot_done,
                                          gate + cfg_.aes_latency);
+            if (trace_crypto_) {
+                tracer_->span(obs::TraceCat::Crypto,
+                              l2_aes_tracks_[core], "aes_decrypt",
+                              t_miss, join->crypto_done);
+            }
         }
         break;
     }
@@ -603,7 +737,7 @@ SecureSystem::mcFetchCounter(Addr pa, Tick t, bool count_buckets,
     };
     auto walk = std::make_shared<Walk>();
 
-    auto arrive = [this, walk, ctr](Tick when) {
+    auto arrive = [this, walk, ctr, t2](Tick when) {
         walk->max_arrival = std::max(walk->max_arrival, when);
         panic_if(walk->outstanding == 0, "tree walk underflow");
         if (--walk->outstanding > 0)
@@ -612,6 +746,10 @@ SecureSystem::mcFetchCounter(Addr pa, Tick t, bool count_buckets,
         // one for the counter block itself.
         const Tick verified = mc_aes_.submit(walk->max_arrival,
                                              walk->fetched_levels + 1);
+        if (trace_secmem_) {
+            tracer_->span(obs::TraceCat::Secmem, secmem_track_,
+                          "ctr_walk", t2, verified);
+        }
         insertMcCache(ctr, LineClass::Counter, false, verified);
         if (cfg_.countersInLlc())
             insertLlc(ctr, LineClass::Counter, false, verified);
@@ -645,7 +783,8 @@ SecureSystem::mcFetchCounter(Addr pa, Tick t, bool count_buckets,
             const Tick ready = addDelta(t2 + cfg_.llc_ctr_access,
                                         nocDeltaTicks());
             insertMcCache(node, LineClass::TreeNode, false, ready);
-            sim().schedule(ready, [arrive, ready] { arrive(ready); });
+            sim().schedule(ready, [arrive, ready] { arrive(ready); },
+                           /*priority=*/0, EventTag::Secmem);
         } else {
             dramRequest(node, MemClass::Counter, false, t2,
                         [this, node, arrive](Tick when) {
@@ -758,7 +897,7 @@ SecureSystem::dramRequest(Addr addr, MemClass cls, bool is_write, Tick t,
                                 curTick());
         }
         tryEnqueueDram(addr, cls, is_write, done);
-    });
+    }, /*priority=*/0, EventTag::Dram);
 }
 
 // ------------------------------------------------- verify & recovery
@@ -878,7 +1017,7 @@ SecureSystem::tryEnqueueDram(Addr addr, MemClass cls, bool is_write,
     if (!dram_.enqueue(req)) {
         sim().scheduleIn(kDramRetry, [this, addr, cls, is_write, done] {
             tryEnqueueDram(addr, cls, is_write, done);
-        });
+        }, /*priority=*/0, EventTag::Dram);
     }
 }
 
@@ -891,7 +1030,7 @@ SecureSystem::insertL2Data(unsigned core, Addr pa, bool dirty, Tick t)
         auto victim = l2_[core].insert(pa, LineClass::Data, dirty);
         if (victim)
             handleL2Victim(core, *victim, curTick());
-    });
+    }, /*priority=*/0, EventTag::Cache);
 }
 
 void
@@ -911,7 +1050,7 @@ SecureSystem::insertL2Counter(unsigned core, Addr ctr_addr, Tick t)
                                        false);
         if (victim)
             handleL2Victim(core, *victim, curTick());
-    });
+    }, /*priority=*/0, EventTag::Cache);
 }
 
 void
@@ -977,7 +1116,7 @@ SecureSystem::insertLlc(Addr pa, LineClass cls, bool dirty, Tick t,
             dramRequest(victim->addr, MemClass::Counter, true,
                         curTick() + cfg_.noc_llc_mc, nullptr);
         }
-    });
+    }, /*priority=*/0, EventTag::Cache);
 }
 
 void
@@ -989,7 +1128,7 @@ SecureSystem::insertMcCache(Addr addr, LineClass cls, bool dirty, Tick t)
             dramRequest(victim->addr, MemClass::Counter, true, curTick(),
                         nullptr);
         }
-    });
+    }, /*priority=*/0, EventTag::Cache);
 }
 
 StatSet
@@ -1095,6 +1234,7 @@ SecureSystem::resetStats()
     stats_.integrity_recovered = prev.integrity_recovered;
     stats_.integrity_fatal = prev.integrity_fatal;
     dram_.resetStats();
+    noc_.resetStats();
     mc_aes_.reset();
     for (auto &p : l2_aes_)
         p->reset();
@@ -1166,6 +1306,7 @@ SecureSystem::run(Count warmup, Count measure)
 
     // ---- warmup phase
     if (warmup > 0) {
+        const Tick warmup_start = curTick();
         cores_running_ = cfg_.cores;
         for (auto &core : cores_) {
             core->start(warmup, [this] {
@@ -1175,10 +1316,15 @@ SecureSystem::run(Count warmup, Count measure)
         }
         while (cores_running_ > 0 && sim().events().step()) {
         }
+        if (trace_sim_) {
+            tracer_->span(obs::TraceCat::Sim, sim_track_, "warmup",
+                          warmup_start, curTick());
+        }
     }
 
     // ---- measurement phase
     resetStats();
+    const Tick measure_phase_start = curTick();
     cores_running_ = cfg_.cores;
     for (auto &core : cores_) {
         core->start(measure, [this] {
@@ -1188,6 +1334,10 @@ SecureSystem::run(Count warmup, Count measure)
     }
     while (cores_running_ > 0 && sim().events().step()) {
     }
+    if (trace_sim_) {
+        tracer_->span(obs::TraceCat::Sim, sim_track_, "measure",
+                      measure_phase_start, curTick());
+    }
     collectResults(measure * cfg_.cores);
 
     // ---- post-run hardening: stop the watchdog (it must not keep the
@@ -1196,6 +1346,10 @@ SecureSystem::run(Count warmup, Count measure)
         watchdog_->stop();
     if (cfg_.leak_check)
         drainAndCheckLeaks();
+
+    // Snapshot the full registry once everything has settled; the dump
+    // (--stats-json) is deterministic for a fixed seed.
+    results_.metrics = metrics_.snapshot();
 }
 
 } // namespace emcc

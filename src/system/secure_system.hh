@@ -31,6 +31,8 @@
 #include "fault/fault_injector.hh"
 #include "noc/latency_model.hh"
 #include "noc/mesh.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "secmem/counter_design.hh"
 #include "secmem/metadata_map.hh"
 #include "sim/watchdog.hh"
@@ -122,6 +124,11 @@ struct RunResults
     FaultReport faults;              ///< fault-campaign outcome (if any)
     LeakReport leaks;                ///< post-run leak check
     Count instructions = 0;
+    /** End-of-run dump of the full metrics registry (--stats-json). */
+    obs::MetricsSnapshot metrics;
+    /** Host wall-clock seconds for the run; profiling only — never part
+     *  of the deterministic stats JSON. */
+    double host_seconds = 0.0;
 
     /** Flatten everything into a named StatSet (for CSV/JSON export
      *  and tooling). */
@@ -154,6 +161,11 @@ class SecureSystem : public Component, public MemorySystemPort
     /** AES pool at L2 @p i (for tests / ablations). */
     const AesPool &l2AesPool(unsigned i) const { return *l2_aes_.at(i); }
     const AesPool &mcAesPool() const { return mc_aes_; }
+
+    /** The hierarchical metrics registry every component registered
+     *  into at construction ("l2.0.ctr_hits", "dram.ch0.row_conflicts",
+     *  "noc.hops", ...). */
+    const obs::MetricsRegistry &metrics() const { return metrics_; }
 
     // ---- MemorySystemPort
     void read(unsigned core, Addr vaddr,
@@ -224,6 +236,11 @@ class SecureSystem : public Component, public MemorySystemPort
     void resetStats();
     void collectResults(Count instructions);
 
+    /** Build the full dotted-name registry (construction time only). */
+    void registerAllMetrics();
+    /** Bind trace tracks for the enabled categories (construction). */
+    void setupTracing(Simulator &sim);
+
     SystemConfig cfg_;
     const WorkloadSet *workload_;
 
@@ -283,6 +300,22 @@ class SecureSystem : public Component, public MemorySystemPort
     RunResults results_;
     Tick measure_start_{};
     unsigned cores_running_ = 0;
+
+    obs::MetricsRegistry metrics_;
+    /// non-null only when a tracer is attached; per-category gates are
+    /// pre-resolved into the individual track handles below
+    obs::Tracer *tracer_ = nullptr;
+    bool trace_cache_ = false;
+    bool trace_crypto_ = false;
+    bool trace_secmem_ = false;
+    bool trace_noc_ = false;
+    bool trace_sim_ = false;
+    std::vector<obs::TrackId> l2_tracks_;      ///< per-core "l2.N"
+    std::vector<obs::TrackId> l2_aes_tracks_;  ///< per-core "aes.l2.N"
+    obs::TrackId mc_aes_track_ = 0;            ///< "aes.mc"
+    obs::TrackId secmem_track_ = 0;            ///< "secmem.mc"
+    obs::TrackId noc_track_ = 0;               ///< "noc.resp"
+    obs::TrackId sim_track_ = 0;               ///< "sim.phases"
 };
 
 } // namespace emcc

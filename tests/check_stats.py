@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validate an emcc_sim --stats-json dump.
+
+Usage:
+    check_stats.py STATS.json [--golden GOLDEN.json]
+
+Checks the schema contract:
+  - top level is an object with exactly the keys
+    schema/counters/gauges/formulas/histograms
+  - schema string is "emcc-stats-v1"
+  - counter values are non-negative integers
+  - metric names use the [a-z0-9._] grammar and are sorted
+  - histogram entries carry the snapshot fields and consistent totals
+
+With --golden, additionally diffs the dump against a golden file and
+reports added/removed keys and changed values (the ctest wrapper does a
+byte compare first; this produces the human-readable diff on failure).
+"""
+
+import argparse
+import json
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+TOP_KEYS = {"schema", "counters", "gauges", "formulas", "histograms"}
+HIST_KEYS = {"count", "mean", "min", "max", "underflow", "overflow",
+             "lo", "hi", "num_bins", "bins"}
+
+
+def fail(msg):
+    print(f"check_stats: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_names(section, mapping):
+    names = list(mapping.keys())
+    for n in names:
+        if not NAME_RE.match(n):
+            fail(f"{section}: bad metric name {n!r}")
+    if names != sorted(names):
+        fail(f"{section}: names are not sorted")
+
+
+def check_schema(doc):
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    if set(doc.keys()) != TOP_KEYS:
+        fail(f"top-level keys {sorted(doc.keys())} != {sorted(TOP_KEYS)}")
+    if doc["schema"] != "emcc-stats-v1":
+        fail(f"unexpected schema tag {doc['schema']!r}")
+    for section in ("counters", "gauges", "formulas", "histograms"):
+        if not isinstance(doc[section], dict):
+            fail(f"{section} is not an object")
+        check_names(section, doc[section])
+    for name, v in doc["counters"].items():
+        if not isinstance(v, int) or v < 0:
+            fail(f"counter {name} = {v!r} is not a non-negative integer")
+    for section in ("gauges", "formulas"):
+        for name, v in doc[section].items():
+            if not isinstance(v, (int, float)):
+                fail(f"{section[:-1]} {name} = {v!r} is not a number")
+    for name, h in doc["histograms"].items():
+        if set(h.keys()) != HIST_KEYS:
+            fail(f"histogram {name} keys {sorted(h.keys())}")
+        binned = sum(h["bins"].values())
+        if binned + h["underflow"] + h["overflow"] != h["count"]:
+            fail(f"histogram {name}: bins+under+over != count")
+        for idx in h["bins"]:
+            if not idx.isdigit() or int(idx) >= h["num_bins"]:
+                fail(f"histogram {name}: bad bin index {idx!r}")
+
+
+def flatten(doc):
+    out = {}
+    for section in ("counters", "gauges", "formulas"):
+        for name, v in doc[section].items():
+            out[f"{section}.{name}"] = v
+    for name, h in doc["histograms"].items():
+        out[f"histograms.{name}"] = json.dumps(h, sort_keys=True)
+    return out
+
+
+def diff_golden(doc, golden):
+    a, b = flatten(golden), flatten(doc)
+    added = sorted(set(b) - set(a))
+    removed = sorted(set(a) - set(b))
+    changed = sorted(k for k in set(a) & set(b) if a[k] != b[k])
+    for k in removed:
+        print(f"  removed: {k} (golden {a[k]})")
+    for k in added:
+        print(f"  added:   {k} = {b[k]}")
+    for k in changed:
+        print(f"  changed: {k}: golden {a[k]} -> {b[k]}")
+    return not (added or removed or changed)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("stats")
+    ap.add_argument("--golden")
+    args = ap.parse_args()
+
+    with open(args.stats) as f:
+        doc = json.load(f)
+    check_schema(doc)
+
+    if args.golden:
+        with open(args.golden) as f:
+            golden = json.load(f)
+        check_schema(golden)
+        if not diff_golden(doc, golden):
+            fail("stats diverged from golden")
+
+    total = sum(len(doc[s]) for s in
+                ("counters", "gauges", "formulas", "histograms"))
+    print(f"check_stats: OK ({total} metrics)")
+
+
+if __name__ == "__main__":
+    main()

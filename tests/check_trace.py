@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validate an emcc_sim --trace Chrome trace_event dump.
+
+Usage:
+    check_trace.py TRACE.json [--only-cats CAT[,CAT...]]
+
+Checks the trace_event contract the tracer promises:
+  - the file parses as JSON with a traceEvents array
+  - every event carries ph/pid/tid/ts (metadata exempt from ts)
+  - per tid, B/E timestamps are non-decreasing
+  - every B has a matching E with the same name (stack discipline)
+  - instant events use ph "i" with scope "t"
+  - categories come from the known set (and, with --only-cats, only
+    from the given subset — the category-filter contract)
+"""
+
+import argparse
+import collections
+import sys
+
+import json
+
+KNOWN_CATS = {"sim", "cache", "noc", "dram", "crypto", "secmem"}
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument("--only-cats")
+    args = ap.parse_args()
+    allowed = (set(args.only_cats.split(","))
+               if args.only_cats else KNOWN_CATS)
+
+    with open(args.trace) as f:
+        doc = json.load(f)
+    if "traceEvents" not in doc:
+        fail("no traceEvents array")
+
+    stacks = collections.defaultdict(list)
+    last_ts = collections.defaultdict(lambda: -1.0)
+    spans = instants = 0
+    for i, ev in enumerate(doc["traceEvents"]):
+        for key in ("ph", "pid", "tid"):
+            if key not in ev:
+                fail(f"event {i} missing {key!r}")
+        ph = ev["ph"]
+        if ph == "M":
+            continue   # thread_name metadata
+        if "ts" not in ev:
+            fail(f"event {i} missing ts")
+        cat = ev.get("cat")
+        if cat not in KNOWN_CATS:
+            fail(f"event {i} has unknown category {cat!r}")
+        if cat not in allowed:
+            fail(f"event {i} category {cat!r} outside filter "
+                 f"{sorted(allowed)}")
+        ts, tid = float(ev["ts"]), ev["tid"]
+        if ph in ("B", "E"):
+            if ts < last_ts[tid]:
+                fail(f"event {i}: ts {ts} < {last_ts[tid]} on tid {tid}")
+            last_ts[tid] = ts
+            if ph == "B":
+                stacks[tid].append(ev["name"])
+                spans += 1
+            else:
+                if not stacks[tid]:
+                    fail(f"event {i}: E without open B on tid {tid}")
+                open_name = stacks[tid].pop()
+                if open_name != ev["name"]:
+                    fail(f"event {i}: E {ev['name']!r} closes "
+                         f"B {open_name!r} on tid {tid}")
+        elif ph == "i":
+            if ev.get("s") != "t":
+                fail(f"event {i}: instant without thread scope")
+            instants += 1
+        else:
+            fail(f"event {i}: unexpected phase {ph!r}")
+
+    open_spans = {tid: s for tid, s in stacks.items() if s}
+    if open_spans:
+        fail(f"unclosed B events: {open_spans}")
+    print(f"check_trace: OK ({spans} spans, {instants} instants)")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,14 +12,25 @@
 #   leak_strict_clean  --leak-strict exits 0 on a clean run
 #   determinism        identical (workload, seed) runs emit
 #                      byte-identical CSV stats
+#   stats_json         identical seeded runs emit byte-identical
+#                      --stats-json dumps with a valid schema
+#   golden_stats       the seeded stats dump matches the checked-in
+#                      golden file (regen: tools/regen_golden.sh)
+#   trace_schema       --trace emits valid Chrome trace JSON (parses,
+#                      monotonic timestamps, every B has a matching E)
 set -u
 
 SIM="${1:?usage: cli_smoke.sh <emcc_sim> <case>}"
 CASE="${2:?usage: cli_smoke.sh <emcc_sim> <case>}"
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
 
 # Small but non-trivial run: big enough that faults land inside the
 # measured window, small enough for a quick ctest entry.
-SMALL=(--workload BFS --warmup 5000 --measure 20000 --trace 40000)
+SMALL=(--workload BFS --warmup 5000 --measure 20000 --trace-len 40000)
+
+# The observability cases pin the workload scale exactly (the golden
+# file depends on it), so the bench-scale env knobs must not leak in.
+unset EMCC_BENCH_FAST EMCC_BENCH_FULL
 
 expect_exit() {
     local want="$1"; shift
@@ -66,6 +77,50 @@ case "$CASE" in
     cmp run_1.csv run_2.csv || {
         echo "FAIL: identical seeded runs produced different stats" >&2
         exit 1; }
+    ;;
+  stats_json)
+    for i in 1 2; do
+        expect_exit 0 "$SIM" "${SMALL[@]}" --scheme emcc --seed 42 \
+            --stats-json "stats_$i.json" || exit 1
+    done
+    cmp stats_1.json stats_2.json || {
+        echo "FAIL: identical seeded runs produced different stats JSON" >&2
+        exit 1; }
+    if command -v python3 > /dev/null; then
+        python3 "$SCRIPT_DIR/check_stats.py" stats_1.json || exit 1
+    else
+        echo "note: python3 unavailable, schema check skipped" >&2
+    fi
+    ;;
+  golden_stats)
+    expect_exit 0 "$SIM" "${SMALL[@]}" --scheme emcc --seed 42 \
+        --stats-json stats.json || exit 1
+    GOLDEN="$SCRIPT_DIR/golden/stats_bfs_emcc.json"
+    if ! cmp stats.json "$GOLDEN"; then
+        echo "FAIL: stats dump diverged from $GOLDEN" >&2
+        if command -v python3 > /dev/null; then
+            python3 "$SCRIPT_DIR/check_stats.py" stats.json \
+                --golden "$GOLDEN" >&2
+        fi
+        echo "If the change is intentional, regenerate with" >&2
+        echo "  tools/regen_golden.sh <path-to-emcc_sim>" >&2
+        exit 1
+    fi
+    ;;
+  trace_schema)
+    if ! command -v python3 > /dev/null; then
+        echo "PASS: trace_schema (skipped: python3 unavailable)"
+        exit 0
+    fi
+    expect_exit 0 "$SIM" "${SMALL[@]}" --scheme emcc --seed 42 \
+        --trace trace.json --trace-cats all || exit 1
+    python3 "$SCRIPT_DIR/check_trace.py" trace.json || exit 1
+    # Category filtering must also hold: a dram-only trace still
+    # validates and contains no cache/crypto spans.
+    expect_exit 0 "$SIM" "${SMALL[@]}" --scheme emcc --seed 42 \
+        --trace dram_only.json --trace-cats dram || exit 1
+    python3 "$SCRIPT_DIR/check_trace.py" dram_only.json \
+        --only-cats dram || exit 1
     ;;
   *)
     echo "unknown case: $CASE" >&2

@@ -162,6 +162,97 @@ TEST(Histogram, ResetClears)
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
+TEST(Histogram, EmptyPercentileIsZero)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, SingleSample)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(3.7);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.7);
+    EXPECT_DOUBLE_EQ(h.min(), 3.7);
+    EXPECT_DOUBLE_EQ(h.max(), 3.7);
+    // Every percentile of a one-sample distribution lands in its bin.
+    EXPECT_LE(h.percentile(1), 4.0);
+    EXPECT_GE(h.percentile(99), 3.0);
+}
+
+TEST(Histogram, OverflowSamplesCountButStayOutOfBins)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0);
+    h.add(100.0);
+    h.add(100.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    Count binned = 0;
+    for (unsigned i = 0; i < h.numBins(); ++i)
+        binned += h.binCount(i);
+    EXPECT_EQ(binned, 0u);
+    // Out-of-range samples still shape mean/min/max.
+    EXPECT_DOUBLE_EQ(h.min(), -1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    EXPECT_NEAR(h.mean(), 199.0 / 3.0, 1e-9);
+}
+
+TEST(Histogram, MergeAddsCountsAndExtremes)
+{
+    Histogram a(0.0, 10.0, 10);
+    Histogram b(0.0, 10.0, 10);
+    a.add(1.5);
+    a.add(12.0);       // overflow
+    b.add(2.5);
+    b.add(2.6);
+    b.add(-3.0);       // underflow
+    a.merge(b);
+    EXPECT_EQ(a.count(), 5u);
+    EXPECT_EQ(a.binCount(1), 1u);
+    EXPECT_EQ(a.binCount(2), 2u);
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(a.min(), -3.0);
+    EXPECT_DOUBLE_EQ(a.max(), 12.0);
+    EXPECT_NEAR(a.mean(), (1.5 + 12.0 + 2.5 + 2.6 - 3.0) / 5.0, 1e-9);
+}
+
+TEST(Histogram, MergeEmptySidesPreserveExtremes)
+{
+    Histogram a(0.0, 10.0, 10);
+    Histogram b(0.0, 10.0, 10);
+    // Empty other: a no-op, even for min/max.
+    a.add(4.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.min(), 4.0);
+    EXPECT_DOUBLE_EQ(a.max(), 4.0);
+    // Empty self: adopts the other's extremes instead of mixing in the
+    // empty-state zeros.
+    Histogram c(0.0, 10.0, 10);
+    c.merge(a);
+    EXPECT_EQ(c.count(), 1u);
+    EXPECT_DOUBLE_EQ(c.min(), 4.0);
+    EXPECT_DOUBLE_EQ(c.max(), 4.0);
+}
+
+TEST(HistogramDeathTest, MergeMismatchedBinningPanics)
+{
+    Histogram a(0.0, 10.0, 10);
+    Histogram b(0.0, 20.0, 10);
+    Histogram c(0.0, 10.0, 5);
+    EXPECT_DEATH(a.merge(b), "mismatched");
+    EXPECT_DEATH(a.merge(c), "mismatched");
+}
+
 TEST(Stats, AverageBasics)
 {
     Average a;

@@ -345,6 +345,36 @@ TEST(Watchdog, SystemRunWithWatchdogCompletes)
     EXPECT_GT(sys.results().total_ipc, 0.0);
 }
 
+TEST(Watchdog, WedgeReportSnapshotsCoreState)
+{
+    // The system registers a per-core diagnostic; a wedge report must
+    // show ROB and write-buffer occupancy against their limits for
+    // every core, not just queue depths.
+    Simulator sim;
+    SystemConfig cfg = tinyConfig(Scheme::Emcc);
+    cfg.watchdog_window = nsToTicks(50'000.0);
+    SecureSystem sys(sim, cfg, &bfsWorkload());
+    ASSERT_NE(sys.watchdog(), nullptr);
+    const std::string diag = sys.watchdog()->diagnostics();
+    EXPECT_NE(diag.find("cores"), std::string::npos) << diag;
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        const std::string rob = detail::format(
+            "core %u ROB 0/%u", c, cfg.core.rob_entries);
+        EXPECT_NE(diag.find(rob), std::string::npos) << diag;
+        const std::string wb = detail::format(
+            "WB 0/%u", cfg.core.max_outstanding_stores);
+        EXPECT_NE(diag.find(wb), std::string::npos) << diag;
+    }
+    EXPECT_NE(diag.find("loads in flight"), std::string::npos) << diag;
+
+    // Mid-run the snapshot reflects live occupancy (run a short window
+    // and re-render: the renderer must not throw and still lists every
+    // core).
+    sys.run(2'000, 4'000);
+    const std::string after = sys.watchdog()->diagnostics();
+    EXPECT_NE(after.find("core 0 ROB"), std::string::npos);
+}
+
 // ----------------------------------------------- recoverable config errors
 
 TEST(FaultConfig, ValidateThrowsConfigErrorInsteadOfAborting)

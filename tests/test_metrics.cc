@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the metrics registry: name grammar, the four metric
+ * kinds, snapshot semantics, and the deterministic JSON rendering the
+ * golden-stat regression relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/histogram.hh"
+#include "obs/metrics.hh"
+
+namespace emcc {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+
+TEST(MetricsRegistry, CounterBindsByPointer)
+{
+    MetricsRegistry reg;
+    Count hits = 0;
+    reg.addCounter("l2.0.ctr_hits", &hits);
+    hits = 41;
+    ++hits;
+    auto snap = reg.snapshot();
+    EXPECT_EQ(snap.counters.at("l2.0.ctr_hits"), 42u);
+}
+
+TEST(MetricsRegistry, PointerBindingSurvivesStructReset)
+{
+    // Components reset statistics with `stats_ = Stats{}`; the member
+    // addresses stay put, so registered pointers must keep reading the
+    // live values.
+    struct Stats { Count hits = 0; };
+    Stats stats;
+    MetricsRegistry reg;
+    reg.addCounter("x.hits", &stats.hits);
+    stats.hits = 7;
+    stats = Stats{};
+    stats.hits = 3;
+    EXPECT_EQ(reg.snapshot().counters.at("x.hits"), 3u);
+}
+
+TEST(MetricsRegistry, GaugeAndFormulaSampleAtSnapshotTime)
+{
+    MetricsRegistry reg;
+    double depth = 0.0;
+    Count misses = 0, accesses = 0;
+    reg.addGauge("q.depth", [&] { return depth; });
+    reg.addFormula("c.miss_rate", [&] {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    });
+    depth = 5.0;
+    misses = 1;
+    accesses = 4;
+    auto snap = reg.snapshot();
+    EXPECT_DOUBLE_EQ(snap.gauges.at("q.depth"), 5.0);
+    EXPECT_DOUBLE_EQ(snap.formulas.at("c.miss_rate"), 0.25);
+}
+
+TEST(MetricsRegistry, NameGrammarEnforced)
+{
+    MetricsRegistry reg;
+    Count v = 0;
+    EXPECT_THROW(reg.addCounter("", &v), ConfigError);
+    EXPECT_THROW(reg.addCounter("Upper.case", &v), ConfigError);
+    EXPECT_THROW(reg.addCounter("has-hyphen", &v), ConfigError);
+    EXPECT_THROW(reg.addCounter(".leading", &v), ConfigError);
+    EXPECT_THROW(reg.addCounter("trailing.", &v), ConfigError);
+    EXPECT_THROW(reg.addCounter("sp ace", &v), ConfigError);
+    reg.addCounter("ok.name_0", &v);
+    EXPECT_TRUE(reg.has("ok.name_0"));
+}
+
+TEST(MetricsRegistry, DuplicateNamesRejectedAcrossKinds)
+{
+    MetricsRegistry reg;
+    Count v = 0;
+    reg.addCounter("dup.name", &v);
+    EXPECT_THROW(reg.addCounter("dup.name", &v), ConfigError);
+    EXPECT_THROW(reg.addGauge("dup.name", [] { return 0.0; }),
+                 ConfigError);
+    EXPECT_THROW(reg.addFormula("dup.name", [] { return 0.0; }),
+                 ConfigError);
+}
+
+TEST(MetricsRegistry, NamesSortedAndSized)
+{
+    MetricsRegistry reg;
+    Count v = 0;
+    reg.addCounter("b.second", &v);
+    reg.addCounter("a.first", &v);
+    reg.addGauge("c.third", [] { return 0.0; });
+    EXPECT_EQ(reg.size(), 3u);
+    const auto names = reg.names();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "a.first");
+    EXPECT_EQ(names[1], "b.second");
+    EXPECT_EQ(names[2], "c.third");
+}
+
+TEST(MetricsSnapshot, WithPrefixFilters)
+{
+    MetricsRegistry reg;
+    Count a = 1, b = 2;
+    reg.addCounter("l2.0.hits", &a);
+    reg.addCounter("l2.1.hits", &b);
+    reg.addGauge("dram.busy", [] { return 3.0; });
+    auto snap = reg.snapshot();
+    auto l2 = snap.withPrefix("l2.");
+    EXPECT_EQ(l2.size(), 2u);
+    EXPECT_DOUBLE_EQ(l2.at("l2.0.hits"), 1.0);
+    EXPECT_EQ(l2.count("dram.busy"), 0u);
+}
+
+TEST(MetricsSnapshot, JsonIsDeterministicAndSorted)
+{
+    MetricsRegistry reg;
+    Count z = 10, a = 20;
+    reg.addCounter("zz.last", &z);
+    reg.addCounter("aa.first", &a);
+    reg.addGauge("g.pi_ish", [] { return 0.5; });
+    const std::string j1 = reg.snapshot().toJson();
+    const std::string j2 = reg.snapshot().toJson();
+    EXPECT_EQ(j1, j2);
+    EXPECT_NE(j1.find("\"schema\":\"emcc-stats-v1\""), std::string::npos);
+    // Sorted keys: aa.first serializes before zz.last.
+    EXPECT_LT(j1.find("aa.first"), j1.find("zz.last"));
+    EXPECT_NE(j1.find("\"g.pi_ish\":0.5"), std::string::npos);
+}
+
+TEST(MetricsSnapshot, JsonNumberRendering)
+{
+    // Integer-valued doubles render without an exponent or fraction;
+    // non-finite values degrade to 0 instead of invalid JSON.
+    EXPECT_EQ(obs::jsonNumber(3.0), "3");
+    EXPECT_EQ(obs::jsonNumber(-17.0), "-17");
+    EXPECT_EQ(obs::jsonNumber(0.5), "0.5");
+    EXPECT_EQ(obs::jsonNumber(1.0 / 0.0), "0");
+    EXPECT_EQ(obs::jsonNumber(0.0 / 0.0), "0");
+}
+
+TEST(MetricsSnapshot, HistogramSerialization)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(1.0);
+    h.add(1.2);
+    h.add(99.0);   // overflow
+    MetricsRegistry reg;
+    reg.addHistogram("lat.read_ns", &h);
+    auto snap = reg.snapshot();
+    const auto &s = snap.histograms.at("lat.read_ns");
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_EQ(s.overflow, 1u);
+    EXPECT_EQ(s.num_bins, 5u);
+    ASSERT_EQ(s.bins.size(), 1u);   // only non-empty bins serialize
+    EXPECT_EQ(s.bins[0].first, 0u);
+    EXPECT_EQ(s.bins[0].second, 2u);
+    const std::string j = snap.toJson();
+    EXPECT_NE(j.find("\"lat.read_ns\":{\"count\":3"), std::string::npos);
+    EXPECT_NE(j.find("\"bins\":{\"0\":2}"), std::string::npos);
+}
+
+TEST(MetricsSnapshot, EmptyRegistrySerializes)
+{
+    MetricsRegistry reg;
+    auto snap = reg.snapshot();
+    EXPECT_TRUE(snap.empty());
+    EXPECT_EQ(snap.toJson(),
+              "{\"schema\":\"emcc-stats-v1\",\"counters\":{},"
+              "\"gauges\":{},\"formulas\":{},\"histograms\":{}}\n");
+}
+
+} // namespace
+} // namespace emcc

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the Chrome trace_event tracer: category parsing and
+ * filtering, span/instant recording, and the rendered JSON's stack
+ * discipline (every B closed by a matching E, timestamps monotonic per
+ * lane, overlapping spans split into sibling lanes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "obs/trace.hh"
+
+namespace emcc {
+namespace {
+
+using obs::TraceCat;
+using obs::Tracer;
+
+TEST(TraceCats, ParseNamesAndAll)
+{
+    EXPECT_EQ(obs::parseTraceCats("all"), obs::kAllTraceCats);
+    EXPECT_EQ(obs::parseTraceCats("cache"),
+              1u << static_cast<unsigned>(TraceCat::Cache));
+    EXPECT_EQ(obs::parseTraceCats("sim,dram"),
+              (1u << static_cast<unsigned>(TraceCat::Sim)) |
+                  (1u << static_cast<unsigned>(TraceCat::Dram)));
+    EXPECT_THROW(obs::parseTraceCats("bogus"), ConfigError);
+    EXPECT_THROW(obs::parseTraceCats(""), ConfigError);
+}
+
+TEST(TraceCats, NamesRoundTrip)
+{
+    for (unsigned c = 0; c < obs::kNumTraceCats; ++c) {
+        const char *name = obs::traceCatName(static_cast<TraceCat>(c));
+        EXPECT_EQ(obs::parseTraceCats(name), 1u << c);
+    }
+}
+
+TEST(Tracer, CategoryFilterDropsAtRecordTime)
+{
+    Tracer t(obs::parseTraceCats("dram"));
+    const auto track = t.track("dram.ch0");
+    EXPECT_TRUE(t.enabled(TraceCat::Dram));
+    EXPECT_FALSE(t.enabled(TraceCat::Cache));
+    t.span(TraceCat::Dram, track, "rd", Tick{100}, Tick{200});
+    t.span(TraceCat::Cache, track, "miss", Tick{100}, Tick{200});
+    EXPECT_EQ(t.events(), 1u);
+    const std::string json = t.renderJson();
+    EXPECT_NE(json.find("\"rd\""), std::string::npos);
+    EXPECT_EQ(json.find("\"miss\""), std::string::npos);
+}
+
+TEST(Tracer, TrackGetOrCreate)
+{
+    Tracer t;
+    const auto a = t.track("l2.0");
+    const auto b = t.track("l2.1");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(t.track("l2.0"), a);
+}
+
+/** Count occurrences of a substring. */
+std::size_t
+countOf(const std::string &hay, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t at = hay.find(needle); at != std::string::npos;
+         at = hay.find(needle, at + 1)) {
+        ++n;
+    }
+    return n;
+}
+
+TEST(Tracer, RenderedSpansPairBAndE)
+{
+    Tracer t;
+    const auto track = t.track("aes.mc");
+    t.span(TraceCat::Crypto, track, "aes", Tick{1'000'000}, Tick{2'000'000});
+    t.span(TraceCat::Crypto, track, "aes", Tick{3'000'000}, Tick{4'000'000});
+    const std::string json = t.renderJson();
+    EXPECT_EQ(countOf(json, "\"ph\":\"B\""), 2u);
+    EXPECT_EQ(countOf(json, "\"ph\":\"E\""), 2u);
+    // 1,000,000 ps = 1 us: exact integer microsecond rendering.
+    EXPECT_NE(json.find("\"ts\":1.000000"), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":4.000000"), std::string::npos);
+}
+
+TEST(Tracer, OverlappingSpansLandInSiblingLanes)
+{
+    Tracer t;
+    const auto track = t.track("l2.0");
+    // Two in-flight misses overlap in time; Chrome's stack discipline
+    // forbids B,B,E,E with equal names on one tid, so the tracer must
+    // put them on different lanes (tids).
+    t.span(TraceCat::Cache, track, "miss", Tick{100}, Tick{500});
+    t.span(TraceCat::Cache, track, "miss", Tick{200}, Tick{700});
+    // A third span after both fits back into the first lane.
+    t.span(TraceCat::Cache, track, "miss", Tick{800}, Tick{900});
+    const std::string json = t.renderJson();
+    EXPECT_EQ(countOf(json, "\"ph\":\"B\""), 3u);
+    EXPECT_EQ(countOf(json, "\"ph\":\"E\""), 3u);
+    // Two lanes → two thread_name metadata records for this track.
+    EXPECT_EQ(countOf(json, "\"ph\":\"M\""), 2u);
+    EXPECT_NE(json.find("\"l2.0\""), std::string::npos);
+    EXPECT_NE(json.find("\"l2.0 #2\""), std::string::npos);
+}
+
+TEST(Tracer, InstantEventsUseThreadScope)
+{
+    Tracer t;
+    const auto track = t.track("sim.phases");
+    t.instant(TraceCat::Sim, track, "overflow", Tick{42'000'000});
+    const std::string json = t.renderJson();
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+}
+
+TEST(Tracer, EmptyTraceStillValidJson)
+{
+    Tracer t;
+    const std::string json = t.renderJson();
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_EQ(countOf(json, "\"ph\""), 0u);
+}
+
+TEST(TracerDeathTest, BackwardsSpanPanics)
+{
+    Tracer t;
+    const auto track = t.track("x");
+    EXPECT_DEATH(t.span(TraceCat::Sim, track, "bad", Tick{200}, Tick{100}),
+                 "span");
+}
+
+TEST(TracerDeathTest, UnregisteredTrackPanics)
+{
+    Tracer t;
+    EXPECT_DEATH(t.span(TraceCat::Sim, 99, "bad", Tick{1}, Tick{2}),
+                 "track");
+}
+
+} // namespace
+} // namespace emcc

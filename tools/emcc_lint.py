@@ -11,9 +11,11 @@ catch with a line-level scan:
                   RNGs. Use common/rng.hh (seeded xoshiro256**).
   random-device   std::random_device: draws hardware entropy, different
                   every run.
-  wall-clock      system_clock / time() / gettimeofday / clock():
-                  wall-clock time in simulation logic breaks replay.
-                  (steady_clock for pure host-side profiling is fine.)
+  wall-clock      system_clock / steady_clock / time() / gettimeofday /
+                  clock(): host-clock time in simulation logic breaks
+                  replay. Pure host-side profiling must be concentrated
+                  in a file annotated with allow-file (src/obs/profile.hh
+                  is the one such file).
   unordered-iter  Range-for over a std::unordered_map/unordered_set
                   declared in the same file: iteration order depends on
                   the allocator and hash seed, so anything it feeds
@@ -35,7 +37,10 @@ catch with a line-level scan:
                   from common/types.hh.
 
 Any rule can be suppressed for one line with a trailing or preceding
-comment `emcc-lint: allow(<rule>)`.
+comment `emcc-lint: allow(<rule>)`, or for an entire file with a
+comment `emcc-lint: allow-file(<rule>)` anywhere in it (intended for
+files whose whole purpose is the exception, e.g. the host profiling
+header).
 
 Usage:
   emcc_lint.py [--root DIR]     lint DIR (default: repo root); exit 1
@@ -71,11 +76,13 @@ SOURCE_EXTS = (".cc", ".cpp", ".hh", ".hpp", ".h")
 HEADER_EXTS = (".hh", ".hpp", ".h")
 
 ALLOW_RE = re.compile(r"emcc-lint:\s*allow\(([a-z0-9-]+)\)")
+ALLOW_FILE_RE = re.compile(r"emcc-lint:\s*allow-file\(([a-z0-9-]+)\)")
 
 RAND_RE = re.compile(r"\b(?:std::)?(?:s?rand|drand48|lrand48|random)\s*\(")
 RANDOM_DEVICE_RE = re.compile(r"\bstd::random_device\b")
 WALL_CLOCK_RE = re.compile(
-    r"\bsystem_clock\b|\bgettimeofday\s*\(|\bstd::time\s*\(|"
+    r"\bsystem_clock\b|\bsteady_clock\b|\bhigh_resolution_clock\b|"
+    r"\bgettimeofday\s*\(|\bstd::time\s*\(|"
     r"(?<![_\w])time\s*\(\s*(?:NULL|nullptr|0)\s*\)|(?<![_\w:])clock\s*\(\s*\)")
 NEW_RE = re.compile(r"(?<![_\w:.])new\s+[A-Za-z_(]")
 DELETE_RE = re.compile(r"(?<![_\w:.])delete(?:\[\])?\s+[A-Za-z_*(]|"
@@ -162,6 +169,13 @@ def lint_file(root, rel_path, findings):
         findings.append(Finding(rel_path, 0, "io", str(e)))
         return
 
+    # File-level suppressions: an allow-file(<rule>) comment anywhere in
+    # the file silences that rule for every line of it.
+    file_allowed = set()
+    for raw_line in raw:
+        for m in ALLOW_FILE_RE.finditer(raw_line):
+            file_allowed.add(m.group(1))
+
     code = decomment(raw)
     top_dir = rel_path.split(os.sep, 1)[0]
     is_header = rel_path.endswith(HEADER_EXTS)
@@ -172,7 +186,8 @@ def lint_file(root, rel_path, findings):
     if is_header:
         head = "\n".join(raw)
         if "#pragma once" not in head and "#ifndef" not in head:
-            if not allowed("pragma-once", raw, 0):
+            if "pragma-once" not in file_allowed \
+                    and not allowed("pragma-once", raw, 0):
                 findings.append(Finding(
                     rel_path, 1, "pragma-once",
                     "header lacks #pragma once / include guard"))
@@ -187,7 +202,7 @@ def lint_file(root, rel_path, findings):
         n = idx + 1
 
         def report(rule, message):
-            if not allowed(rule, raw, idx):
+            if rule not in file_allowed and not allowed(rule, raw, idx):
                 findings.append(Finding(rel_path, n, rule, message))
 
         if RAND_RE.search(line):
@@ -272,6 +287,22 @@ SELF_TEST_FILES = {
                   "void access(std::uint64_t addr, bool write);\n"),
 }
 
+# steady_clock is flagged like any other host clock...
+STEADY_FILE = ("src/bad_steady.cc", """\
+#include <chrono>
+auto tic() { return std::chrono::steady_clock::now(); }
+""")
+
+# ...unless the whole file is annotated as the designated exception.
+ALLOW_FILE_FILE = ("src/host_timer.hh", """\
+// Host profiling stopwatch; the one permitted clock reader.
+// emcc-lint: allow-file(wall-clock)
+#pragma once
+#include <chrono>
+auto tic() { return std::chrono::steady_clock::now(); }
+auto toc() { return std::chrono::steady_clock::now(); }
+""")
+
 CLEAN_FILE = ("src/clean.hh", """\
 #pragma once
 #include <cstdint>
@@ -303,9 +334,9 @@ def self_test():
         for rule, (rel, content) in SELF_TEST_FILES.items():
             with open(os.path.join(tmp, rel), "w", encoding="utf-8") as f:
                 f.write(content)
-        rel, content = CLEAN_FILE
-        with open(os.path.join(tmp, rel), "w", encoding="utf-8") as f:
-            f.write(content)
+        for rel, content in (CLEAN_FILE, STEADY_FILE, ALLOW_FILE_FILE):
+            with open(os.path.join(tmp, rel), "w", encoding="utf-8") as f:
+                f.write(content)
 
         _, findings = run_lint(tmp)
         by_file = {}
@@ -322,12 +353,19 @@ def self_test():
         if clean_hits:
             failures.append(
                 f"clean file produced false positives: {clean_hits}")
+        if "wall-clock" not in by_file.get(STEADY_FILE[0], []):
+            failures.append(
+                "steady_clock without allow-file annotation NOT caught")
+        allow_hits = by_file.get(ALLOW_FILE_FILE[0], [])
+        if allow_hits:
+            failures.append(
+                f"allow-file(wall-clock) did not suppress: {allow_hits}")
 
     for f in failures:
         print(f"self-test FAIL: {f}", file=sys.stderr)
     if not failures:
-        print(f"self-test OK: all {len(SELF_TEST_FILES)} planted "
-              "violations caught, clean file clean")
+        print(f"self-test OK: all {len(SELF_TEST_FILES) + 1} planted "
+              "violations caught, clean + allow-file files clean")
     return 1 if failures else 0
 
 

@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "common/error.hh"
@@ -51,7 +52,7 @@ usage()
         "  --page KB          page size in KB (default 2048)\n"
         "  --warmup N         warmup instructions/core (default 150000)\n"
         "  --measure N        measured instructions/core (default 300000)\n"
-        "  --trace N          trace references/core (default 600000)\n"
+        "  --trace-len N      trace references/core (default 600000)\n"
         "  --inclusive        inclusive LLC (paper section IV-F)\n"
         "  --dynamic-off      dynamic EMCC off (paper section IV-F)\n"
         "  --xpt              XPT-style LLC miss prediction\n"
@@ -62,6 +63,15 @@ usage()
         "  --load-trace FILE  replay traces from FILE instead of\n"
         "                     building the workload\n"
         "  --list             print known workloads and exit\n"
+        "\n"
+        "observability:\n"
+        "  --stats-json FILE  dump the full metrics registry as JSON\n"
+        "                     (deterministic for a fixed seed)\n"
+        "  --trace FILE       write a Chrome trace_event JSON timeline\n"
+        "                     (load in chrome://tracing or Perfetto)\n"
+        "  --trace-cats LIST  comma-separated categories to record:\n"
+        "                     sim,cache,noc,dram,crypto,secmem or 'all'\n"
+        "                     (default all; only with --trace)\n"
         "\n"
         "fault injection & resilience:\n"
         "  --inject-faults SPEC  fault campaign, e.g.\n"
@@ -112,6 +122,7 @@ runMain(int argc, char **argv)
 
     std::string workload = "BFS";
     std::string save_trace, load_trace, csv_path;
+    std::string stats_json_path, trace_path, trace_cats = "all";
     bool leak_strict = false;
     SystemConfig cfg = paperConfig(Scheme::Emcc);
     BenchScale scale = BenchScale::fromEnv();
@@ -163,8 +174,14 @@ runMain(int argc, char **argv)
             scale.warmup_instructions = static_cast<Count>(nextInt());
         } else if (arg == "--measure") {
             scale.measure_instructions = static_cast<Count>(nextInt());
-        } else if (arg == "--trace") {
+        } else if (arg == "--trace-len") {
             scale.workload.trace_len = static_cast<std::size_t>(nextInt());
+        } else if (arg == "--stats-json") {
+            stats_json_path = next();
+        } else if (arg == "--trace") {
+            trace_path = next();
+        } else if (arg == "--trace-cats") {
+            trace_cats = next();
         } else if (arg == "--seed") {
             cfg.seed = static_cast<std::uint64_t>(nextInt());
             scale.workload.seed = cfg.seed;
@@ -240,7 +257,16 @@ runMain(int argc, char **argv)
                 static_cast<double>(set.footprint.value()) / 1048576.0, set.per_core[0].size(),
                 set.shared_address_space ? "shared" : "per-core");
 
-    const auto r = runTiming(cfg, set, scale);
+    // Tracer must exist before the system is built (components bind
+    // their tracks at construction), hence the runner option.
+    std::unique_ptr<obs::Tracer> tracer;
+    if (!trace_path.empty())
+        tracer = std::make_unique<obs::Tracer>(
+            obs::parseTraceCats(trace_cats));
+    RunOptions opts;
+    opts.tracer = tracer.get();
+
+    const auto r = runTiming(cfg, set, scale, opts);
 
     std::puts("\n=== results ===");
     Table t({"metric", "value"});
@@ -305,6 +331,44 @@ runMain(int argc, char **argv)
     }
     if (cfg.leak_check)
         std::printf("\nleak check: %s\n", r.leaks.render().c_str());
+
+    // Host-side profiling summary. Deliberately console-only: anything
+    // wall-clock dependent must stay out of the deterministic stats
+    // JSON.
+    {
+        const auto &ctrs = r.metrics.counters;
+        auto ctr = [&ctrs](const char *k) -> double {
+            auto it = ctrs.find(k);
+            return it == ctrs.end() ? 0.0
+                                    : static_cast<double>(it->second);
+        };
+        const double sim_s = r.duration_ns * 1e-9;
+        std::puts("\n=== profiling ===");
+        std::printf("host wall time: %.3f s (%.3g host-s per sim-s)\n",
+                    r.host_seconds,
+                    sim_s > 0.0 ? r.host_seconds / sim_s : 0.0);
+        std::printf("events executed: %.0f (max queue depth %.0f)\n",
+                    ctr("sim.events.executed"),
+                    ctr("sim.events.max_pending"));
+    }
+
+    if (!stats_json_path.empty()) {
+        std::FILE *f = std::fopen(stats_json_path.c_str(), "w");
+        if (f == nullptr)
+            throw SimError("cannot open '" + stats_json_path + "'");
+        const std::string json = r.metrics.toJson();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("wrote %zu metrics to %s\n", r.metrics.size(),
+                    stats_json_path.c_str());
+    }
+    if (tracer) {
+        tracer->writeJson(trace_path);
+        std::printf("wrote %llu trace events to %s\n",
+                    static_cast<unsigned long long>(tracer->events()),
+                    trace_path.c_str());
+    }
+
     if (leak_strict && !r.leaks.clean()) {
         std::fprintf(stderr, "emcc_sim: leak check failed: %s\n",
                      r.leaks.render().c_str());
