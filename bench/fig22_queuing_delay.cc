@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "bench_common.hh"
+#include "obs/ledger.hh"
 
 int
 main()
@@ -19,16 +20,22 @@ main()
         "Figure 22: DRAM queueing delay by access type (geomean, ns)");
 
     Table t({"channels", "Counter Read", "Data Read", "Counter Write",
-             "Data Write"});
+             "Data Write", "MC queue (ledger)"});
     for (unsigned channels : {1u, 8u}) {
         // Aggregate log-mean queueing delay across the workload set.
+        // The per-miss ledger gives an independent cross-check: its
+        // McQueue segment is the same wait measured from the demand
+        // miss's point of view (arithmetic mean, demand reads only).
         double log_cr = 0.0, log_dr = 0.0, log_cw = 0.0, log_dw = 0.0;
         Count n_cr = 0, n_dr = 0, n_cw = 0, n_dw = 0;
+        obs::LatencyLedger led;
         for (const auto &name : benchutil::figureWorkloads()) {
             const auto &workload = cachedWorkload(name, scale.workload);
             auto cfg = paperConfig(Scheme::Emcc);
             cfg.dram.channels = channels;
-            const auto r = runTiming(cfg, workload, scale);
+            RunOptions opts;
+            opts.ledger = &led;
+            const auto r = runTiming(cfg, workload, scale, opts);
             const int d = static_cast<int>(MemClass::Data);
             const int c = static_cast<int>(MemClass::Counter);
             log_dr += r.dram.read_qdelay_log[d];
@@ -46,7 +53,9 @@ main()
         t.addRow({std::to_string(channels), Table::num(geo(log_cr, n_cr), 1),
                   Table::num(geo(log_dr, n_dr), 1),
                   Table::num(geo(log_cw, n_cw), 1),
-                  Table::num(geo(log_dw, n_dw), 1)});
+                  Table::num(geo(log_dw, n_dw), 1),
+                  Table::num(led.segmentMeanNs(obs::MissSegment::McQueue),
+                             1)});
     }
     benchutil::report("fig22_queuing_delay", t);
     std::puts("\npaper: queueing delay reduces with more channels; "

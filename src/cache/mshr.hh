@@ -90,6 +90,18 @@ class MshrFile
         return static_cast<unsigned>(waiters.size());
     }
 
+    /** Waiters currently queued on @p addr's outstanding miss (0 when
+     *  none). The latency ledger reads this at fill time to credit
+     *  coalesced requesters to the one attributed miss. */
+    unsigned
+    waiters(Addr addr) const
+    {
+        auto it = entries_.find(blockAlign(addr));
+        return it == entries_.end()
+                   ? 0u
+                   : static_cast<unsigned>(it->second.size());
+    }
+
     Count allocated() const { return allocated_; }
     Count merged() const { return merged_; }
     Count fullStalls() const { return full_stalls_; }

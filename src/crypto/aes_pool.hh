@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/histogram.hh"
 #include "common/types.hh"
 #include "obs/metrics.hh"
 
@@ -71,6 +72,7 @@ class AesPool
         ops_ += n_ops;
         total_queue_delay_ += (start - now);
         max_queue_delay_ = std::max(max_queue_delay_, start - now);
+        queue_delay_ns_.add(ticksToNs(start - now));
         // Last op enters the pipeline at next_free_ - interval_.
         return next_free_ - interval_ + cfg_.op_latency;
     }
@@ -93,7 +95,11 @@ class AesPool
         ops_ = 0;
         total_queue_delay_ = Tick{};
         max_queue_delay_ = Tick{};
+        queue_delay_ns_.reset();
     }
+
+    /** Distribution of per-batch queueing delay (ns). */
+    const Histogram &queueDelayHist() const { return queue_delay_ns_; }
 
     /** Register throughput/queueing stats under "<prefix>.". */
     void
@@ -110,6 +116,7 @@ class AesPool
                           static_cast<double>(ops_)
                         : 0.0;
         });
+        reg.addHistogram(prefix + ".queue_delay_ns", &queue_delay_ns_);
     }
 
   private:
@@ -119,6 +126,7 @@ class AesPool
     Count ops_ = 0;
     Tick total_queue_delay_{};
     Tick max_queue_delay_{};
+    Histogram queue_delay_ns_{0.0, 200.0, 100};
 };
 
 } // namespace emcc

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "obs/ledger.hh"
 #include "obs/metrics.hh"
 
 namespace emcc {
@@ -200,7 +201,9 @@ DramChannel::issue(Pending &p)
     }
 
     Tick access_lat;
+    bool row_hit = false;
     if (bk.row_open && bk.open_row == p.coord.row) {
+        row_hit = true;
         ++stats_.row_hits;
         access_lat = cfg_.t_cl;
         ++bk.consecutive_hits;
@@ -244,6 +247,14 @@ DramChannel::issue(Pending &p)
         tracer_->span(obs::TraceCat::Dram, trace_track_,
                       p.req.is_write ? "dram_wr" : "dram_rd",
                       p.enqueue_tick, data_end);
+    }
+
+    if (p.req.attrib) {
+        p.req.attrib->stamp(obs::MissSegment::McQueue, p.enqueue_tick,
+                            cmd_start);
+        p.req.attrib->stamp(row_hit ? obs::MissSegment::DramRowHit
+                                    : obs::MissSegment::DramRowMiss,
+                            cmd_start, data_end);
     }
 
     if (p.req.on_complete) {

@@ -29,7 +29,7 @@
 
 namespace emcc {
 
-namespace obs { class MetricsRegistry; }
+namespace obs { class MetricsRegistry; struct MissRecord; }
 
 /** Traffic classes, for the paper's bandwidth/queueing breakdowns. */
 enum class MemClass : std::uint8_t
@@ -51,6 +51,11 @@ struct DramRequest
     MemClass mclass = MemClass::Data;
     /** Called at data-available time (reads) / write completion. */
     std::function<void(Tick)> on_complete;
+    /** Latency-ledger record to stamp with queueing and service time
+     *  (demand data reads only; null when the ledger is disabled). Not
+     *  owned; the record outlives the request by construction — it is
+     *  finished only after this request's on_complete fires. */
+    obs::MissRecord *attrib = nullptr;
 };
 
 /** Table-I DDR4 timing and organization parameters. */

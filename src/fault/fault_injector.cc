@@ -118,6 +118,49 @@ FaultInjector::scheduleNext(Campaign &c)
     c.next_trigger = c.seen + std::max<Count>(1, period / 2 + jitter);
 }
 
+namespace {
+
+/// Cap on the soft-mode cold-block rings: enough history that the
+/// oldest entry has almost certainly been evicted from every cache,
+/// small enough that the scan in pickVictim stays cheap.
+constexpr std::size_t kColdRingCap = 1024;
+
+} // namespace
+
+void
+FaultInjector::remember(std::vector<Addr> &ring, std::size_t &next,
+                        Addr blk)
+{
+    if (ring.size() < kColdRingCap) {
+        ring.push_back(blk);
+        return;
+    }
+    ring[next] = blk;
+    next = (next + 1) % kColdRingCap;
+}
+
+Addr
+FaultInjector::pickVictim(const FaultCampaign &cfg, Addr addr,
+                          const std::unordered_map<Addr, Taint> &taints)
+    const
+{
+    if (!cfg.soft)
+        return addr;
+    const bool ctr_side = cfg.kind == FaultKind::CtrFlip;
+    const auto &ring = ctr_side ? ctr_ring_ : data_ring_;
+    const std::size_t next = ctr_side ? ctr_ring_next_ : data_ring_next_;
+    const std::size_t n = ring.size();
+    // Oldest-first: once the ring is full, `next` is both the overwrite
+    // cursor and the oldest surviving entry.
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr a =
+            ring[n < kColdRingCap ? i : (next + i) % kColdRingCap];
+        if (a != addr && taints.count(a) == 0)
+            return a;
+    }
+    return addr;  // no cold candidate yet: degrade to the hot block
+}
+
 bool
 FaultInjector::advance(FaultKind kind, Addr addr, Tick now,
                        std::unordered_map<Addr, Taint> &taints)
@@ -130,19 +173,21 @@ FaultInjector::advance(FaultKind kind, Addr addr, Tick now,
         if (c.fired >= c.cfg.count || c.seen < c.next_trigger)
             continue;
         scheduleNext(c);
+        const Addr victim = pickVictim(c.cfg, addr, taints);
         // One live taint per block: re-tainting an already-tainted
         // block would double-book the event log.
-        if (taints.count(addr))
+        if (taints.count(victim))
             continue;
         ++c.fired;
         auto &pk = report_.per_kind[static_cast<int>(kind)];
         ++pk.injected;
         FaultEvent ev;
         ev.kind = kind;
-        ev.addr = addr;
+        ev.addr = victim;
         ev.injected_at = now;
+        ev.soft = c.cfg.soft;
         report_.events.push_back(ev);
-        taints.emplace(addr, Taint{kind, now, report_.events.size() - 1});
+        taints.emplace(victim, Taint{kind, now, report_.events.size() - 1});
         fired = true;
     }
     return fired;
@@ -167,6 +212,7 @@ FaultInjector::onDataFetched(Addr blk, Tick now)
     advanceKinds({FaultKind::DataFlip, FaultKind::MacFlip,
                   FaultKind::Replay, FaultKind::BusFlip},
                  blk, now, data_taints_);
+    remember(data_ring_, data_ring_next_, blk);
 }
 
 void
@@ -175,6 +221,7 @@ FaultInjector::onCounterFetched(Addr ctr_blk, Tick now)
     if (campaigns_.empty())
         return;
     advance(FaultKind::CtrFlip, ctr_blk, now, ctr_taints_);
+    remember(ctr_ring_, ctr_ring_next_, ctr_blk);
 }
 
 void
@@ -298,8 +345,9 @@ FaultInjector::checkVerify(Addr blk, Addr ctr_blk, Tick now)
     if (ev.detected_at == kTickInvalid) {
         ev.detected_at = now;
         ++report_.per_kind[static_cast<int>(taint->kind)].detected;
-        report_.detection_latency_ns.add(
-            ticksToNs(now - taint->injected_at));
+        const double lag = ticksToNs(now - taint->injected_at);
+        report_.detection_latency_ns.add(lag);
+        report_.detect_lag_ns.add(lag);
     }
     return Detection{taint->kind, ev.addr, taint->injected_at,
                      taint->event};

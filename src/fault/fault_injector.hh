@@ -49,6 +49,7 @@ struct FaultEvent
     Tick injected_at{};
     Tick detected_at = kTickInvalid;  ///< first failing MAC verify
     unsigned retries = 0;             ///< recovery attempts consumed
+    bool soft = false;                ///< cold-block (soft-mode) taint
     enum class Outcome : std::uint8_t
     {
         Pending,    ///< injected, not yet detected/resolved
@@ -84,6 +85,11 @@ struct FaultReport
 
     /** First-detection latency (MAC-fail tick - injection tick), ns. */
     Histogram detection_latency_ns{0.0, 1000.0, 50};
+
+    /** Wide-range copy of the same lag, sized for soft-mode campaigns
+     *  where a cold taint sits undetected until a natural re-access
+     *  (exported as the `fault.detect_lag` stats histogram). */
+    Histogram detect_lag_ns{0.0, 1'000'000.0, 100};
 
     Count injectedAll() const;
     Count detectedAll() const;
@@ -179,6 +185,13 @@ class FaultInjector
      *  fired. */
     bool advance(FaultKind kind, Addr addr, Tick now,
                  std::unordered_map<Addr, Taint> &taints);
+    /** The block a firing campaign taints: the triggering access, or —
+     *  in soft mode — the oldest remembered cold block that is neither
+     *  the current access nor already tainted. */
+    Addr pickVictim(const FaultCampaign &cfg, Addr addr,
+                    const std::unordered_map<Addr, Taint> &taints) const;
+    /** Push @p blk into a bounded ring of recently-fetched blocks. */
+    void remember(std::vector<Addr> &ring, std::size_t &next, Addr blk);
     bool advanceKinds(std::initializer_list<FaultKind> kinds, Addr addr,
                       Tick now, std::unordered_map<Addr, Taint> &taints);
     Tick timingPerturb(std::initializer_list<FaultKind> kinds, Tick now,
@@ -192,6 +205,12 @@ class FaultInjector
     std::unordered_map<Addr, Taint> data_taints_;
     /// taints keyed by counter block (ctr/ctrcache kinds)
     std::unordered_map<Addr, Taint> ctr_taints_;
+    /// bounded rings of previously-fetched blocks (soft-mode victims);
+    /// oldest-first once full, overwrite position in *_ring_next_
+    std::vector<Addr> data_ring_;
+    std::vector<Addr> ctr_ring_;
+    std::size_t data_ring_next_ = 0;
+    std::size_t ctr_ring_next_ = 0;
     FaultReport report_;
 };
 

@@ -119,9 +119,15 @@ FaultSpec::parse(const std::string &spec)
                 if (ns < 0.0)
                     throw ConfigError("fault delay must be >= 0 ns");
                 c.delay = nsToTicks(ns);
+            } else if (key == "soft") {
+                const auto v = parseCount(val, key);
+                if (v > 1)
+                    throw ConfigError("fault soft must be 0 or 1");
+                c.soft = v == 1;
             } else {
-                throw ConfigError("unknown fault option '" + key +
-                                  "' (expected count/period/prob/delay)");
+                throw ConfigError(
+                    "unknown fault option '" + key +
+                    "' (expected count/period/prob/delay/soft)");
             }
         }
         if (c.prob > 0.0 && faultIsIntegrity(c.kind))
@@ -129,6 +135,13 @@ FaultSpec::parse(const std::string &spec)
                               faultKindName(c.kind) +
                               "' is count/period driven; prob= applies "
                               "to nocdelay/nocdrop/aesstall");
+        if (c.soft && (!faultIsIntegrity(c.kind) ||
+                       faultIsTransient(c.kind)))
+            throw ConfigError(std::string("fault kind '") +
+                              faultKindName(c.kind) +
+                              "' cannot be soft; soft= applies to "
+                              "persistent integrity kinds "
+                              "(data/mac/ctr/replay)");
         out.campaigns.push_back(c);
     }
     return out;
@@ -156,6 +169,8 @@ FaultSpec::render() const
                           ticksToNs(c.delay));
             out += buf;
         }
+        if (c.soft)
+            out += ":soft=1";
     }
     return out;
 }

@@ -28,6 +28,11 @@
  *              period-based triggering when > 0)
  *   delay=X    extra latency in ns for nocdelay/nocdrop/aesstall
  *              (default 100)
+ *   soft=0|1   soft mode for persistent integrity kinds (data/mac/ctr/
+ *              replay): instead of corrupting the block being accessed
+ *              right now, corrupt a *cold* block fetched earlier and
+ *              wait for a natural re-access to detect it — measuring
+ *              realistic detection lag (fault.detect_lag)
  *
  * Parsing is strict: anything unrecognized throws ConfigError so fuzzed
  * or mistyped campaigns fail fast with a helpful message.
@@ -76,6 +81,9 @@ struct FaultCampaign
     Count period = 1000;    ///< trigger every ~period eligible events
     double prob = 0.0;      ///< per-event probability (timing faults)
     Tick delay = nsToTicks(100.0);  ///< extra latency for timing faults
+    /// soft mode: taint a cold previously-fetched block instead of the
+    /// triggering access, so detection waits for a natural re-access
+    bool soft = false;
 };
 
 /** A full fault-injection campaign specification. */

@@ -1,0 +1,254 @@
+#include "obs/ledger.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.hh"
+#include "obs/metrics.hh"
+
+namespace emcc {
+namespace obs {
+
+namespace {
+
+const char *const kSegmentNames[kNumMissSegments] = {
+    "l2_lookup",  "ctr_fetch",    "ctr_wait",  "noc_req", "llc",
+    "noc_llc_mc", "mc_queue",     "dram_row_hit", "dram_row_miss",
+    "aes",        "mac_verify",   "noc_resp",  "other",
+};
+
+/** Segments that lie on the serial data path; their sum plus Other
+ *  reconstructs the total. L2Lookup happens before the miss is
+ *  declared, and CtrFetch/Aes/MacVerify run on the parallel crypto
+ *  lane — only their *exposed* part (CtrWait) is serial. */
+constexpr MissSegment kSerialSegments[] = {
+    MissSegment::CtrWait,    MissSegment::NocReq,
+    MissSegment::Llc,        MissSegment::NocLlcMc,
+    MissSegment::McQueue,    MissSegment::DramRowHit,
+    MissSegment::DramRowMiss, MissSegment::NocResp,
+};
+
+Histogram
+segmentBinning(MissSegment s)
+{
+    switch (s) {
+    case MissSegment::L2Lookup:
+        return Histogram(0.0, 20.0, 40);
+    case MissSegment::NocReq:
+        return Histogram(0.0, 40.0, 80);
+    case MissSegment::Llc:
+        return Histogram(0.0, 80.0, 80);
+    case MissSegment::NocLlcMc:
+        return Histogram(0.0, 60.0, 60);
+    case MissSegment::McQueue:
+        return Histogram(0.0, 2000.0, 200);
+    case MissSegment::DramRowHit:
+        return Histogram(0.0, 400.0, 200);
+    case MissSegment::DramRowMiss:
+        return Histogram(0.0, 600.0, 200);
+    case MissSegment::Aes:
+        return Histogram(0.0, 100.0, 100);
+    case MissSegment::MacVerify:
+        return Histogram(0.0, 60.0, 60);
+    case MissSegment::NocResp:
+        return Histogram(0.0, 100.0, 100);
+    case MissSegment::CtrFetch:
+    case MissSegment::CtrWait:
+        return Histogram(0.0, 200.0, 100);
+    case MissSegment::Other:
+    default:
+        return Histogram(0.0, 500.0, 100);
+    }
+}
+
+} // namespace
+
+const char *
+missSegmentName(MissSegment s)
+{
+    const auto i = static_cast<unsigned>(s);
+    panic_if(i >= kNumMissSegments, "missSegmentName(%u) out of range", i);
+    return kSegmentNames[i];
+}
+
+LatencyLedger::LatencyLedger()
+    : total_hist_(0.0, 2000.0, 200), overlap_hist_(0.0, 400.0, 80)
+{
+    seg_hist_.reserve(kNumMissSegments);
+    for (unsigned i = 0; i < kNumMissSegments; ++i)
+        seg_hist_.push_back(segmentBinning(static_cast<MissSegment>(i)));
+}
+
+MissRecord *
+LatencyLedger::begin(Tick start)
+{
+    MissRecord *rec;
+    if (!free_.empty()) {
+        rec = free_.back();
+        free_.pop_back();
+        *rec = MissRecord{};
+    } else {
+        pool_.push_back(std::make_unique<MissRecord>());
+        rec = pool_.back().get();
+    }
+    rec->start = start;
+    return rec;
+}
+
+void
+LatencyLedger::release(MissRecord *rec)
+{
+    free_.push_back(rec);
+}
+
+void
+LatencyLedger::finish(MissRecord *rec, Tick fill)
+{
+    const double total =
+        fill > rec->start ? ticksToNs(fill - rec->start) : 0.0;
+
+    if (rec->crypto_begin != kTickInvalid &&
+        rec->crypto_end != kTickInvalid &&
+        rec->crypto_end > rec->crypto_begin) {
+        const Tick cb = rec->crypto_begin;
+        const Tick ce = rec->crypto_end;
+        Tick hu = rec->hide_until == kTickInvalid ? ce : rec->hide_until;
+        if (hu > ce)
+            hu = ce;
+        const double work = ticksToNs(ce - cb);
+        const double hidden = hu > cb ? ticksToNs(hu - cb) : 0.0;
+        if (work > hidden)
+            rec->add(MissSegment::CtrWait, work - hidden);
+        overlap_hist_.add(hidden);
+        hidden_sum_ns_ += hidden;
+        crypto_sum_ns_ += work;
+        ++crypto_records_;
+    }
+
+    double serial = 0.0;
+    for (MissSegment s : kSerialSegments)
+        serial += rec->seg_ns[static_cast<unsigned>(s)];
+    if (total > serial)
+        rec->add(MissSegment::Other, total - serial);
+
+    total_hist_.add(total);
+    total_sum_ns_ += total;
+    ++records_;
+    if (rec->waiters > 1)
+        coalesced_ += rec->waiters - 1;
+
+    for (unsigned i = 0; i < kNumMissSegments; ++i) {
+        if (!(rec->stamped & (1u << i)))
+            continue;
+        seg_hist_[i].add(rec->seg_ns[i]);
+        seg_sum_ns_[i] += rec->seg_ns[i];
+    }
+    release(rec);
+}
+
+void
+LatencyLedger::resetStats()
+{
+    for (auto &h : seg_hist_)
+        h.reset();
+    total_hist_.reset();
+    overlap_hist_.reset();
+    seg_sum_ns_.fill(0.0);
+    total_sum_ns_ = 0.0;
+    hidden_sum_ns_ = 0.0;
+    crypto_sum_ns_ = 0.0;
+    records_ = 0;
+    crypto_records_ = 0;
+    coalesced_ = 0;
+}
+
+double
+LatencyLedger::segmentMeanNs(MissSegment s) const
+{
+    const auto &h = seg_hist_[static_cast<unsigned>(s)];
+    return h.mean();
+}
+
+double
+LatencyLedger::share(MissSegment s) const
+{
+    if (total_sum_ns_ <= 0.0)
+        return 0.0;
+    return seg_sum_ns_[static_cast<unsigned>(s)] / total_sum_ns_;
+}
+
+double
+LatencyLedger::overlapFrac() const
+{
+    return crypto_sum_ns_ > 0.0 ? hidden_sum_ns_ / crypto_sum_ns_ : 0.0;
+}
+
+void
+LatencyLedger::registerMetrics(MetricsRegistry &reg,
+                               const std::string &prefix) const
+{
+    reg.addCounterFn(prefix + ".records", [this] { return records_; });
+    reg.addCounterFn(prefix + ".coalesced", [this] { return coalesced_; });
+    reg.addCounterFn(prefix + ".crypto_records",
+                     [this] { return crypto_records_; });
+    reg.addHistogram(prefix + ".total", &total_hist_);
+    reg.addHistogram(prefix + ".overlap", &overlap_hist_);
+    reg.addFormula(prefix + ".overlap_frac", [this] { return overlapFrac(); });
+    reg.addFormula(prefix + ".hidden_ns", [this] { return hidden_sum_ns_; });
+    reg.addFormula(prefix + ".crypto_ns", [this] { return crypto_sum_ns_; });
+    for (unsigned i = 0; i < kNumMissSegments; ++i) {
+        const auto s = static_cast<MissSegment>(i);
+        const std::string name = missSegmentName(s);
+        reg.addHistogram(prefix + "." + name, &seg_hist_[i]);
+        reg.addFormula(prefix + ".share." + name,
+                       [this, s] { return share(s); });
+    }
+}
+
+std::string
+LatencyLedger::renderTable() const
+{
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "where did the time go (%llu L2 misses, %llu coalesced)\n",
+                  static_cast<unsigned long long>(records_),
+                  static_cast<unsigned long long>(coalesced_));
+    out += line;
+    std::snprintf(line, sizeof(line), "  %-14s %10s %9s %9s %9s %7s\n",
+                  "segment", "misses", "mean ns", "p50 ns", "p95 ns",
+                  "share");
+    out += line;
+    for (unsigned i = 0; i < kNumMissSegments; ++i) {
+        const auto s = static_cast<MissSegment>(i);
+        const auto &h = seg_hist_[i];
+        if (h.count() == 0)
+            continue;
+        std::snprintf(line, sizeof(line),
+                      "  %-14s %10llu %9.1f %9.1f %9.1f %6.1f%%\n",
+                      missSegmentName(s),
+                      static_cast<unsigned long long>(h.count()), h.mean(),
+                      h.percentile(50.0), h.percentile(95.0),
+                      100.0 * share(s));
+        out += line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "  %-14s %10llu %9.1f %9.1f %9.1f %6.1f%%\n", "total",
+                  static_cast<unsigned long long>(total_hist_.count()),
+                  total_hist_.mean(), total_hist_.percentile(50.0),
+                  total_hist_.percentile(95.0), 100.0);
+    out += line;
+    if (crypto_records_ > 0) {
+        std::snprintf(line, sizeof(line),
+                      "  overlap: %.1f ns crypto/miss, %.1f ns hidden "
+                      "(overlap_frac %.3f)\n",
+                      crypto_sum_ns_ / static_cast<double>(crypto_records_),
+                      hidden_sum_ns_ / static_cast<double>(crypto_records_),
+                      overlapFrac());
+        out += line;
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace emcc

@@ -66,6 +66,9 @@ HistogramSnapshot::of(const Histogram &h)
     s.mean = h.mean();
     s.min = h.count() ? h.min() : 0.0;
     s.max = h.count() ? h.max() : 0.0;
+    s.p50 = h.percentile(50.0);
+    s.p95 = h.percentile(95.0);
+    s.p99 = h.percentile(99.0);
     s.underflow = h.underflow();
     s.overflow = h.overflow();
     s.lo = h.lo();
@@ -125,6 +128,10 @@ histogramJson(const HistogramSnapshot &h)
     out += ",\"mean\":" + jsonNumber(h.mean);
     out += ",\"min\":" + jsonNumber(h.min);
     out += ",\"max\":" + jsonNumber(h.max);
+    out += ",\"percentiles\":{\"p50\":" + jsonNumber(h.p50);
+    out += ",\"p95\":" + jsonNumber(h.p95);
+    out += ",\"p99\":" + jsonNumber(h.p99);
+    out += "}";
     out += ",\"underflow\":" + std::to_string(h.underflow);
     out += ",\"overflow\":" + std::to_string(h.overflow);
     out += ",\"lo\":" + jsonNumber(h.lo);
@@ -145,9 +152,9 @@ histogramJson(const HistogramSnapshot &h)
 } // namespace
 
 std::string
-MetricsSnapshot::toJson() const
+MetricsSnapshot::toJsonBody() const
 {
-    std::string out = "{\"schema\":\"emcc-stats-v1\",";
+    std::string out;
     appendObject(out, "counters", counters,
                  [](Count v) { return std::to_string(v); });
     out += ',';
@@ -159,8 +166,13 @@ MetricsSnapshot::toJson() const
     out += ',';
     appendObject(out, "histograms", histograms,
                  [](const HistogramSnapshot &h) { return histogramJson(h); });
-    out += "}\n";
     return out;
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    return "{\"schema\":\"emcc-stats-v1\"," + toJsonBody() + "}\n";
 }
 
 void

@@ -54,6 +54,9 @@ struct HistogramSnapshot
     double mean = 0.0;
     double min = 0.0;
     double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
     Count underflow = 0;
     Count overflow = 0;
     double lo = 0.0;
@@ -100,6 +103,14 @@ struct MetricsSnapshot
      * Keys sorted, doubles shortest-round-trip, no whitespace variance.
      */
     std::string toJson() const;
+
+    /**
+     * The four metric sections without the surrounding braces or
+     * schema tag ("counters":{...},...,"histograms":{...}) so other
+     * schemas — the emcc-stats-series-v1 JSONL lines — can prepend
+     * their own header fields and share the rendering.
+     */
+    std::string toJsonBody() const;
 };
 
 /**

@@ -1,0 +1,46 @@
+#include "obs/series.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace emcc {
+namespace obs {
+
+StatsSeries::StatsSeries(std::string path, Tick interval)
+    : path_(std::move(path)), interval_(interval)
+{
+    panic_if(interval_ == Tick{}, "StatsSeries with zero interval");
+}
+
+void
+StatsSeries::append(double t_ns, const MetricsSnapshot &snap)
+{
+    buf_ += "{\"schema\":\"emcc-stats-series-v1\",\"seq\":";
+    buf_ += std::to_string(seq_);
+    buf_ += ",\"t_ns\":";
+    buf_ += jsonNumber(t_ns);
+    buf_ += ',';
+    buf_ += snap.toJsonBody();
+    buf_ += "}\n";
+    ++seq_;
+}
+
+bool
+StatsSeries::flush() const
+{
+    if (path_ == "-") {
+        std::fwrite(buf_.data(), 1, buf_.size(), stdout);
+        return true;
+    }
+    std::FILE *f = std::fopen(path_.c_str(), "w");
+    if (!f)
+        return false;
+    const bool ok = std::fwrite(buf_.data(), 1, buf_.size(), f) ==
+                    buf_.size();
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace obs
+} // namespace emcc

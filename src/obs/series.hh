@@ -1,0 +1,62 @@
+/**
+ * @file
+ * StatsSeries: periodic interval snapshots of the metrics registry as
+ * JSONL (one emcc-stats-series-v1 object per line).
+ *
+ * The system samples the registry every `interval` ticks of measured
+ * sim time and appends one line per sample:
+ *
+ *   {"schema":"emcc-stats-series-v1","seq":N,"t_ns":T,
+ *    "counters":{...},"gauges":{...},"formulas":{...},
+ *    "histograms":{...}}
+ *
+ * t_ns is sim time since the measurement phase started; counters and
+ * histogram counts are cumulative since that same origin, so a plot of
+ * successive differences gives per-interval rates. Lines are buffered
+ * in memory and written by flush() at end of run (keeps emission off
+ * the simulated timeline and makes the file deterministic: the byte
+ * stream is a pure function of the sampled snapshots).
+ */
+
+#pragma once
+
+#include <string>
+
+#include "common/types.hh"
+#include "obs/metrics.hh"
+
+namespace emcc {
+namespace obs {
+
+class StatsSeries
+{
+  public:
+    /**
+     * @param path     output file, or "-" for stdout
+     * @param interval sampling period in ticks (> 0)
+     */
+    StatsSeries(std::string path, Tick interval);
+
+    Tick interval() const { return interval_; }
+    const std::string &path() const { return path_; }
+    Count snapshots() const { return seq_; }
+
+    /** Append one snapshot taken @p t_ns after measurement start. */
+    void append(double t_ns, const MetricsSnapshot &snap);
+
+    /** The buffered JSONL content (tests and flush()). */
+    const std::string &content() const { return buf_; }
+
+    /** Write the buffer to path() (stdout when path is "-").
+     *  @return false if the file could not be written. */
+    bool flush() const;
+
+  private:
+    std::string path_;
+    Tick interval_;
+    Count seq_ = 0;
+    std::string buf_;
+};
+
+} // namespace obs
+} // namespace emcc

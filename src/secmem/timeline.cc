@@ -39,6 +39,21 @@ renderTimeline(const Timeline &t, double ns_per_char)
     return os.str();
 }
 
+double
+segmentTotalNs(const Timeline &t, const std::string &label_substr,
+               const std::string &lane)
+{
+    double total = 0.0;
+    for (const auto &s : t.segments) {
+        if (!lane.empty() && s.lane != lane)
+            continue;
+        if (s.label.find(label_substr) == std::string::npos)
+            continue;
+        total += s.end_ns - s.start_ns;
+    }
+    return total;
+}
+
 namespace timelines {
 
 namespace {

@@ -69,6 +69,13 @@ struct Timeline
 /** ASCII-art rendering of a timeline (proportional bars). */
 std::string renderTimeline(const Timeline &t, double ns_per_char = 1.0);
 
+/** Total busy time (ns) across a timeline's segments whose label
+ *  contains @p label_substr, on @p lane ("" = any lane). Lets the
+ *  ledger-consistency test compare a measured per-segment breakdown
+ *  against the analytical scenarios without string-matching inline. */
+double segmentTotalNs(const Timeline &t, const std::string &label_substr,
+                      const std::string &lane = "");
+
 /**
  * Scenario builders. All measure Secure Memory Access Latency: from the
  * request arriving at the relevant agent to decrypted+verified data

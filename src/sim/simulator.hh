@@ -14,7 +14,7 @@
 
 namespace emcc {
 
-namespace obs { class Tracer; }
+namespace obs { class Tracer; class LatencyLedger; }
 
 class Simulator;
 
@@ -90,9 +90,19 @@ class Simulator
     void setTracer(obs::Tracer *t) { tracer_ = t; }
     obs::Tracer *tracer() const { return tracer_; }
 
+    /**
+     * Attach a per-miss latency ledger (not owned; must outlive the
+     * simulation). nullptr — the default — disables attribution; the
+     * memory system null-checks before stamping, exactly like the
+     * tracer, so the off path costs one load per site.
+     */
+    void setLedger(obs::LatencyLedger *l) { ledger_ = l; }
+    obs::LatencyLedger *ledger() const { return ledger_; }
+
   private:
     EventQueue queue_;
     obs::Tracer *tracer_ = nullptr;
+    obs::LatencyLedger *ledger_ = nullptr;
 };
 
 inline Tick

@@ -96,8 +96,12 @@ runTiming(const SystemConfig &cfg, const WorkloadSet &workload,
     Simulator sim;
     if (opts.tracer)
         sim.setTracer(opts.tracer);
+    if (opts.ledger)
+        sim.setLedger(opts.ledger);
     obs::HostTimer timer;
     SecureSystem sys(sim, cfg, &workload);
+    if (opts.series)
+        sys.attachSeries(opts.series);
     sys.run(scale.warmup_instructions, scale.measure_instructions);
     RunResults results = sys.results();
     results.host_seconds = timer.seconds();

@@ -59,6 +59,15 @@ struct RunOptions
      *  in their constructors), which is why this rides through the
      *  runner instead of being set afterwards. */
     obs::Tracer *tracer = nullptr;
+
+    /** Per-miss latency attribution ledger, or null to run without
+     *  attribution. Same constructor-ordering constraint as the
+     *  tracer: the system captures the pointer when it is built. */
+    obs::LatencyLedger *ledger = nullptr;
+
+    /** Interval time-series sink, or null for no periodic snapshots.
+     *  Sampling starts at the beginning of the measurement phase. */
+    obs::StatsSeries *series = nullptr;
 };
 
 /** Run the timing system once with observability hooks attached.

@@ -141,6 +141,7 @@ SecureSystem::SecureSystem(Simulator &sim, const SystemConfig &cfg,
 void
 SecureSystem::setupTracing(Simulator &sim)
 {
+    ledger_ = sim.ledger();
     tracer_ = sim.tracer();
     if (!tracer_)
         return;
@@ -205,6 +206,12 @@ SecureSystem::registerAllMetrics()
                          static_cast<double>(
                              stats_.l2_miss_latency_count));
     });
+    if (ledger_)
+        ledger_->registerMetrics(metrics_, "lat.l2miss");
+    if (fault_) {
+        metrics_.addHistogram("fault.detect_lag",
+                              &fault_->report().detect_lag_ns);
+    }
 
     for (unsigned c = 0; c < cfg_.cores; ++c) {
         const std::string n = std::to_string(c);
@@ -375,17 +382,28 @@ SecureSystem::l2Access(unsigned core, Addr pa, bool is_store, Tick t,
         return;
     panic_if(outcome == MshrOutcome::Full, "L2 MSHR overflow");
 
+    // Latency attribution: the primary allocation carries one record
+    // through the memory system (merged requesters are credited as
+    // coalesced waiters at fill time).
+    obs::MissRecord *rec = ledger_ ? ledger_->begin(t_miss) : nullptr;
+    if (rec)
+        rec->stamp(obs::MissSegment::L2Lookup, t, t_l2);
+
     CtrPath ctr;
     if (cfg_.scheme == Scheme::Emcc)
-        ctr = emccCounterPath(core, pa, t_miss);
+        ctr = emccCounterPath(core, pa, t_miss, rec);
 
-    llcDataAccess(core, pa, t_miss, ctr,
-                  [this, core, pa, blk, t_miss](Tick fill) {
+    llcDataAccess(core, pa, t_miss, ctr, rec,
+                  [this, core, pa, blk, t_miss, rec](Tick fill) {
         stats_.l2_miss_latency_sum_ns += ticksToNs(fill - t_miss);
         ++stats_.l2_miss_latency_count;
         if (trace_cache_) {
             tracer_->span(obs::TraceCat::Cache, l2_tracks_[core],
                           "l2_miss", t_miss, fill);
+        }
+        if (rec) {
+            rec->waiters = l2_mshr_[core]->waiters(blk);
+            ledger_->finish(rec, fill);
         }
         insertL2Data(core, pa, /*dirty=*/false, fill);
         sim().schedule(fill, [this, core, blk, fill] {
@@ -395,7 +413,8 @@ SecureSystem::l2Access(unsigned core, Addr pa, bool is_store, Tick t,
 }
 
 SecureSystem::CtrPath
-SecureSystem::emccCounterPath(unsigned core, Addr pa, Tick t_miss)
+SecureSystem::emccCounterPath(unsigned core, Addr pa, Tick t_miss,
+                              obs::MissRecord *rec)
 {
     CtrPath out;
     // §IV-F: EMCC dynamically offloads everything to the MC during
@@ -409,12 +428,17 @@ SecureSystem::emccCounterPath(unsigned core, Addr pa, Tick t_miss)
     const Tick t_lookup = t_miss + cfg_.l2_spare_cycle_wait +
                           cfg_.l2_latency;
     const Tick decode = design_->decodeLatency();
+    out.ctr_start = t_lookup;
 
     if (l2_[core].access(ctr, LineClass::Counter, false)) {
         ++stats_.emcc_l2_ctr_hits;
         if (fault_)
             fault_->onCounterHit(ctr, curTick());
         out.ctr_ready_at_l2 = t_lookup + decode;
+        if (rec) {
+            rec->stamp(obs::MissSegment::CtrFetch, t_lookup,
+                       out.ctr_ready_at_l2);
+        }
         return out;
     }
     ++stats_.emcc_l2_ctr_misses;
@@ -428,6 +452,10 @@ SecureSystem::emccCounterPath(unsigned core, Addr pa, Tick t_miss)
             out.mc_decrypts = true;
         } else {
             out.ctr_ready_at_l2 = inflight_it->second + decode;
+            if (rec) {
+                rec->stamp(obs::MissSegment::CtrFetch, t_lookup,
+                           out.ctr_ready_at_l2);
+            }
         }
         return out;
     }
@@ -456,6 +484,10 @@ SecureSystem::emccCounterPath(unsigned core, Addr pa, Tick t_miss)
         }
         insertL2Counter(core, ctr, arrival);
         out.ctr_ready_at_l2 = arrival + decode;
+        if (rec) {
+            rec->stamp(obs::MissSegment::CtrFetch, t_lookup,
+                       out.ctr_ready_at_l2);
+        }
         return out;
     }
 
@@ -490,12 +522,15 @@ SecureSystem::emccCounterPath(unsigned core, Addr pa, Tick t_miss)
 
 void
 SecureSystem::llcDataAccess(unsigned core, Addr pa, Tick t_miss,
-                            const CtrPath &ctr, FinishCb fill_cb)
+                            const CtrPath &ctr, obs::MissRecord *rec,
+                            FinishCb fill_cb)
 {
     if (llc_.access(pa, LineClass::Data, false)) {
         ++stats_.llc_data_hits;
         const Tick fill = addDelta(t_miss + cfg_.llc_latency,
                                    nocDeltaTicks());
+        if (rec)
+            rec->stamp(obs::MissSegment::Llc, t_miss, fill);
         if (cfg_.inclusive_llc && llc_.getFlag(pa)) {
             // §IV-F inclusive mode: the LLC copy is still encrypted &
             // unverified; the L2 decrypts and verifies it on arrival.
@@ -507,6 +542,23 @@ SecureSystem::llcDataAccess(unsigned core, Addr pa, Tick t_miss,
                 const Tick slot = l2_aes_[core]->submit(t_miss, 5);
                 const Tick done = std::max(
                     {fill, slot, ctr.ctr_ready_at_l2 + cfg_.aes_latency});
+                if (rec) {
+                    // Crypto lane: counter decode + AES at the L2,
+                    // hidden up to the data's own LLC-hit arrival.
+                    rec->crypto_begin = ctr.ctr_start != kTickInvalid
+                                            ? ctr.ctr_start
+                                            : t_miss;
+                    rec->crypto_end = std::max(
+                        slot, ctr.ctr_ready_at_l2 + cfg_.aes_latency);
+                    rec->hide_until = fill;
+                    const Tick mac_b = std::max(
+                        ctr.ctr_ready_at_l2,
+                        rec->crypto_end - cfg_.aes_latency);
+                    rec->stamp(obs::MissSegment::Aes,
+                               ctr.ctr_ready_at_l2, mac_b);
+                    rec->stamp(obs::MissSegment::MacVerify, mac_b,
+                               rec->crypto_end);
+                }
                 sim().schedule(done, [fill_cb, done] { fill_cb(done); });
             } else {
                 // No counter at the L2: the MC's machinery verifies,
@@ -515,11 +567,30 @@ SecureSystem::llcDataAccess(unsigned core, Addr pa, Tick t_miss,
                 const Tick t_mc = t_miss + cfg_.req_l2_to_llc +
                                   cfg_.llc_tag + cfg_.noc_llc_mc;
                 mcFetchCounter(pa, t_mc, /*count_buckets=*/false,
-                               [this, fill, fill_cb](Tick ctr_tick) {
-                    const Tick aes_done = mc_aes_.submit(
-                        ctr_tick + design_->decodeLatency(), 5);
+                               [this, fill, fill_cb, rec,
+                                t_mc](Tick ctr_tick) {
+                    const Tick aes_start =
+                        ctr_tick + design_->decodeLatency();
+                    const Tick aes_done = mc_aes_.submit(aes_start, 5);
                     const Tick done = std::max(
                         fill, aes_done + cfg_.resp_mc_to_l2);
+                    if (rec) {
+                        // MC-side verify of an unverified LLC hit: the
+                        // data already sits at the L2 at `fill`, so any
+                        // crypto time past it — including the MC-to-L2
+                        // response trip — is exposed.
+                        rec->crypto_begin = t_mc;
+                        rec->crypto_end = aes_done + cfg_.resp_mc_to_l2;
+                        rec->hide_until = fill;
+                        rec->stamp(obs::MissSegment::CtrFetch, t_mc,
+                                   ctr_tick);
+                        const Tick mac_b = std::max(
+                            aes_start, aes_done - cfg_.aes_latency);
+                        rec->stamp(obs::MissSegment::Aes, aes_start,
+                                   mac_b);
+                        rec->stamp(obs::MissSegment::MacVerify, mac_b,
+                                   aes_done);
+                    }
                     sim().schedule(done,
                                    [fill_cb, done] { fill_cb(done); });
                 });
@@ -555,7 +626,13 @@ SecureSystem::llcDataAccess(unsigned core, Addr pa, Tick t_miss,
 
     const Tick tag = cfg_.xpt ? Tick{} : cfg_.llc_tag;
     const Tick t_mc = t_miss + cfg_.req_l2_to_llc + tag + cfg_.noc_llc_mc;
-    mcDataRead(core, pa, t_mc, ctr_final, t_miss, std::move(fill_cb));
+    if (rec) {
+        const Tick at_llc = t_miss + cfg_.req_l2_to_llc;
+        rec->stamp(obs::MissSegment::NocReq, t_miss, at_llc);
+        rec->stamp(obs::MissSegment::Llc, at_llc, at_llc + tag);
+        rec->stamp(obs::MissSegment::NocLlcMc, at_llc + tag, t_mc);
+    }
+    mcDataRead(core, pa, t_mc, ctr_final, t_miss, rec, std::move(fill_cb));
 }
 
 // ------------------------------------------------------------------- MC
@@ -563,7 +640,7 @@ SecureSystem::llcDataAccess(unsigned core, Addr pa, Tick t_miss,
 void
 SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
                          const CtrPath &ctr, Tick t_miss,
-                         FinishCb fill_at_l2_cb)
+                         obs::MissRecord *rec, FinishCb fill_at_l2_cb)
 {
     // Join state between the DRAM data fetch and the crypto path.
     struct Join
@@ -582,7 +659,7 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
         resp_delta += static_cast<std::int64_t>(
             fault_->responseDelayTicks(curTick()));
     }
-    auto try_finish = [this, join, resp_delta, core, pa] {
+    auto try_finish = [this, join, resp_delta, core, pa, rec] {
         if (join->data_done == kTickInvalid)
             return;
         if (join->crypto_needed && join->crypto_done == kTickInvalid)
@@ -590,12 +667,23 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
         Tick leave_mc = join->data_done;
         if (join->crypto_needed && !join->crypto_at_l2)
             leave_mc = std::max(leave_mc, join->crypto_done);
-        Tick fill = addDelta(leave_mc + cfg_.resp_mc_to_l2, resp_delta);
+        const Tick data_fill = addDelta(leave_mc + cfg_.resp_mc_to_l2,
+                                        resp_delta);
+        Tick fill = data_fill;
         if (join->crypto_at_l2)
             fill = std::max(fill, join->crypto_done);
         if (trace_noc_) {
             tracer_->span(obs::TraceCat::Noc, noc_track_, "noc_resp",
                           leave_mc, std::max(fill, leave_mc));
+        }
+        if (rec) {
+            rec->stamp(obs::MissSegment::NocResp, leave_mc, data_fill);
+            // Crypto work is hidden while the data itself is still in
+            // flight: for L2-side crypto that is until the block lands
+            // at the L2; for MC-side crypto the data waits at the MC,
+            // so only time before data_done is hidden.
+            rec->hide_until = join->crypto_at_l2 ? data_fill
+                                                 : join->data_done;
         }
         // §IV-F inclusive mode: the response also allocates in the LLC
         // on its way up, marked unverified if the L2 does the crypto.
@@ -620,13 +708,23 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
       case Scheme::McOnly:
       case Scheme::LlcBaseline:
         mcFetchCounter(pa, t_mc, /*count_buckets=*/true,
-                       [this, join, try_finish](Tick ctr_tick) {
+                       [this, join, try_finish, rec, t_mc](Tick ctr_tick) {
             const Tick start = ctr_tick + design_->decodeLatency() +
                                aesStall();
             join->crypto_done = mc_aes_.submit(start, 5);
             if (trace_crypto_) {
                 tracer_->span(obs::TraceCat::Crypto, mc_aes_track_,
                               "aes_decrypt", start, join->crypto_done);
+            }
+            if (rec) {
+                rec->crypto_begin = t_mc;
+                rec->crypto_end = join->crypto_done;
+                rec->stamp(obs::MissSegment::CtrFetch, t_mc, ctr_tick);
+                const Tick mac_b = std::max(
+                    start, join->crypto_done - cfg_.aes_latency);
+                rec->stamp(obs::MissSegment::Aes, start, mac_b);
+                rec->stamp(obs::MissSegment::MacVerify, mac_b,
+                           join->crypto_done);
             }
             try_finish();
         });
@@ -636,7 +734,8 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
             ++stats_.decrypted_at_mc;
             // Merge with the counter fetch already in flight (or a hit).
             mcFetchCounter(pa, t_mc, /*count_buckets=*/false,
-                           [this, join, try_finish](Tick ctr_tick) {
+                           [this, join, try_finish, rec,
+                            t_mc](Tick ctr_tick) {
                 const Tick start = ctr_tick + design_->decodeLatency() +
                                    aesStall();
                 join->crypto_done = mc_aes_.submit(start, 5);
@@ -644,6 +743,17 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
                     tracer_->span(obs::TraceCat::Crypto, mc_aes_track_,
                                   "aes_decrypt", start,
                                   join->crypto_done);
+                }
+                if (rec) {
+                    rec->crypto_begin = t_mc;
+                    rec->crypto_end = join->crypto_done;
+                    rec->stamp(obs::MissSegment::CtrFetch, t_mc,
+                               ctr_tick);
+                    const Tick mac_b = std::max(
+                        start, join->crypto_done - cfg_.aes_latency);
+                    rec->stamp(obs::MissSegment::Aes, start, mac_b);
+                    rec->stamp(obs::MissSegment::MacVerify, mac_b,
+                               join->crypto_done);
                 }
                 try_finish();
             });
@@ -668,6 +778,17 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
                               l2_aes_tracks_[core], "aes_decrypt",
                               t_miss, join->crypto_done);
             }
+            if (rec) {
+                rec->crypto_begin = ctr.ctr_start != kTickInvalid
+                                        ? ctr.ctr_start
+                                        : t_miss;
+                rec->crypto_end = join->crypto_done;
+                const Tick mac_b = std::max(
+                    gate, join->crypto_done - cfg_.aes_latency);
+                rec->stamp(obs::MissSegment::Aes, gate, mac_b);
+                rec->stamp(obs::MissSegment::MacVerify, mac_b,
+                           join->crypto_done);
+            }
         }
         break;
     }
@@ -679,7 +800,7 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
             fault_->onDataFetched(blockAlign(pa), done);
         join->data_done = done;
         try_finish();
-    });
+    }, rec);
 }
 
 void
@@ -884,10 +1005,10 @@ SecureSystem::pumpOverflowJobs(Tick t)
 
 void
 SecureSystem::dramRequest(Addr addr, MemClass cls, bool is_write, Tick t,
-                          FinishCb done)
+                          FinishCb done, obs::MissRecord *attrib)
 {
     sim().schedule(std::max(t, curTick()),
-                   [this, addr, cls, is_write, done] {
+                   [this, addr, cls, is_write, done, attrib] {
         // A write retiring to DRAM replaces the stored block, healing
         // any persistent taint an attacker left on the old contents.
         if (fault_ && is_write) {
@@ -896,7 +1017,7 @@ SecureSystem::dramRequest(Addr addr, MemClass cls, bool is_write, Tick t,
                                     cls == MemClass::OverflowHi,
                                 curTick());
         }
-        tryEnqueueDram(addr, cls, is_write, done);
+        tryEnqueueDram(addr, cls, is_write, done, attrib);
     }, /*priority=*/0, EventTag::Dram);
 }
 
@@ -1006,17 +1127,19 @@ SecureSystem::recoverFill(unsigned core, Addr pa, Tick t,
 
 void
 SecureSystem::tryEnqueueDram(Addr addr, MemClass cls, bool is_write,
-                             FinishCb done)
+                             FinishCb done, obs::MissRecord *attrib)
 {
     DramRequest req;
     req.addr = addr;
     req.is_write = is_write;
     req.mclass = cls;
+    req.attrib = attrib;
     if (done)
         req.on_complete = done;
     if (!dram_.enqueue(req)) {
-        sim().scheduleIn(kDramRetry, [this, addr, cls, is_write, done] {
-            tryEnqueueDram(addr, cls, is_write, done);
+        sim().scheduleIn(kDramRetry,
+                         [this, addr, cls, is_write, done, attrib] {
+            tryEnqueueDram(addr, cls, is_write, done, attrib);
         }, /*priority=*/0, EventTag::Dram);
     }
 }
@@ -1244,7 +1367,21 @@ SecureSystem::resetStats()
         c.resetStats();
     for (auto &c : l2_)
         c.resetStats();
+    if (ledger_)
+        ledger_->resetStats();
     measure_start_ = curTick();
+}
+
+void
+SecureSystem::scheduleSeriesSample(Tick when)
+{
+    sim().schedule(when, [this] {
+        if (!series_active_)
+            return;
+        series_->append(ticksToNs(curTick() - measure_start_),
+                        metrics_.snapshot());
+        scheduleSeriesSample(curTick() + series_->interval());
+    }, /*priority=*/2, EventTag::Sim);
 }
 
 void
@@ -1325,6 +1462,10 @@ SecureSystem::run(Count warmup, Count measure)
     // ---- measurement phase
     resetStats();
     const Tick measure_phase_start = curTick();
+    if (series_) {
+        series_active_ = true;
+        scheduleSeriesSample(measure_phase_start + series_->interval());
+    }
     cores_running_ = cfg_.cores;
     for (auto &core : cores_) {
         core->start(measure, [this] {
@@ -1334,6 +1475,8 @@ SecureSystem::run(Count warmup, Count measure)
     }
     while (cores_running_ > 0 && sim().events().step()) {
     }
+    // The pending sample event (if any) drains as a no-op below.
+    series_active_ = false;
     if (trace_sim_) {
         tracer_->span(obs::TraceCat::Sim, sim_track_, "measure",
                       measure_phase_start, curTick());

@@ -31,7 +31,9 @@
 #include "fault/fault_injector.hh"
 #include "noc/latency_model.hh"
 #include "noc/mesh.hh"
+#include "obs/ledger.hh"
 #include "obs/metrics.hh"
+#include "obs/series.hh"
 #include "obs/trace.hh"
 #include "secmem/counter_design.hh"
 #include "secmem/metadata_map.hh"
@@ -167,6 +169,15 @@ class SecureSystem : public Component, public MemorySystemPort
      *  "noc.hops", ...). */
     const obs::MetricsRegistry &metrics() const { return metrics_; }
 
+    /** The per-miss latency ledger attached via Simulator::setLedger
+     *  before construction (null when attribution is off). */
+    const obs::LatencyLedger *ledger() const { return ledger_; }
+
+    /** Attach an interval stats-series sink (not owned; may be set any
+     *  time before run()). Samples are taken every series->interval()
+     *  ticks of the measurement phase. */
+    void attachSeries(obs::StatsSeries *series) { series_ = series; }
+
     // ---- MemorySystemPort
     void read(unsigned core, Addr vaddr,
               std::function<void(Tick)> done) override;
@@ -182,6 +193,8 @@ class SecureSystem : public Component, public MemorySystemPort
         bool mc_decrypts = false;   ///< MC verifies (ctr missed LLC or
                                     ///  adaptive offload)
         Tick ctr_ready_at_l2 = kTickInvalid; ///< post-decode, if at L2
+        Tick ctr_start = kTickInvalid; ///< tick the L2 counter lookup
+                                       ///  began (ledger crypto lane)
     };
 
     Addr translate(unsigned core, Addr vaddr);
@@ -193,21 +206,26 @@ class SecureSystem : public Component, public MemorySystemPort
     void handleL1Miss(unsigned core, Addr pa, bool is_store, Tick t1);
     void l2Access(unsigned core, Addr pa, bool is_store, Tick t,
                   FinishCb fill_cb);
-    CtrPath emccCounterPath(unsigned core, Addr pa, Tick t_miss);
+    CtrPath emccCounterPath(unsigned core, Addr pa, Tick t_miss,
+                            obs::MissRecord *rec);
     void llcDataAccess(unsigned core, Addr pa, Tick t_miss,
-                       const CtrPath &ctr, FinishCb fill_cb);
+                       const CtrPath &ctr, obs::MissRecord *rec,
+                       FinishCb fill_cb);
     void mcDataRead(unsigned core, Addr pa, Tick t_mc, const CtrPath &ctr,
-                    Tick t_miss, FinishCb fill_at_l2_cb);
+                    Tick t_miss, obs::MissRecord *rec,
+                    FinishCb fill_at_l2_cb);
     /** Fetch+verify a counter at the MC; cb gets the verified tick. */
     void mcFetchCounter(Addr pa, Tick t, bool count_buckets, FinishCb cb);
     void mcHandleWriteback(Addr pa, Tick t);
     void scheduleOverflowJob(Addr region_base, Count blocks, Tick t);
     void pumpOverflowJobs(Tick t);
-    /** Enqueue a DRAM request, retrying while the queue is full. */
+    /** Enqueue a DRAM request, retrying while the queue is full.
+     *  @p attrib, when non-null, is stamped with the request's MC queue
+     *  and DRAM service intervals (latency ledger). */
     void dramRequest(Addr addr, MemClass cls, bool is_write, Tick t,
-                     FinishCb done);
+                     FinishCb done, obs::MissRecord *attrib = nullptr);
     void tryEnqueueDram(Addr addr, MemClass cls, bool is_write,
-                        FinishCb done);
+                        FinishCb done, obs::MissRecord *attrib = nullptr);
 
     // ---- fault-injection resilience
     /** Extra AES start latency from an injected stall (0 when off). */
@@ -300,6 +318,17 @@ class SecureSystem : public Component, public MemorySystemPort
     RunResults results_;
     Tick measure_start_{};
     unsigned cores_running_ = 0;
+
+    /// non-null only when a ledger was attached to the Simulator; the
+    /// miss path null-checks before allocating/stamping records
+    obs::LatencyLedger *ledger_ = nullptr;
+
+    /// interval stats-series sink (not owned; null when off). The
+    /// active flag lets the pending sample event drain as a no-op once
+    /// measurement ends instead of rescheduling forever.
+    obs::StatsSeries *series_ = nullptr;
+    bool series_active_ = false;
+    void scheduleSeriesSample(Tick when);
 
     obs::MetricsRegistry metrics_;
     /// non-null only when a tracer is attached; per-category gates are

@@ -1,6 +1,7 @@
 #include "workloads/workload.hh"
 
 #include <algorithm>
+#include <cctype>
 
 #include "common/log.hh"
 #include "common/rng.hh"
@@ -31,6 +32,27 @@ regularWorkloads()
         "deepsjeng_s", "leela_s", "x264_s",
     };
     return kNames;
+}
+
+std::string
+canonicalWorkloadName(const std::string &name)
+{
+    auto lower = [](const std::string &s) {
+        std::string out = s;
+        std::transform(out.begin(), out.end(), out.begin(),
+                       [](unsigned char c) {
+                           return static_cast<char>(std::tolower(c));
+                       });
+        return out;
+    };
+    const std::string want = lower(name);
+    for (const auto *names : {&irregularWorkloads(), &regularWorkloads()}) {
+        for (const auto &n : *names) {
+            if (lower(n) == want)
+                return n;
+        }
+    }
+    return name;
 }
 
 bool
@@ -129,9 +151,10 @@ WorkloadSet
 buildWorkload(const std::string &name, const WorkloadParams &p)
 {
     fatal_if(p.cores == 0, "workload with zero cores");
-    if (isGraphWorkload(name))
-        return buildGraph(name, p);
-    return buildSynthetic(name, p);
+    const std::string canon = canonicalWorkloadName(name);
+    if (isGraphWorkload(canon))
+        return buildGraph(canon, p);
+    return buildSynthetic(canon, p);
 }
 
 } // namespace emcc

@@ -62,6 +62,11 @@ const std::vector<std::string> &regularWorkloads();
 /** True if @p name is one of the eight graph kernels. */
 bool isGraphWorkload(const std::string &name);
 
+/** Resolve @p name against the known workloads case-insensitively
+ *  ("bfs" -> "BFS"); unknown names pass through unchanged so the
+ *  caller's error path still sees what the user typed. */
+std::string canonicalWorkloadName(const std::string &name);
+
 /** Build the traces for a benchmark; fatal on an unknown name. */
 WorkloadSet buildWorkload(const std::string &name, const WorkloadParams &p);
 

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Validate an emcc_sim --stats-series JSONL dump.
+
+Usage:
+    check_series.py SERIES.jsonl [--min-lines N]
+
+Checks the emcc-stats-series-v1 contract:
+  - every line is a standalone JSON object with exactly the keys
+    schema/seq/t_ns/counters/gauges/formulas/histograms
+  - schema string is "emcc-stats-series-v1"
+  - seq is dense from 0 and t_ns strictly increases
+  - all lines expose the same metric names (the registry is fixed for
+    a run, only values change)
+  - cumulative counters never decrease between snapshots
+"""
+
+import argparse
+import json
+import sys
+
+TOP_KEYS = {"schema", "seq", "t_ns", "counters", "gauges", "formulas",
+            "histograms"}
+
+
+def fail(msg):
+    print(f"check_series: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def names_of(doc):
+    return {section: frozenset(doc[section])
+            for section in ("counters", "gauges", "formulas",
+                            "histograms")}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("series")
+    ap.add_argument("--min-lines", type=int, default=1)
+    args = ap.parse_args()
+
+    with open(args.series) as f:
+        lines = [ln for ln in f.read().splitlines() if ln]
+    if len(lines) < args.min_lines:
+        fail(f"only {len(lines)} snapshots, wanted >= {args.min_lines}")
+
+    prev_t = None
+    prev_counters = None
+    prev_names = None
+    for i, line in enumerate(lines):
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"line {i}: not valid JSON: {e}")
+        if set(doc.keys()) != TOP_KEYS:
+            fail(f"line {i}: keys {sorted(doc.keys())}")
+        if doc["schema"] != "emcc-stats-series-v1":
+            fail(f"line {i}: schema {doc['schema']!r}")
+        if doc["seq"] != i:
+            fail(f"line {i}: seq {doc['seq']} is not dense")
+        if prev_t is not None and doc["t_ns"] <= prev_t:
+            fail(f"line {i}: t_ns {doc['t_ns']} <= previous {prev_t}")
+        prev_t = doc["t_ns"]
+        names = names_of(doc)
+        if prev_names is not None and names != prev_names:
+            fail(f"line {i}: metric names changed between snapshots")
+        prev_names = names
+        counters = doc["counters"]
+        if prev_counters is not None:
+            for k, v in counters.items():
+                if v < prev_counters[k]:
+                    fail(f"line {i}: counter {k} decreased "
+                         f"({prev_counters[k]} -> {v})")
+        prev_counters = counters
+
+    print(f"check_series: OK ({len(lines)} snapshots, "
+          f"{sum(len(v) for v in names_of(json.loads(lines[-1])).values())}"
+          f" metrics each)")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,8 +24,9 @@ import sys
 
 NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
 TOP_KEYS = {"schema", "counters", "gauges", "formulas", "histograms"}
-HIST_KEYS = {"count", "mean", "min", "max", "underflow", "overflow",
-             "lo", "hi", "num_bins", "bins"}
+HIST_KEYS = {"count", "mean", "min", "max", "percentiles", "underflow",
+             "overflow", "lo", "hi", "num_bins", "bins"}
+PCTL_KEYS = {"p50", "p95", "p99"}
 
 
 def fail(msg):
@@ -69,6 +70,14 @@ def check_schema(doc):
         for idx in h["bins"]:
             if not idx.isdigit() or int(idx) >= h["num_bins"]:
                 fail(f"histogram {name}: bad bin index {idx!r}")
+        p = h["percentiles"]
+        if set(p.keys()) != PCTL_KEYS:
+            fail(f"histogram {name} percentile keys {sorted(p.keys())}")
+        for k, v in p.items():
+            if not isinstance(v, (int, float)):
+                fail(f"histogram {name}: {k} = {v!r} is not a number")
+        if h["count"] > 0 and not p["p50"] <= p["p95"] <= p["p99"]:
+            fail(f"histogram {name}: percentiles not monotone: {p}")
 
 
 def flatten(doc):

@@ -18,6 +18,14 @@
 #                      golden file (regen: tools/regen_golden.sh)
 #   trace_schema       --trace emits valid Chrome trace JSON (parses,
 #                      monotonic timestamps, every B has a matching E)
+#   stats_stdout       --stats-json - writes the same JSON to stdout
+#                      as to a file
+#   series             --stats-interval/--stats-series emit valid,
+#                      deterministic emcc-stats-series-v1 JSONL that
+#                      matches the checked-in golden
+#   overlap_scheme     EMCC hides strictly more crypto latency than
+#                      the MC-crypto baseline on the same seeded run
+#                      (lat.l2miss.overlap_frac; the paper's headline)
 set -u
 
 SIM="${1:?usage: cli_smoke.sh <emcc_sim> <case>}"
@@ -121,6 +129,67 @@ case "$CASE" in
         --trace dram_only.json --trace-cats dram || exit 1
     python3 "$SCRIPT_DIR/check_trace.py" dram_only.json \
         --only-cats dram || exit 1
+    ;;
+  stats_stdout)
+    expect_exit 0 "$SIM" "${SMALL[@]}" --scheme emcc --seed 42 \
+        --stats-json stats_file.json || exit 1
+    "$SIM" "${SMALL[@]}" --scheme emcc --seed 42 --stats-json - \
+        > report.txt 2> stderr.txt || {
+        echo "FAIL: --stats-json - exited $?" >&2; cat stderr.txt >&2
+        exit 1; }
+    # The JSON is the single line starting with the schema tag.
+    grep '"schema":"emcc-stats-v1"' report.txt > stats_stdout.json || {
+        echo "FAIL: no stats JSON on stdout" >&2; exit 1; }
+    cmp stats_file.json stats_stdout.json || {
+        echo "FAIL: stdout stats differ from file stats" >&2; exit 1; }
+    ;;
+  series)
+    for i in 1 2; do
+        expect_exit 0 "$SIM" "${SMALL[@]}" --scheme emcc --seed 42 \
+            --stats-interval 0.002 --stats-series "series_$i.jsonl" \
+            || exit 1
+    done
+    cmp series_1.jsonl series_2.jsonl || {
+        echo "FAIL: identical seeded runs produced different series" >&2
+        exit 1; }
+    if command -v python3 > /dev/null; then
+        python3 "$SCRIPT_DIR/check_series.py" series_1.jsonl \
+            --min-lines 5 || exit 1
+    fi
+    # A coarse-interval run is compared byte-for-byte against the
+    # checked-in golden (regen: tools/regen_golden.sh).
+    expect_exit 0 "$SIM" "${SMALL[@]}" --scheme emcc --seed 42 \
+        --stats-interval 0.02 --stats-series series_coarse.jsonl \
+        || exit 1
+    GOLDEN="$SCRIPT_DIR/golden/series_bfs_emcc.jsonl"
+    cmp series_coarse.jsonl "$GOLDEN" || {
+        echo "FAIL: series diverged from $GOLDEN" >&2
+        echo "If the change is intentional, regenerate with" >&2
+        echo "  tools/regen_golden.sh <path-to-emcc_sim>" >&2
+        exit 1; }
+    # Interval without a sink (and vice versa) is a usage error.
+    expect_exit 2 "$SIM" "${SMALL[@]}" --stats-interval 0.002
+    expect_exit 2 "$SIM" "${SMALL[@]}" --stats-series lone.jsonl
+    ;;
+  overlap_scheme)
+    if ! command -v python3 > /dev/null; then
+        echo "PASS: overlap_scheme (skipped: python3 unavailable)"
+        exit 0
+    fi
+    expect_exit 0 "$SIM" "${SMALL[@]}" --scheme emcc --seed 42 \
+        --stats-json emcc.json || exit 1
+    expect_exit 0 "$SIM" "${SMALL[@]}" --scheme baseline --seed 42 \
+        --stats-json baseline.json || exit 1
+    python3 - <<'EOF' || exit 1
+import json
+e = json.load(open("emcc.json"))
+b = json.load(open("baseline.json"))
+ef = e["formulas"]["lat.l2miss.overlap_frac"]
+bf = b["formulas"]["lat.l2miss.overlap_frac"]
+assert e["histograms"]["lat.l2miss.total"]["count"] > 0, "no misses"
+assert ef > bf, f"emcc overlap_frac {ef} !> baseline {bf}"
+print(f"overlap_frac: emcc {ef:.4f} > baseline {bf:.4f}")
+EOF
     ;;
   *)
     echo "unknown case: $CASE" >&2

@@ -109,6 +109,28 @@ TEST(Tracer, OverlappingSpansLandInSiblingLanes)
     EXPECT_NE(json.find("\"l2.0 #2\""), std::string::npos);
 }
 
+TEST(Tracer, ThreeMutuallyOverlappingSpansGetThreeLanes)
+{
+    Tracer t;
+    const auto track = t.track("l2.0");
+    // Three misses all in flight during [300, 500): no two can share a
+    // lane, so the track must fan out to three tids.
+    t.span(TraceCat::Cache, track, "miss", Tick{100}, Tick{500});
+    t.span(TraceCat::Cache, track, "miss", Tick{200}, Tick{600});
+    t.span(TraceCat::Cache, track, "miss", Tick{300}, Tick{700});
+    // After all three drain, the first lane is free again.
+    t.span(TraceCat::Cache, track, "miss", Tick{800}, Tick{900});
+    const std::string json = t.renderJson();
+    EXPECT_EQ(countOf(json, "\"ph\":\"B\""), 4u);
+    EXPECT_EQ(countOf(json, "\"ph\":\"E\""), 4u);
+    // Three lanes → three thread_name metadata records.
+    EXPECT_EQ(countOf(json, "\"ph\":\"M\""), 3u);
+    EXPECT_NE(json.find("\"l2.0\""), std::string::npos);
+    EXPECT_NE(json.find("\"l2.0 #2\""), std::string::npos);
+    EXPECT_NE(json.find("\"l2.0 #3\""), std::string::npos);
+    EXPECT_EQ(json.find("\"l2.0 #4\""), std::string::npos);
+}
+
 TEST(Tracer, InstantEventsUseThreadScope)
 {
     Tracer t;

@@ -66,7 +66,20 @@ usage()
         "\n"
         "observability:\n"
         "  --stats-json FILE  dump the full metrics registry as JSON\n"
-        "                     (deterministic for a fixed seed)\n"
+        "                     (deterministic for a fixed seed; FILE of\n"
+        "                     '-' writes to stdout)\n"
+        "  --stats-interval MS\n"
+        "                     sample the registry every MS simulated\n"
+        "                     milliseconds of the measurement phase\n"
+        "                     (fractional values allowed; requires\n"
+        "                     --stats-series)\n"
+        "  --stats-series FILE\n"
+        "                     JSONL sink for the interval snapshots,\n"
+        "                     one emcc-stats-series-v1 object per line\n"
+        "                     ('-' writes to stdout)\n"
+        "  --no-ledger        disable per-miss latency attribution (the\n"
+        "                     lat.l2miss.* histograms and breakdown\n"
+        "                     table; on by default)\n"
         "  --trace FILE       write a Chrome trace_event JSON timeline\n"
         "                     (load in chrome://tracing or Perfetto)\n"
         "  --trace-cats LIST  comma-separated categories to record:\n"
@@ -123,7 +136,10 @@ runMain(int argc, char **argv)
     std::string workload = "BFS";
     std::string save_trace, load_trace, csv_path;
     std::string stats_json_path, trace_path, trace_cats = "all";
+    std::string stats_series_path;
+    double stats_interval_ms = 0.0;
     bool leak_strict = false;
+    bool no_ledger = false;
     SystemConfig cfg = paperConfig(Scheme::Emcc);
     BenchScale scale = BenchScale::fromEnv();
 
@@ -178,6 +194,14 @@ runMain(int argc, char **argv)
             scale.workload.trace_len = static_cast<std::size_t>(nextInt());
         } else if (arg == "--stats-json") {
             stats_json_path = next();
+        } else if (arg == "--stats-interval") {
+            stats_interval_ms = nextFloat();
+            if (stats_interval_ms <= 0.0)
+                throw ConfigError("--stats-interval must be > 0 ms");
+        } else if (arg == "--stats-series") {
+            stats_series_path = next();
+        } else if (arg == "--no-ledger") {
+            no_ledger = true;
         } else if (arg == "--trace") {
             trace_path = next();
         } else if (arg == "--trace-cats") {
@@ -221,6 +245,9 @@ runMain(int argc, char **argv)
         }
     }
     cfg.validate();
+    if (stats_series_path.empty() != (stats_interval_ms == 0.0))
+        throw ConfigError("--stats-interval and --stats-series must be "
+                          "given together");
 
     std::printf("workload: %s | scheme: %s | design: %s\n\n",
                 workload.c_str(), schemeName(cfg.scheme),
@@ -263,8 +290,17 @@ runMain(int argc, char **argv)
     if (!trace_path.empty())
         tracer = std::make_unique<obs::Tracer>(
             obs::parseTraceCats(trace_cats));
+    std::unique_ptr<obs::LatencyLedger> ledger;
+    if (!no_ledger)
+        ledger = std::make_unique<obs::LatencyLedger>();
+    std::unique_ptr<obs::StatsSeries> series;
+    if (!stats_series_path.empty())
+        series = std::make_unique<obs::StatsSeries>(
+            stats_series_path, nsToTicks(stats_interval_ms * 1e6));
     RunOptions opts;
     opts.tracer = tracer.get();
+    opts.ledger = ledger.get();
+    opts.series = series.get();
 
     const auto r = runTiming(cfg, set, scale, opts);
 
@@ -315,6 +351,11 @@ runMain(int argc, char **argv)
     row("counter overflows", static_cast<double>(r.sys.overflows), 0);
     std::fputs(t.render().c_str(), stdout);
 
+    if (ledger && ledger->records() > 0) {
+        std::puts("\n=== latency attribution ===");
+        std::fputs(ledger->renderTable().c_str(), stdout);
+    }
+
     if (cfg.faults.enabled()) {
         std::puts("\n=== fault campaign ===");
         std::fputs(r.faults.render().c_str(), stdout);
@@ -353,14 +394,29 @@ runMain(int argc, char **argv)
     }
 
     if (!stats_json_path.empty()) {
-        std::FILE *f = std::fopen(stats_json_path.c_str(), "w");
-        if (f == nullptr)
-            throw SimError("cannot open '" + stats_json_path + "'");
         const std::string json = r.metrics.toJson();
-        std::fwrite(json.data(), 1, json.size(), f);
-        std::fclose(f);
-        std::printf("wrote %zu metrics to %s\n", r.metrics.size(),
-                    stats_json_path.c_str());
+        if (stats_json_path == "-") {
+            // To stdout, for piping into jq and friends. The JSON is a
+            // single line, so it coexists with the report above it.
+            std::fwrite(json.data(), 1, json.size(), stdout);
+        } else {
+            std::FILE *f = std::fopen(stats_json_path.c_str(), "w");
+            if (f == nullptr)
+                throw SimError("cannot open '" + stats_json_path + "'");
+            std::fwrite(json.data(), 1, json.size(), f);
+            std::fclose(f);
+            std::printf("wrote %zu metrics to %s\n", r.metrics.size(),
+                        stats_json_path.c_str());
+        }
+    }
+    if (series) {
+        if (!series->flush())
+            throw SimError("cannot open '" + stats_series_path + "'");
+        if (stats_series_path != "-")
+            std::printf("wrote %llu interval snapshots to %s\n",
+                        static_cast<unsigned long long>(
+                            series->snapshots()),
+                        stats_series_path.c_str());
     }
     if (tracer) {
         tracer->writeJson(trace_path);

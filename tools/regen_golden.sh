@@ -1,24 +1,26 @@
 #!/bin/bash
-# Regenerate the golden stats file the cli.golden_stats ctest compares
-# against. Run this (and commit the result) after an intentional change
-# to the timing model or the metric set.
+# Regenerate the golden files the cli.golden_stats and cli.series
+# ctests compare against. Run this (and commit the result) after an
+# intentional change to the timing model or the metric set.
 #
 #   tools/regen_golden.sh [path-to-emcc_sim]
 #
-# Defaults to build/tools/emcc_sim. The invocation here must stay in
-# lockstep with the golden_stats case in tests/cli_smoke.sh.
+# Defaults to build/tools/emcc_sim. The invocations here must stay in
+# lockstep with the golden_stats and series cases in
+# tests/cli_smoke.sh.
 set -eu
 
 REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 SIM="${1:-$REPO/build/tools/emcc_sim}"
 GOLDEN="$REPO/tests/golden/stats_bfs_emcc.json"
+SERIES_GOLDEN="$REPO/tests/golden/series_bfs_emcc.jsonl"
 
 if [ ! -x "$SIM" ]; then
     echo "regen_golden.sh: no emcc_sim at $SIM (build first?)" >&2
     exit 1
 fi
 
-# The golden run pins the workload scale explicitly; the env knobs
+# The golden runs pin the workload scale explicitly; the env knobs
 # would silently change it.
 unset EMCC_BENCH_FAST EMCC_BENCH_FULL
 
@@ -26,3 +28,8 @@ mkdir -p "$(dirname "$GOLDEN")"
 "$SIM" --workload BFS --warmup 5000 --measure 20000 --trace-len 40000 \
     --scheme emcc --seed 42 --stats-json "$GOLDEN" > /dev/null
 echo "wrote $GOLDEN"
+
+"$SIM" --workload BFS --warmup 5000 --measure 20000 --trace-len 40000 \
+    --scheme emcc --seed 42 --stats-interval 0.02 \
+    --stats-series "$SERIES_GOLDEN" > /dev/null
+echo "wrote $SERIES_GOLDEN"
