@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Host-performance regression harness for the simulation kernel.
+ *
+ * Part 1 — microbenchmark: identical deterministic schedule/execute/
+ * deschedule traffic is driven through the rewritten allocation-free
+ * kernel (sim/event_queue.hh) and the preserved pre-rewrite kernel
+ * (sim/legacy_event_queue.hh) in the same process, and events/sec is
+ * reported for each along with the speedup. Comparing the two kernels
+ * on the *same machine* makes the ≥2x throughput gate machine-relative,
+ * so CI can enforce it without caring how fast the runner is.
+ *
+ * Part 2 — end to end: one fig16-style timing run (BFS on the EMCC
+ * scheme), reporting host-seconds-per-sim-second and host events/sec,
+ * the numbers the emcc_sim run summary prints for every user run.
+ *
+ * Results go to stdout and, like every bench, to
+ * $EMCC_BENCH_JSON/BENCH_host_perf.json via benchutil::report. Unlike
+ * the figure benches this one defaults EMCC_BENCH_JSON to "." so the
+ * perf trajectory file is always produced; tests/check_host_perf.py
+ * gates it against bench/host_perf_baseline.json in CI.
+ */
+
+#include <cstdio>
+#include <cstdint>
+#include <vector>
+
+#include "bench_common.hh"
+#include "obs/profile.hh"
+#include "sim/legacy_event_queue.hh"
+
+namespace {
+
+using namespace emcc;
+
+/** One microbench pattern: how the traffic is shaped. */
+enum class Pattern
+{
+    SteadyState,     ///< wheel-dominant mixed deltas, like a real sim
+    ScheduleCancel,  ///< half of every burst is descheduled by handle
+    FarFuture,       ///< every delta beyond the wheel horizon (heap path)
+};
+
+const char *
+patternName(Pattern p)
+{
+    switch (p) {
+      case Pattern::SteadyState: return "steady_state";
+      case Pattern::ScheduleCancel: return "schedule_cancel";
+      case Pattern::FarFuture: return "far_future";
+    }
+    return "?";
+}
+
+/**
+ * Drive @p target_events of @p pattern traffic through a queue and
+ * return events/sec. The delta sequence is precomputed so both kernels
+ * see byte-identical traffic and the RNG cost stays out of the loop.
+ * Closures capture a pointer plus two scalars — the shape of a real
+ * component callback.
+ */
+template <typename Queue>
+double
+runPattern(Pattern pattern, std::uint64_t target_events)
+{
+    // 7/8 of deltas inside the default 2^16-tick wheel horizon (cache
+    // hits, NoC hops, DRAM commands), 1/8 beyond it — except FarFuture,
+    // which sends everything to the overflow heap.
+    std::vector<std::uint64_t> deltas(4096);
+    Rng rng(0xbe5c);
+    for (auto &d : deltas) {
+        if (pattern == Pattern::FarFuture)
+            d = (std::uint64_t{1} << 17) + rng.below(50'000);
+        else if (rng.below(8) == 0)
+            d = (std::uint64_t{1} << 16) + rng.below(20'000);
+        else
+            d = 1 + rng.below(50'000);
+    }
+
+    Queue q;
+    std::uint64_t sink = 0;
+    std::vector<EventId> burst_ids(deltas.size());
+    obs::HostTimer timer;
+    std::uint64_t executed = 0;
+    while (executed < target_events) {
+        for (std::size_t i = 0; i < deltas.size(); ++i) {
+            const std::uint64_t d = deltas[i];
+            burst_ids[i] = q.scheduleIn(
+                Tick{d}, [&sink, d, i] { sink += d + i; },
+                /*priority=*/static_cast<int>(i & 3));
+        }
+        if (pattern == Pattern::ScheduleCancel) {
+            for (std::size_t i = 0; i < burst_ids.size(); i += 2)
+                q.deschedule(burst_ids[i]);
+        }
+        q.runAll();
+        executed = q.stats().executed + q.stats().cancelled;
+    }
+    const double secs = timer.seconds();
+    // Keep the side effect alive so the callback bodies can't be
+    // optimized out from under the measurement.
+    if (sink == 0)
+        std::fputs("", stdout);
+    return secs > 0.0 ? static_cast<double>(executed) / secs : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace emcc;
+    using namespace emcc::experiments;
+
+    // The JSON dump is this bench's whole point: default it on.
+    if (std::getenv("EMCC_BENCH_JSON") == nullptr)
+        setenv("EMCC_BENCH_JSON", ".", /*overwrite=*/0);
+
+    std::uint64_t target = 4'000'000;
+    if (std::getenv("EMCC_BENCH_FAST"))
+        target = 1'000'000;
+    else if (std::getenv("EMCC_BENCH_FULL"))
+        target = 16'000'000;
+
+    std::printf("=== host_perf: kernel throughput, new vs legacy "
+                "(%llu events/pattern) ===\n\n",
+                static_cast<unsigned long long>(target));
+
+    Table t({"pattern", "legacy Mev/s", "emcc Mev/s", "speedup"});
+    for (const Pattern p : {Pattern::SteadyState, Pattern::ScheduleCancel,
+                            Pattern::FarFuture}) {
+        // Interleave a warmup of each before timing so neither kernel
+        // pays first-touch page faults inside its measured window.
+        runPattern<legacy::EventQueue>(p, target / 16);
+        runPattern<EventQueue>(p, target / 16);
+        const double lps = runPattern<legacy::EventQueue>(p, target);
+        const double nps = runPattern<EventQueue>(p, target);
+        t.addRow({patternName(p), Table::num(lps * 1e-6),
+                  Table::num(nps * 1e-6),
+                  Table::num(lps > 0.0 ? nps / lps : 0.0)});
+    }
+
+    // End to end: the headline fig16 configuration, one workload. The
+    // legacy kernel cannot run the full simulator (it is no longer
+    // wired in), so these rows carry the absolute numbers only.
+    const auto scale = BenchScale::fromEnv();
+    const auto &workload = cachedWorkload("bfs", scale.workload);
+    const auto r = runTiming(paperConfig(Scheme::Emcc), workload, scale,
+                             RunOptions{});
+    const auto it = r.metrics.counters.find("sim.events.executed");
+    const double ev = it == r.metrics.counters.end()
+                          ? 0.0 : static_cast<double>(it->second);
+    const double sim_s = r.duration_ns * 1e-9;
+    t.addRow({"e2e_bfs_emcc Mev/s", "-",
+              Table::num(r.host_seconds > 0.0
+                             ? ev / r.host_seconds * 1e-6 : 0.0), "-"});
+    t.addRow({"e2e_bfs_emcc host-s/sim-s", "-",
+              Table::num(sim_s > 0.0 ? r.host_seconds / sim_s : 0.0,
+                         /*digits=*/0), "-"});
+
+    benchutil::report("BENCH_host_perf", t);
+    std::puts("\ngate: tests/check_host_perf.py fails a speedup that "
+              "regresses >30% vs bench/host_perf_baseline.json");
+    return 0;
+}

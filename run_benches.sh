@@ -1,24 +1,79 @@
 #!/bin/bash
 # Run every bench binary (figures first, then ablations), logging each
 # to bench_logs/<name>.txt.
+#
+# Usage: ./run_benches.sh [-j N]
+#
+#   -j N   run up to N benches concurrently (default 1). The fig/
+#          ablation benches are independent processes, so they scale
+#          like `make -j`; each keeps its own log file regardless of
+#          overlap and only the progress notes may interleave.
+#          Failures are collected in bench_logs/failures.txt.
+set -u
 cd /root/repo/build
-mkdir -p /root/repo/bench_logs
+LOGS=/root/repo/bench_logs
+mkdir -p "$LOGS"
+
+JOBS=1
+while [ $# -gt 0 ]; do
+    case "$1" in
+      -j)
+        shift
+        JOBS="${1:?missing argument to -j}"
+        ;;
+      -j*)
+        JOBS="${1#-j}"
+        ;;
+      *)
+        echo "unknown flag: $1" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
+case "$JOBS" in
+  ''|*[!0-9]*|0) echo "-j needs a positive integer" >&2; exit 2 ;;
+esac
+
+: > "$LOGS/failures.txt"
+
+# Keep at most $JOBS bench processes in flight.
+throttle() {
+    while [ "$(jobs -rp | wc -l)" -ge "$JOBS" ]; do
+        wait -n || true
+    done
+}
+
 run_one() {
     local b="$1"
     local name
     name=$(basename "$b")
     [ -f "$b" ] && [ -x "$b" ] || return 0
-    echo "=== running $name at $(date +%T) ===" >> /root/repo/bench_logs/progress.txt
-    if [ "$name" = micro_crypto ]; then
-        timeout 600 "$b" --benchmark_min_time=0.1 > /root/repo/bench_logs/$name.txt 2>&1 \
-            || echo "FAILED: $name" >> /root/repo/bench_logs/progress.txt
-    else
-        timeout 3000 "$b" > /root/repo/bench_logs/$name.txt 2>&1 \
-            || echo "FAILED: $name" >> /root/repo/bench_logs/progress.txt
-    fi
+    echo "=== running $name at $(date +%T) ===" >> "$LOGS/progress.txt"
+    throttle
+    (
+        if [ "$name" = micro_crypto ]; then
+            timeout 600 "$b" --benchmark_min_time=0.1 \
+                > "$LOGS/$name.txt" 2>&1
+        else
+            timeout 3000 "$b" > "$LOGS/$name.txt" 2>&1
+        fi
+        got=$?
+        if [ "$got" != 0 ]; then
+            echo "FAILED: $name (exit $got)" >> "$LOGS/failures.txt"
+            echo "FAILED: $name" >> "$LOGS/progress.txt"
+        fi
+    ) &
 }
+
 run_one bench/table1_config
 for b in bench/fig*; do run_one "$b"; done
+run_one bench/host_perf
 run_one bench/micro_crypto
 for b in bench/ablation_*; do run_one "$b"; done
-echo ALL_BENCHES_DONE >> /root/repo/bench_logs/progress.txt
+wait
+echo ALL_BENCHES_DONE >> "$LOGS/progress.txt"
+if [ -s "$LOGS/failures.txt" ]; then
+    cat "$LOGS/failures.txt" >&2
+    exit 1
+fi

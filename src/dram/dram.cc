@@ -137,16 +137,16 @@ DramChannel::applyRefresh(BankState &bk, const DramCoord &coord,
 }
 
 bool
-DramChannel::enqueue(const DramRequest &req)
+DramChannel::enqueue(DramRequest &&req)
 {
     auto &q = req.is_write ? write_q_ : read_q_;
     if (q.size() >= cfg_.queue_entries) {
         ++stats_.retries;
-        return false;
+        return false;   // req untouched: the caller can retry it
     }
     Pending p;
-    p.req = req;
     p.coord = DramAddressMapper(cfg_).map(req.addr);
+    p.req = std::move(req);
     p.enqueue_tick = curTick();
     q.push_back(std::move(p));
     scheduleServiceCheck();
@@ -313,10 +313,10 @@ DramMemory::DramMemory(Simulator &sim, std::string name,
 }
 
 bool
-DramMemory::enqueue(const DramRequest &req)
+DramMemory::enqueue(DramRequest &&req)
 {
     const DramCoord coord = mapper_.map(req.addr);
-    return channels_[coord.channel]->enqueue(req);
+    return channels_[coord.channel]->enqueue(std::move(req));
 }
 
 DramStats

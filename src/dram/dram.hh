@@ -160,8 +160,15 @@ class DramChannel : public Component
     DramChannel(Simulator &sim, std::string name, const DramConfig &cfg,
                 unsigned channel_id);
 
-    /** Try to enqueue; returns false when the relevant queue is full. */
-    bool enqueue(const DramRequest &req);
+    /**
+     * Try to enqueue; returns false when the relevant queue is full.
+     * The rvalue overload moves the request (and its on_complete
+     * closure) into the queue only on success — a rejected request is
+     * left intact at the caller, and the hot path never copies the
+     * std::function.
+     */
+    bool enqueue(DramRequest &&req);
+    bool enqueue(const DramRequest &req) { return enqueue(DramRequest(req)); }
 
     std::size_t readQueueDepth() const { return read_q_.size(); }
     std::size_t writeQueueDepth() const { return write_q_.size(); }
@@ -237,7 +244,9 @@ class DramMemory : public Component
 
     const DramConfig &config() const { return cfg_; }
 
-    bool enqueue(const DramRequest &req);
+    /** See DramChannel::enqueue for the move/copy overload contract. */
+    bool enqueue(DramRequest &&req);
+    bool enqueue(const DramRequest &req) { return enqueue(DramRequest(req)); }
 
     /** Aggregated statistics across channels. */
     DramStats aggregateStats() const;

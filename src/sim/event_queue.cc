@@ -1,5 +1,8 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "obs/metrics.hh"
 
 namespace emcc {
@@ -22,29 +25,142 @@ eventTagName(EventTag t)
     return "?";
 }
 
-void
-EventQueue::skipCancelled()
+EventQueue::EventQueue(unsigned wheel_bits)
 {
-    while (!heap_.empty() && live_.count(heap_.top().id) == 0)
+    // Lower bound 6: the scan walks the occupancy bitmap a 64-bit word
+    // at a time. Upper bound keeps a throwaway queue's footprint sane.
+    panic_if(wheel_bits < 6 || wheel_bits > 24,
+             "wheel_bits %u out of range [6, 24]", wheel_bits);
+    wheel_span_ = Tick::rep{1} << wheel_bits;
+    wheel_mask_ = static_cast<std::size_t>(wheel_span_ - 1);
+    buckets_.resize(static_cast<std::size_t>(wheel_span_));
+    bits_.resize(static_cast<std::size_t>(wheel_span_ >> 6));
+}
+
+void
+EventQueue::growPool()
+{
+    panic_if(chunks_.size() * kChunkSize + kChunkSize >
+                 std::uint64_t{1} << 32,
+             "event pool exhausted the 32-bit slot space");
+    auto chunk = std::make_unique<Entry[]>(kChunkSize);
+    const std::uint32_t base =
+        static_cast<std::uint32_t>(chunks_.size() * kChunkSize);
+    // Thread the free list so slots hand out in ascending order; the
+    // scheduling sequence — not slot numbers — defines event order,
+    // but ascending reuse keeps runs reproducible to the byte.
+    for (std::size_t i = kChunkSize; i-- > 0;) {
+        chunk[i].slot = base + static_cast<std::uint32_t>(i);
+        chunk[i].next = free_;
+        free_ = &chunk[i];
+    }
+    chunks_.push_back(std::move(chunk));
+}
+
+void
+EventQueue::cleanseHeap()
+{
+    while (!heap_.empty() && heap_.top()->cancelled) {
+        Entry *dead = heap_.top();
         heap_.pop();
+        freeEntry(dead);
+    }
+}
+
+EventQueue::Entry *
+EventQueue::wheelPeek()
+{
+    if (wheel_count_ == 0)
+        return nullptr;
+    // All resident wheel entries lie in [now, now + span): an entry is
+    // only placed in the wheel when (when - now) < span, and now never
+    // passes a pending entry. Scan the occupancy bitmap from the last
+    // known-empty frontier toward the horizon.
+    Tick::rep t = std::max(now_.value(), wheel_floor_);
+    const Tick::rep end = now_.value() + wheel_span_;
+    while (t < end && wheel_count_ > 0) {
+        const std::size_t b = static_cast<std::size_t>(t) & wheel_mask_;
+        const std::uint64_t word = bits_[b >> 6] >> (b & 63);
+        if (word == 0) {
+            t += 64 - (t & 63);   // skip to the next bitmap word
+            continue;
+        }
+        const unsigned hop = static_cast<unsigned>(std::countr_zero(word));
+        if (hop != 0) {
+            t += hop;
+            continue;   // re-check the horizon before touching it
+        }
+        Bucket &bk = buckets_[b];
+        while (bk.head != nullptr && bk.head->cancelled) {
+            Entry *dead = bk.head;
+            bk.head = dead->next;
+            --wheel_count_;
+            freeEntry(dead);
+        }
+        if (bk.head == nullptr) {
+            bk.tail = nullptr;
+            bits_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+            ++t;
+            continue;
+        }
+        wheel_floor_ = t;
+        return bk.head;
+    }
+    wheel_floor_ = t;
+    return nullptr;
+}
+
+void
+EventQueue::wheelPopHead(Entry *e)
+{
+    const std::size_t b =
+        static_cast<std::size_t>(e->when.value()) & wheel_mask_;
+    Bucket &bk = buckets_[b];
+    bk.head = e->next;
+    if (bk.head == nullptr) {
+        bk.tail = nullptr;
+        bits_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+    }
+    --wheel_count_;
+}
+
+EventQueue::Entry *
+EventQueue::popNextLive()
+{
+    cleanseHeap();
+    Entry *w = wheelPeek();
+    Entry *h = heap_.empty() ? nullptr : heap_.top();
+    if (w == nullptr && h == nullptr)
+        return nullptr;
+    // The wheel head is the earliest near event, the heap top the
+    // earliest far one; the full (tick, priority, FIFO) comparison
+    // keeps the documented total order across the boundary.
+    if (w != nullptr && (h == nullptr || runsBefore(w, h))) {
+        wheelPopHead(w);
+        return w;
+    }
+    heap_.pop();
+    return h;
 }
 
 bool
 EventQueue::step()
 {
-    skipCancelled();
-    if (heap_.empty())
+    Entry *e = popNextLive();
+    if (e == nullptr)
         return false;
-    // priority_queue::top() is const; move out via const_cast, which is
-    // safe because we pop immediately and never compare the moved-from fn.
-    Entry entry = std::move(const_cast<Entry &>(heap_.top()));
-    heap_.pop();
-    live_.erase(entry.id);
-    panic_if(entry.when < now_, "event queue went backwards");
-    now_ = entry.when;
+    panic_if(e->when < now_, "event queue went backwards");
+    now_ = e->when;
+    --pending_;
     ++stats_.executed;
-    ++stats_.executed_by_tag[static_cast<unsigned>(entry.tag)];
-    entry.fn();
+    ++stats_.executed_by_tag[static_cast<unsigned>(e->tag)];
+    // No longer live: a deschedule() from inside the callback (or any
+    // stale handle) must be a no-op. The entry itself is recycled only
+    // after the callback returns, so reentrant schedule() calls can
+    // never clobber the executing closure.
+    e->cancelled = true;
+    e->fn();
+    freeEntry(e);
     return true;
 }
 
@@ -53,10 +169,12 @@ EventQueue::runUntil(Tick limit)
 {
     Count executed = 0;
     for (;;) {
-        skipCancelled();
-        if (heap_.empty())
-            break;
-        if (heap_.top().when > limit)
+        cleanseHeap();
+        Entry *w = wheelPeek();
+        Entry *h = heap_.empty() ? nullptr : heap_.top();
+        const Entry *next =
+            w != nullptr && (h == nullptr || runsBefore(w, h)) ? w : h;
+        if (next == nullptr || next->when > limit)
             break;
         step();
         ++executed;
@@ -67,8 +185,12 @@ EventQueue::runUntil(Tick limit)
 Tick
 EventQueue::nextEventTick()
 {
-    skipCancelled();
-    return heap_.empty() ? kTickInvalid : heap_.top().when;
+    cleanseHeap();
+    Entry *w = wheelPeek();
+    Entry *h = heap_.empty() ? nullptr : heap_.top();
+    const Entry *next =
+        w != nullptr && (h == nullptr || runsBefore(w, h)) ? w : h;
+    return next == nullptr ? kTickInvalid : next->when;
 }
 
 void

@@ -1,32 +1,60 @@
 /**
  * @file
  * The discrete-event simulation kernel: a picosecond-resolution event
- * queue with stable ordering and O(log n) schedule/deschedule.
+ * queue with stable ordering and an allocation-free hot path.
  *
  * Ordering guarantees, in priority order:
  *   1. earlier tick first;
  *   2. at equal tick, lower priority value first;
  *   3. at equal tick and priority, FIFO insertion order.
  * These rules make simulations fully deterministic.
+ *
+ * Hot-path structure (see DESIGN.md "Simulation kernel"):
+ *
+ *   - Callbacks live *inside* pooled event entries as InlineCallable
+ *     closures (fixed small-buffer storage, compile-time checked — no
+ *     heap fallthrough), instead of heap-allocating std::functions.
+ *   - Entries are recycled through a free list; the pool only grows to
+ *     the high-water mark of simultaneously pending events.
+ *   - Cancellation is generation-checked tombstoning carried in the
+ *     entry itself: deschedule() flips a flag and execution skips dead
+ *     entries, so there is no liveness hash table at all.
+ *   - Near-future events (within the timing-wheel horizon, by default
+ *     2^16 ticks = 65.5 ns — cache hits, NoC hops, DRAM commands, AES
+ *     completions) go into a bucketed timing wheel: O(1) insert and a
+ *     bitmap-guided pop. Far-future events fall back to a binary heap
+ *     of entry pointers. The pop path compares the wheel head and the
+ *     heap top under the full (tick, priority, FIFO) key, so the total
+ *     order is preserved across the wheel/heap boundary without ever
+ *     migrating entries.
+ *
+ * The pre-rewrite kernel is preserved in legacy_event_queue.hh for
+ * differential tests and the bench/host_perf baseline.
  */
 
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/log.hh"
 #include "common/types.hh"
+#include "sim/inline_callable.hh"
 
 namespace emcc {
 
 namespace obs { class MetricsRegistry; }
 
-/** Opaque handle to a scheduled event, usable for cancellation. */
+/**
+ * Opaque handle to a scheduled event, usable for cancellation. Encodes
+ * the pool slot (low 32 bits, biased by one so the sentinel stays 0)
+ * and the slot's generation (high 32 bits); a stale handle — executed,
+ * cancelled, or recycled — fails the generation check and deschedules
+ * nothing.
+ */
 using EventId = std::uint64_t;
 
 /** Sentinel meaning "no event". */
@@ -68,66 +96,97 @@ struct EventQueueStats
 };
 
 /**
- * Min-heap event queue. Callbacks are arbitrary std::function<void()>;
- * components capture what they need. Descheduling is lazy (tombstoned),
- * which keeps the common schedule/execute path allocation-light.
+ * Timing-wheel + heap event queue with pooled, inline-closure entries.
+ * The common schedule/execute/deschedule cycle performs no heap
+ * allocation once the pool and heap have warmed to the simulation's
+ * high-water mark.
  */
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    /** Default wheel span: 2^16 ticks (65.5 ns of picosecond time). */
+    static constexpr unsigned kDefaultWheelBits = 16;
+
+    explicit EventQueue(unsigned wheel_bits = kDefaultWheelBits);
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulated time. */
     Tick now() const { return now_; }
 
     /**
      * Schedule @p fn at absolute time @p when (must be >= now()).
+     * The closure must fit the InlineCallable budget (compile-time
+     * checked): capture pointers to fat state, not the state itself.
      * @param priority tie-break at equal tick; lower runs first.
      * @param tag coarse component attribution for the dispatch profile.
      * @return a handle that can be passed to deschedule().
      */
+    template <typename F>
     EventId
-    schedule(Tick when, std::function<void()> fn, int priority = 0,
+    schedule(Tick when, F &&fn, int priority = 0,
              EventTag tag = EventTag::Generic)
     {
         panic_if(when < now_, "scheduling event in the past (%llu < %llu)",
                  (unsigned long long)when, (unsigned long long)now_);
-        const EventId id = ++next_id_;
-        heap_.push(Entry{when, priority, id, tag, std::move(fn)});
-        live_.insert(id);
+        Entry *e = allocEntry();
+        e->when = when;
+        e->seq = ++next_seq_;
+        e->next = nullptr;
+        e->priority = priority;
+        e->tag = tag;
+        e->cancelled = false;
+        e->fn.emplace(std::forward<F>(fn));
         ++stats_.scheduled;
-        if (live_.size() > stats_.max_pending)
-            stats_.max_pending = live_.size();
-        return id;
+        ++pending_;
+        if (pending_ > stats_.max_pending)
+            stats_.max_pending = pending_;
+        if (when.value() - now_.value() < wheel_span_)
+            wheelInsert(e);
+        else
+            heap_.push(e);
+        return makeId(*e);
     }
 
     /** Schedule @p fn @p delta ticks from now. */
+    template <typename F>
     EventId
-    scheduleIn(Tick delta, std::function<void()> fn, int priority = 0,
+    scheduleIn(Tick delta, F &&fn, int priority = 0,
                EventTag tag = EventTag::Generic)
     {
-        return schedule(now_ + delta, std::move(fn), priority, tag);
+        return schedule(now_ + delta, std::forward<F>(fn), priority, tag);
     }
 
     /**
-     * Cancel a previously scheduled event. Cancelling an already-executed
-     * or already-cancelled event is a no-op (returns false).
+     * Cancel a previously scheduled event. Cancelling an already-
+     * executed or already-cancelled event is a no-op (returns false).
+     * O(1): the entry is tombstoned in place (its closure is destroyed
+     * immediately) and reclaimed when the queue walks past it.
      */
     bool
     deschedule(EventId id)
     {
         if (id == kEventInvalid)
             return false;
-        bool was_live = live_.erase(id) > 0;
-        if (was_live)
-            ++stats_.cancelled;
-        return was_live;
+        const std::uint32_t slot =
+            static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+        if (slot >= poolSlots())
+            return false;
+        Entry &e = slotRef(slot);
+        if (e.gen != static_cast<std::uint32_t>(id >> 32) || e.cancelled)
+            return false;
+        e.cancelled = true;
+        e.fn.reset();   // release captured state promptly
+        ++stats_.cancelled;
+        --pending_;
+        return true;
     }
 
     /** Number of live (non-cancelled, unexecuted) events. */
-    std::size_t pending() const { return live_.size(); }
+    std::size_t pending() const { return static_cast<std::size_t>(pending_); }
 
-    bool empty() const { return live_.empty(); }
+    bool empty() const { return pending_ == 0; }
 
     /**
      * Execute the single next live event, advancing now().
@@ -159,34 +218,186 @@ class EventQueue
     void registerMetrics(obs::MetricsRegistry &reg,
                          const std::string &prefix) const;
 
+    // ---- introspection (tests, diagnostics)
+
+    /** Events closer than this many ticks from now() use the wheel. */
+    Tick::rep wheelSpan() const { return wheel_span_; }
+
+    /** Total pool capacity in entries (grows to the high-water mark). */
+    std::size_t
+    poolSlots() const
+    {
+        return chunks_.size() * kChunkSize;
+    }
+
+    /** Pool slot index encoded in a handle (stable across recycling). */
+    static std::uint32_t
+    idSlot(EventId id)
+    {
+        return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+    }
+
+    /** Slot generation encoded in a handle. */
+    static std::uint32_t
+    idGeneration(EventId id)
+    {
+        return static_cast<std::uint32_t>(id >> 32);
+    }
+
   private:
+    /** One pooled event. Entries never move once allocated, so the
+     *  inline closure and the intrusive `next` link stay valid. */
     struct Entry
     {
-        Tick when;
-        int priority;
-        EventId id;
-        EventTag tag;
-        std::function<void()> fn;
+        Tick when{};
+        std::uint64_t seq = 0;        ///< FIFO tie-break (monotonic)
+        Entry *next = nullptr;        ///< bucket chain / free list
+        std::uint32_t slot = 0;       ///< own index in the pool
+        std::uint32_t gen = 0;        ///< bumped on every recycle
+        std::int32_t priority = 0;
+        EventTag tag = EventTag::Generic;
+        bool cancelled = false;       ///< tombstone / no-longer-live
+        InlineCallable fn;
     };
 
-    struct Later
+    // The entry layout is tuned so two entries share a cache line pair:
+    // 48 bytes of header + the 64-byte closure budget + 2 dispatch
+    // pointers = 128. Growing kEventInlineBytes is allowed but should
+    // be a deliberate choice, so pin the expectation here.
+    static_assert(sizeof(Entry) <= 128,
+                  "EventQueue::Entry outgrew 128 bytes; if this is "
+                  "intentional, update this assert and the pool-density "
+                  "note in inline_callable.hh");
+
+    /** Heap order for far-future entries: full (tick, priority, FIFO)
+     *  key so the heap alone is deterministic. */
+    struct HeapLater
     {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        operator()(const Entry *a, const Entry *b) const
         {
-            if (a.when != b.when) return a.when > b.when;
-            if (a.priority != b.priority) return a.priority > b.priority;
-            return a.id > b.id;
+            if (a->when != b->when) return a->when > b->when;
+            if (a->priority != b->priority) return a->priority > b->priority;
+            return a->seq > b->seq;
         }
     };
 
-    /** Pop cancelled (non-live) entries off the heap top. */
-    void skipCancelled();
+    /** Wheel bucket: FIFO chain of same-tick entries, kept sorted by
+     *  (priority, seq) — the tail pointer makes the common equal-
+     *  priority append O(1). */
+    struct Bucket
+    {
+        Entry *head = nullptr;
+        Entry *tail = nullptr;
+    };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    /// ids scheduled but not yet executed or cancelled
-    std::unordered_set<EventId> live_;
-    EventId next_id_ = kEventInvalid;
+    static constexpr std::size_t kChunkSize = 256;
+    static constexpr unsigned kChunkShift = 8;
+
+    Entry &
+    slotRef(std::uint32_t slot)
+    {
+        return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+    }
+
+    static EventId
+    makeId(const Entry &e)
+    {
+        return (static_cast<EventId>(e.gen) << 32) |
+               (static_cast<EventId>(e.slot) + 1);
+    }
+
+    Entry *
+    allocEntry()
+    {
+        if (free_ == nullptr)
+            growPool();
+        Entry *e = free_;
+        free_ = e->next;
+        return e;
+    }
+
+    /** Return an entry to the free list, invalidating outstanding
+     *  handles via the generation bump. */
+    void
+    freeEntry(Entry *e)
+    {
+        e->fn.reset();
+        ++e->gen;
+        e->next = free_;
+        free_ = e;
+    }
+
+    void
+    wheelInsert(Entry *e)
+    {
+        const std::size_t b =
+            static_cast<std::size_t>(e->when.value()) & wheel_mask_;
+        Bucket &bk = buckets_[b];
+        if (bk.head == nullptr) {
+            bk.head = bk.tail = e;
+            bits_[b >> 6] |= (std::uint64_t{1} << (b & 63));
+        } else if (bk.tail->priority <= e->priority) {
+            bk.tail->next = e;
+            bk.tail = e;
+        } else {
+            // Rare: a lower-priority-value event joins a non-empty
+            // bucket. Insert before the first entry that must run
+            // after it; the chain stays sorted by (priority, seq).
+            Entry **pp = &bk.head;
+            while ((*pp)->priority <= e->priority)
+                pp = &(*pp)->next;
+            e->next = *pp;
+            *pp = e;
+        }
+        ++wheel_count_;
+        if (e->when.value() < wheel_floor_)
+            wheel_floor_ = e->when.value();
+    }
+
+    void growPool();
+
+    /** Pop tombstoned entries off the heap top. */
+    void cleanseHeap();
+
+    /**
+     * Earliest live wheel entry (cleansing tombstones on the way), or
+     * nullptr. Advances wheel_floor_ so repeated scans are amortized.
+     */
+    Entry *wheelPeek();
+
+    /** Remove @p e — the current wheelPeek() result — from its bucket. */
+    void wheelPopHead(Entry *e);
+
+    /** Pop the overall next live entry (wheel vs heap), or nullptr. */
+    Entry *popNextLive();
+
+    /** Full-key comparison: does @p a run before @p b? */
+    static bool
+    runsBefore(const Entry *a, const Entry *b)
+    {
+        if (a->when != b->when) return a->when < b->when;
+        if (a->priority != b->priority) return a->priority < b->priority;
+        return a->seq < b->seq;
+    }
+
+    // ---- pool
+    std::vector<std::unique_ptr<Entry[]>> chunks_;
+    Entry *free_ = nullptr;
+
+    // ---- timing wheel (near future)
+    std::vector<Bucket> buckets_;
+    std::vector<std::uint64_t> bits_;    ///< one bit per non-empty bucket
+    Tick::rep wheel_span_ = 0;           ///< bucket count == covered ticks
+    std::size_t wheel_mask_ = 0;
+    std::size_t wheel_count_ = 0;        ///< resident entries (incl. dead)
+    Tick::rep wheel_floor_ = 0;          ///< no wheel entry is before this
+
+    // ---- far-future overflow heap
+    std::priority_queue<Entry *, std::vector<Entry *>, HeapLater> heap_;
+
+    std::uint64_t next_seq_ = 0;
+    Count pending_ = 0;
     Tick now_{};
     EventQueueStats stats_;
 };

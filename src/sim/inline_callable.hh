@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Small-buffer inline callable for the event kernel.
+ *
+ * The event queue used to store callbacks as std::function<void()>,
+ * which heap-allocates whenever a closure outgrows its tiny internal
+ * buffer — i.e. for nearly every capture list in the simulator. Every
+ * scheduled event paid an allocation and a pointer chase on dispatch.
+ *
+ * InlineCallable stores the closure *inside the event entry itself*:
+ * a fixed buffer of kEventInlineBytes plus two function pointers
+ * (invoke, destroy). There is deliberately NO heap fallback: a closure
+ * that does not fit is a compile-time error (static_assert below), so
+ * the hot path can never silently regress into allocating. Components
+ * that genuinely need fat state capture a pointer/shared_ptr to it.
+ *
+ * Entries never move once pooled (see event_queue.hh), so the callable
+ * needs no move support — only emplace, invoke, destroy.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace emcc {
+
+/**
+ * Inline closure budget, in bytes. Sized for the fattest kernel
+ * callback in the tree — the DRAM request/retry continuation in
+ * secure_system.cc: a moved-in FinishCb (std::function, 32 bytes on
+ * the mainstream ABIs) plus `this`, an address, a class enum, a flag
+ * and an attribution pointer = exactly 64. Together with the entry
+ * header this lands a pooled entry on 128 bytes — two per cache line.
+ * Raise the budget deliberately if a new call site trips the
+ * static_assert — the cost is per pooled entry, not per event — but
+ * first consider capturing a pointer to fat state instead.
+ */
+inline constexpr std::size_t kEventInlineBytes = 64;
+
+/** Type-erased void() closure stored entirely inline. */
+class InlineCallable
+{
+  public:
+    InlineCallable() = default;
+
+    InlineCallable(const InlineCallable &) = delete;
+    InlineCallable &operator=(const InlineCallable &) = delete;
+
+    ~InlineCallable() { reset(); }
+
+    /** True while a closure is stored. */
+    bool engaged() const { return invoke_ != nullptr; }
+
+    /**
+     * Construct a closure in place. The closure must fit the inline
+     * buffer — there is no heap fallthrough, by design.
+     */
+    template <typename F>
+    void
+    emplace(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= kEventInlineBytes,
+                      "event closure exceeds kEventInlineBytes; capture a "
+                      "pointer to fat state (or grow the inline budget in "
+                      "inline_callable.hh)");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "event closure is over-aligned for the inline buffer");
+        static_assert(std::is_invocable_r_v<void, Fn &>,
+                      "event callback must be callable as void()");
+        reset();
+        // emcc-lint: allow(raw-new) — placement new into the SBO buffer
+        ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(fn));
+        invoke_ = [](void *p) { (*std::launder(static_cast<Fn *>(p)))(); };
+        if constexpr (std::is_trivially_destructible_v<Fn>) {
+            destroy_ = nullptr;
+        } else {
+            destroy_ = [](void *p) {
+                std::launder(static_cast<Fn *>(p))->~Fn();
+            };
+        }
+    }
+
+    /** Invoke the stored closure (must be engaged). */
+    void operator()() { invoke_(buf_); }
+
+    /** Destroy the stored closure, if any, returning to empty. */
+    void
+    reset()
+    {
+        if (destroy_ != nullptr)
+            destroy_(buf_);
+        destroy_ = nullptr;
+        invoke_ = nullptr;
+    }
+
+  private:
+    alignas(std::max_align_t) unsigned char buf_[kEventInlineBytes];
+    void (*invoke_)(void *) = nullptr;
+    void (*destroy_)(void *) = nullptr;
+};
+
+} // namespace emcc

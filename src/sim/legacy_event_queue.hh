@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The pre-optimization event queue, kept as a reference implementation.
+ *
+ * This is the kernel the simulator shipped with before the
+ * allocation-free rewrite (see event_queue.hh): std::function
+ * callbacks (heap-allocating for any non-trivial capture), an
+ * unordered_set for liveness tracking, and a binary heap of fat
+ * entries. It is NOT used by the simulator. It exists so that
+ *
+ *   - tests/test_event_queue.cc can differentially test the new
+ *     kernel's ordering against it on randomized seeded schedules, and
+ *   - bench/host_perf.cc can measure the speedup of the new kernel
+ *     against it in the same process, making the ≥2x throughput gate
+ *     machine-relative (and therefore stable in CI).
+ *
+ * Both implementations promise the same total order:
+ * tick -> priority -> FIFO insertion.
+ */
+// emcc-lint: allow-file(std-function) — this file IS the pre-SBO kernel
+
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/log.hh"
+#include "sim/event_queue.hh"
+
+namespace emcc {
+namespace legacy {
+
+/** Min-heap event queue with std::function callbacks (pre-rewrite). */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    Tick now() const { return now_; }
+
+    EventId
+    schedule(Tick when, std::function<void()> fn, int priority = 0,
+             EventTag tag = EventTag::Generic)
+    {
+        panic_if(when < now_, "scheduling event in the past (%llu < %llu)",
+                 (unsigned long long)when, (unsigned long long)now_);
+        const EventId id = ++next_id_;
+        heap_.push(Entry{when, priority, id, tag, std::move(fn)});
+        live_.insert(id);
+        ++stats_.scheduled;
+        if (live_.size() > stats_.max_pending)
+            stats_.max_pending = live_.size();
+        return id;
+    }
+
+    EventId
+    scheduleIn(Tick delta, std::function<void()> fn, int priority = 0,
+               EventTag tag = EventTag::Generic)
+    {
+        return schedule(now_ + delta, std::move(fn), priority, tag);
+    }
+
+    bool
+    deschedule(EventId id)
+    {
+        if (id == kEventInvalid)
+            return false;
+        bool was_live = live_.erase(id) > 0;
+        if (was_live)
+            ++stats_.cancelled;
+        return was_live;
+    }
+
+    std::size_t pending() const { return live_.size(); }
+
+    bool empty() const { return live_.empty(); }
+
+    bool
+    step()
+    {
+        skipCancelled();
+        if (heap_.empty())
+            return false;
+        // priority_queue::top() is const; move out via const_cast, which
+        // is safe because we pop immediately and never compare the
+        // moved-from fn.
+        Entry entry = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        live_.erase(entry.id);
+        panic_if(entry.when < now_, "event queue went backwards");
+        now_ = entry.when;
+        ++stats_.executed;
+        ++stats_.executed_by_tag[static_cast<unsigned>(entry.tag)];
+        entry.fn();
+        return true;
+    }
+
+    Count
+    runUntil(Tick limit)
+    {
+        Count executed = 0;
+        for (;;) {
+            skipCancelled();
+            if (heap_.empty())
+                break;
+            if (heap_.top().when > limit)
+                break;
+            step();
+            ++executed;
+        }
+        return executed;
+    }
+
+    Count
+    runAll()
+    {
+        return runUntil(kTickInvalid);
+    }
+
+    Tick
+    nextEventTick()
+    {
+        skipCancelled();
+        return heap_.empty() ? kTickInvalid : heap_.top().when;
+    }
+
+    const EventQueueStats &stats() const { return stats_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        EventId id;
+        EventTag tag;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when) return a.when > b.when;
+            if (a.priority != b.priority) return a.priority > b.priority;
+            return a.id > b.id;
+        }
+    };
+
+    void
+    skipCancelled()
+    {
+        while (!heap_.empty() && live_.count(heap_.top().id) == 0)
+            heap_.pop();
+    }
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<EventId> live_;
+    EventId next_id_ = kEventInvalid;
+    Tick now_{};
+    EventQueueStats stats_;
+};
+
+} // namespace legacy
+} // namespace emcc

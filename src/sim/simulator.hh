@@ -61,20 +61,27 @@ class Simulator
     EventQueue &events() { return queue_; }
     Tick now() const { return queue_.now(); }
 
-    /** Schedule a callback at an absolute tick. */
+    /**
+     * Schedule a callback at an absolute tick. The callable is stored
+     * verbatim in the pooled entry's inline buffer (no std::function
+     * wrap, no heap): captures must fit the InlineCallable budget,
+     * which is checked at compile time.
+     */
+    template <typename F>
     EventId
-    schedule(Tick when, std::function<void()> fn, int priority = 0,
+    schedule(Tick when, F &&fn, int priority = 0,
              EventTag tag = EventTag::Generic)
     {
-        return queue_.schedule(when, std::move(fn), priority, tag);
+        return queue_.schedule(when, std::forward<F>(fn), priority, tag);
     }
 
     /** Schedule a callback @p delta ticks from now. */
+    template <typename F>
     EventId
-    scheduleIn(Tick delta, std::function<void()> fn, int priority = 0,
+    scheduleIn(Tick delta, F &&fn, int priority = 0,
                EventTag tag = EventTag::Generic)
     {
-        return queue_.scheduleIn(delta, std::move(fn), priority, tag);
+        return queue_.scheduleIn(delta, std::forward<F>(fn), priority, tag);
     }
 
     bool deschedule(EventId id) { return queue_.deschedule(id); }

@@ -1,3 +1,5 @@
+// emcc-lint: allow-file(std-function) — see watchdog.hh: setup-time
+// diagnostic registry, not the per-event hot path.
 #include "sim/watchdog.hh"
 
 #include <cstdio>

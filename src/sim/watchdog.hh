@@ -11,6 +11,10 @@
  * queue depths — dumps them to stderr and throws WatchdogTimeout so the
  * driver exits with a useful report instead of hanging.
  */
+// emcc-lint: allow-file(std-function) — progress/diagnostic providers
+// are registered once at setup and invoked only when the watchdog
+// fires; none of them sit on the per-event hot path the SBO kernel
+// protects.
 
 #pragma once
 

@@ -1007,8 +1007,12 @@ void
 SecureSystem::dramRequest(Addr addr, MemClass cls, bool is_write, Tick t,
                           FinishCb done, obs::MissRecord *attrib)
 {
+    // done is moved, not copied, into the closure (and onward into
+    // tryEnqueueDram): a FinishCb with captured state heap-allocates on
+    // every copy, and this is the hottest scheduling site in the tree.
     sim().schedule(std::max(t, curTick()),
-                   [this, addr, cls, is_write, done, attrib] {
+                   [this, addr, cls, is_write,
+                    done = std::move(done), attrib]() mutable {
         // A write retiring to DRAM replaces the stored block, healing
         // any persistent taint an attacker left on the old contents.
         if (fault_ && is_write) {
@@ -1017,7 +1021,7 @@ SecureSystem::dramRequest(Addr addr, MemClass cls, bool is_write, Tick t,
                                     cls == MemClass::OverflowHi,
                                 curTick());
         }
-        tryEnqueueDram(addr, cls, is_write, done, attrib);
+        tryEnqueueDram(addr, cls, is_write, std::move(done), attrib);
     }, /*priority=*/0, EventTag::Dram);
 }
 
@@ -1134,12 +1138,16 @@ SecureSystem::tryEnqueueDram(Addr addr, MemClass cls, bool is_write,
     req.is_write = is_write;
     req.mclass = cls;
     req.attrib = attrib;
-    if (done)
-        req.on_complete = done;
-    if (!dram_.enqueue(req)) {
+    req.on_complete = std::move(done);
+    // The move overload only consumes req on success; when the queue is
+    // full the continuation is still inside req and moves on into the
+    // retry closure — the whole retry loop never copies it.
+    if (!dram_.enqueue(std::move(req))) {
         sim().scheduleIn(kDramRetry,
-                         [this, addr, cls, is_write, done, attrib] {
-            tryEnqueueDram(addr, cls, is_write, done, attrib);
+                         [this, addr, cls, is_write,
+                          done = std::move(req.on_complete),
+                          attrib]() mutable {
+            tryEnqueueDram(addr, cls, is_write, std::move(done), attrib);
         }, /*priority=*/0, EventTag::Dram);
     }
 }

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Gate the kernel host-performance results against the baseline.
+
+Usage: check_host_perf.py BENCH_host_perf.json host_perf_baseline.json
+
+Reads the speedup column (new-kernel events/sec over legacy-kernel
+events/sec, measured in the same process on the same machine — so the
+ratio is host-independent) for every microbench pattern and fails when
+
+  * a pattern present in the baseline is missing from the results,
+  * a pattern's speedup regressed more than 30% below its baseline, or
+  * the steady_state pattern — the schedule/execute throughput the
+    kernel rewrite is accountable for — falls below the absolute 2x
+    floor from the PR's acceptance criteria.
+
+Exit status: 0 clean, 1 regression/malformed input, 2 usage error.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.7          # fail on >30% regression vs baseline
+ABSOLUTE_FLOORS = {"steady_state": 2.0}
+
+
+def fail(msg):
+    print(f"check_host_perf: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+
+    with open(sys.argv[1], encoding="utf-8") as f:
+        bench = json.load(f)
+    with open(sys.argv[2], encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    cols = bench.get("columns", [])
+    if "pattern" not in cols or "speedup" not in cols:
+        fail(f"{sys.argv[1]} lacks pattern/speedup columns: {cols}")
+    pat_i, spd_i = cols.index("pattern"), cols.index("speedup")
+
+    measured = {}
+    for row in bench.get("rows", []):
+        try:
+            measured[row[pat_i]] = float(row[spd_i])
+        except (ValueError, IndexError):
+            continue   # end-to-end rows carry "-" speedups; skip
+
+    ok = True
+    for pattern, base in sorted(baseline["speedups"].items()):
+        if pattern not in measured:
+            fail(f"pattern '{pattern}' missing from results")
+        got = measured[pattern]
+        floor = base * TOLERANCE
+        verdict = "ok"
+        if got < floor:
+            verdict = f"REGRESSION (floor {floor:.2f})"
+            ok = False
+        absolute = ABSOLUTE_FLOORS.get(pattern)
+        if absolute is not None and got < absolute:
+            verdict = f"BELOW ABSOLUTE {absolute:.1f}x FLOOR"
+            ok = False
+        print(f"check_host_perf: {pattern}: {got:.2f}x "
+              f"(baseline {base:.2f}x) {verdict}")
+
+    if not ok:
+        fail("kernel speedup regressed; see lines above. If the "
+             "regression is intentional, re-baseline "
+             "bench/host_perf_baseline.json with a justification.")
+    print("check_host_perf: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,14 +1,58 @@
 /**
  * @file
  * Unit tests for the event queue: ordering, priorities, cancellation,
- * time limits, and the Simulator/Component plumbing.
+ * time limits, and the Simulator/Component plumbing — plus the
+ * allocation-free-kernel guarantees: steady-state schedule/execute/
+ * deschedule cycles perform no heap allocation, equal-tick FIFO holds
+ * across the timing-wheel/heap boundary, cancelled pooled entries are
+ * recycled with a generation bump, max_pending stays exact without the
+ * old liveness hash set, and a seeded differential test pins the new
+ * kernel's execution order against the legacy std::function kernel.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <new>
 #include <vector>
 
+#include "common/rng.hh"
+#include "sim/legacy_event_queue.hh"
 #include "sim/simulator.hh"
+
+// Count every scalar heap allocation in this test binary so the
+// no-allocation-on-the-hot-path contract is asserted, not assumed.
+// (Counting replacements are conformant; ASan still intercepts the
+// underlying malloc/free. GCC pairs new-expressions with the free()
+// inside these replacements and warns spuriously — malloc/free is the
+// matched pair here.)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+static std::uint64_t g_heap_allocs = 0;
+
+void *
+operator new(std::size_t n)
+{
+    ++g_heap_allocs;
+    if (void *p = std::malloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    ++g_heap_allocs;
+    if (void *p = std::malloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+// emcc-lint: allow(raw-new) — counting replacement, not a call site
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+// emcc-lint: allow(raw-new) — counting replacement, not a call site
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
 
 namespace emcc {
 namespace {
@@ -110,6 +154,240 @@ TEST(EventQueue, PendingCountsLiveEvents)
     q.deschedule(a);
     EXPECT_EQ(q.pending(), 1u);
     EXPECT_FALSE(q.empty());
+}
+
+// ---------------------------------------------------------------------
+// Allocation-free kernel guarantees.
+
+TEST(EventQueue, HotPathDoesNotAllocate)
+{
+    EventQueue q;
+    std::uint64_t executed = 0;
+    // Warm the pool, wheel and overflow-heap vector to the run's
+    // high-water mark: the kernel's promise is allocation-free in the
+    // *steady state*, after the structures have grown once.
+    std::vector<EventId> ids;
+    for (int i = 0; i < 512; ++i) {
+        ids.push_back(q.scheduleIn(Tick{static_cast<std::uint64_t>(
+                                        100 + i * 7)},
+                                   [&executed] { ++executed; }));
+        // Every 4th event goes far enough out to exercise the heap.
+        q.scheduleIn(Tick{(std::uint64_t{1} << 17) +
+                          static_cast<std::uint64_t>(i)},
+                     [&executed] { ++executed; });
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2)
+        q.deschedule(ids[i]);
+    q.runAll();
+
+    // Measurement window: a realistic closure (pointer + scalars), the
+    // full schedule -> deschedule -> schedule -> execute cycle, both
+    // wheel and heap placement. Zero allocations allowed.
+    const std::uint64_t before = g_heap_allocs;
+    for (int round = 0; round < 64; ++round) {
+        EventId cancel_me = kEventInvalid;
+        for (int i = 0; i < 256; ++i) {
+            const std::uint64_t d = 1 + (i * 37) % 60000;
+            const EventId id = q.scheduleIn(
+                Tick{d}, [&executed, d] { executed += d & 1; },
+                /*priority=*/i % 3);
+            if (i % 5 == 0)
+                cancel_me = id;
+            if (i % 4 == 0) {
+                q.scheduleIn(Tick{(std::uint64_t{1} << 16) + d},
+                             [&executed] { ++executed; });
+            }
+        }
+        q.deschedule(cancel_me);
+        q.runAll();
+    }
+    EXPECT_EQ(g_heap_allocs, before)
+        << "the steady-state schedule/execute/deschedule cycle allocated";
+    EXPECT_GT(executed, 0u);
+}
+
+TEST(EventQueue, FifoAcrossWheelHeapBoundary)
+{
+    EventQueue q;
+    const Tick::rep span = q.wheelSpan();
+    std::vector<int> order;
+    // First event lands beyond the wheel horizon -> overflow heap.
+    const Tick target{span + 1000};
+    q.schedule(target, [&] { order.push_back(0); });
+    // Advance close to the target, then schedule two more events at the
+    // exact same tick and priority; these are now within the horizon
+    // and go to the wheel. FIFO demands heap-resident event 0 runs
+    // first even though the wheel is checked first on the pop path.
+    q.schedule(Tick{span}, [&] {
+        q.schedule(target, [&] { order.push_back(1); });
+        q.schedule(target, [&] { order.push_back(2); });
+    });
+    // And a lower-priority-value (i.e. earlier-running) wheel event at
+    // the same tick must still beat all of them.
+    q.schedule(Tick{span}, [&] {
+        q.schedule(target, [&] { order.push_back(3); }, /*priority=*/-1);
+    });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{3, 0, 1, 2}));
+}
+
+TEST(EventQueue, DescheduleOfExecutedEventIsNoOp)
+{
+    EventQueue q;
+    int runs = 0;
+    const EventId id = q.schedule(Tick{10}, [&] { ++runs; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(runs, 1);
+    // The handle is stale: nothing to cancel, stats untouched.
+    EXPECT_FALSE(q.deschedule(id));
+    EXPECT_EQ(q.stats().cancelled, 0u);
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, DescheduleFromInsideOwnCallbackIsNoOp)
+{
+    EventQueue q;
+    EventId self = kEventInvalid;
+    bool cancelled = true;
+    self = q.schedule(Tick{10}, [&] { cancelled = q.deschedule(self); });
+    q.runAll();
+    EXPECT_FALSE(cancelled);
+    EXPECT_EQ(q.stats().cancelled, 0u);
+    EXPECT_EQ(q.stats().executed, 1u);
+}
+
+TEST(EventQueue, CancelThenRescheduleReusesPooledEntry)
+{
+    EventQueue q;
+    const EventId a = q.schedule(Tick{10}, [] {});
+    EXPECT_TRUE(q.deschedule(a));
+    // Drain: the tombstoned entry is reclaimed as the queue walks past.
+    q.runAll();
+    const std::size_t slots = q.poolSlots();
+
+    const EventId b = q.schedule(Tick{20}, [] {});
+    EXPECT_EQ(q.poolSlots(), slots) << "pool grew instead of recycling";
+    EXPECT_EQ(EventQueue::idSlot(b), EventQueue::idSlot(a));
+    EXPECT_EQ(EventQueue::idGeneration(b),
+              EventQueue::idGeneration(a) + 1);
+    // The stale handle must not be able to kill the new tenant.
+    EXPECT_FALSE(q.deschedule(a));
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_TRUE(q.deschedule(b));
+}
+
+TEST(EventQueue, MaxPendingHighWaterScriptedSequence)
+{
+    // Pins the high-water accounting now that there is no liveness
+    // hash set to size(): schedule/cancel/execute in a fixed script
+    // with a known peak.
+    EventQueue q;
+    const EventId e1 = q.schedule(Tick{10}, [] {});
+    const EventId e2 = q.schedule(Tick{20}, [] {});
+    q.schedule(Tick{30}, [] {});
+    EXPECT_EQ(q.stats().max_pending, 3u);
+
+    EXPECT_TRUE(q.deschedule(e2));
+    EXPECT_EQ(q.pending(), 2u);
+    EXPECT_EQ(q.stats().max_pending, 3u);   // high water survives cancel
+
+    // Climb to a new peak of 4 live events.
+    q.schedule(Tick{40}, [] {});
+    q.schedule(Tick{50}, [] {});
+    EXPECT_EQ(q.pending(), 4u);
+    EXPECT_EQ(q.stats().max_pending, 4u);
+
+    EXPECT_TRUE(q.step());   // e1 executes
+    EXPECT_EQ(q.pending(), 3u);
+    q.schedule(Tick{60}, [] {});   // back to 4: ties, not beats, the peak
+    EXPECT_EQ(q.stats().max_pending, 4u);
+    q.runAll();
+
+    EXPECT_EQ(q.stats().scheduled, 6u);
+    EXPECT_EQ(q.stats().executed, 5u);
+    EXPECT_EQ(q.stats().cancelled, 1u);
+    EXPECT_EQ(q.stats().max_pending, 4u);
+    (void)e1;
+}
+
+TEST(EventQueue, DifferentialAgainstLegacyKernel)
+{
+    // Seeded randomized schedule/cancel/step traffic driven identically
+    // into the rewritten kernel and the preserved pre-rewrite kernel.
+    // The observable execution order and the stats must match exactly.
+    for (const std::uint64_t seed : {1ull, 42ull, 0xeccull}) {
+        Rng rng(seed);
+        EventQueue nq;
+        legacy::EventQueue lq;
+        std::vector<int> n_order, l_order;
+        // Parallel handle arrays: entry i holds the two kernels' ids
+        // for the same logical event.
+        std::vector<std::pair<EventId, EventId>> handles;
+
+        int label = 0;
+        for (int round = 0; round < 2000; ++round) {
+            const std::uint64_t op = rng.below(100);
+            if (op < 70) {
+                // Deltas straddle the wheel horizon (2^16) so both the
+                // wheel and the overflow heap stay busy, with bursts of
+                // identical ticks to stress the FIFO tie-break.
+                std::uint64_t d = rng.below(std::uint64_t{1} << 17);
+                if (rng.below(4) == 0)
+                    d = 1024;   // collision burst
+                const int prio = static_cast<int>(rng.below(3)) - 1;
+                const auto tag = static_cast<EventTag>(
+                    rng.below(kNumEventTags));
+                const int l = label++;
+                const EventId ni = nq.scheduleIn(
+                    Tick{d}, [&n_order, l] { n_order.push_back(l); },
+                    prio, tag);
+                const EventId li = lq.scheduleIn(
+                    Tick{d}, [&l_order, l] { l_order.push_back(l); },
+                    prio, tag);
+                handles.emplace_back(ni, li);
+            } else if (op < 85 && !handles.empty()) {
+                const std::size_t pick = static_cast<std::size_t>(
+                    rng.below(handles.size()));
+                const bool n_ok = nq.deschedule(handles[pick].first);
+                const bool l_ok = lq.deschedule(handles[pick].second);
+                ASSERT_EQ(n_ok, l_ok) << "cancel divergence, seed "
+                                      << seed << " round " << round;
+            } else {
+                const auto steps = rng.below(4);
+                for (std::uint64_t s = 0; s < steps; ++s) {
+                    const bool n_ok = nq.step();
+                    const bool l_ok = lq.step();
+                    ASSERT_EQ(n_ok, l_ok);
+                    ASSERT_EQ(nq.now(), lq.now())
+                        << "time divergence, seed " << seed;
+                }
+            }
+        }
+        nq.runAll();
+        lq.runAll();
+        EXPECT_EQ(n_order, l_order) << "order divergence, seed " << seed;
+        EXPECT_EQ(nq.now(), lq.now());
+        EXPECT_EQ(nq.stats().scheduled, lq.stats().scheduled);
+        EXPECT_EQ(nq.stats().executed, lq.stats().executed);
+        EXPECT_EQ(nq.stats().cancelled, lq.stats().cancelled);
+        EXPECT_EQ(nq.stats().max_pending, lq.stats().max_pending);
+        EXPECT_EQ(nq.stats().executed_by_tag, lq.stats().executed_by_tag);
+    }
+}
+
+TEST(EventQueue, WheelSpanBoundaryPlacementKeepsOrder)
+{
+    // Deltas exactly at the horizon go to the heap, one below goes to
+    // the wheel; an equal-tick pair scheduled through both paths still
+    // runs in FIFO order.
+    EventQueue q;
+    const Tick::rep span = q.wheelSpan();
+    std::vector<int> order;
+    q.scheduleIn(Tick{span}, [&] { order.push_back(0); });       // heap
+    q.scheduleIn(Tick{span - 1}, [&] { order.push_back(1); });   // wheel
+    q.scheduleIn(Tick{span}, [&] { order.push_back(2); });       // heap
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 0, 2}));
 }
 
 TEST(Simulator, ComponentSeesTime)

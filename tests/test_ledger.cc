@@ -245,12 +245,14 @@ TEST(LedgerTiming, MatchesAnalyticalTimeline)
 
     // DRAM service includes data-bus occupancy, so the analytical
     // array-access times are lower bounds.
-    if (led.segmentHist(MissSegment::DramRowHit).count() > 0)
+    if (led.segmentHist(MissSegment::DramRowHit).count() > 0) {
         EXPECT_GE(led.segmentMeanNs(MissSegment::DramRowHit),
                   p.dram_row_hit_ns - 0.5);
-    if (led.segmentHist(MissSegment::DramRowMiss).count() > 0)
+    }
+    if (led.segmentHist(MissSegment::DramRowMiss).count() > 0) {
         EXPECT_GE(led.segmentMeanNs(MissSegment::DramRowMiss),
                   p.dram_row_miss_ns - 0.5);
+    }
 
     // Attribution must be complete: serial segments plus the residual
     // reconstruct the measured total exactly.

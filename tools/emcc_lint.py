@@ -35,6 +35,13 @@ catch with a line-level scan:
                   uint64_t whose name says it is a time or an address
                   (addr/tick/when/...). Use the strong Tick/Addr types
                   from common/types.hh.
+  std-function    std::function inside the simulation kernel (src/sim):
+                  it heap-allocates per stored callback, which is
+                  exactly what the allocation-free event kernel exists
+                  to avoid. Use InlineCallable (sim/inline_callable.hh)
+                  or a pre-bound intrusive event. Setup-time registries
+                  (watchdog diagnostics) and the preserved legacy kernel
+                  carry allow()/allow-file() escapes.
 
 Any rule can be suppressed for one line with a trailing or preceding
 comment `emcc-lint: allow(<rule>)`, or for an entire file with a
@@ -65,6 +72,7 @@ RULES = [
     "exit",
     "pragma-once",
     "naked-u64",
+    "std-function",
 ]
 
 # Directories scanned relative to the root. tools/ is deliberately held
@@ -91,6 +99,7 @@ EXIT_RE = re.compile(r"\bstd::exit\s*\(|(?<![_\w:.])exit\s*\(")
 UNORDERED_DECL_RE = re.compile(
     r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)")
 RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;:)]*:\s*(?:\w+\.|\w+->)?(\w+)\s*\)")
+STD_FUNCTION_RE = re.compile(r"\bstd::function\b")
 # uint64_t parameter whose NAME marks it as a time or an address.
 NAKED_U64_RE = re.compile(
     r"\b(?:std::)?uint64_t\s+(\w*(?:addr|Addr|vaddr|paddr|tick|Tick|"
@@ -180,6 +189,8 @@ def lint_file(root, rel_path, findings):
     top_dir = rel_path.split(os.sep, 1)[0]
     is_header = rel_path.endswith(HEADER_EXTS)
     in_src = top_dir == "src"
+    # The event-kernel hot path: the whole of src/sim.
+    in_kernel = rel_path.startswith("src" + os.sep + "sim" + os.sep)
 
     # ---- pragma-once: headers must be include-guarded. The guard may
     # sit below a long doc comment, so scan the whole file.
@@ -231,6 +242,11 @@ def lint_file(root, rel_path, findings):
             report("naked-u64",
                    f"parameter '{pname}' is a raw uint64_t; "
                    "use Tick/Addr from common/types.hh")
+        if in_kernel and STD_FUNCTION_RE.search(line):
+            report("std-function",
+                   "std::function in the simulation kernel heap-"
+                   "allocates per callback; use InlineCallable "
+                   "(sim/inline_callable.hh) or a pre-bound event")
 
     return findings
 
@@ -285,6 +301,10 @@ SELF_TEST_FILES = {
                   "#pragma once\n"
                   "#include <cstdint>\n"
                   "void access(std::uint64_t addr, bool write);\n"),
+    "std-function": ("src/sim/bad_callback.hh",
+                     "#pragma once\n"
+                     "#include <functional>\n"
+                     "struct Ev { std::function<void()> cb; };\n"),
 }
 
 # steady_clock is flagged like any other host clock...
@@ -332,6 +352,8 @@ def self_test():
     with tempfile.TemporaryDirectory(prefix="emcc_lint_st_") as tmp:
         os.makedirs(os.path.join(tmp, "src"), exist_ok=True)
         for rule, (rel, content) in SELF_TEST_FILES.items():
+            os.makedirs(os.path.dirname(os.path.join(tmp, rel)),
+                        exist_ok=True)
             with open(os.path.join(tmp, rel), "w", encoding="utf-8") as f:
                 f.write(content)
         for rel, content in (CLEAN_FILE, STEADY_FILE, ALLOW_FILE_FILE):

@@ -388,9 +388,14 @@ runMain(int argc, char **argv)
         std::printf("host wall time: %.3f s (%.3g host-s per sim-s)\n",
                     r.host_seconds,
                     sim_s > 0.0 ? r.host_seconds / sim_s : 0.0);
+        const double ev = ctr("sim.events.executed");
         std::printf("events executed: %.0f (max queue depth %.0f)\n",
-                    ctr("sim.events.executed"),
-                    ctr("sim.events.max_pending"));
+                    ev, ctr("sim.events.max_pending"));
+        // Every run doubles as a host-performance datapoint: compare
+        // this line against bench/host_perf's BENCH_host_perf.json.
+        std::printf("event rate: %.3g Mevents/s host\n",
+                    r.host_seconds > 0.0
+                        ? ev / r.host_seconds * 1e-6 : 0.0);
     }
 
     if (!stats_json_path.empty()) {
