@@ -1,14 +1,15 @@
 #!/bin/bash
-# Run every bench binary (figures first, then ablations), logging each
-# to bench_logs/<name>.txt.
+# Run every bench binary (figures first, then ablations) through the
+# emcc_campaign engine: one command-mode campaign with per-bench
+# deadlines, one retry for transient infrastructure failures, and a
+# checksummed journal (bench_logs/journal.jsonl). Each bench logs to
+# bench_logs/<name>.txt exactly as before.
 #
 # Usage: ./run_benches.sh [-j N]
 #
-#   -j N   run up to N benches concurrently (default 1). The fig/
-#          ablation benches are independent processes, so they scale
-#          like `make -j`; each keeps its own log file regardless of
-#          overlap and only the progress notes may interleave.
-#          Failures are collected in bench_logs/failures.txt.
+#   -j N   run up to N benches concurrently (default 1); maps straight
+#          to emcc_campaign --jobs. Failures are collected in
+#          bench_logs/failures.txt from the journal's terminal records.
 set -u
 cd /root/repo/build
 LOGS=/root/repo/bench_logs
@@ -37,43 +38,71 @@ esac
 
 : > "$LOGS/failures.txt"
 
-# Keep at most $JOBS bench processes in flight.
-throttle() {
-    while [ "$(jobs -rp | wc -l)" -ge "$JOBS" ]; do
-        wait -n || true
-    done
+# Accumulate command-mode spec entries. Bench names and paths contain
+# no JSON metacharacters, so plain interpolation is safe here.
+CMDS=()
+add_cmd() {    # add_cmd <name> <deadline_s> <argv...>
+    local name="$1" deadline="$2"; shift 2
+    local argv="" a
+    for a in "$@"; do argv+="${argv:+,}\"$a\""; done
+    CMDS+=("{\"name\":\"$name\",\"argv\":[$argv],\"log\":\"$LOGS/$name.txt\",\"deadline_s\":$deadline}")
 }
 
-run_one() {
+bench_cmd() {
     local b="$1"
     local name
     name=$(basename "$b")
     [ -f "$b" ] && [ -x "$b" ] || return 0
-    echo "=== running $name at $(date +%T) ===" >> "$LOGS/progress.txt"
-    throttle
-    (
-        if [ "$name" = micro_crypto ]; then
-            timeout 600 "$b" --benchmark_min_time=0.1 \
-                > "$LOGS/$name.txt" 2>&1
-        else
-            timeout 3000 "$b" > "$LOGS/$name.txt" 2>&1
-        fi
-        got=$?
-        if [ "$got" != 0 ]; then
-            echo "FAILED: $name (exit $got)" >> "$LOGS/failures.txt"
-            echo "FAILED: $name" >> "$LOGS/progress.txt"
-        fi
-    ) &
+    if [ "$name" = micro_crypto ]; then
+        add_cmd "$name" 600 "$b" --benchmark_min_time=0.1
+    else
+        add_cmd "$name" 3000 "$b"
+    fi
 }
 
-run_one bench/table1_config
-for b in bench/fig*; do run_one "$b"; done
-run_one bench/host_perf
-run_one bench/micro_crypto
-for b in bench/ablation_*; do run_one "$b"; done
-wait
+bench_cmd bench/table1_config
+for b in bench/fig*; do bench_cmd "$b"; done
+bench_cmd bench/host_perf
+bench_cmd bench/micro_crypto
+for b in bench/ablation_*; do bench_cmd "$b"; done
+
+if [ "${#CMDS[@]}" -eq 0 ]; then
+    echo "run_benches: no bench binaries found (build first?)" >&2
+    exit 1
+fi
+
+SPEC="$LOGS/benches.spec.json"
+{
+    printf '{\n'
+    printf '  "schema": "emcc-campaign-spec-v1",\n'
+    printf '  "name": "benches",\n'
+    printf '  "retries": 1,\n'
+    printf '  "backoff_ms": 1000,\n'
+    printf '  "commands": [\n'
+    printf '    %s' "${CMDS[0]}"
+    for c in "${CMDS[@]:1}"; do printf ',\n    %s' "$c"; done
+    printf '\n  ]\n}\n'
+} > "$SPEC"
+
+# Fresh journal every invocation: a bench suite wants fresh numbers, so
+# resume-over-old-results is off. Drop --no-resume to make an aborted
+# suite pick up where it left off instead.
+tools/emcc_campaign --spec "$SPEC" --jobs "$JOBS" \
+    --journal "$LOGS/journal.jsonl" --no-resume --no-fsync --best-effort \
+    2>> "$LOGS/progress.txt"
+CAMPAIGN_EXIT=$?
+
+# Terminal non-ok journal records become failures.txt entries, keeping
+# the historical contract for callers that tail this file.
+sed -n 's/.*"name":"cmd\/\([^"]*\)","outcome":"\(failed\|timeout\)".*/FAILED: \1 (\2)/p' \
+    "$LOGS/journal.jsonl" >> "$LOGS/failures.txt" 2>/dev/null
+
 echo ALL_BENCHES_DONE >> "$LOGS/progress.txt"
 if [ -s "$LOGS/failures.txt" ]; then
     cat "$LOGS/failures.txt" >&2
+    exit 1
+fi
+if [ "$CAMPAIGN_EXIT" != 0 ]; then
+    echo "run_benches: campaign engine exited $CAMPAIGN_EXIT" >&2
     exit 1
 fi

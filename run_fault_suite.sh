@@ -1,14 +1,17 @@
 #!/bin/bash
-# Fault-injection resilience suite: build with ASan+UBSan, run the
-# fault/resilience tests and a battery of emcc_sim fault campaigns
-# (every fault kind, strict mode, watchdog, CLI error paths), then the
-# fault_resilience bench. Logs land in fault_logs/.
+# Fault-injection resilience suite, routed through the emcc_campaign
+# engine: build with ASan+UBSan, then run the fault/resilience tests and
+# a battery of emcc_sim fault campaigns (every fault kind, strict mode,
+# watchdog, CLI error paths) plus the fault_resilience bench as one
+# command-mode campaign — per-run wall-clock deadlines, one retry for
+# transient infrastructure failures, and a checksummed journal in
+# fault_logs/journal.jsonl. Logs land in fault_logs/ as before.
 #
 # Usage: ./run_fault_suite.sh [--no-sanitize] [-j N]
 #
-#   -j N   run up to N campaigns concurrently (default 1). Each campaign
-#          keeps its own log file in fault_logs/ regardless of overlap;
-#          only the progress notes may interleave.
+#   -j N   run up to N campaign jobs concurrently (default 1); maps
+#          straight to emcc_campaign --jobs. Each run keeps its own log
+#          file in fault_logs/ regardless of overlap.
 set -u
 cd "$(dirname "$0")"
 
@@ -45,113 +48,117 @@ mkdir -p "$LOGS"
 : > "$LOGS/failures.txt"
 
 note() { echo "$*" | tee -a "$LOGS/progress.txt"; }
-fail() { echo "$*" >> "$LOGS/failures.txt"; note "FAILED: $*"; }
 
-note "=== configure+build ($BUILD, -j$JOBS campaigns) at $(date +%T) ==="
+note "=== configure+build ($BUILD, -j$JOBS campaign jobs) at $(date +%T) ==="
 cmake -B "$BUILD" -S . "${CMAKE_ARGS[@]}" > "$LOGS/cmake.txt" 2>&1 \
     || { note "FAILED: cmake configure"; exit 1; }
 cmake --build "$BUILD" -j "$(nproc)" > "$LOGS/build.txt" 2>&1 \
     || { note "FAILED: build"; exit 1; }
 
+# Child processes of the campaign engine inherit these.
 export ASAN_OPTIONS=detect_leaks=1
 export UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1
-
-# Throttle background campaigns to $JOBS. Failures are recorded in
-# failures.txt (a subshell can't set the parent's variables).
-throttle() {
-    while [ "$(jobs -rp | wc -l)" -ge "$JOBS" ]; do
-        wait -n || true
-    done
-}
-
-run_one() {
-    local name="$1"; shift
-    note "--- $name"
-    throttle
-    (
-        timeout 1200 "$@" > "$LOGS/$name.txt" 2>&1
-        got=$?
-        if [ "$got" != 0 ]; then
-            fail "$name (exit $got)"
-        fi
-    ) &
-}
-
-expect_exit() {
-    local name="$1" want="$2"; shift 2
-    note "--- $name (expect exit $want)"
-    throttle
-    (
-        timeout 300 "$@" > "$LOGS/$name.txt" 2>&1
-        got=$?
-        if [ "$got" != "$want" ]; then
-            fail "$name (exit $got, wanted $want)"
-        fi
-    ) &
-}
-
-# 1. unit/integration tests for the fault layer under sanitizers
-run_one test_fault "$BUILD/tests/test_fault"
-run_one test_secure_memory "$BUILD/tests/test_secure_memory"
-run_one test_secure_system "$BUILD/tests/test_secure_system"
 
 SIM="$BUILD/tools/emcc_sim"
 COMMON=(--workload BFS --warmup 20000 --measure 50000 --trace-len 100000)
 
-# 2. one campaign per fault kind, both secure schemes
+# Accumulate command-mode spec entries. All names/arguments here are
+# JSON-metacharacter-free, so plain interpolation is safe.
+CMDS=()
+add_cmd() {    # add_cmd <name> <expect_exit> <deadline_s> <argv...>
+    local name="$1" expect="$2" deadline="$3"; shift 3
+    local argv="" a extra=""
+    for a in "$@"; do argv+="${argv:+,}\"$a\""; done
+    [ -n "${CMD_ENV:-}" ] && extra=",\"env\":{$CMD_ENV}"
+    CMDS+=("{\"name\":\"$name\",\"argv\":[$argv],\"log\":\"$LOGS/$name.txt\",\"expect_exit\":$expect,\"deadline_s\":$deadline$extra}")
+}
+
+# 1. unit/integration tests for the fault layer under sanitizers
+add_cmd test_fault 0 1200 "$BUILD/tests/test_fault"
+add_cmd test_secure_memory 0 1200 "$BUILD/tests/test_secure_memory"
+add_cmd test_secure_system 0 1200 "$BUILD/tests/test_secure_system"
+
+# 2. one campaign per fault kind, both secure schemes. `tree` taints an
+# integrity-tree interior node (persistent until its line rewrites).
 for scheme in baseline emcc; do
-    for kind in data mac ctr bus ctrcache; do
-        run_one "campaign_${scheme}_${kind}" \
+    for kind in data mac ctr bus ctrcache tree; do
+        add_cmd "campaign_${scheme}_${kind}" 0 1200 \
             "$SIM" "${COMMON[@]}" --scheme "$scheme" \
             --inject-faults "${kind}:count=3:period=100" --fault-seed 7
     done
-    run_one "campaign_${scheme}_timing" \
+    add_cmd "campaign_${scheme}_timing" 0 1200 \
         "$SIM" "${COMMON[@]}" --scheme "$scheme" \
         --inject-faults "nocdelay:prob=0.01;nocdrop:prob=0.002;aesstall:prob=0.01" \
         --fault-seed 7
 done
 
 # 3. replay + strict mode is terminal (exit 3), watchdog run completes
-expect_exit strict_replay 3 "$SIM" "${COMMON[@]}" --scheme emcc \
+add_cmd strict_replay 3 300 "$SIM" "${COMMON[@]}" --scheme emcc \
     --inject-faults "replay:count=1:period=50" --fault-strict
-run_one watchdog_run "$SIM" "${COMMON[@]}" --scheme emcc \
+add_cmd watchdog_run 0 1200 "$SIM" "${COMMON[@]}" --scheme emcc \
     --inject-faults "bus:count=5:period=100" --watchdog-us 1000
-run_one leak_strict "$SIM" "${COMMON[@]}" --scheme emcc \
+add_cmd leak_strict 0 1200 "$SIM" "${COMMON[@]}" --scheme emcc \
     --inject-faults "bus:count=5:period=100" --leak-strict
 
 # 4. CLI error paths report and exit 2 (never abort)
-expect_exit cli_bad_scheme 2 "$SIM" --scheme bogus
-expect_exit cli_bad_spec 2 "$SIM" --inject-faults "gremlin:count=1"
-expect_exit cli_bad_int 2 "$SIM" --cores banana
-expect_exit cli_bad_config 2 "$SIM" --cores 99
+add_cmd cli_bad_scheme 2 300 "$SIM" --scheme bogus
+add_cmd cli_bad_spec 2 300 "$SIM" --inject-faults "gremlin:count=1"
+add_cmd cli_bad_int 2 300 "$SIM" --cores banana
+add_cmd cli_bad_config 2 300 "$SIM" --cores 99
 
 # 5. determinism: identical (spec, seed) => identical stats. Both runs
-# may go in parallel with each other; cmp waits for everything.
-note "--- determinism"
+# ride the same campaign; cmp happens once everything has drained.
 rm -f "$LOGS"/det_*.csv
 for i in 1 2; do
-    throttle
-    (
-        timeout 600 "$SIM" "${COMMON[@]}" --scheme emcc \
-            --inject-faults "bus:count=10:period=100;replay:count=1" \
-            --fault-seed 13 --csv "$LOGS/det_$i.csv" \
-            > "$LOGS/det_run_$i.txt" 2>&1
-    ) &
+    add_cmd "det_run_$i" 0 600 "$SIM" "${COMMON[@]}" --scheme emcc \
+        --inject-faults "bus:count=10:period=100;replay:count=1" \
+        --fault-seed 13 --csv "$LOGS/det_$i.csv"
 done
 
 # 6. the resilience bench (fast scale)
-EMCC_BENCH_FAST=1 run_one bench_fault_resilience "$BUILD/bench/fault_resilience"
+CMD_ENV='"EMCC_BENCH_FAST":"1"' \
+    add_cmd bench_fault_resilience 0 1200 "$BUILD/bench/fault_resilience"
+CMD_ENV=""
 
-wait
+SPEC="$LOGS/suite.spec.json"
+{
+    printf '{\n'
+    printf '  "schema": "emcc-campaign-spec-v1",\n'
+    printf '  "name": "fault-suite",\n'
+    printf '  "retries": 1,\n'
+    printf '  "backoff_ms": 500,\n'
+    printf '  "commands": [\n'
+    printf '    %s' "${CMDS[0]}"
+    for c in "${CMDS[@]:1}"; do printf ',\n    %s' "$c"; done
+    printf '\n  ]\n}\n'
+} > "$SPEC"
+
+note "=== campaign (${#CMDS[@]} runs, -j$JOBS) at $(date +%T) ==="
+# Fresh journal every invocation (a test suite wants fresh verdicts);
+# drop --no-resume to make an aborted suite resume instead of rerun.
+"$BUILD/tools/emcc_campaign" --spec "$SPEC" --jobs "$JOBS" \
+    --journal "$LOGS/journal.jsonl" --no-resume --no-fsync --best-effort \
+    2>> "$LOGS/progress.txt"
+CAMPAIGN_EXIT=$?
+
+# Terminal non-ok journal records become failures.txt entries, keeping
+# the historical contract for callers that tail this file.
+sed -n 's/.*"name":"cmd\/\([^"]*\)","outcome":"\(failed\|timeout\)".*/FAILED: \1 (\2)/p' \
+    "$LOGS/journal.jsonl" >> "$LOGS/failures.txt" 2>/dev/null
 
 if ! cmp -s "$LOGS/det_1.csv" "$LOGS/det_2.csv"; then
-    fail "determinism (CSVs differ)"
+    echo "FAILED: determinism (CSVs differ)" >> "$LOGS/failures.txt"
+fi
+if [ "$CAMPAIGN_EXIT" != 0 ] && [ ! -s "$LOGS/failures.txt" ]; then
+    echo "FAILED: campaign engine (exit $CAMPAIGN_EXIT)" >> "$LOGS/failures.txt"
 fi
 
 if [ ! -s "$LOGS/failures.txt" ]; then
     note "FAULT_SUITE_PASSED"
     exit 0
 else
+    sed 's/^/FAILED: /;s/^FAILED: FAILED: /FAILED: /' "$LOGS/failures.txt" \
+        | tee -a "$LOGS/progress.txt" >&2
     note "FAULT_SUITE_FAILED (see $LOGS/)"
     exit 1
 fi

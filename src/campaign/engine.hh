@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The campaign engine: a fault-tolerant in-process worker pool that
+ * shards a spec's run list across N host threads.
+ *
+ * Robustness model
+ * ----------------
+ *  - *Isolation*: every attempt runs in its own Simulator/SecureSystem
+ *    (or subprocess); an exception — including a strict-mode
+ *    IntegrityViolation — fails that run only, never the pool.
+ *  - *Deadlines*: a monitor thread scans the in-flight slots every few
+ *    milliseconds; an attempt past its wall-clock budget gets its
+ *    cooperative stop flag raised (subprocesses get SIGKILL), winds
+ *    down at the next event boundary and is accounted a timeout.
+ *  - *Retries*: failed/timed-out attempts re-enter the task queue with
+ *    exponential backoff, up to the spec's budget (RetryPolicy).
+ *  - *Journal*: each terminal outcome is appended (fsync'd, checksummed)
+ *    before the run counts as done; relaunching with the same spec
+ *    skips journaled runs, and the union of records is byte-identical
+ *    in aggregate to an uninterrupted campaign.
+ *  - *Draining*: a raised drain flag (SIGINT) stops dispatch; in-flight
+ *    runs finish or deadline out and the journal stays valid. A second
+ *    flag (cancel) additionally cancels in-flight runs *without*
+ *    journaling them, so they re-execute on resume.
+ *
+ * Workloads are pre-built once on the dispatcher thread and shared
+ * read-only by every worker (a SecureSystem never mutates its
+ * WorkloadSet).
+ */
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/journal.hh"
+#include "campaign/retry.hh"
+#include "campaign/spec.hh"
+#include "obs/profile.hh"
+
+namespace emcc {
+namespace campaign {
+
+/** Knobs the CLI layers on top of the spec. */
+struct EngineOptions
+{
+    unsigned jobs = 1;             ///< worker threads (0 = hw threads)
+    std::string journal_path;      ///< "" = no journal (and no resume)
+    bool resume = true;            ///< honour existing journal records
+    bool fsync_journal = true;
+    bool quiet = false;            ///< suppress per-run progress lines
+    double deadline_s_override = 0.0;   ///< > 0 replaces spec deadline
+    /// campaign-level drain request (SIGINT handler raises it)
+    const std::atomic<bool> *drain = nullptr;
+    /// hard-cancel request: also stop in-flight runs, unjournaled
+    const std::atomic<bool> *cancel = nullptr;
+};
+
+/** End-of-campaign accounting, over the union of journal records
+ *  (resumed + this process). */
+struct CampaignSummary
+{
+    Count total = 0;        ///< runs in the spec expansion
+    Count ok = 0;
+    Count failed = 0;
+    Count timeout = 0;
+    Count retried = 0;      ///< terminal records that needed > 1 attempt
+    Count skipped = 0;      ///< satisfied from the journal (resume)
+    Count executed = 0;     ///< runs this process brought to terminal
+    Count not_run = 0;      ///< abandoned by a drain (re-run on resume)
+    Count attempts = 0;     ///< attempts executed by this process
+    Count timeout_attempts = 0;  ///< attempts the watchdog cancelled
+    Count journal_dropped = 0;   ///< torn/corrupt lines in the journal
+    bool interrupted = false;    ///< a drain/cancel cut the campaign
+    double host_seconds = 0.0;
+
+    bool
+    complete() const
+    {
+        return !interrupted && ok + failed + timeout == total;
+    }
+
+    /** Multi-line human-readable table. */
+    std::string render() const;
+};
+
+class CampaignEngine
+{
+  public:
+    CampaignEngine(CampaignSpec spec, EngineOptions opts);
+
+    /** Execute the campaign; blocks until done or drained. */
+    CampaignSummary run();
+
+    /** Union of terminal records (journal + this process), canonical
+     *  aggregate form (see Journal::aggregate). Valid after run(). */
+    const std::vector<JournalRecord> &terminalRecords() const
+    {
+        return terminal_;
+    }
+
+  private:
+    struct Task
+    {
+        Count run = 0;
+        unsigned attempt = 1;
+        unsigned timeouts = 0;     ///< deadline cancellations so far
+        double not_before = 0.0;   ///< engine-clock dispatch gate
+    };
+
+    struct TaskLater
+    {
+        bool
+        operator()(const Task &a, const Task &b) const
+        {
+            if (a.not_before != b.not_before)
+                return a.not_before > b.not_before;
+            return a.run > b.run;
+        }
+    };
+
+    /** One worker's in-flight slot, scanned by the monitor thread. */
+    struct Flight
+    {
+        std::atomic<bool> active{false};
+        std::atomic<bool> stop{false};
+        std::atomic<bool> deadline_fired{false};
+        std::atomic<double> deadline_at{0.0};
+        std::atomic<long> child_pid{0};   ///< command runs (0 = none)
+    };
+
+    struct AttemptResult
+    {
+        enum class Status : std::uint8_t { Ok, Failed, Timeout };
+        Status status = Status::Ok;
+        std::string error;
+        std::string stats_json;
+        int exit_code = 0;
+    };
+
+    bool draining() const;
+    bool cancelling() const;
+    double runDeadlineS(const RunDesc &run) const;
+
+    void prebuildWorkloads(const std::vector<const RunDesc *> &todo);
+    void workerLoop(unsigned slot);
+    void monitorLoop();
+    AttemptResult execAttempt(const RunDesc &run, unsigned attempt,
+                              Flight &flight);
+    AttemptResult execSim(const RunDesc &run, Flight &flight);
+    AttemptResult execCommand(const RunDesc &run, Flight &flight);
+    void wedgeRun(Flight &flight);
+    void finishRun(const RunDesc &run, const Task &task,
+                   const AttemptResult &last, Outcome outcome,
+                   double host_ms);
+    void progress(const std::string &line);
+
+    CampaignSpec spec_;
+    EngineOptions opts_;
+    RetryPolicy policy_;
+    std::vector<RunDesc> runs_;
+    obs::HostTimer timer_;
+
+    std::mutex mutex_;                ///< queue + pending + records
+    std::condition_variable cv_;
+    std::priority_queue<Task, std::vector<Task>, TaskLater> queue_;
+    Count pending_ = 0;               ///< runs not yet terminal/abandoned
+    Count abandoned_ = 0;             ///< drained before dispatch
+
+    std::vector<std::unique_ptr<Flight>> flights_;
+    std::atomic<bool> done_{false};   ///< monitor shutdown
+
+    std::mutex journal_mutex_;        ///< serializes appends + records_
+    Journal journal_;
+    std::vector<JournalRecord> records_;   ///< terminal, this process
+    Count attempts_executed_ = 0;
+    Count timeout_attempts_ = 0;
+
+    std::vector<JournalRecord> resumed_;   ///< loaded from the journal
+    Count journal_dropped_ = 0;
+    std::vector<JournalRecord> terminal_;  ///< union, sorted (post-run)
+};
+
+} // namespace campaign
+} // namespace emcc

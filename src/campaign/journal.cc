@@ -1,0 +1,292 @@
+#include "campaign/journal.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "campaign/json.hh"
+#include "campaign/spec.hh"
+#include "common/error.hh"
+
+namespace emcc {
+namespace campaign {
+
+const char *
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Ok: return "ok";
+      case Outcome::Failed: return "failed";
+      case Outcome::Timeout: return "timeout";
+      default: return "?";
+    }
+}
+
+namespace {
+
+bool
+parseOutcome(const std::string &s, Outcome &out)
+{
+    for (const Outcome o :
+         {Outcome::Ok, Outcome::Failed, Outcome::Timeout}) {
+        if (s == outcomeName(o)) {
+            out = o;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+std::string
+sealLine(const std::string &body)
+{
+    // The crc covers the record exactly as rendered without the crc
+    // member; it is spliced in before the closing brace.
+    if (body.size() < 2 || body.back() != '}')
+        throw SimError("journal: cannot seal non-object line");
+    std::string out = body;
+    out.pop_back();
+    out += ",\"crc\":\"" + hex16(fnv1a(body)) + "\"}";
+    return out;
+}
+
+bool
+unsealLine(const std::string &line, std::string &body)
+{
+    static const char kMarker[] = ",\"crc\":\"";
+    const std::size_t mark = line.rfind(kMarker);
+    if (mark == std::string::npos)
+        return false;
+    const std::size_t hex_start = mark + sizeof(kMarker) - 1;
+    // 16 hex digits + "} closes the line.
+    if (line.size() != hex_start + 16 + 2 ||
+        line.compare(hex_start + 16, 2, "\"}") != 0)
+        return false;
+    std::string reconstructed = line.substr(0, mark) + "}";
+    const std::string want = line.substr(hex_start, 16);
+    if (hex16(fnv1a(reconstructed)) != want)
+        return false;
+    body = std::move(reconstructed);
+    return true;
+}
+
+std::string
+JournalRecord::render(bool canonical) const
+{
+    char buf[160];
+    std::string out = "{";
+    std::snprintf(buf, sizeof(buf),
+                  "\"run\":%llu,\"name\":\"",
+                  static_cast<unsigned long long>(run));
+    out += buf;
+    out += jsonEscape(name);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"outcome\":\"%s\",\"attempts\":%u,"
+                  "\"timeouts\":%u,\"exit\":%d,\"error\":\"",
+                  outcomeName(outcome), attempts, timeouts, exit_code);
+    out += buf;
+    out += jsonEscape(error);
+    out += '"';
+    if (!stats_json.empty()) {
+        out += ",\"stats\":";
+        out += stats_json;
+    }
+    if (!canonical) {
+        std::snprintf(buf, sizeof(buf), ",\"host_ms\":%.3f", host_ms);
+        out += buf;
+    }
+    out += '}';
+    return out;
+}
+
+Journal::~Journal()
+{
+    close();
+}
+
+void
+Journal::open(const std::string &path, const std::string &campaign_name,
+              std::uint64_t spec_digest, bool fsync_each)
+{
+    close();
+    fsync_each_ = fsync_each;
+
+    LoadResult existing = load(path);
+    if (existing.header_ok) {
+        if (existing.spec_digest != spec_digest) {
+            throw ConfigError(
+                "journal '" + path + "' was written by a different "
+                "spec (digest " + hex16(existing.spec_digest) +
+                " != " + hex16(spec_digest) + "); refusing to mix "
+                "campaigns — use a fresh journal or --no-resume");
+        }
+        file_ = std::fopen(path.c_str(), "ab");
+        if (file_ == nullptr)
+            throw SimError("cannot append to journal '" + path + "'");
+        return;
+    }
+
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr)
+        throw SimError("cannot create journal '" + path + "'");
+    const std::string header =
+        std::string("{\"journal\":\"") + kSchema + "\",\"campaign\":\"" +
+        jsonEscape(campaign_name) + "\",\"spec_digest\":\"" +
+        hex16(spec_digest) + "\"}";
+    const std::string line = sealLine(header) + "\n";
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size())
+        throw SimError("journal header write failed");
+    std::fflush(file_);
+    if (fsync_each_)
+        fsync(fileno(file_));
+}
+
+void
+Journal::append(const JournalRecord &rec)
+{
+    if (file_ == nullptr)
+        throw SimError("journal: append on closed journal");
+    const std::string line = sealLine(rec.render()) + "\n";
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size())
+        throw SimError("journal record write failed");
+    // Flush + fsync before the engine counts the run as journaled:
+    // after a SIGKILL the file is a valid prefix plus at most one torn
+    // line.
+    if (std::fflush(file_) != 0)
+        throw SimError("journal flush failed");
+    if (fsync_each_)
+        fsync(fileno(file_));
+}
+
+void
+Journal::close()
+{
+    if (file_ != nullptr) {
+        std::fflush(file_);
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+Journal::LoadResult
+Journal::load(const std::string &path)
+{
+    LoadResult out;
+    std::ifstream in(path);
+    if (!in)
+        return out;
+
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::string body;
+        if (!unsealLine(line, body)) {
+            ++out.dropped_lines;
+            continue;
+        }
+        if (first) {
+            first = false;
+            // Header line: validate schema + capture the digest. A
+            // journal whose first valid line is not a header is
+            // treated as headerless (everything dropped).
+            try {
+                const JsonValue doc = JsonValue::parse(body);
+                const JsonValue *schema = doc.find("journal");
+                const JsonValue *digest = doc.find("spec_digest");
+                if (schema != nullptr && digest != nullptr &&
+                    schema->asString("journal") == kSchema) {
+                    const std::string &hex =
+                        digest->asString("spec_digest");
+                    out.spec_digest =
+                        std::strtoull(hex.c_str(), nullptr, 16);
+                    if (const JsonValue *n = doc.find("campaign"))
+                        out.campaign_name = n->asString("campaign");
+                    out.header_ok = true;
+                    continue;
+                }
+            } catch (const SimError &) {
+            }
+            ++out.dropped_lines;
+            continue;
+        }
+        try {
+            const JsonValue doc = JsonValue::parse(body);
+            JournalRecord rec;
+            const JsonValue *run = doc.find("run");
+            const JsonValue *name = doc.find("name");
+            const JsonValue *outcome = doc.find("outcome");
+            if (run == nullptr || name == nullptr || outcome == nullptr ||
+                !parseOutcome(outcome->asString("outcome"),
+                              rec.outcome)) {
+                ++out.dropped_lines;
+                continue;
+            }
+            rec.run = run->asUint("run");
+            rec.name = name->asString("name");
+            if (const JsonValue *a = doc.find("attempts"))
+                rec.attempts =
+                    static_cast<unsigned>(a->asUint("attempts"));
+            if (const JsonValue *t = doc.find("timeouts"))
+                rec.timeouts =
+                    static_cast<unsigned>(t->asUint("timeouts"));
+            if (const JsonValue *e = doc.find("exit"))
+                rec.exit_code = static_cast<int>(e->asUint("exit"));
+            if (const JsonValue *e = doc.find("error"))
+                rec.error = e->asString("error");
+            if (const JsonValue *h = doc.find("host_ms"))
+                rec.host_ms = h->asReal("host_ms");
+            // The stats object must survive byte-identically (the
+            // aggregate is byte-compared), so it is carved out of the
+            // raw body rather than re-rendered from the parse tree.
+            static const char kStats[] = ",\"stats\":";
+            const std::size_t spos = body.find(kStats);
+            if (spos != std::string::npos && doc.find("stats")) {
+                const std::size_t start = spos + sizeof(kStats) - 1;
+                static const char kHost[] = ",\"host_ms\":";
+                std::size_t end = body.rfind(kHost);
+                if (end == std::string::npos || end < start)
+                    end = body.size() - 1;   // final '}'
+                rec.stats_json = body.substr(start, end - start);
+            }
+            out.records.push_back(std::move(rec));
+        } catch (const SimError &) {
+            ++out.dropped_lines;
+        }
+    }
+    return out;
+}
+
+std::string
+Journal::aggregate(const std::vector<JournalRecord> &recs)
+{
+    // Last record per run id wins (a resumed campaign never re-journals
+    // a terminal run, but a forcibly re-run id must not duplicate).
+    std::map<Count, const JournalRecord *> by_run;
+    for (const JournalRecord &r : recs)
+        by_run[r.run] = &r;
+    std::string out;
+    for (const auto &[run, rec] : by_run) {
+        out += rec->render(/*canonical=*/true);
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace campaign
+} // namespace emcc

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Campaign journal (`emcc-campaign-v1`): the append-only JSONL file
+ * that is both the campaign's result stream and its resume log.
+ *
+ * Line 1 is a header binding the file to one spec:
+ *
+ *   {"journal":"emcc-campaign-v1","campaign":"<name>",
+ *    "spec_digest":"<16-hex-fnv1a>","crc":"<16-hex>"}
+ *
+ * Every terminal run outcome appends one record:
+ *
+ *   {"run":N,"name":"...","outcome":"ok|failed|timeout",
+ *    "attempts":A,"timeouts":T,"exit":E,"error":"...",
+ *    "stats":{emcc-stats-v1 body},"host_ms":H,"crc":"<16-hex>"}
+ *
+ * `crc` is FNV-1a over the record rendered *without* the crc member;
+ * each append is flushed and fsync'd before the engine counts the run
+ * done, so after SIGKILL the file is a valid prefix plus at most one
+ * torn line, which the loader drops (and the run simply re-executes on
+ * resume). `host_ms` is the only non-deterministic field; canonical
+ * renderings (the aggregate file, byte-compared by the resume test)
+ * omit it. `stats` is only present for ok sim runs — a cancelled run's
+ * partial counters depend on where the deadline landed and would break
+ * the interrupted == uninterrupted aggregate identity.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace emcc {
+namespace campaign {
+
+/** Terminal outcome of one run. */
+enum class Outcome : std::uint8_t
+{
+    Ok,
+    Failed,   ///< exception / integrity violation / bad exit code
+    Timeout,  ///< last attempt was cancelled by the deadline watchdog
+};
+
+const char *outcomeName(Outcome o);
+
+/** One journal line. */
+struct JournalRecord
+{
+    Count run = 0;             ///< RunDesc::index (the resume key)
+    std::string name;
+    Outcome outcome = Outcome::Ok;
+    unsigned attempts = 1;     ///< attempts consumed (1 = no retry)
+    unsigned timeouts = 0;     ///< attempts cancelled by the deadline
+    int exit_code = 0;         ///< subprocess exit (sim runs: 0)
+    std::string error;         ///< last failure message ("" when ok)
+    std::string stats_json;    ///< emcc-stats-v1 object ("" unless ok sim)
+    double host_ms = 0.0;      ///< wall-clock of the final attempt
+
+    /** Render as a journal line (no trailing newline). @p canonical
+     *  omits host_ms and the crc — the deterministic aggregate form. */
+    std::string render(bool canonical = false) const;
+};
+
+/** Append-side journal handle. */
+class Journal
+{
+  public:
+    static constexpr const char *kSchema = "emcc-campaign-v1";
+
+    Journal() = default;
+    ~Journal();
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /**
+     * Open @p path for appending. A missing/empty file gets the header
+     * line; an existing one must carry a matching @p spec_digest
+     * (ConfigError otherwise — resuming under a different spec would
+     * silently mix incompatible results). @p fsync_each controls the
+     * fdatasync per record (tests turn it off for speed).
+     */
+    void open(const std::string &path, const std::string &campaign_name,
+              std::uint64_t spec_digest, bool fsync_each = true);
+
+    bool isOpen() const { return file_ != nullptr; }
+
+    /** Append one record: write + flush (+ fsync). SimError on I/O
+     *  failure. */
+    void append(const JournalRecord &rec);
+
+    void close();
+
+    /** Parse result of one journal file. */
+    struct LoadResult
+    {
+        bool header_ok = false;
+        std::string campaign_name;
+        std::uint64_t spec_digest = 0;
+        std::vector<JournalRecord> records;   ///< valid records, file order
+        Count dropped_lines = 0;   ///< torn/corrupt lines skipped
+    };
+
+    /** Load + validate a journal. Missing file -> empty result with
+     *  header_ok == false. Checksum-invalid lines are dropped, not
+     *  fatal: a torn tail is the expected SIGKILL artifact. */
+    static LoadResult load(const std::string &path);
+
+    /**
+     * The canonical aggregate of a record set: last record per run id,
+     * sorted by run id, rendered canonically one per line. This is the
+     * byte-identity surface the resume test compares.
+     */
+    static std::string aggregate(const std::vector<JournalRecord> &recs);
+
+  private:
+    std::FILE *file_ = nullptr;
+    bool fsync_each_ = true;
+};
+
+/** Wrap a rendered record body in its crc member ("...}" ->
+ *  "...,"crc":"<hex>"}"). Exposed for tests. */
+std::string sealLine(const std::string &body);
+
+/** Validate + strip a sealed line; returns false on a bad/missing
+ *  crc. On success @p body gets the record without the crc member. */
+bool unsealLine(const std::string &line, std::string &body);
+
+} // namespace campaign
+} // namespace emcc

@@ -1,0 +1,436 @@
+#include "campaign/json.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hh"
+
+namespace emcc {
+namespace campaign {
+
+const char *
+JsonValue::kindName() const
+{
+    switch (kind_) {
+      case Kind::Null: return "null";
+      case Kind::Bool: return "bool";
+      case Kind::Int: return "integer";
+      case Kind::Real: return "number";
+      case Kind::String: return "string";
+      case Kind::Array: return "array";
+      case Kind::Object: return "object";
+      default: return "?";
+    }
+}
+
+namespace {
+
+[[noreturn]] void
+typeError(const std::string &what, const char *want, const char *got)
+{
+    throw ConfigError("campaign spec: '" + what + "' must be a " + want +
+                      ", got " + got);
+}
+
+} // namespace
+
+bool
+JsonValue::asBool(const std::string &what) const
+{
+    if (kind_ != Kind::Bool)
+        typeError(what, "bool", kindName());
+    return bool_;
+}
+
+std::uint64_t
+JsonValue::asUint(const std::string &what) const
+{
+    if (kind_ != Kind::Int)
+        typeError(what, "non-negative integer", kindName());
+    return int_;
+}
+
+double
+JsonValue::asReal(const std::string &what) const
+{
+    if (kind_ == Kind::Int)
+        return static_cast<double>(int_);
+    if (kind_ != Kind::Real)
+        typeError(what, "number", kindName());
+    return real_;
+}
+
+const std::string &
+JsonValue::asString(const std::string &what) const
+{
+    if (kind_ != Kind::String)
+        typeError(what, "string", kindName());
+    return str_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray(const std::string &what) const
+{
+    if (kind_ != Kind::Array)
+        typeError(what, "array", kindName());
+    return arr_;
+}
+
+const std::map<std::string, JsonValue> &
+JsonValue::asObject(const std::string &what) const
+{
+    if (kind_ != Kind::Object)
+        typeError(what, "object", kindName());
+    return obj_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    const auto &members = asObject(key);
+    auto it = members.find(key);
+    return it == members.end() ? nullptr : &it->second;
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeInt(std::uint64_t i)
+{
+    JsonValue v;
+    v.kind_ = Kind::Int;
+    v.int_ = i;
+    return v;
+}
+
+JsonValue
+JsonValue::makeReal(double r)
+{
+    JsonValue v;
+    v.kind_ = Kind::Real;
+    v.real_ = r;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.str_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> a)
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    v.arr_ = std::move(a);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(std::map<std::string, JsonValue> o)
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    v.obj_ = std::move(o);
+    return v;
+}
+
+// ----------------------------------------------------------- parser
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw ConfigError("campaign spec JSON: " + msg + " at byte " +
+                          std::to_string(pos_));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    char
+    next()
+    {
+        const char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void
+    expect(char want)
+    {
+        const char c = next();
+        if (c != want)
+            fail(std::string("expected '") + want + "', got '" + c + "'");
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p != '\0'; ++p) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                fail(std::string("bad literal (expected '") + word + "')");
+            ++pos_;
+        }
+    }
+
+    JsonValue
+    value()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return JsonValue::makeString(string());
+          case 't':
+            literal("true");
+            return JsonValue::makeBool(true);
+          case 'f':
+            literal("false");
+            return JsonValue::makeBool(false);
+          case 'n':
+            literal("null");
+            return JsonValue::makeNull();
+          default: return number();
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        std::map<std::string, JsonValue> members;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return JsonValue::makeObject(std::move(members));
+        }
+        while (true) {
+            skipWs();
+            std::string key = string();
+            skipWs();
+            expect(':');
+            if (!members.emplace(key, value()).second)
+                fail("duplicate object key \"" + key + "\"");
+            skipWs();
+            const char c = next();
+            if (c == '}')
+                break;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+        return JsonValue::makeObject(std::move(members));
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        std::vector<JsonValue> items;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return JsonValue::makeArray(std::move(items));
+        }
+        while (true) {
+            items.push_back(value());
+            skipWs();
+            const char c = next();
+            if (c == ']')
+                break;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+        return JsonValue::makeArray(std::move(items));
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            const char esc = next();
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': out += unicodeEscape(); break;
+              default: fail("bad escape sequence");
+            }
+        }
+    }
+
+    std::string
+    unicodeEscape()
+    {
+        unsigned cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = next();
+            cp <<= 4;
+            if (c >= '0' && c <= '9')
+                cp |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                cp |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                cp |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("bad \\u escape digit");
+        }
+        // Encode the BMP code point as UTF-8 (surrogate pairs are not
+        // stitched — campaign specs are ASCII in practice and a lone
+        // surrogate round-trips as its raw 3-byte form).
+        std::string out;
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+        return out;
+    }
+
+    JsonValue
+    number()
+    {
+        const std::size_t start = pos_;
+        bool negative = false;
+        bool integral = true;
+        if (peek() == '-') {
+            negative = true;
+            ++pos_;
+        }
+        if (peek() < '0' || peek() > '9')
+            fail("bad number");
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        const std::string tok = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        if (integral && !negative) {
+            const unsigned long long v =
+                std::strtoull(tok.c_str(), &end, 10);
+            if (end != tok.c_str() + tok.size())
+                fail("bad number '" + tok + "'");
+            return JsonValue::makeInt(v);
+        }
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size())
+            fail("bad number '" + tok + "'");
+        return JsonValue::makeReal(v);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace campaign
+} // namespace emcc

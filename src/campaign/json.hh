@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Minimal strict JSON reader for campaign specs.
+ *
+ * The repo's observability layer only ever *writes* JSON; the campaign
+ * engine is the first consumer that must *read* it (job specs, journal
+ * records). This is a small recursive-descent parser over the full
+ * JSON grammar with two deliberate restrictions that keep campaign
+ * artifacts deterministic and easy to diff:
+ *
+ *  - object members are stored in a sorted std::map, so iteration
+ *    order never depends on input order;
+ *  - duplicate keys are an error, not last-wins.
+ *
+ * Parsing is strict (trailing garbage, comments, NaN/Infinity and
+ * unterminated constructs all throw ConfigError with a byte offset) so
+ * mistyped specs fail fast, exactly like FaultSpec::parse.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace emcc {
+namespace campaign {
+
+/** One parsed JSON value (a tagged union over the seven JSON types,
+ *  with integers tracked separately from doubles so 64-bit seeds round
+ *  trip exactly). */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Int,      ///< number with no '.', 'e' — kept as uint64
+        Real,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    const char *kindName() const;
+
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isInt() const { return kind_ == Kind::Int; }
+    bool isNumber() const
+    { return kind_ == Kind::Int || kind_ == Kind::Real; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed accessors; throw ConfigError naming @p what on mismatch. */
+    bool asBool(const std::string &what) const;
+    std::uint64_t asUint(const std::string &what) const;
+    double asReal(const std::string &what) const;
+    const std::string &asString(const std::string &what) const;
+    const std::vector<JsonValue> &asArray(const std::string &what) const;
+    const std::map<std::string, JsonValue> &
+    asObject(const std::string &what) const;
+
+    /** Object member lookup (nullptr when absent; throws when this is
+     *  not an object). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Parse a complete JSON document; throws ConfigError (with byte
+     *  offset) on any deviation from the grammar. */
+    static JsonValue parse(const std::string &text);
+
+    // Construction helpers (parser + tests).
+    static JsonValue makeNull() { return JsonValue(); }
+    static JsonValue makeBool(bool b);
+    static JsonValue makeInt(std::uint64_t v);
+    static JsonValue makeReal(double v);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray(std::vector<JsonValue> a);
+    static JsonValue makeObject(std::map<std::string, JsonValue> o);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::uint64_t int_ = 0;
+    double real_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::map<std::string, JsonValue> obj_;
+};
+
+/** Escape @p s for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace campaign
+} // namespace emcc

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The campaign's per-run deadline/retry/backoff state machine, kept
+ * free of threads and clocks so tests can drive it exhaustively.
+ *
+ * Lifecycle of one run (attempt numbers are 1-based):
+ *
+ *   dispatch attempt A  ->  ok                      -> terminal Ok
+ *                       ->  failed (exception/exit) -> onFailure(A)
+ *                       ->  cancelled by deadline   -> onTimeout(A)
+ *
+ * onFailure / onTimeout either grant another attempt — with an
+ * exponentially growing, capped backoff delay — or declare the run
+ * terminal with the matching outcome. A campaign-level drain (SIGINT)
+ * forbids further retries: whatever the last attempt produced becomes
+ * terminal.
+ */
+
+#pragma once
+
+#include <algorithm>
+
+#include "campaign/journal.hh"
+
+namespace emcc {
+namespace campaign {
+
+class RetryPolicy
+{
+  public:
+    /** @p max_retries extra attempts after the first; @p backoff_ms
+     *  delay before attempt 2, doubling per further retry; @p
+     *  deadline_s per-attempt wall-clock budget. */
+    RetryPolicy(unsigned max_retries, double backoff_ms,
+                double deadline_s)
+        : max_retries_(max_retries), backoff_ms_(backoff_ms),
+          deadline_s_(deadline_s)
+    {}
+
+    double deadlineS() const { return deadline_s_; }
+    unsigned maxAttempts() const { return max_retries_ + 1; }
+
+    /** Backoff before re-dispatching after failed attempt @p attempt:
+     *  base * 2^(attempt-1), capped at 30 s. */
+    double
+    backoffMs(unsigned attempt) const
+    {
+        double ms = backoff_ms_;
+        for (unsigned i = 1; i < attempt && ms < kBackoffCapMs; ++i)
+            ms *= 2.0;
+        return std::min(ms, kBackoffCapMs);
+    }
+
+    /** What to do after an attempt ended. */
+    struct Decision
+    {
+        bool retry = false;
+        double delay_ms = 0.0;   ///< dispatch-not-before delay
+        Outcome outcome = Outcome::Failed;   ///< terminal outcome if !retry
+    };
+
+    /** Attempt @p attempt threw / exited wrong. @p draining forbids
+     *  retries (campaign is winding down on SIGINT). */
+    Decision
+    onFailure(unsigned attempt, bool draining = false) const
+    {
+        if (attempt < maxAttempts() && !draining)
+            return {true, backoffMs(attempt), Outcome::Failed};
+        return {false, 0.0, Outcome::Failed};
+    }
+
+    /** Attempt @p attempt was cancelled by the deadline watchdog. A
+     *  wedged run burned a full deadline already, so the retry budget
+     *  is shared with failures but the terminal outcome is Timeout. */
+    Decision
+    onTimeout(unsigned attempt, bool draining = false) const
+    {
+        if (attempt < maxAttempts() && !draining)
+            return {true, backoffMs(attempt), Outcome::Timeout};
+        return {false, 0.0, Outcome::Timeout};
+    }
+
+  private:
+    static constexpr double kBackoffCapMs = 30'000.0;
+
+    unsigned max_retries_;
+    double backoff_ms_;
+    double deadline_s_;
+};
+
+} // namespace campaign
+} // namespace emcc

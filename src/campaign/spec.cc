@@ -1,0 +1,432 @@
+#include "campaign/spec.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "campaign/json.hh"
+#include "common/error.hh"
+
+namespace emcc {
+namespace campaign {
+
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+namespace {
+
+/** Accept either a scalar or an array of scalars for a grid axis. */
+template <typename T, typename GetOne>
+std::vector<T>
+axis(const JsonValue &v, const std::string &what, GetOne get_one)
+{
+    std::vector<T> out;
+    if (v.isArray()) {
+        for (const JsonValue &item : v.asArray(what))
+            out.push_back(get_one(item, what));
+    } else {
+        out.push_back(get_one(v, what));
+    }
+    if (out.empty())
+        throw ConfigError("campaign spec: axis '" + what +
+                          "' must not be empty");
+    return out;
+}
+
+std::string
+getString(const JsonValue &v, const std::string &what)
+{
+    return v.asString(what);
+}
+
+std::uint64_t
+getUint(const JsonValue &v, const std::string &what)
+{
+    return v.asUint(what);
+}
+
+void
+rejectUnknownKeys(const JsonValue &obj, const std::string &where,
+                  std::initializer_list<const char *> known)
+{
+    for (const auto &[key, value] : obj.asObject(where)) {
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || key == k;
+        if (!ok)
+            throw ConfigError("campaign spec: unknown key \"" + key +
+                              "\" in " + where);
+    }
+}
+
+GridSpec
+parseGrid(const JsonValue &v)
+{
+    rejectUnknownKeys(v, "grid",
+                      {"workload", "scheme", "design", "seed", "cores",
+                       "warmup", "measure", "trace_len",
+                       "graph_vertices", "footprint_scale", "faults",
+                       "fault_seed", "leak_check"});
+    GridSpec g;
+    if (const JsonValue *w = v.find("workload"))
+        g.workload = axis<std::string>(*w, "grid.workload", getString);
+    if (const JsonValue *s = v.find("scheme"))
+        g.scheme = axis<std::string>(*s, "grid.scheme", getString);
+    if (const JsonValue *d = v.find("design"))
+        g.design = axis<std::string>(*d, "grid.design", getString);
+    if (const JsonValue *s = v.find("seed"))
+        g.seed = axis<std::uint64_t>(*s, "grid.seed", getUint);
+    if (const JsonValue *c = v.find("cores"))
+        g.cores = static_cast<unsigned>(c->asUint("grid.cores"));
+    if (const JsonValue *w = v.find("warmup"))
+        g.warmup = w->asUint("grid.warmup");
+    if (const JsonValue *m = v.find("measure"))
+        g.measure = m->asUint("grid.measure");
+    if (const JsonValue *t = v.find("trace_len"))
+        g.trace_len =
+            static_cast<std::size_t>(t->asUint("grid.trace_len"));
+    if (const JsonValue *gv = v.find("graph_vertices"))
+        g.graph_vertices = gv->asUint("grid.graph_vertices");
+    if (const JsonValue *f = v.find("footprint_scale"))
+        g.footprint_scale = f->asReal("grid.footprint_scale");
+    if (const JsonValue *f = v.find("faults"))
+        g.faults = f->asString("grid.faults");
+    if (const JsonValue *f = v.find("fault_seed"))
+        g.fault_seed = f->asUint("grid.fault_seed");
+    if (const JsonValue *l = v.find("leak_check"))
+        g.leak_check = l->asBool("grid.leak_check");
+    if (g.measure == 0)
+        throw ConfigError("campaign spec: grid.measure must be >= 1");
+    // Parse eagerly so a bad fault string fails at spec load, not in
+    // the middle of a thousand-run campaign.
+    if (!g.faults.empty())
+        FaultSpec::parse(g.faults);
+    return g;
+}
+
+CommandSpec
+parseCommand(const JsonValue &v, std::size_t pos)
+{
+    const std::string where = "commands[" + std::to_string(pos) + "]";
+    rejectUnknownKeys(v, where,
+                      {"name", "argv", "log", "expect_exit", "deadline_s",
+                       "env"});
+    CommandSpec c;
+    if (const JsonValue *n = v.find("name"))
+        c.name = n->asString(where + ".name");
+    if (c.name.empty())
+        throw ConfigError("campaign spec: " + where +
+                          " needs a non-empty name");
+    const JsonValue *argv = v.find("argv");
+    if (argv == nullptr)
+        throw ConfigError("campaign spec: " + where + " needs argv");
+    for (const JsonValue &a : argv->asArray(where + ".argv"))
+        c.argv.push_back(a.asString(where + ".argv[]"));
+    if (c.argv.empty())
+        throw ConfigError("campaign spec: " + where +
+                          ".argv must not be empty");
+    if (const JsonValue *l = v.find("log"))
+        c.log = l->asString(where + ".log");
+    if (const JsonValue *e = v.find("expect_exit"))
+        c.expect_exit =
+            static_cast<int>(e->asUint(where + ".expect_exit"));
+    if (const JsonValue *d = v.find("deadline_s")) {
+        c.deadline_s = d->asReal(where + ".deadline_s");
+        if (c.deadline_s < 0.0)
+            throw ConfigError("campaign spec: " + where +
+                              ".deadline_s must be >= 0");
+    }
+    if (const JsonValue *env = v.find("env")) {
+        for (const auto &[key, value] : env->asObject(where + ".env"))
+            c.env.emplace_back(key, value.asString(where + ".env." + key));
+    }
+    return c;
+}
+
+ChaosSpec
+parseChaos(const JsonValue &v)
+{
+    rejectUnknownKeys(v, "chaos",
+                      {"fail_period", "fail_attempts", "hard_fail_period",
+                       "wedge_period", "wedge_attempts"});
+    ChaosSpec c;
+    if (const JsonValue *p = v.find("fail_period"))
+        c.fail_period = p->asUint("chaos.fail_period");
+    if (const JsonValue *a = v.find("fail_attempts"))
+        c.fail_attempts =
+            static_cast<unsigned>(a->asUint("chaos.fail_attempts"));
+    if (const JsonValue *p = v.find("hard_fail_period"))
+        c.hard_fail_period = p->asUint("chaos.hard_fail_period");
+    if (const JsonValue *p = v.find("wedge_period"))
+        c.wedge_period = p->asUint("chaos.wedge_period");
+    if (const JsonValue *a = v.find("wedge_attempts"))
+        c.wedge_attempts =
+            static_cast<unsigned>(a->asUint("chaos.wedge_attempts"));
+    return c;
+}
+
+} // namespace
+
+CampaignSpec
+CampaignSpec::parse(const std::string &json_text)
+{
+    const JsonValue doc = JsonValue::parse(json_text);
+    rejectUnknownKeys(doc, "spec",
+                      {"schema", "name", "grid", "commands", "chaos",
+                       "deadline_s", "retries", "backoff_ms"});
+    CampaignSpec spec;
+    if (const JsonValue *s = doc.find("schema")) {
+        const std::string &tag = s->asString("schema");
+        if (tag != kSchema)
+            throw ConfigError("campaign spec: schema \"" + tag +
+                              "\" is not " + kSchema);
+    }
+    if (const JsonValue *n = doc.find("name"))
+        spec.name = n->asString("name");
+    if (spec.name.empty())
+        throw ConfigError("campaign spec: name must not be empty");
+    if (const JsonValue *g = doc.find("grid")) {
+        spec.grid = parseGrid(*g);
+        spec.has_grid = true;
+    }
+    if (const JsonValue *cmds = doc.find("commands")) {
+        const auto &arr = cmds->asArray("commands");
+        for (std::size_t i = 0; i < arr.size(); ++i)
+            spec.commands.push_back(parseCommand(arr[i], i));
+    }
+    if (const JsonValue *c = doc.find("chaos"))
+        spec.chaos = parseChaos(*c);
+    if (const JsonValue *d = doc.find("deadline_s")) {
+        spec.deadline_s = d->asReal("deadline_s");
+        if (spec.deadline_s <= 0.0)
+            throw ConfigError("campaign spec: deadline_s must be > 0");
+    }
+    if (const JsonValue *r = doc.find("retries")) {
+        spec.retries = static_cast<unsigned>(r->asUint("retries"));
+        if (spec.retries > 100)
+            throw ConfigError("campaign spec: retries must be <= 100");
+    }
+    if (const JsonValue *b = doc.find("backoff_ms")) {
+        spec.backoff_ms = b->asReal("backoff_ms");
+        if (spec.backoff_ms < 0.0)
+            throw ConfigError("campaign spec: backoff_ms must be >= 0");
+    }
+    if (!spec.has_grid && spec.commands.empty())
+        throw ConfigError(
+            "campaign spec: needs a grid, commands, or both");
+    return spec;
+}
+
+CampaignSpec
+CampaignSpec::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw ConfigError("cannot read campaign spec '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse(text.str());
+}
+
+std::string
+CampaignSpec::canonical() const
+{
+    std::string out;
+    char buf[160];
+    out += "{\"schema\":\"";
+    out += kSchema;
+    out += "\",\"name\":\"" + jsonEscape(name) + "\"";
+    std::snprintf(buf, sizeof(buf),
+                  ",\"deadline_s\":%g,\"retries\":%u,\"backoff_ms\":%g",
+                  deadline_s, retries, backoff_ms);
+    out += buf;
+    if (has_grid) {
+        out += ",\"grid\":{";
+        auto strAxis = [&out](const char *key,
+                              const std::vector<std::string> &vals,
+                              bool first) {
+            if (!first)
+                out += ',';
+            out += std::string("\"") + key + "\":[";
+            for (std::size_t i = 0; i < vals.size(); ++i) {
+                if (i > 0)
+                    out += ',';
+                out += '"';
+                out += jsonEscape(vals[i]);
+                out += '"';
+            }
+            out += ']';
+        };
+        strAxis("workload", grid.workload, true);
+        strAxis("scheme", grid.scheme, false);
+        strAxis("design", grid.design, false);
+        out += ",\"seed\":[";
+        for (std::size_t i = 0; i < grid.seed.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            out += std::to_string(grid.seed[i]);
+        }
+        out += ']';
+        std::snprintf(buf, sizeof(buf),
+                      ",\"cores\":%u,\"warmup\":%llu,\"measure\":%llu"
+                      ",\"trace_len\":%llu,\"graph_vertices\":%llu"
+                      ",\"footprint_scale\":%g",
+                      grid.cores,
+                      static_cast<unsigned long long>(grid.warmup),
+                      static_cast<unsigned long long>(grid.measure),
+                      static_cast<unsigned long long>(grid.trace_len),
+                      static_cast<unsigned long long>(
+                          grid.graph_vertices),
+                      grid.footprint_scale);
+        out += buf;
+        out += ",\"faults\":\"";
+        out += jsonEscape(grid.faults);
+        out += '"';
+        std::snprintf(buf, sizeof(buf),
+                      ",\"fault_seed\":%llu,\"leak_check\":%s}",
+                      static_cast<unsigned long long>(grid.fault_seed),
+                      grid.leak_check ? "true" : "false");
+        out += buf;
+    }
+    if (!commands.empty()) {
+        out += ",\"commands\":[";
+        for (std::size_t i = 0; i < commands.size(); ++i) {
+            const CommandSpec &c = commands[i];
+            if (i > 0)
+                out += ',';
+            out += "{\"name\":\"";
+            out += jsonEscape(c.name);
+            out += "\",\"argv\":[";
+            for (std::size_t a = 0; a < c.argv.size(); ++a) {
+                if (a > 0)
+                    out += ',';
+                out += '"';
+                out += jsonEscape(c.argv[a]);
+                out += '"';
+            }
+            out += "],\"log\":\"";
+            out += jsonEscape(c.log);
+            out += '"';
+            std::snprintf(buf, sizeof(buf),
+                          ",\"expect_exit\":%d,\"deadline_s\":%g",
+                          c.expect_exit, c.deadline_s);
+            out += buf;
+            if (!c.env.empty()) {
+                out += ",\"env\":{";
+                for (std::size_t e = 0; e < c.env.size(); ++e) {
+                    if (e > 0)
+                        out += ',';
+                    out += '"';
+                    out += jsonEscape(c.env[e].first);
+                    out += "\":\"";
+                    out += jsonEscape(c.env[e].second);
+                    out += '"';
+                }
+                out += '}';
+            }
+            out += '}';
+        }
+        out += ']';
+    }
+    if (chaos.enabled()) {
+        std::snprintf(buf, sizeof(buf),
+                      ",\"chaos\":{\"fail_period\":%llu,"
+                      "\"fail_attempts\":%u,\"hard_fail_period\":%llu,"
+                      "\"wedge_period\":%llu,\"wedge_attempts\":%u}",
+                      static_cast<unsigned long long>(chaos.fail_period),
+                      chaos.fail_attempts,
+                      static_cast<unsigned long long>(
+                          chaos.hard_fail_period),
+                      static_cast<unsigned long long>(chaos.wedge_period),
+                      chaos.wedge_attempts);
+        out += buf;
+    }
+    out += '}';
+    return out;
+}
+
+std::uint64_t
+CampaignSpec::digest() const
+{
+    return fnv1a(canonical());
+}
+
+std::vector<RunDesc>
+CampaignSpec::expand() const
+{
+    std::vector<RunDesc> runs;
+    if (has_grid) {
+        for (const std::string &workload : grid.workload) {
+            for (const std::string &scheme : grid.scheme) {
+                for (const std::string &design : grid.design) {
+                    for (const std::uint64_t seed : grid.seed) {
+                        RunDesc r;
+                        r.index = runs.size();
+                        r.kind = RunDesc::Kind::Sim;
+                        r.name = workload + "/" + scheme + "/" + design +
+                                 "/s" + std::to_string(seed);
+                        r.workload = workload;
+                        r.cfg.scheme = parseScheme(scheme);
+                        r.cfg.design = parseCounterDesign(design);
+                        r.cfg.cores = grid.cores;
+                        r.cfg.seed = seed;
+                        if (!grid.faults.empty())
+                            r.cfg.faults = FaultSpec::parse(grid.faults);
+                        r.cfg.fault_seed = grid.fault_seed;
+                        r.cfg.leak_check = grid.leak_check;
+                        r.cfg.validate();
+                        r.scale.workload.cores = grid.cores;
+                        r.scale.workload.trace_len = grid.trace_len;
+                        r.scale.workload.graph_vertices =
+                            grid.graph_vertices;
+                        r.scale.workload.footprint_scale =
+                            grid.footprint_scale;
+                        r.scale.workload.seed = seed;
+                        r.scale.warmup_instructions = grid.warmup;
+                        r.scale.measure_instructions = grid.measure;
+                        runs.push_back(std::move(r));
+                    }
+                }
+            }
+        }
+    }
+    for (const CommandSpec &c : commands) {
+        RunDesc r;
+        r.index = runs.size();
+        r.kind = RunDesc::Kind::Command;
+        r.name = "cmd/" + c.name;
+        r.cmd = c;
+        runs.push_back(std::move(r));
+    }
+
+    std::set<std::string> names;
+    for (RunDesc &r : runs) {
+        if (!names.insert(r.name).second)
+            throw ConfigError("campaign spec: duplicate run name '" +
+                              r.name + "' (repeated axis value or "
+                              "command name)");
+        // Resolve the chaos schedule (1-based so period=N marks every
+        // Nth run, never run 0 for all periods at once).
+        const Count pos = r.index + 1;
+        if (chaos.fail_period > 0 && pos % chaos.fail_period == 0)
+            r.chaos_fail_attempts = chaos.fail_attempts;
+        if (chaos.hard_fail_period > 0 &&
+            pos % chaos.hard_fail_period == 0)
+            r.chaos_hard_fail = true;
+        if (chaos.wedge_period > 0 && pos % chaos.wedge_period == 0)
+            r.chaos_wedge_attempts = chaos.wedge_attempts;
+    }
+    return runs;
+}
+
+} // namespace campaign
+} // namespace emcc

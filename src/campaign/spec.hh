@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Campaign job specification (`emcc-campaign-spec-v1`): a JSON document
+ * that expands into a flat, deterministically ordered list of run
+ * descriptors.
+ *
+ * Two run flavours coexist in one spec:
+ *
+ *  - a `grid` object sweeps workload x scheme x design x seed over
+ *    in-process SecureSystem runs (seed innermost, workload outermost;
+ *    run names are "<workload>/<scheme>/<design>/s<seed>");
+ *  - a `commands` array appends subprocess runs (argv + log + expected
+ *    exit code) — the mode the bench/fault shell suites route through.
+ *
+ * Robustness knobs (`deadline_s`, `retries`, `backoff_ms`) apply to
+ * every run; a command may override its own deadline. The `chaos`
+ * object deterministically injects engine-level failures by run index
+ * (throw on early attempts, wedge until the deadline) so the retry /
+ * timeout machinery is testable without relying on real crashes.
+ *
+ * The spec's identity is digest(): an FNV-1a hash over the normalized
+ * re-rendering. The journal stores it and resume refuses to mix
+ * records from a different spec.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "system/config.hh"
+#include "system/experiment.hh"
+
+namespace emcc {
+namespace campaign {
+
+/** Deterministic engine-level failure injection, keyed by run index
+ *  (1-based positions: a period of 10 marks runs 9, 19, 29, ...). */
+struct ChaosSpec
+{
+    /** Every Nth run throws on its first `fail_attempts` attempts and
+     *  then succeeds (exercises retry accounting). 0 = off. */
+    Count fail_period = 0;
+    unsigned fail_attempts = 1;
+    /** Every Nth run throws on *every* attempt (terminal `failed`).
+     *  0 = off. */
+    Count hard_fail_period = 0;
+    /** Every Nth run wedges (busy event loop) until the deadline
+     *  cancels it, on its first `wedge_attempts` attempts. 0 = off. */
+    Count wedge_period = 0;
+    unsigned wedge_attempts = 1;
+
+    bool
+    enabled() const
+    {
+        return fail_period > 0 || hard_fail_period > 0 ||
+               wedge_period > 0;
+    }
+};
+
+/** One subprocess run from the spec's `commands` array. */
+struct CommandSpec
+{
+    std::string name;
+    std::vector<std::string> argv;
+    std::string log;              ///< stdout+stderr sink ("" = discard)
+    int expect_exit = 0;
+    double deadline_s = 0.0;      ///< 0 = inherit the spec deadline
+    /// extra environment (name=value) for the child
+    std::vector<std::pair<std::string, std::string>> env;
+};
+
+/** The sim-run grid axes and scalar knobs. */
+struct GridSpec
+{
+    std::vector<std::string> workload{"BFS"};
+    std::vector<std::string> scheme{"emcc"};
+    std::vector<std::string> design{"morphable"};
+    std::vector<std::uint64_t> seed{1};
+
+    unsigned cores = 4;
+    Count warmup = 5'000;
+    Count measure = 20'000;
+    std::size_t trace_len = 40'000;
+    std::uint64_t graph_vertices = 1ull << 18;
+    double footprint_scale = 0.25;
+    std::string faults;            ///< FaultSpec string ("" = none)
+    std::uint64_t fault_seed = 1;
+    bool leak_check = true;
+};
+
+/** One expanded run: either an in-process sim or a subprocess. */
+struct RunDesc
+{
+    enum class Kind : std::uint8_t { Sim, Command };
+
+    Count index = 0;       ///< position in the expansion (journal key)
+    std::string name;      ///< stable human-readable id
+    Kind kind = Kind::Sim;
+
+    // Sim runs.
+    SystemConfig cfg;
+    experiments::BenchScale scale;
+    std::string workload;
+
+    // Command runs.
+    CommandSpec cmd;
+
+    // Chaos schedule for this run, resolved at expansion time.
+    unsigned chaos_fail_attempts = 0;   ///< throw while attempt <= N
+    bool chaos_hard_fail = false;       ///< throw on every attempt
+    unsigned chaos_wedge_attempts = 0;  ///< wedge while attempt <= N
+};
+
+/** A parsed campaign spec. */
+struct CampaignSpec
+{
+    static constexpr const char *kSchema = "emcc-campaign-spec-v1";
+
+    std::string name = "campaign";
+    GridSpec grid;
+    bool has_grid = false;
+    std::vector<CommandSpec> commands;
+    ChaosSpec chaos;
+
+    double deadline_s = 300.0;   ///< per-run wall-clock budget
+    unsigned retries = 2;        ///< extra attempts after the first
+    double backoff_ms = 100.0;   ///< base retry backoff (doubles/retry)
+
+    /** Parse a spec document; throws ConfigError on any problem. */
+    static CampaignSpec parse(const std::string &json_text);
+
+    /** Read + parse a spec file; throws ConfigError. */
+    static CampaignSpec load(const std::string &path);
+
+    /** Normalized one-line JSON rendering (digest input; also what
+     *  --dry-run prints). Field order is fixed, defaults included. */
+    std::string canonical() const;
+
+    /** FNV-1a over canonical(): the identity resume checks. */
+    std::uint64_t digest() const;
+
+    /** Expand into the flat run list (deterministic order). */
+    std::vector<RunDesc> expand() const;
+};
+
+/** FNV-1a 64-bit hash (journal record checksums + spec digests). */
+std::uint64_t fnv1a(const std::string &s);
+
+} // namespace campaign
+} // namespace emcc

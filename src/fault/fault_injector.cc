@@ -104,6 +104,8 @@ FaultInjector::FaultInjector(const FaultSpec &spec, std::uint64_t seed)
         cam.cfg = c;
         campaigns_.push_back(cam);
         scheduleNext(campaigns_.back());
+        if (c.kind == FaultKind::TreeFlip)
+            has_tree_campaign_ = true;
     }
 }
 
@@ -233,6 +235,14 @@ FaultInjector::onCounterHit(Addr ctr_blk, Tick now)
 }
 
 void
+FaultInjector::onTreeNodeFetched(Addr node, Tick now)
+{
+    if (campaigns_.empty())
+        return;
+    advance(FaultKind::TreeFlip, node, now, tree_taints_);
+}
+
+void
 FaultInjector::heal(std::unordered_map<Addr, Taint> &taints, Addr blk)
 {
     auto it = taints.find(blk);
@@ -251,8 +261,15 @@ FaultInjector::onDramWrite(Addr blk, bool counter_class, Tick now)
     if (campaigns_.empty())
         return;
     // A rewrite deposits fresh ciphertext+MAC (or a fresh counter):
-    // whatever corruption the block carried is gone.
-    heal(counter_class ? ctr_taints_ : data_taints_, blk);
+    // whatever corruption the block carried is gone. Tree interior
+    // nodes write back through the counter class, so a counter-class
+    // write heals whichever of the two maps holds the address.
+    if (counter_class) {
+        heal(ctr_taints_, blk);
+        heal(tree_taints_, blk);
+    } else {
+        heal(data_taints_, blk);
+    }
 }
 
 Tick
@@ -326,7 +343,8 @@ FaultInjector::aesStallTicks(Tick now)
 }
 
 std::optional<FaultInjector::Detection>
-FaultInjector::checkVerify(Addr blk, Addr ctr_blk, Tick now)
+FaultInjector::checkVerify(Addr blk, Addr ctr_blk, Tick now,
+                           const std::vector<Addr> &tree_nodes)
 {
     if (campaigns_.empty())
         return std::nullopt;
@@ -338,6 +356,14 @@ FaultInjector::checkVerify(Addr blk, Addr ctr_blk, Tick now)
     if (cit != ctr_taints_.end() &&
         (!taint || cit->second.injected_at < taint->injected_at))
         taint = &cit->second;
+    // A corrupted interior node breaks the hash chain for every counter
+    // it covers: any tainted node along the walk fails the verify too.
+    for (Addr node : tree_nodes) {
+        auto tit = tree_taints_.find(node);
+        if (tit != tree_taints_.end() &&
+            (!taint || tit->second.injected_at < taint->injected_at))
+            taint = &tit->second;
+    }
     if (!taint)
         return std::nullopt;
 
@@ -354,14 +380,15 @@ FaultInjector::checkVerify(Addr blk, Addr ctr_blk, Tick now)
 }
 
 void
-FaultInjector::recoveryRefetch(Addr blk, Addr ctr_blk, Tick now)
+FaultInjector::recoveryRefetch(Addr blk, Addr ctr_blk, Tick now,
+                               const std::vector<Addr> &tree_nodes)
 {
     (void)now;
     if (campaigns_.empty())
         return;
     // Re-fetching from DRAM (bypassing every cache) clears corruption
     // that lived in flight or in a cached copy; DRAM-resident
-    // corruption and replays survive.
+    // corruption (including tree-node flips) and replays survive.
     auto clearTransient = [this](std::unordered_map<Addr, Taint> &taints,
                                  Addr a) {
         auto it = taints.find(a);
@@ -370,6 +397,8 @@ FaultInjector::recoveryRefetch(Addr blk, Addr ctr_blk, Tick now)
     };
     clearTransient(data_taints_, blk);
     clearTransient(ctr_taints_, ctr_blk);
+    for (Addr node : tree_nodes)
+        clearTransient(tree_taints_, node);
 }
 
 void

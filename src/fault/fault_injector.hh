@@ -124,6 +124,10 @@ class FaultInjector
      *  L2). May activate transient cached-line corruption. */
     void onCounterHit(Addr ctr_blk, Tick now);
 
+    /** A DRAM read of an integrity-tree interior node completed. May
+     *  activate tree (persistent node-storage) faults. */
+    void onTreeNodeFetched(Addr node, Tick now);
+
     /** A DRAM write retired: a data-class write heals data-side taints
      *  for the block, a counter-class write heals counter taints. */
     void onDramWrite(Addr blk, bool counter_class, Tick now);
@@ -147,15 +151,25 @@ class FaultInjector
 
     /**
      * The modeled MAC check for a fill of @p blk decrypted under
-     * @p ctr_blk at @p now. Returns nullopt when verification passes;
-     * otherwise records the detection (first time) and returns the
-     * token the recovery loop threads through its retries.
+     * @p ctr_blk at @p now. @p tree_nodes lists the integrity-tree
+     * interior nodes covering the counter (empty when the caller knows
+     * no tree campaign is active). Returns nullopt when verification
+     * passes; otherwise records the detection (first time) and returns
+     * the token the recovery loop threads through its retries.
      */
-    std::optional<Detection> checkVerify(Addr blk, Addr ctr_blk, Tick now);
+    std::optional<Detection>
+    checkVerify(Addr blk, Addr ctr_blk, Tick now,
+                const std::vector<Addr> &tree_nodes = {});
 
-    /** A recovery attempt re-fetched @p blk and @p ctr_blk from DRAM
-     *  bypassing all caches: transient taints clear. */
-    void recoveryRefetch(Addr blk, Addr ctr_blk, Tick now);
+    /** True when any campaign targets integrity-tree interior nodes —
+     *  callers then compute and pass the node list to checkVerify. */
+    bool hasTreeCampaign() const { return has_tree_campaign_; }
+
+    /** A recovery attempt re-fetched @p blk, @p ctr_blk and the listed
+     *  tree nodes from DRAM bypassing all caches: transient taints
+     *  clear. */
+    void recoveryRefetch(Addr blk, Addr ctr_blk, Tick now,
+                         const std::vector<Addr> &tree_nodes = {});
 
     /** The recovery loop re-verified successfully. */
     void noteRecovered(const Detection &d, Tick now, unsigned attempts);
@@ -205,6 +219,9 @@ class FaultInjector
     std::unordered_map<Addr, Taint> data_taints_;
     /// taints keyed by counter block (ctr/ctrcache kinds)
     std::unordered_map<Addr, Taint> ctr_taints_;
+    /// taints keyed by integrity-tree interior-node address (tree kind)
+    std::unordered_map<Addr, Taint> tree_taints_;
+    bool has_tree_campaign_ = false;
     /// bounded rings of previously-fetched blocks (soft-mode victims);
     /// oldest-first once full, overwrite position in *_ring_next_
     std::vector<Addr> data_ring_;

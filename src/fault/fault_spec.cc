@@ -21,6 +21,7 @@ faultKindName(FaultKind k)
       case FaultKind::NocDelay: return "nocdelay";
       case FaultKind::NocDrop: return "nocdrop";
       case FaultKind::AesStall: return "aesstall";
+      case FaultKind::TreeFlip: return "tree";
       default: return "?";
     }
 }
@@ -136,7 +137,8 @@ FaultSpec::parse(const std::string &spec)
                               "' is count/period driven; prob= applies "
                               "to nocdelay/nocdrop/aesstall");
         if (c.soft && (!faultIsIntegrity(c.kind) ||
-                       faultIsTransient(c.kind)))
+                       faultIsTransient(c.kind) ||
+                       c.kind == FaultKind::TreeFlip))
             throw ConfigError(std::string("fault kind '") +
                               faultKindName(c.kind) +
                               "' cannot be soft; soft= applies to "

@@ -20,6 +20,8 @@
  *   nocdelay  a response packet is delayed by `delay` ns
  *   nocdrop   a response packet is dropped (retransmit after 10x delay)
  *   aesstall  an AES unit stalls for `delay` ns before starting
+ *   tree      persistent bit-flip in an integrity-tree interior node
+ *             (exercises the multi-level re-verification walk)
  *
  * Keys:
  *   count=N    number of injections for this campaign (default 1)
@@ -60,6 +62,7 @@ enum class FaultKind : std::uint8_t
     NocDelay,       ///< response packet delayed
     NocDrop,        ///< response packet dropped (retransmit timeout)
     AesStall,       ///< AES unit stall
+    TreeFlip,       ///< persistent integrity-tree interior-node corruption
     NumKinds,
 };
 

@@ -172,7 +172,14 @@ MetricsSnapshot::toJsonBody() const
 std::string
 MetricsSnapshot::toJson() const
 {
-    return "{\"schema\":\"emcc-stats-v1\"," + toJsonBody() + "}\n";
+    return toJson(/*partial=*/false);
+}
+
+std::string
+MetricsSnapshot::toJson(bool partial) const
+{
+    return std::string("{\"schema\":\"emcc-stats-v1\",") +
+           (partial ? "\"partial\":true," : "") + toJsonBody() + "}\n";
 }
 
 void

@@ -104,6 +104,12 @@ struct MetricsSnapshot
      */
     std::string toJson() const;
 
+    /** Like toJson(), but with a "partial":true marker right after the
+     *  schema tag when @p partial — the form an interrupted run flushes
+     *  so downstream tooling can tell a truncated window from a full
+     *  one. */
+    std::string toJson(bool partial) const;
+
     /**
      * The four metric sections without the surrounding braces or
      * schema tag ("counters":{...},...,"histograms":{...}) so other

@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -106,10 +107,30 @@ class Simulator
     void setLedger(obs::LatencyLedger *l) { ledger_ = l; }
     obs::LatencyLedger *ledger() const { return ledger_; }
 
+    /**
+     * Attach a cooperative stop flag (not owned; must outlive the
+     * simulation). Another host thread — a campaign watchdog enforcing
+     * a per-run deadline, or a signal handler draining on SIGINT — sets
+     * the flag; the system's event loops poll stopRequested() between
+     * events and wind the run down early, marking its results partial.
+     * nullptr — the default — disables the check entirely.
+     */
+    void setStopFlag(const std::atomic<bool> *stop) { stop_ = stop; }
+
+    /** True once an attached stop flag has been raised. A relaxed load:
+     *  the poll sits on the per-event fast path and needs no ordering —
+     *  the run only ever winds down *after* seeing the flag. */
+    bool
+    stopRequested() const
+    {
+        return stop_ != nullptr && stop_->load(std::memory_order_relaxed);
+    }
+
   private:
     EventQueue queue_;
     obs::Tracer *tracer_ = nullptr;
     obs::LatencyLedger *ledger_ = nullptr;
+    const std::atomic<bool> *stop_ = nullptr;
 };
 
 inline Tick

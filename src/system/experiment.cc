@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "common/log.hh"
 #include "obs/profile.hh"
@@ -44,7 +45,11 @@ BenchScale::fromEnv()
 const WorkloadSet &
 cachedWorkload(const std::string &name, const WorkloadParams &params)
 {
-    // Keyed by name + the parameters that affect trace content.
+    // Keyed by name + the parameters that affect trace content. The
+    // mutex makes concurrent first-builds safe (campaign worker pools);
+    // the returned sets are immutable, so readers need no further
+    // synchronization.
+    static std::mutex cache_mutex;
     static std::map<std::string, std::unique_ptr<WorkloadSet>> cache;
     char key[256];
     std::snprintf(key, sizeof(key), "%s/%u/%zu/%llu/%u/%llu/%.6f",
@@ -53,6 +58,7 @@ cachedWorkload(const std::string &name, const WorkloadParams &params)
                   params.graph_degree,
                   static_cast<unsigned long long>(params.seed),
                   params.footprint_scale);
+    std::lock_guard<std::mutex> lock(cache_mutex);
     auto it = cache.find(key);
     if (it == cache.end()) {
         it = cache.emplace(key, std::make_unique<WorkloadSet>(
@@ -98,6 +104,8 @@ runTiming(const SystemConfig &cfg, const WorkloadSet &workload,
         sim.setTracer(opts.tracer);
     if (opts.ledger)
         sim.setLedger(opts.ledger);
+    if (opts.cancel)
+        sim.setStopFlag(opts.cancel);
     obs::HostTimer timer;
     SecureSystem sys(sim, cfg, &workload);
     if (opts.series)

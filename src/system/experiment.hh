@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,12 @@ struct RunOptions
     /** Interval time-series sink, or null for no periodic snapshots.
      *  Sampling starts at the beginning of the measurement phase. */
     obs::StatsSeries *series = nullptr;
+
+    /** Cooperative cancellation flag, or null to run to completion.
+     *  Raised from another host thread (campaign deadline watchdog) or
+     *  a signal handler; the run winds down at the next event boundary
+     *  and its results come back with partial == true. */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /** Run the timing system once with observability hooks attached.

@@ -909,6 +909,8 @@ SecureSystem::mcFetchCounter(Addr pa, Tick t, bool count_buckets,
         } else {
             dramRequest(node, MemClass::Counter, false, t2,
                         [this, node, arrive](Tick when) {
+                if (fault_)
+                    fault_->onTreeNodeFetched(node, when);
                 insertMcCache(node, LineClass::TreeNode, false, when);
                 if (cfg_.countersInLlc())
                     insertLlc(node, LineClass::TreeNode, false, when);
@@ -1033,13 +1035,29 @@ SecureSystem::aesStall()
     return fault_ ? fault_->aesStallTicks(curTick()) : Tick{};
 }
 
+std::vector<Addr>
+SecureSystem::treeNodesFor(Addr pa) const
+{
+    // The interior nodes whose hash chain covers pa's counter, bottom-up
+    // (the same walk mcFetchCounter performs). Only computed when a
+    // tree campaign is live: every other spec keeps the per-fill verify
+    // allocation-free.
+    std::vector<Addr> nodes;
+    if (!fault_ || !fault_->hasTreeCampaign())
+        return nodes;
+    nodes.reserve(meta_.numLevels());
+    for (unsigned lvl = 1; lvl < meta_.numLevels(); ++lvl)
+        nodes.push_back(meta_.treeNodeAddr(lvl, pa));
+    return nodes;
+}
+
 void
 SecureSystem::finishWithVerify(unsigned core, Addr pa, Tick fill,
                                FinishCb cb)
 {
     const Addr blk = blockAlign(pa);
     const Addr ctr = meta_.counterBlockAddr(pa);
-    auto det = fault_->checkVerify(blk, ctr, fill);
+    auto det = fault_->checkVerify(blk, ctr, fill, treeNodesFor(pa));
     if (!det) {
         cb(fill);
         return;
@@ -1077,35 +1095,53 @@ SecureSystem::recoverFill(unsigned core, Addr pa, Tick t,
     ++stats_.integrity_retried;
 
     // Poisoned metadata may be cached anywhere: drop every cached copy
-    // of the counter (and the LLC data copy), then re-fetch counter and
-    // data straight from DRAM, bypassing all caches.
+    // of the counter, the LLC data copy and — when a tree campaign is
+    // live — every covering integrity-tree interior node, then re-fetch
+    // the lot straight from DRAM, bypassing all caches. Re-walking the
+    // whole node chain is what makes recovery from an interior-node
+    // flip a genuine multi-level re-verification.
+    const std::vector<Addr> nodes = treeNodesFor(pa);
     mc_cache_.invalidate(ctr);
     llc_.invalidate(ctr);
     llc_.invalidate(blk);
+    for (Addr node : nodes) {
+        mc_cache_.invalidate(node);
+        llc_.invalidate(node);
+    }
     if (cfg_.scheme == Scheme::Emcc) {
         for (unsigned c = 0; c < cfg_.cores; ++c) {
             if (l2_[c].invalidate(ctr))
                 noteL2CounterGone(c, ctr, /*invalidated=*/true);
         }
     }
-    fault_->recoveryRefetch(blk, ctr, t);
+    fault_->recoveryRefetch(blk, ctr, t, nodes);
 
     struct Refetch
     {
         Tick ctr_done = kTickInvalid;
         Tick data_done = kTickInvalid;
+        Tick nodes_done{};
+        unsigned nodes_outstanding = 0;
+        unsigned nodes_total = 0;
     };
     auto re = std::make_shared<Refetch>();
-    auto rejoin = [this, core, pa, blk, ctr, det, attempt, re, cb] {
-        if (re->ctr_done == kTickInvalid || re->data_done == kTickInvalid)
+    re->nodes_outstanding = static_cast<unsigned>(nodes.size());
+    re->nodes_total = re->nodes_outstanding;
+    auto rejoin = [this, core, pa, blk, ctr, nodes, det, attempt, re,
+                   cb] {
+        if (re->ctr_done == kTickInvalid ||
+            re->data_done == kTickInvalid || re->nodes_outstanding > 0)
             return;
         // Decode the fresh counter, re-decrypt and re-verify: one AES
-        // for the OTP regeneration plus the MAC recomputation.
+        // for the OTP regeneration plus the MAC recomputation, plus one
+        // hash check per re-fetched tree level.
         const Tick start = std::max(
-            re->ctr_done + design_->decodeLatency(), re->data_done);
-        const Tick redone = mc_aes_.submit(start + aesStall(), 6) +
-                            cfg_.resp_mc_to_l2;
-        auto again = fault_->checkVerify(blk, ctr, redone);
+            {re->ctr_done + design_->decodeLatency(), re->data_done,
+             re->nodes_done});
+        const Tick redone =
+            mc_aes_.submit(start + aesStall(), 6 + re->nodes_total) +
+            cfg_.resp_mc_to_l2;
+        auto again = fault_->checkVerify(blk, ctr, redone, nodes);
         if (!again) {
             ++stats_.integrity_recovered;
             fault_->noteRecovered(det, redone, attempt);
@@ -1127,6 +1163,14 @@ SecureSystem::recoverFill(unsigned core, Addr pa, Tick t,
         re->data_done = when;
         rejoin();
     });
+    for (Addr node : nodes) {
+        dramRequest(node, MemClass::Counter, /*is_write=*/false, t,
+                    [re, rejoin](Tick when) {
+            re->nodes_done = std::max(re->nodes_done, when);
+            --re->nodes_outstanding;
+            rejoin();
+        });
+    }
 }
 
 void
@@ -1449,6 +1493,11 @@ SecureSystem::run(Count warmup, Count measure)
     if (watchdog_)
         watchdog_->start();
 
+    // Both phases poll the Simulator's cooperative stop flag between
+    // events: a campaign deadline or a SIGINT cancels the run at the
+    // next event boundary instead of wedging the host thread, and the
+    // results are marked partial.
+
     // ---- warmup phase
     if (warmup > 0) {
         const Tick warmup_start = curTick();
@@ -1459,7 +1508,8 @@ SecureSystem::run(Count warmup, Count measure)
                 --cores_running_;
             });
         }
-        while (cores_running_ > 0 && sim().events().step()) {
+        while (cores_running_ > 0 && !sim().stopRequested() &&
+               sim().events().step()) {
         }
         if (trace_sim_) {
             tracer_->span(obs::TraceCat::Sim, sim_track_, "warmup",
@@ -1470,33 +1520,42 @@ SecureSystem::run(Count warmup, Count measure)
     // ---- measurement phase
     resetStats();
     const Tick measure_phase_start = curTick();
-    if (series_) {
-        series_active_ = true;
-        scheduleSeriesSample(measure_phase_start + series_->interval());
+    const bool skipped_measure = sim().stopRequested();
+    if (!skipped_measure) {
+        if (series_) {
+            series_active_ = true;
+            scheduleSeriesSample(measure_phase_start + series_->interval());
+        }
+        cores_running_ = cfg_.cores;
+        for (auto &core : cores_) {
+            core->start(measure, [this] {
+                panic_if(cores_running_ == 0, "core finish underflow");
+                --cores_running_;
+            });
+        }
+        while (cores_running_ > 0 && !sim().stopRequested() &&
+               sim().events().step()) {
+        }
+        // The pending sample event (if any) drains as a no-op below.
+        series_active_ = false;
+        if (trace_sim_) {
+            tracer_->span(obs::TraceCat::Sim, sim_track_, "measure",
+                          measure_phase_start, curTick());
+        }
     }
-    cores_running_ = cfg_.cores;
-    for (auto &core : cores_) {
-        core->start(measure, [this] {
-            panic_if(cores_running_ == 0, "core finish underflow");
-            --cores_running_;
-        });
-    }
-    while (cores_running_ > 0 && sim().events().step()) {
-    }
-    // The pending sample event (if any) drains as a no-op below.
-    series_active_ = false;
-    if (trace_sim_) {
-        tracer_->span(obs::TraceCat::Sim, sim_track_, "measure",
-                      measure_phase_start, curTick());
-    }
-    collectResults(measure * cfg_.cores);
+    collectResults(skipped_measure ? 0 : measure * cfg_.cores);
+    const bool cancelled = skipped_measure ||
+                           (sim().stopRequested() && cores_running_ > 0);
 
     // ---- post-run hardening: stop the watchdog (it must not keep the
     // drain alive), then drain stragglers and look for leaked state.
+    // A cancelled run deliberately leaves work in flight, so the leak
+    // check would only report the expected debris — skip it.
     if (watchdog_)
         watchdog_->stop();
-    if (cfg_.leak_check)
+    if (cfg_.leak_check && !cancelled)
         drainAndCheckLeaks();
+    results_.partial = cancelled;
 
     // Snapshot the full registry once everything has settled; the dump
     // (--stats-json) is deterministic for a fixed seed.

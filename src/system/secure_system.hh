@@ -131,6 +131,10 @@ struct RunResults
     /** Host wall-clock seconds for the run; profiling only — never part
      *  of the deterministic stats JSON. */
     double host_seconds = 0.0;
+    /** True when the run was cancelled early through the Simulator's
+     *  cooperative stop flag (deadline or SIGINT): every counter above
+     *  covers only the portion that actually executed. */
+    bool partial = false;
 
     /** Flatten everything into a named StatSet (for CSV/JSON export
      *  and tooling). */
@@ -230,6 +234,10 @@ class SecureSystem : public Component, public MemorySystemPort
     // ---- fault-injection resilience
     /** Extra AES start latency from an injected stall (0 when off). */
     Tick aesStall();
+    /** Integrity-tree interior nodes covering @p pa's counter, bottom-
+     *  up. Empty unless a tree fault campaign is live (the common case
+     *  stays allocation-free). */
+    std::vector<Addr> treeNodesFor(Addr pa) const;
     /** Run the modeled MAC check on a decrypted fill; on failure enter
      *  the recovery protocol, else complete normally at @p fill. */
     void finishWithVerify(unsigned core, Addr pa, Tick fill, FinishCb cb);

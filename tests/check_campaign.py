@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Validate an emcc-campaign-v1 journal against its chaos schedule.
+
+Usage:
+  check_campaign.py JOURNAL TOTAL [--retries N] [--fail-period N]
+      [--fail-attempts N] [--hard-fail-period N] [--wedge-period N]
+      [--wedge-attempts N] [--allow-dropped N]
+
+Checks:
+  * line 1 is a sealed emcc-campaign-v1 header;
+  * every line's crc is FNV-1a over the record minus the crc member;
+  * after last-record-per-run dedup, run ids 0..TOTAL-1 are all
+    terminal exactly once;
+  * each run's outcome/attempts/timeouts equal the values the chaos
+    schedule dictates (the engine's retry machinery is deterministic);
+  * ok runs carry a stats object, non-ok runs don't.
+
+Exit 0 when the journal matches, 1 with a diagnostic otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+FNV_OFFSET = 0xcbf29ce484222325
+FNV_PRIME = 0x100000001b3
+MASK = (1 << 64) - 1
+
+
+def fnv1a(data: bytes) -> int:
+    h = FNV_OFFSET
+    for b in data:
+        h = ((h ^ b) * FNV_PRIME) & MASK
+    return h
+
+
+def unseal(line: str):
+    """Return the record body without the crc member, or None."""
+    marker = ',"crc":"'
+    pos = line.rfind(marker)
+    if pos < 0:
+        return None
+    hex_start = pos + len(marker)
+    if len(line) != hex_start + 18 or not line.endswith('"}'):
+        return None
+    body = line[:pos] + "}"
+    want = line[hex_start:hex_start + 16]
+    if format(fnv1a(body.encode()), "016x") != want:
+        return None
+    return body
+
+
+def expected_outcome(pos, args):
+    """Mirror CampaignEngine::execAttempt for 1-based run position."""
+    max_attempts = args.retries + 1
+    if args.hard_fail_period and pos % args.hard_fail_period == 0:
+        return ("failed", max_attempts, 0)
+    fail_n = (args.fail_attempts
+              if args.fail_period and pos % args.fail_period == 0 else 0)
+    wedge_n = (args.wedge_attempts
+               if args.wedge_period and pos % args.wedge_period == 0
+               else 0)
+    timeouts = 0
+    for attempt in range(1, max_attempts + 1):
+        if attempt <= fail_n:
+            last = "failed"
+        elif attempt <= wedge_n:
+            last = "timeout"
+            timeouts += 1
+        else:
+            return ("ok", attempt, timeouts)
+    return (last, max_attempts, timeouts)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("journal")
+    ap.add_argument("total", type=int)
+    ap.add_argument("--retries", type=int, default=2)
+    ap.add_argument("--fail-period", type=int, default=0)
+    ap.add_argument("--fail-attempts", type=int, default=1)
+    ap.add_argument("--hard-fail-period", type=int, default=0)
+    ap.add_argument("--wedge-period", type=int, default=0)
+    ap.add_argument("--wedge-attempts", type=int, default=1)
+    ap.add_argument("--allow-dropped", type=int, default=0,
+                    help="max torn/corrupt lines tolerated (SIGKILL "
+                         "leaves at most one per crash)")
+    args = ap.parse_args()
+
+    with open(args.journal, encoding="utf-8") as f:
+        lines = [ln.rstrip("\n") for ln in f if ln.strip()]
+    if not lines:
+        sys.exit("check_campaign: empty journal")
+
+    header = unseal(lines[0])
+    if header is None:
+        sys.exit("check_campaign: bad header checksum")
+    head = json.loads(header)
+    if head.get("journal") != "emcc-campaign-v1":
+        sys.exit(f"check_campaign: bad schema {head.get('journal')!r}")
+
+    dropped = 0
+    by_run = {}
+    for ln in lines[1:]:
+        body = unseal(ln)
+        if body is None:
+            dropped += 1
+            continue
+        rec = json.loads(body)
+        by_run[rec["run"]] = rec
+    if dropped > args.allow_dropped:
+        sys.exit(f"check_campaign: {dropped} dropped lines "
+                 f"(allowed {args.allow_dropped})")
+
+    missing = [i for i in range(args.total) if i not in by_run]
+    if missing:
+        sys.exit(f"check_campaign: missing terminal runs {missing[:10]}"
+                 f" ({len(missing)} total)")
+    extra = [i for i in by_run if not 0 <= i < args.total]
+    if extra:
+        sys.exit(f"check_campaign: unexpected run ids {extra[:10]}")
+
+    counts = {"ok": 0, "failed": 0, "timeout": 0, "retried": 0}
+    for run_id in range(args.total):
+        rec = by_run[run_id]
+        outcome, attempts, timeouts = expected_outcome(run_id + 1, args)
+        got = (rec["outcome"], rec["attempts"], rec["timeouts"])
+        if got != (outcome, attempts, timeouts):
+            sys.exit(f"check_campaign: run {run_id} "
+                     f"({rec.get('name')}): got outcome/attempts/"
+                     f"timeouts {got}, expected "
+                     f"{(outcome, attempts, timeouts)}")
+        has_stats = "stats" in rec
+        if has_stats != (outcome == "ok"):
+            sys.exit(f"check_campaign: run {run_id}: stats presence "
+                     f"{has_stats} inconsistent with outcome {outcome}")
+        if has_stats and rec["stats"].get("schema") != "emcc-stats-v1":
+            sys.exit(f"check_campaign: run {run_id}: bad stats schema")
+        counts[outcome] += 1
+        if rec["attempts"] > 1:
+            counts["retried"] += 1
+
+    print(f"check_campaign: OK — {args.total} runs "
+          f"(ok={counts['ok']} failed={counts['failed']} "
+          f"timeout={counts['timeout']} retried={counts['retried']} "
+          f"dropped={dropped})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Gate the campaign-engine throughput results.
+
+Usage: check_campaign_bench.py BENCH_campaign.json
+
+The speedup column is serial-host-seconds over parallel-host-seconds,
+measured in one process on one machine, so the gate is host-relative:
+
+  * with >= 8 worker threads the speedup must reach the 6x acceptance
+    floor (0.75x per thread on the reference 8-thread host);
+  * with 2..7 threads it must reach 0.7x per thread;
+  * a 1-thread host has nothing to parallelize — the row only proves
+    the engine completed the campaign cleanly.
+
+Exit status: 0 clean, 1 regression/malformed input, 2 usage error.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_campaign_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+
+    with open(sys.argv[1], encoding="utf-8") as f:
+        bench = json.load(f)
+    if bench.get("bench") != "BENCH_campaign":
+        fail(f"unexpected bench tag {bench.get('bench')!r}")
+    cols = bench.get("columns", [])
+    for need in ("jobs", "runs_per_s", "speedup"):
+        if need not in cols:
+            fail(f"missing column {need!r} in {cols}")
+    rows = bench.get("rows", [])
+    if not rows:
+        fail("no rows")
+
+    ji, ri, si = cols.index("jobs"), cols.index("runs_per_s"), \
+        cols.index("speedup")
+    best = max(rows, key=lambda r: int(r[ji]))
+    jobs, rate, speedup = int(best[ji]), float(best[ri]), float(best[si])
+    if rate <= 0.0:
+        fail(f"non-positive throughput {rate} at jobs={jobs}")
+
+    if jobs >= 8:
+        floor = 6.0
+    elif jobs >= 2:
+        floor = 0.7 * jobs
+    else:
+        floor = 0.0
+    if speedup < floor:
+        fail(f"speedup {speedup:.2f} at jobs={jobs} below floor "
+             f"{floor:.2f}")
+    print(f"check_campaign_bench: OK — jobs={jobs} "
+          f"runs_per_s={rate:.2f} speedup={speedup:.2f} "
+          f"(floor {floor:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -46,8 +46,13 @@ def check_names(section, mapping):
 def check_schema(doc):
     if not isinstance(doc, dict):
         fail("top level is not an object")
-    if set(doc.keys()) != TOP_KEYS:
+    # "partial" is optional: emitted (as true) only when a run was
+    # interrupted by SIGINT/SIGTERM and flushed mid-flight.
+    keys = set(doc.keys()) - {"partial"}
+    if keys != TOP_KEYS:
         fail(f"top-level keys {sorted(doc.keys())} != {sorted(TOP_KEYS)}")
+    if "partial" in doc and doc["partial"] is not True:
+        fail(f"partial = {doc['partial']!r} (must be true when present)")
     if doc["schema"] != "emcc-stats-v1":
         fail(f"unexpected schema tag {doc['schema']!r}")
     for section in ("counters", "gauges", "formulas", "histograms"):

@@ -26,6 +26,8 @@
 #   overlap_scheme     EMCC hides strictly more crypto latency than
 #                      the MC-crypto baseline on the same seeded run
 #                      (lat.l2miss.overlap_frac; the paper's headline)
+#   sigint_partial     SIGINT mid-run flushes partial stats tagged
+#                      "partial": true and exits 5
 set -u
 
 SIM="${1:?usage: cli_smoke.sh <emcc_sim> <case>}"
@@ -190,6 +192,30 @@ assert e["histograms"]["lat.l2miss.total"]["count"] > 0, "no misses"
 assert ef > bf, f"emcc overlap_frac {ef} !> baseline {bf}"
 print(f"overlap_frac: emcc {ef:.4f} > baseline {bf:.4f}")
 EOF
+    ;;
+  sigint_partial)
+    # A long run that cannot finish before the signal: interrupt it,
+    # expect the dedicated exit code and a partial-tagged stats dump.
+    "$SIM" --workload BFS --warmup 5000 --measure 50000000 \
+        --trace-len 40000 --stats-json stats.json \
+        > /dev/null 2> stderr.txt &
+    SIM_PID=$!
+    sleep 1
+    kill -INT "$SIM_PID"
+    wait "$SIM_PID"
+    GOT=$?
+    if [ "$GOT" != 5 ]; then
+        echo "FAIL: exit $GOT after SIGINT, wanted 5" >&2
+        cat stderr.txt >&2
+        exit 1
+    fi
+    grep -q '"partial": *true' stats.json || {
+        echo "FAIL: stats.json missing \"partial\": true" >&2; exit 1; }
+    grep -q "interrupted" stderr.txt || {
+        echo "FAIL: no interruption diagnostic on stderr" >&2; exit 1; }
+    if command -v python3 > /dev/null; then
+        python3 "$SCRIPT_DIR/check_stats.py" stats.json || exit 1
+    fi
     ;;
   *)
     echo "unknown case: $CASE" >&2

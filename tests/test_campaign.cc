@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Campaign engine tests: the strict JSON parser, spec
+ * parsing/expansion/digesting, journal sealing + torn-line rejection,
+ * the deadline/retry/backoff state machine, and small in-process
+ * campaigns through the real worker pool (chaos failure injection,
+ * wedge timeouts, journal resume).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "campaign/engine.hh"
+#include "campaign/json.hh"
+#include "campaign/journal.hh"
+#include "campaign/retry.hh"
+#include "campaign/spec.hh"
+#include "common/error.hh"
+
+namespace emcc {
+namespace campaign {
+namespace {
+
+std::string
+tmpPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/emcc_campaign_" + tag +
+           "_" + std::to_string(::getpid());
+}
+
+// ------------------------------------------------------------------ JSON
+
+TEST(CampaignJson, ParsesScalarsArraysObjects)
+{
+    const JsonValue v = JsonValue::parse(
+        R"({"a":1,"b":-2.5,"c":"x\ny","d":[true,false,null],"e":{"f":18446744073709551615}})");
+    EXPECT_EQ(v.find("a")->asUint("a"), 1u);
+    EXPECT_DOUBLE_EQ(v.find("b")->asReal("b"), -2.5);
+    EXPECT_EQ(v.find("c")->asString("c"), "x\ny");
+    const auto &arr = v.find("d")->asArray("d");
+    ASSERT_EQ(arr.size(), 3u);
+    EXPECT_TRUE(arr[0].asBool("d[0]"));
+    EXPECT_FALSE(arr[1].asBool("d[1]"));
+    // Large seeds round-trip exactly (no double mangling).
+    EXPECT_EQ(v.find("e")->find("f")->asUint("f"),
+              18446744073709551615ull);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(CampaignJson, RejectsMalformedDocuments)
+{
+    EXPECT_THROW(JsonValue::parse(""), ConfigError);
+    EXPECT_THROW(JsonValue::parse("{"), ConfigError);
+    EXPECT_THROW(JsonValue::parse("{} trailing"), ConfigError);
+    EXPECT_THROW(JsonValue::parse(R"({"a":1,"a":2})"), ConfigError);
+    EXPECT_THROW(JsonValue::parse(R"({"a":"\q"})"), ConfigError);
+    EXPECT_THROW(JsonValue::parse("{'a':1}"), ConfigError);
+    // Type mismatches name the offending field.
+    const JsonValue v = JsonValue::parse(R"({"n":"text"})");
+    try {
+        v.find("n")->asUint("grid.cores");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("grid.cores"),
+                  std::string::npos);
+    }
+}
+
+// ------------------------------------------------------------------ spec
+
+TEST(CampaignSpec, ParsesGridDefaultsAndDigestIsCanonical)
+{
+    const char *doc = R"({
+        "schema": "emcc-campaign-spec-v1",
+        "name": "t",
+        "grid": {"workload": ["BFS"], "seed": [1, 2]}
+    })";
+    const CampaignSpec spec = CampaignSpec::parse(doc);
+    EXPECT_TRUE(spec.has_grid);
+    EXPECT_EQ(spec.grid.seed.size(), 2u);
+    EXPECT_EQ(spec.grid.scheme, std::vector<std::string>{"emcc"});
+    EXPECT_DOUBLE_EQ(spec.deadline_s, 300.0);
+
+    // The digest hashes the normalized rendering: whitespace and key
+    // order in the source never matter.
+    const char *reordered = R"({
+        "grid": {"seed": [1,2], "workload": ["BFS"]},
+        "name": "t", "schema": "emcc-campaign-spec-v1"
+    })";
+    EXPECT_EQ(spec.digest(), CampaignSpec::parse(reordered).digest());
+    // Any semantic change moves the digest.
+    CampaignSpec other = spec;
+    other.grid.seed.push_back(3);
+    EXPECT_NE(spec.digest(), other.digest());
+}
+
+TEST(CampaignSpec, RejectsUnknownKeysAndBadValues)
+{
+    EXPECT_THROW(
+        CampaignSpec::parse(
+            R"({"schema":"emcc-campaign-spec-v1","typo_key":1})"),
+        ConfigError);
+    EXPECT_THROW(
+        CampaignSpec::parse(
+            R"({"schema":"emcc-campaign-spec-v1","grid":{"cheme":["emcc"]}})"),
+        ConfigError);
+    EXPECT_THROW(
+        CampaignSpec::parse(
+            R"({"schema":"emcc-campaign-spec-v1","deadline_s":0})"),
+        ConfigError);
+    EXPECT_THROW(CampaignSpec::parse(R"({"schema":"who-knows-v7"})"),
+                 ConfigError);
+    // Fault specs are validated at parse time, not first dispatch.
+    EXPECT_THROW(
+        CampaignSpec::parse(
+            R"({"schema":"emcc-campaign-spec-v1","grid":{"faults":"gremlin:count=1"}})"),
+        ConfigError);
+}
+
+TEST(CampaignSpec, ExpandOrderNamesAndChaosSchedule)
+{
+    CampaignSpec spec;
+    spec.has_grid = true;
+    spec.grid.workload = {"BFS"};
+    spec.grid.scheme = {"emcc", "baseline"};
+    spec.grid.seed = {1, 2};
+    spec.chaos.fail_period = 2;
+    spec.chaos.fail_attempts = 3;
+    spec.chaos.hard_fail_period = 3;
+    CommandSpec cmd;
+    cmd.name = "lint";
+    cmd.argv = {"true"};
+    spec.commands.push_back(cmd);
+
+    const auto runs = spec.expand();
+    ASSERT_EQ(runs.size(), 5u);
+    EXPECT_EQ(runs[0].name, "BFS/emcc/morphable/s1");
+    EXPECT_EQ(runs[1].name, "BFS/emcc/morphable/s2");
+    EXPECT_EQ(runs[2].name, "BFS/baseline/morphable/s1");
+    EXPECT_EQ(runs[3].name, "BFS/baseline/morphable/s2");
+    EXPECT_EQ(runs[4].name, "cmd/lint");
+    EXPECT_EQ(runs[4].kind, RunDesc::Kind::Command);
+    for (std::size_t i = 0; i < runs.size(); ++i)
+        EXPECT_EQ(runs[i].index, i);
+    // 1-based chaos positions: period 2 -> runs 1,3; period 3 -> run 2.
+    EXPECT_EQ(runs[0].chaos_fail_attempts, 0u);
+    EXPECT_EQ(runs[1].chaos_fail_attempts, 3u);
+    EXPECT_EQ(runs[3].chaos_fail_attempts, 3u);
+    EXPECT_FALSE(runs[1].chaos_hard_fail);
+    EXPECT_TRUE(runs[2].chaos_hard_fail);
+
+    // The workload seed rides the grid seed (mirrors emcc_sim --seed).
+    EXPECT_EQ(runs[1].cfg.seed, 2u);
+    EXPECT_EQ(runs[1].scale.workload.seed, 2u);
+}
+
+TEST(CampaignSpec, ExpandRejectsDuplicateRunNames)
+{
+    CampaignSpec spec;
+    spec.has_grid = true;
+    spec.grid.seed = {1, 1};
+    EXPECT_THROW(spec.expand(), ConfigError);
+}
+
+// --------------------------------------------------------------- journal
+
+TEST(CampaignJournal, SealUnsealRoundTrip)
+{
+    const std::string body = R"({"run":7,"name":"x","outcome":"ok"})";
+    const std::string line = sealLine(body);
+    EXPECT_NE(line.find("\"crc\":\""), std::string::npos);
+    std::string recovered;
+    ASSERT_TRUE(unsealLine(line, recovered));
+    EXPECT_EQ(recovered, body);
+}
+
+TEST(CampaignJournal, RejectsTamperedAndTruncatedLines)
+{
+    const std::string line =
+        sealLine(R"({"run":7,"name":"x","outcome":"ok"})");
+    std::string body;
+    // Flip a content byte: checksum mismatch.
+    std::string tampered = line;
+    tampered[2] = 'R';
+    EXPECT_FALSE(unsealLine(tampered, body));
+    // Truncate mid-record: the SIGKILL torn-tail shape.
+    EXPECT_FALSE(unsealLine(line.substr(0, line.size() / 2), body));
+    EXPECT_FALSE(unsealLine("", body));
+    EXPECT_FALSE(unsealLine("{\"run\":1}", body));
+}
+
+TEST(CampaignJournal, LoadKeepsValidPrefixAndDropsTornTail)
+{
+    const std::string path = tmpPath("torn");
+    std::remove(path.c_str());
+    {
+        Journal j;
+        j.open(path, "t", 0xabcd, /*fsync_each=*/false);
+        JournalRecord rec;
+        rec.run = 0;
+        rec.name = "a";
+        rec.outcome = Outcome::Ok;
+        rec.stats_json = "{\"schema\":\"emcc-stats-v1\"}";
+        j.append(rec);
+        rec.run = 1;
+        rec.name = "b";
+        rec.outcome = Outcome::Failed;
+        rec.error = "boom";
+        rec.stats_json.clear();
+        j.append(rec);
+    }
+    // Simulate a SIGKILL mid-append: a torn half record at the tail.
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "{\"run\":2,\"name\":\"c\",\"outco";
+    }
+    const Journal::LoadResult lr = Journal::load(path);
+    EXPECT_TRUE(lr.header_ok);
+    EXPECT_EQ(lr.spec_digest, 0xabcdu);
+    ASSERT_EQ(lr.records.size(), 2u);
+    EXPECT_EQ(lr.records[0].name, "a");
+    // The stats object survives byte-identically.
+    EXPECT_EQ(lr.records[0].stats_json,
+              "{\"schema\":\"emcc-stats-v1\"}");
+    EXPECT_EQ(lr.records[1].error, "boom");
+    EXPECT_EQ(lr.dropped_lines, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, OpenRefusesSpecDigestMismatch)
+{
+    const std::string path = tmpPath("mismatch");
+    std::remove(path.c_str());
+    {
+        Journal j;
+        j.open(path, "t", 0x1111, /*fsync_each=*/false);
+    }
+    Journal j2;
+    EXPECT_THROW(j2.open(path, "t", 0x2222, false), ConfigError);
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, AggregateKeepsLastRecordPerRunSorted)
+{
+    JournalRecord a;
+    a.run = 2;
+    a.name = "two";
+    a.outcome = Outcome::Failed;
+    a.host_ms = 3.25;
+    JournalRecord b;
+    b.run = 0;
+    b.name = "zero";
+    b.outcome = Outcome::Ok;
+    JournalRecord a2 = a;
+    a2.outcome = Outcome::Ok;
+    const std::string agg = Journal::aggregate({a, b, a2});
+    // Sorted by run id, later duplicate wins, host_ms stripped.
+    const std::size_t p0 = agg.find("\"run\":0");
+    const std::size_t p2 = agg.find("\"run\":2");
+    ASSERT_NE(p0, std::string::npos);
+    ASSERT_NE(p2, std::string::npos);
+    EXPECT_LT(p0, p2);
+    EXPECT_EQ(agg.find("failed"), std::string::npos);
+    EXPECT_EQ(agg.find("host_ms"), std::string::npos);
+}
+
+// ---------------------------------------------------------- retry policy
+
+TEST(RetryPolicy, BackoffDoublesAndCaps)
+{
+    const RetryPolicy p(/*max_retries=*/10, /*backoff_ms=*/100.0,
+                        /*deadline_s=*/5.0);
+    EXPECT_EQ(p.maxAttempts(), 11u);
+    EXPECT_DOUBLE_EQ(p.backoffMs(1), 100.0);
+    EXPECT_DOUBLE_EQ(p.backoffMs(2), 200.0);
+    EXPECT_DOUBLE_EQ(p.backoffMs(3), 400.0);
+    // Exponential growth caps at 30 s, however many attempts.
+    EXPECT_DOUBLE_EQ(p.backoffMs(20), 30'000.0);
+}
+
+TEST(RetryPolicy, SharedBudgetDistinctOutcomes)
+{
+    const RetryPolicy p(2, 50.0, 5.0);
+    // Attempts 1 and 2 may retry; attempt 3 is terminal.
+    EXPECT_TRUE(p.onFailure(1).retry);
+    EXPECT_DOUBLE_EQ(p.onFailure(1).delay_ms, 50.0);
+    EXPECT_TRUE(p.onTimeout(2).retry);
+    EXPECT_DOUBLE_EQ(p.onTimeout(2).delay_ms, 100.0);
+    EXPECT_FALSE(p.onFailure(3).retry);
+    EXPECT_EQ(p.onFailure(3).outcome, Outcome::Failed);
+    EXPECT_FALSE(p.onTimeout(3).retry);
+    EXPECT_EQ(p.onTimeout(3).outcome, Outcome::Timeout);
+}
+
+TEST(RetryPolicy, DrainingForbidsRetries)
+{
+    const RetryPolicy p(5, 50.0, 5.0);
+    EXPECT_FALSE(p.onFailure(1, /*draining=*/true).retry);
+    EXPECT_FALSE(p.onTimeout(1, /*draining=*/true).retry);
+    EXPECT_EQ(p.onTimeout(1, true).outcome, Outcome::Timeout);
+}
+
+// ----------------------------------------------------------- engine runs
+
+CampaignSpec
+tinySpec()
+{
+    CampaignSpec spec;
+    spec.name = "unit";
+    spec.has_grid = true;
+    spec.grid.workload = {"BFS"};
+    spec.grid.seed = {1, 2};
+    spec.grid.cores = 2;
+    spec.grid.warmup = 500;
+    spec.grid.measure = 1'000;
+    spec.grid.trace_len = 4'000;
+    spec.grid.graph_vertices = 1 << 10;
+    spec.deadline_s = 120.0;
+    spec.retries = 2;
+    spec.backoff_ms = 1.0;
+    return spec;
+}
+
+EngineOptions
+quietOpts()
+{
+    EngineOptions o;
+    o.jobs = 2;
+    o.quiet = true;
+    o.fsync_journal = false;
+    return o;
+}
+
+TEST(CampaignEngine, RunsGridToCompletion)
+{
+    CampaignEngine eng(tinySpec(), quietOpts());
+    const CampaignSummary sum = eng.run();
+    EXPECT_TRUE(sum.complete());
+    EXPECT_EQ(sum.total, 2u);
+    EXPECT_EQ(sum.ok, 2u);
+    EXPECT_EQ(sum.failed + sum.timeout + sum.retried, 0u);
+    EXPECT_EQ(sum.attempts, 2u);
+    ASSERT_EQ(eng.terminalRecords().size(), 2u);
+    // Ok sim runs carry their full deterministic stats object.
+    for (const JournalRecord &r : eng.terminalRecords()) {
+        EXPECT_NE(r.stats_json.find("\"schema\":\"emcc-stats-v1\""),
+                  std::string::npos);
+    }
+}
+
+TEST(CampaignEngine, ChaosFailuresRetryThenSucceed)
+{
+    CampaignSpec spec = tinySpec();
+    spec.chaos.fail_period = 1;    // every run fails its first attempt
+    spec.chaos.fail_attempts = 1;
+    CampaignEngine eng(spec, quietOpts());
+    const CampaignSummary sum = eng.run();
+    EXPECT_TRUE(sum.complete());
+    EXPECT_EQ(sum.ok, 2u);
+    EXPECT_EQ(sum.retried, 2u);
+    EXPECT_EQ(sum.attempts, 4u);
+    for (const JournalRecord &r : eng.terminalRecords())
+        EXPECT_EQ(r.attempts, 2u);
+}
+
+TEST(CampaignEngine, HardFailuresExhaustBudgetAndIsolate)
+{
+    CampaignSpec spec = tinySpec();
+    spec.chaos.hard_fail_period = 2;   // run index 1 always throws
+    spec.retries = 1;
+    CampaignEngine eng(spec, quietOpts());
+    const CampaignSummary sum = eng.run();
+    // One run fails terminally; the other still completes ok.
+    EXPECT_TRUE(sum.complete());
+    EXPECT_EQ(sum.ok, 1u);
+    EXPECT_EQ(sum.failed, 1u);
+    EXPECT_EQ(sum.retried, 1u);
+    const JournalRecord &bad = eng.terminalRecords()[1];
+    EXPECT_EQ(bad.outcome, Outcome::Failed);
+    EXPECT_EQ(bad.attempts, 2u);
+    EXPECT_NE(bad.error.find("chaos"), std::string::npos);
+    EXPECT_TRUE(bad.stats_json.empty());
+}
+
+TEST(CampaignEngine, WedgedRunsTimeOutAtDeadline)
+{
+    CampaignSpec spec = tinySpec();
+    spec.grid.seed = {1};
+    spec.chaos.wedge_period = 1;
+    spec.chaos.wedge_attempts = 1;
+    spec.deadline_s = 0.2;
+    spec.retries = 1;
+    CampaignEngine eng(spec, quietOpts());
+    const CampaignSummary sum = eng.run();
+    EXPECT_TRUE(sum.complete());
+    // Attempt 1 wedges until the watchdog cancels it; attempt 2 runs
+    // clean: the run retries out of the timeout.
+    EXPECT_EQ(sum.ok, 1u);
+    EXPECT_EQ(sum.timeout, 0u);
+    EXPECT_EQ(sum.retried, 1u);
+    EXPECT_EQ(sum.timeout_attempts, 1u);
+    const JournalRecord &rec = eng.terminalRecords()[0];
+    EXPECT_EQ(rec.attempts, 2u);
+    EXPECT_EQ(rec.timeouts, 1u);
+}
+
+TEST(CampaignEngine, JournalResumeSkipsTerminalRuns)
+{
+    const std::string path = tmpPath("resume");
+    std::remove(path.c_str());
+    const CampaignSpec spec = tinySpec();
+
+    EngineOptions opts = quietOpts();
+    opts.journal_path = path;
+    CampaignEngine first(spec, opts);
+    const CampaignSummary s1 = first.run();
+    EXPECT_TRUE(s1.complete());
+    EXPECT_EQ(s1.executed, 2u);
+    const std::string agg1 = Journal::aggregate(first.terminalRecords());
+
+    // Relaunch over the same journal: everything is satisfied from the
+    // log, nothing re-executes, and the aggregate is byte-identical.
+    CampaignEngine second(spec, opts);
+    const CampaignSummary s2 = second.run();
+    EXPECT_TRUE(s2.complete());
+    EXPECT_EQ(s2.skipped, 2u);
+    EXPECT_EQ(s2.executed, 0u);
+    EXPECT_EQ(s2.attempts, 0u);
+    EXPECT_EQ(s2.ok, 2u);
+    EXPECT_EQ(Journal::aggregate(second.terminalRecords()), agg1);
+
+    // A different spec must refuse the journal outright.
+    CampaignSpec other = spec;
+    other.grid.seed = {1, 2, 3};
+    CampaignEngine third(other, opts);
+    EXPECT_THROW(third.run(), ConfigError);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace campaign
+} // namespace emcc

@@ -135,6 +135,49 @@ TEST(FaultInjector, UnverifiedBlocksPassVerify)
     EXPECT_FALSE(inj.checkVerify(Addr{0x5000}, Addr{0x9000}, Tick{200}).has_value());
 }
 
+// ---------------------------------------------------------- tree faults
+
+TEST(FaultSpec, ParsesTreeKindAndRoundTrips)
+{
+    const auto spec = FaultSpec::parse("tree:count=2:period=100");
+    ASSERT_EQ(spec.campaigns.size(), 1u);
+    EXPECT_EQ(spec.campaigns[0].kind, FaultKind::TreeFlip);
+    EXPECT_EQ(spec.campaigns[0].count, 2u);
+    EXPECT_TRUE(faultIsIntegrity(FaultKind::TreeFlip));
+    EXPECT_FALSE(faultIsTransient(FaultKind::TreeFlip));
+    const auto again = FaultSpec::parse(spec.render());
+    ASSERT_EQ(again.campaigns.size(), 1u);
+    EXPECT_EQ(again.campaigns[0].kind, FaultKind::TreeFlip);
+    // Soft mode models cold corruption awaiting a natural re-access;
+    // interior nodes are re-verified on every covered access, so a
+    // soft tree campaign is rejected.
+    EXPECT_THROW(FaultSpec::parse("tree:soft=1"), ConfigError);
+}
+
+TEST(FaultInjector, TreeTaintSurvivesRefetchAndHealsOnCounterWrite)
+{
+    FaultInjector inj(FaultSpec::parse("tree:count=1:period=1"), 1);
+    EXPECT_TRUE(inj.hasTreeCampaign());
+    const Addr blk{0x3000}, ctr{0xb000}, node{0x70000};
+    inj.onTreeNodeFetched(node, Tick{100});
+    ASSERT_EQ(inj.report().injectedAll(), 1u);
+    // The data/counter pair alone verifies clean; the walk fails only
+    // once the tainted interior node joins the verification set.
+    EXPECT_FALSE(inj.checkVerify(blk, ctr, Tick{200}).has_value());
+    auto det = inj.checkVerify(blk, ctr, Tick{300}, {node});
+    ASSERT_TRUE(det.has_value());
+    EXPECT_EQ(det->kind, FaultKind::TreeFlip);
+    EXPECT_EQ(det->addr, node);
+    // Node corruption is DRAM-resident: a cache-bypassing refetch of
+    // the whole covering set does not clear it ...
+    inj.recoveryRefetch(blk, ctr, Tick{400}, {node});
+    EXPECT_TRUE(inj.checkVerify(blk, ctr, Tick{500}, {node}).has_value());
+    // ... only a counter-class DRAM write of the node heals it.
+    inj.onDramWrite(node, /*counter_class=*/true, Tick{600});
+    EXPECT_FALSE(
+        inj.checkVerify(blk, ctr, Tick{700}, {node}).has_value());
+}
+
 // ---------------------------------------------------------- soft mode
 
 TEST(FaultSpec, ParsesSoftKeyForPersistentIntegrityKinds)
@@ -289,6 +332,23 @@ TEST(FaultResilience, PersistentFaultsEscalateToFatal)
     EXPECT_EQ(r.faults.detectedAll(), r.faults.injectedAll());
     // DRAM-resident corruption survives cache-bypassing re-fetches:
     // the bounded retry budget must escalate (fail-stop, not silent).
+    EXPECT_GT(r.faults.fatalAll(), 0u);
+    EXPECT_GT(r.sys.integrity_fatal, 0u);
+}
+
+TEST(FaultResilience, TreeCampaignDetectsThroughMultiLevelReverify)
+{
+    // One taint: two tainted ancestors of the same hot region would
+    // shadow each other (checkVerify reports the earliest injection).
+    const auto r = runWithFaults(Scheme::Emcc, "tree:count=1:period=20");
+    EXPECT_EQ(r.faults.injectedAll(), 1u);
+    // A tainted interior node fails the very walk that fetched it: the
+    // verification set spans every covering level.
+    EXPECT_EQ(r.faults.detectedAll(), r.faults.injectedAll());
+    EXPECT_GT(r.sys.integrity_detected, 0u);
+    // Recovery re-fetches + re-verifies the whole covering node set,
+    // and the DRAM-resident flip survives the bounded retry budget.
+    EXPECT_GT(r.sys.integrity_retried, 0u);
     EXPECT_GT(r.faults.fatalAll(), 0u);
     EXPECT_GT(r.sys.integrity_fatal, 0u);
 }

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * emcc_campaign — resilient parallel campaign driver.
+ *
+ * Expands an emcc-campaign-spec-v1 JSON file into a run grid, shards it
+ * across a worker pool, and streams one checksummed record per
+ * completed run to an append-only journal that doubles as the resume
+ * log: relaunching with the same spec and journal skips everything
+ * already terminal and continues where the previous process died.
+ *
+ * Usage examples:
+ *   emcc_campaign --spec sweep.json --jobs 8 --journal sweep.jsonl
+ *   emcc_campaign --spec sweep.json --journal sweep.jsonl \
+ *                 --aggregate sweep.agg.jsonl        # resume + report
+ *   emcc_campaign --spec sweep.json --dry-run        # print the plan
+ *
+ * Signals: the first SIGINT/SIGTERM drains (no new dispatch, in-flight
+ * runs finish and are journaled); a second one cancels in-flight runs
+ * without journaling them, so a resume re-executes them.
+ *
+ * Exit codes: 0 all runs ok, 1 failures/timeouts among terminal runs,
+ * 2 bad command line / spec / journal mismatch, 5 interrupted
+ * (drained or cancelled before every run reached a terminal outcome).
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "campaign/engine.hh"
+#include "campaign/journal.hh"
+#include "campaign/spec.hh"
+#include "common/error.hh"
+
+namespace {
+
+using namespace emcc;
+using namespace emcc::campaign;
+
+/** First signal: drain. Second: cancel in-flight work too. */
+std::atomic<bool> g_drain{false};
+std::atomic<bool> g_cancel{false};
+
+extern "C" void
+onStopSignal(int)
+{
+    if (g_drain.load())
+        g_cancel.store(true);
+    g_drain.store(true);
+}
+
+void
+usage()
+{
+    std::puts(
+        "emcc_campaign — fault-tolerant parallel simulation campaigns\n"
+        "\n"
+        "  --spec FILE        emcc-campaign-spec-v1 JSON job spec\n"
+        "                     (required)\n"
+        "  --jobs N           worker threads (default 1; 0 = all host\n"
+        "                     hardware threads)\n"
+        "  --journal FILE     append-only emcc-campaign-v1 JSONL result\n"
+        "                     stream + resume log\n"
+        "  --aggregate FILE   write the canonical aggregate (last record\n"
+        "                     per run, sorted, host timings stripped)\n"
+        "  --deadline-s X     override the spec's per-run wall-clock\n"
+        "                     deadline\n"
+        "  --retries N        override the spec's retry budget\n"
+        "  --backoff-ms X     override the spec's base retry backoff\n"
+        "  --no-resume        ignore (and overwrite) an existing journal\n"
+        "  --no-fsync         skip the per-record fsync (tests only)\n"
+        "  --best-effort      exit 0 even if some runs failed/timed out\n"
+        "  --dry-run          print the expanded run plan and exit\n"
+        "  --quiet            suppress per-run progress lines\n"
+        "\n"
+        "SIGINT/SIGTERM once: drain (in-flight runs finish, journaled).\n"
+        "Twice: cancel in-flight runs unjournaled (re-run on resume).\n"
+        "\n"
+        "Exit codes: 0 ok, 1 failed/timeout runs, 2 config error,\n"
+        "5 interrupted before completion.\n");
+}
+
+long long
+parseInt(const std::string &opt, const char *text)
+{
+    char *end = nullptr;
+    const long long v = std::strtoll(text, &end, 0);
+    if (end == text || *end != '\0')
+        throw ConfigError("bad integer '" + std::string(text) + "' for " +
+                          opt);
+    return v;
+}
+
+double
+parseFloat(const std::string &opt, const char *text)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0')
+        throw ConfigError("bad number '" + std::string(text) + "' for " +
+                          opt);
+    return v;
+}
+
+int
+runMain(int argc, char **argv)
+{
+    std::string spec_path, aggregate_path;
+    EngineOptions opts;
+    double deadline_override = 0.0;
+    long long retries_override = -1;
+    double backoff_override = -1.0;
+    bool best_effort = false;
+    bool dry_run = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                throw ConfigError("missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--spec") {
+            spec_path = next();
+        } else if (arg == "--jobs" || arg == "-j") {
+            opts.jobs = static_cast<unsigned>(parseInt(arg, next()));
+        } else if (arg == "--journal") {
+            opts.journal_path = next();
+        } else if (arg == "--aggregate") {
+            aggregate_path = next();
+        } else if (arg == "--deadline-s") {
+            deadline_override = parseFloat(arg, next());
+            if (deadline_override <= 0.0)
+                throw ConfigError("--deadline-s must be > 0");
+        } else if (arg == "--retries") {
+            retries_override = parseInt(arg, next());
+            if (retries_override < 0)
+                throw ConfigError("--retries must be >= 0");
+        } else if (arg == "--backoff-ms") {
+            backoff_override = parseFloat(arg, next());
+            if (backoff_override < 0.0)
+                throw ConfigError("--backoff-ms must be >= 0");
+        } else if (arg == "--no-resume") {
+            opts.resume = false;
+        } else if (arg == "--no-fsync") {
+            opts.fsync_journal = false;
+        } else if (arg == "--best-effort") {
+            best_effort = true;
+        } else if (arg == "--dry-run") {
+            dry_run = true;
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else {
+            throw ConfigError("unknown argument '" + arg + "'");
+        }
+    }
+    if (spec_path.empty())
+        throw ConfigError("--spec is required");
+
+    CampaignSpec spec = CampaignSpec::load(spec_path);
+    if (retries_override >= 0)
+        spec.retries = static_cast<unsigned>(retries_override);
+    if (backoff_override >= 0.0)
+        spec.backoff_ms = backoff_override;
+    opts.deadline_s_override = deadline_override;
+
+    if (dry_run) {
+        std::printf("spec: %s\n", spec.canonical().c_str());
+        char digest[24];
+        std::snprintf(digest, sizeof(digest), "%016llx",
+                      static_cast<unsigned long long>(spec.digest()));
+        std::printf("digest: %s\n", digest);
+        for (const RunDesc &r : spec.expand()) {
+            std::printf("run %llu: %s%s\n",
+                        static_cast<unsigned long long>(r.index),
+                        r.name.c_str(),
+                        r.kind == RunDesc::Kind::Command
+                            ? " [command]" : "");
+        }
+        return 0;
+    }
+
+    opts.drain = &g_drain;
+    opts.cancel = &g_cancel;
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
+
+    CampaignEngine engine(std::move(spec), opts);
+    const CampaignSummary sum = engine.run();
+
+    if (!aggregate_path.empty()) {
+        const std::string agg =
+            Journal::aggregate(engine.terminalRecords());
+        std::FILE *f = std::fopen(aggregate_path.c_str(), "w");
+        if (f == nullptr)
+            throw SimError("cannot open '" + aggregate_path + "'");
+        std::fwrite(agg.data(), 1, agg.size(), f);
+        std::fclose(f);
+    }
+
+    std::fputs(sum.render().c_str(), stdout);
+
+    if (!sum.complete())
+        return 5;
+    if (!best_effort && (sum.failed > 0 || sum.timeout > 0))
+        return 1;
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runMain(argc, argv);
+    } catch (const ConfigError &e) {
+        std::fprintf(stderr, "emcc_campaign: %s\n", e.what());
+        std::fprintf(stderr, "run 'emcc_campaign --help' for usage\n");
+        return 2;
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "emcc_campaign: %s\n", e.what());
+        return 1;
+    }
+}

@@ -16,9 +16,13 @@
  *   emcc_sim --list
  *
  * Exit codes: 0 success, 1 simulation error, 2 bad command line /
- * configuration, 3 unrecovered integrity violation (--fault-strict).
+ * configuration, 3 unrecovered integrity violation (--fault-strict),
+ * 5 interrupted (SIGINT/SIGTERM) — partial results were flushed and
+ * the stats JSON carries "partial":true.
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +37,17 @@
 namespace {
 
 using namespace emcc;
+
+/** Raised by SIGINT/SIGTERM; polled by the Simulator between events so
+ *  an interrupted run still flushes partial --stats-json/--stats-series
+ *  output (marked "partial":true) before exiting with code 5. */
+std::atomic<bool> g_stop{false};
+
+extern "C" void
+onStopSignal(int)
+{
+    g_stop.store(true);
+}
 
 void
 usage()
@@ -101,7 +116,11 @@ usage()
         "                        simulated us (default 0 = off)\n"
         "  --no-leak-check       skip the post-run event/MSHR leak check\n"
         "  --leak-strict         fail (exit 4) if the post-run leak\n"
-        "                        check finds anything in flight\n");
+        "                        check finds anything in flight\n"
+        "\n"
+        "SIGINT/SIGTERM interrupt the run at the next event boundary:\n"
+        "partial stats/series output is flushed with \"partial\":true\n"
+        "and the exit code is 5.\n");
 }
 
 /** Parse a mandatory integer/float option value; throws ConfigError on
@@ -301,7 +320,7 @@ runMain(int argc, char **argv)
     opts.tracer = tracer.get();
     opts.ledger = ledger.get();
     opts.series = series.get();
-
+    opts.cancel = &g_stop;
     const auto r = runTiming(cfg, set, scale, opts);
 
     std::puts("\n=== results ===");
@@ -399,7 +418,7 @@ runMain(int argc, char **argv)
     }
 
     if (!stats_json_path.empty()) {
-        const std::string json = r.metrics.toJson();
+        const std::string json = r.metrics.toJson(r.partial);
         if (stats_json_path == "-") {
             // To stdout, for piping into jq and friends. The JSON is a
             // single line, so it coexists with the report above it.
@@ -428,6 +447,15 @@ runMain(int argc, char **argv)
         std::printf("wrote %llu trace events to %s\n",
                     static_cast<unsigned long long>(tracer->events()),
                     trace_path.c_str());
+    }
+
+    if (r.partial) {
+        // Counters reflect an arbitrary cut point, so the CSV row and
+        // the leak gate are skipped; whatever was flushed above is
+        // marked partial.
+        std::fprintf(stderr, "emcc_sim: interrupted — partial results "
+                             "flushed\n");
+        return 5;
     }
 
     if (leak_strict && !r.leaks.clean()) {
@@ -469,6 +497,14 @@ runMain(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
+    // Install the stop handlers before any setup work: a SIGINT that
+    // lands while the workload is still being built must not kill the
+    // process outright — it raises the cooperative flag, the run winds
+    // down at its first poll, and partial results are flushed. This
+    // deliberately overrides the SIG_IGN a shell gives background jobs.
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
+
     // All error paths are recoverable exceptions (never a raw abort):
     // bad input gets a message and a distinct exit code.
     try {
