@@ -1,45 +1,74 @@
 #!/usr/bin/env bash
 # Static-analysis driver: the full lint gate a PR must pass.
 #
-#   1. emcc-lint        determinism/invariant rules + linter self-test
+#   1. emcc-lint        determinism/invariant/concurrency rules + the
+#                       linter self-test; findings are mirrored into
+#                       lint-report.txt (CI uploads it as an artifact)
 #   2. -Werror build    -Wall -Wextra -Wconversion -Wshadow, all targets
-#   3. clang-tidy       the curated .clang-tidy profile (skipped with a
+#   3. thread-safety    the same -Werror build under clang++, which adds
+#                       -Wthread-safety -Wthread-safety-beta and checks
+#                       the EMCC_GUARDED_BY/EMCC_REQUIRES annotations
+#                       (skipped with a notice when clang++ isn't
+#                       installed — GCC has no equivalent analysis)
+#   4. clang-tidy       the curated .clang-tidy profile (skipped with a
 #                       notice when clang-tidy isn't installed — CI
 #                       images have it, minimal dev containers may not)
 #
-# Usage: ./run_lint.sh [--skip-build] [--skip-tidy]
+# Usage: ./run_lint.sh [--skip-build] [--skip-tidy] [--fix-hints]
+#
+#   --fix-hints   ask emcc-lint to print, under each finding, the exact
+#                 "// emcc-lint: allow(<rule>)" line that would suppress
+#                 it — for the rare finding that is a documented false
+#                 positive rather than a bug.
 set -euo pipefail
 
 cd "$(dirname "$0")"
 
 SKIP_BUILD=0
 SKIP_TIDY=0
+LINT_ARGS=()
 for arg in "$@"; do
     case "$arg" in
       --skip-build) SKIP_BUILD=1 ;;
       --skip-tidy)  SKIP_TIDY=1 ;;
+      --fix-hints)  LINT_ARGS+=(--fix-hints) ;;
       *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 FAILED=0
+REPORT="lint-report.txt"
+: > "$REPORT"
 
-echo "== [1/3] emcc-lint =="
-python3 tools/emcc_lint.py --self-test || FAILED=1
-python3 tools/emcc_lint.py || FAILED=1
+echo "== [1/4] emcc-lint =="
+python3 tools/emcc_lint.py --self-test 2>&1 | tee -a "$REPORT" || FAILED=1
+python3 tools/emcc_lint.py ${LINT_ARGS[@]+"${LINT_ARGS[@]}"} 2>&1 |
+    tee -a "$REPORT" || FAILED=1
 
 if [ "$SKIP_BUILD" -eq 0 ]; then
-    echo "== [2/3] -Werror build (-Wconversion -Wshadow) =="
+    echo "== [2/4] -Werror build (-Wconversion -Wshadow) =="
     cmake -B build-lint -S . -DEMCC_WERROR=ON \
           -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
     cmake --build build-lint -j "$JOBS" || FAILED=1
 else
-    echo "== [2/3] -Werror build skipped (--skip-build) =="
+    echo "== [2/4] -Werror build skipped (--skip-build) =="
+fi
+
+if [ "$SKIP_BUILD" -eq 0 ] && command -v clang++ > /dev/null 2>&1; then
+    echo "== [3/4] clang++ -Wthread-safety build =="
+    cmake -B build-tsa -S . -DEMCC_WERROR=ON \
+          -DCMAKE_CXX_COMPILER=clang++ > /dev/null
+    cmake --build build-tsa -j "$JOBS" 2>&1 | tee -a "$REPORT" ||
+        FAILED=1
+else
+    echo "== [3/4] thread-safety build skipped" \
+         "($([ "$SKIP_BUILD" -eq 1 ] && echo '--skip-build' ||
+             echo 'clang++ not installed')) =="
 fi
 
 if [ "$SKIP_TIDY" -eq 0 ] && command -v clang-tidy > /dev/null 2>&1; then
-    echo "== [3/3] clang-tidy =="
+    echo "== [4/4] clang-tidy =="
     # Needs the compile database from step 2.
     if [ ! -f build-lint/compile_commands.json ]; then
         cmake -B build-lint -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
@@ -54,7 +83,7 @@ if [ "$SKIP_TIDY" -eq 0 ] && command -v clang-tidy > /dev/null 2>&1; then
                 || FAILED=1
     fi
 else
-    echo "== [3/3] clang-tidy skipped" \
+    echo "== [4/4] clang-tidy skipped" \
          "($([ "$SKIP_TIDY" -eq 1 ] && echo '--skip-tidy' ||
              echo 'not installed')) =="
 fi

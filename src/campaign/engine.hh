@@ -10,8 +10,9 @@
  *    IntegrityViolation — fails that run only, never the pool.
  *  - *Deadlines*: a monitor thread scans the in-flight slots every few
  *    milliseconds; an attempt past its wall-clock budget gets its
- *    cooperative stop flag raised (subprocesses get SIGKILL), winds
- *    down at the next event boundary and is accounted a timeout.
+ *    cooperative stop flag raised, winds down at the next event
+ *    boundary (subprocesses are SIGKILLed by their owning worker) and
+ *    is accounted a timeout.
  *  - *Retries*: failed/timed-out attempts re-enter the task queue with
  *    exponential backoff, up to the spec's budget (RetryPolicy).
  *  - *Journal*: each terminal outcome is appended (fsync'd, checksummed)
@@ -23,6 +24,36 @@
  *    flag (cancel) additionally cancels in-flight runs *without*
  *    journaling them, so they re-execute on resume.
  *
+ * Concurrency model (see DESIGN.md "Concurrency model")
+ * -----------------------------------------------------
+ * Threads: the dispatcher (the thread that called run()), `jobs`
+ * workers, and one monitor. Two capabilities protect all shared
+ * mutable state, in the fixed acquisition order
+ *
+ *     mutex_  →  journal_mutex_        (never held together today;
+ *                                       the order is declared so the
+ *                                       analysis rejects an inversion)
+ *
+ *  - `mutex_` guards the scheduler state: the backoff-ordered task
+ *    queue, the pending/abandoned counters, the per-process terminal
+ *    records and the attempt counters.
+ *  - `journal_mutex_` guards the journal file handle (append order ==
+ *    file order).
+ *
+ * Everything else is either immutable after run() starts (spec_,
+ * runs_, policy_, opts_, the flights_ vector itself, the timer
+ * origin), confined to the dispatcher before workers exist / after
+ * they are joined (resumed_, journal_dropped_, terminal_), or a
+ * lock-free atomic with a documented protocol (Flight slots, done_).
+ *
+ * Flight publication protocol: a worker arms its slot by writing
+ * deadline_at *before* active=true; the monitor reads active before
+ * deadline_at, so a true `active` always observes the fresh deadline
+ * (both are seq_cst). On a deadline the monitor stores deadline_fired
+ * *before* stop, so a worker that saw stop==true can distinguish a
+ * watchdog cancellation (deadline_fired set) from a campaign cancel
+ * (stop without deadline_fired) without locks.
+ *
  * Workloads are pre-built once on the dispatcher thread and shared
  * read-only by every worker (a SecureSystem never mutates its
  * WorkloadSet).
@@ -31,9 +62,7 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
@@ -42,6 +71,8 @@
 #include "campaign/journal.hh"
 #include "campaign/retry.hh"
 #include "campaign/spec.hh"
+#include "common/sync.hh"
+#include "common/thread_annotations.hh"
 #include "obs/profile.hh"
 
 namespace emcc {
@@ -87,20 +118,49 @@ struct CampaignSummary
     }
 
     /** Multi-line human-readable table. */
-    std::string render() const;
+    [[nodiscard]] std::string render() const;
 };
 
 class CampaignEngine
 {
   public:
+    // ---- polling cadences (one definition each; the scan contract)
+    //
+    // Deadline enforcement is a two-hop handshake: the monitor notices
+    // a late flight within one kMonitorScanPeriodS, raises the slot's
+    // stop flag, and the attempt winds down at its next poll point —
+    // the event-loop boundary for sim runs, one kChildReapPeriodS for
+    // subprocesses, one kWedgePollPeriodS for the chaos wedge. A
+    // deadline is therefore enforced within roughly
+    // kMonitorScanPeriodS + the attempt's poll period; spec deadlines
+    // shorter than a few scan periods are not meaningful.
+
+    /** Monitor thread: period between scans of the in-flight slots. */
+    static constexpr double kMonitorScanPeriodS = 0.020;
+
+    /** Worker owning a subprocess: period between waitpid(WNOHANG)
+     *  reaps, which is also how often it polls the stop flag to
+     *  SIGKILL the child. */
+    static constexpr double kChildReapPeriodS = 0.002;
+
+    /** Chaos wedge: period between polls of the stop flag while
+     *  deliberately hung (the tightest poll — the wedge tests measure
+     *  deadline latency). */
+    static constexpr double kWedgePollPeriodS = 0.0002;
+
+    /** Idle worker: period between re-checks of the drain flag while
+     *  every remaining run is in flight on some other worker. */
+    static constexpr double kIdleRecheckPeriodS = 0.050;
+
     CampaignEngine(CampaignSpec spec, EngineOptions opts);
 
     /** Execute the campaign; blocks until done or drained. */
-    CampaignSummary run();
+    [[nodiscard]] CampaignSummary run();
 
     /** Union of terminal records (journal + this process), canonical
      *  aggregate form (see Journal::aggregate). Valid after run(). */
-    const std::vector<JournalRecord> &terminalRecords() const
+    [[nodiscard]] const std::vector<JournalRecord> &
+    terminalRecords() const
     {
         return terminal_;
     }
@@ -125,14 +185,18 @@ class CampaignEngine
         }
     };
 
-    /** One worker's in-flight slot, scanned by the monitor thread. */
+    /**
+     * One worker's in-flight slot, scanned by the monitor thread.
+     * Lock-free: see the Flight publication protocol in the file
+     * comment (deadline_at published before active; deadline_fired
+     * published before stop).
+     */
     struct Flight
     {
         std::atomic<bool> active{false};
         std::atomic<bool> stop{false};
         std::atomic<bool> deadline_fired{false};
         std::atomic<double> deadline_at{0.0};
-        std::atomic<long> child_pid{0};   ///< command runs (0 = none)
     };
 
     struct AttemptResult
@@ -149,8 +213,24 @@ class CampaignEngine
     double runDeadlineS(const RunDesc &run) const;
 
     void prebuildWorkloads(const std::vector<const RunDesc *> &todo);
-    void workerLoop(unsigned slot);
+    void workerLoop(unsigned slot) EMCC_EXCLUDES(mutex_, journal_mutex_);
     void monitorLoop();
+
+    /** Block until a task is dispatchable (claimed into @p out, true)
+     *  or the campaign is out of work / draining (false). */
+    bool claimTask(Task &out) EMCC_EXCLUDES(mutex_);
+
+    /** Drain: abandon everything still queued (they re-run on
+     *  resume); in-flight runs elsewhere finish or deadline out. */
+    void abandonQueued() EMCC_REQUIRES(mutex_);
+
+    /** Account a finished attempt: terminal -> journal + records,
+     *  retryable -> requeue with backoff, user cancel -> abandon. */
+    void settleAttempt(const RunDesc &run, Task task,
+                       const AttemptResult &res, const Flight &flight,
+                       double host_ms)
+        EMCC_EXCLUDES(mutex_, journal_mutex_);
+
     AttemptResult execAttempt(const RunDesc &run, unsigned attempt,
                               Flight &flight);
     AttemptResult execSim(const RunDesc &run, Flight &flight);
@@ -158,30 +238,42 @@ class CampaignEngine
     void wedgeRun(Flight &flight);
     void finishRun(const RunDesc &run, const Task &task,
                    const AttemptResult &last, Outcome outcome,
-                   double host_ms);
+                   double host_ms)
+        EMCC_EXCLUDES(mutex_, journal_mutex_);
     void progress(const std::string &line);
 
+    // ---- immutable after construction / run() start
     CampaignSpec spec_;
     EngineOptions opts_;
-    RetryPolicy policy_;
+    RetryPolicy policy_;          ///< immutable; shared by all workers
     std::vector<RunDesc> runs_;
-    obs::HostTimer timer_;
+    obs::HostTimer timer_;        ///< origin fixed before workers start
 
-    std::mutex mutex_;                ///< queue + pending + records
-    std::condition_variable cv_;
-    std::priority_queue<Task, std::vector<Task>, TaskLater> queue_;
-    Count pending_ = 0;               ///< runs not yet terminal/abandoned
-    Count abandoned_ = 0;             ///< drained before dispatch
+    // ---- scheduler state, guarded by mutex_
+    sync::Mutex mutex_ EMCC_ACQUIRED_BEFORE(journal_mutex_);
+    sync::CondVar cv_;
+    std::priority_queue<Task, std::vector<Task>, TaskLater> queue_
+        EMCC_GUARDED_BY(mutex_);
+    /// runs not yet terminal/abandoned
+    Count pending_ EMCC_GUARDED_BY(mutex_) = 0;
+    /// drained before dispatch / cancelled in flight
+    Count abandoned_ EMCC_GUARDED_BY(mutex_) = 0;
+    /// terminal records produced by this process
+    std::vector<JournalRecord> records_ EMCC_GUARDED_BY(mutex_);
+    Count attempts_executed_ EMCC_GUARDED_BY(mutex_) = 0;
+    Count timeout_attempts_ EMCC_GUARDED_BY(mutex_) = 0;
 
+    // ---- flight slots (vector immutable while threads run; the slots
+    //      themselves are lock-free atomics)
     std::vector<std::unique_ptr<Flight>> flights_;
     std::atomic<bool> done_{false};   ///< monitor shutdown
 
-    std::mutex journal_mutex_;        ///< serializes appends + records_
-    Journal journal_;
-    std::vector<JournalRecord> records_;   ///< terminal, this process
-    Count attempts_executed_ = 0;
-    Count timeout_attempts_ = 0;
+    // ---- journal, guarded by journal_mutex_
+    sync::Mutex journal_mutex_;
+    Journal journal_ EMCC_GUARDED_BY(journal_mutex_);
 
+    // ---- dispatcher-thread only (written before workers start or
+    //      after they are joined)
     std::vector<JournalRecord> resumed_;   ///< loaded from the journal
     Count journal_dropped_ = 0;
     std::vector<JournalRecord> terminal_;  ///< union, sorted (post-run)

@@ -62,10 +62,18 @@ struct JournalRecord
 
     /** Render as a journal line (no trailing newline). @p canonical
      *  omits host_ms and the crc — the deterministic aggregate form. */
-    std::string render(bool canonical = false) const;
+    [[nodiscard]] std::string render(bool canonical = false) const;
 };
 
-/** Append-side journal handle. */
+/** Append-side journal handle.
+ *
+ *  Thread-safety: a Journal is NOT internally synchronized — append
+ *  order must equal file order, so the owner serializes every open /
+ *  append / close externally (CampaignEngine holds journal_mutex_,
+ *  declared acquired-after its scheduler mutex_; tests use a
+ *  sync::Mutex of their own). load() and aggregate() are static pure
+ *  functions over a closed file / a record vector and are safe from
+ *  any thread. */
 class Journal
 {
   public:
@@ -87,7 +95,7 @@ class Journal
     void open(const std::string &path, const std::string &campaign_name,
               std::uint64_t spec_digest, bool fsync_each = true);
 
-    bool isOpen() const { return file_ != nullptr; }
+    [[nodiscard]] bool isOpen() const { return file_ != nullptr; }
 
     /** Append one record: write + flush (+ fsync). SimError on I/O
      *  failure. */
@@ -108,14 +116,15 @@ class Journal
     /** Load + validate a journal. Missing file -> empty result with
      *  header_ok == false. Checksum-invalid lines are dropped, not
      *  fatal: a torn tail is the expected SIGKILL artifact. */
-    static LoadResult load(const std::string &path);
+    [[nodiscard]] static LoadResult load(const std::string &path);
 
     /**
      * The canonical aggregate of a record set: last record per run id,
      * sorted by run id, rendered canonically one per line. This is the
      * byte-identity surface the resume test compares.
      */
-    static std::string aggregate(const std::vector<JournalRecord> &recs);
+    [[nodiscard]] static std::string
+    aggregate(const std::vector<JournalRecord> &recs);
 
   private:
     std::FILE *file_ = nullptr;
@@ -124,11 +133,11 @@ class Journal
 
 /** Wrap a rendered record body in its crc member ("...}" ->
  *  "...,"crc":"<hex>"}"). Exposed for tests. */
-std::string sealLine(const std::string &body);
+[[nodiscard]] std::string sealLine(const std::string &body);
 
 /** Validate + strip a sealed line; returns false on a bad/missing
  *  crc. On success @p body gets the record without the crc member. */
-bool unsealLine(const std::string &line, std::string &body);
+[[nodiscard]] bool unsealLine(const std::string &line, std::string &body);
 
 } // namespace campaign
 } // namespace emcc

@@ -75,7 +75,7 @@ class JsonValue
 
     /** Parse a complete JSON document; throws ConfigError (with byte
      *  offset) on any deviation from the grammar. */
-    static JsonValue parse(const std::string &text);
+    [[nodiscard]] static JsonValue parse(const std::string &text);
 
     // Construction helpers (parser + tests).
     static JsonValue makeNull() { return JsonValue(); }

@@ -14,6 +14,13 @@
  * terminal with the matching outcome. A campaign-level drain (SIGINT)
  * forbids further retries: whatever the last attempt produced becomes
  * terminal.
+ *
+ * Thread-safety contract: a RetryPolicy is immutable after
+ * construction — every member function is const and pure — so one
+ * instance is shared unguarded by all campaign workers. The *mutable*
+ * retry budget (the per-run attempt/timeout counters the policy is
+ * consulted with) lives in CampaignEngine::Task and is guarded by
+ * CampaignEngine::mutex_; decisions are taken while holding it.
  */
 
 #pragma once
@@ -37,12 +44,12 @@ class RetryPolicy
           deadline_s_(deadline_s)
     {}
 
-    double deadlineS() const { return deadline_s_; }
-    unsigned maxAttempts() const { return max_retries_ + 1; }
+    [[nodiscard]] double deadlineS() const { return deadline_s_; }
+    [[nodiscard]] unsigned maxAttempts() const { return max_retries_ + 1; }
 
     /** Backoff before re-dispatching after failed attempt @p attempt:
      *  base * 2^(attempt-1), capped at 30 s. */
-    double
+    [[nodiscard]] double
     backoffMs(unsigned attempt) const
     {
         double ms = backoff_ms_;
@@ -61,7 +68,7 @@ class RetryPolicy
 
     /** Attempt @p attempt threw / exited wrong. @p draining forbids
      *  retries (campaign is winding down on SIGINT). */
-    Decision
+    [[nodiscard]] Decision
     onFailure(unsigned attempt, bool draining = false) const
     {
         if (attempt < maxAttempts() && !draining)
@@ -72,7 +79,7 @@ class RetryPolicy
     /** Attempt @p attempt was cancelled by the deadline watchdog. A
      *  wedged run burned a full deadline already, so the retry budget
      *  is shared with failures but the terminal outcome is Timeout. */
-    Decision
+    [[nodiscard]] Decision
     onTimeout(unsigned attempt, bool draining = false) const
     {
         if (attempt < maxAttempts() && !draining)

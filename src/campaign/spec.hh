@@ -130,20 +130,20 @@ struct CampaignSpec
     double backoff_ms = 100.0;   ///< base retry backoff (doubles/retry)
 
     /** Parse a spec document; throws ConfigError on any problem. */
-    static CampaignSpec parse(const std::string &json_text);
+    [[nodiscard]] static CampaignSpec parse(const std::string &json_text);
 
     /** Read + parse a spec file; throws ConfigError. */
-    static CampaignSpec load(const std::string &path);
+    [[nodiscard]] static CampaignSpec load(const std::string &path);
 
     /** Normalized one-line JSON rendering (digest input; also what
      *  --dry-run prints). Field order is fixed, defaults included. */
-    std::string canonical() const;
+    [[nodiscard]] std::string canonical() const;
 
     /** FNV-1a over canonical(): the identity resume checks. */
-    std::uint64_t digest() const;
+    [[nodiscard]] std::uint64_t digest() const;
 
     /** Expand into the flat run list (deterministic order). */
-    std::vector<RunDesc> expand() const;
+    [[nodiscard]] std::vector<RunDesc> expand() const;
 };
 
 /** FNV-1a 64-bit hash (journal record checksums + spec digests). */

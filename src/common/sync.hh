@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Capability-annotated synchronization primitives.
+ *
+ * `std::mutex` is invisible to Clang's thread-safety analysis, so the
+ * tree locks exclusively through these thin wrappers: they add the
+ * `capability` attributes that let `-Wthread-safety` prove, at compile
+ * time, that every GUARDED_BY member is only touched under its mutex.
+ * The emcc-lint `naked-lock` rule keeps raw std::mutex /
+ * lock_guard / unique_lock out of src/ and tools/; this header is the
+ * one designated exception.
+ *
+ * The wrappers add no state and no behavior beyond the std types they
+ * delegate to — Mutex is exactly a std::mutex, MutexLock exactly a
+ * lock_guard, UniqueLock a (non-movable) unique_lock, and CondVar a
+ * condition_variable that waits through an adopted native handle so it
+ * keeps the no-spurious-wakeup-contract of the std type.
+ *
+ * Waiting: CondVar takes the *Mutex* (abseil-style), not the lock
+ * object, because REQUIRES() names capabilities and the mutex is the
+ * capability:
+ *
+ *     sync::UniqueLock lk(mutex_);
+ *     while (queue_.empty())
+ *         cv_.wait(mutex_);           // REQUIRES(mutex_)
+ */
+
+// emcc-lint: allow-file(naked-lock) — the annotated wrapper layer is
+// the single place allowed to touch std synchronization types.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hh"
+
+namespace emcc {
+namespace sync {
+
+/** Annotated std::mutex. Non-recursive; EXCLUDES() on functions that
+ *  lock it internally documents (and under Clang, proves) that. */
+class EMCC_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() EMCC_ACQUIRE() { m_.lock(); }
+    void unlock() EMCC_RELEASE() { m_.unlock(); }
+    bool try_lock() EMCC_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  private:
+    friend class CondVar;
+    std::mutex m_;
+};
+
+/** Scoped lock (lock_guard equivalent): hold for the whole scope. */
+class EMCC_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) EMCC_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+
+    ~MutexLock() EMCC_RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+/**
+ * Relockable scoped lock for condition waits and handoff windows
+ * (run work outside the lock, re-enter to publish the result).
+ * Destruction releases the mutex iff currently held.
+ */
+class EMCC_SCOPED_CAPABILITY UniqueLock
+{
+  public:
+    explicit UniqueLock(Mutex &mu) EMCC_ACQUIRE(mu) : mu_(mu), held_(true)
+    {
+        mu_.lock();
+    }
+
+    ~UniqueLock() EMCC_RELEASE()
+    {
+        if (held_)
+            mu_.unlock();
+    }
+
+    void
+    lock() EMCC_ACQUIRE()
+    {
+        mu_.lock();
+        held_ = true;
+    }
+
+    void
+    unlock() EMCC_RELEASE()
+    {
+        mu_.unlock();
+        held_ = false;
+    }
+
+    bool held() const { return held_; }
+
+    UniqueLock(const UniqueLock &) = delete;
+    UniqueLock &operator=(const UniqueLock &) = delete;
+
+  private:
+    Mutex &mu_;
+    bool held_;
+};
+
+/**
+ * Condition variable bound to sync::Mutex. The caller must hold the
+ * mutex (through MutexLock or UniqueLock); wait atomically releases it
+ * and reacquires it before returning, like the std type.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+    /** Wait until notified (or spuriously woken — re-check the
+     *  predicate). */
+    void
+    wait(Mutex &mu) EMCC_REQUIRES(mu)
+    {
+        std::unique_lock<std::mutex> native(mu.m_, std::adopt_lock);
+        cv_.wait(native);
+        native.release();   // the caller's scoped lock keeps ownership
+    }
+
+    /** Wait at most @p seconds. Returns false on timeout. */
+    bool
+    waitFor(Mutex &mu, double seconds) EMCC_REQUIRES(mu)
+    {
+        std::unique_lock<std::mutex> native(mu.m_, std::adopt_lock);
+        const std::cv_status st =
+            cv_.wait_for(native, std::chrono::duration<double>(seconds));
+        native.release();
+        return st == std::cv_status::no_timeout;
+    }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace sync
+} // namespace emcc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Clang thread-safety-analysis attribute macros.
+ *
+ * These wrap the `capability`-family attributes that let
+ * `-Wthread-safety` prove lock discipline at compile time: which
+ * mutex guards which member, which functions require or acquire which
+ * capability, and in what order capabilities nest. Under any compiler
+ * other than Clang every macro expands to nothing, so the annotations
+ * are pure documentation for GCC builds and a hard build gate
+ * (EMCC_WERROR turns the analysis warnings into errors) under Clang.
+ *
+ * The annotations only work on *annotated* lock types — `std::mutex`
+ * is opaque to the analysis — so the tree locks exclusively through
+ * the wrappers in common/sync.hh (sync::Mutex, sync::MutexLock,
+ * sync::UniqueLock, sync::CondVar). The emcc-lint `naked-lock` rule
+ * enforces that choice mechanically.
+ *
+ * Naming follows the Clang documentation
+ * (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) with an
+ * EMCC_ prefix so the macros cannot collide with third-party headers.
+ */
+
+#pragma once
+
+#if defined(__clang__)
+#define EMCC_TSA_ATTR(x) __attribute__((x))
+#else
+#define EMCC_TSA_ATTR(x)   // no-op: analysis is Clang-only
+#endif
+
+/** Marks a class as a lockable capability ("mutex" by convention). */
+#define EMCC_CAPABILITY(x) EMCC_TSA_ATTR(capability(x))
+
+/** Marks an RAII class whose lifetime equals a capability hold. */
+#define EMCC_SCOPED_CAPABILITY EMCC_TSA_ATTR(scoped_lockable)
+
+/** Data member readable/writable only while holding @p x. */
+#define EMCC_GUARDED_BY(x) EMCC_TSA_ATTR(guarded_by(x))
+
+/** Pointer member whose *pointee* is guarded by @p x. */
+#define EMCC_PT_GUARDED_BY(x) EMCC_TSA_ATTR(pt_guarded_by(x))
+
+/** Declares lock-ordering edges (deadlock detection under
+ *  -Wthread-safety-beta). */
+#define EMCC_ACQUIRED_BEFORE(...) EMCC_TSA_ATTR(acquired_before(__VA_ARGS__))
+#define EMCC_ACQUIRED_AFTER(...) EMCC_TSA_ATTR(acquired_after(__VA_ARGS__))
+
+/** Function requires the capability held on entry (and keeps it). */
+#define EMCC_REQUIRES(...) EMCC_TSA_ATTR(requires_capability(__VA_ARGS__))
+#define EMCC_REQUIRES_SHARED(...) \
+    EMCC_TSA_ATTR(requires_shared_capability(__VA_ARGS__))
+
+/** Function acquires the capability (held on return, not on entry). */
+#define EMCC_ACQUIRE(...) EMCC_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#define EMCC_ACQUIRE_SHARED(...) \
+    EMCC_TSA_ATTR(acquire_shared_capability(__VA_ARGS__))
+
+/** Function releases the capability (held on entry, not on return). */
+#define EMCC_RELEASE(...) EMCC_TSA_ATTR(release_capability(__VA_ARGS__))
+#define EMCC_RELEASE_SHARED(...) \
+    EMCC_TSA_ATTR(release_shared_capability(__VA_ARGS__))
+
+/** Function conditionally acquires: holds the capability iff it
+ *  returned @p first argument (e.g. EMCC_TRY_ACQUIRE(true)). */
+#define EMCC_TRY_ACQUIRE(...) \
+    EMCC_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+
+/** Function must NOT be entered holding the capability (catches
+ *  self-deadlock on non-recursive mutexes). */
+#define EMCC_EXCLUDES(...) EMCC_TSA_ATTR(locks_excluded(__VA_ARGS__))
+
+/** Runtime assertion that the capability is held (trust boundary). */
+#define EMCC_ASSERT_CAPABILITY(x) EMCC_TSA_ATTR(assert_capability(x))
+
+/** Function returns a reference to the given capability. */
+#define EMCC_RETURN_CAPABILITY(x) EMCC_TSA_ATTR(lock_returned(x))
+
+/** Escape hatch: disables analysis inside one function. Every use
+ *  must carry a comment explaining why the analysis cannot see the
+ *  invariant. */
+#define EMCC_NO_THREAD_SAFETY_ANALYSIS \
+    EMCC_TSA_ATTR(no_thread_safety_analysis)

@@ -161,7 +161,7 @@ DramChannel::scheduleServiceCheck()
     service_scheduled_ = true;
     // Priority 1: run after same-tick enqueues so scheduling sees a
     // complete queue picture.
-    sim().scheduleIn(Tick{}, [this] {
+    sim().postIn(Tick{}, [this] {
         service_scheduled_ = false;
         serviceLoop();
     }, /*priority=*/1, EventTag::Dram);
@@ -259,7 +259,7 @@ DramChannel::issue(Pending &p)
 
     if (p.req.on_complete) {
         auto cb = p.req.on_complete;
-        sim().schedule(data_end, [cb, data_end] { cb(data_end); },
+        sim().post(data_end, [cb, data_end] { cb(data_end); },
                        /*priority=*/0, EventTag::Dram);
     }
     return data_end;
@@ -294,7 +294,7 @@ DramChannel::serviceLoop()
 
     if (!read_q_.empty() || !write_q_.empty()) {
         service_scheduled_ = true;
-        sim().schedule(curTick() + cfg_.burstTicks(), [this] {
+        sim().post(curTick() + cfg_.burstTicks(), [this] {
             service_scheduled_ = false;
             serviceLoop();
         }, /*priority=*/1, EventTag::Dram);

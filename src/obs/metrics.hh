@@ -102,13 +102,13 @@ struct MetricsSnapshot
      *  "formulas":{...},"histograms":{...}}
      * Keys sorted, doubles shortest-round-trip, no whitespace variance.
      */
-    std::string toJson() const;
+    [[nodiscard]] std::string toJson() const;
 
     /** Like toJson(), but with a "partial":true marker right after the
      *  schema tag when @p partial — the form an interrupted run flushes
      *  so downstream tooling can tell a truncated window from a full
      *  one. */
-    std::string toJson(bool partial) const;
+    [[nodiscard]] std::string toJson(bool partial) const;
 
     /**
      * The four metric sections without the surrounding braces or
@@ -116,7 +116,7 @@ struct MetricsSnapshot
      * schemas — the emcc-stats-series-v1 JSONL lines — can prepend
      * their own header fields and share the rendering.
      */
-    std::string toJsonBody() const;
+    [[nodiscard]] std::string toJsonBody() const;
 };
 
 /**
@@ -155,7 +155,7 @@ class MetricsRegistry
     std::vector<std::string> names() const;
 
     /** Read every metric now. Deterministic given deterministic values. */
-    MetricsSnapshot snapshot() const;
+    [[nodiscard]] MetricsSnapshot snapshot() const;
 
   private:
     /** Validate name syntax + uniqueness; throws ConfigError. */

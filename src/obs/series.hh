@@ -49,7 +49,7 @@ class StatsSeries
 
     /** Write the buffer to path() (stdout when path is "-").
      *  @return false if the file could not be written. */
-    bool flush() const;
+    [[nodiscard]] bool flush() const;
 
   private:
     std::string path_;

@@ -124,7 +124,7 @@ class EventQueue
      * @return a handle that can be passed to deschedule().
      */
     template <typename F>
-    EventId
+    [[nodiscard]] EventId
     schedule(Tick when, F &&fn, int priority = 0,
              EventTag tag = EventTag::Generic)
     {
@@ -151,11 +151,36 @@ class EventQueue
 
     /** Schedule @p fn @p delta ticks from now. */
     template <typename F>
-    EventId
+    [[nodiscard]] EventId
     scheduleIn(Tick delta, F &&fn, int priority = 0,
                EventTag tag = EventTag::Generic)
     {
         return schedule(now_ + delta, std::forward<F>(fn), priority, tag);
+    }
+
+    /**
+     * Fire-and-forget schedule() — same semantics, no handle. Use this
+     * when the event will never be descheduled; schedule() is
+     * [[nodiscard]] so a dropped cancellation handle is a compile-time
+     * decision, not an accident.
+     */
+    template <typename F>
+    void
+    post(Tick when, F &&fn, int priority = 0,
+         EventTag tag = EventTag::Generic)
+    {
+        static_cast<void>(
+            schedule(when, std::forward<F>(fn), priority, tag));
+    }
+
+    /** Fire-and-forget scheduleIn(). */
+    template <typename F>
+    void
+    postIn(Tick delta, F &&fn, int priority = 0,
+           EventTag tag = EventTag::Generic)
+    {
+        static_cast<void>(
+            scheduleIn(delta, std::forward<F>(fn), priority, tag));
     }
 
     /**

@@ -69,7 +69,7 @@ class Simulator
      * which is checked at compile time.
      */
     template <typename F>
-    EventId
+    [[nodiscard]] EventId
     schedule(Tick when, F &&fn, int priority = 0,
              EventTag tag = EventTag::Generic)
     {
@@ -78,11 +78,32 @@ class Simulator
 
     /** Schedule a callback @p delta ticks from now. */
     template <typename F>
-    EventId
+    [[nodiscard]] EventId
     scheduleIn(Tick delta, F &&fn, int priority = 0,
                EventTag tag = EventTag::Generic)
     {
         return queue_.scheduleIn(delta, std::forward<F>(fn), priority, tag);
+    }
+
+    /** Fire-and-forget schedule(): for events that are never
+     *  descheduled, so no cancellation handle is wanted. Dropping a
+     *  schedule() handle is a compile error ([[nodiscard]]); post()
+     *  makes the drop explicit and greppable. */
+    template <typename F>
+    void
+    post(Tick when, F &&fn, int priority = 0,
+         EventTag tag = EventTag::Generic)
+    {
+        queue_.post(when, std::forward<F>(fn), priority, tag);
+    }
+
+    /** Fire-and-forget scheduleIn(). */
+    template <typename F>
+    void
+    postIn(Tick delta, F &&fn, int priority = 0,
+           EventTag tag = EventTag::Generic)
+    {
+        queue_.postIn(delta, std::forward<F>(fn), priority, tag);
     }
 
     bool deschedule(EventId id) { return queue_.deschedule(id); }

@@ -3,13 +3,35 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "common/log.hh"
+#include "common/sync.hh"
+#include "common/thread_annotations.hh"
 #include "obs/profile.hh"
 
 namespace emcc {
 namespace experiments {
+
+namespace {
+
+/** The process-wide workload memo. A named struct (not function-local
+ *  statics) so the map can carry a GUARDED_BY annotation and Clang's
+ *  thread-safety analysis can check every access path. */
+struct WorkloadCache
+{
+    sync::Mutex mu;
+    std::map<std::string, std::unique_ptr<WorkloadSet>> sets
+        EMCC_GUARDED_BY(mu);
+};
+
+WorkloadCache &
+workloadCache()
+{
+    static WorkloadCache cache;
+    return cache;
+}
+
+} // namespace
 
 BenchScale
 BenchScale::fromEnv()
@@ -47,10 +69,8 @@ cachedWorkload(const std::string &name, const WorkloadParams &params)
 {
     // Keyed by name + the parameters that affect trace content. The
     // mutex makes concurrent first-builds safe (campaign worker pools);
-    // the returned sets are immutable, so readers need no further
-    // synchronization.
-    static std::mutex cache_mutex;
-    static std::map<std::string, std::unique_ptr<WorkloadSet>> cache;
+    // the returned sets are immutable and never evicted, so readers
+    // need no further synchronization once the reference escapes.
     char key[256];
     std::snprintf(key, sizeof(key), "%s/%u/%zu/%llu/%u/%llu/%.6f",
                   name.c_str(), params.cores, params.trace_len,
@@ -58,11 +78,14 @@ cachedWorkload(const std::string &name, const WorkloadParams &params)
                   params.graph_degree,
                   static_cast<unsigned long long>(params.seed),
                   params.footprint_scale);
-    std::lock_guard<std::mutex> lock(cache_mutex);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        it = cache.emplace(key, std::make_unique<WorkloadSet>(
-                                    buildWorkload(name, params))).first;
+    WorkloadCache &cache = workloadCache();
+    sync::MutexLock lock(cache.mu);
+    auto it = cache.sets.find(key);
+    if (it == cache.sets.end()) {
+        it = cache.sets
+                 .emplace(key, std::make_unique<WorkloadSet>(
+                                   buildWorkload(name, params)))
+                 .first;
     }
     return *it->second;
 }

@@ -288,7 +288,7 @@ SecureSystem::read(unsigned core, Addr vaddr, std::function<void(Tick)> done)
     if (l1_[core].access(pa, LineClass::Data, false)) {
         ++stats_.l1_hits;
         const Tick fill = t0 + cfg_.l1_latency;
-        sim().schedule(fill, [done, fill] { done(fill); },
+        sim().post(fill, [done, fill] { done(fill); },
                        /*priority=*/0, EventTag::Core);
         return;
     }
@@ -312,7 +312,7 @@ SecureSystem::write(unsigned core, Addr vaddr,
     if (l1_[core].access(pa, LineClass::Data, true)) {
         const Tick fill = t0 + cfg_.l1_latency;
         if (done) {
-            sim().schedule(fill, [done, fill] { done(fill); },
+            sim().post(fill, [done, fill] { done(fill); },
                            /*priority=*/0, EventTag::Core);
         }
         return;
@@ -369,7 +369,7 @@ SecureSystem::l2Access(unsigned core, Addr pa, bool is_store, Tick t,
         sampleIntensity(core);
     if (l2_[core].access(pa, LineClass::Data, is_store)) {
         ++stats_.l2_data_hits;
-        sim().schedule(t_l2, [fill_cb, t_l2] { fill_cb(t_l2); },
+        sim().post(t_l2, [fill_cb, t_l2] { fill_cb(t_l2); },
                        /*priority=*/0, EventTag::Cache);
         return;
     }
@@ -406,7 +406,7 @@ SecureSystem::l2Access(unsigned core, Addr pa, bool is_store, Tick t,
             ledger_->finish(rec, fill);
         }
         insertL2Data(core, pa, /*dirty=*/false, fill);
-        sim().schedule(fill, [this, core, blk, fill] {
+        sim().post(fill, [this, core, blk, fill] {
             l2_mshr_[core]->complete(blk, fill);
         }, /*priority=*/0, EventTag::Cache);
     });
@@ -510,7 +510,7 @@ SecureSystem::emccCounterPath(unsigned core, Addr pa, Tick t_miss,
         insertLlc(ctr, LineClass::Counter, false, verified);
         const Tick at_l2 = verified + cfg_.resp_mc_to_l2;
         insertL2Counter(core, ctr, at_l2);
-        sim().schedule(at_l2, [this, core, ctr] {
+        sim().post(at_l2, [this, core, ctr] {
             auto &inf = l2_ctr_inflight_[core];
             auto it = inf.find(ctr);
             if (it != inf.end() && it->second == kTickInvalid)
@@ -559,7 +559,7 @@ SecureSystem::llcDataAccess(unsigned core, Addr pa, Tick t_miss,
                     rec->stamp(obs::MissSegment::MacVerify, mac_b,
                                rec->crypto_end);
                 }
-                sim().schedule(done, [fill_cb, done] { fill_cb(done); });
+                sim().post(done, [fill_cb, done] { fill_cb(done); });
             } else {
                 // No counter at the L2: the MC's machinery verifies,
                 // costing a counter fetch + AES + the response trip.
@@ -591,7 +591,7 @@ SecureSystem::llcDataAccess(unsigned core, Addr pa, Tick t_miss,
                         rec->stamp(obs::MissSegment::MacVerify, mac_b,
                                    aes_done);
                     }
-                    sim().schedule(done,
+                    sim().post(done,
                                    [fill_cb, done] { fill_cb(done); });
                 });
             }
@@ -601,7 +601,7 @@ SecureSystem::llcDataAccess(unsigned core, Addr pa, Tick t_miss,
         // was verified before insertion); no cryptography needed, and
         // any speculative counter access stays unused unless a later
         // LLC miss uses it.
-        sim().schedule(fill, [fill_cb, fill] { fill_cb(fill); });
+        sim().post(fill, [fill_cb, fill] { fill_cb(fill); });
         return;
     }
     ++stats_.llc_data_misses;
@@ -904,7 +904,7 @@ SecureSystem::mcFetchCounter(Addr pa, Tick t, bool count_buckets,
             const Tick ready = addDelta(t2 + cfg_.llc_ctr_access,
                                         nocDeltaTicks());
             insertMcCache(node, LineClass::TreeNode, false, ready);
-            sim().schedule(ready, [arrive, ready] { arrive(ready); },
+            sim().post(ready, [arrive, ready] { arrive(ready); },
                            /*priority=*/0, EventTag::Secmem);
         } else {
             dramRequest(node, MemClass::Counter, false, t2,
@@ -1012,7 +1012,7 @@ SecureSystem::dramRequest(Addr addr, MemClass cls, bool is_write, Tick t,
     // done is moved, not copied, into the closure (and onward into
     // tryEnqueueDram): a FinishCb with captured state heap-allocates on
     // every copy, and this is the hottest scheduling site in the tree.
-    sim().schedule(std::max(t, curTick()),
+    sim().post(std::max(t, curTick()),
                    [this, addr, cls, is_write,
                     done = std::move(done), attrib]() mutable {
         // A write retiring to DRAM replaces the stored block, healing
@@ -1187,7 +1187,7 @@ SecureSystem::tryEnqueueDram(Addr addr, MemClass cls, bool is_write,
     // full the continuation is still inside req and moves on into the
     // retry closure — the whole retry loop never copies it.
     if (!dram_.enqueue(std::move(req))) {
-        sim().scheduleIn(kDramRetry,
+        sim().postIn(kDramRetry,
                          [this, addr, cls, is_write,
                           done = std::move(req.on_complete),
                           attrib]() mutable {
@@ -1201,7 +1201,7 @@ SecureSystem::tryEnqueueDram(Addr addr, MemClass cls, bool is_write,
 void
 SecureSystem::insertL2Data(unsigned core, Addr pa, bool dirty, Tick t)
 {
-    sim().schedule(std::max(t, curTick()), [this, core, pa, dirty] {
+    sim().post(std::max(t, curTick()), [this, core, pa, dirty] {
         auto victim = l2_[core].insert(pa, LineClass::Data, dirty);
         if (victim)
             handleL2Victim(core, *victim, curTick());
@@ -1211,7 +1211,7 @@ SecureSystem::insertL2Data(unsigned core, Addr pa, bool dirty, Tick t)
 void
 SecureSystem::insertL2Counter(unsigned core, Addr ctr_addr, Tick t)
 {
-    sim().schedule(std::max(t, curTick()), [this, core, ctr_addr] {
+    sim().post(std::max(t, curTick()), [this, core, ctr_addr] {
         auto &inflight = l2_ctr_inflight_[core];
         inflight.erase(ctr_addr);
         // The useless-tracking entry normally exists already (created
@@ -1258,7 +1258,7 @@ void
 SecureSystem::insertLlc(Addr pa, LineClass cls, bool dirty, Tick t,
                         bool unverified)
 {
-    sim().schedule(std::max(t, curTick()),
+    sim().post(std::max(t, curTick()),
                    [this, pa, cls, dirty, unverified] {
         auto victim = llc_.insert(pa, cls, dirty);
         // The flag reflects the newest copy: set for unverified DRAM
@@ -1297,7 +1297,7 @@ SecureSystem::insertLlc(Addr pa, LineClass cls, bool dirty, Tick t,
 void
 SecureSystem::insertMcCache(Addr addr, LineClass cls, bool dirty, Tick t)
 {
-    sim().schedule(std::max(t, curTick()), [this, addr, cls, dirty] {
+    sim().post(std::max(t, curTick()), [this, addr, cls, dirty] {
         auto victim = mc_cache_.insert(addr, cls, dirty);
         if (victim && victim->dirty) {
             dramRequest(victim->addr, MemClass::Counter, true, curTick(),
@@ -1427,7 +1427,7 @@ SecureSystem::resetStats()
 void
 SecureSystem::scheduleSeriesSample(Tick when)
 {
-    sim().schedule(when, [this] {
+    sim().post(when, [this] {
         if (!series_active_)
             return;
         series_->append(ticksToNs(curTick() - measure_start_),

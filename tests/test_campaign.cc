@@ -13,7 +13,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "campaign/engine.hh"
 #include "campaign/json.hh"
@@ -21,6 +24,8 @@
 #include "campaign/retry.hh"
 #include "campaign/spec.hh"
 #include "common/error.hh"
+#include "common/sync.hh"
+#include "system/experiment.hh"
 
 namespace emcc {
 namespace campaign {
@@ -438,8 +443,117 @@ TEST(CampaignEngine, JournalResumeSkipsTerminalRuns)
     CampaignSpec other = spec;
     other.grid.seed = {1, 2, 3};
     CampaignEngine third(other, opts);
-    EXPECT_THROW(third.run(), ConfigError);
+    EXPECT_THROW(static_cast<void>(third.run()), ConfigError);
     std::remove(path.c_str());
+}
+
+// ------------------------------------------------- threaded stress
+// These tests exist to run under ThreadSanitizer (the tsan CI job):
+// they put real contention on the engine's two capabilities (mutex_,
+// journal_mutex_), the lock-free Flight slots, and the shared
+// workload cache. They also pass on a plain build, just with less
+// diagnostic power.
+
+TEST(CampaignStress, ParallelChaosGridHammersSchedulerAndJournal)
+{
+    const std::string path = tmpPath("stress");
+    std::remove(path.c_str());
+    CampaignSpec spec = tinySpec();
+    spec.grid.seed = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+    spec.chaos.fail_period = 3;        // every 3rd run retries once
+    spec.chaos.fail_attempts = 1;
+    spec.chaos.hard_fail_period = 7;   // every 7th fails terminally
+
+    EngineOptions opts = quietOpts();
+    opts.jobs = 8;                     // more workers than a dev laptop
+    opts.journal_path = path;          // journal_mutex_ under contention
+
+    CampaignEngine eng(spec, opts);
+    const CampaignSummary sum = eng.run();
+    EXPECT_TRUE(sum.complete());
+    EXPECT_EQ(sum.total, 16u);
+    EXPECT_EQ(sum.ok + sum.failed, 16u);
+    // Chaos schedule: runs 6 and 13 (hard_fail_period 7) fail every
+    // attempt; runs with (index+1) % 3 == 0 burn one retry.
+    EXPECT_EQ(sum.failed, 2u);
+    EXPECT_GE(sum.retried, 4u);
+    // Every terminal outcome must have reached the journal before the
+    // run was counted done, whatever worker settled it.
+    const Journal::LoadResult lr = Journal::load(path);
+    EXPECT_TRUE(lr.header_ok);
+    EXPECT_EQ(lr.records.size(), 16u);
+    EXPECT_EQ(lr.dropped_lines, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(CampaignStress, ConcurrentJournalAppendsSerializeUnderOneMutex)
+{
+    const std::string path = tmpPath("jstress");
+    std::remove(path.c_str());
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kPerThread = 200;
+    {
+        Journal journal;
+        journal.open(path, "stress", 0xfeed, /*fsync_each=*/false);
+        // The documented discipline from journal.hh: the Journal is not
+        // internally synchronized; the owner serializes appends.
+        sync::Mutex mu;
+        std::vector<std::thread> writers;
+        writers.reserve(kThreads);
+        for (unsigned t = 0; t < kThreads; ++t) {
+            writers.emplace_back([&journal, &mu, t] {
+                for (unsigned i = 0; i < kPerThread; ++i) {
+                    JournalRecord rec;
+                    rec.run = t * 1000 + i;
+                    rec.name = "w" + std::to_string(t);
+                    rec.outcome = Outcome::Ok;
+                    sync::MutexLock lock(mu);
+                    journal.append(rec);
+                }
+            });
+        }
+        for (std::thread &w : writers)
+            w.join();
+        journal.close();
+    }
+    // Every record from every thread landed intact (no torn or
+    // interleaved lines), whatever the global interleaving was.
+    const Journal::LoadResult lr = Journal::load(path);
+    EXPECT_TRUE(lr.header_ok);
+    EXPECT_EQ(lr.dropped_lines, 0u);
+    ASSERT_EQ(lr.records.size(), std::size_t{kThreads} * kPerThread);
+    std::set<Count> runs;
+    for (const JournalRecord &r : lr.records)
+        runs.insert(r.run);
+    EXPECT_EQ(runs.size(), std::size_t{kThreads} * kPerThread);
+    std::remove(path.c_str());
+}
+
+TEST(CampaignStress, WorkloadCacheFirstBuildIsRacefree)
+{
+    // All workers of a fresh campaign hit cachedWorkload() for the
+    // same key at once; exactly one must build, everyone must get the
+    // same immutable instance. Distinct trace_len from other tests so
+    // this test really exercises the first-build path.
+    WorkloadParams params;
+    params.cores = 2;
+    params.trace_len = 2'111;
+    params.graph_vertices = 1 << 10;
+    params.seed = 99;
+
+    constexpr unsigned kThreads = 8;
+    std::vector<const WorkloadSet *> got(kThreads, nullptr);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&got, &params, t] {
+            got[t] = &experiments::cachedWorkload("BFS", params);
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+    for (unsigned t = 1; t < kThreads; ++t)
+        EXPECT_EQ(got[t], got[0]);
 }
 
 } // namespace

@@ -32,7 +32,7 @@ class FixedLatencyPort : public MemorySystemPort
         ++in_flight_;
         max_in_flight_ = std::max(max_in_flight_, in_flight_);
         const Tick fill = sim_.now() + latency_;
-        sim_.schedule(fill, [this, done, fill] {
+        sim_.post(fill, [this, done, fill] {
             --in_flight_;
             done(fill);
         });
@@ -43,7 +43,7 @@ class FixedLatencyPort : public MemorySystemPort
     {
         ++writes_;
         const Tick fill = sim_.now() + latency_;
-        sim_.schedule(fill, [done, fill] {
+        sim_.post(fill, [done, fill] {
             if (done)
                 done(fill);
         });

@@ -139,7 +139,7 @@ TEST(DramChannel, RowTimeoutClosesRow)
     sim.run();
     // Wait past the 500 ns timeout, then access the same row: the row
     // timed out, so it pays ACT again (row miss, not hit).
-    sim.schedule(sim.now() + nsToTicks(600.0), [] {});
+    sim.post(sim.now() + nsToTicks(600.0), [] {});
     sim.run();
     const Tick t1 = sim.now();
     mem.enqueue(readReq(Addr{0x40}, &second));
@@ -234,7 +234,7 @@ TEST(DramChannel, RefreshAccountedLazily)
     sim.run();
     // Jump past several refresh periods, then access again: the lazy
     // model accounts the elapsed windows at the next command.
-    sim.schedule(sim.now() + 5 * cfg.t_refi, [] {});
+    sim.post(sim.now() + 5 * cfg.t_refi, [] {});
     sim.run();
     mem.enqueue(readReq(Addr{0x40}, &c2));
     sim.run();
@@ -250,7 +250,7 @@ TEST(DramChannel, RefreshClosesRow)
     Completion c1, c2;
     mem.enqueue(readReq(Addr{0x0}, &c1));
     sim.run();
-    sim.schedule(sim.now() + 3 * cfg.t_refi, [] {});
+    sim.post(sim.now() + 3 * cfg.t_refi, [] {});
     sim.run();
     mem.enqueue(readReq(Addr{0x40}, &c2));   // same row, but refresh closed it
     sim.run();

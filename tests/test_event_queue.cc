@@ -61,9 +61,9 @@ TEST(EventQueue, ExecutesInTimeOrder)
 {
     EventQueue q;
     std::vector<int> order;
-    q.schedule(Tick{30}, [&] { order.push_back(3); });
-    q.schedule(Tick{10}, [&] { order.push_back(1); });
-    q.schedule(Tick{20}, [&] { order.push_back(2); });
+    q.post(Tick{30}, [&] { order.push_back(3); });
+    q.post(Tick{10}, [&] { order.push_back(1); });
+    q.post(Tick{20}, [&] { order.push_back(2); });
     q.runAll();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
     EXPECT_EQ(q.now(), 30u);
@@ -74,7 +74,7 @@ TEST(EventQueue, FifoAtSameTick)
     EventQueue q;
     std::vector<int> order;
     for (int i = 0; i < 5; ++i)
-        q.schedule(Tick{10}, [&, i] { order.push_back(i); });
+        q.post(Tick{10}, [&, i] { order.push_back(i); });
     q.runAll();
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
@@ -83,8 +83,8 @@ TEST(EventQueue, PriorityBreaksTies)
 {
     EventQueue q;
     std::vector<int> order;
-    q.schedule(Tick{10}, [&] { order.push_back(1); }, /*priority=*/1);
-    q.schedule(Tick{10}, [&] { order.push_back(0); }, /*priority=*/0);
+    q.post(Tick{10}, [&] { order.push_back(1); }, /*priority=*/1);
+    q.post(Tick{10}, [&] { order.push_back(0); }, /*priority=*/0);
     q.runAll();
     EXPECT_EQ(order, (std::vector<int>{0, 1}));
 }
@@ -105,9 +105,9 @@ TEST(EventQueue, RunUntilStopsAtLimit)
 {
     EventQueue q;
     int count = 0;
-    q.schedule(Tick{10}, [&] { ++count; });
-    q.schedule(Tick{20}, [&] { ++count; });
-    q.schedule(Tick{30}, [&] { ++count; });
+    q.post(Tick{10}, [&] { ++count; });
+    q.post(Tick{20}, [&] { ++count; });
+    q.post(Tick{30}, [&] { ++count; });
     EXPECT_EQ(q.runUntil(Tick{20}), 2u);
     EXPECT_EQ(count, 2);
     EXPECT_EQ(q.pending(), 1u);
@@ -120,9 +120,9 @@ TEST(EventQueue, EventsCanScheduleEvents)
     int depth = 0;
     std::function<void()> recurse = [&] {
         if (++depth < 5)
-            q.scheduleIn(Tick{10}, recurse);
+            q.postIn(Tick{10}, recurse);
     };
-    q.schedule(Tick{0}, recurse);
+    q.post(Tick{0}, recurse);
     q.runAll();
     EXPECT_EQ(depth, 5);
     EXPECT_EQ(q.now(), 40u);
@@ -131,16 +131,16 @@ TEST(EventQueue, EventsCanScheduleEvents)
 TEST(EventQueue, SchedulingInThePastPanics)
 {
     EventQueue q;
-    q.schedule(Tick{100}, [] {});
+    q.post(Tick{100}, [] {});
     q.runAll();
-    EXPECT_DEATH(q.schedule(Tick{50}, [] {}), "past");
+    EXPECT_DEATH(q.post(Tick{50}, [] {}), "past");
 }
 
 TEST(EventQueue, StepReturnsFalseWhenEmpty)
 {
     EventQueue q;
     EXPECT_FALSE(q.step());
-    q.schedule(Tick{5}, [] {});
+    q.post(Tick{5}, [] {});
     EXPECT_TRUE(q.step());
     EXPECT_FALSE(q.step());
 }
@@ -149,7 +149,7 @@ TEST(EventQueue, PendingCountsLiveEvents)
 {
     EventQueue q;
     const EventId a = q.schedule(Tick{10}, [] {});
-    q.schedule(Tick{20}, [] {});
+    q.post(Tick{20}, [] {});
     EXPECT_EQ(q.pending(), 2u);
     q.deschedule(a);
     EXPECT_EQ(q.pending(), 1u);
@@ -172,7 +172,7 @@ TEST(EventQueue, HotPathDoesNotAllocate)
                                         100 + i * 7)},
                                    [&executed] { ++executed; }));
         // Every 4th event goes far enough out to exercise the heap.
-        q.scheduleIn(Tick{(std::uint64_t{1} << 17) +
+        q.postIn(Tick{(std::uint64_t{1} << 17) +
                           static_cast<std::uint64_t>(i)},
                      [&executed] { ++executed; });
     }
@@ -194,7 +194,7 @@ TEST(EventQueue, HotPathDoesNotAllocate)
             if (i % 5 == 0)
                 cancel_me = id;
             if (i % 4 == 0) {
-                q.scheduleIn(Tick{(std::uint64_t{1} << 16) + d},
+                q.postIn(Tick{(std::uint64_t{1} << 16) + d},
                              [&executed] { ++executed; });
             }
         }
@@ -213,19 +213,19 @@ TEST(EventQueue, FifoAcrossWheelHeapBoundary)
     std::vector<int> order;
     // First event lands beyond the wheel horizon -> overflow heap.
     const Tick target{span + 1000};
-    q.schedule(target, [&] { order.push_back(0); });
+    q.post(target, [&] { order.push_back(0); });
     // Advance close to the target, then schedule two more events at the
     // exact same tick and priority; these are now within the horizon
     // and go to the wheel. FIFO demands heap-resident event 0 runs
     // first even though the wheel is checked first on the pop path.
-    q.schedule(Tick{span}, [&] {
-        q.schedule(target, [&] { order.push_back(1); });
-        q.schedule(target, [&] { order.push_back(2); });
+    q.post(Tick{span}, [&] {
+        q.post(target, [&] { order.push_back(1); });
+        q.post(target, [&] { order.push_back(2); });
     });
     // And a lower-priority-value (i.e. earlier-running) wheel event at
     // the same tick must still beat all of them.
-    q.schedule(Tick{span}, [&] {
-        q.schedule(target, [&] { order.push_back(3); }, /*priority=*/-1);
+    q.post(Tick{span}, [&] {
+        q.post(target, [&] { order.push_back(3); }, /*priority=*/-1);
     });
     q.runAll();
     EXPECT_EQ(order, (std::vector<int>{3, 0, 1, 2}));
@@ -284,7 +284,7 @@ TEST(EventQueue, MaxPendingHighWaterScriptedSequence)
     EventQueue q;
     const EventId e1 = q.schedule(Tick{10}, [] {});
     const EventId e2 = q.schedule(Tick{20}, [] {});
-    q.schedule(Tick{30}, [] {});
+    q.post(Tick{30}, [] {});
     EXPECT_EQ(q.stats().max_pending, 3u);
 
     EXPECT_TRUE(q.deschedule(e2));
@@ -292,14 +292,14 @@ TEST(EventQueue, MaxPendingHighWaterScriptedSequence)
     EXPECT_EQ(q.stats().max_pending, 3u);   // high water survives cancel
 
     // Climb to a new peak of 4 live events.
-    q.schedule(Tick{40}, [] {});
-    q.schedule(Tick{50}, [] {});
+    q.post(Tick{40}, [] {});
+    q.post(Tick{50}, [] {});
     EXPECT_EQ(q.pending(), 4u);
     EXPECT_EQ(q.stats().max_pending, 4u);
 
     EXPECT_TRUE(q.step());   // e1 executes
     EXPECT_EQ(q.pending(), 3u);
-    q.schedule(Tick{60}, [] {});   // back to 4: ties, not beats, the peak
+    q.post(Tick{60}, [] {});   // back to 4: ties, not beats, the peak
     EXPECT_EQ(q.stats().max_pending, 4u);
     q.runAll();
 
@@ -383,9 +383,9 @@ TEST(EventQueue, WheelSpanBoundaryPlacementKeepsOrder)
     EventQueue q;
     const Tick::rep span = q.wheelSpan();
     std::vector<int> order;
-    q.scheduleIn(Tick{span}, [&] { order.push_back(0); });       // heap
-    q.scheduleIn(Tick{span - 1}, [&] { order.push_back(1); });   // wheel
-    q.scheduleIn(Tick{span}, [&] { order.push_back(2); });       // heap
+    q.postIn(Tick{span}, [&] { order.push_back(0); });       // heap
+    q.postIn(Tick{span - 1}, [&] { order.push_back(1); });   // wheel
+    q.postIn(Tick{span}, [&] { order.push_back(2); });       // heap
     q.runAll();
     EXPECT_EQ(order, (std::vector<int>{1, 0, 2}));
 }
@@ -399,7 +399,7 @@ TEST(Simulator, ComponentSeesTime)
         Tick seen{};
     } probe(sim, "probe");
 
-    sim.schedule(Tick{123}, [&] { probe.seen = probe.curTick(); });
+    sim.post(Tick{123}, [&] { probe.seen = probe.curTick(); });
     sim.run();
     EXPECT_EQ(probe.seen, 123u);
     EXPECT_EQ(probe.name(), "probe");
@@ -409,8 +409,8 @@ TEST(Simulator, RunWithLimit)
 {
     Simulator sim;
     int count = 0;
-    sim.schedule(Tick{10}, [&] { ++count; });
-    sim.schedule(Tick{1000}, [&] { ++count; });
+    sim.post(Tick{10}, [&] { ++count; });
+    sim.post(Tick{1000}, [&] { ++count; });
     sim.run(Tick{500});
     EXPECT_EQ(count, 1);
 }

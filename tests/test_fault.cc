@@ -452,9 +452,9 @@ TEST(Watchdog, FiresOnStalledProgressWithDiagnostics)
     // A self-rescheduling event advances simulated time while the
     // progress counter stays flat — the lost-callback signature.
     std::function<void()> tick = [&] {
-        sim.scheduleIn(nsToTicks(10.0), tick);
+        sim.postIn(nsToTicks(10.0), tick);
     };
-    sim.scheduleIn(nsToTicks(10.0), tick);
+    sim.postIn(nsToTicks(10.0), tick);
     wd.start();
     EXPECT_TRUE(wd.armed());
     try {
@@ -476,9 +476,9 @@ TEST(Watchdog, StaysQuietWhileProgressing)
     Watchdog wd(sim, "wd", nsToTicks(100.0), [&] { return progress; });
     std::function<void()> tick = [&] {
         ++progress;
-        sim.scheduleIn(nsToTicks(10.0), tick);
+        sim.postIn(nsToTicks(10.0), tick);
     };
-    sim.scheduleIn(nsToTicks(10.0), tick);
+    sim.postIn(nsToTicks(10.0), tick);
     wd.start();
     sim.run(nsToTicks(5'000.0));
     wd.stop();
