@@ -26,7 +26,12 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "cache/cache.hh"
+#include "cache/legacy_cache.hh"
+#include "cache/legacy_mshr.hh"
+#include "cache/mshr.hh"
 #include "obs/profile.hh"
+#include "sim/finish_pool.hh"
 #include "sim/legacy_event_queue.hh"
 
 namespace {
@@ -104,6 +109,97 @@ runPattern(Pattern pattern, std::uint64_t target_events)
     return secs > 0.0 ? static_cast<double>(executed) / secs : 0.0;
 }
 
+/** One precomputed cache-array operation (identical for both layouts). */
+struct CacheOp
+{
+    Addr addr;
+    std::uint8_t kind;      ///< 0..5 access, 6..8 insert, 9 invalidate
+    LineClass cls;
+    bool dirty;
+};
+
+/**
+ * Drive @p target_ops of mixed lookup/insert/invalidate traffic through
+ * a cache array (SoA or legacy node-based) and return ops/sec. The op
+ * stream is precomputed so both layouts chew byte-identical work; the
+ * shape mimics an L2 under the paper's counter cap: 512 sets x 8 ways,
+ * counters capped at 32 KB, addresses drawn from ~3x capacity.
+ */
+template <typename Cache>
+double
+runCacheLookup(std::uint64_t target_ops)
+{
+    constexpr unsigned kSets = 512, kAssoc = 8;
+    CacheArrayConfig cfg;
+    cfg.assoc = kAssoc;
+    cfg.size_bytes = std::uint64_t{kSets} * kAssoc * kBlockBytes;
+    cfg.class_cap_bytes[static_cast<int>(LineClass::Counter)] = 32_KiB;
+    Cache c("bench", cfg);
+
+    std::vector<CacheOp> ops(8192);
+    Rng rng(0xcac4e);
+    for (auto &op : ops) {
+        op.addr = Addr{rng.below(3 * kSets * kAssoc) * kBlockBytes};
+        op.kind = static_cast<std::uint8_t>(rng.below(10));
+        op.cls = rng.below(4) == 0 ? LineClass::Counter : LineClass::Data;
+        op.dirty = rng.below(4) == 0;
+    }
+
+    std::uint64_t sink = 0;
+    obs::HostTimer timer;
+    std::uint64_t done = 0;
+    while (done < target_ops) {
+        for (const CacheOp &op : ops) {
+            if (op.kind < 6)
+                sink += c.access(op.addr, op.cls, op.dirty);
+            else if (op.kind < 9)
+                sink += c.insert(op.addr, op.cls, op.dirty).has_value();
+            else
+                sink += c.invalidate(op.addr).has_value();
+        }
+        done += ops.size();
+    }
+    const double secs = timer.seconds();
+    if (sink == target_ops + 1)
+        std::fputs("", stdout);
+    return secs > 0.0 ? static_cast<double>(done) / secs : 0.0;
+}
+
+/**
+ * Drive allocate/merge/complete cycles through an MSHR file and return
+ * ops/sec. @p make_cb adapts the waiter-continuation type: pooled
+ * FinishCb for the bucket-table file, heap std::function for the
+ * legacy hash-map file — so the row measures exactly the
+ * September-miss-path swap (pool + intrusive chains vs map + vector +
+ * closure allocations).
+ */
+template <typename Mshr, typename MakeCb>
+double
+runMissPath(std::uint64_t target_ops, MakeCb make_cb)
+{
+    constexpr std::uint64_t kBlocks = 4096;
+    Mshr m(64);
+    std::uint64_t sink = 0;
+    obs::HostTimer timer;
+    std::uint64_t done = 0;
+    while (done < target_ops) {
+        for (std::uint64_t i = 0; i < 64; ++i) {
+            const Addr a{((done + i * 67) % kBlocks) * kBlockBytes};
+            m.allocate(a, make_cb(&sink));
+            m.allocate(a, make_cb(&sink));   // merged waiter
+        }
+        for (std::uint64_t i = 0; i < 64; ++i) {
+            const Addr a{((done + i * 67) % kBlocks) * kBlockBytes};
+            m.complete(a, Tick{done + i});
+        }
+        done += 3 * 64;
+    }
+    const double secs = timer.seconds();
+    if (sink == target_ops + 1)
+        std::fputs("", stdout);
+    return secs > 0.0 ? static_cast<double>(done) / secs : 0.0;
+}
+
 } // namespace
 
 int
@@ -136,6 +232,36 @@ main()
         const double lps = runPattern<legacy::EventQueue>(p, target);
         const double nps = runPattern<EventQueue>(p, target);
         t.addRow({patternName(p), Table::num(lps * 1e-6),
+                  Table::num(nps * 1e-6),
+                  Table::num(lps > 0.0 ? nps / lps : 0.0)});
+    }
+
+    // Memory-system data-layout rows: SoA cache array vs the preserved
+    // node-based one, pooled MSHR miss path vs hash-map/std::function.
+    // Same machine-relative contract as the kernel patterns above.
+    {
+        runCacheLookup<legacy::CacheArray>(target / 16);
+        runCacheLookup<CacheArray>(target / 16);
+        const double lps = runCacheLookup<legacy::CacheArray>(target);
+        const double nps = runCacheLookup<CacheArray>(target);
+        t.addRow({"cache_lookup", Table::num(lps * 1e-6),
+                  Table::num(nps * 1e-6),
+                  Table::num(lps > 0.0 ? nps / lps : 0.0)});
+    }
+    {
+        FinishPool fp;
+        const auto pooled = [&fp](std::uint64_t *sink) {
+            return fp.make([sink](Tick t) { *sink += t.value() & 1; });
+        };
+        const auto heaped = [](std::uint64_t *sink) {
+            return legacy::MshrFile::Callback(
+                [sink](Tick t) { *sink += t.value() & 1; });
+        };
+        runMissPath<legacy::MshrFile>(target / 16, heaped);
+        runMissPath<MshrFile>(target / 16, pooled);
+        const double lps = runMissPath<legacy::MshrFile>(target, heaped);
+        const double nps = runMissPath<MshrFile>(target, pooled);
+        t.addRow({"miss_path", Table::num(lps * 1e-6),
                   Table::num(nps * 1e-6),
                   Table::num(lps > 0.0 ? nps / lps : 0.0)});
     }

@@ -47,7 +47,15 @@ CacheArray::CacheArray(std::string name, const CacheArrayConfig &cfg)
                            kBlockBytes));
     fatal_if(num_sets_ == 0, "%s: zero sets", name_.c_str());
     sets_pow2_ = isPowerOf2(num_sets_);
-    lines_.resize(static_cast<size_t>(num_sets_) * cfg_.assoc);
+    const size_t n = static_cast<size_t>(num_sets_) * cfg_.assoc;
+    tag_.assign(n, kBlockInvalid);
+    valid_.assign(n, 0);
+    dirty_.assign(n, 0);
+    flag_.assign(n, 0);
+    cls_.assign(n, LineClass::Data);
+    last_use_.assign(n, 0);
+    lru_prev_.assign(n, kNil);
+    lru_next_.assign(n, kNil);
 }
 
 unsigned
@@ -60,49 +68,76 @@ CacheArray::setIndex(Addr addr) const
     return static_cast<unsigned>(blockNumber(addr) % num_sets_);
 }
 
-CacheArray::Line *
-CacheArray::findLine(Addr addr)
+std::uint32_t
+CacheArray::findIndex(Addr addr) const
 {
     const BlockNum blk = blockNumber(addr);
-    const unsigned set = setIndex(addr);
-    Line *base = &lines_[static_cast<size_t>(set) * cfg_.assoc];
+    const std::uint32_t base =
+        static_cast<std::uint32_t>(setIndex(addr)) * cfg_.assoc;
+    // Linear scan over the set's contiguous tag column; valid[] is
+    // checked second so invalid ways with stale tags don't match.
     for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == blk)
-            return &base[w];
+        const std::uint32_t idx = base + w;
+        if (tag_[idx] == blk && valid_[idx])
+            return idx;
     }
-    return nullptr;
-}
-
-const CacheArray::Line *
-CacheArray::findLine(Addr addr) const
-{
-    return const_cast<CacheArray *>(this)->findLine(addr);
+    return kNil;
 }
 
 void
-CacheArray::touch(Line &line)
+CacheArray::listAppend(LineClass cls, std::uint32_t idx)
 {
-    line.last_use = ++use_clock_;
-    auto &lru = class_lru_[static_cast<int>(line.cls)];
-    lru.splice(lru.end(), lru, line.class_it);
+    ClassList &l = class_lru_[static_cast<int>(cls)];
+    lru_prev_[idx] = l.tail;
+    lru_next_[idx] = kNil;
+    if (l.tail == kNil)
+        l.head = idx;
+    else
+        lru_next_[l.tail] = idx;
+    l.tail = idx;
 }
 
 void
-CacheArray::removeFromClassList(Line &line)
+CacheArray::listRemove(LineClass cls, std::uint32_t idx)
 {
-    auto &lru = class_lru_[static_cast<int>(line.cls)];
-    lru.erase(line.class_it);
+    ClassList &l = class_lru_[static_cast<int>(cls)];
+    const std::uint32_t prev = lru_prev_[idx];
+    const std::uint32_t next = lru_next_[idx];
+    if (prev == kNil)
+        l.head = next;
+    else
+        lru_next_[prev] = next;
+    if (next == kNil)
+        l.tail = prev;
+    else
+        lru_prev_[next] = prev;
+    lru_prev_[idx] = kNil;
+    lru_next_[idx] = kNil;
+}
+
+void
+CacheArray::touch(std::uint32_t idx)
+{
+    last_use_[idx] = ++use_clock_;
+    // Splice to the MRU (tail) end of the line's class list.
+    const LineClass cls = cls_[idx];
+    if (class_lru_[static_cast<int>(cls)].tail != idx) {
+        listRemove(cls, idx);
+        listAppend(cls, idx);
+    }
 }
 
 bool
 CacheArray::access(Addr addr, LineClass cls, bool is_write)
 {
-    Line *line = findLine(addr);
-    if (line) {
+    const std::uint32_t idx = findIndex(addr);
+    if (idx != kNil) {
+        // Stats are charged to the *requested* class, not the resident
+        // line's class (matters when a request type changes).
         ++stats_.hits[static_cast<int>(cls)];
-        touch(*line);
+        touch(idx);
         if (is_write)
-            line->dirty = true;
+            dirty_[idx] = 1;
         return true;
     }
     ++stats_.misses[static_cast<int>(cls)];
@@ -112,43 +147,47 @@ CacheArray::access(Addr addr, LineClass cls, bool is_write)
 bool
 CacheArray::contains(Addr addr) const
 {
-    return findLine(addr) != nullptr;
+    return findIndex(addr) != kNil;
 }
 
 std::optional<LineClass>
 CacheArray::residentClass(Addr addr) const
 {
-    const Line *line = findLine(addr);
-    if (!line)
+    const std::uint32_t idx = findIndex(addr);
+    if (idx == kNil)
         return std::nullopt;
-    return line->cls;
+    return cls_[idx];
 }
 
-CacheArray::Line &
-CacheArray::victimWay(unsigned set)
+std::uint32_t
+CacheArray::victimWay(unsigned set) const
 {
-    Line *base = &lines_[static_cast<size_t>(set) * cfg_.assoc];
-    Line *victim = &base[0];
+    const std::uint32_t base = static_cast<std::uint32_t>(set) * cfg_.assoc;
+    std::uint32_t victim = base;
     for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        if (!base[w].valid)
-            return base[w];
-        if (base[w].last_use < victim->last_use)
-            victim = &base[w];
+        const std::uint32_t idx = base + w;
+        if (!valid_[idx])
+            return idx;
+        if (last_use_[idx] < last_use_[victim])
+            victim = idx;
     }
-    return *victim;
+    return victim;
 }
 
 void
-CacheArray::evictLine(Line &line, std::optional<Victim> &victim_out)
+CacheArray::evictLine(std::uint32_t idx, std::optional<Victim> &victim_out)
 {
-    victim_out = Victim{blockBase(line.tag), line.cls, line.dirty};
-    ++stats_.evictions[static_cast<int>(line.cls)];
-    if (line.dirty)
-        ++stats_.dirty_evictions[static_cast<int>(line.cls)];
-    --class_count_[static_cast<int>(line.cls)];
-    removeFromClassList(line);
-    line.valid = false;
-    line.dirty = false;
+    victim_out = Victim{blockBase(tag_[idx]), cls_[idx], dirty_[idx] != 0};
+    ++stats_.evictions[static_cast<int>(cls_[idx])];
+    if (dirty_[idx])
+        ++stats_.dirty_evictions[static_cast<int>(cls_[idx])];
+    --class_count_[static_cast<int>(cls_[idx])];
+    listRemove(cls_[idx], idx);
+    valid_[idx] = 0;
+    dirty_[idx] = 0;
+    // NB: flag is deliberately NOT cleared here; the hierarchy layer
+    // sets it on every insert it cares about. Pinned by the
+    // differential harness against legacy_cache.hh.
 }
 
 std::optional<Victim>
@@ -156,31 +195,54 @@ CacheArray::insert(Addr addr, LineClass cls, bool dirty)
 {
     std::optional<Victim> victim;
 
-    if (Line *line = findLine(addr)) {
+    // One fused scan over the set: resident match, first invalid way,
+    // and LRU way. Saves the second full scan (victimWay) on the miss
+    // path; the victim choice must match victimWay() exactly — first
+    // invalid way wins, else minimum last_use_ with ties to the lowest
+    // way.
+    const unsigned set = setIndex(addr);
+    const std::uint32_t base = static_cast<std::uint32_t>(set) * cfg_.assoc;
+    const BlockNum blk = blockNumber(addr);
+    std::uint32_t match = kNil;
+    std::uint32_t first_invalid = kNil;
+    std::uint32_t lru_way = base;
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        const std::uint32_t i = base + w;
+        if (!valid_[i]) {
+            if (first_invalid == kNil)
+                first_invalid = i;
+        } else if (tag_[i] == blk) {
+            match = i;
+            break;
+        } else if (last_use_[i] < last_use_[lru_way]) {
+            lru_way = i;
+        }
+    }
+
+    if (const std::uint32_t idx = match; idx != kNil) {
         // Already resident: refresh. A class change (shouldn't normally
         // happen) re-files the line under the new class — and must
         // still honor the new class's footprint cap.
-        if (line->cls != cls) {
-            --class_count_[static_cast<int>(line->cls)];
-            removeFromClassList(*line);
-            line->cls = cls;
+        if (cls_[idx] != cls) {
+            --class_count_[static_cast<int>(cls_[idx])];
+            listRemove(cls_[idx], idx);
+            cls_[idx] = cls;
             ++class_count_[static_cast<int>(cls)];
-            auto &lru = class_lru_[static_cast<int>(cls)];
-            line->class_it = lru.insert(lru.end(), line);
+            listAppend(cls, idx);
             const auto cap = cfg_.class_cap_bytes[static_cast<int>(cls)];
             if (cap != 0 &&
                 class_count_[static_cast<int>(cls)] > cap / kBlockBytes) {
                 // Evict the class LRU (never the just-refiled line,
                 // which sits at the MRU end).
                 std::optional<Victim> capped;
-                evictLine(*lru.front(), capped);
-                touch(*line);
-                line->dirty = line->dirty || dirty;
+                evictLine(class_lru_[static_cast<int>(cls)].head, capped);
+                touch(idx);
+                dirty_[idx] = static_cast<std::uint8_t>(dirty_[idx] | dirty);
                 return capped;
             }
         }
-        touch(*line);
-        line->dirty = line->dirty || dirty;
+        touch(idx);
+        dirty_[idx] = static_cast<std::uint8_t>(dirty_[idx] | dirty);
         return std::nullopt;
     }
 
@@ -189,27 +251,32 @@ CacheArray::insert(Addr addr, LineClass cls, bool dirty)
     // Enforce the per-class footprint cap by evicting the class-global
     // LRU line before allocating.
     const auto cap = cfg_.class_cap_bytes[static_cast<int>(cls)];
+    bool rescan = false;
     if (cap != 0) {
         const Count cap_blocks = cap / kBlockBytes;
         if (class_count_[static_cast<int>(cls)] >= cap_blocks &&
             cap_blocks > 0) {
-            auto &lru = class_lru_[static_cast<int>(cls)];
-            if (!lru.empty()) {
-                Line *lru_line = lru.front();
+            const std::uint32_t lru = class_lru_[static_cast<int>(cls)].head;
+            if (lru != kNil) {
                 std::optional<Victim> capped;
-                evictLine(*lru_line, capped);
+                evictLine(lru, capped);
                 // A cap eviction is a real eviction; report it if the
                 // new line lands in a different set (otherwise the way
                 // is reused below and victim stays as-is).
                 victim = capped;
+                // The cap eviction freed a way; if it is in this set the
+                // fused-scan victim is stale (a fresh scan would prefer
+                // the newly invalid way).
+                rescan = lru >= base && lru < base + cfg_.assoc;
             }
         }
     }
 
-    const unsigned set = setIndex(addr);
-    Line &way = victimWay(set);
+    const std::uint32_t way =
+        rescan ? victimWay(set)
+               : (first_invalid != kNil ? first_invalid : lru_way);
     std::optional<Victim> set_victim;
-    if (way.valid)
+    if (valid_[way])
         evictLine(way, set_victim);
     if (set_victim) {
         // If both a cap eviction and a set eviction happened, the cap
@@ -221,13 +288,12 @@ CacheArray::insert(Addr addr, LineClass cls, bool dirty)
             victim = set_victim;
     }
 
-    way.valid = true;
-    way.dirty = dirty;
-    way.tag = blockNumber(addr);
-    way.cls = cls;
-    way.last_use = ++use_clock_;
-    auto &lru = class_lru_[static_cast<int>(cls)];
-    way.class_it = lru.insert(lru.end(), &way);
+    valid_[way] = 1;
+    dirty_[way] = dirty ? 1 : 0;
+    tag_[way] = blockNumber(addr);
+    cls_[way] = cls;
+    last_use_[way] = ++use_clock_;
+    listAppend(cls, way);
     ++class_count_[static_cast<int>(cls)];
     return victim;
 }
@@ -235,37 +301,39 @@ CacheArray::insert(Addr addr, LineClass cls, bool dirty)
 std::optional<bool>
 CacheArray::invalidate(Addr addr)
 {
-    Line *line = findLine(addr);
-    if (!line)
+    const std::uint32_t idx = findIndex(addr);
+    if (idx == kNil)
         return std::nullopt;
-    const bool was_dirty = line->dirty;
-    ++stats_.invalidations[static_cast<int>(line->cls)];
-    --class_count_[static_cast<int>(line->cls)];
-    removeFromClassList(*line);
-    line->valid = false;
-    line->dirty = false;
+    const bool was_dirty = dirty_[idx] != 0;
+    ++stats_.invalidations[static_cast<int>(cls_[idx])];
+    --class_count_[static_cast<int>(cls_[idx])];
+    listRemove(cls_[idx], idx);
+    valid_[idx] = 0;
+    dirty_[idx] = 0;
     return was_dirty;
 }
 
 void
 CacheArray::markClean(Addr addr)
 {
-    if (Line *line = findLine(addr))
-        line->dirty = false;
+    const std::uint32_t idx = findIndex(addr);
+    if (idx != kNil)
+        dirty_[idx] = 0;
 }
 
 void
 CacheArray::setFlag(Addr addr, bool value)
 {
-    if (Line *line = findLine(addr))
-        line->flag = value;
+    const std::uint32_t idx = findIndex(addr);
+    if (idx != kNil)
+        flag_[idx] = value ? 1 : 0;
 }
 
 bool
 CacheArray::getFlag(Addr addr) const
 {
-    const Line *line = findLine(addr);
-    return line != nullptr && line->flag;
+    const std::uint32_t idx = findIndex(addr);
+    return idx != kNil && flag_[idx] != 0;
 }
 
 void
@@ -299,12 +367,13 @@ CacheArray::registerMetrics(obs::MetricsRegistry &reg,
 void
 CacheArray::flushAll()
 {
-    for (auto &line : lines_) {
-        if (line.valid) {
-            --class_count_[static_cast<int>(line.cls)];
-            removeFromClassList(line);
-            line.valid = false;
-            line.dirty = false;
+    const std::uint32_t n = static_cast<std::uint32_t>(valid_.size());
+    for (std::uint32_t idx = 0; idx < n; ++idx) {
+        if (valid_[idx]) {
+            --class_count_[static_cast<int>(cls_[idx])];
+            listRemove(cls_[idx], idx);
+            valid_[idx] = 0;
+            dirty_[idx] = 0;
         }
     }
 }

@@ -1,6 +1,6 @@
 /**
  * @file
- * Set-associative cache model.
+ * Set-associative cache model — structure-of-arrays layout.
  *
  * This is a functional array with LRU replacement, write-back /
  * write-allocate semantics and per-"line class" accounting. Timing is
@@ -13,15 +13,24 @@
  * as a per-class global LRU list so that inserting a counter block past
  * the cap evicts the least-recently-used *counter* block rather than
  * data.
+ *
+ * Layout: lines live in parallel columns (tag[], valid[], dirty[],
+ * flag[], cls[], last_use[]) indexed set-major, so a set's ways are
+ * contiguous in each column and lookup is a linear scan over a few
+ * cache lines of tags instead of a stride over fat structs. The
+ * per-class LRU that backs the footprint cap is an intrusive
+ * index-linked list (lru_prev[]/lru_next[] columns + per-class
+ * head/tail) — no per-line heap nodes, no iterators. The previous
+ * node-based implementation is preserved verbatim in legacy_cache.hh
+ * and pinned against this one by the differential harness in
+ * tests/test_properties.cc.
  */
 
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -152,36 +161,45 @@ class CacheArray
     void flushAll();
 
   private:
-    struct Line
-    {
-        BlockNum tag = kBlockInvalid;  ///< block number, not raw address
-        bool valid = false;
-        bool dirty = false;
-        bool flag = false;             ///< see setFlag()
-        LineClass cls = LineClass::Data;
-        std::uint64_t last_use = 0;    ///< global LRU stamp
-        /// position in the per-class LRU list (valid lines only)
-        std::list<Line *>::iterator class_it;
-    };
+    /// null link / "no line" sentinel for the intrusive lists
+    static constexpr std::uint32_t kNil = 0xffffffffu;
 
     unsigned setIndex(Addr addr) const;
-    Line *findLine(Addr addr);
-    const Line *findLine(Addr addr) const;
+    /** Index of a resident block's line, or kNil. */
+    std::uint32_t findIndex(Addr addr) const;
     /** Pick the LRU way in a set (prefers invalid ways). */
-    Line &victimWay(unsigned set);
-    void touch(Line &line);
-    void removeFromClassList(Line &line);
-    void evictLine(Line &line, std::optional<Victim> &victim_out);
+    std::uint32_t victimWay(unsigned set) const;
+    void touch(std::uint32_t idx);
+    void listAppend(LineClass cls, std::uint32_t idx);
+    void listRemove(LineClass cls, std::uint32_t idx);
+    void evictLine(std::uint32_t idx, std::optional<Victim> &victim_out);
 
     std::string name_;
     CacheArrayConfig cfg_;
     unsigned num_sets_;
     bool sets_pow2_ = true;
-    std::vector<Line> lines_;   ///< num_sets_ * assoc, set-major
+
+    // Parallel columns, indexed set * assoc + way (set-major). A set's
+    // ways are contiguous in every column.
+    std::vector<BlockNum> tag_;
+    std::vector<std::uint8_t> valid_;
+    std::vector<std::uint8_t> dirty_;
+    std::vector<std::uint8_t> flag_;            ///< see setFlag()
+    std::vector<LineClass> cls_;
+    std::vector<std::uint64_t> last_use_;       ///< global LRU stamp
+    // Intrusive per-class LRU links (meaningful for valid lines only).
+    std::vector<std::uint32_t> lru_prev_;
+    std::vector<std::uint32_t> lru_next_;
+    /// per-class LRU list: head = LRU, tail = MRU
+    struct ClassList
+    {
+        std::uint32_t head = kNil;
+        std::uint32_t tail = kNil;
+    };
+    ClassList class_lru_[static_cast<int>(LineClass::NumClasses)];
+
     std::uint64_t use_clock_ = 0;
     Count class_count_[static_cast<int>(LineClass::NumClasses)] = {};
-    /// per-class LRU order, front = LRU, back = MRU
-    std::list<Line *> class_lru_[static_cast<int>(LineClass::NumClasses)];
     CacheArrayStats stats_;
 };
 

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * The original node-based CacheArray, preserved verbatim as a
+ * reference model.
+ *
+ * cache/cache.hh was rebuilt structure-of-arrays (contiguous per-set
+ * tag/valid/dirty/flag/cls/last_use columns, intrusive index-linked
+ * per-class LRU). This header keeps the previous implementation — a
+ * std::vector<Line> of fat structs plus std::list<Line*> per-class
+ * LRU lists with per-line iterators — so that:
+ *
+ *  - tests/test_properties.cc can drive both arrays through identical
+ *    randomized access/insert/invalidate/markClean/setFlag/flushAll
+ *    streams and assert identical hits, victims, class counts and
+ *    stats at every step (the differential harness that locks the
+ *    refactor in), and
+ *  - bench/host_perf.cc can report the cache_lookup speedup against
+ *    the real before-state, machine-relatively.
+ *
+ * Same pattern as sim/legacy_event_queue.hh. Shares LineClass /
+ * Victim / CacheArrayConfig / CacheArrayStats with the production
+ * array so the differential comparison is type-for-type. Do not use
+ * outside tests and benches; do not "fix" behavior here — byte-level
+ * stat equivalence with the SoA array is the contract.
+ */
+
+#pragma once
+
+#include <list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/log.hh"
+
+namespace emcc {
+namespace legacy {
+
+/** The pre-SoA cache array: fat Line structs + std::list class LRU. */
+class CacheArray
+{
+  public:
+    CacheArray(std::string name, const CacheArrayConfig &cfg)
+        : name_(std::move(name)), cfg_(cfg)
+    {
+        fatal_if(cfg_.assoc == 0, "%s: zero associativity", name_.c_str());
+        fatal_if(cfg_.size_bytes % (static_cast<std::uint64_t>(cfg_.assoc) *
+                                    kBlockBytes) != 0,
+                 "%s: size not divisible by assoc * block size",
+                 name_.c_str());
+        num_sets_ = static_cast<unsigned>(
+            cfg_.size_bytes / (static_cast<std::uint64_t>(cfg_.assoc) *
+                               kBlockBytes));
+        fatal_if(num_sets_ == 0, "%s: zero sets", name_.c_str());
+        sets_pow2_ = isPowerOf2(num_sets_);
+        lines_.resize(static_cast<size_t>(num_sets_) * cfg_.assoc);
+    }
+
+    const std::string &name() const { return name_; }
+    unsigned numSets() const { return num_sets_; }
+    unsigned assoc() const { return cfg_.assoc; }
+    std::uint64_t sizeBytes() const { return cfg_.size_bytes; }
+
+    bool
+    access(Addr addr, LineClass cls, bool is_write)
+    {
+        Line *line = findLine(addr);
+        if (line) {
+            ++stats_.hits[static_cast<int>(cls)];
+            touch(*line);
+            if (is_write)
+                line->dirty = true;
+            return true;
+        }
+        ++stats_.misses[static_cast<int>(cls)];
+        return false;
+    }
+
+    bool contains(Addr addr) const { return findLine(addr) != nullptr; }
+
+    std::optional<LineClass>
+    residentClass(Addr addr) const
+    {
+        const Line *line = findLine(addr);
+        if (!line)
+            return std::nullopt;
+        return line->cls;
+    }
+
+    std::optional<Victim>
+    insert(Addr addr, LineClass cls, bool dirty)
+    {
+        std::optional<Victim> victim;
+
+        if (Line *line = findLine(addr)) {
+            if (line->cls != cls) {
+                --class_count_[static_cast<int>(line->cls)];
+                removeFromClassList(*line);
+                line->cls = cls;
+                ++class_count_[static_cast<int>(cls)];
+                auto &lru = class_lru_[static_cast<int>(cls)];
+                line->class_it = lru.insert(lru.end(), line);
+                const auto cap = cfg_.class_cap_bytes[static_cast<int>(cls)];
+                if (cap != 0 &&
+                    class_count_[static_cast<int>(cls)] > cap / kBlockBytes) {
+                    std::optional<Victim> capped;
+                    evictLine(*lru.front(), capped);
+                    touch(*line);
+                    line->dirty = line->dirty || dirty;
+                    return capped;
+                }
+            }
+            touch(*line);
+            line->dirty = line->dirty || dirty;
+            return std::nullopt;
+        }
+
+        ++stats_.inserts[static_cast<int>(cls)];
+
+        const auto cap = cfg_.class_cap_bytes[static_cast<int>(cls)];
+        if (cap != 0) {
+            const Count cap_blocks = cap / kBlockBytes;
+            if (class_count_[static_cast<int>(cls)] >= cap_blocks &&
+                cap_blocks > 0) {
+                auto &lru = class_lru_[static_cast<int>(cls)];
+                if (!lru.empty()) {
+                    Line *lru_line = lru.front();
+                    std::optional<Victim> capped;
+                    evictLine(*lru_line, capped);
+                    victim = capped;
+                }
+            }
+        }
+
+        const unsigned set = setIndex(addr);
+        Line &way = victimWay(set);
+        std::optional<Victim> set_victim;
+        if (way.valid)
+            evictLine(way, set_victim);
+        if (set_victim) {
+            if (!victim || (!victim->dirty && set_victim->dirty))
+                victim = set_victim;
+        }
+
+        way.valid = true;
+        way.dirty = dirty;
+        way.tag = blockNumber(addr);
+        way.cls = cls;
+        way.last_use = ++use_clock_;
+        auto &lru = class_lru_[static_cast<int>(cls)];
+        way.class_it = lru.insert(lru.end(), &way);
+        ++class_count_[static_cast<int>(cls)];
+        return victim;
+    }
+
+    std::optional<bool>
+    invalidate(Addr addr)
+    {
+        Line *line = findLine(addr);
+        if (!line)
+            return std::nullopt;
+        const bool was_dirty = line->dirty;
+        ++stats_.invalidations[static_cast<int>(line->cls)];
+        --class_count_[static_cast<int>(line->cls)];
+        removeFromClassList(*line);
+        line->valid = false;
+        line->dirty = false;
+        return was_dirty;
+    }
+
+    void
+    markClean(Addr addr)
+    {
+        if (Line *line = findLine(addr))
+            line->dirty = false;
+    }
+
+    void
+    setFlag(Addr addr, bool value)
+    {
+        if (Line *line = findLine(addr))
+            line->flag = value;
+    }
+
+    bool
+    getFlag(Addr addr) const
+    {
+        const Line *line = findLine(addr);
+        return line != nullptr && line->flag;
+    }
+
+    Count
+    classCount(LineClass cls) const
+    {
+        return class_count_[static_cast<int>(cls)];
+    }
+
+    const CacheArrayStats &stats() const { return stats_; }
+    CacheArrayStats &stats() { return stats_; }
+
+    void resetStats() { stats_ = CacheArrayStats{}; }
+
+    void
+    flushAll()
+    {
+        for (auto &line : lines_) {
+            if (line.valid) {
+                --class_count_[static_cast<int>(line.cls)];
+                removeFromClassList(line);
+                line.valid = false;
+                line.dirty = false;
+            }
+        }
+    }
+
+  private:
+    struct Line
+    {
+        BlockNum tag = kBlockInvalid;
+        bool valid = false;
+        bool dirty = false;
+        bool flag = false;
+        LineClass cls = LineClass::Data;
+        std::uint64_t last_use = 0;
+        std::list<Line *>::iterator class_it;
+    };
+
+    unsigned
+    setIndex(Addr addr) const
+    {
+        if (sets_pow2_)
+            return static_cast<unsigned>(blockNumber(addr) & (num_sets_ - 1));
+        return static_cast<unsigned>(blockNumber(addr) % num_sets_);
+    }
+
+    Line *
+    findLine(Addr addr)
+    {
+        const BlockNum blk = blockNumber(addr);
+        const unsigned set = setIndex(addr);
+        Line *base = &lines_[static_cast<size_t>(set) * cfg_.assoc];
+        for (unsigned w = 0; w < cfg_.assoc; ++w) {
+            if (base[w].valid && base[w].tag == blk)
+                return &base[w];
+        }
+        return nullptr;
+    }
+
+    const Line *
+    findLine(Addr addr) const
+    {
+        return const_cast<CacheArray *>(this)->findLine(addr);
+    }
+
+    Line &
+    victimWay(unsigned set)
+    {
+        Line *base = &lines_[static_cast<size_t>(set) * cfg_.assoc];
+        Line *victim = &base[0];
+        for (unsigned w = 0; w < cfg_.assoc; ++w) {
+            if (!base[w].valid)
+                return base[w];
+            if (base[w].last_use < victim->last_use)
+                victim = &base[w];
+        }
+        return *victim;
+    }
+
+    void
+    touch(Line &line)
+    {
+        line.last_use = ++use_clock_;
+        auto &lru = class_lru_[static_cast<int>(line.cls)];
+        lru.splice(lru.end(), lru, line.class_it);
+    }
+
+    void
+    removeFromClassList(Line &line)
+    {
+        auto &lru = class_lru_[static_cast<int>(line.cls)];
+        lru.erase(line.class_it);
+    }
+
+    void
+    evictLine(Line &line, std::optional<Victim> &victim_out)
+    {
+        victim_out = Victim{blockBase(line.tag), line.cls, line.dirty};
+        ++stats_.evictions[static_cast<int>(line.cls)];
+        if (line.dirty)
+            ++stats_.dirty_evictions[static_cast<int>(line.cls)];
+        --class_count_[static_cast<int>(line.cls)];
+        removeFromClassList(line);
+        line.valid = false;
+        line.dirty = false;
+        // NB: flag is deliberately NOT cleared — the production array
+        // replicates this (a new tenant inherits the stale flag until
+        // the hierarchy sets it); the differential harness pins it.
+    }
+
+    std::string name_;
+    CacheArrayConfig cfg_;
+    unsigned num_sets_;
+    bool sets_pow2_ = true;
+    std::vector<Line> lines_;
+    std::uint64_t use_clock_ = 0;
+    Count class_count_[static_cast<int>(LineClass::NumClasses)] = {};
+    std::list<Line *> class_lru_[static_cast<int>(LineClass::NumClasses)];
+    CacheArrayStats stats_;
+};
+
+} // namespace legacy
+} // namespace emcc

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The original std::function/unordered_map MSHR file, preserved as a
+ * reference model.
+ *
+ * cache/mshr.hh was rebuilt on pooled records (SlabPool entries +
+ * intrusive waiter chains holding pooled FinishCb continuations).
+ * This header keeps the previous implementation so that the
+ * differential test in tests/test_properties.cc and the miss_path
+ * microbench row in bench/host_perf.cc can compare outcome-for-
+ * outcome and cycle-for-cycle against the real before-state. Same
+ * pattern as sim/legacy_event_queue.hh / cache/legacy_cache.hh. Do
+ * not use outside tests and benches.
+ */
+
+// emcc-lint: allow-file(std-function)
+
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/mshr.hh"
+#include "common/types.hh"
+
+namespace emcc {
+namespace legacy {
+
+/** The pre-pool MSHR file: hash map of std::function waiter vectors. */
+class MshrFile
+{
+  public:
+    using Callback = std::function<void(Tick fill_tick)>;
+
+    explicit MshrFile(unsigned num_entries) : capacity_(num_entries) {}
+
+    unsigned capacity() const { return capacity_; }
+    unsigned inUse() const { return static_cast<unsigned>(entries_.size()); }
+
+    bool
+    outstanding(Addr addr) const
+    {
+        return entries_.count(blockAlign(addr)) != 0;
+    }
+
+    MshrOutcome
+    allocate(Addr addr, Callback cb)
+    {
+        const Addr blk = blockAlign(addr);
+        auto it = entries_.find(blk);
+        if (it != entries_.end()) {
+            it->second.push_back(std::move(cb));
+            ++merged_;
+            return MshrOutcome::Merged;
+        }
+        if (entries_.size() >= capacity_) {
+            ++full_stalls_;
+            return MshrOutcome::Full;
+        }
+        entries_[blk].push_back(std::move(cb));
+        ++allocated_;
+        return MshrOutcome::NewMiss;
+    }
+
+    unsigned
+    complete(Addr addr, Tick fill_tick)
+    {
+        const Addr blk = blockAlign(addr);
+        auto it = entries_.find(blk);
+        if (it == entries_.end())
+            return 0;
+        std::vector<Callback> waiters = std::move(it->second);
+        entries_.erase(it);
+        for (auto &cb : waiters) {
+            if (cb)
+                cb(fill_tick);
+        }
+        return static_cast<unsigned>(waiters.size());
+    }
+
+    unsigned
+    waiters(Addr addr) const
+    {
+        auto it = entries_.find(blockAlign(addr));
+        return it == entries_.end()
+                   ? 0u
+                   : static_cast<unsigned>(it->second.size());
+    }
+
+    Count allocated() const { return allocated_; }
+    Count merged() const { return merged_; }
+    Count fullStalls() const { return full_stalls_; }
+
+    template <typename Fn>
+    void
+    forEachOutstanding(Fn fn) const
+    {
+        std::vector<Addr> addrs;
+        addrs.reserve(entries_.size());
+        // emcc-lint: allow(unordered-iter) — keys are sorted below
+        for (const auto &kv : entries_)
+            addrs.push_back(kv.first);
+        std::sort(addrs.begin(), addrs.end());
+        for (const Addr addr : addrs)
+            fn(addr, static_cast<unsigned>(entries_.at(addr).size()));
+    }
+
+  private:
+    unsigned capacity_;
+    std::unordered_map<Addr, std::vector<Callback>> entries_;
+    Count allocated_ = 0;
+    Count merged_ = 0;
+    Count full_stalls_ = 0;
+};
+
+} // namespace legacy
+} // namespace emcc

@@ -6,16 +6,25 @@
  * one memory-side request; all waiters complete when the fill arrives.
  * The timing layers use completion callbacks; the functional layers use
  * only the merge bookkeeping.
+ *
+ * Data layout: entries and waiter records live in generation-checked
+ * slab pools (sim/slab_pool.hh) and are found through a power-of-two
+ * bucket table chained with uint32 links — no std::unordered_map
+ * nodes, no std::vector per entry. Waiter continuations are pooled
+ * FinishCb handles (sim/finish_pool.hh), so the steady-state miss
+ * path performs zero heap allocation. The previous hash-map/
+ * std::function implementation is preserved in legacy_mshr.hh and
+ * compared differentially in tests/test_properties.cc.
  */
 
 #pragma once
 
 #include <algorithm>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/finish_pool.hh"
+#include "sim/slab_pool.hh"
 
 namespace emcc {
 
@@ -33,19 +42,27 @@ enum class MshrOutcome
 class MshrFile
 {
   public:
-    using Callback = std::function<void(Tick fill_tick)>;
+    using Callback = FinishCb;
 
-    explicit MshrFile(unsigned num_entries) : capacity_(num_entries) {}
+    explicit MshrFile(unsigned num_entries) : capacity_(num_entries)
+    {
+        // Bucket table sized to keep chains short at full occupancy;
+        // block-number low bits spread consecutive blocks uniformly.
+        std::size_t buckets = 16;
+        while (buckets < num_entries)
+            buckets <<= 1;
+        buckets_.assign(buckets, kNil);
+        bucket_mask_ = static_cast<std::uint64_t>(buckets - 1);
+    }
+
+    MshrFile(const MshrFile &) = delete;
+    MshrFile &operator=(const MshrFile &) = delete;
 
     unsigned capacity() const { return capacity_; }
-    unsigned inUse() const { return static_cast<unsigned>(entries_.size()); }
+    unsigned inUse() const { return in_use_; }
 
     /** Is there an outstanding miss for this block? */
-    bool
-    outstanding(Addr addr) const
-    {
-        return entries_.count(blockAlign(addr)) != 0;
-    }
+    bool outstanding(Addr addr) const { return findEntry(addr) != kNil; }
 
     /**
      * Allocate or merge. On NewMiss and Merged the callback is queued
@@ -55,17 +72,27 @@ class MshrFile
     allocate(Addr addr, Callback cb)
     {
         const Addr blk = blockAlign(addr);
-        auto it = entries_.find(blk);
-        if (it != entries_.end()) {
-            it->second.push_back(std::move(cb));
+        const std::uint32_t found = findEntry(blk);
+        if (found != kNil) {
+            appendWaiter(entries_.at(found), cb);
             ++merged_;
             return MshrOutcome::Merged;
         }
-        if (entries_.size() >= capacity_) {
+        if (in_use_ >= capacity_) {
             ++full_stalls_;
             return MshrOutcome::Full;
         }
-        entries_[blk].push_back(std::move(cb));
+        const std::uint32_t slot = entries_.alloc();
+        Entry &e = entries_.at(slot);
+        e.blk = blk;
+        e.waiter_head = kNil;
+        e.waiter_tail = kNil;
+        e.nwaiters = 0;
+        const std::size_t b = bucketOf(blk);
+        e.bucket_next = buckets_[b];
+        buckets_[b] = slot;
+        appendWaiter(e, cb);
+        ++in_use_;
         ++allocated_;
         return MshrOutcome::NewMiss;
     }
@@ -78,16 +105,38 @@ class MshrFile
     complete(Addr addr, Tick fill_tick)
     {
         const Addr blk = blockAlign(addr);
-        auto it = entries_.find(blk);
-        if (it == entries_.end())
+        const std::size_t b = bucketOf(blk);
+        std::uint32_t slot = buckets_[b];
+        std::uint32_t prev = kNil;
+        while (slot != kNil && entries_.at(slot).blk != blk) {
+            prev = slot;
+            slot = entries_.at(slot).bucket_next;
+        }
+        if (slot == kNil)
             return 0;
-        std::vector<Callback> waiters = std::move(it->second);
-        entries_.erase(it);
-        for (auto &cb : waiters) {
+        // Detach the entry and its waiter chain BEFORE invoking any
+        // callback: a waiter may re-allocate an MSHR for the same
+        // block (refetch paths do), and must see this miss retired.
+        Entry &e = entries_.at(slot);
+        if (prev == kNil)
+            buckets_[b] = e.bucket_next;
+        else
+            entries_.at(prev).bucket_next = e.bucket_next;
+        std::uint32_t w = e.waiter_head;
+        const unsigned served = e.nwaiters;
+        entries_.release(slot);
+        --in_use_;
+        while (w != kNil) {
+            Waiter &node = waiters_.at(w);
+            const FinishCb cb = node.cb;
+            const std::uint32_t next = node.next;
+            node.cb = FinishCb{};
+            waiters_.release(w);
             if (cb)
                 cb(fill_tick);
+            w = next;
         }
-        return static_cast<unsigned>(waiters.size());
+        return served;
     }
 
     /** Waiters currently queued on @p addr's outstanding miss (0 when
@@ -96,15 +145,17 @@ class MshrFile
     unsigned
     waiters(Addr addr) const
     {
-        auto it = entries_.find(blockAlign(addr));
-        return it == entries_.end()
-                   ? 0u
-                   : static_cast<unsigned>(it->second.size());
+        const std::uint32_t slot = findEntry(addr);
+        return slot == kNil ? 0u : entries_.at(slot).nwaiters;
     }
 
     Count allocated() const { return allocated_; }
     Count merged() const { return merged_; }
     Count fullStalls() const { return full_stalls_; }
+
+    /** Pool high-water marks, for the steady-state reuse tests. */
+    std::size_t entryPoolSlots() const { return entries_.slots(); }
+    std::size_t waiterPoolSlots() const { return waiters_.slots(); }
 
     /**
      * Visit every outstanding miss with its waiter count. Used by the
@@ -115,21 +166,76 @@ class MshrFile
     void
     forEachOutstanding(Fn fn) const
     {
-        // Visit in address order: the hash map's iteration order is not
-        // deterministic, and this feeds rendered diagnostics.
+        // Visit in address order: bucket/chain order reflects
+        // insertion history, and this feeds rendered diagnostics.
         std::vector<Addr> addrs;
-        addrs.reserve(entries_.size());
-        // emcc-lint: allow(unordered-iter) — keys are sorted below
-        for (const auto &kv : entries_)
-            addrs.push_back(kv.first);
+        addrs.reserve(in_use_);
+        for (const std::uint32_t head : buckets_) {
+            for (std::uint32_t s = head; s != kNil;
+                 s = entries_.at(s).bucket_next) {
+                addrs.push_back(entries_.at(s).blk);
+            }
+        }
         std::sort(addrs.begin(), addrs.end());
         for (const Addr addr : addrs)
-            fn(addr, static_cast<unsigned>(entries_.at(addr).size()));
+            fn(addr, waiters(addr));
     }
 
   private:
+    static constexpr std::uint32_t kNil = SlabPool<int>::kNilSlot;
+
+    struct Entry
+    {
+        Addr blk{};
+        std::uint32_t bucket_next = kNil;
+        std::uint32_t waiter_head = kNil;   ///< FIFO: head completes first
+        std::uint32_t waiter_tail = kNil;
+        unsigned nwaiters = 0;
+    };
+
+    struct Waiter
+    {
+        FinishCb cb;
+        std::uint32_t next = kNil;
+    };
+
+    std::size_t
+    bucketOf(Addr blk) const
+    {
+        return static_cast<std::size_t>(blockNumber(blk) & bucket_mask_);
+    }
+
+    std::uint32_t
+    findEntry(Addr addr) const
+    {
+        const Addr blk = blockAlign(addr);
+        std::uint32_t slot = buckets_[bucketOf(blk)];
+        while (slot != kNil && entries_.at(slot).blk != blk)
+            slot = entries_.at(slot).bucket_next;
+        return slot;
+    }
+
+    void
+    appendWaiter(Entry &e, FinishCb cb)
+    {
+        const std::uint32_t w = waiters_.alloc();
+        Waiter &node = waiters_.at(w);
+        node.cb = cb;
+        node.next = kNil;
+        if (e.waiter_tail == kNil)
+            e.waiter_head = w;
+        else
+            waiters_.at(e.waiter_tail).next = w;
+        e.waiter_tail = w;
+        ++e.nwaiters;
+    }
+
     unsigned capacity_;
-    std::unordered_map<Addr, std::vector<Callback>> entries_;
+    unsigned in_use_ = 0;
+    std::vector<std::uint32_t> buckets_;
+    std::uint64_t bucket_mask_ = 0;
+    SlabPool<Entry> entries_;
+    SlabPool<Waiter> waiters_;
     Count allocated_ = 0;
     Count merged_ = 0;
     Count full_stalls_ = 0;

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Open-addressing hash map keyed by Addr, for hot bookkeeping tables.
+ *
+ * The secure-memory hierarchy keeps several per-core side tables on
+ * the access fast path (pending store fills, in-flight counter
+ * fetches, counter-usefulness state). As std::unordered_map they cost
+ * one node allocation per insert and a pointer chase per probe —
+ * measurable in the e2e profile. This map stores {key, value} pairs
+ * inline in one power-of-two slot array with linear probing and
+ * tombstones: inserts allocate only on growth, probes touch one cache
+ * line in the common case.
+ *
+ * Deliberately minimal: no iteration (tables on the hot path must not
+ * depend on hash order — see the unordered-iter lint rule), no
+ * iterator-based erase. Pointers returned by find()/operator[] are
+ * invalidated by the next insert.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hh"
+
+namespace emcc {
+
+template <typename V>
+class FlatAddrMap
+{
+  public:
+    FlatAddrMap() = default;
+
+    FlatAddrMap(const FlatAddrMap &) = delete;
+    FlatAddrMap &operator=(const FlatAddrMap &) = delete;
+    FlatAddrMap(FlatAddrMap &&) = default;
+    FlatAddrMap &operator=(FlatAddrMap &&) = default;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Pointer to the mapped value, or nullptr. Invalidated by the
+     *  next insert. */
+    V *
+    find(Addr key)
+    {
+        const std::size_t idx = probe(key);
+        if (idx == kNpos || slots_[idx].state != State::Full)
+            return nullptr;
+        return &slots_[idx].value;
+    }
+
+    const V *
+    find(Addr key) const
+    {
+        return const_cast<FlatAddrMap *>(this)->find(key);
+    }
+
+    bool contains(Addr key) const { return find(key) != nullptr; }
+
+    /** Insert default-constructed on miss; reference to the value. */
+    V &
+    operator[](Addr key)
+    {
+        reserveOne();
+        const std::size_t idx = probeForInsert(key);
+        Slot &s = slots_[idx];
+        if (s.state != State::Full) {
+            s.key = key;
+            s.value = V{};
+            s.state = State::Full;
+            ++size_;
+        }
+        return s.value;
+    }
+
+    /** Insert only if absent (std::map semantics: no overwrite).
+     *  @return true when the insertion happened. */
+    bool
+    emplace(Addr key, V value)
+    {
+        reserveOne();
+        const std::size_t idx = probeForInsert(key);
+        Slot &s = slots_[idx];
+        if (s.state == State::Full)
+            return false;
+        s.key = key;
+        s.value = value;
+        s.state = State::Full;
+        ++size_;
+        return true;
+    }
+
+    /** Remove a key if present. @return true when it was present. */
+    bool
+    erase(Addr key)
+    {
+        const std::size_t idx = probe(key);
+        if (idx == kNpos || slots_[idx].state != State::Full)
+            return false;
+        slots_[idx].state = State::Tombstone;
+        --size_;
+        ++tombstones_;
+        return true;
+    }
+
+  private:
+    enum class State : std::uint8_t { Empty = 0, Full, Tombstone };
+
+    struct Slot
+    {
+        Addr key{};
+        V value{};
+        State state = State::Empty;
+    };
+
+    static constexpr std::size_t kNpos = ~std::size_t{0};
+    static constexpr std::size_t kMinCapacity = 16;
+
+    static std::size_t
+    hash(Addr key)
+    {
+        // Fibonacci multiplicative hash; addresses are block-aligned,
+        // so fold the low zero bits out first.
+        const std::uint64_t x = key.value() >> 6;
+        return static_cast<std::size_t>(
+            (x ^ (x >> 29)) * 0x9e3779b97f4a7c15ull >> 17);
+    }
+
+    /** Slot holding @p key, or kNpos / first-empty when absent. */
+    std::size_t
+    probe(Addr key) const
+    {
+        if (capacity_ == 0)
+            return kNpos;
+        const std::size_t mask = capacity_ - 1;
+        std::size_t idx = hash(key) & mask;
+        while (true) {
+            const Slot &s = slots_[idx];
+            if (s.state == State::Empty)
+                return idx;
+            if (s.state == State::Full && s.key == key)
+                return idx;
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /** Slot to write @p key into: its current slot if present, else
+     *  the first tombstone/empty on its probe chain. */
+    std::size_t
+    probeForInsert(Addr key)
+    {
+        const std::size_t mask = capacity_ - 1;
+        std::size_t idx = hash(key) & mask;
+        std::size_t first_free = kNpos;
+        while (true) {
+            const Slot &s = slots_[idx];
+            if (s.state == State::Full && s.key == key)
+                return idx;
+            if (s.state == State::Tombstone) {
+                if (first_free == kNpos)
+                    first_free = idx;
+            } else if (s.state == State::Empty) {
+                if (first_free == kNpos)
+                    return idx;
+                // Reusing a tombstone keeps chains from growing.
+                --tombstones_;
+                return first_free;
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    void
+    reserveOne()
+    {
+        // Keep live + tombstoned occupancy under 3/4 so probe chains
+        // stay short; rehash drops the tombstones.
+        if (capacity_ == 0 ||
+            (size_ + tombstones_ + 1) * 4 > capacity_ * 3) {
+            rehash(capacity_ == 0 ? kMinCapacity
+                                  : (size_ + 1) * 4 > capacity_ * 3
+                                        ? capacity_ * 2
+                                        : capacity_);
+        }
+    }
+
+    void
+    rehash(std::size_t new_capacity)
+    {
+        auto old = std::move(slots_);
+        const std::size_t old_capacity = capacity_;
+        slots_ = std::make_unique<Slot[]>(new_capacity);
+        capacity_ = new_capacity;
+        tombstones_ = 0;
+        size_ = 0;
+        // Insert directly (not via emplace): the capacity was chosen
+        // above, and a recursive rehash mid-copy must be impossible.
+        for (std::size_t i = 0; i < old_capacity; ++i) {
+            if (old[i].state != State::Full)
+                continue;
+            Slot &s = slots_[probeForInsert(old[i].key)];
+            s.key = old[i].key;
+            s.value = old[i].value;
+            s.state = State::Full;
+            ++size_;
+        }
+    }
+
+    std::unique_ptr<Slot[]> slots_;
+    std::size_t capacity_ = 0;
+    std::size_t size_ = 0;
+    std::size_t tombstones_ = 0;
+};
+
+} // namespace emcc

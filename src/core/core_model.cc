@@ -64,10 +64,11 @@ CoreModel::dispatchOne(const MemRef &ref, Tick dispatch_time)
     if (ref.is_write) {
         ++stats_.stores;
         ++outstanding_stores_;
-        port_->write(core_id_, ref.vaddr, [this](Tick done_tick) {
+        port_->write(core_id_, ref.vaddr,
+                     port_->finishPool().make([this](Tick done_tick) {
             --outstanding_stores_;
             scheduleEngineAt(done_tick);
-        });
+        }));
     } else {
         ++stats_.loads;
         group.complete = kTickInvalid;
@@ -79,7 +80,7 @@ CoreModel::dispatchOne(const MemRef &ref, Tick dispatch_time)
         // groups are committed strictly in order, so the completion
         // callback finds its entry by counting from the front.
         const std::uint64_t seq = dispatch_seq_++;
-        port_->read(core_id_, ref.vaddr,
+        port_->read(core_id_, ref.vaddr, port_->finishPool().make(
                     [this, seq, dispatch_time](Tick done_tick) {
             // Locate the (still uncommitted) group for `seq`.
             const std::uint64_t committed = commit_seq_;
@@ -92,7 +93,7 @@ CoreModel::dispatchOne(const MemRef &ref, Tick dispatch_time)
             stats_.load_latency_sum_ns +=
                 ticksToNs(done_tick - dispatch_time);
             scheduleEngineAt(done_tick);
-        });
+        }));
         dispatched_instr_ += ninstr;
         rob_occupancy_ += ninstr;
         return;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/finish_pool.hh"
 #include "sim/simulator.hh"
 #include "workloads/memref.hh"
 
@@ -61,16 +62,21 @@ class MemorySystemPort
   public:
     virtual ~MemorySystemPort() = default;
 
+    /** Pool the caller makes @p done continuations in. Owned by the
+     *  port implementation so completions pass through the memory
+     *  system as pooled 16-byte handles — one core memory op costs
+     *  zero heap allocations (the std::function this replaces
+     *  allocated per dispatched load/store). */
+    virtual FinishPool &finishPool() = 0;
+
     /** Issue a data read; @p done fires when data is usable by the
      *  core. */
-    virtual void read(unsigned core, Addr vaddr,
-                      std::function<void(Tick)> done) = 0;
+    virtual void read(unsigned core, Addr vaddr, FinishCb done) = 0;
 
     /** Issue a store. @p done fires when the store's fill/merge
      *  completes (frees the core's write-buffer entry); commit never
-     *  waits on it. */
-    virtual void write(unsigned core, Addr vaddr,
-                       std::function<void(Tick)> done) = 0;
+     *  waits on it. May be null (fire-and-forget). */
+    virtual void write(unsigned core, Addr vaddr, FinishCb done) = 0;
 };
 
 /** Per-core statistics. */

@@ -79,7 +79,8 @@ DramAddressMapper::map(Addr addr) const
 
 DramChannel::DramChannel(Simulator &sim, std::string name,
                          const DramConfig &cfg, unsigned channel_id)
-    : Component(sim, std::move(name)), cfg_(cfg), channel_id_(channel_id)
+    : Component(sim, std::move(name)), cfg_(cfg), mapper_(cfg),
+      channel_id_(channel_id)
 {
     banks_.resize(static_cast<size_t>(cfg_.ranks) * cfg_.banks_per_rank);
     rank_refresh_seen_.assign(cfg_.ranks, 0);
@@ -136,19 +137,51 @@ DramChannel::applyRefresh(BankState &bk, const DramCoord &coord,
     }
 }
 
-bool
-DramChannel::enqueue(DramRequest &&req)
+void
+DramChannel::pushBack(PendQueue &q, std::uint32_t slot)
 {
-    auto &q = req.is_write ? write_q_ : read_q_;
-    if (q.size() >= cfg_.queue_entries) {
+    Pending &p = pend_pool_.at(slot);
+    p.prev = q.tail;
+    p.next = kNil;
+    if (q.tail == kNil)
+        q.head = slot;
+    else
+        pend_pool_.at(q.tail).next = slot;
+    q.tail = slot;
+    ++q.size;
+}
+
+void
+DramChannel::unlink(PendQueue &q, std::uint32_t slot)
+{
+    Pending &p = pend_pool_.at(slot);
+    if (p.prev == kNil)
+        q.head = p.next;
+    else
+        pend_pool_.at(p.prev).next = p.next;
+    if (p.next == kNil)
+        q.tail = p.prev;
+    else
+        pend_pool_.at(p.next).prev = p.prev;
+    p.prev = kNil;
+    p.next = kNil;
+    --q.size;
+}
+
+bool
+DramChannel::enqueue(const DramRequest &req)
+{
+    PendQueue &q = req.is_write ? write_q_ : read_q_;
+    if (q.size >= cfg_.queue_entries) {
         ++stats_.retries;
         return false;   // req untouched: the caller can retry it
     }
-    Pending p;
-    p.coord = DramAddressMapper(cfg_).map(req.addr);
-    p.req = std::move(req);
+    const std::uint32_t slot = pend_pool_.alloc();
+    Pending &p = pend_pool_.at(slot);
+    p.req = req;
+    p.coord = mapper_.map(req.addr);
     p.enqueue_tick = curTick();
-    q.push_back(std::move(p));
+    pushBack(q, slot);
     scheduleServiceCheck();
     return true;
 }
@@ -167,22 +200,20 @@ DramChannel::scheduleServiceCheck()
     }, /*priority=*/1, EventTag::Dram);
 }
 
-std::size_t
-DramChannel::pickNext(const std::deque<Pending> &q)
+std::uint32_t
+DramChannel::pickNext(const PendQueue &q)
 {
-    if (q.empty())
-        return SIZE_MAX;
     // FR-FCFS-Capped: oldest row-hit first, unless the target bank has
     // already streamed frfcfs_cap consecutive hits; then oldest overall.
-    for (std::size_t i = 0; i < q.size(); ++i) {
-        const auto &p = q[i];
+    for (std::uint32_t s = q.head; s != kNil; s = pend_pool_.at(s).next) {
+        const Pending &p = pend_pool_.at(s);
         auto &bk = bank(p.coord);
         if (bk.row_open && bk.open_row == p.coord.row &&
             bk.consecutive_hits < cfg_.frfcfs_cap) {
-            return i;
+            return s;
         }
     }
-    return 0; // oldest overall
+    return q.head; // oldest overall (kNil when empty)
 }
 
 Tick
@@ -258,7 +289,7 @@ DramChannel::issue(Pending &p)
     }
 
     if (p.req.on_complete) {
-        auto cb = p.req.on_complete;
+        const FinishCb cb = p.req.on_complete;
         sim().post(data_end, [cb, data_end] { cb(data_end); },
                        /*priority=*/0, EventTag::Dram);
     }
@@ -275,24 +306,27 @@ DramChannel::serviceLoop()
     // bursts). Read priority with write draining: writes are served
     // while draining (queue above the high watermark) or when no reads
     // are pending.
-    if (write_q_.size() >= cfg_.write_drain_hi)
+    if (write_q_.size >= cfg_.write_drain_hi)
         draining_writes_ = true;
-    if (write_q_.size() <= cfg_.write_drain_lo)
+    if (write_q_.size <= cfg_.write_drain_lo)
         draining_writes_ = false;
 
     const bool serve_write =
-        !write_q_.empty() && (draining_writes_ || read_q_.empty());
+        write_q_.size != 0 && (draining_writes_ || read_q_.size == 0);
 
-    std::deque<Pending> &q = serve_write ? write_q_ : read_q_;
-    if (q.empty())
+    PendQueue &q = serve_write ? write_q_ : read_q_;
+    if (q.size == 0)
         return;
 
-    const std::size_t idx = pickNext(q);
-    Pending p = std::move(q[idx]);
-    q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+    const std::uint32_t slot = pickNext(q);
+    unlink(q, slot);
+    // Records are plain values: lift the pick out of the pool so the
+    // slot recycles before issue() posts the completion.
+    Pending p = pend_pool_.at(slot);
+    pend_pool_.release(slot);
     issue(p);
 
-    if (!read_q_.empty() || !write_q_.empty()) {
+    if (read_q_.size != 0 || write_q_.size != 0) {
         service_scheduled_ = true;
         sim().post(curTick() + cfg_.burstTicks(), [this] {
             service_scheduled_ = false;
@@ -313,10 +347,10 @@ DramMemory::DramMemory(Simulator &sim, std::string name,
 }
 
 bool
-DramMemory::enqueue(DramRequest &&req)
+DramMemory::enqueue(const DramRequest &req)
 {
     const DramCoord coord = mapper_.map(req.addr);
-    return channels_[coord.channel]->enqueue(std::move(req));
+    return channels_[coord.channel]->enqueue(req);
 }
 
 DramStats
@@ -362,10 +396,10 @@ DramChannel::registerMetrics(obs::MetricsRegistry &reg,
     reg.addGauge(prefix + ".bus_busy_ns",
                  [this] { return ticksToNs(stats_.bus_busy); });
     reg.addGauge(prefix + ".read_q_depth", [this] {
-        return static_cast<double>(read_q_.size());
+        return static_cast<double>(read_q_.size);
     });
     reg.addGauge(prefix + ".write_q_depth", [this] {
-        return static_cast<double>(write_q_.size());
+        return static_cast<double>(write_q_.size);
     });
     reg.addHistogram(prefix + ".read_qdelay_ns", &stats_.read_qdelay_hist);
 }

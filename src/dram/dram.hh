@@ -10,22 +10,30 @@
  * burst, and completes with a callback. Queueing delay — the Fig-22
  * metric — is the time from entering the read/write queue to the first
  * DRAM command being issued.
+ *
+ * Data layout: completion callbacks are pooled FinishCb handles
+ * (sim/finish_pool.hh) instead of std::function, and pending requests
+ * live in a generation-checked slab pool with intrusive uint32 FIFO
+ * links per queue — enqueue/service/complete performs no heap
+ * allocation in steady state (the deque-of-std::function layout this
+ * replaces allocated on both the queue node and the closure).
  */
 
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/histogram.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "obs/trace.hh"
+#include "sim/finish_pool.hh"
 #include "sim/simulator.hh"
+#include "sim/slab_pool.hh"
 
 namespace emcc {
 
@@ -49,14 +57,19 @@ struct DramRequest
     Addr addr{};
     bool is_write = false;
     MemClass mclass = MemClass::Data;
-    /** Called at data-available time (reads) / write completion. */
-    std::function<void(Tick)> on_complete;
+    /** Called at data-available time (reads) / write completion.
+     *  A pooled one-shot handle; null (default) when the requester
+     *  needs no completion (e.g. fire-and-forget writebacks). */
+    FinishCb on_complete;
     /** Latency-ledger record to stamp with queueing and service time
      *  (demand data reads only; null when the ledger is disabled). Not
      *  owned; the record outlives the request by construction — it is
      *  finished only after this request's on_complete fires. */
     obs::MissRecord *attrib = nullptr;
 };
+
+static_assert(std::is_trivially_copyable_v<DramRequest>,
+              "DramRequest moves through pooled queues by plain copy");
 
 /** Table-I DDR4 timing and organization parameters. */
 struct DramConfig
@@ -162,16 +175,20 @@ class DramChannel : public Component
 
     /**
      * Try to enqueue; returns false when the relevant queue is full.
-     * The rvalue overload moves the request (and its on_complete
-     * closure) into the queue only on success — a rejected request is
-     * left intact at the caller, and the hot path never copies the
-     * std::function.
+     * A rejected request is left intact at the caller (including its
+     * on_complete handle), so it can be retried as-is. Requests are
+     * plain trivially-copyable values; the rvalue overload exists for
+     * source compatibility with the old move-only closure layout.
      */
-    bool enqueue(DramRequest &&req);
-    bool enqueue(const DramRequest &req) { return enqueue(DramRequest(req)); }
+    bool enqueue(const DramRequest &req);
+    bool enqueue(DramRequest &&req) { return enqueue(req); }
 
-    std::size_t readQueueDepth() const { return read_q_.size(); }
-    std::size_t writeQueueDepth() const { return write_q_.size(); }
+    std::size_t readQueueDepth() const { return read_q_.size; }
+    std::size_t writeQueueDepth() const { return write_q_.size; }
+
+    /** Pending-record pool high-water mark (steady-state reuse tests:
+     *  this must stop growing once the queues reach their regime). */
+    std::size_t pendingPoolSlots() const { return pend_pool_.slots(); }
 
     const DramStats &stats() const { return stats_; }
     DramStats &stats() { return stats_; }
@@ -184,11 +201,23 @@ class DramChannel : public Component
                          const std::string &prefix) const;
 
   private:
+    static constexpr std::uint32_t kNil = SlabPool<int>::kNilSlot;
+
     struct Pending
     {
         DramRequest req;
-        DramCoord coord;
-        Tick enqueue_tick;
+        DramCoord coord{};
+        Tick enqueue_tick{};
+        std::uint32_t prev = kNil;   ///< toward the queue head (older)
+        std::uint32_t next = kNil;   ///< toward the queue tail (newer)
+    };
+
+    /** Intrusive FIFO over pend_pool_ slots: head = oldest. */
+    struct PendQueue
+    {
+        std::uint32_t head = kNil;
+        std::uint32_t tail = kNil;
+        std::size_t size = 0;
     };
 
     struct BankState
@@ -201,11 +230,13 @@ class DramChannel : public Component
     };
 
     BankState &bank(const DramCoord &c);
+    void pushBack(PendQueue &q, std::uint32_t slot);
+    void unlink(PendQueue &q, std::uint32_t slot);
     void scheduleServiceCheck();
     void serviceLoop();
-    /** Pick the next request index from @p q under FR-FCFS-Capped, or
-     *  SIZE_MAX if the queue is empty. */
-    std::size_t pickNext(const std::deque<Pending> &q);
+    /** Pick the next request slot from @p q under FR-FCFS-Capped, or
+     *  kNil if the queue is empty. */
+    std::uint32_t pickNext(const PendQueue &q);
     /** Issue one request; returns the data-finished tick. */
     Tick issue(Pending &p);
     /**
@@ -219,9 +250,11 @@ class DramChannel : public Component
                       Tick &cmd_start);
 
     DramConfig cfg_;
+    DramAddressMapper mapper_;
     unsigned channel_id_;
-    std::deque<Pending> read_q_;
-    std::deque<Pending> write_q_;
+    SlabPool<Pending> pend_pool_;
+    PendQueue read_q_;
+    PendQueue write_q_;
     bool draining_writes_ = false;
     Tick bus_free_at_{};
     std::vector<BankState> banks_;
@@ -244,9 +277,9 @@ class DramMemory : public Component
 
     const DramConfig &config() const { return cfg_; }
 
-    /** See DramChannel::enqueue for the move/copy overload contract. */
-    bool enqueue(DramRequest &&req);
-    bool enqueue(const DramRequest &req) { return enqueue(DramRequest(req)); }
+    /** See DramChannel::enqueue for the retry contract. */
+    bool enqueue(const DramRequest &req);
+    bool enqueue(DramRequest &&req) { return enqueue(req); }
 
     /** Aggregated statistics across channels. */
     DramStats aggregateStats() const;

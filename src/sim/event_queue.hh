@@ -92,6 +92,13 @@ struct EventQueueStats
     Count cancelled = 0;
     /** High-water mark of live (pending) events. */
     Count max_pending = 0;
+    /** Events that overflowed the wheel span into the far-future heap.
+     *  Profiling-only (never registered as a metric): measured across
+     *  the e2e workloads this stays at a few-per-million rate — the
+     *  heap holds only refresh-scale timers — which is why the
+     *  overflow structure remains a plain std::priority_queue rather
+     *  than an intrusive pairing heap (see DESIGN.md). */
+    Count heap_scheduled = 0;
     std::array<Count, kNumEventTags> executed_by_tag{};
 };
 
@@ -142,10 +149,12 @@ class EventQueue
         ++pending_;
         if (pending_ > stats_.max_pending)
             stats_.max_pending = pending_;
-        if (when.value() - now_.value() < wheel_span_)
+        if (when.value() - now_.value() < wheel_span_) {
             wheelInsert(e);
-        else
+        } else {
+            ++stats_.heap_scheduled;
             heap_.push(e);
+        }
         return makeId(*e);
     }
 

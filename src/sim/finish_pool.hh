@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Pooled one-shot void(Tick) continuations for the memory system.
+ *
+ * The DRAM/MSHR completion chain used to pass std::function<void(Tick)>
+ * by value through request records and waiter lists — one heap
+ * allocation per continuation, every miss. FinishPool stores each
+ * closure inline in a generation-checked slab slot (same design as the
+ * event kernel's InlineCallable + entry pool), and hands out FinishCb:
+ * a trivially-copyable 16-byte {pool, id} handle.
+ *
+ * A FinishCb is ONE-SHOT: invoking it runs the closure and releases
+ * the slot, bumping the generation so any stale copy of the handle
+ * panics loudly instead of corrupting a new tenant. This matches the
+ * completion-callback contract exactly — every memory-system
+ * continuation fires at most once — and makes double-completion bugs
+ * fail fast instead of silently.
+ *
+ * Unlike the 64-byte event budget, continuations get kFinishInlineBytes
+ * of inline space: the fattest closure in the tree is the fault-recovery
+ * rejoin in secure_system.cc (refetch state + a 32-byte Detection +
+ * a nested handle, ~170 bytes). There is still no heap fallback — an
+ * oversized capture is a compile error, not a hidden allocation.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/log.hh"
+#include "common/types.hh"
+#include "sim/slab_pool.hh"
+
+namespace emcc {
+
+/**
+ * Inline closure budget for pooled continuations, in bytes. Sized for
+ * the fault-recovery rejoin closure in secure_system.cc (the fattest
+ * continuation: shared refetch state, a FaultInjector::Detection, and
+ * a captured downstream handle). Raise deliberately if a new call
+ * site trips the static_assert in FinishPool::make — but first
+ * consider capturing a pointer/shared_ptr to fat state instead.
+ */
+inline constexpr std::size_t kFinishInlineBytes = 192;
+
+class FinishPool;
+
+/**
+ * Trivially-copyable handle to a pooled one-shot continuation.
+ * Null-constructible (and constructible from nullptr, so call sites
+ * that used to pass an empty std::function read unchanged); truthy
+ * while it holds a closure. Calling it invokes the closure and frees
+ * the slot — calling the same logical continuation twice is a panic,
+ * not undefined behavior.
+ */
+class FinishCb
+{
+  public:
+    FinishCb() = default;
+    FinishCb(std::nullptr_t) {}   // NOLINT: intentional implicit
+
+    explicit operator bool() const { return pool_ != nullptr; }
+
+    /** Invoke the closure once and release its pool slot. */
+    inline void operator()(Tick when) const;
+
+    /** Packed (generation, slot) id; kPoolIdInvalid when null. */
+    PoolId id() const { return id_; }
+
+  private:
+    friend class FinishPool;
+
+    FinishCb(FinishPool *pool, PoolId id) : pool_(pool), id_(id) {}
+
+    FinishPool *pool_ = nullptr;
+    PoolId id_ = kPoolIdInvalid;
+};
+
+static_assert(std::is_trivially_copyable_v<FinishCb>,
+              "FinishCb must stay a plain value: it is copied through "
+              "DRAM queues, MSHR waiter slots and event closures");
+static_assert(sizeof(FinishCb) == 16, "FinishCb is a {pool, id} pair");
+
+/** Slab of inline void(Tick) closures addressed by FinishCb handles. */
+class FinishPool
+{
+  public:
+    FinishPool() = default;
+
+    FinishPool(const FinishPool &) = delete;
+    FinishPool &operator=(const FinishPool &) = delete;
+
+    ~FinishPool()
+    {
+        // Destroy closures that were made but never invoked (e.g.
+        // continuations stuck in an MSHR when a run is torn down).
+        for (std::uint32_t slot = 0;
+             slot < static_cast<std::uint32_t>(pool_.slots()); ++slot) {
+            pool_.at(slot).reset();
+        }
+    }
+
+    /** Move a closure into a fresh slot and hand back its handle. */
+    template <typename F>
+    FinishCb
+    make(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= kFinishInlineBytes,
+                      "continuation closure exceeds kFinishInlineBytes; "
+                      "capture a pointer to fat state (or raise the "
+                      "budget in finish_pool.hh deliberately)");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned continuation capture");
+        const std::uint32_t slot = pool_.alloc();
+        Closure &c = pool_.at(slot);
+        // emcc-lint: allow(raw-new) — placement into the pooled buffer
+        ::new (static_cast<void *>(c.buf)) Fn(std::forward<F>(fn));
+        c.invoke = [](void *raw, Tick when) {
+            (*static_cast<Fn *>(raw))(when);
+        };
+        c.destroy = [](void *raw) { static_cast<Fn *>(raw)->~Fn(); };
+        return FinishCb(this, pool_.idOf(slot));
+    }
+
+    /**
+     * Run a handle's closure and release its slot. Panics on a stale
+     * handle — a continuation that already fired (double completion)
+     * or that outlived a pool teardown.
+     */
+    void
+    invoke(PoolId id, Tick when)
+    {
+        panic_if(!pool_.live(id),
+                 "FinishCb invoked twice (or after pool teardown): "
+                 "slot %u gen %u",
+                 SlabPool<Closure>::idSlot(id),
+                 SlabPool<Closure>::idGeneration(id));
+        const std::uint32_t slot = SlabPool<Closure>::idSlot(id);
+        Closure &c = pool_.at(slot);
+        panic_if(c.invoke == nullptr,
+                 "FinishCb re-entered from inside its own closure");
+        // Detach the dispatch pointers before running so a re-entrant
+        // invocation of the same handle trips the panic above. The
+        // closure runs in place — slab chunks never move, so the
+        // buffer stays valid even if the body allocates new
+        // continuations from this pool — and the slot is released
+        // only after it finishes.
+        const auto invoke_fn = c.invoke;
+        const auto destroy_fn = c.destroy;
+        c.invoke = nullptr;
+        c.destroy = nullptr;
+        invoke_fn(c.buf, when);
+        destroy_fn(c.buf);
+        pool_.release(slot);
+    }
+
+    /** Slots currently holding a not-yet-fired continuation. */
+    std::size_t inUse() const { return pool_.inUse(); }
+
+    /** Total slots ever created (pool high-water mark). */
+    std::size_t slots() const { return pool_.slots(); }
+
+    static std::uint32_t idSlot(PoolId id)
+    {
+        return SlabPool<int>::idSlot(id);
+    }
+
+    static std::uint32_t idGeneration(PoolId id)
+    {
+        return SlabPool<int>::idGeneration(id);
+    }
+
+  private:
+    struct Closure
+    {
+        alignas(std::max_align_t) unsigned char buf[kFinishInlineBytes];
+        void (*invoke)(void *, Tick) = nullptr;
+        void (*destroy)(void *) = nullptr;
+
+        void
+        reset()
+        {
+            if (destroy) {
+                destroy(buf);
+                invoke = nullptr;
+                destroy = nullptr;
+            }
+        }
+    };
+
+    SlabPool<Closure> pool_;
+};
+
+inline void
+FinishCb::operator()(Tick when) const
+{
+    panic_if(pool_ == nullptr, "null FinishCb invoked");
+    pool_->invoke(id_, when);
+}
+
+} // namespace emcc

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Generation-checked slab pool for fixed-type records.
+ *
+ * Generalizes the event kernel's entry pool (event_queue.hh) so other
+ * subsystems — DRAM pending requests, MSHR entries, pooled
+ * continuations — can share the same design instead of reinventing
+ * it: records live in chunked slabs that never move or shrink, a
+ * uint32 intrusive free list recycles slots in LIFO order, and each
+ * slot carries a generation counter bumped on release so stale
+ * handles are detectable rather than silently aliasing a new tenant.
+ *
+ * Handles are packed as (generation << 32) | (slot + 1), matching the
+ * event queue's EventId encoding; 0 is the invalid handle. The pool
+ * grows by fixed-size chunks (std::vector of unique_ptr<Slot[]>), so
+ * references returned by at() stay valid across growth — callers may
+ * hold a T& while allocating more slots.
+ *
+ * Not thread-safe: each pool belongs to one simulator instance, same
+ * as the event queue (see the campaign engine's one-Simulator-per-
+ * thread rule).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace emcc {
+
+/** Packed (generation, slot) pool handle; 0 is never a valid handle. */
+using PoolId = std::uint64_t;
+
+inline constexpr PoolId kPoolIdInvalid = 0;
+
+template <typename T>
+class SlabPool
+{
+  public:
+    /** Null link / "no slot" sentinel for intrusive lists over slots. */
+    static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+    SlabPool() = default;
+
+    SlabPool(const SlabPool &) = delete;
+    SlabPool &operator=(const SlabPool &) = delete;
+
+    /**
+     * Take a free slot (growing by one chunk when empty). The record
+     * is default-constructed once when its chunk is built and reused
+     * in place across alloc/release cycles — callers reset the fields
+     * they use.
+     */
+    std::uint32_t
+    alloc()
+    {
+        if (free_head_ == kNilSlot)
+            grow();
+        const std::uint32_t slot = free_head_;
+        Meta &m = meta(slot);
+        free_head_ = m.next_free;
+        m.next_free = kNilSlot;
+        m.allocated = true;
+        ++in_use_;
+        return slot;
+    }
+
+    /** Return a slot to the free list, bumping its generation. */
+    void
+    release(std::uint32_t slot)
+    {
+        Meta &m = meta(slot);
+        panic_if(!m.allocated, "SlabPool: double release of slot %u", slot);
+        m.allocated = false;
+        ++m.gen;
+        m.next_free = free_head_;
+        free_head_ = slot;
+        --in_use_;
+    }
+
+    T &at(std::uint32_t slot) { return chunkOf(slot)[indexIn(slot)].value; }
+
+    const T &
+    at(std::uint32_t slot) const
+    {
+        return chunkOf(slot)[indexIn(slot)].value;
+    }
+
+    std::uint32_t
+    generation(std::uint32_t slot) const
+    {
+        return chunkOf(slot)[indexIn(slot)].gen;
+    }
+
+    /** Pack a slot's *current* generation into a handle. */
+    PoolId
+    idOf(std::uint32_t slot) const
+    {
+        return (static_cast<PoolId>(generation(slot)) << 32) |
+               (static_cast<PoolId>(slot) + 1);
+    }
+
+    /** True while the handle's slot has not been released since idOf. */
+    bool
+    live(PoolId id) const
+    {
+        if (id == kPoolIdInvalid)
+            return false;
+        const std::uint32_t slot = idSlot(id);
+        return slot < size_ && generation(slot) == idGeneration(id);
+    }
+
+    static std::uint32_t
+    idSlot(PoolId id)
+    {
+        return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+    }
+
+    static std::uint32_t
+    idGeneration(PoolId id)
+    {
+        return static_cast<std::uint32_t>(id >> 32);
+    }
+
+    /** Total slots ever created (high-water mark of the pool). */
+    std::size_t slots() const { return size_; }
+
+    /** Slots currently allocated. */
+    std::size_t inUse() const { return in_use_; }
+
+  private:
+    // Chunked like the event pool: 256 slots per slab keeps growth
+    // rare without large idle footprints, and slabs never move.
+    static constexpr std::uint32_t kChunkShift = 8;
+    static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+    struct Slot
+    {
+        T value{};
+        std::uint32_t gen = 0;
+        std::uint32_t next_free = kNilSlot;
+        bool allocated = false;
+    };
+
+    // Per-slot bookkeeping lives beside the record; alias for clarity
+    // at the call sites that only touch gen/next_free.
+    using Meta = Slot;
+
+    Slot *
+    chunkOf(std::uint32_t slot) const
+    {
+        return chunks_[slot >> kChunkShift].get();
+    }
+
+    static std::uint32_t indexIn(std::uint32_t slot)
+    {
+        return slot & (kChunkSize - 1);
+    }
+
+    Meta &meta(std::uint32_t slot) { return chunkOf(slot)[indexIn(slot)]; }
+
+    void
+    grow()
+    {
+        chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+        // Thread the fresh chunk onto the free list back-to-front so
+        // slots hand out in ascending order within the chunk.
+        const std::uint32_t base = size_;
+        Slot *chunk = chunks_.back().get();
+        for (std::uint32_t i = kChunkSize; i-- > 0;) {
+            chunk[i].next_free = free_head_;
+            free_head_ = base + i;
+        }
+        size_ += kChunkSize;
+    }
+
+    std::vector<std::unique_ptr<Slot[]>> chunks_;
+    std::uint32_t free_head_ = kNilSlot;
+    std::uint32_t size_ = 0;
+    std::size_t in_use_ = 0;
+};
+
+} // namespace emcc

@@ -35,21 +35,35 @@ class PageMapper
         : page_bytes_(page_bytes), rng_(seed)
     {
         fatal_if(!isPowerOf2(page_bytes), "page size must be a power of 2");
+        while ((1ull << page_shift_) < page_bytes_)
+            ++page_shift_;
         num_frames_ = region_bytes / page_bytes;
         fatal_if(num_frames_ == 0, "data region smaller than one page");
+        for (auto &t : tlb_tag_)
+            t = kNoPage;
     }
 
     /** Translate; allocates a random frame on first touch. */
     Addr
     translate(Addr vaddr)
     {
-        const std::uint64_t vpage = vaddr / page_bytes_;
-        auto it = table_.find(vpage);
-        if (it == table_.end()) {
-            const std::uint64_t frame = allocFrame();
-            it = table_.emplace(vpage, frame).first;
+        // Mappings are created once and never change, so the
+        // direct-mapped TLB in front of the page table can never go
+        // stale. It exists purely to keep the hash lookup off the
+        // per-access fast path (sequential scans hit the same 2 MB
+        // page for thousands of accesses in a row).
+        const std::uint64_t vpage = vaddr.value() >> page_shift_;
+        const std::size_t slot = vpage & (kTlbEntries - 1);
+        if (tlb_tag_[slot] != vpage) {
+            auto it = table_.find(vpage);
+            if (it == table_.end()) {
+                const std::uint64_t frame = allocFrame();
+                it = table_.emplace(vpage, frame).first;
+            }
+            tlb_tag_[slot] = vpage;
+            tlb_frame_[slot] = it->second;
         }
-        return Addr{it->second * page_bytes_ +
+        return Addr{(tlb_frame_[slot] << page_shift_) +
                     (vaddr.value() & (page_bytes_ - 1))};
     }
 
@@ -71,11 +85,17 @@ class PageMapper
               table_.size());
     }
 
+    static constexpr std::size_t kTlbEntries = 256;
+    static constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
+
     std::uint64_t page_bytes_;
+    unsigned page_shift_ = 0;
     std::uint64_t num_frames_;
     Rng rng_;
     std::unordered_map<std::uint64_t, std::uint64_t> table_;
     std::unordered_set<std::uint64_t> used_;
+    std::uint64_t tlb_tag_[kTlbEntries];
+    std::uint64_t tlb_frame_[kTlbEntries];
 };
 
 } // namespace emcc

@@ -53,6 +53,8 @@ SecureSystem::SecureSystem(Simulator &sim, const SystemConfig &cfg,
 {
     fatal_if(workload_ == nullptr || workload_->per_core.empty(),
              "system needs a workload");
+    if (isPowerOf2(meta_.dataBytes()))
+        data_mask_ = meta_.dataBytes() - 1;
     fatal_if(workload_->per_core.size() < cfg_.cores,
              "workload has %zu traces for %u cores",
              workload_->per_core.size(), cfg_.cores);
@@ -256,7 +258,12 @@ SecureSystem::translate(unsigned core, Addr vaddr)
     const std::uint64_t space_span = 1ull << 40;
     const Addr v = workload_->shared_address_space
                        ? vaddr : vaddr + space_span * core;
-    return Addr{mapper_.translate(v) % meta_.dataBytes()};
+    // Power-of-two data regions (the common case) fold with a mask
+    // instead of a 64-bit divide; data_mask_ is 0 otherwise.
+    const Addr pa = mapper_.translate(v);
+    if (data_mask_ != 0)
+        return Addr{pa.value() & data_mask_};
+    return Addr{pa % meta_.dataBytes()};
 }
 
 std::int64_t
@@ -279,7 +286,7 @@ SecureSystem::addDelta(Tick base, std::int64_t delta)
 // --------------------------------------------------------------- core port
 
 void
-SecureSystem::read(unsigned core, Addr vaddr, std::function<void(Tick)> done)
+SecureSystem::read(unsigned core, Addr vaddr, FinishCb done)
 {
     const Addr pa = translate(core, vaddr);
     const Tick t0 = curTick();
@@ -293,8 +300,7 @@ SecureSystem::read(unsigned core, Addr vaddr, std::function<void(Tick)> done)
         return;
     }
     const Tick t1 = t0 + cfg_.l1_latency;
-    const auto outcome = l1_mshr_[core]->allocate(blockAlign(pa),
-        [done](Tick fill) { done(fill); });
+    const auto outcome = l1_mshr_[core]->allocate(blockAlign(pa), done);
     if (outcome == MshrOutcome::Merged)
         return;
     panic_if(outcome == MshrOutcome::Full, "L1 MSHR overflow");
@@ -302,8 +308,7 @@ SecureSystem::read(unsigned core, Addr vaddr, std::function<void(Tick)> done)
 }
 
 void
-SecureSystem::write(unsigned core, Addr vaddr,
-                    std::function<void(Tick)> done)
+SecureSystem::write(unsigned core, Addr vaddr, FinishCb done)
 {
     const Addr pa = translate(core, vaddr);
     const Tick t0 = curTick();
@@ -322,10 +327,10 @@ SecureSystem::write(unsigned core, Addr vaddr,
     if (l1_mshr_[core]->outstanding(blk)) {
         // Merge the store into the outstanding fill; it will land dirty.
         pending_store_fill_[core][blk] = true;
-        l1_mshr_[core]->allocate(blk, std::move(done));
+        l1_mshr_[core]->allocate(blk, done);
         return;
     }
-    l1_mshr_[core]->allocate(blk, std::move(done));
+    l1_mshr_[core]->allocate(blk, done);
     pending_store_fill_[core][blk] = true;
     handleL1Miss(core, pa, /*is_store=*/true, t1);
 }
@@ -333,17 +338,16 @@ SecureSystem::write(unsigned core, Addr vaddr,
 void
 SecureSystem::handleL1Miss(unsigned core, Addr pa, bool is_store, Tick t1)
 {
-    l2Access(core, pa, is_store, t1, [this, core, pa](Tick fill) {
+    l2Access(core, pa, is_store, t1, fin([this, core, pa](Tick fill) {
         const Addr blk = blockAlign(pa);
         bool dirty = false;
-        auto it = pending_store_fill_[core].find(blk);
-        if (it != pending_store_fill_[core].end()) {
-            dirty = it->second;
-            pending_store_fill_[core].erase(it);
+        if (const bool *p = pending_store_fill_[core].find(blk)) {
+            dirty = *p;
+            pending_store_fill_[core].erase(blk);
         }
         insertL1(core, pa, dirty);
         l1_mshr_[core]->complete(blk, fill);
-    });
+    }));
 }
 
 void
@@ -394,7 +398,7 @@ SecureSystem::l2Access(unsigned core, Addr pa, bool is_store, Tick t,
         ctr = emccCounterPath(core, pa, t_miss, rec);
 
     llcDataAccess(core, pa, t_miss, ctr, rec,
-                  [this, core, pa, blk, t_miss, rec](Tick fill) {
+                  fin([this, core, pa, blk, t_miss, rec](Tick fill) {
         stats_.l2_miss_latency_sum_ns += ticksToNs(fill - t_miss);
         ++stats_.l2_miss_latency_count;
         if (trace_cache_) {
@@ -409,7 +413,7 @@ SecureSystem::l2Access(unsigned core, Addr pa, bool is_store, Tick t,
         sim().post(fill, [this, core, blk, fill] {
             l2_mshr_[core]->complete(blk, fill);
         }, /*priority=*/0, EventTag::Cache);
-    });
+    }));
 }
 
 SecureSystem::CtrPath
@@ -445,13 +449,12 @@ SecureSystem::emccCounterPath(unsigned core, Addr pa, Tick t_miss,
 
     // A fetch for this counter block may already be in flight.
     auto &inflight = l2_ctr_inflight_[core];
-    auto inflight_it = inflight.find(ctr);
-    if (inflight_it != inflight.end()) {
-        if (inflight_it->second == kTickInvalid) {
+    if (const Tick *arrival = inflight.find(ctr)) {
+        if (*arrival == kTickInvalid) {
             // In flight via the MC (LLC miss): the MC will decrypt.
             out.mc_decrypts = true;
         } else {
-            out.ctr_ready_at_l2 = inflight_it->second + decode;
+            out.ctr_ready_at_l2 = *arrival + decode;
             if (rec) {
                 rec->stamp(obs::MissSegment::CtrFetch, t_lookup,
                            out.ctr_ready_at_l2);
@@ -469,7 +472,7 @@ SecureSystem::emccCounterPath(unsigned core, Addr pa, Tick t_miss,
         if (fault_)
             fault_->onCounterHit(ctr, curTick());
         auto &state = l2_ctr_state_[core];
-        if (!state.count(ctr)) {
+        if (!state.contains(ctr)) {
             ++stats_.l2_ctr_inserts;
             state.emplace(ctr, false);
         }
@@ -498,12 +501,12 @@ SecureSystem::emccCounterPath(unsigned core, Addr pa, Tick t_miss,
     const Tick t_mc = t_lookup + cfg_.req_l2_to_llc + cfg_.llc_tag +
                       cfg_.noc_llc_mc;
     mcFetchCounter(pa, t_mc, /*count_buckets=*/true,
-                   [this, core, ctr](Tick verified) {
+                   fin([this, core, ctr](Tick verified) {
         // Verified counter returns to the LLC and the requesting L2.
         // It already served this miss (the MC used it to decrypt the
         // data), so it starts life in L2 marked used.
         auto &state = l2_ctr_state_[core];
-        if (!state.count(ctr)) {
+        if (!state.contains(ctr)) {
             ++stats_.l2_ctr_inserts;
             state.emplace(ctr, true);
         }
@@ -512,11 +515,11 @@ SecureSystem::emccCounterPath(unsigned core, Addr pa, Tick t_miss,
         insertL2Counter(core, ctr, at_l2);
         sim().post(at_l2, [this, core, ctr] {
             auto &inf = l2_ctr_inflight_[core];
-            auto it = inf.find(ctr);
-            if (it != inf.end() && it->second == kTickInvalid)
-                inf.erase(it);
+            const Tick *arrival = inf.find(ctr);
+            if (arrival && *arrival == kTickInvalid)
+                inf.erase(ctr);
         }, /*priority=*/0, EventTag::Secmem);
-    });
+    }));
     return out;
 }
 
@@ -567,8 +570,8 @@ SecureSystem::llcDataAccess(unsigned core, Addr pa, Tick t_miss,
                 const Tick t_mc = t_miss + cfg_.req_l2_to_llc +
                                   cfg_.llc_tag + cfg_.noc_llc_mc;
                 mcFetchCounter(pa, t_mc, /*count_buckets=*/false,
-                               [this, fill, fill_cb, rec,
-                                t_mc](Tick ctr_tick) {
+                               fin([this, fill, fill_cb, rec,
+                                    t_mc](Tick ctr_tick) {
                     const Tick aes_start =
                         ctr_tick + design_->decodeLatency();
                     const Tick aes_done = mc_aes_.submit(aes_start, 5);
@@ -593,7 +596,7 @@ SecureSystem::llcDataAccess(unsigned core, Addr pa, Tick t_miss,
                     }
                     sim().post(done,
                                    [fill_cb, done] { fill_cb(done); });
-                });
+                }));
             }
             return;
         }
@@ -612,9 +615,8 @@ SecureSystem::llcDataAccess(unsigned core, Addr pa, Tick t_miss,
     if (cfg_.scheme == Scheme::Emcc && !ctr.mc_decrypts) {
         // The counter in L2 is genuinely used for this LLC miss.
         const Addr ctr_addr = meta_.counterBlockAddr(pa);
-        auto it = l2_ctr_state_[core].find(ctr_addr);
-        if (it != l2_ctr_state_[core].end())
-            it->second = true;
+        if (bool *used = l2_ctr_state_[core].find(ctr_addr))
+            *used = true;
         // Adaptive offload: if the L2 AES pool is too backed up, embed
         // the offload bit in the miss request and let the MC decrypt.
         if (cfg_.adaptive_offload &&
@@ -708,7 +710,8 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
       case Scheme::McOnly:
       case Scheme::LlcBaseline:
         mcFetchCounter(pa, t_mc, /*count_buckets=*/true,
-                       [this, join, try_finish, rec, t_mc](Tick ctr_tick) {
+                       fin([this, join, try_finish, rec,
+                            t_mc](Tick ctr_tick) {
             const Tick start = ctr_tick + design_->decodeLatency() +
                                aesStall();
             join->crypto_done = mc_aes_.submit(start, 5);
@@ -727,15 +730,15 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
                            join->crypto_done);
             }
             try_finish();
-        });
+        }));
         break;
       case Scheme::Emcc:
         if (ctr.mc_decrypts) {
             ++stats_.decrypted_at_mc;
             // Merge with the counter fetch already in flight (or a hit).
             mcFetchCounter(pa, t_mc, /*count_buckets=*/false,
-                           [this, join, try_finish, rec,
-                            t_mc](Tick ctr_tick) {
+                           fin([this, join, try_finish, rec,
+                                t_mc](Tick ctr_tick) {
                 const Tick start = ctr_tick + design_->decodeLatency() +
                                    aesStall();
                 join->crypto_done = mc_aes_.submit(start, 5);
@@ -756,7 +759,7 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
                                join->crypto_done);
                 }
                 try_finish();
-            });
+            }));
         } else {
             ++stats_.decrypted_at_l2;
             join->crypto_at_l2 = true;
@@ -795,12 +798,12 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
 
     // ---- data path
     dramRequest(pa, MemClass::Data, /*is_write=*/false, t_mc,
-                [this, pa, join, try_finish](Tick done) {
+                fin([this, pa, join, try_finish](Tick done) {
         if (fault_)
             fault_->onDataFetched(blockAlign(pa), done);
         join->data_done = done;
         try_finish();
-    }, rec);
+    }), rec);
 }
 
 void
@@ -894,11 +897,11 @@ SecureSystem::mcFetchCounter(Addr pa, Tick t, bool count_buckets,
     walk->fetched_levels = static_cast<unsigned>(node_fetches.size());
 
     dramRequest(ctr, MemClass::Counter, false, t2,
-                [this, ctr, arrive](Tick when) {
+                fin([this, ctr, arrive](Tick when) {
         if (fault_)
             fault_->onCounterFetched(ctr, when);
         arrive(when);
-    });
+    }));
     for (const auto &[node, from_llc] : node_fetches) {
         if (from_llc) {
             const Tick ready = addDelta(t2 + cfg_.llc_ctr_access,
@@ -908,14 +911,14 @@ SecureSystem::mcFetchCounter(Addr pa, Tick t, bool count_buckets,
                            /*priority=*/0, EventTag::Secmem);
         } else {
             dramRequest(node, MemClass::Counter, false, t2,
-                        [this, node, arrive](Tick when) {
+                        fin([this, node, arrive](Tick when) {
                 if (fault_)
                     fault_->onTreeNodeFetched(node, when);
                 insertMcCache(node, LineClass::TreeNode, false, when);
                 if (cfg_.countersInLlc())
                     insertLlc(node, LineClass::TreeNode, false, when);
                 arrive(when);
-            });
+            }));
         }
     }
 }
@@ -929,7 +932,7 @@ SecureSystem::mcHandleWriteback(Addr pa, Tick t)
         return;
     }
     mcFetchCounter(pa, t, /*count_buckets=*/false,
-                   [this, pa](Tick ctr_tick) {
+                   fin([this, pa](Tick ctr_tick) {
         const Addr ctr = meta_.counterBlockAddr(pa);
         const auto wr = design_->bumpCounter(pa);
         if (wr.overflow) {
@@ -955,7 +958,7 @@ SecureSystem::mcHandleWriteback(Addr pa, Tick t)
             ctr_tick + design_->decodeLatency(), 8);
         dramRequest(pa, MemClass::Data, /*is_write=*/true, aes_done,
                     nullptr);
-    });
+    }));
 }
 
 void
@@ -981,13 +984,13 @@ SecureSystem::pumpOverflowJobs(Tick t)
             const Addr addr = job->base + job->issued * kBlockBytes;
             ++job->issued;
             dramRequest(addr, MemClass::OverflowL0, false, t,
-                        [this, addr, job](Tick when) {
+                        fin([this, addr, job](Tick when) {
                 // Re-encrypted block is written back.
                 dramRequest(addr, MemClass::OverflowL0, true, when,
                             nullptr);
                 ++job->completed;
                 pumpOverflowJobs(when);
-            });
+            }));
         }
     }
     // Retire finished jobs and promote queued ones.
@@ -1009,12 +1012,11 @@ void
 SecureSystem::dramRequest(Addr addr, MemClass cls, bool is_write, Tick t,
                           FinishCb done, obs::MissRecord *attrib)
 {
-    // done is moved, not copied, into the closure (and onward into
-    // tryEnqueueDram): a FinishCb with captured state heap-allocates on
-    // every copy, and this is the hottest scheduling site in the tree.
+    // done is a 16-byte pooled handle (the closure itself stays put in
+    // the FinishPool slab), so this — the hottest scheduling site in
+    // the tree — copies only plain values into the event entry.
     sim().post(std::max(t, curTick()),
-                   [this, addr, cls, is_write,
-                    done = std::move(done), attrib]() mutable {
+                   [this, addr, cls, is_write, done, attrib] {
         // A write retiring to DRAM replaces the stored block, healing
         // any persistent taint an attacker left on the old contents.
         if (fault_ && is_write) {
@@ -1023,7 +1025,7 @@ SecureSystem::dramRequest(Addr addr, MemClass cls, bool is_write, Tick t,
                                     cls == MemClass::OverflowHi,
                                 curTick());
         }
-        tryEnqueueDram(addr, cls, is_write, std::move(done), attrib);
+        tryEnqueueDram(addr, cls, is_write, done, attrib);
     }, /*priority=*/0, EventTag::Dram);
 }
 
@@ -1154,22 +1156,22 @@ SecureSystem::recoverFill(unsigned core, Addr pa, Tick t,
     // activation hooks, or a campaign could re-inject into its own
     // recovery and starve it.
     dramRequest(ctr, MemClass::Counter, /*is_write=*/false, t,
-                [re, rejoin](Tick when) {
+                fin([re, rejoin](Tick when) {
         re->ctr_done = when;
         rejoin();
-    });
+    }));
     dramRequest(blk, MemClass::Data, /*is_write=*/false, t,
-                [re, rejoin](Tick when) {
+                fin([re, rejoin](Tick when) {
         re->data_done = when;
         rejoin();
-    });
+    }));
     for (Addr node : nodes) {
         dramRequest(node, MemClass::Counter, /*is_write=*/false, t,
-                    [re, rejoin](Tick when) {
+                    fin([re, rejoin](Tick when) {
             re->nodes_done = std::max(re->nodes_done, when);
             --re->nodes_outstanding;
             rejoin();
-        });
+        }));
     }
 }
 
@@ -1182,16 +1184,14 @@ SecureSystem::tryEnqueueDram(Addr addr, MemClass cls, bool is_write,
     req.is_write = is_write;
     req.mclass = cls;
     req.attrib = attrib;
-    req.on_complete = std::move(done);
-    // The move overload only consumes req on success; when the queue is
-    // full the continuation is still inside req and moves on into the
-    // retry closure — the whole retry loop never copies it.
-    if (!dram_.enqueue(std::move(req))) {
+    req.on_complete = done;
+    // A rejected request leaves the pooled continuation untouched (the
+    // handle in the retry closure still addresses the same slot), so
+    // the whole retry loop never copies or re-allocates the closure.
+    if (!dram_.enqueue(req)) {
         sim().postIn(kDramRetry,
-                         [this, addr, cls, is_write,
-                          done = std::move(req.on_complete),
-                          attrib]() mutable {
-            tryEnqueueDram(addr, cls, is_write, std::move(done), attrib);
+                         [this, addr, cls, is_write, done, attrib] {
+            tryEnqueueDram(addr, cls, is_write, done, attrib);
         }, /*priority=*/0, EventTag::Dram);
     }
 }
@@ -1217,7 +1217,7 @@ SecureSystem::insertL2Counter(unsigned core, Addr ctr_addr, Tick t)
         // The useless-tracking entry normally exists already (created
         // at fetch initiation); create a fallback one if not.
         auto &state = l2_ctr_state_[core];
-        if (!state.count(ctr_addr)) {
+        if (!state.contains(ctr_addr)) {
             ++stats_.l2_ctr_inserts;
             state.emplace(ctr_addr, false);
         }
@@ -1233,14 +1233,14 @@ SecureSystem::noteL2CounterGone(unsigned core, Addr ctr_addr,
                                 bool invalidated)
 {
     auto &state = l2_ctr_state_[core];
-    auto it = state.find(ctr_addr);
-    if (it == state.end())
+    const bool *used = state.find(ctr_addr);
+    if (!used)
         return;
-    if (!it->second)
+    if (!*used)
         ++stats_.useless_ctr_accesses;
     if (invalidated)
         ++stats_.l2_ctr_invalidations;
-    state.erase(it);
+    state.erase(ctr_addr);
 }
 
 void

@@ -19,11 +19,11 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cache.hh"
 #include "cache/mshr.hh"
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "core/core_model.hh"
 #include "crypto/aes_pool.hh"
@@ -37,6 +37,7 @@
 #include "obs/trace.hh"
 #include "secmem/counter_design.hh"
 #include "secmem/metadata_map.hh"
+#include "sim/finish_pool.hh"
 #include "sim/watchdog.hh"
 #include "system/config.hh"
 #include "system/page_mapper.hh"
@@ -183,13 +184,24 @@ class SecureSystem : public Component, public MemorySystemPort
     void attachSeries(obs::StatsSeries *series) { series_ = series; }
 
     // ---- MemorySystemPort
-    void read(unsigned core, Addr vaddr,
-              std::function<void(Tick)> done) override;
-    void write(unsigned core, Addr vaddr,
-               std::function<void(Tick)> done) override;
+    FinishPool &finishPool() override { return finish_pool_; }
+    void read(unsigned core, Addr vaddr, FinishCb done) override;
+    void write(unsigned core, Addr vaddr, FinishCb done) override;
 
   private:
-    using FinishCb = std::function<void(Tick)>;
+    // Memory-path continuations are pooled one-shot handles
+    // (sim/finish_pool.hh), built with fin() below. The cores make
+    // theirs in the same pool via finishPool(), so a completion is a
+    // 16-byte handle end to end — core dispatch through MSHR, L2,
+    // LLC, MC and DRAM — with no heap allocation anywhere.
+
+    /** Move a closure into the continuation pool. */
+    template <typename F>
+    FinishCb
+    fin(F &&f)
+    {
+        return finish_pool_.make(std::forward<F>(f));
+    }
 
     /** Per-L2-miss EMCC counter-path outcome. */
     struct CtrPath
@@ -267,6 +279,10 @@ class SecureSystem : public Component, public MemorySystemPort
     /** Bind trace tracks for the enabled categories (construction). */
     void setupTracing(Simulator &sim);
 
+    /// slab of pooled memory-path continuations; must be declared
+    /// before every member that can hold a FinishCb into it
+    FinishPool finish_pool_;
+
     SystemConfig cfg_;
     const WorkloadSet *workload_;
 
@@ -285,10 +301,10 @@ class SecureSystem : public Component, public MemorySystemPort
     std::vector<std::unique_ptr<MshrFile>> l1_mshr_;
     std::vector<std::unique_ptr<MshrFile>> l2_mshr_;
     /// per-core pending stores merged into outstanding L1 misses
-    std::vector<std::unordered_map<Addr, bool>> pending_store_fill_;
+    std::vector<FlatAddrMap<bool>> pending_store_fill_;
     MshrFile mc_ctr_mshr_;
     /// per-core in-flight EMCC counter fetches -> arrival tick at L2
-    std::vector<std::unordered_map<Addr, Tick>> l2_ctr_inflight_;
+    std::vector<FlatAddrMap<Tick>> l2_ctr_inflight_;
 
     DramMemory dram_;
     AesPool mc_aes_;
@@ -298,9 +314,11 @@ class SecureSystem : public Component, public MemorySystemPort
     std::unique_ptr<Watchdog> watchdog_;     ///< null when disabled
 
     PageMapper mapper_;
+    /** meta_.dataBytes()-1 when that size is a power of two, else 0. */
+    std::uint64_t data_mask_ = 0;
 
     /// EMCC: per-core resident-counter used flags
-    std::vector<std::unordered_map<Addr, bool>> l2_ctr_state_;
+    std::vector<FlatAddrMap<bool>> l2_ctr_state_;
 
     /// §IV-F dynamic EMCC off: per-core sampling state
     struct IntensityState

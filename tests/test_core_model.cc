@@ -25,8 +25,10 @@ class FixedLatencyPort : public MemorySystemPort
         : sim_(sim), latency_(latency)
     {}
 
+    FinishPool &finishPool() override { return pool_; }
+
     void
-    read(unsigned, Addr, std::function<void(Tick)> done) override
+    read(unsigned, Addr, FinishCb done) override
     {
         ++reads_;
         ++in_flight_;
@@ -39,7 +41,7 @@ class FixedLatencyPort : public MemorySystemPort
     }
 
     void
-    write(unsigned, Addr, std::function<void(Tick)> done) override
+    write(unsigned, Addr, FinishCb done) override
     {
         ++writes_;
         const Tick fill = sim_.now() + latency_;
@@ -57,6 +59,7 @@ class FixedLatencyPort : public MemorySystemPort
   private:
     Simulator &sim_;
     Tick latency_;
+    FinishPool pool_;
 };
 
 std::vector<MemRef>

@@ -11,10 +11,20 @@
 #include <vector>
 
 #include "dram/dram.hh"
+#include "sim/finish_pool.hh"
 #include "sim/simulator.hh"
 
 namespace emcc {
 namespace {
+
+/** Shared continuation pool for the test requests (on_complete is a
+ *  pooled FinishCb handle, not a std::function). */
+FinishPool &
+testPool()
+{
+    static FinishPool pool;
+    return pool;
+}
 
 DramConfig
 quietConfig()
@@ -38,7 +48,7 @@ readReq(Addr a, Completion *c, MemClass cls = MemClass::Data)
     r.addr = a;
     r.is_write = false;
     r.mclass = cls;
-    r.on_complete = [c](Tick t) { c->when = t; };
+    r.on_complete = testPool().make([c](Tick t) { c->when = t; });
     return r;
 }
 
@@ -157,7 +167,7 @@ TEST(DramChannel, ReadsPrioritizedOverWrites)
     DramRequest w;
     w.addr = Addr{0x10000};
     w.is_write = true;
-    w.on_complete = [&](Tick t) { write_done = t; };
+    w.on_complete = testPool().make([&](Tick t) { write_done = t; });
     mem.enqueue(w);
     mem.enqueue(readReq(Addr{0x0}, &read_done));
     sim.run();

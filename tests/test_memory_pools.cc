@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Pool-layer guarantees for the data-oriented memory system:
+ *
+ *  - SlabPool recycles released slots in place (same slot index,
+ *    bumped generation) and detects stale handles and double release;
+ *  - FinishPool continuations are one-shot — double completion panics
+ *    instead of corrupting a new tenant — and a torn-down pool
+ *    destroys closures that never fired;
+ *  - the DRAM enqueue -> service -> complete path and the MSHR
+ *    allocate -> merge -> complete path perform ZERO heap allocation
+ *    in steady state (counted, not assumed, via replaced operator
+ *    new), and their slab pools stop growing once warm.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "cache/mshr.hh"
+#include "dram/dram.hh"
+#include "sim/finish_pool.hh"
+#include "sim/simulator.hh"
+#include "sim/slab_pool.hh"
+
+// Counting allocator, same arrangement as test_event_queue.cc: every
+// scalar heap allocation in this binary bumps the counter so the
+// zero-allocation contracts below are measured facts.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+static std::uint64_t g_heap_allocs = 0;
+
+void *
+operator new(std::size_t n)
+{
+    ++g_heap_allocs;
+    if (void *p = std::malloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    ++g_heap_allocs;
+    if (void *p = std::malloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+// emcc-lint: allow(raw-new) — counting replacement, not a call site
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+// emcc-lint: allow(raw-new) — counting replacement, not a call site
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+namespace emcc {
+namespace {
+
+// ------------------------------------------------------------ SlabPool
+
+TEST(SlabPool, ReleasedSlotIsReusedWithBumpedGeneration)
+{
+    SlabPool<int> pool;
+    const std::uint32_t slot = pool.alloc();
+    pool.at(slot) = 7;
+    const PoolId first = pool.idOf(slot);
+    EXPECT_TRUE(pool.live(first));
+
+    pool.release(slot);
+    EXPECT_FALSE(pool.live(first)) << "released handle must go stale";
+
+    // LIFO free list: the very next alloc hands back the same slot...
+    const std::uint32_t again = pool.alloc();
+    EXPECT_EQ(again, slot);
+    // ...under a new generation, so the old handle stays dead.
+    EXPECT_NE(pool.idOf(again), first);
+    EXPECT_EQ(SlabPool<int>::idSlot(pool.idOf(again)),
+              SlabPool<int>::idSlot(first));
+    EXPECT_EQ(SlabPool<int>::idGeneration(pool.idOf(again)),
+              SlabPool<int>::idGeneration(first) + 1);
+    EXPECT_FALSE(pool.live(first));
+    EXPECT_TRUE(pool.live(pool.idOf(again)));
+}
+
+TEST(SlabPool, DoubleReleasePanics)
+{
+    SlabPool<int> pool;
+    const std::uint32_t slot = pool.alloc();
+    pool.release(slot);
+    EXPECT_DEATH(pool.release(slot), "double release");
+}
+
+TEST(SlabPool, ReferencesSurviveGrowth)
+{
+    SlabPool<std::uint64_t> pool;
+    const std::uint32_t first = pool.alloc();
+    pool.at(first) = 0xdeadbeefu;
+    std::uint64_t *ref = &pool.at(first);
+    // Force several chunk growths; chunked slabs must never move.
+    std::vector<std::uint32_t> slots;
+    for (int i = 0; i < 2000; ++i)
+        slots.push_back(pool.alloc());
+    EXPECT_EQ(ref, &pool.at(first));
+    EXPECT_EQ(*ref, 0xdeadbeefu);
+    EXPECT_EQ(pool.inUse(), slots.size() + 1);
+}
+
+// ----------------------------------------------------------- FinishPool
+
+TEST(FinishPool, InvokeRunsClosureOnceAndRecyclesSlot)
+{
+    FinishPool fp;
+    Tick got = kTickInvalid;
+    FinishCb cb = fp.make([&got](Tick t) { got = t; });
+    ASSERT_TRUE(static_cast<bool>(cb));
+    EXPECT_EQ(fp.inUse(), 1u);
+    cb(Tick{17});
+    EXPECT_EQ(got, Tick{17});
+    EXPECT_EQ(fp.inUse(), 0u);
+
+    // The slot is recycled: same slot index, bumped generation.
+    FinishCb cb2 = fp.make([](Tick) {});
+    EXPECT_EQ(FinishPool::idSlot(cb2.id()), FinishPool::idSlot(cb.id()));
+    EXPECT_GT(FinishPool::idGeneration(cb2.id()),
+              FinishPool::idGeneration(cb.id()));
+    cb2(Tick{0});
+}
+
+TEST(FinishPool, DoubleCompletionPanics)
+{
+    FinishPool fp;
+    FinishCb cb = fp.make([](Tick) {});
+    cb(Tick{1});
+    EXPECT_DEATH(cb(Tick{2}), "invoked twice");
+}
+
+TEST(FinishPool, NullHandleIsFalseyAndPanicsOnInvoke)
+{
+    FinishCb null_cb;
+    EXPECT_FALSE(static_cast<bool>(null_cb));
+    FinishCb from_nullptr = nullptr;
+    EXPECT_FALSE(static_cast<bool>(from_nullptr));
+    EXPECT_DEATH(null_cb(Tick{0}), "null FinishCb");
+}
+
+TEST(FinishPool, TeardownDestroysUnfiredClosures)
+{
+    auto token = std::make_shared<int>(42);
+    ASSERT_EQ(token.use_count(), 1);
+    {
+        FinishPool fp;
+        FinishCb leaked = fp.make([token](Tick) {});
+        (void)leaked;   // never invoked — e.g. stuck in an MSHR at exit
+        EXPECT_EQ(token.use_count(), 2);
+    }
+    EXPECT_EQ(token.use_count(), 1)
+        << "pool destructor must destroy un-run closures";
+}
+
+TEST(FinishPool, SteadyStateMakeInvokeDoesNotAllocate)
+{
+    FinishPool fp;
+    std::uint64_t sum = 0;
+    // Warm: first make() grows the slab chunk.
+    fp.make([&sum](Tick t) { sum += t.value(); })(Tick{1});
+
+    const std::uint64_t before = g_heap_allocs;
+    for (int i = 0; i < 10'000; ++i) {
+        FinishCb cb = fp.make([&sum, i](Tick t) {
+            sum += t.value() + static_cast<std::uint64_t>(i);
+        });
+        cb(Tick{static_cast<std::uint64_t>(i)});
+    }
+    EXPECT_EQ(g_heap_allocs, before)
+        << "pooled continuation cycle must not touch the heap";
+    EXPECT_EQ(fp.slots(), 256u) << "one chunk is plenty for one-at-a-time";
+}
+
+// ------------------------------------------------- DRAM miss path
+
+TEST(MemoryPools, DramSteadyStateDoesNotAllocate)
+{
+    DramConfig cfg;
+    Simulator sim;
+    DramMemory mem(sim, "m", cfg);
+    FinishPool fp;
+    std::uint64_t completions = 0;
+
+    const auto pump = [&](int rounds) {
+        for (int r = 0; r < rounds; ++r) {
+            for (std::uint64_t i = 0; i < 64; ++i) {
+                DramRequest rd;
+                rd.addr = Addr{(i * 97 + static_cast<std::uint64_t>(r)) %
+                               4096 * kBlockBytes};
+                rd.on_complete =
+                    fp.make([&completions](Tick) { ++completions; });
+                ASSERT_TRUE(mem.enqueue(rd));
+                DramRequest wr;
+                wr.addr = Addr{(i * 131) % 4096 * kBlockBytes};
+                wr.is_write = true;
+                ASSERT_TRUE(mem.enqueue(wr));
+            }
+            sim.run();
+        }
+    };
+
+    // Warm pools, queues, banks, and the event kernel to the regime's
+    // high-water mark.
+    pump(4);
+    const std::size_t pend_slots = mem.channel(0).pendingPoolSlots();
+    const std::uint64_t before = g_heap_allocs;
+    pump(8);
+    EXPECT_EQ(g_heap_allocs, before)
+        << "enqueue -> service -> complete must be allocation-free "
+           "in steady state";
+    EXPECT_EQ(mem.channel(0).pendingPoolSlots(), pend_slots)
+        << "pending-record pool must stop growing once warm";
+    EXPECT_EQ(completions, 64u * 12u);
+}
+
+TEST(MemoryPools, MshrSteadyStateDoesNotAllocate)
+{
+    MshrFile m(16);
+    FinishPool fp;
+    std::uint64_t fills = 0;
+
+    const auto cycle = [&](int rounds) {
+        for (int r = 0; r < rounds; ++r) {
+            for (std::uint64_t b = 0; b < 16; ++b) {
+                const Addr a{b * kBlockBytes};
+                ASSERT_EQ(m.allocate(a, fp.make([&fills](Tick) {
+                              ++fills;
+                          })),
+                          MshrOutcome::NewMiss);
+                // One merged waiter per block: exercises the chain.
+                ASSERT_EQ(m.allocate(a, fp.make([&fills](Tick) {
+                              ++fills;
+                          })),
+                          MshrOutcome::Merged);
+            }
+            for (std::uint64_t b = 0; b < 16; ++b)
+                ASSERT_EQ(m.complete(Addr{b * kBlockBytes}, Tick{b}), 2u);
+        }
+    };
+
+    cycle(2);   // warm entry/waiter/closure pools
+    const std::size_t entry_slots = m.entryPoolSlots();
+    const std::size_t waiter_slots = m.waiterPoolSlots();
+    const std::uint64_t before = g_heap_allocs;
+    cycle(16);
+    EXPECT_EQ(g_heap_allocs, before)
+        << "allocate/merge/complete must be allocation-free once warm";
+    EXPECT_EQ(m.entryPoolSlots(), entry_slots);
+    EXPECT_EQ(m.waiterPoolSlots(), waiter_slots);
+    EXPECT_EQ(fills, 2u * 16u * 18u);
+}
+
+} // namespace
+} // namespace emcc

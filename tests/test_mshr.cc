@@ -1,7 +1,9 @@
 /**
  * @file
  * Unit tests for the MSHR file: allocation, merging, capacity, and
- * completion fan-out.
+ * completion fan-out. Callbacks are pooled FinishCb handles, so every
+ * test carries its own FinishPool; closures left un-run at test end
+ * (capacity and leak tests) are reclaimed by the pool destructor.
  */
 
 #include <gtest/gtest.h>
@@ -9,17 +11,21 @@
 #include <vector>
 
 #include "cache/mshr.hh"
+#include "sim/finish_pool.hh"
 
 namespace emcc {
 namespace {
 
 TEST(Mshr, NewMissThenMerge)
 {
+    FinishPool fp;
     MshrFile m(4);
     std::vector<Tick> fills;
-    EXPECT_EQ(m.allocate(Addr{0x100}, [&](Tick t) { fills.push_back(t); }),
+    EXPECT_EQ(m.allocate(Addr{0x100},
+                         fp.make([&](Tick t) { fills.push_back(t); })),
               MshrOutcome::NewMiss);
-    EXPECT_EQ(m.allocate(Addr{0x110}, [&](Tick t) { fills.push_back(t); }),
+    EXPECT_EQ(m.allocate(Addr{0x110},
+                         fp.make([&](Tick t) { fills.push_back(t); })),
               MshrOutcome::Merged);   // same block
     EXPECT_TRUE(m.outstanding(Addr{0x13f}));
     EXPECT_EQ(m.inUse(), 1u);
@@ -30,20 +36,28 @@ TEST(Mshr, NewMissThenMerge)
 
 TEST(Mshr, DistinctBlocksGetDistinctEntries)
 {
+    FinishPool fp;
     MshrFile m(4);
-    EXPECT_EQ(m.allocate(Addr{0x000}, [](Tick) {}), MshrOutcome::NewMiss);
-    EXPECT_EQ(m.allocate(Addr{0x040}, [](Tick) {}), MshrOutcome::NewMiss);
+    EXPECT_EQ(m.allocate(Addr{0x000}, fp.make([](Tick) {})),
+              MshrOutcome::NewMiss);
+    EXPECT_EQ(m.allocate(Addr{0x040}, fp.make([](Tick) {})),
+              MshrOutcome::NewMiss);
     EXPECT_EQ(m.inUse(), 2u);
 }
 
 TEST(Mshr, FullWhenCapacityReached)
 {
+    FinishPool fp;
     MshrFile m(2);
-    EXPECT_EQ(m.allocate(Addr{0x000}, [](Tick) {}), MshrOutcome::NewMiss);
-    EXPECT_EQ(m.allocate(Addr{0x040}, [](Tick) {}), MshrOutcome::NewMiss);
-    EXPECT_EQ(m.allocate(Addr{0x080}, [](Tick) {}), MshrOutcome::Full);
+    EXPECT_EQ(m.allocate(Addr{0x000}, fp.make([](Tick) {})),
+              MshrOutcome::NewMiss);
+    EXPECT_EQ(m.allocate(Addr{0x040}, fp.make([](Tick) {})),
+              MshrOutcome::NewMiss);
+    EXPECT_EQ(m.allocate(Addr{0x080}, fp.make([](Tick) {})),
+              MshrOutcome::Full);
     // Merging into an existing entry still works when full.
-    EXPECT_EQ(m.allocate(Addr{0x040}, [](Tick) {}), MshrOutcome::Merged);
+    EXPECT_EQ(m.allocate(Addr{0x040}, fp.make([](Tick) {})),
+              MshrOutcome::Merged);
     EXPECT_EQ(m.fullStalls(), 1u);
 }
 
@@ -55,20 +69,24 @@ TEST(Mshr, CompleteUnknownBlockIsNoop)
 
 TEST(Mshr, CountersTrack)
 {
+    FinishPool fp;
     MshrFile m(4);
-    m.allocate(Addr{0x000}, [](Tick) {});
-    m.allocate(Addr{0x000}, [](Tick) {});
-    m.allocate(Addr{0x040}, [](Tick) {});
+    m.allocate(Addr{0x000}, fp.make([](Tick) {}));
+    m.allocate(Addr{0x000}, fp.make([](Tick) {}));
+    m.allocate(Addr{0x040}, fp.make([](Tick) {}));
     EXPECT_EQ(m.allocated(), 2u);
     EXPECT_EQ(m.merged(), 1u);
 }
 
 TEST(Mshr, ReallocAfterComplete)
 {
+    FinishPool fp;
     MshrFile m(1);
-    EXPECT_EQ(m.allocate(Addr{0x000}, [](Tick) {}), MshrOutcome::NewMiss);
+    EXPECT_EQ(m.allocate(Addr{0x000}, fp.make([](Tick) {})),
+              MshrOutcome::NewMiss);
     m.complete(Addr{0x000}, Tick{5});
-    EXPECT_EQ(m.allocate(Addr{0x000}, [](Tick) {}), MshrOutcome::NewMiss);
+    EXPECT_EQ(m.allocate(Addr{0x000}, fp.make([](Tick) {})),
+              MshrOutcome::NewMiss);
 }
 
 TEST(Mshr, ForEachOutstandingVisitsInAddressOrder)
@@ -76,10 +94,11 @@ TEST(Mshr, ForEachOutstandingVisitsInAddressOrder)
     // Regression: this used to iterate the underlying unordered_map
     // directly, so the watchdog's diagnostic dump came out in hash
     // order — nondeterministic across libstdc++ versions and runs.
+    FinishPool fp;
     MshrFile m(8);
     for (Addr a : {Addr{0x1c0}, Addr{0x040}, Addr{0x100}, Addr{0x080}})
-        m.allocate(a, [](Tick) {});
-    m.allocate(Addr{0x100}, [](Tick) {});  // merged: 2 waiters
+        m.allocate(a, fp.make([](Tick) {}));
+    m.allocate(Addr{0x100}, fp.make([](Tick) {}));  // merged: 2 waiters
 
     std::vector<Addr> order;
     std::vector<unsigned> waiters;
