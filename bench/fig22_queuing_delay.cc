@@ -9,7 +9,7 @@
 #include <cmath>
 
 #include "bench_common.hh"
-#include "obs/ledger.hh"
+#include "obs/resmon.hh"
 
 int
 main()
@@ -20,21 +20,29 @@ main()
         "Figure 22: DRAM queueing delay by access type (geomean, ns)");
 
     Table t({"channels", "Counter Read", "Data Read", "Counter Write",
-             "Data Write", "MC queue (ledger)"});
+             "Data Write", "MC queue (resmon)"});
     for (unsigned channels : {1u, 8u}) {
         // Aggregate log-mean queueing delay across the workload set.
-        // The per-miss ledger gives an independent cross-check: its
-        // McQueue segment is the same wait measured from the demand
-        // miss's point of view (arithmetic mean, demand reads only).
+        // The resource monitor's mc_queue wait histogram gives an
+        // independent cross-check: the same read-queue delay measured
+        // at the controller's slot level (arithmetic mean, reads only).
+        // One monitor per channel config — mc_queue's capacity scales
+        // with the channel count, and add() pins capacity by name. The
+        // per-run wait stats are read from each run's own metrics
+        // snapshot: SecureSystem::run() resets attached observers at
+        // the measurement boundary, so the live monitor only ever holds
+        // the latest run.
         double log_cr = 0.0, log_dr = 0.0, log_cw = 0.0, log_dw = 0.0;
         Count n_cr = 0, n_dr = 0, n_cw = 0, n_dw = 0;
-        obs::LatencyLedger led;
+        double mcq_sum_ns = 0.0;
+        Count mcq_n = 0;
+        obs::ResourceMonitor resmon;
         for (const auto &name : benchutil::figureWorkloads()) {
             const auto &workload = cachedWorkload(name, scale.workload);
             auto cfg = paperConfig(Scheme::Emcc);
             cfg.dram.channels = channels;
             RunOptions opts;
-            opts.ledger = &led;
+            opts.resmon = &resmon;
             const auto r = runTiming(cfg, workload, scale, opts);
             const int d = static_cast<int>(MemClass::Data);
             const int c = static_cast<int>(MemClass::Counter);
@@ -46,16 +54,23 @@ main()
             n_dw += r.dram.writes[d];
             log_cw += r.dram.write_qdelay_log[c];
             n_cw += r.dram.writes[c];
+            const auto it = r.metrics.histograms.find("res.mc_queue.wait");
+            if (it != r.metrics.histograms.end()) {
+                mcq_sum_ns +=
+                    it->second.mean * static_cast<double>(it->second.count);
+                mcq_n += it->second.count;
+            }
         }
         auto geo = [](double log_sum, Count n) {
             return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
         };
+        const double mcq_mean =
+            mcq_n ? mcq_sum_ns / static_cast<double>(mcq_n) : 0.0;
         t.addRow({std::to_string(channels), Table::num(geo(log_cr, n_cr), 1),
                   Table::num(geo(log_dr, n_dr), 1),
                   Table::num(geo(log_cw, n_cw), 1),
                   Table::num(geo(log_dw, n_dw), 1),
-                  Table::num(led.segmentMeanNs(obs::MissSegment::McQueue),
-                             1)});
+                  Table::num(mcq_mean, 1)});
     }
     benchutil::report("fig22_queuing_delay", t);
     std::puts("\npaper: queueing delay reduces with more channels; "

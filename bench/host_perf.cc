@@ -251,11 +251,11 @@ main()
     {
         FinishPool fp;
         const auto pooled = [&fp](std::uint64_t *sink) {
-            return fp.make([sink](Tick t) { *sink += t.value() & 1; });
+            return fp.make([sink](Tick at) { *sink += at.value() & 1; });
         };
         const auto heaped = [](std::uint64_t *sink) {
             return legacy::MshrFile::Callback(
-                [sink](Tick t) { *sink += t.value() & 1; });
+                [sink](Tick at) { *sink += at.value() & 1; });
         };
         runMissPath<legacy::MshrFile>(target / 16, heaped);
         runMissPath<MshrFile>(target / 16, pooled);

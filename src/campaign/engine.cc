@@ -145,6 +145,7 @@ CampaignEngine::run()
             ++pending_;
             todo.push_back(&r);
         }
+        todo_total_ = pending_;
     }
     prebuildWorkloads(todo);
 
@@ -323,9 +324,14 @@ CampaignEngine::settleAttempt(const RunDesc &run, Task task,
 void
 CampaignEngine::monitorLoop()
 {
+    double next_beat = opts_.heartbeat_s;
     while (!done_.load()) {
         const bool cancel = cancelling();
         const double now = timer_.seconds();
+        if (opts_.heartbeat_s > 0.0 && now >= next_beat) {
+            emitHeartbeat();
+            next_beat = now + opts_.heartbeat_s;
+        }
         for (const std::unique_ptr<Flight> &f : flights_) {
             if (!f->active.load())
                 continue;
@@ -345,6 +351,53 @@ CampaignEngine::monitorLoop()
         }
         sleepS(kMonitorScanPeriodS);
     }
+}
+
+void
+CampaignEngine::emitHeartbeat()
+{
+    Count total = 0, done = 0, failed = 0, retried = 0, pending = 0;
+    double mean_ms = 0.0;
+    {
+        sync::MutexLock lk(mutex_);
+        total = todo_total_;
+        pending = pending_;
+        done = records_.size();
+        double sum_ms = 0.0;
+        for (const JournalRecord &r : records_) {
+            if (r.outcome != Outcome::Ok)
+                ++failed;
+            if (r.attempts > 1)
+                ++retried;
+            sum_ms += r.host_ms;
+        }
+        if (done > 0)
+            mean_ms = sum_ms / static_cast<double>(done);
+    }
+    char line[192];
+    if (done > 0 && pending > 0) {
+        // Crude ETA: completed-run mean, remaining runs, full pool.
+        const double eta_s = static_cast<double>(pending) * mean_ms /
+                             1e3 / static_cast<double>(flights_.size());
+        std::snprintf(line, sizeof(line),
+                      "heartbeat: %llu/%llu done (%llu failed, %llu "
+                      "retried), elapsed %.1fs, eta ~%.0fs",
+                      static_cast<unsigned long long>(done),
+                      static_cast<unsigned long long>(total),
+                      static_cast<unsigned long long>(failed),
+                      static_cast<unsigned long long>(retried),
+                      timer_.seconds(), eta_s);
+    } else {
+        std::snprintf(line, sizeof(line),
+                      "heartbeat: %llu/%llu done (%llu failed, %llu "
+                      "retried), elapsed %.1fs",
+                      static_cast<unsigned long long>(done),
+                      static_cast<unsigned long long>(total),
+                      static_cast<unsigned long long>(failed),
+                      static_cast<unsigned long long>(retried),
+                      timer_.seconds());
+    }
+    progress(line);
 }
 
 CampaignEngine::AttemptResult

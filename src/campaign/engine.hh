@@ -86,6 +86,9 @@ struct EngineOptions
     bool resume = true;            ///< honour existing journal records
     bool fsync_journal = true;
     bool quiet = false;            ///< suppress per-run progress lines
+    /// seconds between one-line status heartbeats on stderr (0 = off;
+    /// --quiet silences them too)
+    double heartbeat_s = 10.0;
     double deadline_s_override = 0.0;   ///< > 0 replaces spec deadline
     /// campaign-level drain request (SIGINT handler raises it)
     const std::atomic<bool> *drain = nullptr;
@@ -214,7 +217,11 @@ class CampaignEngine
 
     void prebuildWorkloads(const std::vector<const RunDesc *> &todo);
     void workerLoop(unsigned slot) EMCC_EXCLUDES(mutex_, journal_mutex_);
-    void monitorLoop();
+    void monitorLoop() EMCC_EXCLUDES(mutex_);
+
+    /** One status line: done/failed/retried, elapsed, crude ETA from
+     *  the completed-run mean. Emitted by the monitor thread. */
+    void emitHeartbeat() EMCC_EXCLUDES(mutex_);
 
     /** Block until a task is dispatchable (claimed into @p out, true)
      *  or the campaign is out of work / draining (false). */
@@ -256,6 +263,8 @@ class CampaignEngine
         EMCC_GUARDED_BY(mutex_);
     /// runs not yet terminal/abandoned
     Count pending_ EMCC_GUARDED_BY(mutex_) = 0;
+    /// runs this process set out to execute (heartbeat denominator)
+    Count todo_total_ EMCC_GUARDED_BY(mutex_) = 0;
     /// drained before dispatch / cancelled in flight
     Count abandoned_ EMCC_GUARDED_BY(mutex_) = 0;
     /// terminal records produced by this process

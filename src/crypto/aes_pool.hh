@@ -22,6 +22,7 @@
 #include "common/histogram.hh"
 #include "common/types.hh"
 #include "obs/metrics.hh"
+#include "obs/resmon.hh"
 
 namespace emcc {
 
@@ -73,6 +74,10 @@ class AesPool
         total_queue_delay_ += (start - now);
         max_queue_delay_ = std::max(max_queue_delay_, start - now);
         queue_delay_ns_.add(ticksToNs(start - now));
+        if (resmon_ != nullptr) {
+            resmon_->service(res_id_, start, next_free_, n_ops);
+            resmon_->waited(res_id_, ticksToNs(start - now));
+        }
         // Last op enters the pipeline at next_free_ - interval_.
         return next_free_ - interval_ + cfg_.op_latency;
     }
@@ -101,6 +106,20 @@ class AesPool
     /** Distribution of per-batch queueing delay (ns). */
     const Histogram &queueDelayHist() const { return queue_delay_ns_; }
 
+    /**
+     * Report pipeline occupancy and queueing to a resource monitor
+     * under resource @p name (capacity 1: the pool is one pipelined
+     * server whose busy integral is ops x service interval). nullptr
+     * detaches; submit() then costs one extra load.
+     */
+    void
+    bindMonitor(obs::ResourceMonitor *mon, const std::string &name)
+    {
+        resmon_ = mon;
+        if (resmon_ != nullptr)
+            res_id_ = resmon_->add(name, 1);
+    }
+
     /** Register throughput/queueing stats under "<prefix>.". */
     void
     registerMetrics(obs::MetricsRegistry &reg,
@@ -127,6 +146,8 @@ class AesPool
     Tick total_queue_delay_{};
     Tick max_queue_delay_{};
     Histogram queue_delay_ns_{0.0, 200.0, 100};
+    obs::ResourceMonitor *resmon_ = nullptr;
+    obs::ResId res_id_ = 0;
 };
 
 } // namespace emcc

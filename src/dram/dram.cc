@@ -92,6 +92,19 @@ DramChannel::DramChannel(Simulator &sim, std::string name,
         tracer_ = t;
         trace_track_ = t->track(this->name());
     }
+    // Resource-monitor binding follows the same attach-before-build
+    // contract. The bus and bank pool are per-channel; the read-queue
+    // slot pool is one shared "mc_queue" resource (Fig 22's metric),
+    // so every channel registers the same name with the same global
+    // capacity and gets the same id back.
+    if (obs::ResourceMonitor *m = sim.resmon()) {
+        resmon_ = m;
+        const std::string ch = "dram.ch" + std::to_string(channel_id_);
+        res_bus_ = m->add(ch + ".bus", 1);
+        res_banks_ = m->add(ch + ".banks",
+                            cfg_.ranks * cfg_.banks_per_rank);
+        res_queue_ = m->add("mc_queue", cfg_.queue_entries * cfg_.channels);
+    }
 }
 
 DramChannel::BankState &
@@ -182,6 +195,12 @@ DramChannel::enqueue(const DramRequest &req)
     p.coord = mapper_.map(req.addr);
     p.enqueue_tick = curTick();
     pushBack(q, slot);
+    if (resmon_ != nullptr && !req.is_write) {
+        // Slot occupancy (busy/sat) and depth stats (queue) both track
+        // the read queue; the issue() side retires both together.
+        resmon_->busy(res_queue_, curTick());
+        resmon_->enqueue(res_queue_, curTick());
+    }
     scheduleServiceCheck();
     return true;
 }
@@ -272,6 +291,16 @@ DramChannel::issue(Pending &p)
         stats_.read_qdelay[cls] += qdelay_ns;
         stats_.read_qdelay_log[cls] += std::log(qdelay_clamped);
         stats_.read_qdelay_hist.add(qdelay_ns);
+    }
+
+    if (resmon_ != nullptr) {
+        if (!p.req.is_write) {
+            resmon_->idle(res_queue_, now);
+            resmon_->dequeue(res_queue_, now);
+            resmon_->waited(res_queue_, qdelay_ns);
+        }
+        resmon_->service(res_bus_, data_start, data_end);
+        resmon_->service(res_banks_, cmd_start, data_end);
     }
 
     if (tracer_) {

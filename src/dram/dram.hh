@@ -30,6 +30,7 @@
 #include "common/histogram.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/resmon.hh"
 #include "obs/trace.hh"
 #include "sim/finish_pool.hh"
 #include "sim/simulator.hh"
@@ -265,6 +266,11 @@ class DramChannel : public Component
     /// non-null only when tracing with the dram category enabled
     obs::Tracer *tracer_ = nullptr;
     obs::TrackId trace_track_ = 0;
+    /// non-null only when a resource monitor is attached to the sim
+    obs::ResourceMonitor *resmon_ = nullptr;
+    obs::ResId res_bus_ = 0;    ///< channel data bus (capacity 1)
+    obs::ResId res_banks_ = 0;  ///< bank pool (capacity ranks x banks)
+    obs::ResId res_queue_ = 0;  ///< shared "mc_queue" read-slot pool
 };
 
 /**

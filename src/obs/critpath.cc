@@ -1,0 +1,271 @@
+#include "obs/critpath.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.hh"
+#include "obs/metrics.hh"
+
+namespace emcc {
+namespace obs {
+
+namespace {
+
+const char *const kCategoryNames[kNumCpCategories] = {
+    "dram", "noc", "llc", "crypto", "counter", "other",
+};
+
+const char *const kWhatIfNames[kNumCpWhatIfs] = {
+    "aes_zero", "crypto_zero", "counter_zero", "dram_half", "noc_zero",
+};
+
+const char *const kWhatIfDescs[kNumCpWhatIfs] = {
+    "AES+MAC service -> 0",
+    "crypto lane -> 0",
+    "counter fetch -> 0",
+    "DRAM queue+service x0.5",
+    "NoC flights -> 0",
+};
+
+/** Per-component scale factors of one replay. */
+struct Scales
+{
+    double dram = 1.0;
+    double noc = 1.0;
+    double llc = 1.0;
+    double aes = 1.0;
+    double ctr = 1.0;
+};
+
+Scales
+axisScales(CpWhatIf axis, double scale)
+{
+    Scales s;
+    switch (axis) {
+    case CpWhatIf::AesZero:
+        s.aes = scale;
+        break;
+    case CpWhatIf::CryptoZero:
+        s.aes = scale;
+        s.ctr = scale;
+        break;
+    case CpWhatIf::CounterZero:
+        s.ctr = scale;
+        break;
+    case CpWhatIf::DramHalf:
+        s.dram = scale;
+        break;
+    case CpWhatIf::NocZero:
+        s.noc = scale;
+        break;
+    case CpWhatIf::NumWhatIfs:
+        panic("bad what-if axis");
+    }
+    return s;
+}
+
+double
+canonicalScale(CpWhatIf axis)
+{
+    return axis == CpWhatIf::DramHalf ? 0.5 : 0.0;
+}
+
+} // namespace
+
+const char *
+cpCategoryName(CpCategory c)
+{
+    const auto i = static_cast<unsigned>(c);
+    panic_if(i >= kNumCpCategories, "cpCategoryName(%u) out of range", i);
+    return kCategoryNames[i];
+}
+
+const char *
+cpWhatIfName(CpWhatIf w)
+{
+    const auto i = static_cast<unsigned>(w);
+    panic_if(i >= kNumCpWhatIfs, "cpWhatIfName(%u) out of range", i);
+    return kWhatIfNames[i];
+}
+
+void
+CritPathAnalyzer::observe(const MissRecord &rec, Tick fill)
+{
+    const auto seg = [&rec](MissSegment s) {
+        return rec.seg_ns[static_cast<unsigned>(s)];
+    };
+
+    const double total =
+        fill > rec.start ? ticksToNs(fill - rec.start) : 0.0;
+    const double dram = seg(MissSegment::McQueue) +
+                        seg(MissSegment::DramRowHit) +
+                        seg(MissSegment::DramRowMiss);
+    const double noc = seg(MissSegment::NocReq) +
+                       seg(MissSegment::NocLlcMc) +
+                       seg(MissSegment::NocResp);
+    const double llc = seg(MissSegment::Llc);
+
+    // Crypto lane: same derivation as LatencyLedger::finish(), split
+    // into the AES/MAC portion and the counter-fetch remainder.
+    double lane = 0.0, hidden = 0.0;
+    if (rec.crypto_begin != kTickInvalid && rec.crypto_end != kTickInvalid &&
+        rec.crypto_end > rec.crypto_begin) {
+        const Tick cb = rec.crypto_begin;
+        const Tick ce = rec.crypto_end;
+        Tick hu = rec.hide_until == kTickInvalid ? ce : rec.hide_until;
+        if (hu > ce)
+            hu = ce;
+        lane = ticksToNs(ce - cb);
+        hidden = hu > cb ? ticksToNs(hu - cb) : 0.0;
+    }
+    double aes = seg(MissSegment::Aes) + seg(MissSegment::MacVerify);
+    if (aes > lane)
+        aes = lane;
+    const double ctr = lane - aes;
+
+    // The hidden window covers the lane's front (counter fetch runs
+    // first); the exposed tail is AES work before counter work.
+    const double exposed = lane > hidden ? lane - hidden : 0.0;
+    const double crypto_exp = std::min(exposed, aes);
+    const double counter_exp = exposed - crypto_exp;
+
+    const double serial = dram + noc + llc + exposed;
+    const double other = total > serial ? total - serial : 0.0;
+
+    const double by_cat[kNumCpCategories] = {dram, noc,         llc,
+                                             crypto_exp, counter_exp, other};
+    unsigned binding = 0;
+    for (unsigned i = 1; i < kNumCpCategories; ++i) {
+        if (by_cat[i] > by_cat[binding])
+            binding = i;
+    }
+    ++bound_[binding];
+    for (unsigned i = 0; i < kNumCpCategories; ++i)
+        cat_sum_ns_[i] += by_cat[i];
+    total_sum_ns_ += total;
+    ++records_;
+
+    samples_.push_back(Sample{static_cast<float>(dram),
+                              static_cast<float>(noc),
+                              static_cast<float>(llc),
+                              static_cast<float>(other),
+                              static_cast<float>(aes),
+                              static_cast<float>(ctr),
+                              static_cast<float>(hidden)});
+}
+
+void
+CritPathAnalyzer::resetStats()
+{
+    samples_.clear();
+    records_ = 0;
+    for (unsigned i = 0; i < kNumCpCategories; ++i) {
+        bound_[i] = 0;
+        cat_sum_ns_[i] = 0.0;
+    }
+    total_sum_ns_ = 0.0;
+}
+
+double
+CritPathAnalyzer::boundByFrac(CpCategory c) const
+{
+    if (records_ == 0)
+        return 0.0;
+    return static_cast<double>(bound_[static_cast<unsigned>(c)]) /
+           static_cast<double>(records_);
+}
+
+double
+CritPathAnalyzer::categoryMeanNs(CpCategory c) const
+{
+    if (records_ == 0)
+        return 0.0;
+    return cat_sum_ns_[static_cast<unsigned>(c)] /
+           static_cast<double>(records_);
+}
+
+double
+CritPathAnalyzer::projectSpeedup(CpWhatIf axis, double scale) const
+{
+    const Scales s = axisScales(axis, scale);
+    double before = 0.0, after = 0.0;
+    for (const Sample &m : samples_) {
+        const double data = m.dram + m.noc + m.llc + m.other;
+        const double lane = static_cast<double>(m.aes) + m.ctr;
+        const double exposed =
+            lane > m.hidden ? lane - m.hidden : 0.0;
+
+        const double data2 =
+            m.dram * s.dram + m.noc * s.noc + m.llc * s.llc + m.other;
+        const double lane2 = m.aes * s.aes + m.ctr * s.ctr;
+        // The hide window is the data flight under the lane: scale the
+        // recorded hidden credit with the data path it came from.
+        const double hidden2 =
+            data > 0.0 ? m.hidden * (data2 / data) : m.hidden;
+        const double exposed2 = lane2 > hidden2 ? lane2 - hidden2 : 0.0;
+
+        before += data + exposed;
+        after += data2 + exposed2;
+    }
+    if (after <= 0.0 || before <= 0.0)
+        return 1.0;
+    return before / after;
+}
+
+double
+CritPathAnalyzer::whatIf(CpWhatIf axis) const
+{
+    return projectSpeedup(axis, canonicalScale(axis));
+}
+
+void
+CritPathAnalyzer::registerMetrics(MetricsRegistry &reg,
+                                  const std::string &prefix) const
+{
+    reg.addCounterFn(prefix + ".records", [this] { return records_; });
+    for (unsigned i = 0; i < kNumCpCategories; ++i) {
+        const auto c = static_cast<CpCategory>(i);
+        const std::string name = cpCategoryName(c);
+        reg.addFormula(prefix + ".bound_by." + name,
+                       [this, c] { return boundByFrac(c); });
+        reg.addFormula(prefix + ".mean_ns." + name,
+                       [this, c] { return categoryMeanNs(c); });
+    }
+    for (unsigned i = 0; i < kNumCpWhatIfs; ++i) {
+        const auto w = static_cast<CpWhatIf>(i);
+        reg.addFormula(prefix + ".whatif." + cpWhatIfName(w),
+                       [this, w] { return whatIf(w); });
+    }
+}
+
+std::string
+CritPathAnalyzer::renderTable() const
+{
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "critical path: what bound each miss (%llu misses)\n",
+                  static_cast<unsigned long long>(records_));
+    out += line;
+    std::snprintf(line, sizeof(line), "  %-10s %9s %13s\n", "category",
+                  "bound-by", "mean ns/miss");
+    out += line;
+    for (unsigned i = 0; i < kNumCpCategories; ++i) {
+        const auto c = static_cast<CpCategory>(i);
+        std::snprintf(line, sizeof(line), "  %-10s %8.1f%% %13.1f\n",
+                      cpCategoryName(c), 100.0 * boundByFrac(c),
+                      categoryMeanNs(c));
+        out += line;
+    }
+    out += "what-if projections (per-miss latency speedup):\n";
+    for (unsigned i = 0; i < kNumCpWhatIfs; ++i) {
+        const auto w = static_cast<CpWhatIf>(i);
+        std::snprintf(line, sizeof(line), "  %-12s (%s): %.2fx\n",
+                      cpWhatIfName(w), kWhatIfDescs[i], whatIf(w));
+        out += line;
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace emcc

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * CritPathAnalyzer: per-miss critical-path decomposition and what-if
+ * bottleneck projection.
+ *
+ * The LatencyLedger answers "where did the time go" per segment; this
+ * analyzer answers "what bound the miss" and "what would relieving a
+ * resource buy". It observes every finished MissRecord (just before
+ * the ledger folds and recycles it) and reduces it to a small
+ * dependency DAG with two lanes:
+ *
+ *        serial data path:  noc_req -> llc -> noc_llc_mc -> mc_queue
+ *                           -> dram -> noc_resp            (+ other)
+ *        crypto lane:       counter fetch -> aes/mac, overlapped with
+ *                           the data path up to hide_until; only the
+ *                           exposed remainder extends the miss
+ *
+ * Per miss it picks the *binding* category — the largest contributor
+ * among dram / noc / llc / crypto-exposed / counter-exposed / other —
+ * and aggregates a run-level bound-by breakdown (cp.bound_by.*
+ * fractions, summing to 1). It also keeps a compact per-miss sample of
+ * the DAG so projections can *replay* the recorded population with one
+ * component's service time scaled (e.g. AES -> 0) and report the
+ * projected mean-miss-latency speedup under cp.whatif.*.
+ *
+ * Projection semantics and known limits: the replay scales recorded
+ * durations and re-resolves the lane join per miss, so it captures
+ * first-order overlap effects (crypto that was already hidden buys
+ * nothing when zeroed) but not second-order queueing relief (a faster
+ * AES also shortens the queue behind it) or IPC feedback — it projects
+ * per-miss latency, not end-to-end runtime. Validated against real
+ * re-simulation within 10% on the AES->0 axis (test_critpath).
+ *
+ * Cost contract: attached via the Simulator like the ledger; every
+ * site null-checks, so --no-resmon keeps exact pre-PR behavior.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/ledger.hh"
+
+namespace emcc {
+namespace obs {
+
+class MetricsRegistry;
+
+/** The category that bound (or contributed to) a miss's latency. */
+enum class CpCategory : unsigned
+{
+    Dram,     ///< mc_queue + dram row hit/miss service
+    Noc,      ///< request, LLC->MC, and response flights
+    Llc,      ///< LLC slice tag/data access
+    Crypto,   ///< exposed AES/MAC work past the hide window
+    Counter,  ///< exposed counter-fetch work past the hide window
+    Other,    ///< residual (L2-side bookkeeping, MSHR waits, retries)
+    NumCategories,
+};
+
+constexpr unsigned kNumCpCategories =
+    static_cast<unsigned>(CpCategory::NumCategories);
+
+/** Stable lowercase name used in metric keys ("dram", "crypto", ...). */
+const char *cpCategoryName(CpCategory c);
+
+/** One what-if projection axis: scale a component's service time. */
+enum class CpWhatIf : unsigned
+{
+    AesZero,     ///< AES+MAC service -> 0 (BipBip-style few-cycle cipher)
+    CryptoZero,  ///< whole crypto lane -> 0 (upper bound of any cipher)
+    CounterZero, ///< counter fetch -> 0 (perfect counter cache)
+    DramHalf,    ///< DRAM queue+service halved (2x channels/banks)
+    NocZero,     ///< NoC flights -> 0 (crypto engine at the MC)
+    NumWhatIfs,
+};
+
+constexpr unsigned kNumCpWhatIfs =
+    static_cast<unsigned>(CpWhatIf::NumWhatIfs);
+
+/** Stable lowercase key ("aes_zero", "dram_half", ...). */
+const char *cpWhatIfName(CpWhatIf w);
+
+class CritPathAnalyzer
+{
+  public:
+    CritPathAnalyzer() = default;
+
+    CritPathAnalyzer(const CritPathAnalyzer &) = delete;
+    CritPathAnalyzer &operator=(const CritPathAnalyzer &) = delete;
+
+    /**
+     * Fold one finished miss. Must run before LatencyLedger::finish()
+     * recycles @p rec (the record is read, never modified). @p fill is
+     * the L2 fill tick, same as passed to finish().
+     */
+    void observe(const MissRecord &rec, Tick fill);
+
+    /** Drop aggregates and samples (measurement-phase reset). */
+    void resetStats();
+
+    Count records() const { return records_; }
+
+    /** Fraction of misses bound by @p c (0 when no records). */
+    double boundByFrac(CpCategory c) const;
+
+    /** Mean ns category @p c contributed to the serial path per miss. */
+    double categoryMeanNs(CpCategory c) const;
+
+    /**
+     * Replay every recorded miss with the axis' component scaled by
+     * @p scale (0 = zeroed) and return the projected speedup: recorded
+     * mean miss latency over projected mean miss latency (>= 1 for
+     * scale < 1). Returns 1 when no records.
+     */
+    double projectSpeedup(CpWhatIf axis, double scale) const;
+
+    /** projectSpeedup with each axis' canonical scale (0 or 0.5). */
+    double whatIf(CpWhatIf axis) const;
+
+    /** Register cp.* (or @p prefix.*): records, bound_by.<cat>,
+     *  mean_ns.<cat>, whatif.<axis>. */
+    void registerMetrics(MetricsRegistry &reg,
+                         const std::string &prefix = "cp") const;
+
+    /** Human-readable bound-by breakdown + what-if projections (the
+     *  bottom half of the bottleneck report). */
+    std::string renderTable() const;
+
+  private:
+    /** Compact replayable DAG of one miss (float: ~4M misses = 112MB
+     *  would be too much as doubles; precision loss is far below the
+     *  projection's own model error). */
+    struct Sample
+    {
+        float dram;     ///< mc_queue + dram service, ns
+        float noc;      ///< all three NoC flights, ns
+        float llc;      ///< LLC slice access, ns
+        float other;    ///< residual serial ns
+        float aes;      ///< AES+MAC busy ns (crypto lane)
+        float ctr;      ///< counter-fetch busy ns (crypto lane)
+        float hidden;   ///< lane ns overlapped under the data path
+    };
+
+    std::vector<Sample> samples_;
+    Count records_ = 0;
+    Count bound_[kNumCpCategories] = {};
+    double cat_sum_ns_[kNumCpCategories] = {};
+    double total_sum_ns_ = 0.0;
+};
+
+} // namespace obs
+} // namespace emcc

@@ -1,0 +1,308 @@
+#include "obs/resmon.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/log.hh"
+#include "obs/metrics.hh"
+
+namespace emcc {
+namespace obs {
+
+ResId
+ResourceMonitor::add(const std::string &name, unsigned capacity)
+{
+    panic_if(capacity == 0, "resource '%s' with zero capacity",
+             name.c_str());
+    auto it = by_name_.find(name);
+    if (it != by_name_.end()) {
+        panic_if(res_[it->second].capacity != capacity,
+                 "resource '%s' re-added with capacity %u (was %u)",
+                 name.c_str(), capacity, res_[it->second].capacity);
+        return it->second;
+    }
+    auto id = static_cast<ResId>(res_.size());
+    res_.emplace_back();
+    res_.back().name = name;
+    res_.back().capacity = capacity;
+    res_.back().last_change = window_start_;
+    by_name_.emplace(name, id);
+    return id;
+}
+
+ResourceMonitor::Resource &
+ResourceMonitor::at(ResId id)
+{
+    panic_if(id >= res_.size(), "bad ResId %u", id);
+    return res_[id];
+}
+
+const ResourceMonitor::Resource &
+ResourceMonitor::at(ResId id) const
+{
+    panic_if(id >= res_.size(), "bad ResId %u", id);
+    return res_[id];
+}
+
+void
+ResourceMonitor::integrate(Resource &r, Tick now)
+{
+    if (now > last_seen_)
+        last_seen_ = now;
+    if (now <= r.last_change)
+        return;
+    const double dt = ticksToNs(now - r.last_change);
+    r.busy_unit_ns += dt * r.busy_units;
+    r.queue_ns += dt * static_cast<double>(r.queue_depth);
+    if (r.busy_units >= r.capacity)
+        r.sat_ns += dt;
+    r.last_change = now;
+}
+
+void
+ResourceMonitor::busy(ResId id, Tick now)
+{
+    Resource &r = at(id);
+    integrate(r, now);
+    if (r.busy_units == 0)
+        r.active_since = now;
+    if (r.busy_units < r.capacity)
+        ++r.busy_units;
+    ++r.ops;
+}
+
+void
+ResourceMonitor::idle(ResId id, Tick now)
+{
+    Resource &r = at(id);
+    integrate(r, now);
+    if (r.busy_units > 0)
+        --r.busy_units;
+    if (r.busy_units == 0 && r.active_since != kTickInvalid) {
+        traceSpan(r, r.active_since, now);
+        r.active_since = kTickInvalid;
+    }
+}
+
+void
+ResourceMonitor::enqueue(ResId id, Tick now)
+{
+    Resource &r = at(id);
+    integrate(r, now);
+    ++r.queue_depth;
+    if (r.queue_depth > r.queue_max)
+        r.queue_max = r.queue_depth;
+}
+
+void
+ResourceMonitor::dequeue(ResId id, Tick now)
+{
+    Resource &r = at(id);
+    integrate(r, now);
+    if (r.queue_depth > 0)
+        --r.queue_depth;
+}
+
+void
+ResourceMonitor::service(ResId id, Tick begin, Tick end, Count n_ops)
+{
+    if (end <= begin)
+        return;
+    Resource &r = at(id);
+    // Clamp to the window start so warmup tails booked before the
+    // measurement reset do not leak in. (Intervals overrunning the
+    // window *end* stay booked; events are drained before endWindow.)
+    Tick b = begin < window_start_ ? window_start_ : begin;
+    if (end <= b)
+        return;
+    if (end > last_seen_)
+        last_seen_ = end;
+    r.busy_unit_ns += ticksToNs(end - b);
+    r.ops += n_ops;
+    traceSpan(r, b, end);
+}
+
+void
+ResourceMonitor::waited(ResId id, double ns)
+{
+    at(id).wait_hist.add(ns);
+}
+
+void
+ResourceMonitor::beginWindow(Tick t)
+{
+    window_start_ = t;
+    window_end_ = kTickInvalid;
+    last_seen_ = t;
+    for (Resource &r : res_) {
+        r.busy_unit_ns = 0.0;
+        r.queue_ns = 0.0;
+        r.sat_ns = 0.0;
+        r.ops = 0;
+        r.queue_max = r.queue_depth;
+        r.wait_hist.reset();
+        r.last_change = t;
+    }
+}
+
+void
+ResourceMonitor::endWindow(Tick t)
+{
+    for (Resource &r : res_)
+        integrate(r, t);
+    window_end_ = t;
+    if (t > last_seen_)
+        last_seen_ = t;
+}
+
+double
+ResourceMonitor::windowNs() const
+{
+    const Tick end = window_end_ != kTickInvalid ? window_end_ : last_seen_;
+    return end > window_start_ ? ticksToNs(end - window_start_) : 0.0;
+}
+
+void
+ResourceMonitor::bindTracer(Tracer *tracer)
+{
+    tracer_ = tracer;
+    if (tracer_ == nullptr || !tracer_->enabled(TraceCat::Res))
+        return;
+    for (Resource &r : res_) {
+        if (!r.track_made) {
+            r.track = tracer_->track("res " + r.name);
+            r.track_made = true;
+        }
+    }
+}
+
+void
+ResourceMonitor::traceSpan(Resource &r, Tick begin, Tick end)
+{
+    if (tracer_ == nullptr || !tracer_->enabled(TraceCat::Res))
+        return;
+    if (!r.track_made) {
+        r.track = tracer_->track("res " + r.name);
+        r.track_made = true;
+    }
+    tracer_->span(TraceCat::Res, r.track, r.name.c_str(), begin, end);
+}
+
+double
+ResourceMonitor::utilization(ResId id) const
+{
+    const Resource &r = at(id);
+    const double w = windowNs();
+    if (w <= 0.0)
+        return 0.0;
+    const double u = r.busy_unit_ns / (w * r.capacity);
+    return u > 1.0 ? 1.0 : u;
+}
+
+double
+ResourceMonitor::busyNs(ResId id) const
+{
+    return at(id).busy_unit_ns;
+}
+
+double
+ResourceMonitor::queueAvg(ResId id) const
+{
+    const double w = windowNs();
+    return w > 0.0 ? at(id).queue_ns / w : 0.0;
+}
+
+double
+ResourceMonitor::satFrac(ResId id) const
+{
+    const double w = windowNs();
+    if (w <= 0.0)
+        return 0.0;
+    const double f = at(id).sat_ns / w;
+    return f > 1.0 ? 1.0 : f;
+}
+
+Count
+ResourceMonitor::ops(ResId id) const
+{
+    return at(id).ops;
+}
+
+Count
+ResourceMonitor::queueMax(ResId id) const
+{
+    return at(id).queue_max;
+}
+
+const Histogram &
+ResourceMonitor::waitHist(ResId id) const
+{
+    return at(id).wait_hist;
+}
+
+const std::string &
+ResourceMonitor::name(ResId id) const
+{
+    return at(id).name;
+}
+
+void
+ResourceMonitor::registerMetrics(MetricsRegistry &reg,
+                                 const std::string &prefix)
+{
+    for (ResId id = 0; id < res_.size(); ++id) {
+        const std::string base = prefix + "." + res_[id].name;
+        reg.addFormula(base + ".util",
+                       [this, id] { return utilization(id); });
+        reg.addFormula(base + ".busy_ns", [this, id] { return busyNs(id); });
+        reg.addCounterFn(base + ".ops", [this, id] { return ops(id); });
+        reg.addFormula(base + ".queue_avg",
+                       [this, id] { return queueAvg(id); });
+        reg.addCounterFn(base + ".queue_max",
+                         [this, id] { return queueMax(id); });
+        reg.addFormula(base + ".sat_frac", [this, id] { return satFrac(id); });
+        reg.addHistogram(base + ".wait", &res_[id].wait_hist);
+    }
+}
+
+std::string
+ResourceMonitor::renderTable() const
+{
+    std::vector<ResId> order(res_.size());
+    for (ResId i = 0; i < res_.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [this](ResId a, ResId b) {
+        return utilization(a) > utilization(b);
+    });
+
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "resource contention (%.0f ns window)\n", windowNs());
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "  %-18s %4s %6s %7s %7s %7s %9s %10s\n", "resource",
+                  "cap", "util", "sat", "q_avg", "q_max", "wait ns",
+                  "ops");
+    out += line;
+    for (ResId id : order) {
+        const Resource &r = res_[id];
+        if (r.ops == 0 && r.busy_unit_ns == 0.0 && r.queue_ns == 0.0 &&
+            r.queue_max == 0)
+            continue;
+        std::snprintf(line, sizeof(line),
+                      "  %-18s %4u %5.1f%% %6.1f%% %7.2f %7llu %9.1f "
+                      "%10llu\n",
+                      r.name.c_str(), r.capacity, 100.0 * utilization(id),
+                      100.0 * satFrac(id), queueAvg(id),
+                      static_cast<unsigned long long>(r.queue_max),
+                      r.wait_hist.mean(),
+                      static_cast<unsigned long long>(r.ops));
+        out += line;
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace emcc

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * ResourceMonitor: time-weighted contention accounting for every shared
+ * resource in the memory system — DRAM channel buses and bank groups,
+ * AES engine lanes (L2-side and MC-side), NoC links, the MC counter
+ * cache port, MSHR files, and MC queue slots.
+ *
+ * Each resource registers once (add(name, capacity)) and then reports
+ * either *state transitions* (busy/idle for service units,
+ * enqueue/dequeue for queue slots — used by components that observe
+ * events in time order, like the DRAM controller queues) or *intervals*
+ * (service(begin, end) / waited(ns) — used by components that run on a
+ * monotonic per-resource clock and know an operation's full window at
+ * submit time, like the AES pools and the analytically-timed NoC hops).
+ * From the reports it derives, per resource:
+ *
+ *   util        time-weighted busy fraction of the measurement window,
+ *               normalized by capacity and clamped to [0,1] (interval
+ *               resources can book overlapping service, in which case
+ *               the unclamped value is average parallelism; the raw
+ *               integral stays available as busy_ns)
+ *   busy_ns     the unclamped busy-time integral (unit-ns)
+ *   ops         operations serviced
+ *   queue_avg / queue_max   time-weighted queue depth / its maximum
+ *   sat_frac    fraction of the window spent with every unit busy
+ *               (transition-tracked resources only)
+ *   wait        histogram of per-operation wait times (ns)
+ *
+ * All of it is exported deterministically under res.* in emcc-stats-v1
+ * and, when the `res` trace category is enabled, as one activity span
+ * per service interval (or busy envelope) on a per-resource track.
+ *
+ * Cost contract: like the Tracer and the LatencyLedger, the monitor is
+ * attached to the Simulator by pointer and every reporting site
+ * null-checks it, so the detached path (--no-resmon) is a single load
+ * per site and the run is metric-identical to a build without the
+ * monitor.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "common/histogram.hh"
+#include "common/types.hh"
+#include "obs/trace.hh"
+
+namespace emcc {
+namespace obs {
+
+class MetricsRegistry;
+
+/** Handle for a registered resource; stable for the monitor's life. */
+using ResId = std::uint32_t;
+
+class ResourceMonitor
+{
+  public:
+    ResourceMonitor() = default;
+
+    ResourceMonitor(const ResourceMonitor &) = delete;
+    ResourceMonitor &operator=(const ResourceMonitor &) = delete;
+
+    /**
+     * Register (or look up) the resource named @p name with @p capacity
+     * service units. Idempotent by name: a second add() with the same
+     * name returns the existing id (capacity must then match). Names
+     * become metric keys (res.<name>.*) so they follow the registry's
+     * grammar: lowercase [a-z0-9_] components joined by dots.
+     */
+    ResId add(const std::string &name, unsigned capacity);
+
+    /** Number of registered resources. */
+    std::size_t resources() const { return res_.size(); }
+
+    // ---- transition API (event-time ordered per resource) ----
+
+    /** One unit enters service at @p now. */
+    void busy(ResId id, Tick now);
+
+    /** One unit leaves service at @p now (pairs a prior busy()). */
+    void idle(ResId id, Tick now);
+
+    /** One request joins the resource's queue at @p now. */
+    void enqueue(ResId id, Tick now);
+
+    /** One request leaves the queue at @p now. */
+    void dequeue(ResId id, Tick now);
+
+    // ---- interval API (monotonic-clock components) ----
+
+    /**
+     * Book @p ops operations occupying one unit over [begin, end).
+     * Overlapping intervals accumulate; order of calls is irrelevant
+     * to the integrals (and therefore to determinism).
+     */
+    void service(ResId id, Tick begin, Tick end, Count ops = 1);
+
+    /** Record that one operation waited @p ns before service. */
+    void waited(ResId id, double ns);
+
+    // ---- measurement window ----
+
+    /**
+     * Start the measurement window at @p t: zero every integral and
+     * op count, keep live occupancy (in-flight work spans the reset,
+     * exactly like the ledger's in-flight records).
+     */
+    void beginWindow(Tick t);
+
+    /** Close the window at @p t, flushing occupancy integrals. */
+    void endWindow(Tick t);
+
+    /** Window length in ns seen so far (endWindow() or last report). */
+    double windowNs() const;
+
+    // ---- export ----
+
+    /** Bind the tracer for `res` category activity spans. */
+    void bindTracer(Tracer *tracer);
+
+    /** Register res.* (or @p prefix.*) metrics for every resource
+     *  added so far. Call after all components have registered. */
+    void registerMetrics(MetricsRegistry &reg,
+                         const std::string &prefix = "res");
+
+    double utilization(ResId id) const;
+    double busyNs(ResId id) const;
+    double queueAvg(ResId id) const;
+    double satFrac(ResId id) const;
+    Count ops(ResId id) const;
+    Count queueMax(ResId id) const;
+    const Histogram &waitHist(ResId id) const;
+    const std::string &name(ResId id) const;
+
+    /** Human-readable per-resource contention table, sorted by
+     *  utilization (the top half of the bottleneck report). */
+    std::string renderTable() const;
+
+  private:
+    struct Resource
+    {
+        std::string name;
+        unsigned capacity = 1;
+
+        // live state (survives beginWindow)
+        unsigned busy_units = 0;
+        Count queue_depth = 0;
+        Tick last_change{0};       ///< last integration point
+        Tick active_since = kTickInvalid; ///< busy-envelope start (trace)
+
+        // window integrals
+        double busy_unit_ns = 0.0; ///< ∫ busy_units dt
+        double queue_ns = 0.0;     ///< ∫ queue_depth dt
+        double sat_ns = 0.0;       ///< time with busy_units == capacity
+        Count ops = 0;
+        Count queue_max = 0;
+        Histogram wait_hist{0.0, 2000.0, 100};
+
+        TrackId track = 0;
+        bool track_made = false;
+    };
+
+    /** Integrate occupancy up to @p now. Out-of-order reports (only
+     *  possible through misuse) clamp to no-op rather than underflow. */
+    void integrate(Resource &r, Tick now);
+
+    Resource &at(ResId id);
+    const Resource &at(ResId id) const;
+
+    void traceSpan(Resource &r, Tick begin, Tick end);
+
+    // deque: Resource addresses (and the name strings the tracer keeps
+    // pointers into) stay stable as resources register.
+    std::deque<Resource> res_;
+    std::map<std::string, ResId> by_name_;
+    Tick window_start_{0};
+    Tick window_end_ = kTickInvalid;
+    Tick last_seen_{0};            ///< latest tick any report mentioned
+    Tracer *tracer_ = nullptr;
+};
+
+} // namespace obs
+} // namespace emcc

@@ -21,6 +21,7 @@ traceCatName(TraceCat c)
       case TraceCat::Dram: return "dram";
       case TraceCat::Crypto: return "crypto";
       case TraceCat::Secmem: return "secmem";
+      case TraceCat::Res: return "res";
       case TraceCat::NumCats: break;
     }
     return "?";
@@ -54,7 +55,7 @@ parseTraceCats(const std::string &csv)
         if (!found) {
             throw ConfigError(detail::format(
                 "unknown trace category '%s' "
-                "(want sim,cache,noc,dram,crypto,secmem or all)",
+                "(want sim,cache,noc,dram,crypto,secmem,res or all)",
                 tok.c_str()));
         }
     }

@@ -42,6 +42,7 @@ enum class TraceCat : unsigned
     Dram,        ///< DRAM channel activity
     Crypto,      ///< AES engine operations
     Secmem,      ///< counter fetches, integrity-tree walks
+    Res,         ///< resource-monitor activity envelopes
     NumCats,
 };
 

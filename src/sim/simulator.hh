@@ -15,7 +15,12 @@
 
 namespace emcc {
 
-namespace obs { class Tracer; class LatencyLedger; }
+namespace obs {
+class Tracer;
+class LatencyLedger;
+class ResourceMonitor;
+class CritPathAnalyzer;
+} // namespace obs
 
 class Simulator;
 
@@ -129,6 +134,24 @@ class Simulator
     obs::LatencyLedger *ledger() const { return ledger_; }
 
     /**
+     * Attach a resource-contention monitor (not owned; must outlive
+     * the simulation). nullptr — the default — disables contention
+     * accounting with the same single-load null-check contract as the
+     * tracer and the ledger (--no-resmon relies on it).
+     */
+    void setResMon(obs::ResourceMonitor *m) { resmon_ = m; }
+    obs::ResourceMonitor *resmon() const { return resmon_; }
+
+    /**
+     * Attach a per-miss critical-path analyzer (not owned; must
+     * outlive the simulation). Only useful together with a ledger:
+     * the analyzer observes each MissRecord just before the ledger
+     * folds it.
+     */
+    void setCritPath(obs::CritPathAnalyzer *c) { critpath_ = c; }
+    obs::CritPathAnalyzer *critpath() const { return critpath_; }
+
+    /**
      * Attach a cooperative stop flag (not owned; must outlive the
      * simulation). Another host thread — a campaign watchdog enforcing
      * a per-run deadline, or a signal handler draining on SIGINT — sets
@@ -151,6 +174,8 @@ class Simulator
     EventQueue queue_;
     obs::Tracer *tracer_ = nullptr;
     obs::LatencyLedger *ledger_ = nullptr;
+    obs::ResourceMonitor *resmon_ = nullptr;
+    obs::CritPathAnalyzer *critpath_ = nullptr;
     const std::atomic<bool> *stop_ = nullptr;
 };
 

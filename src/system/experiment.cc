@@ -127,6 +127,10 @@ runTiming(const SystemConfig &cfg, const WorkloadSet &workload,
         sim.setTracer(opts.tracer);
     if (opts.ledger)
         sim.setLedger(opts.ledger);
+    if (opts.resmon)
+        sim.setResMon(opts.resmon);
+    if (opts.critpath)
+        sim.setCritPath(opts.critpath);
     if (opts.cancel)
         sim.setStopFlag(opts.cancel);
     obs::HostTimer timer;

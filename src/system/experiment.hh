@@ -70,6 +70,15 @@ struct RunOptions
      *  Sampling starts at the beginning of the measurement phase. */
     obs::StatsSeries *series = nullptr;
 
+    /** Resource-contention monitor, or null to run without contention
+     *  accounting (--no-resmon). Constructor-ordering constraint as
+     *  above: components register their resources when built. */
+    obs::ResourceMonitor *resmon = nullptr;
+
+    /** Per-miss critical-path analyzer, or null. Needs a ledger to see
+     *  any records (it observes them just before the ledger folds). */
+    obs::CritPathAnalyzer *critpath = nullptr;
+
     /** Cooperative cancellation flag, or null to run to completion.
      *  Raised from another host thread (campaign deadline watchdog) or
      *  a signal handler; the run winds down at the next event boundary

@@ -145,6 +145,38 @@ SecureSystem::setupTracing(Simulator &sim)
 {
     ledger_ = sim.ledger();
     tracer_ = sim.tracer();
+    resmon_ = sim.resmon();
+    critpath_ = sim.critpath();
+    if (resmon_) {
+        resmon_->bindTracer(tracer_);
+        // Links the DRAM channels and AES pools do not own: the three
+        // NoC flight stages (one link per L2 on the edges, one shared
+        // LLC->MC trunk), the MC counter-cache lookup port, and the
+        // pooled L2 MSHR files (occupancy-tracked; the entry count is
+        // deliberately outsized, so queue depth is the signal there).
+        // NoC links are fully pipelined latency pipes: a link of
+        // flight latency L ns carries up to ~L flits in flight at one
+        // flit/ns, so that pipeline depth is its unit capacity and
+        // util reads as offered load over full pipelining.
+        auto pipe_depth = [](Tick flight) {
+            const double ns = ticksToNs(flight);
+            return ns < 1.0 ? 1u : static_cast<unsigned>(ns);
+        };
+        res_noc_req_ = resmon_->add(
+            "noc.req", cfg_.cores * pipe_depth(cfg_.req_l2_to_llc));
+        res_noc_llc_mc_ = resmon_->add(
+            "noc.llc_mc", pipe_depth(cfg_.noc_llc_mc));
+        res_noc_resp_ = resmon_->add(
+            "noc.resp", cfg_.cores * pipe_depth(cfg_.resp_mc_to_l2));
+        res_mc_ctr_port_ = resmon_->add("mc_ctr.port", 1);
+        res_l2_mshr_ = resmon_->add("l2.mshr",
+                                    cfg_.cores * kMshrEntries);
+        mc_aes_.bindMonitor(resmon_, "aes.mc");
+        for (unsigned c = 0; c < cfg_.cores; ++c) {
+            l2_aes_[c]->bindMonitor(resmon_,
+                                    "aes.l2." + std::to_string(c));
+        }
+    }
     if (!tracer_)
         return;
     trace_cache_ = tracer_->enabled(obs::TraceCat::Cache);
@@ -210,6 +242,10 @@ SecureSystem::registerAllMetrics()
     });
     if (ledger_)
         ledger_->registerMetrics(metrics_, "lat.l2miss");
+    if (resmon_)
+        resmon_->registerMetrics(metrics_, "res");
+    if (critpath_)
+        critpath_->registerMetrics(metrics_, "cp");
     if (fault_) {
         metrics_.addHistogram("fault.detect_lag",
                               &fault_->report().detect_lag_ns);
@@ -385,6 +421,8 @@ SecureSystem::l2Access(unsigned core, Addr pa, bool is_store, Tick t,
     if (outcome == MshrOutcome::Merged)
         return;
     panic_if(outcome == MshrOutcome::Full, "L2 MSHR overflow");
+    if (resmon_ != nullptr)
+        resmon_->enqueue(res_l2_mshr_, curTick());
 
     // Latency attribution: the primary allocation carries one record
     // through the memory system (merged requesters are credited as
@@ -407,10 +445,14 @@ SecureSystem::l2Access(unsigned core, Addr pa, bool is_store, Tick t,
         }
         if (rec) {
             rec->waiters = l2_mshr_[core]->waiters(blk);
+            if (critpath_ != nullptr)
+                critpath_->observe(*rec, fill);
             ledger_->finish(rec, fill);
         }
         insertL2Data(core, pa, /*dirty=*/false, fill);
         sim().post(fill, [this, core, blk, fill] {
+            if (resmon_ != nullptr)
+                resmon_->dequeue(res_l2_mshr_, curTick());
             l2_mshr_[core]->complete(blk, fill);
         }, /*priority=*/0, EventTag::Cache);
     }));
@@ -634,6 +676,11 @@ SecureSystem::llcDataAccess(unsigned core, Addr pa, Tick t_miss,
         rec->stamp(obs::MissSegment::Llc, at_llc, at_llc + tag);
         rec->stamp(obs::MissSegment::NocLlcMc, at_llc + tag, t_mc);
     }
+    if (resmon_ != nullptr) {
+        const Tick at_llc = t_miss + cfg_.req_l2_to_llc;
+        resmon_->service(res_noc_req_, t_miss, at_llc);
+        resmon_->service(res_noc_llc_mc_, at_llc + tag, t_mc);
+    }
     mcDataRead(core, pa, t_mc, ctr_final, t_miss, rec, std::move(fill_cb));
 }
 
@@ -677,6 +724,10 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
         if (trace_noc_) {
             tracer_->span(obs::TraceCat::Noc, noc_track_, "noc_resp",
                           leave_mc, std::max(fill, leave_mc));
+        }
+        if (resmon_ != nullptr) {
+            resmon_->service(res_noc_resp_, leave_mc,
+                             std::max(data_fill, leave_mc));
         }
         if (rec) {
             rec->stamp(obs::MissSegment::NocResp, leave_mc, data_fill);
@@ -811,6 +862,12 @@ SecureSystem::mcFetchCounter(Addr pa, Tick t, bool count_buckets,
                              FinishCb cb)
 {
     const Addr ctr = meta_.counterBlockAddr(pa);
+    // Every counter fetch occupies the MC counter-cache lookup port for
+    // one access latency, hit or miss.
+    if (resmon_ != nullptr) {
+        resmon_->service(res_mc_ctr_port_, t,
+                         t + cfg_.mc_ctr_cache_latency);
+    }
     if (mc_cache_.access(ctr, LineClass::Counter, false)) {
         if (count_buckets)
             ++stats_.mc_ctr_hits;
@@ -1421,6 +1478,10 @@ SecureSystem::resetStats()
         c.resetStats();
     if (ledger_)
         ledger_->resetStats();
+    if (critpath_)
+        critpath_->resetStats();
+    if (resmon_)
+        resmon_->beginWindow(curTick());
     measure_start_ = curTick();
 }
 
@@ -1559,6 +1620,8 @@ SecureSystem::run(Count warmup, Count measure)
 
     // Snapshot the full registry once everything has settled; the dump
     // (--stats-json) is deterministic for a fixed seed.
+    if (resmon_)
+        resmon_->endWindow(curTick());
     results_.metrics = metrics_.snapshot();
 }
 

@@ -31,8 +31,10 @@
 #include "fault/fault_injector.hh"
 #include "noc/latency_model.hh"
 #include "noc/mesh.hh"
+#include "obs/critpath.hh"
 #include "obs/ledger.hh"
 #include "obs/metrics.hh"
+#include "obs/resmon.hh"
 #include "obs/series.hh"
 #include "obs/trace.hh"
 #include "secmem/counter_design.hh"
@@ -177,6 +179,14 @@ class SecureSystem : public Component, public MemorySystemPort
     /** The per-miss latency ledger attached via Simulator::setLedger
      *  before construction (null when attribution is off). */
     const obs::LatencyLedger *ledger() const { return ledger_; }
+
+    /** The resource-contention monitor attached via
+     *  Simulator::setResMon before construction (null when off). */
+    const obs::ResourceMonitor *resmon() const { return resmon_; }
+
+    /** The critical-path analyzer attached via Simulator::setCritPath
+     *  before construction (null when off). */
+    const obs::CritPathAnalyzer *critpath() const { return critpath_; }
 
     /** Attach an interval stats-series sink (not owned; may be set any
      *  time before run()). Samples are taken every series->interval()
@@ -348,6 +358,18 @@ class SecureSystem : public Component, public MemorySystemPort
     /// non-null only when a ledger was attached to the Simulator; the
     /// miss path null-checks before allocating/stamping records
     obs::LatencyLedger *ledger_ = nullptr;
+
+    /// non-null only when a resource monitor was attached; every
+    /// reporting site null-checks, so --no-resmon costs one load
+    obs::ResourceMonitor *resmon_ = nullptr;
+    /// non-null only when a critical-path analyzer was attached; it
+    /// observes each MissRecord just before the ledger folds it
+    obs::CritPathAnalyzer *critpath_ = nullptr;
+    obs::ResId res_noc_req_ = 0;     ///< L2->LLC request links
+    obs::ResId res_noc_llc_mc_ = 0;  ///< LLC->MC forward link
+    obs::ResId res_noc_resp_ = 0;    ///< MC->L2 response links
+    obs::ResId res_mc_ctr_port_ = 0; ///< MC counter-cache lookup port
+    obs::ResId res_l2_mshr_ = 0;     ///< pooled L2 MSHR occupancy
 
     /// interval stats-series sink (not owned; null when off). The
     /// active flag lets the pending sample event drain as a no-op once

@@ -1,0 +1,56 @@
+#!/bin/bash
+# Campaign aggregate regression gate, run from ctest:
+#
+#   campaign_aggregate.sh <path-to-emcc_campaign>
+#
+# Runs the small checked-in grid (campaign_aggregate_spec.json) and
+# diffs its canonical aggregate against the checked-in golden via
+# --check-aggregate: any drift in the simulated metrics of any
+# (workload, scheme, seed) cell fails the gate. Then verifies the gate
+# actually bites by checking a tampered golden is rejected with exit 1.
+#
+# Regenerate after an intentional timing/metric change:
+#   build/tools/emcc_campaign --spec tests/campaign_aggregate_spec.json \
+#       --aggregate tests/golden/campaign_aggregate.jsonl --no-fsync
+set -u
+
+CAMPAIGN="${1:?usage: campaign_aggregate.sh <emcc_campaign>}"
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+SPEC="$SCRIPT_DIR/campaign_aggregate_spec.json"
+GOLDEN="$SCRIPT_DIR/golden/campaign_aggregate.jsonl"
+
+unset EMCC_BENCH_FAST EMCC_BENCH_FULL
+
+TMP="$(mktemp -d "${TMPDIR:-/tmp}/emcc_campaign_agg.XXXXXX")"
+trap 'rm -rf "$TMP"' EXIT
+cd "$TMP"
+
+"$CAMPAIGN" --spec "$SPEC" --jobs 2 --no-fsync \
+    --check-aggregate "$GOLDEN" > stdout.txt 2> stderr.txt
+GOT=$?
+if [ "$GOT" != 0 ]; then
+    echo "FAIL: --check-aggregate exited $GOT against the golden" >&2
+    cat stderr.txt >&2
+    echo "If the change is intentional, regenerate with" >&2
+    echo "  emcc_campaign --spec $SPEC --aggregate $GOLDEN --no-fsync" >&2
+    exit 1
+fi
+grep -q "aggregate matches" stderr.txt || {
+    echo "FAIL: no aggregate-match confirmation on stderr" >&2; exit 1; }
+
+# The gate must bite: a tampered golden is drift, exit 1 with a
+# pointer at the first diverging line.
+sed 's/"outcome":"ok"/"outcome":"failed"/' "$GOLDEN" > tampered.jsonl
+"$CAMPAIGN" --spec "$SPEC" --jobs 2 --no-fsync \
+    --check-aggregate tampered.jsonl > /dev/null 2> stderr2.txt
+GOT=$?
+if [ "$GOT" != 1 ]; then
+    echo "FAIL: tampered golden accepted (exit $GOT, wanted 1)" >&2
+    cat stderr2.txt >&2
+    exit 1
+fi
+grep -q "aggregate diverges" stderr2.txt || {
+    echo "FAIL: no divergence diagnostic" >&2; cat stderr2.txt >&2
+    exit 1; }
+
+echo "PASS: campaign_aggregate"

@@ -83,6 +83,27 @@ def check_schema(doc):
                 fail(f"histogram {name}: {k} = {v!r} is not a number")
         if h["count"] > 0 and not p["p50"] <= p["p95"] <= p["p99"]:
             fail(f"histogram {name}: percentiles not monotone: {p}")
+    check_resmon(doc)
+
+
+def check_resmon(doc):
+    """Invariants for the res.*/cp.* observability namespaces (when
+    present; a --no-resmon dump legitimately has neither)."""
+    formulas = doc["formulas"]
+    for name, v in formulas.items():
+        if name.startswith("res.") and name.endswith((".util", ".sat_frac")):
+            if not 0.0 <= v <= 1.0:
+                fail(f"{name} = {v} outside [0, 1]")
+    bound = {k: v for k, v in formulas.items()
+             if k.startswith("cp.bound_by.")}
+    records = doc["counters"].get("cp.records", 0)
+    if bound and records > 0:
+        total = sum(bound.values())
+        if abs(total - 1.0) > 1e-9:
+            fail(f"cp.bound_by.* fractions sum to {total}, not 1")
+        for k, v in bound.items():
+            if not 0.0 <= v <= 1.0:
+                fail(f"{k} = {v} outside [0, 1]")
 
 
 def flatten(doc):

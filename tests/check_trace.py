@@ -20,7 +20,7 @@ import sys
 
 import json
 
-KNOWN_CATS = {"sim", "cache", "noc", "dram", "crypto", "secmem"}
+KNOWN_CATS = {"sim", "cache", "noc", "dram", "crypto", "secmem", "res"}
 
 
 def fail(msg):

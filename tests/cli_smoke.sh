@@ -28,6 +28,11 @@
 #                      (lat.l2miss.overlap_frac; the paper's headline)
 #   sigint_partial     SIGINT mid-run flushes partial stats tagged
 #                      "partial": true and exits 5
+#   noresmon_parity    --no-resmon stats match the checked-in detached
+#                      golden byte-for-byte (observer parity)
+#   bottleneck         default run prints the bottleneck report and
+#                      emits coherent res.*/cp.* stats (bound_by
+#                      fractions sum to 1, what-if projections present)
 set -u
 
 SIM="${1:?usage: cli_smoke.sh <emcc_sim> <case>}"
@@ -216,6 +221,63 @@ EOF
     if command -v python3 > /dev/null; then
         python3 "$SCRIPT_DIR/check_stats.py" stats.json || exit 1
     fi
+    ;;
+  noresmon_parity)
+    # Detaching the monitor must leave the metric set and every value
+    # exactly as it was before the resmon subsystem existed; the golden
+    # holds the pre-resmon bytes (regen: tools/regen_golden.sh).
+    expect_exit 0 "$SIM" "${SMALL[@]}" --scheme emcc --seed 42 \
+        --no-resmon --stats-json stats.json || exit 1
+    GOLDEN="$SCRIPT_DIR/golden/stats_bfs_emcc_noresmon.json"
+    if ! cmp stats.json "$GOLDEN"; then
+        echo "FAIL: --no-resmon stats diverged from $GOLDEN" >&2
+        if command -v python3 > /dev/null; then
+            python3 "$SCRIPT_DIR/check_stats.py" stats.json \
+                --golden "$GOLDEN" >&2
+        fi
+        echo "If the change is intentional, regenerate with" >&2
+        echo "  tools/regen_golden.sh <path-to-emcc_sim>" >&2
+        exit 1
+    fi
+    # And no res.*/cp.* keys may leak into a detached dump.
+    if grep -q '"res\.\|"cp\.' stats.json; then
+        echo "FAIL: res.*/cp.* metrics present under --no-resmon" >&2
+        exit 1
+    fi
+    ;;
+  bottleneck)
+    "$SIM" "${SMALL[@]}" --scheme emcc --seed 42 \
+        --stats-json stats.json > report.txt 2> stderr.txt || {
+        echo "FAIL: run exited $?" >&2; cat stderr.txt >&2; exit 1; }
+    grep -q "=== bottleneck report ===" report.txt || {
+        echo "FAIL: no bottleneck report in run summary" >&2; exit 1; }
+    grep -q "resource contention" report.txt || {
+        echo "FAIL: no resource contention table" >&2; exit 1; }
+    grep -q "critical path" report.txt || {
+        echo "FAIL: no critical-path table" >&2; exit 1; }
+    if ! command -v python3 > /dev/null; then
+        echo "PASS: bottleneck (stats checks skipped: no python3)"
+        exit 0
+    fi
+    python3 "$SCRIPT_DIR/check_stats.py" stats.json || exit 1
+    python3 - <<'EOF' || exit 1
+import json
+d = json.load(open("stats.json"))
+f = d["formulas"]
+bound = {k: v for k, v in f.items() if k.startswith("cp.bound_by.")}
+assert bound, "no cp.bound_by.* fractions"
+s = sum(bound.values())
+assert abs(s - 1.0) < 1e-9, f"cp.bound_by.* sums to {s}, not 1"
+whatif = {k: v for k, v in f.items() if k.startswith("cp.whatif.")}
+assert whatif, "no cp.whatif.* projections"
+for k, v in whatif.items():
+    assert v >= 1.0 - 1e-9, f"{k} = {v} < 1 (speedups only)"
+utils = {k: v for k, v in f.items() if k.startswith("res.")
+         and k.endswith(".util")}
+assert utils, "no res.*.util metrics"
+print(f"bottleneck: {len(bound)} bound_by, {len(whatif)} what-ifs, "
+      f"{len(utils)} resources")
+EOF
     ;;
   *)
     echo "unknown case: $CASE" >&2

@@ -502,10 +502,15 @@ TEST(CampaignStress, ConcurrentJournalAppendsSerializeUnderOneMutex)
         writers.reserve(kThreads);
         for (unsigned t = 0; t < kThreads; ++t) {
             writers.emplace_back([&journal, &mu, t] {
+                // Built with += rather than operator+: GCC 12's
+                // -Wrestrict false-positives on the inlined char* +
+                // rvalue-string concatenation (PR105329).
+                std::string wname = "w";
+                wname += std::to_string(t);
                 for (unsigned i = 0; i < kPerThread; ++i) {
                     JournalRecord rec;
                     rec.run = t * 1000 + i;
-                    rec.name = "w" + std::to_string(t);
+                    rec.name = wname;
                     rec.outcome = Outcome::Ok;
                     sync::MutexLock lock(mu);
                     journal.append(rec);

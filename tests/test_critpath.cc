@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Tests for the per-miss critical-path analyzer: binding-category
+ * identification and what-if replay math on hand-built records,
+ * Table-I analytical scenarios, metric registration, and the
+ * end-to-end validation the projection semantics promise — the
+ * AES -> 0 projection matches an actual re-simulated run with zero
+ * AES latency within 10%, on two workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/critpath.hh"
+#include "obs/ledger.hh"
+#include "obs/metrics.hh"
+#include "secmem/timeline.hh"
+#include "system/experiment.hh"
+#include "system/secure_system.hh"
+
+namespace emcc {
+namespace {
+
+using obs::CpCategory;
+using obs::CpWhatIf;
+using obs::CritPathAnalyzer;
+using obs::MissRecord;
+using obs::MissSegment;
+
+/** A dram-bound miss: 40 ns DRAM path, 10 ns NoC, 2 ns LLC, a 14 ns
+ *  AES lane of which 8 ns were hidden, 2 ns residual; 50 ns total. */
+MissRecord
+dramBoundRecord()
+{
+    MissRecord rec;
+    rec.start = Tick{};
+    rec.add(MissSegment::McQueue, 10.0);
+    rec.add(MissSegment::DramRowMiss, 20.0);
+    rec.add(MissSegment::NocReq, 6.5);
+    rec.add(MissSegment::NocResp, 3.5);
+    rec.add(MissSegment::Llc, 2.0);
+    rec.add(MissSegment::Aes, 14.0);
+    rec.crypto_begin = Tick{};
+    rec.crypto_end = nsToTicks(14.0);
+    rec.hide_until = nsToTicks(8.0);
+    return rec;
+}
+
+TEST(CritPath, IdentifiesBindingCategoryAndMeans)
+{
+    CritPathAnalyzer cp;
+    cp.observe(dramBoundRecord(), nsToTicks(50.0));
+
+    EXPECT_EQ(cp.records(), 1u);
+    EXPECT_DOUBLE_EQ(cp.boundByFrac(CpCategory::Dram), 1.0);
+    EXPECT_NEAR(cp.categoryMeanNs(CpCategory::Dram), 30.0, 1e-9);
+    EXPECT_NEAR(cp.categoryMeanNs(CpCategory::Noc), 10.0, 1e-9);
+    EXPECT_NEAR(cp.categoryMeanNs(CpCategory::Llc), 2.0, 1e-9);
+    // Lane 14, hidden 8: 6 ns exposed, all of it AES work.
+    EXPECT_NEAR(cp.categoryMeanNs(CpCategory::Crypto), 6.0, 1e-9);
+    EXPECT_NEAR(cp.categoryMeanNs(CpCategory::Counter), 0.0, 1e-9);
+    // Residual: 50 - (30 + 10 + 2 + 6) = 2 ns.
+    EXPECT_NEAR(cp.categoryMeanNs(CpCategory::Other), 2.0, 1e-9);
+}
+
+TEST(CritPath, CounterExposureBindsWhenFetchDominates)
+{
+    // A 40 ns lane with only 10 ns of AES: the exposed tail is mostly
+    // counter-fetch time, and it exceeds every serial segment.
+    MissRecord rec;
+    rec.start = Tick{};
+    rec.add(MissSegment::McQueue, 5.0);
+    rec.add(MissSegment::NocReq, 3.0);
+    rec.add(MissSegment::Llc, 2.0);
+    rec.add(MissSegment::Aes, 10.0);
+    rec.crypto_begin = Tick{};
+    rec.crypto_end = nsToTicks(40.0);
+    rec.hide_until = nsToTicks(5.0);
+
+    CritPathAnalyzer cp;
+    cp.observe(rec, nsToTicks(50.0));
+    EXPECT_DOUBLE_EQ(cp.boundByFrac(CpCategory::Counter), 1.0);
+    // Exposed 35 ns: 10 AES + 25 counter.
+    EXPECT_NEAR(cp.categoryMeanNs(CpCategory::Crypto), 10.0, 1e-9);
+    EXPECT_NEAR(cp.categoryMeanNs(CpCategory::Counter), 25.0, 1e-9);
+}
+
+TEST(CritPath, BoundByFractionsSumToOne)
+{
+    CritPathAnalyzer cp;
+    cp.observe(dramBoundRecord(), nsToTicks(50.0));
+    MissRecord noc_bound;
+    noc_bound.start = Tick{};
+    noc_bound.add(MissSegment::NocReq, 20.0);
+    noc_bound.add(MissSegment::Llc, 2.0);
+    cp.observe(noc_bound, nsToTicks(25.0));
+
+    double sum = 0.0;
+    for (unsigned i = 0; i < obs::kNumCpCategories; ++i)
+        sum += cp.boundByFrac(static_cast<CpCategory>(i));
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(cp.boundByFrac(CpCategory::Dram), 0.5);
+    EXPECT_DOUBLE_EQ(cp.boundByFrac(CpCategory::Noc), 0.5);
+}
+
+TEST(CritPath, ProjectSpeedupReplaysTheRecordedDag)
+{
+    CritPathAnalyzer cp;
+    cp.observe(dramBoundRecord(), nsToTicks(50.0));
+
+    // data = 30+10+2+2 = 44, exposed = 6, before = 50.
+    // AES -> 0: the lane vanishes, hidden credit unused: after = 44.
+    EXPECT_NEAR(cp.whatIf(CpWhatIf::AesZero), 50.0 / 44.0, 1e-4);
+    // Counter -> 0 buys nothing (the lane was pure AES).
+    EXPECT_NEAR(cp.whatIf(CpWhatIf::CounterZero), 1.0, 1e-4);
+    // DRAM x0.5: data' = 29, hidden' = 8*29/44, exposed' = 14-hidden'.
+    {
+        const double data2 = 29.0;
+        const double hidden2 = 8.0 * data2 / 44.0;
+        const double after = data2 + (14.0 - hidden2);
+        EXPECT_NEAR(cp.whatIf(CpWhatIf::DramHalf), 50.0 / after, 1e-4);
+    }
+    // NoC -> 0: data' = 34, hidden' = 8*34/44, exposed' = 14-hidden'.
+    {
+        const double data2 = 34.0;
+        const double hidden2 = 8.0 * data2 / 44.0;
+        const double after = data2 + (14.0 - hidden2);
+        EXPECT_NEAR(cp.whatIf(CpWhatIf::NocZero), 50.0 / after, 1e-4);
+    }
+    // Speedups only: every canonical axis scales a component down.
+    for (unsigned i = 0; i < obs::kNumCpWhatIfs; ++i)
+        EXPECT_GE(cp.whatIf(static_cast<CpWhatIf>(i)), 1.0 - 1e-9);
+}
+
+TEST(CritPath, NoRecordsProjectsUnity)
+{
+    CritPathAnalyzer cp;
+    EXPECT_DOUBLE_EQ(cp.whatIf(CpWhatIf::AesZero), 1.0);
+    EXPECT_DOUBLE_EQ(cp.boundByFrac(CpCategory::Dram), 0.0);
+}
+
+TEST(CritPath, TableOneScenarioFullyHiddenCrypto)
+{
+    // The analytical EMCC counter-hit scenario: the AES lane hides
+    // entirely under the data block's DRAM + NoC flight, so zeroing
+    // AES projects exactly 1x while halving DRAM pays the full serial
+    // saving.
+    const TimelineParams p;
+    MissRecord rec;
+    rec.start = Tick{};
+    rec.add(MissSegment::NocReq, p.req_l2_to_llc_ns);
+    rec.add(MissSegment::NocLlcMc, p.noc_llc_mc_ns);
+    rec.add(MissSegment::NocResp, p.resp_mc_to_l2_ns);
+    rec.add(MissSegment::DramRowMiss, p.dram_row_miss_ns);
+    rec.add(MissSegment::Aes, p.aes_ns);
+    rec.crypto_begin = Tick{};
+    rec.crypto_end = nsToTicks(p.aes_ns);
+    rec.hide_until = nsToTicks(p.aes_ns);   // fully hidden
+
+    const double noc =
+        p.req_l2_to_llc_ns + p.noc_llc_mc_ns + p.resp_mc_to_l2_ns;
+    const double total = noc + p.dram_row_miss_ns;
+    CritPathAnalyzer cp;
+    cp.observe(rec, nsToTicks(total));
+
+    // The binding category is whichever flight the constants make
+    // larger (Table I's long MC->L2 response hop beats one row miss).
+    const auto binding = noc > p.dram_row_miss_ns ? CpCategory::Noc
+                                                  : CpCategory::Dram;
+    EXPECT_DOUBLE_EQ(cp.boundByFrac(binding), 1.0);
+    EXPECT_NEAR(cp.whatIf(CpWhatIf::AesZero), 1.0, 1e-6);
+    // DRAM x0.5: the data path shrinks, which re-exposes the tail of
+    // the previously hidden lane — the replay must account for it.
+    const double data2 = total - p.dram_row_miss_ns / 2.0;
+    const double hidden2 = p.aes_ns * data2 / total;
+    const double exposed2 = p.aes_ns > hidden2 ? p.aes_ns - hidden2 : 0.0;
+    EXPECT_NEAR(cp.whatIf(CpWhatIf::DramHalf), total / (data2 + exposed2),
+                1e-3);
+}
+
+TEST(CritPath, ResetStatsDropsEverything)
+{
+    CritPathAnalyzer cp;
+    cp.observe(dramBoundRecord(), nsToTicks(50.0));
+    ASSERT_EQ(cp.records(), 1u);
+    cp.resetStats();
+    EXPECT_EQ(cp.records(), 0u);
+    EXPECT_DOUBLE_EQ(cp.boundByFrac(CpCategory::Dram), 0.0);
+    EXPECT_DOUBLE_EQ(cp.whatIf(CpWhatIf::DramHalf), 1.0);
+}
+
+TEST(CritPath, RegisterMetricsExposesTheNamespace)
+{
+    CritPathAnalyzer cp;
+    obs::MetricsRegistry reg;
+    cp.registerMetrics(reg, "cp");
+    const auto snap = reg.snapshot();
+
+    EXPECT_EQ(snap.counters.count("cp.records"), 1u);
+    for (unsigned i = 0; i < obs::kNumCpCategories; ++i) {
+        const std::string name =
+            obs::cpCategoryName(static_cast<CpCategory>(i));
+        EXPECT_EQ(snap.formulas.count("cp.bound_by." + name), 1u) << name;
+        EXPECT_EQ(snap.formulas.count("cp.mean_ns." + name), 1u) << name;
+    }
+    for (unsigned i = 0; i < obs::kNumCpWhatIfs; ++i) {
+        const std::string name =
+            obs::cpWhatIfName(static_cast<CpWhatIf>(i));
+        EXPECT_EQ(snap.formulas.count("cp.whatif." + name), 1u) << name;
+    }
+}
+
+TEST(CritPath, RenderTableShowsBreakdownAndProjections)
+{
+    CritPathAnalyzer cp;
+    cp.observe(dramBoundRecord(), nsToTicks(50.0));
+    const std::string table = cp.renderTable();
+    EXPECT_NE(table.find("critical path"), std::string::npos);
+    EXPECT_NE(table.find("dram"), std::string::npos);
+    EXPECT_NE(table.find("what-if projections"), std::string::npos);
+    EXPECT_NE(table.find("aes_zero"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- e2e
+
+SystemConfig
+tinyConfig()
+{
+    SystemConfig cfg;
+    cfg.cores = 2;
+    cfg.l1_bytes = 16_KiB;
+    cfg.l2_bytes = 64_KiB;
+    cfg.llc_bytes = 256_KiB;
+    cfg.mc_ctr_cache_bytes = 8_KiB;
+    cfg.l2_ctr_cap_bytes = 4_KiB;
+    cfg.data_region_bytes = 1_GiB;
+    cfg.scheme = Scheme::Emcc;
+    return cfg;
+}
+
+const WorkloadSet &
+tinyWorkload(const std::string &name)
+{
+    WorkloadParams p;
+    p.cores = 2;
+    p.trace_len = 60'000;
+    p.graph_vertices = 1 << 15;
+    p.graph_degree = 8;
+    p.footprint_scale = 1.0 / 32.0;
+    return experiments::cachedWorkload(name, p);
+}
+
+struct E2ERun
+{
+    double mean_miss_ns;
+    double projected_aes_zero;
+    Count records;
+};
+
+E2ERun
+runOnce(const std::string &workload, Tick aes_latency)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.aes_latency = aes_latency;
+    Simulator sim;
+    obs::LatencyLedger led;
+    CritPathAnalyzer cp;
+    sim.setLedger(&led);
+    sim.setCritPath(&cp);
+    SecureSystem sys(sim, cfg, &tinyWorkload(workload));
+    sys.run(50'000, 100'000);
+    return {led.totalHist().mean(), cp.whatIf(CpWhatIf::AesZero),
+            led.records()};
+}
+
+/**
+ * The contract stated in critpath.hh: replaying the recorded DAGs with
+ * AES zeroed projects the per-miss latency speedup an actual zero-AES
+ * re-simulation realizes, within 10%.
+ */
+class AesZeroValidation : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(AesZeroValidation, ProjectionWithinTenPercentOfResimulation)
+{
+    const E2ERun normal = runOnce(GetParam(), nsToTicks(14.0));
+    const E2ERun zeroed = runOnce(GetParam(), Tick{});
+    ASSERT_GT(normal.records, 100u);
+    ASSERT_GT(zeroed.records, 100u);
+    ASSERT_GT(zeroed.mean_miss_ns, 0.0);
+
+    const double actual = normal.mean_miss_ns / zeroed.mean_miss_ns;
+    EXPECT_GE(normal.projected_aes_zero, 1.0);
+    EXPECT_NEAR(normal.projected_aes_zero, actual, 0.10 * actual)
+        << "projected " << normal.projected_aes_zero << " vs actual "
+        << actual << " on " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoWorkloads, AesZeroValidation,
+                         ::testing::Values("BFS", "pageRank"),
+                         [](const auto &pinfo) { return pinfo.param; });
+
+TEST(CritPathE2E, BoundByFractionsSumToOneOnRealRun)
+{
+    Simulator sim;
+    obs::LatencyLedger led;
+    CritPathAnalyzer cp;
+    sim.setLedger(&led);
+    sim.setCritPath(&cp);
+    SecureSystem sys(sim, tinyConfig(), &tinyWorkload("BFS"));
+    sys.run(50'000, 100'000);
+    ASSERT_GT(cp.records(), 100u);
+    double sum = 0.0;
+    for (unsigned i = 0; i < obs::kNumCpCategories; ++i)
+        sum += cp.boundByFrac(static_cast<CpCategory>(i));
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace emcc

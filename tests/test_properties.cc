@@ -311,7 +311,7 @@ TEST(DifferentialMshr, RandomStreamMatchesLegacy)
                     });
                 ASSERT_EQ(od, orf) << "op " << op;
             } else {
-                const Tick fill{op};
+                const Tick fill{static_cast<std::uint64_t>(op)};
                 ASSERT_EQ(dut.complete(addr, fill),
                           ref.complete(addr, fill)) << "op " << op;
             }

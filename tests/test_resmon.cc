@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for the ResourceMonitor: registration semantics, the
+ * transition (busy/idle, enqueue/dequeue) and interval (service,
+ * waited) reporting paths, measurement-window arithmetic, metric
+ * registration, and the contention table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+#include "obs/resmon.hh"
+
+namespace emcc {
+namespace {
+
+using obs::ResId;
+using obs::ResourceMonitor;
+
+TEST(ResourceMonitor, AddIsIdempotentByName)
+{
+    ResourceMonitor mon;
+    const ResId a = mon.add("dram.ch0.bus", 1);
+    const ResId b = mon.add("aes.mc", 2);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(mon.add("dram.ch0.bus", 1), a);
+    EXPECT_EQ(mon.resources(), 2u);
+    EXPECT_EQ(mon.name(a), "dram.ch0.bus");
+}
+
+TEST(ResourceMonitorDeath, CapacityMismatchAndZeroCapacityPanic)
+{
+    ResourceMonitor mon;
+    mon.add("aes.mc", 2);
+    EXPECT_DEATH(mon.add("aes.mc", 4), "capacity");
+    EXPECT_DEATH(mon.add("broken", 0), "zero capacity");
+}
+
+TEST(ResourceMonitor, BusyIdleIntegratesUtilizationAndSaturation)
+{
+    ResourceMonitor mon;
+    const ResId r = mon.add("port", 1);
+    mon.beginWindow(Tick{});
+    mon.busy(r, nsToTicks(10.0));
+    mon.idle(r, nsToTicks(60.0));
+    mon.endWindow(nsToTicks(100.0));
+
+    EXPECT_DOUBLE_EQ(mon.windowNs(), 100.0);
+    EXPECT_NEAR(mon.busyNs(r), 50.0, 1e-9);
+    EXPECT_NEAR(mon.utilization(r), 0.5, 1e-9);
+    // Capacity 1: busy means saturated.
+    EXPECT_NEAR(mon.satFrac(r), 0.5, 1e-9);
+    EXPECT_EQ(mon.ops(r), 1u);
+}
+
+TEST(ResourceMonitor, MultiUnitSaturationOnlyWhenAllBusy)
+{
+    ResourceMonitor mon;
+    const ResId r = mon.add("lanes", 2);
+    mon.beginWindow(Tick{});
+    mon.busy(r, Tick{});                 // 1 of 2 busy
+    mon.busy(r, nsToTicks(40.0));        // both busy
+    mon.idle(r, nsToTicks(70.0));        // back to 1
+    mon.idle(r, nsToTicks(100.0));
+    mon.endWindow(nsToTicks(100.0));
+
+    // ∫busy = 40*1 + 30*2 + 30*1 = 130 unit-ns over 2 units * 100 ns.
+    EXPECT_NEAR(mon.busyNs(r), 130.0, 1e-9);
+    EXPECT_NEAR(mon.utilization(r), 0.65, 1e-9);
+    EXPECT_NEAR(mon.satFrac(r), 0.3, 1e-9);
+}
+
+TEST(ResourceMonitor, QueueDepthAverageAndMax)
+{
+    ResourceMonitor mon;
+    const ResId r = mon.add("queue", 4);
+    mon.beginWindow(Tick{});
+    mon.enqueue(r, Tick{});
+    mon.enqueue(r, nsToTicks(20.0));
+    mon.dequeue(r, nsToTicks(50.0));
+    mon.dequeue(r, nsToTicks(80.0));
+    mon.endWindow(nsToTicks(100.0));
+
+    // ∫depth = 20*1 + 30*2 + 30*1 = 110 over 100 ns.
+    EXPECT_NEAR(mon.queueAvg(r), 1.1, 1e-9);
+    EXPECT_EQ(mon.queueMax(r), 2u);
+}
+
+TEST(ResourceMonitor, ServiceIntervalsAccumulateAndOverlap)
+{
+    ResourceMonitor mon;
+    const ResId r = mon.add("bus", 1);
+    mon.beginWindow(Tick{});
+    mon.service(r, nsToTicks(10.0), nsToTicks(30.0));
+    // Overlapping interval: the integral double-books (average
+    // parallelism), the utilization clamps at 1.
+    mon.service(r, nsToTicks(20.0), nsToTicks(40.0));
+    // Empty and inverted intervals are no-ops.
+    mon.service(r, nsToTicks(50.0), nsToTicks(50.0));
+    mon.service(r, nsToTicks(60.0), nsToTicks(55.0));
+    mon.endWindow(nsToTicks(40.0));
+
+    EXPECT_NEAR(mon.busyNs(r), 40.0, 1e-9);
+    EXPECT_DOUBLE_EQ(mon.utilization(r), 1.0);
+    EXPECT_EQ(mon.ops(r), 2u);
+}
+
+TEST(ResourceMonitor, ServiceClampsToWindowStart)
+{
+    ResourceMonitor mon;
+    const ResId r = mon.add("bus", 1);
+    mon.beginWindow(nsToTicks(100.0));
+    // Booked by an event scheduled during warmup: only the part inside
+    // the measurement window counts.
+    mon.service(r, nsToTicks(80.0), nsToTicks(120.0));
+    // Entirely pre-window intervals vanish (and don't count ops).
+    mon.service(r, nsToTicks(10.0), nsToTicks(20.0));
+    mon.endWindow(nsToTicks(200.0));
+
+    EXPECT_NEAR(mon.busyNs(r), 20.0, 1e-9);
+    EXPECT_EQ(mon.ops(r), 1u);
+}
+
+TEST(ResourceMonitor, WaitedFeedsHistogram)
+{
+    ResourceMonitor mon;
+    const ResId r = mon.add("queue", 1);
+    mon.waited(r, 10.0);
+    mon.waited(r, 30.0);
+    EXPECT_EQ(mon.waitHist(r).count(), 2u);
+    EXPECT_NEAR(mon.waitHist(r).mean(), 20.0, 1e-9);
+}
+
+TEST(ResourceMonitor, BeginWindowKeepsLiveOccupancy)
+{
+    ResourceMonitor mon;
+    const ResId r = mon.add("port", 1);
+    // Work in flight across the measurement reset (warmup -> measure),
+    // mirroring the ledger's in-flight records.
+    mon.busy(r, nsToTicks(10.0));
+    mon.enqueue(r, nsToTicks(10.0));
+    mon.beginWindow(nsToTicks(50.0));
+    mon.idle(r, nsToTicks(70.0));
+    mon.dequeue(r, nsToTicks(70.0));
+    mon.endWindow(nsToTicks(100.0));
+
+    // Only the in-window part of the occupancy integrates (20 ns of
+    // the 50 ns window); the op was counted at busy() time
+    // (pre-window) so the window has 0 ops.
+    EXPECT_NEAR(mon.busyNs(r), 20.0, 1e-9);
+    EXPECT_NEAR(mon.queueAvg(r), 0.4, 1e-9);
+    EXPECT_EQ(mon.queueMax(r), 1u);
+    EXPECT_EQ(mon.ops(r), 0u);
+}
+
+TEST(ResourceMonitor, WindowTracksLastSeenBeforeEnd)
+{
+    ResourceMonitor mon;
+    const ResId r = mon.add("bus", 1);
+    mon.beginWindow(Tick{});
+    EXPECT_DOUBLE_EQ(mon.windowNs(), 0.0);
+    mon.service(r, nsToTicks(10.0), nsToTicks(42.0));
+    EXPECT_DOUBLE_EQ(mon.windowNs(), 42.0);
+    mon.endWindow(nsToTicks(60.0));
+    EXPECT_DOUBLE_EQ(mon.windowNs(), 60.0);
+}
+
+TEST(ResourceMonitor, OutOfOrderTransitionIsClampedNotUnderflowed)
+{
+    ResourceMonitor mon;
+    const ResId r = mon.add("port", 1);
+    mon.beginWindow(Tick{});
+    mon.busy(r, nsToTicks(50.0));
+    // A misuse-style stale report must not rewind the integral.
+    mon.idle(r, nsToTicks(40.0));
+    mon.endWindow(nsToTicks(100.0));
+    EXPECT_GE(mon.busyNs(r), 0.0);
+    EXPECT_LE(mon.utilization(r), 1.0);
+}
+
+TEST(ResourceMonitor, RegisterMetricsExportsPerResourceKeys)
+{
+    ResourceMonitor mon;
+    mon.add("dram.ch0.bus", 1);
+    mon.add("mc_queue", 32);
+    obs::MetricsRegistry reg;
+    mon.registerMetrics(reg, "res");
+    const auto snap = reg.snapshot();
+
+    for (const std::string base : {"res.dram.ch0.bus", "res.mc_queue"}) {
+        EXPECT_EQ(snap.formulas.count(base + ".util"), 1u) << base;
+        EXPECT_EQ(snap.formulas.count(base + ".busy_ns"), 1u) << base;
+        EXPECT_EQ(snap.formulas.count(base + ".queue_avg"), 1u) << base;
+        EXPECT_EQ(snap.formulas.count(base + ".sat_frac"), 1u) << base;
+        EXPECT_EQ(snap.counters.count(base + ".ops"), 1u) << base;
+        EXPECT_EQ(snap.counters.count(base + ".queue_max"), 1u) << base;
+        EXPECT_EQ(snap.histograms.count(base + ".wait"), 1u) << base;
+    }
+}
+
+TEST(ResourceMonitor, RenderTableSortsByUtilAndSkipsIdle)
+{
+    ResourceMonitor mon;
+    const ResId cold = mon.add("cold", 1);
+    const ResId hot = mon.add("hot", 1);
+    const ResId warm = mon.add("warm", 1);
+    (void)cold;
+    mon.beginWindow(Tick{});
+    mon.service(hot, Tick{}, nsToTicks(90.0));
+    mon.service(warm, Tick{}, nsToTicks(30.0));
+    mon.endWindow(nsToTicks(100.0));
+
+    const std::string table = mon.renderTable();
+    EXPECT_NE(table.find("resource contention"), std::string::npos);
+    // Sorted by utilization; untouched resources are omitted.
+    EXPECT_LT(table.find("hot"), table.find("warm"));
+    EXPECT_EQ(table.find("cold"), std::string::npos);
+}
+
+TEST(ResourceMonitor, QueueOnlyResourceStillRenders)
+{
+    ResourceMonitor mon;
+    const ResId r = mon.add("l2.mshr", 8);
+    mon.beginWindow(Tick{});
+    mon.enqueue(r, Tick{});
+    mon.dequeue(r, nsToTicks(50.0));
+    mon.endWindow(nsToTicks(100.0));
+    // No service/busy reports, but real queue activity: the table must
+    // not drop it as idle.
+    EXPECT_NE(mon.renderTable().find("l2.mshr"), std::string::npos);
+}
+
+} // namespace
+} // namespace emcc

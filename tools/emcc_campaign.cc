@@ -66,6 +66,12 @@ usage()
         "                     stream + resume log\n"
         "  --aggregate FILE   write the canonical aggregate (last record\n"
         "                     per run, sorted, host timings stripped)\n"
+        "  --check-aggregate FILE\n"
+        "                     diff the canonical aggregate against a\n"
+        "                     checked-in golden; exit 1 on drift\n"
+        "  --heartbeat-s X    seconds between one-line status\n"
+        "                     heartbeats on stderr (default 10; 0 = off;\n"
+        "                     --quiet silences them too)\n"
         "  --deadline-s X     override the spec's per-run wall-clock\n"
         "                     deadline\n"
         "  --retries N        override the spec's retry budget\n"
@@ -108,7 +114,7 @@ parseFloat(const std::string &opt, const char *text)
 int
 runMain(int argc, char **argv)
 {
-    std::string spec_path, aggregate_path;
+    std::string spec_path, aggregate_path, check_aggregate_path;
     EngineOptions opts;
     double deadline_override = 0.0;
     long long retries_override = -1;
@@ -134,6 +140,12 @@ runMain(int argc, char **argv)
             opts.journal_path = next();
         } else if (arg == "--aggregate") {
             aggregate_path = next();
+        } else if (arg == "--check-aggregate") {
+            check_aggregate_path = next();
+        } else if (arg == "--heartbeat-s") {
+            opts.heartbeat_s = parseFloat(arg, next());
+            if (opts.heartbeat_s < 0.0)
+                throw ConfigError("--heartbeat-s must be >= 0");
         } else if (arg == "--deadline-s") {
             deadline_override = parseFloat(arg, next());
             if (deadline_override <= 0.0)
@@ -210,6 +222,57 @@ runMain(int argc, char **argv)
         return 5;
     if (!best_effort && (sum.failed > 0 || sum.timeout > 0))
         return 1;
+
+    // Aggregate regression gate: the canonical aggregate of a complete
+    // campaign is deterministic, so any drift against the checked-in
+    // golden is a real behavior change.
+    if (!check_aggregate_path.empty()) {
+        const std::string agg =
+            Journal::aggregate(engine.terminalRecords());
+        std::FILE *f = std::fopen(check_aggregate_path.c_str(), "rb");
+        if (f == nullptr)
+            throw ConfigError("cannot open '" + check_aggregate_path +
+                              "'");
+        std::string golden;
+        char buf[4096];
+        for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), f)) > 0;)
+            golden.append(buf, n);
+        std::fclose(f);
+        if (agg != golden) {
+            // Point at the first diverging line so the drift is
+            // actionable without a manual diff.
+            std::size_t line_no = 1, a = 0, b = 0;
+            for (;;) {
+                const std::size_t ae = agg.find('\n', a);
+                const std::size_t be = golden.find('\n', b);
+                const std::string al = agg.substr(
+                    a, ae == std::string::npos ? ae : ae - a);
+                const std::string bl = golden.substr(
+                    b, be == std::string::npos ? be : be - b);
+                if (al != bl) {
+                    std::fprintf(stderr,
+                                 "emcc_campaign: aggregate diverges from "
+                                 "%s at line %zu\n  golden: %.200s\n  "
+                                 "got:    %.200s\n",
+                                 check_aggregate_path.c_str(), line_no,
+                                 bl.c_str(), al.c_str());
+                    break;
+                }
+                if (ae == std::string::npos || be == std::string::npos)
+                    break;
+                a = ae + 1;
+                b = be + 1;
+                ++line_no;
+            }
+            std::fprintf(stderr,
+                         "emcc_campaign: if the change is intentional, "
+                         "regenerate with --aggregate %s\n",
+                         check_aggregate_path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "emcc_campaign: aggregate matches %s\n",
+                     check_aggregate_path.c_str());
+    }
     return 0;
 }
 

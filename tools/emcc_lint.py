@@ -66,6 +66,14 @@ to catch with a tokenizer-level scan:
                   as two independent atomic accesses is not atomic —
                   increments are lost under contention. Use fetch_add /
                   fetch_sub / exchange / compare_exchange.
+  res-transition  A file that drives ResourceMonitor transitions one
+                  way — busy() with no idle() anywhere in the file, or
+                  enqueue() with no dequeue() — leaves the resource
+                  saturated (or its queue integral growing) forever
+                  after the first event, which silently corrupts every
+                  res.* utilization stat. Emit both sides of the pair,
+                  or use the self-closing interval API (service()).
+                  Only files mentioning resmon are checked.
 
 The scanner is tokenizer-backed: a whole-file state machine blanks
 comments and string/char-literal contents (including raw strings and
@@ -111,6 +119,7 @@ RULES = [
     "naked-lock",
     "detached-thread",
     "atomic-rmw",
+    "res-transition",
 ]
 
 # Directories scanned relative to the root. tools/ is deliberately held
@@ -162,6 +171,12 @@ DETACH_RE = re.compile(r"(?:\.|->)\s*detach\s*\(\s*\)")
 ATOMIC_RMW_RE = re.compile(
     r"\b([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)(?:\.|->)\s*store\s*\("
     r"[^;]*?\1(?:\.|->)\s*load\s*\(")
+# ResourceMonitor transition calls (member-call form; the method
+# *definitions* in obs/resmon.cc use :: qualification and don't match).
+RES_TRANSITION_RES = {
+    name: re.compile(r"(?:\.|->)\s*" + name + r"\s*\(")
+    for name in ("busy", "idle", "enqueue", "dequeue")
+}
 
 
 class Finding:
@@ -467,6 +482,25 @@ def lint_file(root, rel_path, findings):
                           "capture by value (capturing `this` is fine: "
                           "components outlive the Simulator)")
 
+    # ---- res-transition: one-sided ResourceMonitor state transitions.
+    # Gated on the file mentioning resmon at all (include path or member
+    # name, checked in the RAW text since the code view blanks include
+    # strings) so `.busy(` on unrelated types never fires.
+    if "resmon" in text:
+        def first_transition(name):
+            m = RES_TRANSITION_RES[name].search(tok.code)
+            return tok.line_of(m.start()) - 1 if m else None
+        for have, need in (("busy", "idle"), ("idle", "busy"),
+                           ("enqueue", "dequeue"), ("dequeue", "enqueue")):
+            at = first_transition(have)
+            if at is not None and first_transition(need) is None:
+                report_at(at, "res-transition",
+                          f"ResourceMonitor {have}() with no {need}() "
+                          "anywhere in this file: the resource "
+                          "transitions one way and its utilization/"
+                          "queue integral runs away; pair the calls or "
+                          "use the interval API (service())")
+
     # ---- atomic-rmw: store-of-own-load spanning up to one statement.
     for m in ATOMIC_RMW_RE.finditer(tok.code):
         report_at(tok.line_of(m.start()) - 1, "atomic-rmw",
@@ -560,6 +594,16 @@ SELF_TEST_FILES = {
                    "    hits.store(\n"
                    "        hits.load() + 1);\n"
                    "}\n"),
+    # busy() with no idle() in a resmon-touching file: the resource
+    # would read 100% utilized forever after the first event.
+    "res-transition": ("src/bad_resmon.cc",
+                       "#include \"obs/resmon.hh\"\n"
+                       "void track(emcc::obs::ResourceMonitor &resmon,\n"
+                       "           emcc::obs::ResId id, emcc::Tick t) {\n"
+                       "    resmon.busy(id, t);\n"
+                       "    resmon.enqueue(id, t);\n"
+                       "    resmon.dequeue(id, t);\n"
+                       "}\n"),
 }
 
 # steady_clock is flagged like any other host clock...

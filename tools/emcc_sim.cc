@@ -95,11 +95,16 @@ usage()
         "  --no-ledger        disable per-miss latency attribution (the\n"
         "                     lat.l2miss.* histograms and breakdown\n"
         "                     table; on by default)\n"
+        "  --no-resmon        disable the resource-contention monitor\n"
+        "                     and critical-path analyzer (the res.* and\n"
+        "                     cp.* metrics and the bottleneck report;\n"
+        "                     on by default). The run is then\n"
+        "                     metric-identical to builds without them\n"
         "  --trace FILE       write a Chrome trace_event JSON timeline\n"
         "                     (load in chrome://tracing or Perfetto)\n"
         "  --trace-cats LIST  comma-separated categories to record:\n"
-        "                     sim,cache,noc,dram,crypto,secmem or 'all'\n"
-        "                     (default all; only with --trace)\n"
+        "                     sim,cache,noc,dram,crypto,secmem,res or\n"
+        "                     'all' (default all; only with --trace)\n"
         "\n"
         "fault injection & resilience:\n"
         "  --inject-faults SPEC  fault campaign, e.g.\n"
@@ -159,6 +164,7 @@ runMain(int argc, char **argv)
     double stats_interval_ms = 0.0;
     bool leak_strict = false;
     bool no_ledger = false;
+    bool no_resmon = false;
     SystemConfig cfg = paperConfig(Scheme::Emcc);
     BenchScale scale = BenchScale::fromEnv();
 
@@ -221,6 +227,8 @@ runMain(int argc, char **argv)
             stats_series_path = next();
         } else if (arg == "--no-ledger") {
             no_ledger = true;
+        } else if (arg == "--no-resmon") {
+            no_resmon = true;
         } else if (arg == "--trace") {
             trace_path = next();
         } else if (arg == "--trace-cats") {
@@ -316,10 +324,21 @@ runMain(int argc, char **argv)
     if (!stats_series_path.empty())
         series = std::make_unique<obs::StatsSeries>(
             stats_series_path, nsToTicks(stats_interval_ms * 1e6));
+    std::unique_ptr<obs::ResourceMonitor> resmon;
+    std::unique_ptr<obs::CritPathAnalyzer> critpath;
+    if (!no_resmon) {
+        resmon = std::make_unique<obs::ResourceMonitor>();
+        // The analyzer reads the ledger's records, so it rides the
+        // same default and dies with --no-ledger.
+        if (ledger)
+            critpath = std::make_unique<obs::CritPathAnalyzer>();
+    }
     RunOptions opts;
     opts.tracer = tracer.get();
     opts.ledger = ledger.get();
     opts.series = series.get();
+    opts.resmon = resmon.get();
+    opts.critpath = critpath.get();
     opts.cancel = &g_stop;
     const auto r = runTiming(cfg, set, scale, opts);
 
@@ -373,6 +392,15 @@ runMain(int argc, char **argv)
     if (ledger && ledger->records() > 0) {
         std::puts("\n=== latency attribution ===");
         std::fputs(ledger->renderTable().c_str(), stdout);
+    }
+
+    if (resmon) {
+        std::puts("\n=== bottleneck report ===");
+        std::fputs(resmon->renderTable().c_str(), stdout);
+        if (critpath && critpath->records() > 0) {
+            std::fputc('\n', stdout);
+            std::fputs(critpath->renderTable().c_str(), stdout);
+        }
     }
 
     if (cfg.faults.enabled()) {

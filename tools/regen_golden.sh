@@ -3,16 +3,19 @@
 # ctests compare against. Run this (and commit the result) after an
 # intentional change to the timing model or the metric set.
 #
-#   tools/regen_golden.sh [path-to-emcc_sim]
+#   tools/regen_golden.sh [path-to-emcc_sim] [path-to-emcc_campaign]
 #
-# Defaults to build/tools/emcc_sim. The invocations here must stay in
-# lockstep with the golden_stats and series cases in
-# tests/cli_smoke.sh.
+# Defaults to build/tools/emcc_sim and build/tools/emcc_campaign. The
+# invocations here must stay in lockstep with the golden_stats, series,
+# and noresmon_parity cases in tests/cli_smoke.sh and with
+# tests/campaign_aggregate.sh.
 set -eu
 
 REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 SIM="${1:-$REPO/build/tools/emcc_sim}"
+CAMPAIGN="${2:-$REPO/build/tools/emcc_campaign}"
 GOLDEN="$REPO/tests/golden/stats_bfs_emcc.json"
+NORESMON_GOLDEN="$REPO/tests/golden/stats_bfs_emcc_noresmon.json"
 SERIES_GOLDEN="$REPO/tests/golden/series_bfs_emcc.jsonl"
 
 if [ ! -x "$SIM" ]; then
@@ -30,6 +33,20 @@ mkdir -p "$(dirname "$GOLDEN")"
 echo "wrote $GOLDEN"
 
 "$SIM" --workload BFS --warmup 5000 --measure 20000 --trace-len 40000 \
+    --scheme emcc --seed 42 --no-resmon \
+    --stats-json "$NORESMON_GOLDEN" > /dev/null
+echo "wrote $NORESMON_GOLDEN"
+
+"$SIM" --workload BFS --warmup 5000 --measure 20000 --trace-len 40000 \
     --scheme emcc --seed 42 --stats-interval 0.02 \
     --stats-series "$SERIES_GOLDEN" > /dev/null
 echo "wrote $SERIES_GOLDEN"
+
+if [ -x "$CAMPAIGN" ]; then
+    AGG_GOLDEN="$REPO/tests/golden/campaign_aggregate.jsonl"
+    "$CAMPAIGN" --spec "$REPO/tests/campaign_aggregate_spec.json" \
+        --jobs 2 --no-fsync --quiet --aggregate "$AGG_GOLDEN" > /dev/null
+    echo "wrote $AGG_GOLDEN"
+else
+    echo "skipping campaign aggregate golden (no emcc_campaign at $CAMPAIGN)"
+fi
