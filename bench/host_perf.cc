@@ -33,6 +33,7 @@
 #include "obs/profile.hh"
 #include "sim/finish_pool.hh"
 #include "sim/legacy_event_queue.hh"
+#include "sim/simulator.hh"
 
 namespace {
 
@@ -283,6 +284,63 @@ main()
     t.addRow({"e2e_bfs_emcc host-s/sim-s", "-",
               Table::num(sim_s > 0.0 ? r.host_seconds / sim_s : 0.0,
                          /*digits=*/0), "-"});
+
+    // Functional fast-forward vs detailed-mode reference throughput on
+    // the same machine, same workload, same architectural path. The
+    // detailed rate comes from a warmup-free timing run (measured refs
+    // over full host time); the functional rate drives fastForward()
+    // directly. Machine-relative like the kernel rows, gated >= 20x.
+    {
+        BenchScale nowarm = scale;
+        nowarm.warmup_instructions = 0;
+        const auto rd = runTiming(paperConfig(Scheme::Emcc), workload,
+                                  nowarm, RunOptions{});
+        const double detailed_refs = static_cast<double>(
+            rd.sys.data_reads + rd.sys.data_writes);
+        const double drate = rd.host_seconds > 0.0
+                                 ? detailed_refs / rd.host_seconds : 0.0;
+
+        const SystemConfig cfg = paperConfig(Scheme::Emcc);
+        Simulator sim;
+        SecureSystem sys(sim, cfg, &workload);
+        const Count per_core = target / 4;
+        sys.fastForward(per_core / 8);   // first-touch warmup
+        obs::HostTimer ff_timer;
+        sys.fastForward(per_core);
+        const double ff_secs = ff_timer.seconds();
+        const double ff_refs =
+            static_cast<double>(per_core) * cfg.cores;
+        const double frate = ff_secs > 0.0 ? ff_refs / ff_secs : 0.0;
+        t.addRow({"ffwd_throughput", Table::num(drate * 1e-6),
+                  Table::num(frate * 1e-6),
+                  Table::num(drate > 0.0 ? frate / drate : 0.0)});
+    }
+
+    // Sampled simulation vs full detail, end to end: the same program
+    // region, one long detailed measurement (the e2e run above) vs
+    // 4 fast-forwarded windows in the canonical shape — one long
+    // initial fast-forward past the warm-up transient, short
+    // keep-fresh fast-forwards between windows. Speedup is host
+    // seconds, full/sampled; at this smoke scale it is far below the
+    // >= 10x the validation ctest shows on 10x footprints, because the
+    // fixed window cost dominates a tiny region.
+    {
+        RunOptions so;
+        so.sample.windows = 4;
+        so.sample.ffwd_first =
+            static_cast<Count>(scale.workload.trace_len / 4);
+        so.sample.ffwd_refs =
+            static_cast<Count>(scale.workload.trace_len / 16);
+        so.sample.warm = scale.measure_instructions / 80;
+        so.sample.measure = scale.measure_instructions / 20;
+        const auto rs = runTiming(paperConfig(Scheme::Emcc), workload,
+                                  scale, so);
+        t.addRow({"sampled_e2e host-s", Table::num(r.host_seconds, 3),
+                  Table::num(rs.host_seconds, 3),
+                  Table::num(rs.host_seconds > 0.0
+                                 ? r.host_seconds / rs.host_seconds
+                                 : 0.0)});
+    }
 
     benchutil::report("BENCH_host_perf", t);
     std::puts("\ngate: tests/check_host_perf.py fails a speedup that "

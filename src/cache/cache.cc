@@ -56,6 +56,12 @@ CacheArray::CacheArray(std::string name, const CacheArrayConfig &cfg)
     last_use_.assign(n, 0);
     lru_prev_.assign(n, kNil);
     lru_next_.assign(n, kNil);
+    // The class-global LRU lists exist solely to pick cap-eviction
+    // victims; a class with no footprint cap never consults its list,
+    // so skipping the splice work on every touch/insert/evict keeps
+    // the per-access fast path free of the extra pointer chasing.
+    for (int c = 0; c < static_cast<int>(LineClass::NumClasses); ++c)
+        lru_tracked_[c] = cfg_.class_cap_bytes[c] != 0;
 }
 
 unsigned
@@ -87,6 +93,8 @@ CacheArray::findIndex(Addr addr) const
 void
 CacheArray::listAppend(LineClass cls, std::uint32_t idx)
 {
+    if (!lru_tracked_[static_cast<int>(cls)])
+        return;
     ClassList &l = class_lru_[static_cast<int>(cls)];
     lru_prev_[idx] = l.tail;
     lru_next_[idx] = kNil;
@@ -100,6 +108,8 @@ CacheArray::listAppend(LineClass cls, std::uint32_t idx)
 void
 CacheArray::listRemove(LineClass cls, std::uint32_t idx)
 {
+    if (!lru_tracked_[static_cast<int>(cls)])
+        return;
     ClassList &l = class_lru_[static_cast<int>(cls)];
     const std::uint32_t prev = lru_prev_[idx];
     const std::uint32_t next = lru_next_[idx];
@@ -121,7 +131,8 @@ CacheArray::touch(std::uint32_t idx)
     last_use_[idx] = ++use_clock_;
     // Splice to the MRU (tail) end of the line's class list.
     const LineClass cls = cls_[idx];
-    if (class_lru_[static_cast<int>(cls)].tail != idx) {
+    if (lru_tracked_[static_cast<int>(cls)] &&
+        class_lru_[static_cast<int>(cls)].tail != idx) {
         listRemove(cls, idx);
         listAppend(cls, idx);
     }

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/checkpoint.hh"
 
 namespace emcc {
 
@@ -160,6 +161,70 @@ class CacheArray
     /** Drop all contents (keeps statistics). */
     void flushAll();
 
+    /**
+     * Visit every valid line in line-index order (deterministic):
+     * fn(block_addr, cls, dirty, flag). Columns are plain vectors, so
+     * the order is the storage order, identical across runs.
+     */
+    template <typename Fn>
+    void
+    forEachValidLine(Fn fn) const
+    {
+        const std::uint32_t n = static_cast<std::uint32_t>(valid_.size());
+        for (std::uint32_t idx = 0; idx < n; ++idx) {
+            if (valid_[idx])
+                fn(blockBase(tag_[idx]), cls_[idx], dirty_[idx] != 0,
+                   flag_[idx] != 0);
+        }
+    }
+
+    /** Serialize every column verbatim (sampled-simulation checkpoints).
+     *  The columns are plain vectors of trivially-copyable values, so
+     *  the image is deterministic and restore is an exact rebuild. */
+    void
+    saveState(CheckpointWriter &w) const
+    {
+        w.tag(0xcac4e001u);
+        w.vec(tag_);
+        w.vec(valid_);
+        w.vec(dirty_);
+        w.vec(flag_);
+        w.vec(cls_);
+        w.vec(last_use_);
+        w.vec(lru_prev_);
+        w.vec(lru_next_);
+        for (const ClassList &l : class_lru_) {
+            w.u32(l.head);
+            w.u32(l.tail);
+        }
+        w.u64(use_clock_);
+        for (const Count c : class_count_)
+            w.u64(c);
+        w.pod(stats_);
+    }
+
+    void
+    restoreState(CheckpointReader &r)
+    {
+        r.expectTag(0xcac4e001u);
+        r.vec(tag_);
+        r.vec(valid_);
+        r.vec(dirty_);
+        r.vec(flag_);
+        r.vec(cls_);
+        r.vec(last_use_);
+        r.vec(lru_prev_);
+        r.vec(lru_next_);
+        for (ClassList &l : class_lru_) {
+            l.head = r.u32();
+            l.tail = r.u32();
+        }
+        use_clock_ = r.u64();
+        for (Count &c : class_count_)
+            c = r.u64();
+        stats_ = r.pod<CacheArrayStats>();
+    }
+
   private:
     /// null link / "no line" sentinel for the intrusive lists
     static constexpr std::uint32_t kNil = 0xffffffffu;
@@ -197,6 +262,9 @@ class CacheArray
         std::uint32_t tail = kNil;
     };
     ClassList class_lru_[static_cast<int>(LineClass::NumClasses)];
+    /** True for classes with a footprint cap — the only consumers of
+     *  the class-LRU lists. Uncapped classes skip list maintenance. */
+    bool lru_tracked_[static_cast<int>(LineClass::NumClasses)] = {};
 
     std::uint64_t use_clock_ = 0;
     Count class_count_[static_cast<int>(LineClass::NumClasses)] = {};

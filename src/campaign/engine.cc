@@ -436,6 +436,8 @@ CampaignEngine::execSim(const RunDesc &run, Flight &flight)
             experiments::cachedWorkload(run.workload, run.scale.workload);
         experiments::RunOptions ro;
         ro.cancel = &flight.stop;
+        ro.ffwd = run.ffwd;
+        ro.sample = run.sample;
         const RunResults r =
             experiments::runTiming(run.cfg, w, run.scale, ro);
         if (r.partial) {

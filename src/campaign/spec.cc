@@ -75,7 +75,9 @@ parseGrid(const JsonValue &v)
                       {"workload", "scheme", "design", "seed", "cores",
                        "warmup", "measure", "trace_len",
                        "graph_vertices", "footprint_scale", "faults",
-                       "fault_seed", "leak_check"});
+                       "fault_seed", "leak_check", "ffwd",
+                       "sample_windows", "sample_warm",
+                       "sample_measure"});
     GridSpec g;
     if (const JsonValue *w = v.find("workload"))
         g.workload = axis<std::string>(*w, "grid.workload", getString);
@@ -104,8 +106,23 @@ parseGrid(const JsonValue &v)
         g.fault_seed = f->asUint("grid.fault_seed");
     if (const JsonValue *l = v.find("leak_check"))
         g.leak_check = l->asBool("grid.leak_check");
+    if (const JsonValue *f = v.find("ffwd"))
+        g.ffwd = f->asUint("grid.ffwd");
+    if (const JsonValue *s = v.find("sample_windows"))
+        g.sample_windows =
+            static_cast<unsigned>(s->asUint("grid.sample_windows"));
+    if (const JsonValue *s = v.find("sample_warm"))
+        g.sample_warm = s->asUint("grid.sample_warm");
+    if (const JsonValue *s = v.find("sample_measure"))
+        g.sample_measure = s->asUint("grid.sample_measure");
     if (g.measure == 0)
         throw ConfigError("campaign spec: grid.measure must be >= 1");
+    if ((g.sample_windows > 0 || g.ffwd > 0) && !g.faults.empty())
+        throw ConfigError("campaign spec: sampled / fast-forwarded "
+                          "grids cannot run fault campaigns");
+    if (g.sample_windows > 0 && g.sample_measure == 0)
+        throw ConfigError(
+            "campaign spec: grid.sample_measure must be >= 1");
     // Parse eagerly so a bad fault string fails at spec load, not in
     // the middle of a thousand-run campaign.
     if (!g.faults.empty())
@@ -292,10 +309,29 @@ CampaignSpec::canonical() const
         out += jsonEscape(grid.faults);
         out += '"';
         std::snprintf(buf, sizeof(buf),
-                      ",\"fault_seed\":%llu,\"leak_check\":%s}",
+                      ",\"fault_seed\":%llu,\"leak_check\":%s",
                       static_cast<unsigned long long>(grid.fault_seed),
                       grid.leak_check ? "true" : "false");
         out += buf;
+        // Sampling knobs render only when engaged (the chaos-object
+        // precedent): specs that never sample keep their digests.
+        if (grid.sample_windows > 0) {
+            std::snprintf(buf, sizeof(buf),
+                          ",\"ffwd\":%llu,\"sample_windows\":%u"
+                          ",\"sample_warm\":%llu,\"sample_measure\":%llu",
+                          static_cast<unsigned long long>(grid.ffwd),
+                          grid.sample_windows,
+                          static_cast<unsigned long long>(
+                              grid.sample_warm),
+                          static_cast<unsigned long long>(
+                              grid.sample_measure));
+            out += buf;
+        } else if (grid.ffwd > 0) {
+            std::snprintf(buf, sizeof(buf), ",\"ffwd\":%llu",
+                          static_cast<unsigned long long>(grid.ffwd));
+            out += buf;
+        }
+        out += '}';
     }
     if (!commands.empty()) {
         out += ",\"commands\":[";
@@ -393,6 +429,13 @@ CampaignSpec::expand() const
                         r.scale.workload.seed = seed;
                         r.scale.warmup_instructions = grid.warmup;
                         r.scale.measure_instructions = grid.measure;
+                        r.ffwd = grid.ffwd;
+                        if (grid.sample_windows > 0) {
+                            r.sample.windows = grid.sample_windows;
+                            r.sample.ffwd_refs = grid.ffwd;
+                            r.sample.warm = grid.sample_warm;
+                            r.sample.measure = grid.sample_measure;
+                        }
                         runs.push_back(std::move(r));
                     }
                 }

@@ -89,6 +89,15 @@ struct GridSpec
     std::string faults;            ///< FaultSpec string ("" = none)
     std::uint64_t fault_seed = 1;
     bool leak_check = true;
+
+    // Sampled simulation (see SampleSpec): sample_windows > 0 switches
+    // every grid run from one long measurement to K fast-forward +
+    // detailed windows. `ffwd` alone prepends one functional
+    // fast-forward to the normal warmup.
+    Count ffwd = 0;
+    unsigned sample_windows = 0;
+    Count sample_warm = 10'000;
+    Count sample_measure = 30'000;
 };
 
 /** One expanded run: either an in-process sim or a subprocess. */
@@ -104,6 +113,8 @@ struct RunDesc
     SystemConfig cfg;
     experiments::BenchScale scale;
     std::string workload;
+    Count ffwd = 0;        ///< functional fast-forward before warmup
+    SampleSpec sample;     ///< sampled mode when sample.enabled()
 
     // Command runs.
     CommandSpec cmd;

@@ -11,10 +11,11 @@
  * tombstones: inserts allocate only on growth, probes touch one cache
  * line in the common case.
  *
- * Deliberately minimal: no iteration (tables on the hot path must not
+ * Deliberately minimal: no iterators (tables on the hot path must not
  * depend on hash order — see the unordered-iter lint rule), no
- * iterator-based erase. Pointers returned by find()/operator[] are
- * invalidated by the next insert.
+ * iterator-based erase; forEach() exists solely so checkpoints can
+ * drain a table, and its visitors must sort before emitting. Pointers
+ * returned by find()/operator[] are invalidated by the next insert.
  */
 
 #pragma once
@@ -90,6 +91,31 @@ class FlatAddrMap
         s.state = State::Full;
         ++size_;
         return true;
+    }
+
+    /** Drop every entry, keeping the slot array. */
+    void
+    clear()
+    {
+        for (std::size_t i = 0; i < capacity_; ++i)
+            slots_[i].state = State::Empty;
+        size_ = 0;
+        tombstones_ = 0;
+    }
+
+    /**
+     * Visit every live entry in unspecified (hash) order. Serialization
+     * only: callers must sort whatever they collect before emitting it
+     * (same discipline as the unordered-iter lint rule).
+     */
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (std::size_t i = 0; i < capacity_; ++i) {
+            if (slots_[i].state == State::Full)
+                fn(slots_[i].key, slots_[i].value);
+        }
     }
 
     /** Remove a key if present. @return true when it was present. */
@@ -191,7 +217,18 @@ class FlatAddrMap
     {
         auto old = std::move(slots_);
         const std::size_t old_capacity = capacity_;
-        slots_ = std::make_unique<Slot[]>(new_capacity);
+        // Tables that churn (insert + erase on the miss path) rehash at
+        // constant capacity just to drop tombstones; ping-ponging with
+        // the retired array makes that steady-state case allocation-
+        // free at the cost of one spare array per table.
+        if (new_capacity == spare_capacity_) {
+            slots_ = std::move(spare_);
+            spare_capacity_ = 0;
+            for (std::size_t i = 0; i < new_capacity; ++i)
+                slots_[i].state = State::Empty;
+        } else {
+            slots_ = std::make_unique<Slot[]>(new_capacity);
+        }
         capacity_ = new_capacity;
         tombstones_ = 0;
         size_ = 0;
@@ -206,10 +243,14 @@ class FlatAddrMap
             s.state = State::Full;
             ++size_;
         }
+        spare_ = std::move(old);
+        spare_capacity_ = old_capacity;
     }
 
     std::unique_ptr<Slot[]> slots_;
+    std::unique_ptr<Slot[]> spare_;   ///< retired array kept for reuse
     std::size_t capacity_ = 0;
+    std::size_t spare_capacity_ = 0;
     std::size_t size_ = 0;
     std::size_t tombstones_ = 0;
 };

@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "common/log.hh"
@@ -89,6 +90,22 @@ class Rng
 
     /** Bernoulli draw with probability @p p of returning true. */
     bool chance(double p) { return uniform() < p; }
+
+    /** The full 256-bit generator state (checkpointing). */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    /** Restore a state captured with state(). The next draw continues
+     *  the stream exactly where the captured generator left off. */
+    void
+    setState(const std::array<std::uint64_t, 4> &s)
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = s[static_cast<std::size_t>(i)];
+    }
 
   private:
     static std::uint64_t

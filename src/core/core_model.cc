@@ -18,6 +18,7 @@ CoreModel::CoreModel(Simulator &sim, std::string name,
              "core %u started with an empty trace", core_id);
     fatal_if(cfg_.width == 0 || cfg_.rob_entries == 0,
              "degenerate core configuration");
+    rob_.reset(cfg_.rob_entries);
 }
 
 void
@@ -88,7 +89,7 @@ CoreModel::dispatchOne(const MemRef &ref, Tick dispatch_time)
             const std::size_t pos = static_cast<std::size_t>(
                 seq - committed);
             panic_if(pos >= rob_.size(), "load completion out of range");
-            rob_[pos].complete = done_tick;
+            rob_.at(pos).complete = done_tick;
             --outstanding_loads_;
             stats_.load_latency_sum_ns +=
                 ticksToNs(done_tick - dispatch_time);

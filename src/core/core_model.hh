@@ -22,11 +22,11 @@
 
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/checkpoint.hh"
 #include "sim/finish_pool.hh"
 #include "sim/simulator.hh"
 #include "workloads/memref.hh"
@@ -124,6 +124,63 @@ class CoreModel : public Component
      *  a measurement phase continues from the warmed-up position). */
     std::size_t tracePos() const { return trace_pos_; }
 
+    /** Advance the trace cursor (functional fast-forward replays refs
+     *  outside the core engine and accounts progress here). Only legal
+     *  while the core is stopped. */
+    void
+    setTracePos(std::size_t pos)
+    {
+        panic_if(!done_, "setTracePos on a running core");
+        trace_pos_ = trace_ ? pos % trace_->size() : 0;
+    }
+
+    /**
+     * Serialize replay progress and the port-timing scalars (sampled-
+     * simulation checkpoints). Only valid while the core is stopped at
+     * a quiesced phase boundary: nothing may be outstanding in the
+     * memory system, but the ROB legitimately carries over-dispatched
+     * groups whose loads already completed — they commit against the
+     * next phase's budget, so they are part of the persistent state.
+     */
+    void
+    saveState(CheckpointWriter &w) const
+    {
+        w.tag(0xc04e0001u);
+        panic_if(!done_ || outstanding_loads_ != 0 ||
+                     outstanding_stores_ != 0,
+                 "core checkpoint while running");
+        w.u64(trace_pos_);
+        w.u64(dispatch_seq_);
+        w.u64(commit_seq_);
+        w.pod(dispatch_free_);
+        w.pod(commit_free_);
+        w.u64(rob_occupancy_);
+        w.u64(rob_.size());
+        for (std::size_t i = 0; i < rob_.size(); ++i) {
+            const RobGroup &g = rob_.at(i);
+            panic_if(g.complete == kTickInvalid,
+                     "core checkpoint with an incomplete ROB group");
+            w.pod(g);
+        }
+    }
+
+    void
+    restoreState(CheckpointReader &r)
+    {
+        r.expectTag(0xc04e0001u);
+        panic_if(!done_, "core restore while running");
+        trace_pos_ = static_cast<std::size_t>(r.u64());
+        dispatch_seq_ = r.u64();
+        commit_seq_ = r.u64();
+        dispatch_free_ = r.pod<Tick>();
+        commit_free_ = r.pod<Tick>();
+        rob_occupancy_ = r.u64();
+        rob_.clear();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i)
+            rob_.push_back(r.pod<RobGroup>());
+    }
+
     const CoreConfig &config() const { return cfg_; }
 
     /** Instructions currently occupying the ROB (watchdog snapshot). */
@@ -148,6 +205,63 @@ class CoreModel : public Component
         Tick complete;     ///< kTickInvalid while a load is outstanding
     };
 
+    /** Fixed-capacity FIFO of ROB groups with random access from the
+     *  front. Every group holds >= 1 instruction, so rob_entries
+     *  bounds the group count and one up-front array suffices — the
+     *  std::deque this replaces churned a heap chunk every ~40 groups
+     *  in steady state. */
+    class RobRing
+    {
+      public:
+        void
+        reset(std::size_t capacity)
+        {
+            if (buf_.size() < capacity)
+                buf_.resize(capacity);
+            head_ = count_ = 0;
+        }
+
+        bool empty() const { return count_ == 0; }
+        std::size_t size() const { return count_; }
+        RobGroup &front() { return buf_[head_]; }
+
+        RobGroup &
+        at(std::size_t i)
+        {
+            panic_if(i >= count_, "ROB ring index out of range");
+            return buf_[(head_ + i) % buf_.size()];
+        }
+
+        const RobGroup &
+        at(std::size_t i) const
+        {
+            return const_cast<RobRing *>(this)->at(i);
+        }
+
+        void
+        push_back(const RobGroup &g)
+        {
+            panic_if(count_ == buf_.size(), "ROB ring overflow");
+            buf_[(head_ + count_) % buf_.size()] = g;
+            ++count_;
+        }
+
+        void
+        pop_front()
+        {
+            panic_if(count_ == 0, "ROB ring underflow");
+            head_ = (head_ + 1) % buf_.size();
+            --count_;
+        }
+
+        void clear() { head_ = count_ = 0; }
+
+      private:
+        std::vector<RobGroup> buf_;
+        std::size_t head_ = 0;
+        std::size_t count_ = 0;
+    };
+
     void engine();
     void scheduleEngineAt(Tick when);
     void dispatchOne(const MemRef &ref, Tick dispatch_time);
@@ -158,7 +272,7 @@ class CoreModel : public Component
     const std::vector<MemRef> *trace_;
     MemorySystemPort *port_;
 
-    std::deque<RobGroup> rob_;
+    RobRing rob_;
     std::uint64_t rob_occupancy_ = 0;   ///< instructions in the ROB
     unsigned outstanding_loads_ = 0;
     unsigned outstanding_stores_ = 0;

@@ -23,6 +23,7 @@
 #include "common/types.hh"
 #include "obs/metrics.hh"
 #include "obs/resmon.hh"
+#include "sim/checkpoint.hh"
 
 namespace emcc {
 
@@ -105,6 +106,22 @@ class AesPool
 
     /** Distribution of per-batch queueing delay (ns). */
     const Histogram &queueDelayHist() const { return queue_delay_ns_; }
+
+    /** Serialize the pipeline timing state (sampled-simulation
+     *  checkpoints). Stats are window-scoped and excluded. */
+    void
+    saveState(CheckpointWriter &w) const
+    {
+        w.tag(0xae50001u);
+        w.pod(next_free_);
+    }
+
+    void
+    restoreState(CheckpointReader &r)
+    {
+        r.expectTag(0xae50001u);
+        next_free_ = r.pod<Tick>();
+    }
 
     /**
      * Report pipeline occupancy and queueing to a resource monitor

@@ -32,6 +32,7 @@
 #include "common/types.hh"
 #include "obs/resmon.hh"
 #include "obs/trace.hh"
+#include "sim/checkpoint.hh"
 #include "sim/finish_pool.hh"
 #include "sim/simulator.hh"
 #include "sim/slab_pool.hh"
@@ -201,6 +202,66 @@ class DramChannel : public Component
     void registerMetrics(obs::MetricsRegistry &reg,
                          const std::string &prefix) const;
 
+    /**
+     * Architectural row-state update for functional fast-forward: open
+     * the accessed row in its bank with no timing, queueing, or stats.
+     * Keeps row-buffer locality warm so the first accesses of a
+     * detailed measurement window see realistic hit/conflict mixes.
+     */
+    void
+    functionalTouch(Addr addr, Tick now)
+    {
+        const DramCoord c = mapper_.map(addr);
+        BankState &bk = bank(c);
+        bk.row_open = true;
+        bk.open_row = c.row;
+        bk.last_use = now;
+        bk.consecutive_hits = 0;
+    }
+
+    /** Serialize bank/bus state (sampled-simulation checkpoints). Only
+     *  valid at a quiesced boundary: panics if requests are queued. */
+    void
+    saveState(CheckpointWriter &w) const
+    {
+        w.tag(0xd3a40001u);
+        panic_if(read_q_.size != 0 || write_q_.size != 0,
+                 "dram checkpoint with %zu queued requests",
+                 read_q_.size + write_q_.size);
+        w.u64(banks_.size());
+        for (const BankState &bk : banks_) {
+            w.boolean(bk.row_open);
+            w.u64(bk.open_row);
+            w.pod(bk.ready_at);
+            w.pod(bk.last_use);
+            w.u32(bk.consecutive_hits);
+        }
+        w.vec(rank_refresh_seen_);
+        w.pod(bus_free_at_);
+        w.boolean(draining_writes_);
+        // stats_ is excluded: the histogram member is not a plain
+        // value, and window stats are reset at every sampling boundary
+        // anyway (resetStats), so nothing downstream depends on it.
+    }
+
+    void
+    restoreState(CheckpointReader &r)
+    {
+        r.expectTag(0xd3a40001u);
+        const std::uint64_t n = r.u64();
+        panic_if(n != banks_.size(), "dram checkpoint bank-count mismatch");
+        for (BankState &bk : banks_) {
+            bk.row_open = r.boolean();
+            bk.open_row = r.u64();
+            bk.ready_at = r.pod<Tick>();
+            bk.last_use = r.pod<Tick>();
+            bk.consecutive_hits = r.u32();
+        }
+        r.vec(rank_refresh_seen_);
+        bus_free_at_ = r.pod<Tick>();
+        draining_writes_ = r.boolean();
+    }
+
   private:
     static constexpr std::uint32_t kNil = SlabPool<int>::kNilSlot;
 
@@ -320,6 +381,35 @@ class DramMemory : public Component
      *  occupancy gauges. */
     void registerMetrics(obs::MetricsRegistry &reg,
                          const std::string &prefix) const;
+
+    /** Route a functional fast-forward row touch to its channel. */
+    void
+    functionalTouch(Addr addr, Tick now)
+    {
+        const DramCoord c = mapper_.map(addr);
+        channels_.at(c.channel)->functionalTouch(addr, now);
+    }
+
+    /** Serialize every channel's bank/bus state, in channel order. */
+    void
+    saveState(CheckpointWriter &w) const
+    {
+        w.tag(0xd3a40002u);
+        w.u64(channels_.size());
+        for (const auto &ch : channels_)
+            ch->saveState(w);
+    }
+
+    void
+    restoreState(CheckpointReader &r)
+    {
+        r.expectTag(0xd3a40002u);
+        const std::uint64_t n = r.u64();
+        panic_if(n != channels_.size(),
+                 "dram checkpoint channel-count mismatch");
+        for (auto &ch : channels_)
+            ch->restoreState(r);
+    }
 
   private:
     DramConfig cfg_;

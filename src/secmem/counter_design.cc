@@ -1,5 +1,7 @@
 #include "secmem/counter_design.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace emcc {
@@ -29,6 +31,20 @@ CounterDesign::create(CounterDesignKind kind)
     panic("unknown counter design");
 }
 
+void
+CounterDesign::saveBase(CheckpointWriter &w) const
+{
+    w.u64(writes_);
+    w.u64(overflows_);
+}
+
+void
+CounterDesign::restoreBase(CheckpointReader &r)
+{
+    writes_ = r.u64();
+    overflows_ = r.u64();
+}
+
 // ---------------------------------------------------------------- Monolithic
 
 CounterWriteResult
@@ -45,6 +61,37 @@ MonolithicCounters::counterValue(Addr data_addr) const
 {
     auto it = counters_.find(blockAlign(data_addr));
     return it == counters_.end() ? 0 : it->second;
+}
+
+void
+MonolithicCounters::saveState(CheckpointWriter &w) const
+{
+    w.tag(0xc0de0001u);
+    saveBase(w);
+    std::vector<Addr> keys;
+    keys.reserve(counters_.size());
+    // emcc-lint: allow(unordered-iter) — keys are sorted below
+    for (const auto &[addr, value] : counters_)
+        keys.push_back(addr);
+    std::sort(keys.begin(), keys.end());
+    w.u64(keys.size());
+    for (const Addr a : keys) {
+        w.pod(a);
+        w.u64(counters_.at(a));
+    }
+}
+
+void
+MonolithicCounters::restoreState(CheckpointReader &r)
+{
+    r.expectTag(0xc0de0001u);
+    restoreBase(r);
+    counters_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr a = r.pod<Addr>();
+        counters_.emplace(a, r.u64());
+    }
 }
 
 // ---------------------------------------------------------------- SC-64
@@ -97,6 +144,42 @@ Sc64Counters::counterValue(Addr data_addr) const
     const unsigned slot = static_cast<unsigned>(
         (data_addr / kBlockBytes) % 64);
     return (st->major << 32) | st->minors[slot];
+}
+
+void
+Sc64Counters::saveState(CheckpointWriter &w) const
+{
+    w.tag(0xc0de0002u);
+    saveBase(w);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(blocks_.size());
+    // emcc-lint: allow(unordered-iter) — keys are sorted below
+    for (const auto &[cb, st] : blocks_)
+        keys.push_back(cb);
+    std::sort(keys.begin(), keys.end());
+    w.u64(keys.size());
+    for (const std::uint64_t cb : keys) {
+        const BlockState &st = blocks_.at(cb);
+        w.u64(cb);
+        w.u64(st.major);
+        w.vec(st.minors);
+    }
+}
+
+void
+Sc64Counters::restoreState(CheckpointReader &r)
+{
+    r.expectTag(0xc0de0002u);
+    restoreBase(r);
+    blocks_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t cb = r.u64();
+        BlockState st;
+        st.major = r.u64();
+        r.vec(st.minors);
+        blocks_.emplace(cb, std::move(st));
+    }
 }
 
 // ---------------------------------------------------------------- Morphable
@@ -178,6 +261,46 @@ MorphableCounters::counterValue(Addr data_addr) const
     const unsigned slot = static_cast<unsigned>(
         (data_addr / kBlockBytes) % 128);
     return (st->major << 32) | st->minors[slot];
+}
+
+void
+MorphableCounters::saveState(CheckpointWriter &w) const
+{
+    w.tag(0xc0de0003u);
+    saveBase(w);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(blocks_.size());
+    // emcc-lint: allow(unordered-iter) — keys are sorted below
+    for (const auto &[cb, st] : blocks_)
+        keys.push_back(cb);
+    std::sort(keys.begin(), keys.end());
+    w.u64(keys.size());
+    for (const std::uint64_t cb : keys) {
+        const BlockState &st = blocks_.at(cb);
+        w.u64(cb);
+        w.u64(st.major);
+        w.vec(st.minors);
+        w.u32(st.nonzero);
+        w.u32(st.max_minor);
+    }
+}
+
+void
+MorphableCounters::restoreState(CheckpointReader &r)
+{
+    r.expectTag(0xc0de0003u);
+    restoreBase(r);
+    blocks_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t cb = r.u64();
+        BlockState st;
+        st.major = r.u64();
+        r.vec(st.minors);
+        st.nonzero = r.u32();
+        st.max_minor = r.u32();
+        blocks_.emplace(cb, std::move(st));
+    }
 }
 
 } // namespace emcc

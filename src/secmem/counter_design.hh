@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/checkpoint.hh"
 
 namespace emcc {
 
@@ -106,10 +107,22 @@ class CounterDesign
     /** Total overflows triggered. */
     Count overflows() const { return overflows_; }
 
+    /**
+     * Serialize the full functional counter state (sampled-simulation
+     * checkpoints). Entries are written in sorted key order so the
+     * image is deterministic; restoreState drops any existing state
+     * first and rebuilds exactly what was saved.
+     */
+    virtual void saveState(CheckpointWriter &w) const = 0;
+    virtual void restoreState(CheckpointReader &r) = 0;
+
     /** Factory. */
     static std::unique_ptr<CounterDesign> create(CounterDesignKind kind);
 
   protected:
+    void saveBase(CheckpointWriter &w) const;
+    void restoreBase(CheckpointReader &r);
+
     Count writes_ = 0;
     Count overflows_ = 0;
 };
@@ -129,6 +142,9 @@ class MonolithicCounters : public CounterDesign
     CounterWriteResult bumpCounter(Addr data_addr) override;
     std::uint64_t counterValue(Addr data_addr) const override;
 
+    void saveState(CheckpointWriter &w) const override;
+    void restoreState(CheckpointReader &r) override;
+
   private:
     std::unordered_map<Addr, std::uint64_t> counters_;
 };
@@ -147,6 +163,9 @@ class Sc64Counters : public CounterDesign
 
     CounterWriteResult bumpCounter(Addr data_addr) override;
     std::uint64_t counterValue(Addr data_addr) const override;
+
+    void saveState(CheckpointWriter &w) const override;
+    void restoreState(CheckpointReader &r) override;
 
   private:
     struct BlockState
@@ -182,6 +201,9 @@ class MorphableCounters : public CounterDesign
      *  @p nonzero non-zero entries and maximum value @p max_minor be
      *  stored in the 448-bit payload? */
     static bool encodable(unsigned nonzero, std::uint32_t max_minor);
+
+    void saveState(CheckpointWriter &w) const override;
+    void restoreState(CheckpointReader &r) override;
 
   private:
     struct BlockState

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * In-memory component checkpoints for sampled simulation.
+ *
+ * A Checkpoint is a set of named byte sections, one per component.
+ * Components implement Checkpointable::saveState/restoreState against
+ * the CheckpointWriter/CheckpointReader byte streams; the system layer
+ * decides *when* a checkpoint is taken (only at quiesced phase
+ * boundaries — no in-flight events, MSHRs, or DRAM queue entries are
+ * ever captured) and *which* components participate.
+ *
+ * Determinism contract: saveState must serialize any unordered
+ * container in a sorted order, so that two identical runs produce
+ * byte-identical checkpoints and a restore rebuilds byte-identical
+ * downstream behaviour. Every stream read is bounds- and tag-checked;
+ * a malformed or mismatched section panics (it is always a programming
+ * error, never user input).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace emcc {
+
+/** Byte-stream sink for one component's checkpoint section. */
+class CheckpointWriter
+{
+  public:
+    /** Append one trivially-copyable value. */
+    template <typename T>
+    void
+    pod(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "checkpoint pod() needs a trivially copyable type");
+        const auto *p = reinterpret_cast<const std::uint8_t *>(&v);
+        buf_.insert(buf_.end(), p, p + sizeof(T));
+    }
+
+    void u64(std::uint64_t v) { pod(v); }
+    void u32(std::uint32_t v) { pod(v); }
+    void boolean(bool v) { pod(static_cast<std::uint8_t>(v ? 1 : 0)); }
+
+    /** Append a vector of trivially-copyable values (length-prefixed). */
+    template <typename T>
+    void
+    vec(const std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "checkpoint vec() needs a trivially copyable type");
+        u64(v.size());
+        if (!v.empty()) {
+            const auto *p = reinterpret_cast<const std::uint8_t *>(v.data());
+            buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+        }
+    }
+
+    /** Append a 32-bit structure tag; the reader must match it. */
+    void tag(std::uint32_t t) { u32(t); }
+
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Byte-stream source over a section written by CheckpointWriter. */
+class CheckpointReader
+{
+  public:
+    explicit CheckpointReader(const std::vector<std::uint8_t> &buf)
+        : buf_(buf)
+    {}
+
+    template <typename T>
+    T
+    pod()
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "checkpoint pod() needs a trivially copyable type");
+        panic_if(pos_ + sizeof(T) > buf_.size(),
+                 "checkpoint read past end of section");
+        T v;
+        std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return v;
+    }
+
+    std::uint64_t u64() { return pod<std::uint64_t>(); }
+    std::uint32_t u32() { return pod<std::uint32_t>(); }
+    bool boolean() { return pod<std::uint8_t>() != 0; }
+
+    template <typename T>
+    void
+    vec(std::vector<T> &out)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "checkpoint vec() needs a trivially copyable type");
+        const std::uint64_t n = u64();
+        panic_if(pos_ + n * sizeof(T) > buf_.size(),
+                 "checkpoint vector read past end of section");
+        out.resize(static_cast<std::size_t>(n));
+        if (n > 0)
+            std::memcpy(out.data(), buf_.data() + pos_,
+                        static_cast<std::size_t>(n) * sizeof(T));
+        pos_ += static_cast<std::size_t>(n) * sizeof(T);
+    }
+
+    /** Consume a structure tag; panic on mismatch (layout drift). */
+    void
+    expectTag(std::uint32_t t)
+    {
+        const std::uint32_t got = u32();
+        panic_if(got != t,
+                 "checkpoint tag mismatch: expected 0x%x, got 0x%x", t, got);
+    }
+
+    /** True once every byte of the section has been consumed. */
+    bool done() const { return pos_ == buf_.size(); }
+
+  private:
+    const std::vector<std::uint8_t> &buf_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * One full-system checkpoint: named sections, one per component. The
+ * section names are the components' stable instance names ("l2.0",
+ * "dram.ch1", "mapper", ...); restore looks them up by name so the
+ * save and restore orders need not match.
+ */
+struct Checkpoint
+{
+    std::map<std::string, std::vector<std::uint8_t>> sections;
+
+    CheckpointWriter
+    writer()
+    {
+        return CheckpointWriter{};
+    }
+
+    void
+    add(const std::string &name, CheckpointWriter &&w)
+    {
+        panic_if(sections.count(name) != 0,
+                 "checkpoint: duplicate section '%s'", name.c_str());
+        sections.emplace(name, w.take());
+    }
+
+    /** Reader over a section; panics if the section is missing. */
+    CheckpointReader
+    reader(const std::string &name) const
+    {
+        const auto it = sections.find(name);
+        panic_if(it == sections.end(),
+                 "checkpoint: missing section '%s'", name.c_str());
+        return CheckpointReader(it->second);
+    }
+
+    std::size_t
+    totalBytes() const
+    {
+        std::size_t n = 0;
+        for (const auto &[name, bytes] : sections)
+            n += bytes.size();
+        return n;
+    }
+};
+
+/**
+ * Interface for components that participate in checkpoints. The
+ * contract: restoreState(r) after saveState(w) over the same bytes
+ * must leave the component in a state from which all future behaviour
+ * is identical to never having saved at all — the cli.checkpoint_identity
+ * test enforces this byte-for-byte on the stats JSON.
+ */
+class Checkpointable
+{
+  public:
+    virtual ~Checkpointable() = default;
+    virtual void saveState(CheckpointWriter &w) const = 0;
+    virtual void restoreState(CheckpointReader &r) = 0;
+};
+
+} // namespace emcc

@@ -65,6 +65,7 @@ class Simulator
     Simulator() = default;
 
     EventQueue &events() { return queue_; }
+    const EventQueue &events() const { return queue_; }
     Tick now() const { return queue_.now(); }
 
     /**

@@ -137,7 +137,13 @@ runTiming(const SystemConfig &cfg, const WorkloadSet &workload,
     SecureSystem sys(sim, cfg, &workload);
     if (opts.series)
         sys.attachSeries(opts.series);
-    sys.run(scale.warmup_instructions, scale.measure_instructions);
+    if (opts.sample.enabled()) {
+        sys.runSampled(opts.sample);
+    } else {
+        if (opts.ffwd > 0)
+            sys.fastForward(opts.ffwd);
+        sys.run(scale.warmup_instructions, scale.measure_instructions);
+    }
     RunResults results = sys.results();
     results.host_seconds = timer.seconds();
     return results;

@@ -84,6 +84,17 @@ struct RunOptions
      *  a signal handler; the run winds down at the next event boundary
      *  and its results come back with partial == true. */
     const std::atomic<bool> *cancel = nullptr;
+
+    /** Functional fast-forward: replay this many memory references per
+     *  core architecturally before the detailed warmup (--ffwd).
+     *  Ignored when sampling is enabled (the SampleSpec carries its own
+     *  per-window fast-forward length). */
+    Count ffwd = 0;
+
+    /** Sampled-simulation parameters; spec.enabled() switches the run
+     *  from run(warmup, measure) to runSampled(spec), and the scale's
+     *  warmup/measure instruction counts are ignored. */
+    SampleSpec sample;
 };
 
 /** Run the timing system once with observability hooks attached.

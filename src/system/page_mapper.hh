@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "sim/checkpoint.hh"
 
 namespace emcc {
 
@@ -70,6 +72,49 @@ class PageMapper
     std::size_t mappedPages() const { return table_.size(); }
     std::uint64_t pageBytes() const { return page_bytes_; }
 
+    /** Serialize mappings (sorted by virtual page) + the RNG stream.
+     *  The used-frame set is derivable and rebuilt on restore; the TLB
+     *  is pure cache and is re-primed from the table afterwards. */
+    void
+    saveState(CheckpointWriter &w) const
+    {
+        w.tag(0x9a9e0001u);
+        for (const std::uint64_t s : rng_.state())
+            w.u64(s);
+        std::vector<std::uint64_t> vpages;
+        vpages.reserve(table_.size());
+        // emcc-lint: allow(unordered-iter) — keys are sorted below
+        for (const auto &[vpage, frame] : table_)
+            vpages.push_back(vpage);
+        std::sort(vpages.begin(), vpages.end());
+        w.u64(vpages.size());
+        for (const std::uint64_t vp : vpages) {
+            w.u64(vp);
+            w.u64(table_.at(vp));
+        }
+    }
+
+    void
+    restoreState(CheckpointReader &r)
+    {
+        r.expectTag(0x9a9e0001u);
+        std::array<std::uint64_t, 4> s{};
+        for (auto &word : s)
+            word = r.u64();
+        rng_.setState(s);
+        table_.clear();
+        used_.clear();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const std::uint64_t vp = r.u64();
+            const std::uint64_t frame = r.u64();
+            table_.emplace(vp, frame);
+            used_.insert(frame);
+        }
+        for (auto &t : tlb_tag_)
+            t = kNoPage;
+    }
+
   private:
     std::uint64_t
     allocFrame()
@@ -85,7 +130,10 @@ class PageMapper
               table_.size());
     }
 
-    static constexpr std::size_t kTlbEntries = 256;
+    // Sized so 10x-footprint runs (sampled mode's target) still fit:
+    // 4096 slots cover 8 GB of 2 MB pages before conflict misses send
+    // the fast path back to the hash table.
+    static constexpr std::size_t kTlbEntries = 4096;
     static constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
 
     std::uint64_t page_bytes_;

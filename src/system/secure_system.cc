@@ -1,7 +1,11 @@
 #include "system/secure_system.hh"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
 #include <memory>
+#include <string>
+#include <utility>
 
 #include "common/error.hh"
 #include "common/log.hh"
@@ -686,101 +690,127 @@ SecureSystem::llcDataAccess(unsigned core, Addr pa, Tick t_miss,
 
 // ------------------------------------------------------------------- MC
 
+std::uint32_t
+SecureSystem::allocJoin(FinishCb cb, unsigned core, Addr pa,
+                        std::int64_t resp_delta, obs::MissRecord *rec)
+{
+    // Slab-recycled records are reused in place: reset every field.
+    const std::uint32_t slot = join_pool_.alloc();
+    JoinState &j = join_pool_.at(slot);
+    j.data_done = kTickInvalid;
+    j.crypto_done = kTickInvalid;
+    j.crypto_needed = true;
+    j.crypto_at_l2 = false;
+    j.cb = std::move(cb);
+    j.core = core;
+    j.pa = pa;
+    j.resp_delta = resp_delta;
+    j.rec = rec;
+    return slot;
+}
+
+void
+SecureSystem::joinTryFinish(std::uint32_t slot)
+{
+    // Both the data-fetch and the crypto continuation call this once;
+    // only the later of the two passes the gate below, so the slot is
+    // released exactly once.
+    JoinState &join = join_pool_.at(slot);
+    if (join.data_done == kTickInvalid)
+        return;
+    if (join.crypto_needed && join.crypto_done == kTickInvalid)
+        return;
+    Tick leave_mc = join.data_done;
+    if (join.crypto_needed && !join.crypto_at_l2)
+        leave_mc = std::max(leave_mc, join.crypto_done);
+    const Tick data_fill = addDelta(leave_mc + cfg_.resp_mc_to_l2,
+                                    join.resp_delta);
+    Tick fill = data_fill;
+    if (join.crypto_at_l2)
+        fill = std::max(fill, join.crypto_done);
+    if (trace_noc_) {
+        tracer_->span(obs::TraceCat::Noc, noc_track_, "noc_resp",
+                      leave_mc, std::max(fill, leave_mc));
+    }
+    if (resmon_ != nullptr) {
+        resmon_->service(res_noc_resp_, leave_mc,
+                         std::max(data_fill, leave_mc));
+    }
+    if (join.rec) {
+        join.rec->stamp(obs::MissSegment::NocResp, leave_mc, data_fill);
+        // Crypto work is hidden while the data itself is still in
+        // flight: for L2-side crypto that is until the block lands
+        // at the L2; for MC-side crypto the data waits at the MC,
+        // so only time before data_done is hidden.
+        join.rec->hide_until = join.crypto_at_l2 ? data_fill
+                                                 : join.data_done;
+    }
+    // §IV-F inclusive mode: the response also allocates in the LLC
+    // on its way up, marked unverified if the L2 does the crypto.
+    if (cfg_.inclusive_llc) {
+        insertLlc(join.pa, LineClass::Data, false,
+                  leave_mc + cfg_.noc_llc_mc,
+                  /*unverified=*/join.crypto_at_l2);
+    }
+    // Release before completing: the callback may re-enter the miss
+    // path and recycle this very slot.
+    const unsigned core = join.core;
+    const Addr pa = join.pa;
+    const bool verify = fault_ != nullptr && join.crypto_needed;
+    FinishCb cb = std::move(join.cb);
+    join_pool_.release(slot);
+    // Every decrypted fill passes the modeled MAC check before the
+    // L2 may consume it; failures enter the recovery protocol.
+    if (verify)
+        finishWithVerify(core, pa, fill, std::move(cb));
+    else
+        cb(fill);
+}
+
 void
 SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
                          const CtrPath &ctr, Tick t_miss,
                          obs::MissRecord *rec, FinishCb fill_at_l2_cb)
 {
-    // Join state between the DRAM data fetch and the crypto path.
-    struct Join
-    {
-        Tick data_done = kTickInvalid;
-        Tick crypto_done = kTickInvalid;
-        bool crypto_needed = true;
-        bool crypto_at_l2 = false;
-        FinishCb cb;
-    };
-    auto join = std::make_shared<Join>();
-    join->cb = std::move(fill_at_l2_cb);
-
     std::int64_t resp_delta = nocDeltaTicks();
     if (fault_) {
         resp_delta += static_cast<std::int64_t>(
             fault_->responseDelayTicks(curTick()));
     }
-    auto try_finish = [this, join, resp_delta, core, pa, rec] {
-        if (join->data_done == kTickInvalid)
-            return;
-        if (join->crypto_needed && join->crypto_done == kTickInvalid)
-            return;
-        Tick leave_mc = join->data_done;
-        if (join->crypto_needed && !join->crypto_at_l2)
-            leave_mc = std::max(leave_mc, join->crypto_done);
-        const Tick data_fill = addDelta(leave_mc + cfg_.resp_mc_to_l2,
-                                        resp_delta);
-        Tick fill = data_fill;
-        if (join->crypto_at_l2)
-            fill = std::max(fill, join->crypto_done);
-        if (trace_noc_) {
-            tracer_->span(obs::TraceCat::Noc, noc_track_, "noc_resp",
-                          leave_mc, std::max(fill, leave_mc));
-        }
-        if (resmon_ != nullptr) {
-            resmon_->service(res_noc_resp_, leave_mc,
-                             std::max(data_fill, leave_mc));
-        }
-        if (rec) {
-            rec->stamp(obs::MissSegment::NocResp, leave_mc, data_fill);
-            // Crypto work is hidden while the data itself is still in
-            // flight: for L2-side crypto that is until the block lands
-            // at the L2; for MC-side crypto the data waits at the MC,
-            // so only time before data_done is hidden.
-            rec->hide_until = join->crypto_at_l2 ? data_fill
-                                                 : join->data_done;
-        }
-        // §IV-F inclusive mode: the response also allocates in the LLC
-        // on its way up, marked unverified if the L2 does the crypto.
-        if (cfg_.inclusive_llc) {
-            insertLlc(pa, LineClass::Data, false,
-                      leave_mc + cfg_.noc_llc_mc,
-                      /*unverified=*/join->crypto_at_l2);
-        }
-        // Every decrypted fill passes the modeled MAC check before the
-        // L2 may consume it; failures enter the recovery protocol.
-        if (fault_ && join->crypto_needed)
-            finishWithVerify(core, pa, fill, join->cb);
-        else
-            join->cb(fill);
-    };
+    // Pooled join between the DRAM data fetch and the crypto path; the
+    // continuations below carry only [this, slot].
+    const std::uint32_t slot =
+        allocJoin(std::move(fill_at_l2_cb), core, pa, resp_delta, rec);
+    JoinState &join = join_pool_.at(slot);
 
     // ---- crypto path
     switch (cfg_.scheme) {
       case Scheme::NonSecure:
-        join->crypto_needed = false;
+        join.crypto_needed = false;
         break;
       case Scheme::McOnly:
       case Scheme::LlcBaseline:
         mcFetchCounter(pa, t_mc, /*count_buckets=*/true,
-                       fin([this, join, try_finish, rec,
-                            t_mc](Tick ctr_tick) {
+                       fin([this, slot, rec, t_mc](Tick ctr_tick) {
+            JoinState &j = join_pool_.at(slot);
             const Tick start = ctr_tick + design_->decodeLatency() +
                                aesStall();
-            join->crypto_done = mc_aes_.submit(start, 5);
+            j.crypto_done = mc_aes_.submit(start, 5);
             if (trace_crypto_) {
                 tracer_->span(obs::TraceCat::Crypto, mc_aes_track_,
-                              "aes_decrypt", start, join->crypto_done);
+                              "aes_decrypt", start, j.crypto_done);
             }
             if (rec) {
                 rec->crypto_begin = t_mc;
-                rec->crypto_end = join->crypto_done;
+                rec->crypto_end = j.crypto_done;
                 rec->stamp(obs::MissSegment::CtrFetch, t_mc, ctr_tick);
                 const Tick mac_b = std::max(
-                    start, join->crypto_done - cfg_.aes_latency);
+                    start, j.crypto_done - cfg_.aes_latency);
                 rec->stamp(obs::MissSegment::Aes, start, mac_b);
                 rec->stamp(obs::MissSegment::MacVerify, mac_b,
-                           join->crypto_done);
+                           j.crypto_done);
             }
-            try_finish();
+            joinTryFinish(slot);
         }));
         break;
       case Scheme::Emcc:
@@ -788,32 +818,31 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
             ++stats_.decrypted_at_mc;
             // Merge with the counter fetch already in flight (or a hit).
             mcFetchCounter(pa, t_mc, /*count_buckets=*/false,
-                           fin([this, join, try_finish, rec,
-                                t_mc](Tick ctr_tick) {
+                           fin([this, slot, rec, t_mc](Tick ctr_tick) {
+                JoinState &j = join_pool_.at(slot);
                 const Tick start = ctr_tick + design_->decodeLatency() +
                                    aesStall();
-                join->crypto_done = mc_aes_.submit(start, 5);
+                j.crypto_done = mc_aes_.submit(start, 5);
                 if (trace_crypto_) {
                     tracer_->span(obs::TraceCat::Crypto, mc_aes_track_,
-                                  "aes_decrypt", start,
-                                  join->crypto_done);
+                                  "aes_decrypt", start, j.crypto_done);
                 }
                 if (rec) {
                     rec->crypto_begin = t_mc;
-                    rec->crypto_end = join->crypto_done;
+                    rec->crypto_end = j.crypto_done;
                     rec->stamp(obs::MissSegment::CtrFetch, t_mc,
                                ctr_tick);
                     const Tick mac_b = std::max(
-                        start, join->crypto_done - cfg_.aes_latency);
+                        start, j.crypto_done - cfg_.aes_latency);
                     rec->stamp(obs::MissSegment::Aes, start, mac_b);
                     rec->stamp(obs::MissSegment::MacVerify, mac_b,
-                               join->crypto_done);
+                               j.crypto_done);
                 }
-                try_finish();
+                joinTryFinish(slot);
             }));
         } else {
             ++stats_.decrypted_at_l2;
-            join->crypto_at_l2 = true;
+            join.crypto_at_l2 = true;
             panic_if(ctr.ctr_ready_at_l2 == kTickInvalid,
                      "EMCC L2 crypto without a counter");
             // The pool's *throughput* is consumed in submission order;
@@ -825,35 +854,36 @@ SecureSystem::mcDataRead(unsigned core, Addr pa, Tick t_mc,
             Tick gate = ctr.ctr_ready_at_l2 + aesStall();
             if (cfg_.llc_hit_wait)
                 gate = std::max(gate, t_miss + cfg_.llc_latency);
-            join->crypto_done = std::max(slot_done,
-                                         gate + cfg_.aes_latency);
+            join.crypto_done = std::max(slot_done,
+                                        gate + cfg_.aes_latency);
             if (trace_crypto_) {
                 tracer_->span(obs::TraceCat::Crypto,
                               l2_aes_tracks_[core], "aes_decrypt",
-                              t_miss, join->crypto_done);
+                              t_miss, join.crypto_done);
             }
             if (rec) {
                 rec->crypto_begin = ctr.ctr_start != kTickInvalid
                                         ? ctr.ctr_start
                                         : t_miss;
-                rec->crypto_end = join->crypto_done;
+                rec->crypto_end = join.crypto_done;
                 const Tick mac_b = std::max(
-                    gate, join->crypto_done - cfg_.aes_latency);
+                    gate, join.crypto_done - cfg_.aes_latency);
                 rec->stamp(obs::MissSegment::Aes, gate, mac_b);
                 rec->stamp(obs::MissSegment::MacVerify, mac_b,
-                           join->crypto_done);
+                           join.crypto_done);
             }
         }
         break;
     }
 
-    // ---- data path
+    // ---- data path (always asynchronous: dramRequest posts an event,
+    // so the join cannot complete before this function returns)
     dramRequest(pa, MemClass::Data, /*is_write=*/false, t_mc,
-                fin([this, pa, join, try_finish](Tick done) {
+                fin([this, pa, slot](Tick done) {
         if (fault_)
             fault_->onDataFetched(blockAlign(pa), done);
-        join->data_done = done;
-        try_finish();
+        join_pool_.at(slot).data_done = done;
+        joinTryFinish(slot);
     }), rec);
 }
 
@@ -910,35 +940,22 @@ SecureSystem::mcFetchCounter(Addr pa, Tick t, bool count_buckets,
 
     // Determine which tree levels must also be fetched (functional
     // walk); fetches issue in parallel, verification serializes on AES.
-    struct Walk
+    // The fan-in record is slab-pooled and the scratch node list is a
+    // reused member, so a full walk costs zero heap allocations in
+    // steady state. (Safe to share the scratch: nothing below re-enters
+    // mcFetchCounter synchronously — every continuation is event-posted.)
+    const std::uint32_t wslot = walk_pool_.alloc();
     {
-        unsigned outstanding = 0;
-        Tick max_arrival{};
-        unsigned fetched_levels = 0;
-    };
-    auto walk = std::make_shared<Walk>();
+        WalkState &walk = walk_pool_.at(wslot);
+        walk.outstanding = 1;   // the counter block itself
+        walk.max_arrival = Tick{};
+        walk.fetched_levels = 0;
+        walk.ctr = ctr;
+        walk.t2 = t2;
+    }
 
-    auto arrive = [this, walk, ctr, t2](Tick when) {
-        walk->max_arrival = std::max(walk->max_arrival, when);
-        panic_if(walk->outstanding == 0, "tree walk underflow");
-        if (--walk->outstanding > 0)
-            return;
-        // All blocks arrived; verify bottom-up: one AES per level plus
-        // one for the counter block itself.
-        const Tick verified = mc_aes_.submit(walk->max_arrival,
-                                             walk->fetched_levels + 1);
-        if (trace_secmem_) {
-            tracer_->span(obs::TraceCat::Secmem, secmem_track_,
-                          "ctr_walk", t2, verified);
-        }
-        insertMcCache(ctr, LineClass::Counter, false, verified);
-        if (cfg_.countersInLlc())
-            insertLlc(ctr, LineClass::Counter, false, verified);
-        mc_ctr_mshr_.complete(ctr, verified);
-    };
-
-    walk->outstanding = 1;   // the counter block itself
-    std::vector<std::pair<Addr, bool>> node_fetches; // (addr, from_llc)
+    auto &node_fetches = walk_scratch_;   // (addr, from_llc)
+    node_fetches.clear();
     for (unsigned lvl = 1; lvl < meta_.numLevels(); ++lvl) {
         const Addr node = meta_.treeNodeAddr(lvl, pa);
         if (mc_cache_.access(node, LineClass::TreeNode, false))
@@ -950,34 +967,65 @@ SecureSystem::mcFetchCounter(Addr pa, Tick t, bool count_buckets,
         }
         node_fetches.emplace_back(node, false);
     }
-    walk->outstanding += static_cast<unsigned>(node_fetches.size());
-    walk->fetched_levels = static_cast<unsigned>(node_fetches.size());
+    {
+        WalkState &walk = walk_pool_.at(wslot);
+        walk.outstanding += static_cast<unsigned>(node_fetches.size());
+        walk.fetched_levels = static_cast<unsigned>(node_fetches.size());
+    }
 
     dramRequest(ctr, MemClass::Counter, false, t2,
-                fin([this, ctr, arrive](Tick when) {
+                fin([this, ctr, wslot](Tick when) {
         if (fault_)
             fault_->onCounterFetched(ctr, when);
-        arrive(when);
+        walkArrive(wslot, when);
     }));
     for (const auto &[node, from_llc] : node_fetches) {
         if (from_llc) {
             const Tick ready = addDelta(t2 + cfg_.llc_ctr_access,
                                         nocDeltaTicks());
             insertMcCache(node, LineClass::TreeNode, false, ready);
-            sim().post(ready, [arrive, ready] { arrive(ready); },
-                           /*priority=*/0, EventTag::Secmem);
+            sim().post(ready,
+                           [this, wslot, ready] {
+                walkArrive(wslot, ready);
+            }, /*priority=*/0, EventTag::Secmem);
         } else {
             dramRequest(node, MemClass::Counter, false, t2,
-                        fin([this, node, arrive](Tick when) {
+                        fin([this, node, wslot](Tick when) {
                 if (fault_)
                     fault_->onTreeNodeFetched(node, when);
                 insertMcCache(node, LineClass::TreeNode, false, when);
                 if (cfg_.countersInLlc())
                     insertLlc(node, LineClass::TreeNode, false, when);
-                arrive(when);
+                walkArrive(wslot, when);
             }));
         }
     }
+}
+
+void
+SecureSystem::walkArrive(std::uint32_t slot, Tick when)
+{
+    WalkState &walk = walk_pool_.at(slot);
+    walk.max_arrival = std::max(walk.max_arrival, when);
+    panic_if(walk.outstanding == 0, "tree walk underflow");
+    if (--walk.outstanding > 0)
+        return;
+    // All blocks arrived; verify bottom-up: one AES per level plus
+    // one for the counter block itself.
+    const Tick verified = mc_aes_.submit(walk.max_arrival,
+                                         walk.fetched_levels + 1);
+    if (trace_secmem_) {
+        tracer_->span(obs::TraceCat::Secmem, secmem_track_,
+                      "ctr_walk", walk.t2, verified);
+    }
+    // Release before completing the MSHR: waiters may re-enter the
+    // counter-fetch path and recycle this slot.
+    const Addr ctr = walk.ctr;
+    walk_pool_.release(slot);
+    insertMcCache(ctr, LineClass::Counter, false, verified);
+    if (cfg_.countersInLlc())
+        insertLlc(ctr, LineClass::Counter, false, verified);
+    mc_ctr_mshr_.complete(ctr, verified);
 }
 
 void
@@ -1021,13 +1069,15 @@ SecureSystem::mcHandleWriteback(Addr pa, Tick t)
 void
 SecureSystem::scheduleOverflowJob(Addr region_base, Count blocks, Tick t)
 {
-    auto job = std::make_shared<OverflowJob>();
-    job->base = region_base;
-    job->total = blocks;
+    const std::uint32_t slot = overflow_pool_.alloc();
+    OverflowJob &job = overflow_pool_.at(slot);
+    job = OverflowJob{};
+    job.base = region_base;
+    job.total = blocks;
     if (overflow_active_.size() < 2)
-        overflow_active_.push_back(job);
+        overflow_active_.push_back(slot);
     else
-        overflow_queued_.push_back(job);
+        overflow_queued_.push_back(slot);
     pumpOverflowJobs(t);
 }
 
@@ -1035,17 +1085,20 @@ void
 SecureSystem::pumpOverflowJobs(Tick t)
 {
     // Keep at most 8 overflow requests in flight per job (paper §V).
-    for (const auto &job : overflow_active_) {
-        while (job->issued < job->total &&
-               job->issued - job->completed < 8) {
-            const Addr addr = job->base + job->issued * kBlockBytes;
-            ++job->issued;
+    for (const std::uint32_t slot : overflow_active_) {
+        OverflowJob &job = overflow_pool_.at(slot);
+        while (job.issued < job.total &&
+               job.issued - job.completed < 8) {
+            const Addr addr = job.base + job.issued * kBlockBytes;
+            ++job.issued;
             dramRequest(addr, MemClass::OverflowL0, false, t,
-                        fin([this, addr, job](Tick when) {
-                // Re-encrypted block is written back.
+                        fin([this, addr, slot](Tick when) {
+                // Re-encrypted block is written back. The slot is
+                // still live here: jobs only retire inside the pump
+                // below, after their last completion is counted.
                 dramRequest(addr, MemClass::OverflowL0, true, when,
                             nullptr);
-                ++job->completed;
+                ++overflow_pool_.at(slot).completed;
                 pumpOverflowJobs(when);
             }));
         }
@@ -1053,7 +1106,9 @@ SecureSystem::pumpOverflowJobs(Tick t)
     // Retire finished jobs and promote queued ones.
     for (auto it = overflow_active_.begin();
          it != overflow_active_.end();) {
-        if ((*it)->completed >= (*it)->total) {
+        const OverflowJob &job = overflow_pool_.at(*it);
+        if (job.completed >= job.total) {
+            overflow_pool_.release(*it);
             it = overflow_active_.erase(it);
             if (!overflow_queued_.empty()) {
                 overflow_active_.push_back(overflow_queued_.front());
@@ -1549,29 +1604,35 @@ SecureSystem::drainAndCheckLeaks()
 }
 
 void
+SecureSystem::runPhase(Count budget)
+{
+    // Polls the Simulator's cooperative stop flag between events: a
+    // campaign deadline or a SIGINT cancels the run at the next event
+    // boundary instead of wedging the host thread.
+    if (budget == 0)
+        return;
+    cores_running_ = cfg_.cores;
+    for (auto &core : cores_) {
+        core->start(budget, [this] {
+            panic_if(cores_running_ == 0, "core finish underflow");
+            --cores_running_;
+        });
+    }
+    while (cores_running_ > 0 && !sim().stopRequested() &&
+           sim().events().step()) {
+    }
+}
+
+void
 SecureSystem::run(Count warmup, Count measure)
 {
     if (watchdog_)
         watchdog_->start();
 
-    // Both phases poll the Simulator's cooperative stop flag between
-    // events: a campaign deadline or a SIGINT cancels the run at the
-    // next event boundary instead of wedging the host thread, and the
-    // results are marked partial.
-
     // ---- warmup phase
     if (warmup > 0) {
         const Tick warmup_start = curTick();
-        cores_running_ = cfg_.cores;
-        for (auto &core : cores_) {
-            core->start(warmup, [this] {
-                panic_if(cores_running_ == 0, "core finish underflow");
-                --cores_running_;
-            });
-        }
-        while (cores_running_ > 0 && !sim().stopRequested() &&
-               sim().events().step()) {
-        }
+        runPhase(warmup);
         if (trace_sim_) {
             tracer_->span(obs::TraceCat::Sim, sim_track_, "warmup",
                           warmup_start, curTick());
@@ -1587,16 +1648,7 @@ SecureSystem::run(Count warmup, Count measure)
             series_active_ = true;
             scheduleSeriesSample(measure_phase_start + series_->interval());
         }
-        cores_running_ = cfg_.cores;
-        for (auto &core : cores_) {
-            core->start(measure, [this] {
-                panic_if(cores_running_ == 0, "core finish underflow");
-                --cores_running_;
-            });
-        }
-        while (cores_running_ > 0 && !sim().stopRequested() &&
-               sim().events().step()) {
-        }
+        runPhase(measure);
         // The pending sample event (if any) drains as a no-op below.
         series_active_ = false;
         if (trace_sim_) {
@@ -1623,6 +1675,632 @@ SecureSystem::run(Count warmup, Count measure)
     if (resmon_)
         resmon_->endWindow(curTick());
     results_.metrics = metrics_.snapshot();
+}
+
+// ------------------------------------------------ functional fast-forward
+
+void
+SecureSystem::fastForward(Count refs_per_core)
+{
+    panic_if(cores_running_ != 0, "fastForward during a detailed phase");
+    panic_if(fault_ != nullptr,
+             "functional fast-forward cannot model fault campaigns");
+    const Tick now = curTick();
+    // Round-robin interleave across cores, like concurrent execution
+    // (same discipline as the functional characterizer).
+    std::vector<std::size_t> pos(cfg_.cores);
+    for (unsigned c = 0; c < cfg_.cores; ++c)
+        pos[c] = cores_[c]->tracePos();
+    for (Count i = 0; i < refs_per_core; ++i) {
+        for (unsigned c = 0; c < cfg_.cores; ++c) {
+            const auto &trace = workload_->per_core[c];
+            std::size_t p = pos[c];
+            if (p >= trace.size())
+                p %= trace.size();
+            const MemRef &ref = trace[p];
+            pos[c] = p + 1;
+            ffwdHandleRef(c, translate(c, ref.vaddr), ref.is_write, now);
+        }
+    }
+    for (unsigned c = 0; c < cfg_.cores; ++c)
+        cores_[c]->setTracePos(pos[c]);
+}
+
+void
+SecureSystem::ffwdHandleRef(unsigned core, Addr pa, bool is_write,
+                            Tick now)
+{
+    if (is_write)
+        ++stats_.data_writes;
+    else
+        ++stats_.data_reads;
+
+    if (l1_[core].access(pa, LineClass::Data, is_write)) {
+        ++stats_.l1_hits;
+        return;
+    }
+    if (cfg_.dynamic_emcc_off)
+        sampleIntensity(core);
+    if (l2_[core].access(pa, LineClass::Data, false)) {
+        ++stats_.l2_data_hits;
+        ffwdInsertL1(core, pa, is_write, now);
+        return;
+    }
+    ++stats_.l2_data_misses;
+
+    // ---- EMCC counter path: the speculative fetch resolves
+    // instantly, so the counter is resident in L2 before the data
+    // outcome is known — the same end state the timed path reaches.
+    const Addr ctr = meta_.counterBlockAddr(pa);
+    const bool emcc_active =
+        cfg_.scheme == Scheme::Emcc &&
+        !(cfg_.dynamic_emcc_off && !intensity_[core].emcc_on);
+    bool emcc_ctr_in_l2 = false;
+    if (emcc_active) {
+        if (l2_[core].access(ctr, LineClass::Counter, false)) {
+            ++stats_.emcc_l2_ctr_hits;
+            emcc_ctr_in_l2 = true;
+        } else {
+            ++stats_.emcc_l2_ctr_misses;
+            ++stats_.emcc_ctr_accesses_to_llc;
+            if (!llc_.access(ctr, LineClass::Counter, false)) {
+                ffwdMcCounterAccess(pa, /*count_buckets=*/true, now,
+                                    /*llc_known_miss=*/true);
+                ffwdInsertLlc(ctr, LineClass::Counter, false, now);
+            }
+            ffwdInsertCounterIntoL2(core, ctr, now);
+            emcc_ctr_in_l2 = true;
+        }
+    }
+
+    // ---- data in LLC
+    if (llc_.access(pa, LineClass::Data, false)) {
+        ++stats_.llc_data_hits;
+        if (cfg_.inclusive_llc && llc_.getFlag(pa)) {
+            // Inclusive-mode unverified copy: verified on promotion,
+            // either at the L2 (counter resident) or by the MC.
+            ++stats_.llc_unverified_hits;
+            llc_.setFlag(pa, false);
+            if (emcc_ctr_in_l2) {
+                ++stats_.decrypted_at_l2;
+            } else {
+                ++stats_.decrypted_at_mc;
+                ffwdMcCounterAccess(pa, /*count_buckets=*/false, now);
+            }
+        }
+        ffwdInsertL2Data(core, pa, now);
+        ffwdInsertL1(core, pa, is_write, now);
+        return;
+    }
+    ++stats_.llc_data_misses;
+    if (cfg_.dynamic_emcc_off)
+        ++intensity_[core].dram_fills;
+
+    if (cfg_.scheme == Scheme::Emcc) {
+        if (emcc_ctr_in_l2) {
+            // The counter in L2 is genuinely used for this LLC miss.
+            if (bool *used = l2_ctr_state_[core].find(ctr))
+                *used = true;
+            ++stats_.decrypted_at_l2;
+        } else {
+            // Dynamic EMCC-off phase: the MC fetches + verifies.
+            ++stats_.decrypted_at_mc;
+            ffwdMcCounterAccess(pa, /*count_buckets=*/false, now);
+        }
+    } else if (cfg_.scheme != Scheme::NonSecure) {
+        ffwdMcCounterAccess(pa, /*count_buckets=*/true, now);
+    }
+
+    dram_.functionalTouch(pa, now);
+    if (cfg_.inclusive_llc) {
+        // The response allocates in the LLC on its way up, unverified
+        // when the L2 does the crypto (mirrors joinTryFinish).
+        ffwdInsertLlc(pa, LineClass::Data, false, now,
+                      /*unverified=*/emcc_ctr_in_l2);
+    }
+    ffwdInsertL2Data(core, pa, now);
+    ffwdInsertL1(core, pa, is_write, now);
+}
+
+void
+SecureSystem::ffwdMcCounterAccess(Addr pa, bool count_buckets, Tick now,
+                                  bool llc_known_miss)
+{
+    const Addr ctr = meta_.counterBlockAddr(pa);
+    if (mc_cache_.access(ctr, LineClass::Counter, false)) {
+        if (count_buckets)
+            ++stats_.mc_ctr_hits;
+        return;
+    }
+    // The EMCC path has already probed the LLC for this counter block
+    // and missed; re-probing would only repeat the miss (and bill it to
+    // the array's stats twice).
+    const bool in_llc = !llc_known_miss && cfg_.countersInLlc() &&
+                        llc_.access(ctr, LineClass::Counter, false);
+    if (in_llc) {
+        if (count_buckets)
+            ++stats_.llc_ctr_hits;
+        if (cfg_.scheme == Scheme::LlcBaseline)
+            ++stats_.baseline_ctr_accesses_to_llc;
+    } else {
+        if (count_buckets)
+            ++stats_.llc_ctr_misses;
+        if (cfg_.scheme == Scheme::LlcBaseline && cfg_.countersInLlc())
+            ++stats_.baseline_ctr_accesses_to_llc;
+        // Fetch from DRAM and verify via the tree: walk up until a
+        // cached (already verified) ancestor, as mcFetchCounter does.
+        dram_.functionalTouch(ctr, now);
+        for (unsigned lvl = 1; lvl < meta_.numLevels(); ++lvl) {
+            const Addr node = meta_.treeNodeAddr(lvl, pa);
+            if (mc_cache_.access(node, LineClass::TreeNode, false))
+                break;
+            if (cfg_.countersInLlc() &&
+                llc_.access(node, LineClass::TreeNode, false)) {
+                ffwdInsertMcCache(node, LineClass::TreeNode, now);
+                break;
+            }
+            dram_.functionalTouch(node, now);
+            ffwdInsertMcCache(node, LineClass::TreeNode, now);
+            if (cfg_.countersInLlc())
+                ffwdInsertLlc(node, LineClass::TreeNode, false, now);
+        }
+        if (cfg_.countersInLlc())
+            ffwdInsertLlc(ctr, LineClass::Counter, false, now);
+    }
+    ffwdInsertMcCache(ctr, LineClass::Counter, now);
+}
+
+void
+SecureSystem::ffwdMcWriteback(Addr pa, Tick now)
+{
+    dram_.functionalTouch(pa, now);
+    if (cfg_.scheme == Scheme::NonSecure)
+        return;
+
+    // The MC needs the counter block resident (and dirty) to bump it.
+    const Addr ctr = meta_.counterBlockAddr(pa);
+    if (!mc_cache_.access(ctr, LineClass::Counter, true)) {
+        ffwdMcCounterAccess(pa, /*count_buckets=*/false, now);
+        mc_cache_.access(ctr, LineClass::Counter, true);   // mark dirty
+    }
+
+    const auto wr = design_->bumpCounter(pa);
+    if (wr.overflow)
+        ++stats_.overflows;
+
+    // Coherence: the updated counter invalidates stale cached copies.
+    if (cfg_.scheme == Scheme::Emcc) {
+        for (unsigned c = 0; c < cfg_.cores; ++c) {
+            if (l2_[c].invalidate(ctr))
+                noteL2CounterGone(c, ctr, /*invalidated=*/true);
+        }
+    }
+    if (cfg_.countersInLlc())
+        llc_.invalidate(ctr);
+}
+
+void
+SecureSystem::ffwdHandleL2Victim(unsigned core, const Victim &v, Tick now)
+{
+    if (v.cls == LineClass::Counter) {
+        noteL2CounterGone(core, v.addr, /*invalidated=*/false);
+        return;
+    }
+    // Non-inclusive hierarchy: L2 evictions fill the LLC as victims.
+    ffwdInsertLlc(v.addr, v.cls, v.dirty, now);
+}
+
+void
+SecureSystem::ffwdInsertCounterIntoL2(unsigned core, Addr ctr, Tick now)
+{
+    if (l2_ctr_state_[core].emplace(ctr, false))
+        ++stats_.l2_ctr_inserts;
+    auto victim = l2_[core].insert(ctr, LineClass::Counter, false);
+    if (victim)
+        ffwdHandleL2Victim(core, *victim, now);
+}
+
+void
+SecureSystem::ffwdInsertL1(unsigned core, Addr pa, bool dirty, Tick now)
+{
+    auto victim = l1_[core].insert(pa, LineClass::Data, dirty);
+    if (victim && victim->dirty) {
+        auto v2 = l2_[core].insert(victim->addr, LineClass::Data, true);
+        if (v2)
+            ffwdHandleL2Victim(core, *v2, now);
+    }
+}
+
+void
+SecureSystem::ffwdInsertL2Data(unsigned core, Addr pa, Tick now)
+{
+    auto victim = l2_[core].insert(pa, LineClass::Data, false);
+    if (victim)
+        ffwdHandleL2Victim(core, *victim, now);
+}
+
+void
+SecureSystem::ffwdInsertLlc(Addr pa, LineClass cls, bool dirty, Tick now,
+                            bool unverified)
+{
+    auto victim = llc_.insert(pa, cls, dirty);
+    // The unverified flag only exists in the inclusive hierarchy; the
+    // non-inclusive configs never read it, so skip the extra set probe.
+    if (cfg_.inclusive_llc)
+        llc_.setFlag(pa, unverified);
+    if (!victim)
+        return;
+    if (cfg_.inclusive_llc && victim->cls == LineClass::Data) {
+        for (unsigned c = 0; c < cfg_.cores; ++c) {
+            auto was_dirty = l2_[c].invalidate(victim->addr);
+            if (was_dirty) {
+                ++stats_.inclusive_back_invalidations;
+                if (*was_dirty)
+                    ffwdMcWriteback(victim->addr, now);
+            }
+            l1_[c].invalidate(victim->addr);
+        }
+    }
+    if (!victim->dirty)
+        return;
+    if (victim->cls == LineClass::Data)
+        ffwdMcWriteback(victim->addr, now);
+    else
+        dram_.functionalTouch(victim->addr, now);
+}
+
+void
+SecureSystem::ffwdInsertMcCache(Addr addr, LineClass cls, Tick now)
+{
+    auto victim = mc_cache_.insert(addr, cls, false);
+    if (victim && victim->dirty)
+        dram_.functionalTouch(victim->addr, now);
+}
+
+// ---------------------------------------------------- sampled simulation
+
+void
+SecureSystem::drainQuiesce()
+{
+    // Complete every in-flight fill so a window boundary sees fully
+    // quiesced state (empty event queue, MSHRs and DRAM queues). The
+    // cap bounds a pathological self-rescheduling leak.
+    constexpr Count kDrainCap = 20'000'000;
+    Count executed = 0;
+    while (executed < kDrainCap && !sim().stopRequested() &&
+           sim().events().step())
+        ++executed;
+    panic_if(executed >= kDrainCap,
+             "phase-boundary drain did not quiesce (%llu events)",
+             static_cast<unsigned long long>(executed));
+}
+
+void
+SecureSystem::runSampled(const SampleSpec &spec)
+{
+    panic_if(!spec.enabled(), "runSampled needs at least one window");
+    panic_if(fault_ != nullptr,
+             "sampled simulation cannot run fault campaigns");
+    panic_if(series_ != nullptr,
+             "sampled simulation cannot drive a stats series");
+    // The watchdog stays disarmed: phases are short, and its perpetual
+    // self-rescheduling check event would defeat the boundary drains.
+
+    std::vector<SampleWindow> wins;
+    wins.reserve(spec.windows);
+    bool cancelled = false;
+
+    for (unsigned w = 0; w < spec.windows; ++w) {
+        if (sim().stopRequested()) {
+            cancelled = true;
+            break;
+        }
+        const Count ff = (w == 0 && spec.ffwd_first > 0) ? spec.ffwd_first
+                                                         : spec.ffwd_refs;
+        if (ff > 0)
+            fastForward(ff);
+
+        // Detailed warm-up slice: re-establishes the event-level state
+        // (MSHR overlap, DRAM queue pressure, AES pipelining) the
+        // functional phase cannot carry. Its stats are discarded by the
+        // resetStats below.
+        runPhase(spec.warm);
+        drainQuiesce();
+        if (sim().stopRequested()) {
+            cancelled = true;
+            break;
+        }
+        if (spec.checkpoint_roundtrip)
+            checkpointRoundtrip();
+
+        // ---- measured window
+        resetStats();
+        runPhase(spec.measure);
+        drainQuiesce();
+        if (sim().stopRequested()) {
+            cancelled = true;
+            break;
+        }
+
+        SampleWindow sw;
+        for (const auto &core : cores_)
+            sw.ipc += core->stats().ipc(cfg_.core.cyclePs());
+        sw.l2_miss_ns =
+            safeRatio(stats_.l2_miss_latency_sum_ns,
+                      static_cast<double>(stats_.l2_miss_latency_count));
+        const double ctr_hits = static_cast<double>(
+            stats_.mc_ctr_hits + stats_.llc_ctr_hits +
+            stats_.emcc_l2_ctr_hits);
+        sw.ctr_hit_rate = safeRatio(
+            ctr_hits,
+            ctr_hits + static_cast<double>(stats_.llc_ctr_misses));
+        sw.duration_ns = ticksToNs(curTick() - measure_start_);
+        wins.push_back(sw);
+    }
+
+    // results_.sys/dram reflect the final completed window; the
+    // run-level aggregates become the sampled estimators.
+    collectResults(static_cast<Count>(wins.size()) * spec.measure *
+                   cfg_.cores);
+    results_.partial = cancelled;
+    double ipc_sum = 0.0;
+    double dur_sum = 0.0;
+    for (const SampleWindow &sw : wins) {
+        ipc_sum += sw.ipc;
+        dur_sum += sw.duration_ns;
+    }
+    if (!wins.empty())
+        results_.total_ipc = ipc_sum / static_cast<double>(wins.size());
+    results_.duration_ns = dur_sum;
+
+    if (resmon_)
+        resmon_->endWindow(curTick());
+    results_.metrics = metrics_.snapshot();
+    insertSampleMetrics(results_.metrics, wins);
+}
+
+void
+SecureSystem::insertSampleMetrics(
+    obs::MetricsSnapshot &snap, const std::vector<SampleWindow> &wins) const
+{
+    // Post-hoc insertion keeps sample.* out of the registry, so runs
+    // without --sample dump byte-identical snapshots to older builds.
+    const std::size_t k = wins.size();
+    snap.counters["sample.windows"] = static_cast<Count>(k);
+    auto fold = [&snap, k](const std::string &name, auto get) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < k; ++i) {
+            const double v = get(i);
+            snap.formulas[name + ".win" + std::to_string(i)] = v;
+            sum += v;
+        }
+        const double mean = k > 0 ? sum / static_cast<double>(k) : 0.0;
+        double var = 0.0;
+        for (std::size_t i = 0; i < k; ++i) {
+            const double d = get(i) - mean;
+            var += d * d;
+        }
+        // Sample variance (n-1); one window means no spread estimate.
+        const double sd =
+            k > 1 ? std::sqrt(var / static_cast<double>(k - 1)) : 0.0;
+        const double half = k > 0 ? sd / std::sqrt(static_cast<double>(k))
+                                  : 0.0;
+        snap.formulas[name + ".mean"] = mean;
+        snap.formulas[name + ".sd"] = sd;
+        // Normal-approximation CI half-widths (SMARTS-style reporting).
+        snap.formulas[name + ".ci50"] = 0.6745 * half;
+        snap.formulas[name + ".ci95"] = 1.9600 * half;
+        snap.formulas[name + ".ci99"] = 2.5758 * half;
+    };
+    fold("sample.ipc", [&wins](std::size_t i) { return wins[i].ipc; });
+    fold("sample.l2_miss_ns",
+         [&wins](std::size_t i) { return wins[i].l2_miss_ns; });
+    fold("sample.ctr_hit_rate",
+         [&wins](std::size_t i) { return wins[i].ctr_hit_rate; });
+    fold("sample.duration_ns",
+         [&wins](std::size_t i) { return wins[i].duration_ns; });
+}
+
+// ----------------------------------------------------------- checkpoints
+
+Checkpoint
+SecureSystem::saveCheckpoint() const
+{
+    // Only quiesced boundaries are checkpointable: anything in flight
+    // would be lost (events and pooled continuations cannot be
+    // serialized), so saving then is a programming error.
+    panic_if(cores_running_ != 0 || sim().events().pending() != 0,
+             "checkpoint with events in flight");
+    panic_if(mc_ctr_mshr_.inUse() != 0,
+             "checkpoint with MC counter MSHR entries in use");
+    panic_if(join_pool_.inUse() != 0 || walk_pool_.inUse() != 0,
+             "checkpoint with live join/walk records");
+    panic_if(!overflow_active_.empty() || !overflow_queued_.empty(),
+             "checkpoint with overflow jobs in flight");
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        panic_if(l1_mshr_[c]->inUse() != 0 || l2_mshr_[c]->inUse() != 0,
+                 "checkpoint with core %u MSHR entries in use", c);
+        panic_if(!pending_store_fill_[c].empty(),
+                 "checkpoint with pending store fills on core %u", c);
+        panic_if(!l2_ctr_inflight_[c].empty(),
+                 "checkpoint with in-flight counter fetches on core %u",
+                 c);
+    }
+
+    Checkpoint ck;
+    {
+        CheckpointWriter w;
+        w.tag(0x5e5e0001u);
+        for (const std::uint64_t s : rng_.state())
+            w.u64(s);
+        w.pod(stats_);
+        w.pod(measure_start_);
+        w.u64(intensity_.size());
+        for (const IntensityState &st : intensity_)
+            w.pod(st);
+        w.u64(l2_ctr_state_.size());
+        for (const auto &state : l2_ctr_state_) {
+            std::vector<std::pair<Addr, bool>> entries;
+            entries.reserve(state.size());
+            state.forEach([&entries](Addr a, bool used) {
+                entries.emplace_back(a, used);
+            });
+            std::sort(entries.begin(), entries.end());
+            w.u64(entries.size());
+            for (const auto &[a, used] : entries) {
+                w.pod(a);
+                w.boolean(used);
+            }
+        }
+        ck.add("sys", std::move(w));
+    }
+    {
+        CheckpointWriter w;
+        mapper_.saveState(w);
+        ck.add("mapper", std::move(w));
+    }
+    {
+        CheckpointWriter w;
+        design_->saveState(w);
+        ck.add("design", std::move(w));
+    }
+    {
+        CheckpointWriter w;
+        dram_.saveState(w);
+        ck.add("dram", std::move(w));
+    }
+    {
+        CheckpointWriter w;
+        mc_aes_.saveState(w);
+        ck.add("aes.mc", std::move(w));
+    }
+    {
+        CheckpointWriter w;
+        llc_.saveState(w);
+        ck.add("llc", std::move(w));
+    }
+    {
+        CheckpointWriter w;
+        mc_cache_.saveState(w);
+        ck.add("mc_ctr", std::move(w));
+    }
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        const std::string n = std::to_string(c);
+        CheckpointWriter wc;
+        cores_[c]->saveState(wc);
+        ck.add("core." + n, std::move(wc));
+        CheckpointWriter w1;
+        l1_[c].saveState(w1);
+        ck.add("l1." + n, std::move(w1));
+        CheckpointWriter w2;
+        l2_[c].saveState(w2);
+        ck.add("l2." + n, std::move(w2));
+        CheckpointWriter wa;
+        l2_aes_[c]->saveState(wa);
+        ck.add("aes.l2." + n, std::move(wa));
+    }
+    return ck;
+}
+
+void
+SecureSystem::restoreCheckpoint(const Checkpoint &ck)
+{
+    {
+        CheckpointReader r = ck.reader("sys");
+        r.expectTag(0x5e5e0001u);
+        std::array<std::uint64_t, 4> s{};
+        for (auto &word : s)
+            word = r.u64();
+        rng_.setState(s);
+        stats_ = r.pod<SystemStats>();
+        measure_start_ = r.pod<Tick>();
+        const std::uint64_t ni = r.u64();
+        panic_if(ni != intensity_.size(), "checkpoint core-count drift");
+        for (auto &st : intensity_)
+            st = r.pod<IntensityState>();
+        const std::uint64_t nc = r.u64();
+        panic_if(nc != l2_ctr_state_.size(),
+                 "checkpoint core-count drift");
+        for (auto &state : l2_ctr_state_) {
+            state.clear();
+            const std::uint64_t n = r.u64();
+            for (std::uint64_t i = 0; i < n; ++i) {
+                const Addr a = r.pod<Addr>();
+                state.emplace(a, r.boolean());
+            }
+        }
+        panic_if(!r.done(), "trailing bytes in sys checkpoint section");
+    }
+    {
+        CheckpointReader r = ck.reader("mapper");
+        mapper_.restoreState(r);
+    }
+    {
+        CheckpointReader r = ck.reader("design");
+        design_->restoreState(r);
+    }
+    {
+        CheckpointReader r = ck.reader("dram");
+        dram_.restoreState(r);
+    }
+    {
+        CheckpointReader r = ck.reader("aes.mc");
+        mc_aes_.restoreState(r);
+    }
+    {
+        CheckpointReader r = ck.reader("llc");
+        llc_.restoreState(r);
+    }
+    {
+        CheckpointReader r = ck.reader("mc_ctr");
+        mc_cache_.restoreState(r);
+    }
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        const std::string n = std::to_string(c);
+        CheckpointReader rc = ck.reader("core." + n);
+        cores_[c]->restoreState(rc);
+        CheckpointReader r1 = ck.reader("l1." + n);
+        l1_[c].restoreState(r1);
+        CheckpointReader r2 = ck.reader("l2." + n);
+        l2_[c].restoreState(r2);
+        CheckpointReader ra = ck.reader("aes.l2." + n);
+        l2_aes_[c]->restoreState(ra);
+    }
+}
+
+void
+SecureSystem::scrambleForRoundtrip()
+{
+    // Clobber precisely the state checkpoints cover — and only that
+    // state — so a restore omission shows up as a stats divergence in
+    // the cli.checkpoint_identity byte-compare. (Window-scoped stats
+    // like AES/ledger counters are reset right after the roundtrip, so
+    // they neither need scrambling nor restoring.)
+    for (auto &c : l1_)
+        c.flushAll();
+    for (auto &c : l2_)
+        c.flushAll();
+    llc_.flushAll();
+    mc_cache_.flushAll();
+    rng_.setState({0xdeadbeefull, 0xfeedfaceull, 0x12345678ull, 0x1ull});
+    design_->bumpCounter(Addr{0});
+    mapper_.translate(Addr{1ull << 39});   // mutates table + mapper RNG
+    dram_.functionalTouch(Addr{0}, curTick());
+    stats_ = SystemStats{};
+    for (auto &st : intensity_)
+        st = IntensityState{};
+    for (auto &state : l2_ctr_state_)
+        state.clear();
+    for (auto &core : cores_)
+        core->setTracePos(0);
+}
+
+void
+SecureSystem::checkpointRoundtrip()
+{
+    const Checkpoint ck = saveCheckpoint();
+    scrambleForRoundtrip();
+    restoreCheckpoint(ck);
 }
 
 } // namespace emcc

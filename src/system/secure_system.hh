@@ -39,7 +39,9 @@
 #include "obs/trace.hh"
 #include "secmem/counter_design.hh"
 #include "secmem/metadata_map.hh"
+#include "sim/checkpoint.hh"
 #include "sim/finish_pool.hh"
+#include "sim/slab_pool.hh"
 #include "sim/watchdog.hh"
 #include "system/config.hh"
 #include "system/page_mapper.hh"
@@ -119,6 +121,44 @@ struct LeakReport
     std::string render() const;
 };
 
+/**
+ * SMARTS-style sampled-simulation parameters: alternate functional
+ * fast-forward with short detailed windows. Each of the @p windows
+ * iterations fast-forwards @p ffwd_refs memory references per core
+ * architecturally (caches, counters, tree and DRAM row state updated;
+ * no event-level timing), runs @p warm detailed instructions per core
+ * to re-warm the timing state, then measures @p measure instructions
+ * with freshly reset stats. Per-window estimates aggregate into
+ * sample.* metrics with normal-approximation confidence intervals.
+ */
+struct SampleSpec
+{
+    Count ffwd_refs = 0;    ///< functional refs/core before each window
+    /** Functional refs/core before the *first* window only (0 = use
+     *  ffwd_refs). Large footprints need one long initial warm to bring
+     *  the LLC and counter metadata to steady state; the inter-window
+     *  fast-forwards then only have to keep that state fresh, which is
+     *  what makes sampling profitable on 10x-scale runs. */
+    Count ffwd_first = 0;
+    unsigned windows = 0;   ///< number of detailed measurement windows
+    Count warm = 0;         ///< detailed warm-up instructions per core
+    Count measure = 0;      ///< measured instructions per core
+    /** Exercise save->scramble->restore at every window boundary; the
+     *  stats JSON must stay byte-identical to a run without it. */
+    bool checkpoint_roundtrip = false;
+
+    bool enabled() const { return windows > 0; }
+};
+
+/** Per-window scalar estimates a sampled run aggregates. */
+struct SampleWindow
+{
+    double ipc = 0.0;           ///< sum of per-core IPC
+    double l2_miss_ns = 0.0;    ///< mean L2-miss latency
+    double ctr_hit_rate = 0.0;  ///< counter hits / counter lookups
+    double duration_ns = 0.0;   ///< simulated measured time
+};
+
 /** Aggregated results of a measured window. */
 struct RunResults
 {
@@ -157,6 +197,48 @@ class SecureSystem : public Component, public MemorySystemPort
     /** Warm caches/counters for @p warmup committed instructions per
      *  core, reset stats, then measure for @p measure instructions. */
     void run(Count warmup, Count measure);
+
+    /**
+     * Functionally fast-forward @p refs_per_core memory references per
+     * core, round-robin across cores: the full architectural path
+     * (L1/L2/LLC lookups, EMCC counter placement, counter values,
+     * integrity-tree and MC-cache state, DRAM row state) advances by
+     * direct calls with no events, NoC hops or AES timing. Trace
+     * cursors move so a later detailed phase resumes where the
+     * fast-forward left off. Must not race a running detailed phase.
+     */
+    void fastForward(Count refs_per_core);
+
+    /** Run SMARTS-style sampled simulation per @p spec; results() then
+     *  carries the final window's registry snapshot plus aggregated
+     *  sample.* metrics. */
+    void runSampled(const SampleSpec &spec);
+
+    /** One detailed phase of @p instr committed instructions per core,
+     *  drained to a quiesced boundary — no stats reset, no registry
+     *  snapshot. This is the sampling driver's building block, public
+     *  so the allocation-contract tests can measure the steady-state
+     *  miss path without the (allocating) end-of-run bookkeeping. */
+    void runPhaseQuiesced(Count instr)
+    {
+        runPhase(instr);
+        drainQuiesce();
+    }
+
+    /** Slab capacities of the pooled per-LLC-miss join/walk state
+     *  (tests assert these stop growing once warm). */
+    std::size_t joinPoolSlots() const { return join_pool_.slots(); }
+    std::size_t walkPoolSlots() const { return walk_pool_.slots(); }
+
+    /**
+     * Serialize all architectural + persistent timing state. Only legal
+     * at a quiesced phase boundary (no events, MSHRs, in-flight counter
+     * fetches or queued DRAM requests); save methods panic otherwise.
+     */
+    Checkpoint saveCheckpoint() const;
+
+    /** Restore a saveCheckpoint() image taken at the same topology. */
+    void restoreCheckpoint(const Checkpoint &ck);
 
     const RunResults &results() const { return results_; }
     const SystemStats &stats() const { return stats_; }
@@ -281,6 +363,72 @@ class SecureSystem : public Component, public MemorySystemPort
                    bool unverified = false);
     void insertMcCache(Addr addr, LineClass cls, bool dirty, Tick t);
 
+    // ---- pooled per-LLC-miss join/walk state (slab-recycled; the
+    // closures on the hot path capture only [this, slot])
+
+    /** Join between the DRAM data fetch and the crypto path of one
+     *  MC data read. Released after the fill callback fires. */
+    struct JoinState
+    {
+        Tick data_done = kTickInvalid;
+        Tick crypto_done = kTickInvalid;
+        bool crypto_needed = true;
+        bool crypto_at_l2 = false;
+        FinishCb cb;
+        unsigned core = 0;
+        Addr pa{};
+        std::int64_t resp_delta = 0;
+        obs::MissRecord *rec = nullptr;
+    };
+
+    /** Fan-in of one MC counter fetch's tree-walk block arrivals.
+     *  Released when the last outstanding block arrives. */
+    struct WalkState
+    {
+        unsigned outstanding = 0;
+        Tick max_arrival{};
+        unsigned fetched_levels = 0;
+        Addr ctr{};
+        Tick t2{};
+    };
+
+    std::uint32_t allocJoin(FinishCb cb, unsigned core, Addr pa,
+                            std::int64_t resp_delta,
+                            obs::MissRecord *rec);
+    /** Complete the join if both paths arrived; releases the slot. */
+    void joinTryFinish(std::uint32_t slot);
+    /** One tree-walk block arrived; fires verification + releases the
+     *  slot when it was the last. */
+    void walkArrive(std::uint32_t slot, Tick when);
+
+    // ---- functional fast-forward (architectural state only; mirrors
+    // the detailed path's cache/counter decisions without timing)
+    void ffwdHandleRef(unsigned core, Addr pa, bool is_write, Tick now);
+    void ffwdMcCounterAccess(Addr pa, bool count_buckets, Tick now,
+                             bool llc_known_miss = false);
+    void ffwdMcWriteback(Addr pa, Tick now);
+    void ffwdHandleL2Victim(unsigned core, const Victim &v, Tick now);
+    void ffwdInsertCounterIntoL2(unsigned core, Addr ctr, Tick now);
+    void ffwdInsertL1(unsigned core, Addr pa, bool dirty, Tick now);
+    void ffwdInsertL2Data(unsigned core, Addr pa, Tick now);
+    void ffwdInsertLlc(Addr pa, LineClass cls, bool dirty, Tick now,
+                       bool unverified = false);
+    void ffwdInsertMcCache(Addr addr, LineClass cls, Tick now);
+
+    // ---- sampled-simulation machinery
+    /** Start every core for @p budget instructions and step events
+     *  until all finish (or a cooperative stop). */
+    void runPhase(Count budget);
+    /** Step the event queue until empty — a quiesced phase boundary. */
+    void drainQuiesce();
+    /** save -> scramble -> restore; state must be bit-identical after. */
+    void checkpointRoundtrip();
+    /** Clobber everything a checkpoint covers (restore must fix it). */
+    void scrambleForRoundtrip();
+    /** Fold per-window estimates into sample.* snapshot entries. */
+    void insertSampleMetrics(obs::MetricsSnapshot &snap,
+                             const std::vector<SampleWindow> &wins) const;
+
     void resetStats();
     void collectResults(Count instructions);
 
@@ -347,8 +495,20 @@ class SecureSystem : public Component, public MemorySystemPort
         Count completed = 0;
         Count total = 0;
     };
-    std::vector<std::shared_ptr<OverflowJob>> overflow_active_;
-    std::vector<std::shared_ptr<OverflowJob>> overflow_queued_;
+    /// slot handles into overflow_pool_ (jobs recur throughout steady
+    /// state with morphable counters, so they are slab-recycled like
+    /// the join/walk records)
+    std::vector<std::uint32_t> overflow_active_;
+    std::vector<std::uint32_t> overflow_queued_;
+
+    /// slab-recycled per-LLC-miss join/walk/overflow records (zero
+    /// allocation per miss in steady state; see test_memory_pools)
+    SlabPool<JoinState> join_pool_;
+    SlabPool<WalkState> walk_pool_;
+    SlabPool<OverflowJob> overflow_pool_;
+    /// reused tree-walk node list (mcFetchCounter never re-enters
+    /// synchronously, so one scratch buffer suffices)
+    std::vector<std::pair<Addr, bool>> walk_scratch_;
 
     SystemStats stats_;
     RunResults results_;

@@ -84,6 +84,51 @@ def check_schema(doc):
         if h["count"] > 0 and not p["p50"] <= p["p95"] <= p["p99"]:
             fail(f"histogram {name}: percentiles not monotone: {p}")
     check_resmon(doc)
+    check_sampled(doc)
+
+
+SAMPLE_ESTIMATES = ("sample.ipc", "sample.l2_miss_ns",
+                    "sample.ctr_hit_rate", "sample.duration_ns")
+
+
+def check_sampled(doc):
+    """Invariants for the sample.* namespace emitted by --sample runs:
+    per-window values, a (k-1)-variance spread estimate, and
+    normal-approximation CI half-widths that widen with confidence.
+    A run without --sample must emit no sample.* keys at all."""
+    formulas = doc["formulas"]
+    windows = doc["counters"].get("sample.windows")
+    if windows is None:
+        leaked = [k for k in formulas if k.startswith("sample.")]
+        if leaked:
+            fail(f"sample.* formulas without sample.windows: {leaked}")
+        return
+    if windows < 1:
+        fail(f"sample.windows = {windows} (must be >= 1)")
+    for base in SAMPLE_ESTIMATES:
+        for suffix in ("mean", "sd", "ci50", "ci95", "ci99"):
+            if f"{base}.{suffix}" not in formulas:
+                fail(f"missing {base}.{suffix}")
+        wins = [v for k, v in formulas.items()
+                if k.startswith(f"{base}.win")]
+        if len(wins) != windows:
+            fail(f"{base}: {len(wins)} .winN values for "
+                 f"{windows} windows")
+        mean = formulas[f"{base}.mean"]
+        if wins and abs(mean - sum(wins) / len(wins)) > \
+                1e-9 * max(1.0, abs(mean)):
+            fail(f"{base}.mean = {mean} is not the window average")
+        sd = formulas[f"{base}.sd"]
+        if sd < 0.0:
+            fail(f"{base}.sd = {sd} is negative")
+        ci = [formulas[f"{base}.ci{c}"] for c in (50, 95, 99)]
+        if not 0.0 <= ci[0] <= ci[1] <= ci[2]:
+            fail(f"{base}: CI half-widths not ordered: {ci}")
+    stray = [k for k in formulas
+             if k.startswith("sample.") and
+             not any(k.startswith(b + ".") for b in SAMPLE_ESTIMATES)]
+    if stray:
+        fail(f"unknown sample.* keys: {stray}")
 
 
 def check_resmon(doc):

@@ -33,6 +33,14 @@
 #   bottleneck         default run prints the bottleneck report and
 #                      emits coherent res.*/cp.* stats (bound_by
 #                      fractions sum to 1, what-if projections present)
+#   sampled_golden     the seeded --sample stats dump matches the
+#                      checked-in golden and validates the sample.*
+#                      schema (regen: tools/regen_golden.sh)
+#   checkpoint_identity
+#                      --checkpoint-roundtrip (save -> scramble ->
+#                      restore -> continue at every window boundary)
+#                      emits a --stats-json byte-identical to the same
+#                      run without it
 set -u
 
 SIM="${1:?usage: cli_smoke.sh <emcc_sim> <case>}"
@@ -278,6 +286,46 @@ assert utils, "no res.*.util metrics"
 print(f"bottleneck: {len(bound)} bound_by, {len(whatif)} what-ifs, "
       f"{len(utils)} resources")
 EOF
+    ;;
+  sampled_golden)
+    expect_exit 0 "$SIM" "${SMALL[@]}" --scheme emcc --seed 42 \
+        --sample 4 --sample-ffwd-first 8000 --ffwd 2000 \
+        --sample-warm 1000 --sample-measure 3000 \
+        --stats-json stats.json || exit 1
+    GOLDEN="$SCRIPT_DIR/golden/stats_bfs_emcc_sampled.json"
+    if ! cmp stats.json "$GOLDEN"; then
+        echo "FAIL: sampled stats diverged from $GOLDEN" >&2
+        if command -v python3 > /dev/null; then
+            python3 "$SCRIPT_DIR/check_stats.py" stats.json \
+                --golden "$GOLDEN" >&2
+        fi
+        echo "If the change is intentional, regenerate with" >&2
+        echo "  tools/regen_golden.sh <path-to-emcc_sim>" >&2
+        exit 1
+    fi
+    # check_stats.py validates the sample.* schema: per-window values,
+    # non-negative sd, ordered CI half-widths, mean = window average.
+    if command -v python3 > /dev/null; then
+        python3 "$SCRIPT_DIR/check_stats.py" stats.json || exit 1
+    fi
+    ;;
+  checkpoint_identity)
+    SAMPLED=(--sample 4 --sample-ffwd-first 8000 --ffwd 2000
+             --sample-warm 1000 --sample-measure 3000)
+    expect_exit 0 "$SIM" "${SMALL[@]}" --scheme emcc --seed 42 \
+        "${SAMPLED[@]}" --stats-json plain.json || exit 1
+    expect_exit 0 "$SIM" "${SMALL[@]}" --scheme emcc --seed 42 \
+        "${SAMPLED[@]}" --checkpoint-roundtrip \
+        --stats-json roundtrip.json || exit 1
+    if ! cmp plain.json roundtrip.json; then
+        echo "FAIL: checkpoint save->restore->continue changed the" \
+             "stats dump (determinism broken)" >&2
+        if command -v python3 > /dev/null; then
+            python3 "$SCRIPT_DIR/check_stats.py" roundtrip.json \
+                --golden plain.json >&2
+        fi
+        exit 1
+    fi
     ;;
   *)
     echo "unknown case: $CASE" >&2

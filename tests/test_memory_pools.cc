@@ -25,6 +25,7 @@
 #include "sim/finish_pool.hh"
 #include "sim/simulator.hh"
 #include "sim/slab_pool.hh"
+#include "system/secure_system.hh"
 
 // Counting allocator, same arrangement as test_event_queue.cc: every
 // scalar heap allocation in this binary bumps the counter so the
@@ -257,6 +258,58 @@ TEST(MemoryPools, MshrSteadyStateDoesNotAllocate)
     EXPECT_EQ(m.entryPoolSlots(), entry_slots);
     EXPECT_EQ(m.waiterPoolSlots(), waiter_slots);
     EXPECT_EQ(fills, 2u * 16u * 18u);
+}
+
+// -------------------------------------- full-system LLC-miss path
+
+TEST(MemoryPools, LlcMissJoinWalkSteadyStateDoesNotAllocate)
+{
+    WorkloadParams wp;
+    wp.cores = 2;
+    wp.trace_len = 60'000;
+    wp.graph_vertices = 1 << 15;
+    wp.graph_degree = 8;
+    wp.footprint_scale = 1.0 / 32.0;
+    const WorkloadSet set = buildWorkload("BFS", wp);
+
+    SystemConfig cfg;
+    cfg.cores = 2;
+    cfg.l1_bytes = 16_KiB;
+    cfg.l2_bytes = 64_KiB;
+    cfg.llc_bytes = 256_KiB;
+    cfg.mc_ctr_cache_bytes = 8_KiB;
+    cfg.l2_ctr_cap_bytes = 4_KiB;
+    cfg.data_region_bytes = 1_GiB;
+    cfg.scheme = Scheme::Emcc;
+
+    Simulator sim;
+    SecureSystem sys(sim, cfg, &set);
+
+    // Warm in two steps: the functional fast-forward touches every
+    // trace reference, so all address-keyed maps (counter values,
+    // metadata tree, page table) reach their final size; the detailed
+    // phase then warms the event/MSHR/DRAM/join/walk/overflow pools to
+    // the regime's high-water mark. It must be long enough to include
+    // the first morphable counter overflow, which sizes the overflow
+    // job pool.
+    sys.fastForward(wp.trace_len + 1'000);
+    sys.runPhaseQuiesced(160'000);
+
+    const std::size_t join_slots = sys.joinPoolSlots();
+    const std::size_t walk_slots = sys.walkPoolSlots();
+    EXPECT_GT(join_slots, 0u) << "EMCC run must have exercised joins";
+    EXPECT_GT(walk_slots, 0u) << "EMCC run must have exercised walks";
+
+    const std::uint64_t before = g_heap_allocs;
+    sys.runPhaseQuiesced(80'000);
+    EXPECT_EQ(g_heap_allocs, before)
+        << "the per-LLC-miss join/walk path must be allocation-free "
+           "once warm (slab-pooled state, [this, slot] closures only)";
+    EXPECT_EQ(sys.joinPoolSlots(), join_slots)
+        << "join pool must stop growing once warm";
+    EXPECT_EQ(sys.walkPoolSlots(), walk_slots)
+        << "walk pool must stop growing once warm";
+    EXPECT_GT(sys.stats().llc_data_misses + sys.stats().llc_ctr_misses, 0u);
 }
 
 } // namespace

@@ -68,6 +68,36 @@ usage()
         "  --warmup N         warmup instructions/core (default 150000)\n"
         "  --measure N        measured instructions/core (default 300000)\n"
         "  --trace-len N      trace references/core (default 600000)\n"
+        "  --footprint-scale X\n"
+        "                     scale the workload's data footprint by X\n"
+        "                     (10 = ten times the paper's default; big\n"
+        "                     scales pair well with --sample)\n"
+        "\n"
+        "sampled simulation (SMARTS-style):\n"
+        "  --ffwd N           functionally fast-forward N memory refs\n"
+        "                     per core (architectural state only, no\n"
+        "                     event timing) before the detailed warmup;\n"
+        "                     with --sample, before each window\n"
+        "  --sample K         run K fast-forward + detailed windows\n"
+        "                     instead of one long measurement; per-\n"
+        "                     window estimates aggregate into sample.*\n"
+        "                     metrics with confidence intervals.\n"
+        "                     Incompatible with --inject-faults and\n"
+        "                     --stats-series\n"
+        "  --sample-warm N    detailed warm-up instructions/core per\n"
+        "                     window (default 10000)\n"
+        "  --sample-measure N measured instructions/core per window\n"
+        "                     (default 30000)\n"
+        "  --sample-ffwd-first N\n"
+        "                     fast-forward N refs/core before the FIRST\n"
+        "                     window only (later windows use --ffwd);\n"
+        "                     sized to carry big footprints past their\n"
+        "                     warm-up transient (default: --ffwd)\n"
+        "  --checkpoint-roundtrip\n"
+        "                     exercise save->scramble->restore at every\n"
+        "                     window boundary; the stats JSON must stay\n"
+        "                     byte-identical to the same run without\n"
+        "                     this flag (requires --sample)\n"
         "  --inclusive        inclusive LLC (paper section IV-F)\n"
         "  --dynamic-off      dynamic EMCC off (paper section IV-F)\n"
         "  --xpt              XPT-style LLC miss prediction\n"
@@ -165,6 +195,10 @@ runMain(int argc, char **argv)
     bool leak_strict = false;
     bool no_ledger = false;
     bool no_resmon = false;
+    Count ffwd = 0;
+    SampleSpec sample;
+    sample.warm = 10'000;
+    sample.measure = 30'000;
     SystemConfig cfg = paperConfig(Scheme::Emcc);
     BenchScale scale = BenchScale::fromEnv();
 
@@ -217,6 +251,22 @@ runMain(int argc, char **argv)
             scale.measure_instructions = static_cast<Count>(nextInt());
         } else if (arg == "--trace-len") {
             scale.workload.trace_len = static_cast<std::size_t>(nextInt());
+        } else if (arg == "--footprint-scale") {
+            scale.workload.footprint_scale = nextFloat();
+            if (scale.workload.footprint_scale <= 0.0)
+                throw ConfigError("--footprint-scale must be > 0");
+        } else if (arg == "--ffwd") {
+            ffwd = static_cast<Count>(nextInt());
+        } else if (arg == "--sample") {
+            sample.windows = static_cast<unsigned>(nextInt());
+        } else if (arg == "--sample-warm") {
+            sample.warm = static_cast<Count>(nextInt());
+        } else if (arg == "--sample-measure") {
+            sample.measure = static_cast<Count>(nextInt());
+        } else if (arg == "--sample-ffwd-first") {
+            sample.ffwd_first = static_cast<Count>(nextInt());
+        } else if (arg == "--checkpoint-roundtrip") {
+            sample.checkpoint_roundtrip = true;
         } else if (arg == "--stats-json") {
             stats_json_path = next();
         } else if (arg == "--stats-interval") {
@@ -275,6 +325,24 @@ runMain(int argc, char **argv)
     if (stats_series_path.empty() != (stats_interval_ms == 0.0))
         throw ConfigError("--stats-interval and --stats-series must be "
                           "given together");
+    if (sample.checkpoint_roundtrip && !sample.enabled())
+        throw ConfigError("--checkpoint-roundtrip requires --sample "
+                          "(only sampled window boundaries are fully "
+                          "quiesced, so only they are checkpointable)");
+    if (sample.enabled() && cfg.faults.enabled())
+        throw ConfigError("--sample cannot run fault campaigns "
+                          "(functional fast-forward has no fault model)");
+    if (sample.enabled() && !stats_series_path.empty())
+        throw ConfigError("--sample cannot drive --stats-series "
+                          "(interval snapshots assume one contiguous "
+                          "measurement phase)");
+    if (ffwd > 0 && cfg.faults.enabled())
+        throw ConfigError("--ffwd cannot run fault campaigns "
+                          "(functional fast-forward has no fault model)");
+    if (sample.ffwd_first > 0 && !sample.enabled())
+        throw ConfigError("--sample-ffwd-first requires --sample (a "
+                          "plain run already takes --ffwd)");
+    sample.ffwd_refs = ffwd;
 
     std::printf("workload: %s | scheme: %s | design: %s\n\n",
                 workload.c_str(), schemeName(cfg.scheme),
@@ -340,6 +408,8 @@ runMain(int argc, char **argv)
     opts.resmon = resmon.get();
     opts.critpath = critpath.get();
     opts.cancel = &g_stop;
+    opts.ffwd = ffwd;
+    opts.sample = sample;
     const auto r = runTiming(cfg, set, scale, opts);
 
     std::puts("\n=== results ===");
@@ -388,6 +458,36 @@ runMain(int argc, char **argv)
     }
     row("counter overflows", static_cast<double>(r.sys.overflows), 0);
     std::fputs(t.render().c_str(), stdout);
+
+    if (sample.enabled()) {
+        // Per-metric mean ± 95% CI over the measured windows; the full
+        // per-window values live under sample.* in the stats JSON.
+        const auto &fm = r.metrics.formulas;
+        auto fv = [&fm](const std::string &k) {
+            auto it = fm.find(k);
+            return it == fm.end() ? 0.0 : it->second;
+        };
+        std::puts("\n=== sampled windows ===");
+        Table st({"estimate", "mean", "ci95"});
+        auto srow = [&](const char *label, const char *key, int digits) {
+            st.addRow({label,
+                       Table::num(fv(std::string(key) + ".mean"), digits),
+                       Table::num(fv(std::string(key) + ".ci95"),
+                                  digits)});
+        };
+        std::printf("windows: %u (ffwd %llu refs", sample.windows,
+                    static_cast<unsigned long long>(sample.ffwd_refs));
+        if (sample.ffwd_first > 0)
+            std::printf(", first window %llu",
+                        static_cast<unsigned long long>(sample.ffwd_first));
+        std::printf(", warm %llu + measure %llu instr/core each)\n",
+                    static_cast<unsigned long long>(sample.warm),
+                    static_cast<unsigned long long>(sample.measure));
+        srow("total IPC", "sample.ipc", 3);
+        srow("L2 miss latency (ns)", "sample.l2_miss_ns", 1);
+        srow("counter hit rate", "sample.ctr_hit_rate", 4);
+        std::fputs(st.render().c_str(), stdout);
+    }
 
     if (ledger && ledger->records() > 0) {
         std::puts("\n=== latency attribution ===");

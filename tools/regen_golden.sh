@@ -17,6 +17,7 @@ CAMPAIGN="${2:-$REPO/build/tools/emcc_campaign}"
 GOLDEN="$REPO/tests/golden/stats_bfs_emcc.json"
 NORESMON_GOLDEN="$REPO/tests/golden/stats_bfs_emcc_noresmon.json"
 SERIES_GOLDEN="$REPO/tests/golden/series_bfs_emcc.jsonl"
+SAMPLED_GOLDEN="$REPO/tests/golden/stats_bfs_emcc_sampled.json"
 
 if [ ! -x "$SIM" ]; then
     echo "regen_golden.sh: no emcc_sim at $SIM (build first?)" >&2
@@ -41,6 +42,14 @@ echo "wrote $NORESMON_GOLDEN"
     --scheme emcc --seed 42 --stats-interval 0.02 \
     --stats-series "$SERIES_GOLDEN" > /dev/null
 echo "wrote $SERIES_GOLDEN"
+
+# Sampled-mode golden (cli.sampled_golden); flags must stay in
+# lockstep with the sampled_golden and checkpoint_identity cases.
+"$SIM" --workload BFS --warmup 5000 --measure 20000 --trace-len 40000 \
+    --scheme emcc --seed 42 --sample 4 --sample-ffwd-first 8000 \
+    --ffwd 2000 --sample-warm 1000 --sample-measure 3000 \
+    --stats-json "$SAMPLED_GOLDEN" > /dev/null
+echo "wrote $SAMPLED_GOLDEN"
 
 if [ -x "$CAMPAIGN" ]; then
     AGG_GOLDEN="$REPO/tests/golden/campaign_aggregate.jsonl"
